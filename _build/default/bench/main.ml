@@ -1,0 +1,227 @@
+(* Benchmark harness: regenerates every experimental table of the paper
+   (Tables IV-IX plus the Section VI-A estimation-time comparison) and runs
+   one Bechamel micro-benchmark per table.
+
+   Usage:  dune exec bench/main.exe -- [--quick] [--skip-bechamel]
+                                       [--tables 4,5,6,7,8,9]
+   Environment: REPRO_SCALE, REPRO_RUNS, REPRO_SEED, REPRO_PREFIXES
+   (see Repro_benchlib.Config). *)
+
+open Repro_benchlib
+module Prng = Repro_util.Prng
+module Job = Repro_datagen.Job_workload
+open Repro_relation
+
+type options = {
+  quick : bool;
+  skip_bechamel : bool;
+  skip_ablations : bool;
+  tables : int list;  (* which paper tables to regenerate *)
+}
+
+let parse_options () =
+  let quick = ref false and skip_bechamel = ref false in
+  let skip_ablations = ref false in
+  let tables = ref [ 4; 5; 6; 7; 8; 9 ] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--skip-bechamel" :: rest ->
+        skip_bechamel := true;
+        parse rest
+    | "--skip-ablations" :: rest ->
+        skip_ablations := true;
+        parse rest
+    | "--csv" :: dir :: rest ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        Repro_benchlib.Render.set_csv_dir (Some dir);
+        parse rest
+    | "--tables" :: spec :: rest ->
+        tables :=
+          String.split_on_char ',' spec
+          |> List.filter_map int_of_string_opt;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "unknown argument %s\n\
+           usage: main.exe [--quick] [--skip-bechamel] [--tables 4,5,...]\n"
+          arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  {
+    quick = !quick;
+    skip_bechamel = !skip_bechamel;
+    skip_ablations = !skip_ablations;
+    tables = !tables;
+  }
+
+let wants options n = List.mem n options.tables
+
+let timed label f =
+  let started = Sys.time () in
+  let result = f () in
+  Format.printf "[%s: %.1fs cpu]@." label (Sys.time () -. started);
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per paper table            *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests config data =
+  let open Bechamel in
+  let prng = Prng.create (config.Config.seed + 77) in
+  let queries = Job.two_table_queries data in
+  let find_query name = List.find (fun q -> q.Job.name = name) queries in
+  let pair_estimate_test ~name ~query_name ~spec ~theta =
+    let q = find_query query_name in
+    let profile =
+      Csdl.Profile.of_tables q.Job.a.Join.table q.Job.a.Join.column
+        q.Job.b.Join.table q.Job.b.Join.column
+    in
+    let estimator = Csdl.Estimator.prepare spec ~theta profile in
+    let synopsis = Csdl.Estimator.draw estimator prng in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Csdl.Estimator.estimate ~pred_a:q.Job.a.Join.predicate
+                ~pred_b:q.Job.b.Join.predicate estimator synopsis)))
+  in
+  let table7_test =
+    let q = Job.pkfk_prefix_query data ~prefix:"The" in
+    let profile =
+      Csdl.Profile.of_tables q.Job.a.Join.table q.Job.a.Join.column
+        q.Job.b.Join.table q.Job.b.Join.column
+    in
+    let estimator = Csdl.Opt.prepare ~theta:0.001 profile in
+    let synopsis = Csdl.Estimator.draw estimator prng in
+    Test.make ~name:"table7/pkfk-prefix-estimate"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Csdl.Estimator.estimate ~pred_a:q.Job.a.Join.predicate
+                ~pred_b:q.Job.b.Join.predicate estimator synopsis)))
+  in
+  let table8_test =
+    let d = Repro_datagen.Tpch.generate ~scale:0.1 ~z:4.0 ~seed:config.Config.seed in
+    let profile =
+      Csdl.Profile.of_tables d.Repro_datagen.Tpch.customer "c_nationkey"
+        d.Repro_datagen.Tpch.supplier "s_nationkey"
+    in
+    let estimator = Csdl.Opt.prepare ~theta:0.001 profile in
+    let synopsis = Csdl.Estimator.draw estimator prng in
+    Test.make ~name:"table8/skewed-tpch-estimate"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Csdl.Estimator.estimate estimator synopsis)))
+  in
+  let table9_test =
+    let d = Repro_datagen.Tpch.generate ~scale:0.1 ~z:2.0 ~seed:config.Config.seed in
+    let tables =
+      {
+        Csdl.Chain.a = d.Repro_datagen.Tpch.customer;
+        a_pk = "c_custkey";
+        b = d.Repro_datagen.Tpch.orders;
+        b_pk = "o_orderkey";
+        b_fk = "o_custkey";
+        c = d.Repro_datagen.Tpch.lineitem;
+        c_fk = "l_orderkey";
+      }
+    in
+    let pred_a =
+      Predicate.Compare (Predicate.Gt, "c_acctbal", Value.Float 8000.0)
+    in
+    let prepared = Csdl.Chain.prepare_opt ~theta:0.001 tables in
+    let synopsis = Csdl.Chain.draw prepared prng in
+    Test.make ~name:"table9/chain-estimate"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Csdl.Chain.estimate ~pred_a prepared synopsis)))
+  in
+  [
+    pair_estimate_test ~name:"table4/csdl-1-diff-small-jvd" ~query_name:"Q1a1"
+      ~spec:(Csdl.Spec.csdl Csdl.Spec.L_one Csdl.Spec.L_diff) ~theta:0.001;
+    pair_estimate_test ~name:"table5/csdl-t-diff-large-jvd" ~query_name:"Q1b3"
+      ~spec:(Csdl.Spec.csdl Csdl.Spec.L_theta Csdl.Spec.L_diff) ~theta:0.001;
+    pair_estimate_test ~name:"table6/cs2l-scaling-estimate" ~query_name:"Q1a1"
+      ~spec:Csdl.Spec.cs2l ~theta:0.001;
+    table7_test;
+    table8_test;
+    table9_test;
+  ]
+
+let run_bechamel config data =
+  let open Bechamel in
+  let tests = bechamel_tests config data in
+  let test = Test.make_grouped ~name:"repro" ~fmt:"%s/%s" tests in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg [ instance ] test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false
+      ~predictors:[| Measure.run |]
+  in
+  let analyzed = Analyze.all ols instance raw in
+  Format.printf "@.== Bechamel: online estimation cost per table ==@.";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let nanos =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> Printf.sprintf "%.0f ns" t
+        | _ -> "n/a"
+      in
+      rows := [ name; nanos ] :: !rows)
+    analyzed;
+  let rows = List.sort compare !rows in
+  Render.print_table ~title:"per-call estimation time"
+    ~header:[ "benchmark"; "time/call" ] ~rows
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let options = parse_options () in
+  let config =
+    let base = Config.from_env () in
+    if options.quick then
+      { base with Config.imdb_scale = 0.2; runs = 5; prefix_count = 30 }
+    else base
+  in
+  Format.printf "repro bench: %a@." Config.pp config;
+  let data =
+    timed "generate mini-IMDB" (fun () ->
+        Repro_datagen.Imdb.generate ~scale:config.Config.imdb_scale
+          ~seed:config.Config.seed ())
+  in
+  let need_two_table = List.exists (wants options) [ 4; 5; 6 ] in
+  let two_table_results =
+    if need_two_table then
+      Some (timed "two-table experiment" (fun () -> Exp_two_table.run config data))
+    else None
+  in
+  Option.iter
+    (fun results ->
+      if wants options 4 then Exp_two_table.print_table4 config results;
+      if wants options 5 then Exp_two_table.print_table5 config results;
+      if wants options 6 then Exp_two_table.print_table6 config results)
+    two_table_results;
+  if wants options 7 then
+    timed "prefix sweep" (fun () -> Table7.run config data)
+    |> List.iter Table7.print;
+  if wants options 8 then
+    timed "skewed TPC-H" (fun () -> Table8.run config) |> Table8.print;
+  if wants options 9 then
+    timed "chain joins" (fun () -> Table9.run config) |> Table9.print;
+  Option.iter
+    (fun results -> Timing.run config results |> Timing.print)
+    two_table_results;
+  if not options.skip_ablations then begin
+    timed "related-work comparison" (fun () -> Baseline_table.run config data)
+    |> Baseline_table.print;
+    timed "star joins" (fun () -> Star_bench.run config) |> Star_bench.print;
+    timed "4-table chains" (fun () -> Chain4_bench.run config)
+    |> Chain4_bench.print;
+    timed "ablations" (fun () -> Ablation.run_all config data)
+  end;
+  if not options.skip_bechamel then run_bechamel config data

@@ -1,0 +1,387 @@
+(* Command-line interface to the library: generate the paper's datasets as
+   CSV files, inspect tables, and estimate join sizes over CSV inputs.
+
+     repro_cli generate-imdb --scale 0.1 --out data/
+     repro_cli generate-tpch --scale 0.1 --skew 2 --out data/
+     repro_cli inspect data/title.csv --column id
+     repro_cli estimate --left data/movie_companies.csv --left-col movie_id \
+                        --right data/title.csv --right-col id \
+                        --theta 0.01 --approach csdl-opt --runs 5 --exact *)
+
+open Cmdliner
+open Repro_relation
+module Prng = Repro_util.Prng
+
+let ensure_directory path =
+  if not (Sys.file_exists path) then Sys.mkdir path 0o755
+  else if not (Sys.is_directory path) then
+    failwith (path ^ " exists and is not a directory")
+
+let write_table directory name table =
+  let path = Filename.concat directory (name ^ ".csv") in
+  Csv_io.write path table;
+  Printf.printf "wrote %s (%d rows)\n%!" path (Table.cardinality table)
+
+(* ---------------- shared arguments ---------------- *)
+
+let scale_arg =
+  Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"S" ~doc:"Scale factor.")
+
+let out_arg =
+  Arg.(
+    value & opt string "data"
+    & info [ "out" ] ~docv:"DIR" ~doc:"Output directory (created if absent).")
+
+let seed_arg =
+  Arg.(value & opt int 20200427 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+(* ---------------- generate-imdb ---------------- *)
+
+let generate_imdb scale out seed =
+  ensure_directory out;
+  let d = Repro_datagen.Imdb.generate ~scale ~seed () in
+  write_table out "title" d.Repro_datagen.Imdb.title;
+  write_table out "aka_title" d.Repro_datagen.Imdb.aka_title;
+  write_table out "movie_companies" d.Repro_datagen.Imdb.movie_companies;
+  write_table out "movie_info_idx" d.Repro_datagen.Imdb.movie_info_idx;
+  write_table out "movie_keyword" d.Repro_datagen.Imdb.movie_keyword;
+  write_table out "keyword" d.Repro_datagen.Imdb.keyword;
+  write_table out "cast_info" d.Repro_datagen.Imdb.cast_info;
+  write_table out "company_type" d.Repro_datagen.Imdb.company_type;
+  write_table out "info_type" d.Repro_datagen.Imdb.info_type
+
+let generate_imdb_cmd =
+  Cmd.v
+    (Cmd.info "generate-imdb" ~doc:"Generate the synthetic mini-IMDB as CSV files.")
+    Term.(const generate_imdb $ scale_arg $ out_arg $ seed_arg)
+
+(* ---------------- generate-tpch ---------------- *)
+
+let skew_arg =
+  Arg.(value & opt float 2.0 & info [ "skew"; "z" ] ~docv:"Z" ~doc:"Zipf skew.")
+
+let generate_tpch scale z out seed =
+  ensure_directory out;
+  let d = Repro_datagen.Tpch.generate ~scale ~z ~seed in
+  write_table out "customer" d.Repro_datagen.Tpch.customer;
+  write_table out "supplier" d.Repro_datagen.Tpch.supplier;
+  write_table out "orders" d.Repro_datagen.Tpch.orders;
+  write_table out "lineitem" d.Repro_datagen.Tpch.lineitem;
+  write_table out "part" d.Repro_datagen.Tpch.part
+
+let generate_tpch_cmd =
+  Cmd.v
+    (Cmd.info "generate-tpch"
+       ~doc:"Generate a skewed TPC-H-shaped dataset as CSV files.")
+    Term.(const generate_tpch $ scale_arg $ skew_arg $ out_arg $ seed_arg)
+
+(* ---------------- inspect ---------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"CSV file.")
+
+let column_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "column" ] ~docv:"NAME" ~doc:"Column to profile.")
+
+let inspect file column =
+  let table = Csv_io.read_auto file in
+  Format.printf "%a@." (Table.pp_head ~limit:5) table;
+  match column with
+  | None -> ()
+  | Some column ->
+      let freq = Table.frequency_map table column in
+      Printf.printf "column %s: %d distinct non-null values over %d rows\n"
+        column (Value.Tbl.length freq) (Table.cardinality table);
+      let top =
+        Value.Tbl.fold (fun v c acc -> (v, c) :: acc) freq []
+        |> List.sort (fun (_, a) (_, b) -> compare b a)
+        |> List.filteri (fun i _ -> i < 5)
+      in
+      List.iter
+        (fun (v, c) -> Printf.printf "  %s: %d\n" (Value.to_string v) c)
+        top
+
+let inspect_cmd =
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Print a CSV table's head and a column profile.")
+    Term.(const inspect $ file_arg $ column_arg)
+
+(* ---------------- estimate ---------------- *)
+
+type approach = Opt | Cs2l | Cs2 | Cso | Variant of Csdl.Spec.t
+
+let approach_conv =
+  let parse s =
+    let level = function
+      | "1" -> Ok Csdl.Spec.L_one
+      | "t" | "theta" -> Ok Csdl.Spec.L_theta
+      | "rt" | "sqrt" -> Ok Csdl.Spec.L_sqrt_theta
+      | "diff" -> Ok Csdl.Spec.L_diff
+      | other -> Error (`Msg ("unknown level: " ^ other))
+    in
+    match String.lowercase_ascii s with
+    | "csdl-opt" | "opt" -> Ok Opt
+    | "cs2l" -> Ok Cs2l
+    | "cs2" -> Ok Cs2
+    | "cso" -> Ok Cso
+    | s -> (
+        (* csdl:P,Q e.g. csdl:1,diff *)
+        match String.split_on_char ':' s with
+        | [ "csdl"; pq ] -> (
+            match String.split_on_char ',' pq with
+            | [ p; q ] -> (
+                match (level p, level q) with
+                | Ok p, Ok q -> Ok (Variant (Csdl.Spec.csdl p q))
+                | Error e, _ | _, Error e -> Error e)
+            | _ -> Error (`Msg "expected csdl:P,Q"))
+        | _ -> Error (`Msg ("unknown approach: " ^ s)))
+  in
+  let print fmt = function
+    | Opt -> Format.pp_print_string fmt "csdl-opt"
+    | Cs2l -> Format.pp_print_string fmt "cs2l"
+    | Cs2 -> Format.pp_print_string fmt "cs2"
+    | Cso -> Format.pp_print_string fmt "cso"
+    | Variant spec -> Format.pp_print_string fmt (Csdl.Spec.to_string spec)
+  in
+  Arg.conv (parse, print)
+
+let left_arg =
+  Arg.(required & opt (some file) None & info [ "left" ] ~docv:"CSV" ~doc:"Left table.")
+
+let left_col_arg =
+  Arg.(
+    required & opt (some string) None
+    & info [ "left-col" ] ~docv:"NAME" ~doc:"Left join column.")
+
+let right_arg =
+  Arg.(
+    required & opt (some file) None & info [ "right" ] ~docv:"CSV" ~doc:"Right table.")
+
+let right_col_arg =
+  Arg.(
+    required & opt (some string) None
+    & info [ "right-col" ] ~docv:"NAME" ~doc:"Right join column.")
+
+let theta_arg =
+  Arg.(
+    value & opt float 0.01
+    & info [ "theta" ] ~docv:"T" ~doc:"Space budget ratio (0 < T <= 1).")
+
+let approach_arg =
+  Arg.(
+    value & opt approach_conv Opt
+    & info [ "approach" ] ~docv:"A"
+        ~doc:
+          "Estimator: csdl-opt, cs2l, cs2, cso, or csdl:P,Q with P,Q in \
+           {1, t, rt, diff}.")
+
+let runs_arg =
+  Arg.(value & opt int 5 & info [ "runs" ] ~docv:"N" ~doc:"Sampling runs.")
+
+let exact_arg =
+  Arg.(
+    value & flag
+    & info [ "exact" ] ~doc:"Also compute the exact join size and q-error.")
+
+let predicate_conv =
+  Arg.conv
+    ( (fun s ->
+        match Predicate_parser.parse s with
+        | Ok p -> Ok p
+        | Error e -> Error (`Msg e)),
+      fun fmt p -> Format.pp_print_string fmt (Predicate.to_string p) )
+
+let where_left_arg =
+  Arg.(
+    value & opt predicate_conv Predicate.True
+    & info [ "where-left" ] ~docv:"COND"
+        ~doc:
+          "Selection on the left table, e.g. 'price > 99 AND name LIKE \
+           \'The %\''.")
+
+let where_right_arg =
+  Arg.(
+    value & opt predicate_conv Predicate.True
+    & info [ "where-right" ] ~docv:"COND" ~doc:"Selection on the right table.")
+
+let estimate left left_col right right_col theta approach runs exact seed
+    pred_left pred_right =
+  let table_a = Csv_io.read_auto left and table_b = Csv_io.read_auto right in
+  let profile = Csdl.Profile.of_tables table_a left_col table_b right_col in
+  Printf.printf "|A| = %d, |B| = %d, shared join values = %d, jvd = %.6f\n"
+    profile.Csdl.Profile.a.Csdl.Profile.cardinality
+    profile.Csdl.Profile.b.Csdl.Profile.cardinality
+    (Array.length profile.Csdl.Profile.shared_values)
+    profile.Csdl.Profile.jvd;
+  let estimator =
+    match approach with
+    | Opt -> Csdl.Opt.prepare ~theta profile
+    | Cs2l -> Csdl.Estimator.prepare Csdl.Spec.cs2l ~theta profile
+    | Cs2 -> Csdl.Estimator.prepare Csdl.Spec.cs2 ~theta profile
+    | Cso -> Csdl.Estimator.prepare Csdl.Spec.cso ~theta profile
+    | Variant spec -> Csdl.Estimator.prepare spec ~theta profile
+  in
+  Printf.printf "approach: %s (sampling the %s table first)\n"
+    (Csdl.Spec.to_string (Csdl.Estimator.spec estimator))
+    (if Csdl.Estimator.swapped estimator then "right" else "left");
+  if pred_left <> Predicate.True then
+    Printf.printf "left selection: %s\n" (Predicate.to_string pred_left);
+  if pred_right <> Predicate.True then
+    Printf.printf "right selection: %s\n" (Predicate.to_string pred_right);
+  let prng = Prng.create seed in
+  let estimates =
+    Array.init runs (fun _ ->
+        Csdl.Estimator.estimate_once ~pred_a:pred_left ~pred_b:pred_right
+          estimator prng)
+  in
+  let median = Repro_util.Summary.median estimates in
+  Printf.printf "median estimate over %d runs: %.1f\n" runs median;
+  if runs >= 5 then begin
+    let ci =
+      Repro_stats.Bootstrap.median_interval (Prng.create (seed + 1)) estimates
+    in
+    Printf.printf "bootstrap 95%% CI on the median: [%.1f, %.1f]\n"
+      ci.Repro_stats.Bootstrap.lower ci.Repro_stats.Bootstrap.upper
+  end;
+  if exact then begin
+    let truth =
+      Join.pair_count
+        (Join.filtered table_a left_col pred_left)
+        (Join.filtered table_b right_col pred_right)
+    in
+    Printf.printf "exact join size: %d (q-error %s)\n" truth
+      (Repro_stats.Qerror.to_string
+         (Repro_stats.Qerror.compute ~truth:(float_of_int truth)
+            ~estimate:median))
+  end
+
+let estimate_cmd =
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Estimate the equijoin size of two CSV tables.")
+    Term.(
+      const estimate $ left_arg $ left_col_arg $ right_arg $ right_col_arg
+      $ theta_arg $ approach_arg $ runs_arg $ exact_arg $ seed_arg
+      $ where_left_arg $ where_right_arg)
+
+(* ---------------- synopsis-build / synopsis-estimate ---------------- *)
+
+(* A join-graph spec: "key=left.csv:col,right.csv:col" *)
+let parse_graph spec =
+  match String.split_on_char '=' spec with
+  | [ key; rest ] -> (
+      match String.split_on_char ',' rest with
+      | [ left; right ] -> (
+          match
+            (String.split_on_char ':' left, String.split_on_char ':' right)
+          with
+          | [ lf; lc ], [ rf; rc ] -> Ok (key, lf, lc, rf, rc)
+          | _ -> Error (`Msg "expected key=left.csv:col,right.csv:col"))
+      | _ -> Error (`Msg "expected key=left.csv:col,right.csv:col"))
+  | _ -> Error (`Msg "expected key=left.csv:col,right.csv:col")
+
+let graph_conv =
+  Arg.conv
+    ( parse_graph,
+      fun fmt (key, lf, lc, rf, rc) ->
+        Format.fprintf fmt "%s=%s:%s,%s:%s" key lf lc rf rc )
+
+let graphs_arg =
+  Arg.(
+    non_empty & pos_all graph_conv []
+    & info [] ~docv:"KEY=LEFT.csv:COL,RIGHT.csv:COL"
+        ~doc:"Join graphs to build synopses for.")
+
+let store_arg =
+  Arg.(
+    value & opt string "synopses.bin"
+    & info [ "store" ] ~docv:"FILE" ~doc:"Synopsis store file.")
+
+let synopsis_build graphs theta store seed =
+  let s = Csdl.Store.create () in
+  let prng = Prng.create seed in
+  List.iter
+    (fun (key, lf, lc, rf, rc) ->
+      let table_a = Csv_io.read_auto lf and table_b = Csv_io.read_auto rf in
+      let profile = Csdl.Profile.of_tables table_a lc table_b rc in
+      let estimator = Csdl.Opt.prepare ~theta profile in
+      let synopsis = Csdl.Estimator.draw estimator prng in
+      Csdl.Store.add s ~key ~table_a:lf ~table_b:rf estimator synopsis;
+      Printf.printf "built %s: %s, %d sample tuples
+%!" key
+        (Csdl.Spec.to_string (Csdl.Estimator.spec estimator))
+        (Csdl.Synopsis.size_tuples synopsis))
+    graphs;
+  Csdl.Store.save s store;
+  Printf.printf "saved %d synopses to %s (%d tuples total)
+" 
+    (List.length (Csdl.Store.keys s)) store (Csdl.Store.total_tuples s)
+
+let synopsis_build_cmd =
+  Cmd.v
+    (Cmd.info "synopsis-build"
+       ~doc:
+         "Build CSDL-Opt synopses for a set of CSV join graphs and persist           them to a store file.")
+    Term.(const synopsis_build $ graphs_arg $ theta_arg $ store_arg $ seed_arg)
+
+let key_arg =
+  Arg.(
+    required & pos 0 (some string) None
+    & info [] ~docv:"KEY" ~doc:"Join-graph key in the store.")
+
+let synopsis_estimate key store =
+  (* table names recorded in the store are the CSV paths *)
+  let s = Csdl.Store.load ~resolve_table:Csv_io.read_auto store in
+  if not (Csdl.Store.mem s key) then begin
+    Printf.eprintf "no synopsis %S in %s (have: %s)
+" key store
+      (String.concat ", " (Csdl.Store.keys s));
+    exit 1
+  end;
+  Printf.printf "estimate for %s: %.1f
+" key (Csdl.Store.estimate s ~key)
+
+let synopsis_estimate_cmd =
+  Cmd.v
+    (Cmd.info "synopsis-estimate"
+       ~doc:
+         "Estimate a join size from a persisted synopsis store (the base           CSVs must still be readable at their recorded paths).")
+    Term.(const synopsis_estimate $ key_arg $ store_arg)
+
+(* ---------------- workload ---------------- *)
+
+let workload scale seed =
+  let d = Repro_datagen.Imdb.generate ~scale ~seed () in
+  Printf.printf "%-8s %-12s %-10s %s\n" "query" "jvd" "true size" "predicates";
+  List.iter
+    (fun (q : Repro_datagen.Job_workload.query) ->
+      Printf.printf "%-8s %-12.6f %-10d %s / %s\n"
+        q.Repro_datagen.Job_workload.name
+        (Repro_datagen.Job_workload.query_jvd q)
+        (Repro_datagen.Job_workload.true_size q)
+        (Predicate.to_string q.Repro_datagen.Job_workload.a.Join.predicate)
+        (Predicate.to_string q.Repro_datagen.Job_workload.b.Join.predicate))
+    (Repro_datagen.Job_workload.two_table_queries d)
+
+let workload_cmd =
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"List the JOB-derived benchmark queries with jvd and true sizes.")
+    Term.(const workload $ scale_arg $ seed_arg)
+
+let () =
+  let doc = "Correlated sampling for join size estimation (ICDE 2020 repro)." in
+  let info = Cmd.info "repro_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_imdb_cmd;
+            generate_tpch_cmd;
+            inspect_cmd;
+            estimate_cmd;
+            synopsis_build_cmd;
+            synopsis_estimate_cmd;
+            workload_cmd;
+          ]))

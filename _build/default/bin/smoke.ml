@@ -1,0 +1,38 @@
+(* Quick end-to-end sanity driver used during development; the real
+   experiment harness lives in bench/. *)
+
+open Repro_relation
+module Prng = Repro_util.Prng
+
+let () =
+  let data = Repro_datagen.Imdb.generate ~scale:0.1 ~seed:42 () in
+  let queries = Repro_datagen.Job_workload.two_table_queries data in
+  let prng = Prng.create 7 in
+  List.iter
+    (fun (q : Repro_datagen.Job_workload.query) ->
+      let jvd = Repro_datagen.Job_workload.query_jvd q in
+      let truth = Repro_datagen.Job_workload.true_size q in
+      let profile =
+        Csdl.Profile.of_tables q.a.Join.table q.a.Join.column q.b.Join.table
+          q.b.Join.column
+      in
+      let run spec =
+        let est = Csdl.Estimator.prepare spec ~theta:0.01 profile in
+        let estimate =
+          Csdl.Estimator.estimate_once ~pred_a:q.a.Join.predicate
+            ~pred_b:q.b.Join.predicate est prng
+        in
+        Repro_stats.Qerror.compute ~truth:(float_of_int truth) ~estimate
+      in
+      let q1 = run (Csdl.Spec.csdl Csdl.Spec.L_one Csdl.Spec.L_theta) in
+      let q2 = run (Csdl.Spec.csdl Csdl.Spec.L_one Csdl.Spec.L_diff) in
+      let q3 = run (Csdl.Spec.csdl Csdl.Spec.L_theta Csdl.Spec.L_diff) in
+      let q4 = run Csdl.Spec.cs2l in
+      Printf.printf
+        "%-6s jvd=%.5f truth=%-8d q(1,t)=%-10s q(1,diff)=%-10s q(t,diff)=%-10s CS2L=%-10s\n%!"
+        q.Repro_datagen.Job_workload.name jvd truth
+        (Repro_stats.Qerror.to_string q1)
+        (Repro_stats.Qerror.to_string q2)
+        (Repro_stats.Qerror.to_string q3)
+        (Repro_stats.Qerror.to_string q4))
+    queries

@@ -1,0 +1,87 @@
+(* Does better join-size estimation buy better query plans? This is the
+   question the paper's introduction opens with, closed end-to-end here:
+   the DP join-order optimizer plans three multi-join IMDB queries under
+   different cardinality models, and each plan is re-costed under the
+   exact model. "Regret" = true cost of the chosen plan / true cost of the
+   optimal plan (1.00 = the estimator's errors were harmless).
+
+   Run with:  dune exec examples/plan_quality.exe *)
+
+open Repro_relation
+open Repro_planner
+
+let theta = 0.02
+
+let queries (d : Repro_datagen.Imdb.t) =
+  let rel ?(predicate = Predicate.True) name table =
+    { Query.name; table; predicate }
+  in
+  let movie_edge left right =
+    {
+      Query.left;
+      left_column = (if left = "title" then "id" else "movie_id");
+      right;
+      right_column = (if right = "title" then "id" else "movie_id");
+    }
+  in
+  [
+    ( "recent movies x companies x ratings",
+      Query.make
+        [
+          rel "title" d.Repro_datagen.Imdb.title
+            ~predicate:(Predicate.Compare (Predicate.Gt, "production_year", Value.Int 2000));
+          rel "mc" d.Repro_datagen.Imdb.movie_companies
+            ~predicate:(Predicate.Compare (Predicate.Eq, "company_type_id", Value.Int 1));
+          rel "mii" d.Repro_datagen.Imdb.movie_info_idx;
+        ]
+        [ movie_edge "title" "mc"; movie_edge "title" "mii" ] );
+    ( "keyworded movies x cast",
+      Query.make
+        [
+          rel "title" d.Repro_datagen.Imdb.title;
+          rel "mk" d.Repro_datagen.Imdb.movie_keyword
+            ~predicate:(Predicate.Compare (Predicate.Le, "keyword_id", Value.Int 500));
+          rel "ci" d.Repro_datagen.Imdb.cast_info
+            ~predicate:(Predicate.Compare (Predicate.Le, "role_id", Value.Int 2));
+        ]
+        [ movie_edge "title" "mk"; movie_edge "title" "ci" ] );
+    ( "4-way: title x mc x mii x mk",
+      Query.make
+        [
+          rel "title" d.Repro_datagen.Imdb.title
+            ~predicate:(Predicate.Compare (Predicate.Gt, "production_year", Value.Int 1990));
+          rel "mc" d.Repro_datagen.Imdb.movie_companies;
+          rel "mii" d.Repro_datagen.Imdb.movie_info_idx
+            ~predicate:(Predicate.Compare (Predicate.Le, "info_type_id", Value.Int 10));
+          rel "mk" d.Repro_datagen.Imdb.movie_keyword;
+        ]
+        [ movie_edge "title" "mc"; movie_edge "title" "mii"; movie_edge "title" "mk" ] );
+  ]
+
+let () =
+  let data = Repro_datagen.Imdb.generate ~scale:0.2 ~seed:42 () in
+  Printf.printf
+    "join-order optimisation under different cardinality models (theta = %g)\n\n"
+    theta;
+  List.iter
+    (fun (label, q) ->
+      let exact = Cardinality.of_exact q in
+      let optimal_plan, optimal_cost = Optimizer.optimize q exact in
+      Printf.printf "%s\n  optimal plan: %s (true cost %.3e)\n" label
+        (Optimizer.to_string q optimal_plan)
+        optimal_cost;
+      List.iter
+        (fun (model_label, model) ->
+          let plan, _believed_cost = Optimizer.optimize q model in
+          let true_cost = Optimizer.cost_under exact plan in
+          Printf.printf "  %-12s plan: %-38s regret %.2f\n" model_label
+            (Optimizer.to_string q plan)
+            (true_cost /. optimal_cost))
+        [
+          ("CSDL-Opt", Cardinality.of_csdl_opt ~theta ~seed:11 q);
+          ("CS2L", Cardinality.of_spec Csdl.Spec.cs2l ~theta ~seed:11 q);
+          ("CSDL(1,t)", Cardinality.of_spec
+             (Csdl.Spec.csdl Csdl.Spec.L_one Csdl.Spec.L_theta) ~theta ~seed:11 q);
+        ];
+      print_newline ())
+    (queries data)

@@ -1,0 +1,99 @@
+(* Cardinality estimation in the service of join ordering — the reason the
+   paper exists. For the 3-table query
+
+     title |><| movie_companies |><| movie_info_idx   (joined on movie_id)
+
+   a cost-based optimizer must decide which two tables to join first. The
+   example keeps one CSDL-Opt synopsis per candidate two-table join,
+   estimates every intermediate size under the query's predicates, ranks
+   the plans, and checks the ranking against the exact sizes.
+
+   Run with:  dune exec examples/query_optimizer.exe *)
+
+open Repro_relation
+module Prng = Repro_util.Prng
+
+let theta = 0.05
+
+type base_table = { label : string; table : Table.t; predicate : Predicate.t }
+
+let () =
+  let data = Repro_datagen.Imdb.generate ~scale:0.2 ~seed:42 () in
+  (* The query: recent movies, their production companies, their rating
+     entries. All three tables join pairwise on movie_id/id. *)
+  let title =
+    {
+      label = "title";
+      table = data.Repro_datagen.Imdb.title;
+      predicate = Predicate.Compare (Predicate.Gt, "production_year", Value.Int 2000);
+    }
+  in
+  let movie_companies =
+    {
+      label = "movie_companies";
+      table = data.Repro_datagen.Imdb.movie_companies;
+      predicate = Predicate.Compare (Predicate.Eq, "company_type_id", Value.Int 1);
+    }
+  in
+  let movie_info_idx =
+    {
+      label = "movie_info_idx";
+      table = data.Repro_datagen.Imdb.movie_info_idx;
+      predicate = Predicate.Compare (Predicate.Le, "info_type_id", Value.Int 10);
+    }
+  in
+  let join_column t = if t.label = "title" then "id" else "movie_id" in
+  let candidate_pairs =
+    [ (title, movie_companies); (title, movie_info_idx);
+      (movie_companies, movie_info_idx) ]
+  in
+  let prng = Prng.create 5 in
+  Printf.printf "building one CSDL-Opt synopsis per candidate join (theta = %g)\n\n"
+    theta;
+  let plans =
+    List.map
+      (fun (a, b) ->
+        let profile =
+          Csdl.Profile.of_tables a.table (join_column a) b.table (join_column b)
+        in
+        let estimator = Csdl.Opt.prepare ~theta profile in
+        let synopsis = Csdl.Estimator.draw estimator prng in
+        let estimate =
+          Csdl.Estimator.estimate ~pred_a:a.predicate ~pred_b:b.predicate
+            estimator synopsis
+        in
+        let truth =
+          Join.pair_count
+            (Join.filtered a.table (join_column a) a.predicate)
+            (Join.filtered b.table (join_column b) b.predicate)
+        in
+        (Printf.sprintf "%s |><| %s" a.label b.label, estimate, truth))
+      candidate_pairs
+  in
+  Printf.printf "%-40s %12s %12s %8s\n" "candidate first join" "estimated"
+    "true" "q-error";
+  List.iter
+    (fun (label, estimate, truth) ->
+      Printf.printf "%-40s %12.0f %12d %8s\n" label estimate truth
+        (Repro_stats.Qerror.to_string
+           (Repro_stats.Qerror.compute ~truth:(float_of_int truth) ~estimate)))
+    plans;
+  let best_by metric =
+    List.fold_left
+      (fun best plan ->
+        match best with
+        | None -> Some plan
+        | Some current -> if metric plan < metric current then Some plan else best)
+      None plans
+  in
+  let estimated_best = best_by (fun (_, e, _) -> e) in
+  let true_best = best_by (fun (_, _, t) -> float_of_int t) in
+  match (estimated_best, true_best) with
+  | Some (est_label, _, _), Some (true_label, _, _) ->
+      Printf.printf
+        "\noptimizer picks:   start with %s\noracle would pick: start with %s\n%s\n"
+        est_label true_label
+        (if est_label = true_label then
+           "=> the estimate-driven plan matches the oracle plan"
+         else "=> plans diverge (estimation error changed the ordering)")
+  | _ -> ()

@@ -1,0 +1,77 @@
+(* How does estimation quality degrade as data skew grows?
+
+   This example sweeps the Zipf exponent of the TPC-H-like generator and
+   tracks the median q-error of CSDL-Opt, CSDL(1,diff) and CS2L on the
+   customer |><| supplier nationkey join — a continuous version of the
+   paper's Table VIII. It also reports the sentry occupancy of the
+   synopsis, which explains *why* the discrete-learning variants stay
+   alive when the budget gets tight.
+
+   Run with:  dune exec examples/skew_explorer.exe *)
+
+module Prng = Repro_util.Prng
+module Tpch = Repro_datagen.Tpch
+
+let theta = 0.01
+let runs = 11
+
+let median_qerror estimator ~truth ~seed =
+  let prng = Prng.create seed in
+  let qerrors =
+    Array.init runs (fun _ ->
+        let estimate = Csdl.Estimator.estimate_once estimator prng in
+        Repro_stats.Qerror.compute ~truth ~estimate)
+  in
+  Repro_util.Summary.median qerrors
+
+let () =
+  Printf.printf
+    "customer |><| supplier on nationkey, scale 0.1, theta = %g, %d runs\n\n"
+    theta runs;
+  Printf.printf "%5s %12s %10s %12s %12s %12s\n" "z" "J" "jvd" "CSDL-Opt"
+    "CSDL(1,diff)" "CS2L";
+  List.iter
+    (fun z ->
+      let data = Tpch.generate ~scale:0.1 ~z ~seed:20200427 in
+      let profile =
+        Csdl.Profile.of_tables data.Tpch.customer "c_nationkey"
+          data.Tpch.supplier "s_nationkey"
+      in
+      let truth = float_of_int (Csdl.Profile.true_join_size profile) in
+      let q estimator = median_qerror estimator ~truth ~seed:3 in
+      Printf.printf "%5.1f %12.0f %10.5f %12s %12s %12s\n" z truth
+        profile.Csdl.Profile.jvd
+        (Repro_stats.Qerror.to_string (q (Csdl.Opt.prepare ~theta profile)))
+        (Repro_stats.Qerror.to_string
+           (q
+              (Csdl.Estimator.prepare
+                 (Csdl.Spec.csdl Csdl.Spec.L_one Csdl.Spec.L_diff)
+                 ~theta profile)))
+        (Repro_stats.Qerror.to_string
+           (q (Csdl.Estimator.prepare Csdl.Spec.cs2l ~theta profile))))
+    [ 0.0; 0.5; 1.0; 1.5; 2.0; 3.0; 4.0 ];
+  Printf.printf
+    "\nreading the table: CSDL(1,diff) is robust across the whole skew\n\
+     range. CSDL-Opt only equals it at z = 4 because for z < 4 the\n\
+     measured jvd (0.00167) sits just above the paper's 0.001 dispatch\n\
+     threshold, so the hybrid picks CSDL(t,diff), whose first level\n\
+     samples ~0.25 of the 25 nation values and usually returns an empty\n\
+     synopsis. Csdl.Opt.prepare ~dispatch:`Budget_aware avoids the cliff.\n";
+  (* Peek inside one synopsis to see where the budget goes. *)
+  let data = Tpch.generate ~scale:0.1 ~z:4.0 ~seed:20200427 in
+  let profile =
+    Csdl.Profile.of_tables data.Tpch.customer "c_nationkey" data.Tpch.supplier
+      "s_nationkey"
+  in
+  let estimator = Csdl.Opt.prepare ~theta profile in
+  let synopsis = Csdl.Estimator.draw estimator (Prng.create 1) in
+  let resolved = Csdl.Estimator.resolved estimator in
+  Printf.printf
+    "\nsynopsis anatomy at z=4: %d tuples stored (budget %.0f), %d distinct \
+     join values covered; variant %s, base q = %.5f\n"
+    (Csdl.Synopsis.size_tuples synopsis)
+    resolved.Csdl.Budget.budget
+    (Repro_relation.Value.Tbl.length
+       synopsis.Csdl.Synopsis.sample_a.Csdl.Sample.entries)
+    (Csdl.Spec.to_string (Csdl.Estimator.spec estimator))
+    resolved.Csdl.Budget.base_q

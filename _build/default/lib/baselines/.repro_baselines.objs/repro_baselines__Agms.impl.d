@@ -1,0 +1,1 @@
+lib/baselines/agms.ml: Array Csdl Int64 Repro_relation Repro_util Table Value

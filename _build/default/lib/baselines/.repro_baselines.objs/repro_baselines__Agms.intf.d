@@ -1,0 +1,1 @@
+lib/baselines/agms.mli: Csdl Repro_relation Table

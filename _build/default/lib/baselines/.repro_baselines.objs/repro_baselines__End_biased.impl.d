@@ -1,0 +1,1 @@
+lib/baselines/end_biased.ml: Array Csdl Float List Predicate Repro_relation Repro_util Table Value

@@ -1,0 +1,1 @@
+lib/baselines/end_biased.mli: Csdl Predicate Repro_relation Repro_util

@@ -1,0 +1,1 @@
+lib/baselines/histogram.ml: Array Csdl Float List Option Repro_relation Table Value

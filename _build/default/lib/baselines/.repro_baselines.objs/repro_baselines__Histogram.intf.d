@@ -1,0 +1,1 @@
+lib/baselines/histogram.mli: Csdl Repro_relation Table Value

@@ -1,0 +1,1 @@
+lib/baselines/independent.ml: Array Csdl Option Predicate Repro_relation Repro_util Table Value

@@ -1,0 +1,1 @@
+lib/baselines/independent.mli: Csdl Predicate Repro_relation Repro_util

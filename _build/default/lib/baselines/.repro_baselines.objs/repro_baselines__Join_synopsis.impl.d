@@ -1,0 +1,1 @@
+lib/baselines/join_synopsis.ml: Array Csdl Float Predicate Repro_relation Repro_util Table Value

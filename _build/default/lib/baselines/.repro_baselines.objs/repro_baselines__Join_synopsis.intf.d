@@ -1,0 +1,1 @@
+lib/baselines/join_synopsis.mli: Csdl Predicate Repro_relation Repro_util

@@ -1,0 +1,1 @@
+lib/baselines/wander.ml: Array Csdl Predicate Repro_relation Repro_util Table Value

@@ -1,0 +1,1 @@
+lib/baselines/wander.mli: Csdl Predicate Repro_relation Repro_util

@@ -1,0 +1,102 @@
+open Repro_relation
+module Prng = Repro_util.Prng
+
+(* Simple tabulation hashing: split the 64-bit key into 8 bytes, xor one
+   random 64-bit table entry per byte. *)
+type tabulation = int64 array array (* 8 x 256 *)
+
+let make_tabulation prng : tabulation =
+  Array.init 8 (fun _ -> Array.init 256 (fun _ -> Prng.bits64 prng))
+
+let tabulate (t : tabulation) key =
+  let h = ref 0L in
+  let k = ref key in
+  for byte = 0 to 7 do
+    let index = Int64.to_int (Int64.logand !k 0xFFL) in
+    h := Int64.logxor !h t.(byte).(index);
+    k := Int64.shift_right_logical !k 8
+  done;
+  !h
+
+(* Mix a Value into a well-distributed 64-bit key. *)
+let key_of_value v =
+  let open Int64 in
+  let z = of_int (Value.hash v) in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+type plan = {
+  id : int;
+  depth : int;
+  width : int;
+  bucket_tables : tabulation array;  (* per row *)
+  sign_tables : tabulation array;
+}
+
+type sketch = { plan_id : int; counters : float array array }
+
+let name = "AGMS sketch"
+
+let next_plan_id = ref 0
+
+let plan ?(depth = 5) ~theta (profile : Csdl.Profile.t) ~seed =
+  if depth < 1 then invalid_arg "Agms.plan: depth must be >= 1";
+  let budget = theta *. float_of_int profile.Csdl.Profile.total_rows in
+  let width = max 1 (int_of_float (budget /. float_of_int depth)) in
+  let prng = Prng.create seed in
+  incr next_plan_id;
+  {
+    id = !next_plan_id;
+    depth;
+    width;
+    bucket_tables = Array.init depth (fun _ -> make_tabulation prng);
+    sign_tables = Array.init depth (fun _ -> make_tabulation prng);
+  }
+
+let width p = p.width
+let depth p = p.depth
+
+let sketch_side plan table column =
+  let counters = Array.make_matrix plan.depth plan.width 0.0 in
+  let column_index = Table.column_index table column in
+  Table.iter
+    (fun row ->
+      match row.(column_index) with
+      | Value.Null -> ()
+      | v ->
+          let key = key_of_value v in
+          for r = 0 to plan.depth - 1 do
+            let h = tabulate plan.bucket_tables.(r) key in
+            let bucket =
+              Int64.to_int (Int64.rem (Int64.shift_right_logical h 1)
+                              (Int64.of_int plan.width))
+            in
+            let sign =
+              if Int64.equal (Int64.logand (tabulate plan.sign_tables.(r) key) 1L) 1L
+              then 1.0
+              else -1.0
+            in
+            counters.(r).(bucket) <- counters.(r).(bucket) +. sign
+          done)
+    table;
+  { plan_id = plan.id; counters }
+
+let estimate a b =
+  if a.plan_id <> b.plan_id then
+    invalid_arg "Agms.estimate: sketches from different plans";
+  let rows =
+    Array.map2
+      (fun row_a row_b ->
+        let dot = ref 0.0 in
+        Array.iteri (fun i x -> dot := !dot +. (x *. row_b.(i))) row_a;
+        !dot)
+      a.counters b.counters
+  in
+  Repro_util.Summary.median rows
+
+let estimate_profile plan (profile : Csdl.Profile.t) =
+  let a = profile.Csdl.Profile.a and b = profile.Csdl.Profile.b in
+  estimate
+    (sketch_side plan a.Csdl.Profile.table a.Csdl.Profile.column)
+    (sketch_side plan b.Csdl.Profile.table b.Csdl.Profile.column)

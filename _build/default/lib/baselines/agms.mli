@@ -1,0 +1,41 @@
+(** Fast-AGMS ("sketch") join-size estimation — the sketching branch of the
+    related work (Alon et al.; Cormode & Garofalakis). Each table is
+    summarised by a [depth x width] array of counters: every tuple adds a
+    4-wise-style random sign to the bucket its join value hashes to, and
+    the join size estimate is the median over rows of the bucket-wise dot
+    product of the two sketches.
+
+    Strengths and weaknesses relative to correlated sampling, both visible
+    in the baseline bench: the estimate is unbiased with variance bounded
+    by [||a||^2 ||b||^2 / width] regardless of jvd, but a sketch cannot
+    apply *runtime selection predicates* — it summarises the unfiltered
+    columns — so it only answers the predicate-free join size.
+
+    Hashing is simple tabulation (3-wise independent, empirically
+    indistinguishable from ideal for AGMS workloads). *)
+
+open Repro_relation
+
+type plan
+(** Shared hash functions — both tables of a join must be sketched under
+    the same plan. *)
+
+val plan : ?depth:int -> theta:float -> Csdl.Profile.t -> seed:int -> plan
+(** Counter budget matches the sampling estimators' tuple budget:
+    [depth * width = theta * (|A| + |B|)], [depth] defaulting to 5. *)
+
+type sketch
+
+val sketch_side : plan -> Table.t -> string -> sketch
+(** One pass over the table. Null join values are skipped. *)
+
+val estimate : sketch -> sketch -> float
+(** Median-of-rows dot product. Raises [Invalid_argument] if the sketches
+    come from different plans. *)
+
+val estimate_profile : plan -> Csdl.Profile.t -> float
+(** Convenience: sketch both sides of a profile and estimate. *)
+
+val width : plan -> int
+val depth : plan -> int
+val name : string

@@ -1,0 +1,113 @@
+open Repro_relation
+module Prng = Repro_util.Prng
+
+type t = {
+  profile : Csdl.Profile.t;
+  threshold_a : float;
+  threshold_b : float;
+}
+
+type synopsis = {
+  (* values kept on both sides, with their sampled row sets *)
+  kept : (Value.t * int array * int array) list;
+  tuples : int;
+  prepared : t;
+}
+
+let name = "end-biased"
+
+(* Solve T so that sum_v f_v * min(1, f_v / T) = target. Monotone
+   decreasing in T; bisect. *)
+let solve_threshold (side : Csdl.Profile.side) ~target =
+  let frequencies =
+    Value.Tbl.fold
+      (fun _ f acc -> float_of_int f :: acc)
+      side.Csdl.Profile.frequencies []
+  in
+  let expected t =
+    List.fold_left
+      (fun acc f -> acc +. (f *. Float.min 1.0 (f /. t)))
+      0.0 frequencies
+  in
+  let max_f = List.fold_left Float.max 1.0 frequencies in
+  if expected 1.0 <= target then 1.0 (* everything fits *)
+  else begin
+    (* upper bound: T where even the heaviest value contributes little *)
+    let hi = ref (max_f *. max_f *. float_of_int (List.length frequencies)) in
+    let lo = ref 1.0 in
+    for _ = 1 to 60 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if expected mid > target then lo := mid else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let prepare ~theta (profile : Csdl.Profile.t) =
+  if theta <= 0.0 || theta > 1.0 then
+    invalid_arg "End_biased.prepare: theta must be in (0, 1]";
+  let target side =
+    theta *. float_of_int side.Csdl.Profile.cardinality
+  in
+  {
+    profile;
+    threshold_a = solve_threshold profile.Csdl.Profile.a
+        ~target:(target profile.Csdl.Profile.a);
+    threshold_b = solve_threshold profile.Csdl.Profile.b
+        ~target:(target profile.Csdl.Profile.b);
+  }
+
+let keep_probability frequency threshold =
+  Float.min 1.0 (float_of_int frequency /. threshold)
+
+let draw t prng =
+  (* the shared hash: one uniform draw per distinct join value *)
+  let a = t.profile.Csdl.Profile.a and b = t.profile.Csdl.Profile.b in
+  let kept = ref [] in
+  let tuples = ref 0 in
+  Array.iter
+    (fun v ->
+      let fa = Csdl.Profile.frequency a v in
+      let fb = Csdl.Profile.frequency b v in
+      let pa = keep_probability fa t.threshold_a in
+      let pb = keep_probability fb t.threshold_b in
+      let h = Prng.float prng in
+      (* coordinated: v kept on a side iff h < that side's p_v; it
+         contributes only when kept on both, probability min(pa, pb) *)
+      if h < pa && h < pb then begin
+        let rows_a = Value.Tbl.find a.Csdl.Profile.groups v in
+        let rows_b = Value.Tbl.find b.Csdl.Profile.groups v in
+        kept := (v, rows_a, rows_b) :: !kept;
+        tuples := !tuples + Array.length rows_a + Array.length rows_b
+      end)
+    t.profile.Csdl.Profile.shared_values;
+  (* Non-shared values are also stored by the original scheme (they cost
+     space but never contribute to an equijoin); we count their expected
+     cost in the thresholds but do not materialise them. *)
+  { kept = !kept; tuples = !tuples; prepared = t }
+
+let estimate ?(pred_a = Predicate.True) ?(pred_b = Predicate.True) t synopsis =
+  let a = t.profile.Csdl.Profile.a and b = t.profile.Csdl.Profile.b in
+  let table_a = a.Csdl.Profile.table and table_b = b.Csdl.Profile.table in
+  let pass_a = Predicate.compile pred_a (Table.schema table_a) in
+  let pass_b = Predicate.compile pred_b (Table.schema table_b) in
+  List.fold_left
+    (fun acc (_v, rows_a, rows_b) ->
+      let count table pass rows =
+        Array.fold_left
+          (fun n r -> if pass (Table.row table r) then n + 1 else n)
+          0 rows
+      in
+      let fa'' = count table_a pass_a rows_a in
+      let fb'' = count table_b pass_b rows_b in
+      if fa'' = 0 || fb'' = 0 then acc
+      else begin
+        let pa = keep_probability (Array.length rows_a) t.threshold_a in
+        let pb = keep_probability (Array.length rows_b) t.threshold_b in
+        acc +. (float_of_int (fa'' * fb'') /. Float.min pa pb)
+      end)
+    0.0 synopsis.kept
+
+let estimate_once ?pred_a ?pred_b t prng =
+  estimate ?pred_a ?pred_b t (draw t prng)
+
+let synopsis_tuples synopsis = synopsis.tuples

@@ -1,0 +1,31 @@
+(** End-biased sampling (Estan & Naughton, ICDE 2006) — the correlated
+    sampling family's direct ancestor. Each table keeps *all* tuples of a
+    join value [v] with probability [min(1, f_v / T)] ([f_v] the value's
+    frequency, [T] a threshold solved from the space budget); a hash
+    function shared by both tables decides which values are kept, so the
+    same values survive on both sides whenever possible. The join estimate
+    sums [a_v b_v / min(p^A_v, p^B_v)] over values present in both samples
+    — frequencies are exact for sampled values because their tuple sets
+    are complete, which also makes runtime predicates fully supported. *)
+
+open Repro_relation
+
+type t
+
+val prepare : theta:float -> Csdl.Profile.t -> t
+(** Solves each table's threshold [T] by bisection so that the expected
+    sample sizes are [theta * |A|] and [theta * |B|]. *)
+
+type synopsis
+
+val draw : t -> Repro_util.Prng.t -> synopsis
+(** Draws the shared value-hash (the only randomness in the scheme). *)
+
+val estimate :
+  ?pred_a:Predicate.t -> ?pred_b:Predicate.t -> t -> synopsis -> float
+
+val estimate_once :
+  ?pred_a:Predicate.t -> ?pred_b:Predicate.t -> t -> Repro_util.Prng.t -> float
+
+val synopsis_tuples : synopsis -> int
+val name : string

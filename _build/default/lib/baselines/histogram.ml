@@ -1,0 +1,123 @@
+open Repro_relation
+
+type bucket = {
+  lo : Value.t;
+  hi : Value.t;
+  rows : float;
+  distinct : float;
+}
+
+type t = { buckets : bucket array; total_rows : int }
+
+let name = "equi-depth histogram"
+
+let plan_buckets ~theta (profile : Csdl.Profile.t) =
+  (* 3 stored numbers per bucket, two histograms per join: match the
+     sampling budget in stored scalars *)
+  let budget = theta *. float_of_int profile.Csdl.Profile.total_rows in
+  max 1 (int_of_float (budget /. 6.0))
+
+let build ?(buckets = 64) table column =
+  if buckets < 1 then invalid_arg "Histogram.build: buckets must be >= 1";
+  let column_index = Table.column_index table column in
+  let values =
+    Table.fold
+      (fun acc row ->
+        match row.(column_index) with Value.Null -> acc | v -> v :: acc)
+      [] table
+  in
+  let sorted = Array.of_list values in
+  Array.sort Value.compare sorted;
+  let n = Array.length sorted in
+  if n = 0 then { buckets = [||]; total_rows = 0 }
+  else begin
+    let target = max 1 (n / buckets) in
+    let out = ref [] in
+    let start = ref 0 in
+    while !start < n do
+      (* provisional end, then extend so a value never straddles buckets *)
+      let stop = ref (min (n - 1) (!start + target - 1)) in
+      while !stop + 1 < n && Value.compare sorted.(!stop + 1) sorted.(!stop) = 0 do
+        incr stop
+      done;
+      let rows = !stop - !start + 1 in
+      let distinct = ref 1 in
+      for i = !start + 1 to !stop do
+        if Value.compare sorted.(i) sorted.(i - 1) <> 0 then incr distinct
+      done;
+      out :=
+        {
+          lo = sorted.(!start);
+          hi = sorted.(!stop);
+          rows = float_of_int rows;
+          distinct = float_of_int !distinct;
+        }
+        :: !out;
+      start := !stop + 1
+    done;
+    { buckets = Array.of_list (List.rev !out); total_rows = n }
+  end
+
+let bucket_count t = Array.length t.buckets
+let row_count t = t.total_rows
+
+(* fraction of bucket [b] lying inside [lo, hi] (inclusive); numeric
+   interpolation when possible, all-or-nothing otherwise *)
+let overlap_fraction b ~lo ~hi =
+  if Value.compare b.hi lo < 0 || Value.compare b.lo hi > 0 then 0.0
+  else if Value.compare b.lo lo >= 0 && Value.compare b.hi hi <= 0 then 1.0
+  else
+    match (Value.as_float b.lo, Value.as_float b.hi) with
+    | Some blo, Some bhi when bhi > blo ->
+        let clip_lo =
+          match Value.as_float lo with
+          | Some x -> Float.max blo x
+          | None -> blo
+        in
+        let clip_hi =
+          match Value.as_float hi with
+          | Some x -> Float.min bhi x
+          | None -> bhi
+        in
+        Float.max 0.0 ((clip_hi -. clip_lo) /. (bhi -. blo))
+    | _ -> 1.0 (* non-numeric boundary bucket: keep it whole *)
+
+let pair_contribution a b =
+  (* overlapping value range of the two buckets *)
+  let lo = if Value.compare a.lo b.lo >= 0 then a.lo else b.lo in
+  let hi = if Value.compare a.hi b.hi <= 0 then a.hi else b.hi in
+  if Value.compare lo hi > 0 then 0.0
+  else begin
+    let frac_a = overlap_fraction a ~lo ~hi in
+    let frac_b = overlap_fraction b ~lo ~hi in
+    let da = a.distinct *. frac_a and db = b.distinct *. frac_b in
+    if da <= 0.0 || db <= 0.0 then 0.0
+    else
+      (* containment assumption: min of the overlapping distinct counts
+         join, each carrying its bucket's average frequency *)
+      let common = Float.min da db in
+      common *. (a.rows /. a.distinct) *. (b.rows /. b.distinct)
+  end
+
+let estimate_join ta tb =
+  let total = ref 0.0 in
+  Array.iter
+    (fun a ->
+      Array.iter (fun b -> total := !total +. pair_contribution a b) tb.buckets)
+    ta.buckets;
+  !total
+
+let estimate_join_range ?low_a ?high_a ta tb =
+  let restrict bucket =
+    let frac =
+      match (low_a, high_a) with
+      | None, None -> 1.0
+      | _ ->
+          let lo = Option.value ~default:bucket.lo low_a in
+          let hi = Option.value ~default:bucket.hi high_a in
+          overlap_fraction bucket ~lo ~hi
+    in
+    { bucket with rows = bucket.rows *. frac; distinct = bucket.distinct *. frac }
+  in
+  let restricted = { ta with buckets = Array.map restrict ta.buckets } in
+  estimate_join restricted tb

@@ -1,0 +1,42 @@
+(** Equi-depth histogram join estimation — the classic histogram branch of
+    the related work (Section VII cites the multi-dimensional and
+    compressed variants; this is the standard one-dimensional building
+    block every system shipped for decades).
+
+    Each join column is summarised by [buckets] equi-depth buckets
+    (bucket = value range + row count + distinct count). The join size of
+    two histograms is estimated bucket-pair-wise under the uniform
+    spread assumption: overlapping fraction of each bucket's rows joined
+    through [min] of the distinct densities.
+
+    The two limitations the paper leans on are visible in the API: the
+    histogram answers {e equality/range}-predicate queries only via
+    coarse bucket pruning (no [LIKE]), and its accuracy degrades with
+    skew inside buckets. *)
+
+open Repro_relation
+
+type t
+
+val build : ?buckets:int -> Table.t -> string -> t
+(** [build table column] — one pass plus a sort; [buckets] defaults to
+    scale with a theta-comparable footprint via {!plan_buckets}. Null
+    values are excluded. *)
+
+val plan_buckets : theta:float -> Csdl.Profile.t -> int
+(** The bucket count whose storage (3 numbers per bucket per side) matches
+    the sampling estimators' tuple budget [theta * (|A| + |B|)]. *)
+
+val estimate_join : t -> t -> float
+(** Bucket-pairwise join size estimate (no predicates — histograms
+    summarise unfiltered columns). *)
+
+val estimate_join_range :
+  ?low_a:Value.t -> ?high_a:Value.t -> t -> t -> float
+(** The one predicate class histograms support: a range restriction on
+    side A's join column, applied by bucket pruning with linear
+    interpolation on boundary buckets. *)
+
+val bucket_count : t -> int
+val row_count : t -> int
+val name : string

@@ -1,0 +1,1 @@
+lib/benchlib/ablation.ml: Array Config Csdl Join List Printf Render Repro_datagen Repro_relation Repro_stats Repro_util Table8

@@ -1,0 +1,1 @@
+lib/benchlib/ablation.mli: Config Repro_datagen

@@ -1,0 +1,1 @@
+lib/benchlib/baseline_table.mli: Config Repro_datagen

@@ -1,0 +1,1 @@
+lib/benchlib/chain4_bench.ml: Array Config Csdl Hashtbl List Predicate Render Repro_datagen Repro_relation Repro_stats Repro_util Table8 Value

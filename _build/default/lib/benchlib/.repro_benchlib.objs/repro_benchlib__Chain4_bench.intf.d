@@ -1,0 +1,1 @@
+lib/benchlib/chain4_bench.mli: Config

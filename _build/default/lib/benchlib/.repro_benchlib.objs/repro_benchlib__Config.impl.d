@@ -1,0 +1,1 @@
+lib/benchlib/config.ml: Format List Printf String Sys

@@ -1,0 +1,1 @@
+lib/benchlib/config.mli: Format

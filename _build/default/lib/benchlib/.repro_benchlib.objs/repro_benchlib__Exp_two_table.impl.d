@@ -1,0 +1,1 @@
+lib/benchlib/exp_two_table.ml: Array Config Csdl Float Hashtbl Join List Printf Render Repro_datagen Repro_relation Repro_stats Repro_util Sys

@@ -1,0 +1,1 @@
+lib/benchlib/exp_two_table.mli: Config Csdl Repro_datagen

@@ -1,0 +1,1 @@
+lib/benchlib/render.ml: Array Buffer Char Filename Float Format Fun List Option Printf Repro_stats String

@@ -1,0 +1,1 @@
+lib/benchlib/render.mli: Format

@@ -1,0 +1,1 @@
+lib/benchlib/star_bench.mli: Config

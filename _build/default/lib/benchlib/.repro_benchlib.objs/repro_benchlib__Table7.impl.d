@@ -1,0 +1,1 @@
+lib/benchlib/table7.ml: Array Config Csdl Hashtbl Join List Render Repro_datagen Repro_relation Repro_stats Repro_util

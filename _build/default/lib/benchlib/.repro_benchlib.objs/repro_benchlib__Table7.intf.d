@@ -1,0 +1,1 @@
+lib/benchlib/table7.mli: Config Repro_datagen

@@ -1,0 +1,1 @@
+lib/benchlib/table8.ml: Array Config Csdl Float Hashtbl List Printf Render Repro_datagen Repro_stats Repro_util

@@ -1,0 +1,1 @@
+lib/benchlib/table8.mli: Config

@@ -1,0 +1,1 @@
+lib/benchlib/table9.ml: Array Config Csdl Hashtbl List Predicate Render Repro_datagen Repro_relation Repro_stats Repro_util Table8 Value

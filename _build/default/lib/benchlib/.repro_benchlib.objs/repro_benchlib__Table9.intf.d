@@ -1,0 +1,1 @@
+lib/benchlib/table9.mli: Config

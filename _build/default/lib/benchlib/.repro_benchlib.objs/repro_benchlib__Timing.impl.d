@@ -1,0 +1,1 @@
+lib/benchlib/timing.ml: Config Exp_two_table Float List Printf Render

@@ -1,0 +1,1 @@
+lib/benchlib/timing.mli: Config Exp_two_table

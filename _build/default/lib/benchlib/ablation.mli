@@ -1,0 +1,31 @@
+(** Ablation benches for the design choices DESIGN.md calls out — not in
+    the paper's evaluation, but answering "which ingredient buys what":
+
+    - {b virtual sample} (Eq. 6 / Lemma 1): CSDL(1,diff) with and without
+      the virtual-sample correction, on large-jvd JOB queries where
+      per-value [q_v] differ most;
+    - {b sentry} (Section II-A): CSDL(1,theta) with and without sentries on
+      small-jvd queries — the all-or-nothing failure the sentry prevents;
+    - {b hybrid dispatch}: the paper's jvd-threshold rule vs. this
+      repository's budget-aware rule, on the skewed TPC-H nationkey join
+      whose jvd straddles the 0.001 threshold;
+    - {b DL grid resolution}: estimation quality as the probability grid of
+      Algorithm 1 is coarsened (supporting the geometric-grid
+      substitution). *)
+
+type comparison_row = {
+  label : string;
+  baseline : float;  (** median q-error with the ingredient *)
+  ablated : float;  (** median q-error without it *)
+}
+
+val virtual_sample : Config.t -> Repro_datagen.Imdb.t -> comparison_row list
+val sentry : Config.t -> Repro_datagen.Imdb.t -> comparison_row list
+val dispatch : Config.t -> comparison_row list
+val grid_resolution : Config.t -> Repro_datagen.Imdb.t -> comparison_row list
+
+val print : title:string -> with_label:string -> without_label:string ->
+  comparison_row list -> unit
+
+val run_all : Config.t -> Repro_datagen.Imdb.t -> unit
+(** Run and print every ablation. *)

@@ -1,0 +1,153 @@
+open Repro_relation
+module Prng = Repro_util.Prng
+module Job = Repro_datagen.Job_workload
+open Repro_baselines
+
+type row = {
+  query : string;
+  truth : int;
+  cells : (string * float option) list;
+}
+
+let theta = 0.01
+
+let approach_names =
+  [
+    "CSDL-Opt"; "CS2L"; "independent"; "end-biased"; "AGMS"; "histogram";
+    "join-syn"; "wander";
+  ]
+
+let median_of ~runs ~truth estimate_once seed =
+  let prng = Prng.create seed in
+  let qerrors =
+    Array.init runs (fun _ ->
+        Repro_stats.Qerror.compute ~truth ~estimate:(estimate_once prng))
+  in
+  Repro_util.Summary.median qerrors
+
+let run (config : Config.t) data =
+  let runs = config.Config.runs in
+  List.map
+    (fun (q : Job.query) ->
+      let profile =
+        Csdl.Profile.of_tables q.Job.a.Join.table q.Job.a.Join.column
+          q.Job.b.Join.table q.Job.b.Join.column
+      in
+      let truth = float_of_int (Job.true_size q) in
+      let pred_a = q.Job.a.Join.predicate and pred_b = q.Job.b.Join.predicate in
+      let has_predicates = pred_a <> Predicate.True || pred_b <> Predicate.True in
+      let seed tag = Hashtbl.hash (config.Config.seed, "baselines", q.Job.name, tag) in
+      let csdl_opt =
+        let est = Csdl.Opt.prepare ~theta profile in
+        Some
+          (median_of ~runs ~truth
+             (fun prng -> Csdl.Estimator.estimate_once ~pred_a ~pred_b est prng)
+             (seed "opt"))
+      in
+      let cs2l =
+        let est = Csdl.Estimator.prepare Csdl.Spec.cs2l ~theta profile in
+        Some
+          (median_of ~runs ~truth
+             (fun prng -> Csdl.Estimator.estimate_once ~pred_a ~pred_b est prng)
+             (seed "cs2l"))
+      in
+      let independent =
+        let est = Independent.prepare ~theta profile in
+        Some
+          (median_of ~runs ~truth
+             (fun prng -> Independent.estimate_once ~pred_a ~pred_b est prng)
+             (seed "ind"))
+      in
+      let end_biased =
+        let est = End_biased.prepare ~theta profile in
+        Some
+          (median_of ~runs ~truth
+             (fun prng -> End_biased.estimate_once ~pred_a ~pred_b est prng)
+             (seed "eb"))
+      in
+      let agms =
+        (* sketches summarise unfiltered columns; only predicate-free
+           queries are answerable *)
+        if has_predicates then None
+        else
+          let qerrors =
+            Array.init runs (fun i ->
+                let plan = Agms.plan ~theta profile ~seed:(seed "agms" + i) in
+                Repro_stats.Qerror.compute ~truth
+                  ~estimate:(Agms.estimate_profile plan profile))
+          in
+          Some (Repro_util.Summary.median qerrors)
+      in
+      let histogram =
+        (* histograms summarise unfiltered join columns; they answer
+           predicate-free queries (and range predicates on the join
+           column, which this workload does not use) *)
+        if has_predicates then None
+        else begin
+          let buckets = Histogram.plan_buckets ~theta profile in
+          let ha =
+            Histogram.build ~buckets q.Job.a.Join.table q.Job.a.Join.column
+          in
+          let hb =
+            Histogram.build ~buckets q.Job.b.Join.table q.Job.b.Join.column
+          in
+          Some
+            (Repro_stats.Qerror.compute ~truth
+               ~estimate:(Histogram.estimate_join ha hb))
+        end
+      in
+      let join_syn =
+        match Join_synopsis.prepare ~theta profile with
+        | Error _ -> None
+        | Ok est ->
+            let pred_fk, pred_pk =
+              if Join_synopsis.fk_is_left est then (pred_a, pred_b)
+              else (pred_b, pred_a)
+            in
+            Some
+              (median_of ~runs ~truth
+                 (fun prng ->
+                   Join_synopsis.estimate_once ~pred_fk ~pred_pk est prng)
+                 (seed "js"))
+      in
+      let wander =
+        let walks =
+          max 1
+            (int_of_float (theta *. float_of_int profile.Csdl.Profile.total_rows))
+        in
+        let est = Wander.prepare ~walks profile in
+        Some
+          (median_of ~runs ~truth
+             (fun prng -> Wander.estimate ~pred_a ~pred_b est prng)
+             (seed "wander"))
+      in
+      {
+        query = q.Job.name;
+        truth = int_of_float truth;
+        cells =
+          List.combine approach_names
+            [
+              csdl_opt; cs2l; independent; end_biased; agms; histogram;
+              join_syn; wander;
+            ];
+      })
+    (Job.two_table_queries data)
+
+let print rows =
+  Render.print_table
+    ~title:
+      (Printf.sprintf
+         "Related-work comparison (beyond the paper): median q-error at \
+          theta = %g" theta)
+    ~header:("Query" :: "J" :: approach_names)
+    ~rows:
+      (List.map
+         (fun r ->
+           r.query :: string_of_int r.truth
+           :: List.map
+                (fun (_, cell) ->
+                  match cell with
+                  | None -> "n/a"
+                  | Some q -> Render.qerror_cell q)
+                r.cells)
+         rows)

@@ -1,0 +1,25 @@
+(** Related-work comparison beyond the paper's evaluation: CSDL-Opt and
+    CS2L against the wider estimator landscape this library also
+    implements — independent Bernoulli sampling, end-biased sampling,
+    AGMS sketches, join synopses and wander join — on the two-table JOB
+    workload under one space/work budget.
+
+    Caveats surfaced as "n/a" cells: AGMS sketches cannot apply runtime
+    selection predicates (they answer the unfiltered size only, reported
+    for predicate-free queries); join synopses only exist for PK-FK joins;
+    wander join needs the base tables at estimation time (its cost budget
+    is walks, not stored tuples). *)
+
+type row = {
+  query : string;
+  truth : int;
+  cells : (string * float option) list;
+      (** (approach, median q-error); [None] = method not applicable *)
+}
+
+val approach_names : string list
+
+val run : Config.t -> Repro_datagen.Imdb.t -> row list
+(** theta = 0.01 (the workload's larger budget), [config.runs] runs. *)
+
+val print : row list -> unit

@@ -1,0 +1,83 @@
+module Prng = Repro_util.Prng
+module Tpch = Repro_datagen.Tpch
+open Repro_relation
+
+type row = {
+  dataset : string;
+  truth : int;
+  opt_qerror : float;
+  cs2l_qerror : float;
+}
+
+let theta = 0.001
+
+let run (config : Config.t) =
+  List.map
+    (fun (scale, z) ->
+      let data = Tpch.generate ~scale ~z ~seed:config.Config.seed in
+      let tables =
+        {
+          Csdl.Chain_n.links =
+            [
+              { Csdl.Chain_n.table = data.Tpch.nation; pk = "n_nationkey"; fk = None };
+              {
+                Csdl.Chain_n.table = data.Tpch.customer;
+                pk = "c_custkey";
+                fk = Some "c_nationkey";
+              };
+              {
+                Csdl.Chain_n.table = data.Tpch.orders;
+                pk = "o_orderkey";
+                fk = Some "o_custkey";
+              };
+            ];
+          last = data.Tpch.lineitem;
+          last_fk = "l_orderkey";
+        }
+      in
+      let predicates =
+        [
+          Predicate.Compare (Predicate.Lt, "n_regionkey", Value.Int 3);
+          Predicate.Compare (Predicate.Gt, "c_acctbal", Value.Float 8000.0);
+          Predicate.True;
+          Predicate.True;
+        ]
+      in
+      let truth = float_of_int (Csdl.Chain_n.true_size ~predicates tables) in
+      let median prepared tag =
+        let prng =
+          Prng.create (Hashtbl.hash (config.Config.seed, "chain4", scale, z, tag))
+        in
+        let qerrors =
+          Array.init config.Config.runs (fun _ ->
+              let synopsis = Csdl.Chain_n.draw prepared prng in
+              Repro_stats.Qerror.compute ~truth
+                ~estimate:(Csdl.Chain_n.estimate ~predicates prepared synopsis))
+        in
+        Repro_util.Summary.median qerrors
+      in
+      {
+        dataset = Tpch.dataset_name data;
+        truth = int_of_float truth;
+        opt_qerror = median (Csdl.Chain_n.prepare_opt ~theta tables) "opt";
+        cs2l_qerror =
+          median (Csdl.Chain_n.prepare Csdl.Spec.cs2l ~theta tables) "cs2l";
+      })
+    Table8.datasets
+
+let print rows =
+  Render.print_table
+    ~title:
+      "4-table chain (beyond the paper): nation |><| customer |><| orders \
+       |><| lineitem (region < 3, acctbal > 8000, theta = 0.001)"
+    ~header:[ "Dataset"; "J"; "CSDL-Opt"; "CS2L" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.dataset;
+             string_of_int r.truth;
+             Render.qerror_cell r.opt_qerror;
+             Render.qerror_cell r.cs2l_qerror;
+           ])
+         rows)

@@ -1,0 +1,18 @@
+(** 4-table chain bench (beyond the paper, exercising {!Csdl.Chain_n}'s
+    "straightforward extension" to longer chains):
+
+    [nation |><| customer |><| orders |><| lineitem]
+
+    with the Table IX selection [c_acctbal > 8000] on customer plus a
+    region restriction on nation, at theta = 0.001 over the four skewed
+    TPC-H datasets; CSDL-Opt vs. CS2L. *)
+
+type row = {
+  dataset : string;
+  truth : int;
+  opt_qerror : float;
+  cs2l_qerror : float;
+}
+
+val run : Config.t -> row list
+val print : row list -> unit

@@ -1,0 +1,52 @@
+type t = {
+  imdb_scale : float;
+  runs : int;
+  seed : int;
+  thetas : float list;
+  tpch_thetas : float list;
+  prefix_theta : float;
+  prefix_count : int;
+  jvd_threshold : float;
+}
+
+let default =
+  {
+    imdb_scale = 1.0;
+    runs = 20;
+    seed = 20200427;
+    thetas = [ 0.01; 0.001 ];
+    tpch_thetas = [ 0.01; 0.001; 0.0001 ];
+    prefix_theta = 0.02;
+    prefix_count = 100;
+    jvd_threshold = 0.001;
+  }
+
+let env_float name fallback =
+  match Sys.getenv_opt name with
+  | Some raw -> (
+      match float_of_string_opt raw with Some v -> v | None -> fallback)
+  | None -> fallback
+
+let env_int name fallback =
+  match Sys.getenv_opt name with
+  | Some raw -> (
+      match int_of_string_opt raw with Some v -> v | None -> fallback)
+  | None -> fallback
+
+let from_env () =
+  {
+    default with
+    imdb_scale = env_float "REPRO_SCALE" default.imdb_scale;
+    runs = env_int "REPRO_RUNS" default.runs;
+    seed = env_int "REPRO_SEED" default.seed;
+    prefix_count = env_int "REPRO_PREFIXES" default.prefix_count;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "imdb_scale=%g runs=%d seed=%d thetas=[%s] tpch_thetas=[%s] \
+     prefix_theta=%g prefixes=%d jvd_threshold=%g"
+    t.imdb_scale t.runs t.seed
+    (String.concat "; " (List.map (Printf.sprintf "%g") t.thetas))
+    (String.concat "; " (List.map (Printf.sprintf "%g") t.tpch_thetas))
+    t.prefix_theta t.prefix_count t.jvd_threshold

@@ -1,0 +1,163 @@
+open Repro_relation
+module Prng = Repro_util.Prng
+module Job = Repro_datagen.Job_workload
+
+type approach = { label : string; spec : Csdl.Spec.t }
+
+let approaches =
+  let v p q = Csdl.Spec.csdl p q in
+  let open Csdl.Spec in
+  [
+    { label = "1,t"; spec = v L_one L_theta };
+    { label = "t,1"; spec = v L_theta L_one };
+    { label = "rt,rt"; spec = v L_sqrt_theta L_sqrt_theta };
+    { label = "diff,1"; spec = v L_diff L_one };
+    { label = "diff,t"; spec = v L_diff L_theta };
+    { label = "diff,rt"; spec = v L_diff L_sqrt_theta };
+    { label = "1,diff"; spec = v L_one L_diff };
+    { label = "t,diff"; spec = v L_theta L_diff };
+    { label = "rt,diff"; spec = v L_sqrt_theta L_diff };
+    { label = "diff,diff"; spec = v L_diff L_diff };
+    { label = "CS2L"; spec = Csdl.Spec.cs2l };
+    { label = "CS2L-hh"; spec = Csdl.Spec.cs2l_approx () };
+  ]
+
+type cell = {
+  approach : string;
+  estimates : float array;
+  median_qerror : float;
+  rel_variance : float;
+  avg_seconds : float;
+}
+
+type query_result = {
+  name : string;
+  jvd : float;
+  truth : int;
+  theta : float;
+  cells : cell list;
+}
+
+let run_cell ~runs ~prng ~truth ~pred_a ~pred_b estimator =
+  let estimates = Array.make runs 0.0 in
+  let time_total = ref 0.0 and time_count = ref 0 in
+  for r = 0 to runs - 1 do
+    let synopsis = Csdl.Estimator.draw estimator prng in
+    let started = Sys.time () in
+    let estimate = Csdl.Estimator.estimate ~pred_a ~pred_b estimator synopsis in
+    let elapsed = Sys.time () -. started in
+    estimates.(r) <- estimate;
+    if estimate > 0.0 then begin
+      time_total := !time_total +. elapsed;
+      incr time_count
+    end
+  done;
+  let qerrors =
+    Array.map
+      (fun estimate -> Repro_stats.Qerror.compute ~truth ~estimate)
+      estimates
+  in
+  let avg_seconds =
+    if !time_count = 0 then Float.nan
+    else !time_total /. float_of_int !time_count
+  in
+  ( estimates,
+    Repro_util.Summary.median qerrors,
+    Repro_util.Summary.relative_variance ~truth estimates,
+    avg_seconds )
+
+let run (config : Config.t) data =
+  let queries = Job.two_table_queries data in
+  List.concat_map
+    (fun (q : Job.query) ->
+      let profile =
+        Csdl.Profile.of_tables q.Job.a.Join.table q.Job.a.Join.column
+          q.Job.b.Join.table q.Job.b.Join.column
+      in
+      let truth = float_of_int (Job.true_size q) in
+      List.map
+        (fun theta ->
+          let cells =
+            List.map
+              (fun { label; spec } ->
+                let estimator = Csdl.Estimator.prepare spec ~theta profile in
+                (* one deterministic stream per (query, theta, approach) *)
+                let prng =
+                  Prng.create
+                    (Hashtbl.hash (config.Config.seed, q.Job.name, theta, label))
+                in
+                let estimates, median_qerror, rel_variance, avg_seconds =
+                  run_cell ~runs:config.Config.runs ~prng ~truth
+                    ~pred_a:q.Job.a.Join.predicate ~pred_b:q.Job.b.Join.predicate
+                    estimator
+                in
+                { approach = label; estimates; median_qerror; rel_variance; avg_seconds })
+              approaches
+          in
+          {
+            name = q.Job.name;
+            jvd = profile.Csdl.Profile.jvd;
+            truth = int_of_float truth;
+            theta;
+            cells;
+          })
+        config.Config.thetas)
+    queries
+
+let is_small_jvd (config : Config.t) result =
+  result.jvd < config.Config.jvd_threshold
+
+let qerror_rows results =
+  List.map
+    (fun r ->
+      Printf.sprintf "%s (J=%d)" r.name r.truth
+      :: Printf.sprintf "%g" r.theta
+      :: List.map (fun c -> Render.qerror_cell c.median_qerror) r.cells)
+    results
+
+let qerror_header =
+  "Query" :: "theta" :: List.map (fun a -> a.label) approaches
+
+let print_table4 config results =
+  let small = List.filter (is_small_jvd config) results in
+  Render.print_table
+    ~title:
+      (Printf.sprintf
+         "Table IV: q-error, queries with small join value density (jvd < %g)"
+         config.Config.jvd_threshold)
+    ~header:qerror_header ~rows:(qerror_rows small)
+
+let print_table5 config results =
+  let large = List.filter (fun r -> not (is_small_jvd config r)) results in
+  Render.print_table
+    ~title:
+      (Printf.sprintf
+         "Table V: q-error, queries with large join value density (jvd >= %g)"
+         config.Config.jvd_threshold)
+    ~header:qerror_header ~rows:(qerror_rows large)
+
+let print_table6 config results =
+  let small = List.filter (is_small_jvd config) results in
+  let pick label cells = List.find (fun c -> c.approach = label) cells in
+  let variance_of cell =
+    (* the paper reports inf variance for cells whose estimation failed *)
+    if Repro_stats.Qerror.is_failure cell.median_qerror then Float.infinity
+    else cell.rel_variance
+  in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.name;
+          Printf.sprintf "%g" r.theta;
+          Render.variance_cell (variance_of (pick "1,t" r.cells));
+          Render.variance_cell (variance_of (pick "1,diff" r.cells));
+          Render.variance_cell (variance_of (pick "CS2L" r.cells));
+        ])
+      small
+  in
+  Render.print_table
+    ~title:
+      "Table VI: estimation variance (Var/J^2) on small-jvd queries"
+    ~header:[ "Query"; "theta"; "CSDL(1,t)"; "CSDL(1,diff)"; "CS2L" ]
+    ~rows

@@ -1,0 +1,44 @@
+(** Experiment 1 (and the data feeding Experiments 3's variance view):
+    the 14 JOB-derived two-table queries, every CSDL variant plus CS2L,
+    both space budgets, [runs] estimations per cell — the raw material of
+    Tables IV, V and VI. *)
+
+type approach = { label : string; spec : Csdl.Spec.t }
+
+val approaches : approach list
+(** The paper's column order: the 10 CSDL variants of Table III, then
+    CS2L (exact variance optimisation) and CS2L-hh (the original
+    implementation's heavy-hitter approximation). *)
+
+type cell = {
+  approach : string;
+  estimates : float array;  (** one per run *)
+  median_qerror : float;
+  rel_variance : float;  (** empirical Var / J^2 (Table VI's metric) *)
+  avg_seconds : float;
+      (** mean online-estimation wall time over the non-zero-estimate runs
+          (the paper's timing protocol); [nan] when every run failed *)
+}
+
+type query_result = {
+  name : string;
+  jvd : float;
+  truth : int;
+  theta : float;
+  cells : cell list;
+}
+
+val run : Config.t -> Repro_datagen.Imdb.t -> query_result list
+(** All (query, theta) combinations, in workload order. *)
+
+val is_small_jvd : Config.t -> query_result -> bool
+
+val print_table4 : Config.t -> query_result list -> unit
+(** Small-jvd queries: q-error per variant (paper Table IV). *)
+
+val print_table5 : Config.t -> query_result list -> unit
+(** Large-jvd queries (paper Table V). *)
+
+val print_table6 : Config.t -> query_result list -> unit
+(** Estimation variance of CSDL(1,t), CSDL(1,diff) and CS2L on the
+    small-jvd queries (paper Table VI). *)

@@ -1,0 +1,78 @@
+let table ~header ~rows fmt =
+  let all = header :: rows in
+  let arity = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> arity then
+        invalid_arg (Printf.sprintf "Render.table: row %d has wrong arity" i))
+    rows;
+  let widths = Array.make arity 0 in
+  List.iter
+    (List.iteri (fun j cell -> widths.(j) <- max widths.(j) (String.length cell)))
+    all;
+  let render_row row =
+    row
+    |> List.mapi (fun j cell -> Printf.sprintf "%-*s" widths.(j) cell)
+    |> String.concat "  "
+  in
+  Format.fprintf fmt "%s@." (render_row header);
+  let rule = String.make (Array.fold_left ( + ) (2 * (arity - 1)) widths) '-' in
+  Format.fprintf fmt "%s@." rule;
+  List.iter (fun row -> Format.fprintf fmt "%s@." (render_row row)) rows
+
+let csv_directory = ref None
+
+let set_csv_dir dir = csv_directory := dir
+
+let slug_of_title title =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Char.lowercase_ascii c
+      | _ -> '-')
+    title
+  |> fun s ->
+  (* squeeze runs of dashes and trim *)
+  let buffer = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c <> '-' then Buffer.add_char buffer c
+      else if Buffer.length buffer > 0
+              && Buffer.nth buffer (Buffer.length buffer - 1) <> '-' then
+        Buffer.add_char buffer c)
+    s;
+  let s = Buffer.contents buffer in
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '-' then String.sub s 0 (n - 1) else s
+
+let csv_escape cell =
+  if String.exists (function ',' | '"' | '\n' -> true | _ -> false) cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_csv ~title ~header ~rows dir =
+  let path = Filename.concat dir (slug_of_title title ^ ".csv") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun row ->
+          output_string oc (String.concat "," (List.map csv_escape row));
+          output_char oc '\n')
+        (header :: rows))
+
+let print_table ~title ~header ~rows =
+  Format.printf "@.== %s ==@." title;
+  table ~header ~rows Format.std_formatter;
+  Format.print_flush ();
+  Option.iter (write_csv ~title ~header ~rows) !csv_directory
+
+let qerror_cell = Repro_stats.Qerror.to_string
+
+let variance_cell v =
+  if Float.is_nan v then "n/a"
+  else if v = Float.infinity then "inf"
+  else if v = 0.0 then "0"
+  else if v >= 0.01 && v < 1e6 then Printf.sprintf "%.2f" v
+  else Printf.sprintf "%.2e" v

@@ -1,0 +1,22 @@
+(** Plain-text table rendering for the experiment output: aligned columns,
+    a header rule, and the paper's "inf" convention for failed estimates. *)
+
+val table :
+  header:string list -> rows:string list list -> Format.formatter -> unit
+(** Column widths are derived from the content; every row must have the
+    header's arity. *)
+
+val print_table : title:string -> header:string list -> rows:string list list -> unit
+(** [table] to stdout under a [== title ==] banner; additionally written as
+    CSV when {!set_csv_dir} is active. *)
+
+val set_csv_dir : string option -> unit
+(** When set, every {!print_table} call also writes
+    [<dir>/<title-slug>.csv] — machine-readable experiment exports for
+    downstream analysis. The directory must exist. *)
+
+val qerror_cell : float -> string
+(** Same as {!Repro_stats.Qerror.to_string}. *)
+
+val variance_cell : float -> string
+(** Relative variance rendering: "inf" / fixed point / scientific. *)

@@ -1,0 +1,70 @@
+module Prng = Repro_util.Prng
+module Tpch = Repro_datagen.Tpch
+open Repro_relation
+
+type row = {
+  dataset : string;
+  truth : int;
+  opt_qerror : float;
+  cs2l_qerror : float;
+}
+
+let theta = 0.001
+
+let run (config : Config.t) =
+  List.map
+    (fun (scale, z) ->
+      let data = Tpch.generate ~scale ~z ~seed:config.Config.seed in
+      let tables =
+        {
+          Csdl.Star.fact = data.Tpch.lineitem;
+          dimensions =
+            [
+              { Csdl.Star.table = data.Tpch.orders; pk = "o_orderkey"; fk = "l_orderkey" };
+              { Csdl.Star.table = data.Tpch.part; pk = "p_partkey"; fk = "l_partkey" };
+            ];
+        }
+      in
+      let pred_dims =
+        [
+          Predicate.Compare (Predicate.Gt, "o_totalprice", Value.Float 250_000.0);
+          Predicate.Compare (Predicate.Lt, "p_retailprice", Value.Float 1_000.0);
+        ]
+      in
+      let truth = float_of_int (Csdl.Star.true_size ~pred_dims tables) in
+      let median prepared tag =
+        let prng =
+          Prng.create (Hashtbl.hash (config.Config.seed, "star", scale, z, tag))
+        in
+        let qerrors =
+          Array.init config.Config.runs (fun _ ->
+              let synopsis = Csdl.Star.draw prepared prng in
+              Repro_stats.Qerror.compute ~truth
+                ~estimate:(Csdl.Star.estimate ~pred_dims prepared synopsis))
+        in
+        Repro_util.Summary.median qerrors
+      in
+      {
+        dataset = Tpch.dataset_name data;
+        truth = int_of_float truth;
+        opt_qerror = median (Csdl.Star.prepare_opt ~theta tables) "opt";
+        cs2l_qerror = median (Csdl.Star.prepare Csdl.Spec.cs2l ~theta tables) "cs2l";
+      })
+    Table8.datasets
+
+let print rows =
+  Render.print_table
+    ~title:
+      "Star join (beyond the paper): lineitem |><| orders |><| part with \
+       selections on both dimensions (theta = 0.001)"
+    ~header:[ "Dataset"; "J"; "CSDL-Opt"; "CS2L" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.dataset;
+             string_of_int r.truth;
+             Render.qerror_cell r.opt_qerror;
+             Render.qerror_cell r.cs2l_qerror;
+           ])
+         rows)

@@ -1,0 +1,15 @@
+(** Star-join bench (beyond the paper: star joins are relegated to its
+    technical report). The fact table lineitem joins two dimensions —
+    orders on l_orderkey and part on l_partkey — with selections on both
+    dimensions, over the four skewed TPC-H datasets at theta = 0.001;
+    CSDL-Opt vs. CS2L through {!Csdl.Star}. *)
+
+type row = {
+  dataset : string;
+  truth : int;
+  opt_qerror : float;
+  cs2l_qerror : float;
+}
+
+val run : Config.t -> row list
+val print : row list -> unit

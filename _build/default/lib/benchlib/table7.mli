@@ -1,0 +1,33 @@
+(** Experiment 2 (paper Table VII): effect of selection-predicate
+    selectivity. Two joins over the mini-IMDB — a PK-FK join
+    (aka_title |><| title on movie_id) and a many-to-many self-join of
+    aka_title on the title string — swept over the top-N most frequent
+    title prefixes with a [LIKE 'prefix%'] predicate, at
+    theta = 0.001. CSDL-Opt vs. CS2L, median q-error of [runs]
+    estimations per prefix, plus the failure (infinite q-error) counts
+    the paper headlines. *)
+
+type sweep_point = {
+  rank : int;  (** 1-based prefix frequency rank *)
+  prefix : string;
+  truth : int;
+  opt_qerror : float;
+  cs2l_qerror : float;  (** exact-variance CS2L *)
+  cs2l_hh_qerror : float;  (** heavy-hitter-approximated CS2L (the original
+                               implementation's behaviour) *)
+}
+
+type result = {
+  kind : [ `Pkfk | `M2m ];
+  points : sweep_point list;  (** one per prefix, rank order *)
+  shown_ranks : int list;  (** the every-5th ranks the paper prints *)
+}
+
+val run : Config.t -> Repro_datagen.Imdb.t -> result list
+(** [PK-FK; M2M], using [config.prefix_count] prefixes. *)
+
+val failures :
+  result -> on:[ `Opt | `Cs2l | `Cs2l_hh ] -> ranks:int list option -> int
+(** Number of infinite-q-error prefixes, over the given ranks (or all). *)
+
+val print : result -> unit

@@ -1,0 +1,26 @@
+(** Experiment 3 (paper Table VIII): robustness to data skew. The
+    many-to-many join [customer |><| supplier] on nationkey (a small-jvd
+    join) over four skewed TPC-H datasets (scale in {1, 0.1}, Zipf z in
+    {4, 2}), both budgets, CSDL-Opt vs. CS2L; median q-error and
+    relative estimation variance. *)
+
+type row = {
+  dataset : string;  (** e.g. "s1-z4" *)
+  theta : float;
+  truth : int;
+  jvd : float;  (** measured nationkey-join jvd — near the 0.001 dispatch
+                    boundary for the s = 0.1 datasets, see EXPERIMENTS.md *)
+  opt_qerror : float;
+  opt_variance : float;
+  one_diff_qerror : float;  (** CSDL(1,diff) — the variant the paper's
+                                dispatch effectively uses on this join *)
+  one_diff_variance : float;
+  cs2l_qerror : float;
+  cs2l_variance : float;
+}
+
+val datasets : (float * float) list
+(** (scale, z) pairs in the paper's order. *)
+
+val run : Config.t -> row list
+val print : row list -> unit

@@ -1,0 +1,67 @@
+module Prng = Repro_util.Prng
+module Tpch = Repro_datagen.Tpch
+open Repro_relation
+
+type row = {
+  dataset : string;
+  truth : int;
+  opt_qerror : float;
+  cs2l_qerror : float;
+}
+
+let theta = 0.001
+
+let run (config : Config.t) =
+  List.map
+    (fun (scale, z) ->
+      let data = Tpch.generate ~scale ~z ~seed:config.Config.seed in
+      let tables =
+        {
+          Csdl.Chain.a = data.Tpch.customer;
+          a_pk = "c_custkey";
+          b = data.Tpch.orders;
+          b_pk = "o_orderkey";
+          b_fk = "o_custkey";
+          c = data.Tpch.lineitem;
+          c_fk = "l_orderkey";
+        }
+      in
+      let pred_a =
+        Predicate.Compare (Predicate.Gt, "c_acctbal", Value.Float 8000.0)
+      in
+      let truth = float_of_int (Csdl.Chain.true_size ~pred_a tables) in
+      let median prepared tag =
+        let prng =
+          Prng.create (Hashtbl.hash (config.Config.seed, "table9", scale, z, tag))
+        in
+        let qerrors =
+          Array.init config.Config.runs (fun _ ->
+              let synopsis = Csdl.Chain.draw prepared prng in
+              let estimate = Csdl.Chain.estimate ~pred_a prepared synopsis in
+              Repro_stats.Qerror.compute ~truth ~estimate)
+        in
+        Repro_util.Summary.median qerrors
+      in
+      {
+        dataset = Tpch.dataset_name data;
+        truth = int_of_float truth;
+        opt_qerror = median (Csdl.Chain.prepare_opt ~theta tables) "opt";
+        cs2l_qerror = median (Csdl.Chain.prepare Csdl.Spec.cs2l ~theta tables) "cs2l";
+      })
+    Table8.datasets
+
+let print rows =
+  Render.print_table
+    ~title:
+      "Table IX: chain join customer |><| orders |><| lineitem (c_acctbal > 8000, theta = 0.001)"
+    ~header:[ "Dataset"; "J"; "CSDL-Opt"; "CS2L" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.dataset;
+             string_of_int r.truth;
+             Render.qerror_cell r.opt_qerror;
+             Render.qerror_cell r.cs2l_qerror;
+           ])
+         rows)

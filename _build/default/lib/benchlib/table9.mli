@@ -1,0 +1,14 @@
+(** Experiment 4 (paper Table IX): multi-table chain join
+    [customer |><| orders |><| lineitem] (both joins PK-FK) with the
+    selection [c_acctbal > 8000] on customer, over the four skewed TPC-H
+    datasets at theta = 0.001; CSDL-Opt vs. CS2L median q-error. *)
+
+type row = {
+  dataset : string;
+  truth : int;
+  opt_qerror : float;
+  cs2l_qerror : float;
+}
+
+val run : Config.t -> row list
+val print : row list -> unit

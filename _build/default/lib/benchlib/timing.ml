@@ -1,0 +1,71 @@
+type summary = {
+  approach : string;
+  mean_seconds : float;
+  fraction_under : float;
+  threshold_seconds : float;
+  queries_measured : int;
+}
+
+let run (config : Config.t) results =
+  (* the paper times the smallest budget; use the smallest configured one *)
+  let timing_theta = List.fold_left Float.min Float.infinity config.Config.thetas in
+  let at_theta =
+    List.filter (fun r -> r.Exp_two_table.theta = timing_theta) results
+  in
+  let cell_time label (r : Exp_two_table.query_result) =
+    let cell =
+      List.find (fun c -> c.Exp_two_table.approach = label) r.Exp_two_table.cells
+    in
+    cell.Exp_two_table.avg_seconds
+  in
+  let opt_time (r : Exp_two_table.query_result) =
+    let label =
+      if r.Exp_two_table.jvd < config.Config.jvd_threshold then "1,diff"
+      else "t,diff"
+    in
+    cell_time label r
+  in
+  let summarise approach threshold_seconds times =
+    let measured = List.filter (fun t -> not (Float.is_nan t)) times in
+    let n = List.length measured in
+    if n = 0 then
+      {
+        approach;
+        mean_seconds = Float.nan;
+        fraction_under = Float.nan;
+        threshold_seconds;
+        queries_measured = 0;
+      }
+    else
+      let mean = List.fold_left ( +. ) 0.0 measured /. float_of_int n in
+      let under = List.length (List.filter (fun t -> t < threshold_seconds) measured) in
+      {
+        approach;
+        mean_seconds = mean;
+        fraction_under = float_of_int under /. float_of_int n;
+        threshold_seconds;
+        queries_measured = n;
+      }
+  in
+  [
+    summarise "CSDL-Opt" 0.5 (List.map opt_time at_theta);
+    summarise "CS2L" 0.15 (List.map (cell_time "CS2L") at_theta);
+  ]
+
+let print summaries =
+  Render.print_table
+    ~title:"Estimation time (theta = 1e-4, zero-estimate runs excluded)"
+    ~header:[ "Approach"; "mean (s)"; "under"; "fraction"; "#queries" ]
+    ~rows:
+      (List.map
+         (fun s ->
+           [
+             s.approach;
+             (if Float.is_nan s.mean_seconds then "n/a"
+              else Printf.sprintf "%.4f" s.mean_seconds);
+             Printf.sprintf "< %.2fs" s.threshold_seconds;
+             (if Float.is_nan s.fraction_under then "n/a"
+              else Printf.sprintf "%.0f%%" (100.0 *. s.fraction_under));
+             string_of_int s.queries_measured;
+           ])
+         summaries)

@@ -1,0 +1,19 @@
+(** Experiment 7 (paper Section VI-A, "Estimation time"): online
+    estimation cost of CSDL-Opt (which solves an LP per estimate) vs. CS2L
+    (plain scaling) at theta = 1e-4, over the two-table workload. Derived
+    from the per-cell timings collected by {!Exp_two_table}; runs whose
+    estimate was 0 are excluded, as in the paper. *)
+
+type summary = {
+  approach : string;
+  mean_seconds : float;
+  fraction_under : float;  (** share of queries under [threshold_seconds] *)
+  threshold_seconds : float;
+  queries_measured : int;
+}
+
+val run : Config.t -> Exp_two_table.query_result list -> summary list
+(** [CSDL-Opt; CS2L]. CSDL-Opt's time per query is that of the variant
+    its jvd dispatch selects. *)
+
+val print : summary list -> unit

@@ -1,0 +1,1 @@
+lib/core/budget.ml: Array Float Fun List Profile Repro_relation Spec Value

@@ -1,0 +1,1 @@
+lib/core/budget.mli: Profile Repro_relation Spec

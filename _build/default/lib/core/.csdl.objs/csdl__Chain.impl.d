@@ -1,0 +1,1 @@
+lib/core/chain.ml: Array Budget Discrete_learning Join Opt Predicate Profile Repro_relation Repro_util Sample Spec Table Value

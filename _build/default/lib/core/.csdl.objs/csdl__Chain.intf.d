@@ -1,0 +1,1 @@
+lib/core/chain.mli: Discrete_learning Predicate Repro_relation Repro_util Spec Table

@@ -1,0 +1,1 @@
+lib/core/chain_n.ml: Array Budget Discrete_learning Join List Opt Option Predicate Profile Repro_relation Sample Spec Table Value

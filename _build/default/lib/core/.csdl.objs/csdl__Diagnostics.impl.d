@@ -1,0 +1,1 @@
+lib/core/diagnostics.ml: Array Budget Float Format Profile Repro_relation Sample Spec Synopsis Value

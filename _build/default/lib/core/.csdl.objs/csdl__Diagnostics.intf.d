@@ -1,0 +1,1 @@
+lib/core/diagnostics.mli: Format Profile Synopsis

@@ -1,0 +1,1 @@
+lib/core/discrete_learning.ml: Array Float Hashtbl List Repro_lp Repro_stats Repro_util

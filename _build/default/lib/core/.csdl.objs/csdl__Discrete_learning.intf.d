@@ -1,0 +1,1 @@
+lib/core/discrete_learning.mli: Repro_util

@@ -1,0 +1,1 @@
+lib/core/estimate.ml: Array Budget Discrete_learning Predicate Repro_relation Sample Spec Synopsis Table Value

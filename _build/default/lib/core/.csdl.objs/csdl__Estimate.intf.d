@@ -1,0 +1,1 @@
+lib/core/estimate.mli: Discrete_learning Predicate Repro_relation Synopsis

@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Budget Estimate Predicate Profile Repro_relation Spec Synopsis

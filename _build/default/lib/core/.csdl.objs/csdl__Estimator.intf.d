@@ -1,0 +1,1 @@
+lib/core/estimator.mli: Budget Discrete_learning Predicate Profile Repro_relation Repro_util Spec Synopsis

@@ -1,0 +1,1 @@
+lib/core/opt.ml: Array Estimator Lazy Profile Spec

@@ -1,0 +1,1 @@
+lib/core/profile.ml: Array Float Repro_relation Table Value

@@ -1,0 +1,1 @@
+lib/core/sample.ml: Array Budget Fun Profile Repro_relation Repro_util Spec Table Value

@@ -1,0 +1,1 @@
+lib/core/sample.mli: Budget Profile Repro_relation Repro_util Table Value

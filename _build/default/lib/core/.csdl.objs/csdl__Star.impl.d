@@ -1,0 +1,1 @@
+lib/core/star.ml: Array Budget Discrete_learning Join List Opt Predicate Profile Repro_relation Sample Spec Table Value

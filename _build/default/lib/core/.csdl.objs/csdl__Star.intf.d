@@ -1,0 +1,1 @@
+lib/core/star.mli: Discrete_learning Predicate Repro_relation Repro_util Spec Table

@@ -1,0 +1,1 @@
+lib/core/store.ml: Budget Estimate Estimator Fun Hashtbl List Marshal Predicate Printf Repro_relation Sample Synopsis Value

@@ -1,0 +1,1 @@
+lib/core/store.mli: Discrete_learning Estimator Predicate Repro_relation Synopsis Table

@@ -1,0 +1,1 @@
+lib/core/synopsis.ml: Budget Profile Repro_relation Sample

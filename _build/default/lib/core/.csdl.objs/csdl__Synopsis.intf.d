@@ -1,0 +1,1 @@
+lib/core/synopsis.mli: Budget Profile Repro_util Sample

@@ -1,0 +1,61 @@
+(** Chain join estimation (Section V): 3-table chains
+    [A (A.pk = B.fk) |><| B (B.pk = C.fk) |><| C] where every join is PK-FK
+    with the FK table on the right.
+
+    Following the paper, the rightmost table C is the one sampled (two-level,
+    with sentries); B and A contribute only their joinable tuples — at most
+    one per join value when the key columns really are keys. Estimation is
+    Eq. 8: [sum over (u,v) of (1/p_v) I''_A(u) I''_B(u,v) (x_v N''_0 + I''_C(v))],
+    with [x_v] from discrete learning over the filtered sample of C, or the
+    scaling analogue [S''_C(v)/q_v] in place of [x_v N''_0] for
+    scaling-method specs (the CS2L baseline). *)
+
+open Repro_relation
+
+type tables = {
+  a : Table.t;
+  a_pk : string;
+  b : Table.t;
+  b_pk : string;
+  b_fk : string;  (** B's foreign key referencing [a_pk] *)
+  c : Table.t;
+  c_fk : string;  (** C's foreign key referencing [b_pk] *)
+}
+
+type t
+type synopsis
+
+val jvd : tables -> float
+(** The chain's join value density [min(|V_B|/|B|, |V_C|/|C|)] over the
+    B-C join (Section V). *)
+
+val prepare : Spec.t -> theta:float -> tables -> t
+(** Resolve sampling rates for table C under budget
+    [theta * (|A| + |B| + |C|)]. *)
+
+val prepare_opt : ?threshold:float -> theta:float -> tables -> t
+(** CSDL-Opt for chains: dispatch the variant on {!jvd}. *)
+
+val draw : t -> Repro_util.Prng.t -> synopsis
+
+val estimate :
+  ?dl_config:Discrete_learning.config ->
+  ?pred_a:Predicate.t ->
+  ?pred_b:Predicate.t ->
+  ?pred_c:Predicate.t ->
+  t ->
+  synopsis ->
+  float
+
+val true_size :
+  ?pred_a:Predicate.t ->
+  ?pred_b:Predicate.t ->
+  ?pred_c:Predicate.t ->
+  tables ->
+  int
+(** Exact chain join size (ground truth). *)
+
+val synopsis_tuples : synopsis -> int
+(** Stored tuples across all three tables. *)
+
+val spec : t -> Spec.t

@@ -1,0 +1,57 @@
+(** Chain joins of arbitrary length (Section V: "extending to chain join
+    queries with more than three tables is straightforward"):
+
+    [T_1 (pk = fk) |><| T_2 (pk = fk) |><| ... |><| T_k]
+
+    where every join is PK-FK with the FK table on the right. As in
+    {!Chain} (the fixed 3-table version kept for the paper's Table IX),
+    the rightmost table [T_k] is sampled two-level with sentries and every
+    other table contributes at most one witness tuple per sampled path.
+    Estimation generalises Eq. 8: for each sampled join value [v] of
+    [T_k], the [(x_v N'' + I''_k(v))] factor is multiplied by the number
+    of complete witness paths [T_{k-1} -> ... -> T_1] passing their
+    predicates, and scaled by [1/p_v]. *)
+
+open Repro_relation
+
+type link_table = {
+  table : Table.t;
+  pk : string;  (** key joined from the right neighbour's [fk] *)
+  fk : string option;  (** FK to the left neighbour; [None] for T_1 *)
+}
+
+type tables = {
+  links : link_table list;  (** T_1 ... T_{k-1}, left to right *)
+  last : Table.t;  (** T_k, the sampled FK table *)
+  last_fk : string;  (** T_k's FK referencing the last link's [pk] *)
+}
+
+val validate : tables -> unit
+(** Raises [Invalid_argument] when the shape is wrong: no link tables, a
+    non-head link missing its [fk], or named columns absent. *)
+
+type t
+type synopsis
+
+val length : tables -> int
+(** Number of tables in the chain (k >= 2). *)
+
+val jvd : tables -> float
+(** Join value density of the rightmost join, the dispatch input. *)
+
+val prepare : Spec.t -> theta:float -> tables -> t
+val prepare_opt : ?threshold:float -> theta:float -> tables -> t
+
+val draw : t -> Repro_util.Prng.t -> synopsis
+
+val estimate :
+  ?dl_config:Discrete_learning.config ->
+  ?predicates:Predicate.t list ->
+  t ->
+  synopsis ->
+  float
+(** [predicates] lines up with [T_1 ... T_k]; missing entries default to
+    [True]. *)
+
+val true_size : ?predicates:Predicate.t list -> tables -> int
+val spec : t -> Spec.t

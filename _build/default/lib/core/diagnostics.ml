@@ -1,0 +1,89 @@
+open Repro_relation
+
+type sample_stats = {
+  distinct_values : int;
+  sentry_tuples : int;
+  sampled_tuples : int;
+  min_q : float;
+  max_q : float;
+}
+
+type t = {
+  spec : string;
+  theta : float;
+  budget : float;
+  expected_size : float;
+  actual_size : int;
+  base_q : float;
+  side_a : sample_stats;
+  side_b : sample_stats;
+  shared_coverage : float;
+}
+
+let stats_of_sample (sample : Sample.t) =
+  let sentry_tuples = ref 0 and sampled_tuples = ref 0 in
+  let min_q = ref Float.nan and max_q = ref Float.nan in
+  Value.Tbl.iter
+    (fun _ (entry : Sample.entry) ->
+      (match entry.Sample.sentry_row with
+      | Some _ -> incr sentry_tuples
+      | None -> ());
+      sampled_tuples := !sampled_tuples + Array.length entry.Sample.rows;
+      if entry.Sample.q_v > 0.0 then begin
+        if Float.is_nan !min_q || entry.Sample.q_v < !min_q then
+          min_q := entry.Sample.q_v;
+        if Float.is_nan !max_q || entry.Sample.q_v > !max_q then
+          max_q := entry.Sample.q_v
+      end)
+    sample.Sample.entries;
+  {
+    distinct_values = Value.Tbl.length sample.Sample.entries;
+    sentry_tuples = !sentry_tuples;
+    sampled_tuples = !sampled_tuples;
+    min_q = !min_q;
+    max_q = !max_q;
+  }
+
+let of_synopsis (profile : Profile.t) (synopsis : Synopsis.t) =
+  let resolved = synopsis.Synopsis.resolved in
+  let covered =
+    Array.fold_left
+      (fun acc v ->
+        if Value.Tbl.mem synopsis.Synopsis.sample_a.Sample.entries v then
+          acc + 1
+        else acc)
+      0 profile.Profile.shared_values
+  in
+  let shared = Array.length profile.Profile.shared_values in
+  {
+    spec = Spec.to_string resolved.Budget.spec;
+    theta = resolved.Budget.theta;
+    budget = resolved.Budget.budget;
+    expected_size = resolved.Budget.expected_size;
+    actual_size = Synopsis.size_tuples synopsis;
+    base_q = resolved.Budget.base_q;
+    side_a = stats_of_sample synopsis.Synopsis.sample_a;
+    side_b = stats_of_sample synopsis.Synopsis.sample_b;
+    shared_coverage =
+      (if shared = 0 then 0.0 else float_of_int covered /. float_of_int shared);
+  }
+
+let pp_rate fmt q =
+  if Float.is_nan q then Format.pp_print_string fmt "-"
+  else Format.fprintf fmt "%.5f" q
+
+let pp_side fmt (label, s) =
+  Format.fprintf fmt
+    "  %s: %d values, %d sentries + %d sampled tuples, q in [%a, %a]@," label
+    s.distinct_values s.sentry_tuples s.sampled_tuples pp_rate s.min_q pp_rate
+    s.max_q
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%s at theta=%g:@," t.spec t.theta;
+  Format.fprintf fmt
+    "  budget %.0f tuples, expected %.0f, drawn %d, base q %.5f@," t.budget
+    t.expected_size t.actual_size t.base_q;
+  pp_side fmt ("S_A", t.side_a);
+  pp_side fmt ("S_B", t.side_b);
+  Format.fprintf fmt "  shared-value coverage: %.1f%%@]"
+    (100.0 *. t.shared_coverage)

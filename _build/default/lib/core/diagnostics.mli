@@ -1,0 +1,34 @@
+(** Synopsis introspection: where a budget actually went and what the
+    discrete learner saw — the first thing to look at when an estimate is
+    off (is the synopsis sentry-starved? did the first level cover the
+    joinable values? how big was the DL input?). Used by the
+    skew-explorer example and the CLI. *)
+
+type sample_stats = {
+  distinct_values : int;  (** first-level coverage *)
+  sentry_tuples : int;
+  sampled_tuples : int;  (** non-sentry *)
+  min_q : float;  (** smallest positive second-level rate; [nan] if none *)
+  max_q : float;
+}
+
+type t = {
+  spec : string;
+  theta : float;
+  budget : float;
+  expected_size : float;
+  actual_size : int;
+  base_q : float;
+  side_a : sample_stats;
+  side_b : sample_stats;
+  shared_coverage : float;
+      (** fraction of the profile's shared join values present in S_A —
+          the quantity first-level sampling gambles with *)
+}
+
+val of_synopsis : Profile.t -> Synopsis.t -> t
+(** The profile must be the one the synopsis was drawn from (in the
+    sampler's orientation — use {!Estimator.profile}). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable report. *)

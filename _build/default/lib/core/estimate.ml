@@ -1,0 +1,176 @@
+open Repro_relation
+
+type breakdown = {
+  estimate : float;
+  filtered_a_tuples : int;
+  filtered_b_tuples : int;
+  selectivity_a : float;
+  virtual_sample_size : float;
+  contributing_values : int;
+}
+
+(* Filtered view of one sample entry under a compiled predicate. *)
+type filtered = { count : int; sentry : bool }
+
+let filter_entry sample pass entry =
+  {
+    count = Sample.filtered_count sample pass entry;
+    sentry = Sample.sentry_passes sample pass entry;
+  }
+
+let indicator b = if b then 1.0 else 0.0
+
+let compile_for sample = function
+  | Predicate.True -> fun (_ : Value.t array) -> true
+  | p -> Predicate.compile p (Table.schema sample.Sample.table)
+
+(* B-side factor shared by both methods: S''_B(v)/u_v + I''_B(v). *)
+let b_factor (fb : filtered) ~u_v ~sentry_spec =
+  let scaled = if fb.count = 0 then 0.0 else float_of_int fb.count /. u_v in
+  if sentry_spec then scaled +. indicator fb.sentry else scaled
+
+let scaling_estimate synopsis pass_a pass_b =
+  let { Synopsis.resolved; sample_a; sample_b; _ } = synopsis in
+  let sentry_spec = resolved.Budget.spec.Spec.sentry in
+  let total = ref 0.0 in
+  let contributing = ref 0 in
+  (* S_B's values are a subset of S_A's, so iterate the B side. *)
+  Value.Tbl.iter
+    (fun v (entry_b : Sample.entry) ->
+      match Value.Tbl.find_opt sample_a.Sample.entries v with
+      | None -> () (* cannot happen: S_B ⊆ B ⋉ S_A *)
+      | Some entry_a ->
+          let fa = filter_entry sample_a pass_a entry_a in
+          let fb = filter_entry sample_b pass_b entry_b in
+          let a_scaled =
+            if fa.count = 0 then 0.0
+            else float_of_int fa.count /. entry_a.Sample.q_v
+          in
+          let a_term =
+            if sentry_spec then a_scaled +. indicator fa.sentry else a_scaled
+          in
+          let b_term = b_factor fb ~u_v:entry_b.Sample.q_v ~sentry_spec in
+          let term = a_term *. b_term /. entry_a.Sample.p_v in
+          if term > 0.0 then begin
+            total := !total +. term;
+            incr contributing
+          end)
+    sample_b.Sample.entries;
+  (!total, !contributing)
+
+let dl_estimate ?dl_config ~virtual_sample synopsis pass_a pass_b =
+  let { Synopsis.resolved; sample_a; sample_b; n_prime } = synopsis in
+  let base_q = resolved.Budget.base_q in
+  (* Ablation hook: without the Eq. 6 virtual sample, raw counts feed the
+     learner directly (count ratio forced to 1). *)
+  let virtual_ratio q_v =
+    if virtual_sample then base_q /. q_v else 1.0
+  in
+  (* Filtered counts for every first-side value: needed both for the DL
+     input distribution and for the selectivity f^{c_A}. *)
+  let filtered_a : filtered Value.Tbl.t =
+    Value.Tbl.create (Value.Tbl.length sample_a.Sample.entries)
+  in
+  let filtered_tuples = ref 0 in
+  let virtual_counts = ref [] in
+  Value.Tbl.iter
+    (fun v (entry : Sample.entry) ->
+      let f = filter_entry sample_a pass_a entry in
+      Value.Tbl.add filtered_a v f;
+      filtered_tuples := !filtered_tuples + f.count + (if f.sentry then 1 else 0);
+      if f.count > 0 && entry.Sample.q_v > 0.0 then begin
+        let virtual_count =
+          float_of_int f.count *. virtual_ratio entry.Sample.q_v
+        in
+        if virtual_count > 0.0 then
+          virtual_counts := virtual_count :: !virtual_counts
+      end)
+    sample_a.Sample.entries;
+  let total_tuples = Sample.total_tuples sample_a in
+  if total_tuples = 0 then (0.0, 0, 0.0, 0.0)
+  else begin
+    let selectivity =
+      float_of_int !filtered_tuples /. float_of_int total_tuples
+    in
+    let learned =
+      Discrete_learning.learn ?config:dl_config
+        (Array.of_list !virtual_counts)
+    in
+    let n_filtered = n_prime *. selectivity in
+    let sentry_spec = resolved.Budget.spec.Spec.sentry in
+    let total = ref 0.0 in
+    let contributing = ref 0 in
+    Value.Tbl.iter
+      (fun v (entry_b : Sample.entry) ->
+        match Value.Tbl.find_opt filtered_a v with
+        | None -> ()
+        | Some fa ->
+            let entry_a = Value.Tbl.find sample_a.Sample.entries v in
+            let x_v =
+              if fa.count = 0 || entry_a.Sample.q_v <= 0.0 then 0.0
+              else
+                Discrete_learning.probability_of_count learned
+                  (float_of_int fa.count *. virtual_ratio entry_a.Sample.q_v)
+            in
+            let a_term =
+              (x_v *. n_filtered)
+              +. (if sentry_spec then indicator fa.sentry else 0.0)
+            in
+            let fb = filter_entry sample_b pass_b entry_b in
+            let b_term = b_factor fb ~u_v:entry_b.Sample.q_v ~sentry_spec in
+            let term = a_term *. b_term /. entry_a.Sample.p_v in
+            if term > 0.0 then begin
+              total := !total +. term;
+              incr contributing
+            end)
+      sample_b.Sample.entries;
+    (!total, !contributing, selectivity, Discrete_learning.sample_size learned)
+  end
+
+let run_with_breakdown ?dl_config ?(virtual_sample = true)
+    ?(pred_a = Predicate.True) ?(pred_b = Predicate.True) synopsis =
+  let { Synopsis.resolved; sample_a; sample_b; _ } = synopsis in
+  let pass_a = compile_for sample_a pred_a in
+  let pass_b = compile_for sample_b pred_b in
+  let count_filtered sample pass =
+    Value.Tbl.fold
+      (fun _ entry acc ->
+        acc
+        + Sample.filtered_count sample pass entry
+        + (if Sample.sentry_passes sample pass entry then 1 else 0))
+      sample.Sample.entries 0
+  in
+  let filtered_a_tuples = count_filtered sample_a pass_a in
+  let filtered_b_tuples = count_filtered sample_b pass_b in
+  match resolved.Budget.spec.Spec.method_ with
+  | Spec.Scaling ->
+      let estimate, contributing = scaling_estimate synopsis pass_a pass_b in
+      let selectivity_a =
+        let total = Sample.total_tuples sample_a in
+        if total = 0 then 0.0
+        else float_of_int filtered_a_tuples /. float_of_int total
+      in
+      {
+        estimate;
+        filtered_a_tuples;
+        filtered_b_tuples;
+        selectivity_a;
+        virtual_sample_size = 0.0;
+        contributing_values = contributing;
+      }
+  | Spec.Discrete_learning ->
+      let estimate, contributing, selectivity_a, virtual_sample_size =
+        dl_estimate ?dl_config ~virtual_sample synopsis pass_a pass_b
+      in
+      {
+        estimate;
+        filtered_a_tuples;
+        filtered_b_tuples;
+        selectivity_a;
+        virtual_sample_size;
+        contributing_values = contributing;
+      }
+
+let run ?dl_config ?virtual_sample ?pred_a ?pred_b synopsis =
+  (run_with_breakdown ?dl_config ?virtual_sample ?pred_a ?pred_b synopsis)
+    .estimate

@@ -1,0 +1,51 @@
+(** Online estimation: from a synopsis and the query's selection predicates
+    to an estimated join size.
+
+    Implements both estimation methods of the framework:
+
+    - {b Simple scaling} (Eqs. 1–3, extended to filtered samples):
+      [sum over v of (1/p_v)(S''_A(v)/q_v + I''_A(v))(S''_B(v)/u_v + I''_B(v))],
+      without the sentry indicators for sentry-less specs.
+    - {b Discrete learning} (Eqs. 4, 5, 7): learn the filtered join-value
+      distribution of the first side from the (virtual) sample, then
+      [sum over v of (1/p_v)(x_v N'' + I''_A(v))(S''_B(v)/u_v + I''_B(v))]
+      with [N'' = N' |S''_A| / |S_A|].
+
+    Predicates here are in the {e sampler's} orientation: [pred_a] applies
+    to the first-sampled table. {!Estimator} handles user orientation. *)
+
+open Repro_relation
+
+val run :
+  ?dl_config:Discrete_learning.config ->
+  ?virtual_sample:bool ->
+  ?pred_a:Predicate.t ->
+  ?pred_b:Predicate.t ->
+  Synopsis.t ->
+  float
+(** Estimated join size of [sigma_a(A) |><| sigma_b(B)]; predicates default
+    to [Predicate.True]. Returns 0 when the filtered samples are empty —
+    the failure mode the paper reports as infinite q-error. *)
+
+type breakdown = {
+  estimate : float;
+  filtered_a_tuples : int;  (** |S''_A| including sentries *)
+  filtered_b_tuples : int;
+  selectivity_a : float;  (** f^{c_A} = |S''_A| / |S_A| *)
+  virtual_sample_size : float;  (** n of the DL input; 0 for scaling *)
+  contributing_values : int;  (** |V''_{A,B}| with a non-zero term *)
+}
+
+val run_with_breakdown :
+  ?dl_config:Discrete_learning.config ->
+  ?virtual_sample:bool ->
+  ?pred_a:Predicate.t ->
+  ?pred_b:Predicate.t ->
+  Synopsis.t ->
+  breakdown
+(** Same as {!run}, exposing intermediate quantities for tests and
+    diagnostics. [virtual_sample] (default [true]) applies Eq. 6's
+    virtual-sample correction before discrete learning; setting it to
+    [false] feeds raw counts to the learner — the ablation showing why
+    Lemma 1 matters for different-[q_v] variants. Ignored by scaling
+    specs. *)

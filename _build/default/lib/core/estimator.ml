@@ -1,0 +1,41 @@
+open Repro_relation
+
+type sample_first = [ `A | `B | `Fk_side ]
+
+type t = {
+  spec : Spec.t;
+  profile : Profile.t;  (* in sampler orientation *)
+  resolved : Budget.t;
+  swapped : bool;
+}
+
+let prepare ?(sample_first = `Fk_side) spec ~theta (profile : Profile.t) =
+  let swapped =
+    match sample_first with
+    | `A -> false
+    | `B -> true
+    | `Fk_side ->
+        (* Sample the FK side (the non-key side) first. When neither or
+           both sides are keys, keep the caller's orientation. *)
+        Profile.is_key_side profile.Profile.a
+        && not (Profile.is_key_side profile.Profile.b)
+  in
+  let profile = if swapped then Profile.swap profile else profile in
+  let resolved = Budget.resolve spec ~theta profile in
+  { spec; profile; resolved; swapped }
+
+let draw t prng = Synopsis.draw prng ~profile:t.profile ~resolved:t.resolved
+
+let estimate ?dl_config ?virtual_sample ?(pred_a = Predicate.True)
+    ?(pred_b = Predicate.True) t synopsis =
+  let pred_a, pred_b = if t.swapped then (pred_b, pred_a) else (pred_a, pred_b) in
+  Estimate.run ?dl_config ?virtual_sample ~pred_a ~pred_b synopsis
+
+let estimate_once ?dl_config ?virtual_sample ?pred_a ?pred_b t prng =
+  let synopsis = draw t prng in
+  estimate ?dl_config ?virtual_sample ?pred_a ?pred_b t synopsis
+
+let swapped t = t.swapped
+let spec t = t.spec
+let resolved t = t.resolved
+let profile t = t.profile

@@ -1,0 +1,58 @@
+(** Top-level API: prepare a correlated-sampling estimator for a join
+    graph, draw offline synopses, and answer online estimation queries.
+
+    Orientation: the caller describes the join as [(A, col_a)] joined with
+    [(B, col_b)] and always passes predicates in that orientation. The
+    estimator may internally sample the other table first — mandatory for
+    PK-FK joins, where the FK table must be sampled first and the discrete
+    learning applied to it (Section IV-F) — and maps predicates
+    accordingly. *)
+
+open Repro_relation
+
+type sample_first =
+  [ `A  (** always sample the A side first *)
+  | `B  (** always sample the B side first *)
+  | `Fk_side
+    (** sample the foreign-key side first when the join is PK-FK (exactly
+        one side's join column is unique); otherwise sample A first. This
+        is the paper's rule and the default. *) ]
+
+type t
+
+val prepare :
+  ?sample_first:sample_first -> Spec.t -> theta:float -> Profile.t -> t
+(** Resolve the spec's sampling rates for this join under budget
+    [theta * (|A| + |B|)]. This is deterministic; all randomness is in
+    {!draw}. *)
+
+val draw : t -> Repro_util.Prng.t -> Synopsis.t
+(** One offline sampling run. *)
+
+val estimate :
+  ?dl_config:Discrete_learning.config ->
+  ?virtual_sample:bool ->
+  ?pred_a:Predicate.t ->
+  ?pred_b:Predicate.t ->
+  t ->
+  Synopsis.t ->
+  float
+(** Online phase: estimated size of [sigma_a(A) |><| sigma_b(B)]. *)
+
+val estimate_once :
+  ?dl_config:Discrete_learning.config ->
+  ?virtual_sample:bool ->
+  ?pred_a:Predicate.t ->
+  ?pred_b:Predicate.t ->
+  t ->
+  Repro_util.Prng.t ->
+  float
+(** Convenience: {!draw} then {!estimate} in one call. *)
+
+val swapped : t -> bool
+(** Whether the sampler operates on the (B, A) orientation. *)
+
+val spec : t -> Spec.t
+val resolved : t -> Budget.t
+val profile : t -> Profile.t
+(** The profile in the {e sampler's} orientation. *)

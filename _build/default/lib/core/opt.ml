@@ -1,0 +1,32 @@
+type dispatch = [ `Jvd_threshold | `Budget_aware ]
+
+let default_threshold = 0.001
+
+let low_jvd_spec = lazy (Spec.csdl Spec.L_one Spec.L_diff)
+let high_jvd_spec = lazy (Spec.csdl Spec.L_theta Spec.L_diff)
+
+let spec_for ?(threshold = default_threshold) ~jvd () =
+  if jvd < threshold then Lazy.force low_jvd_spec else Lazy.force high_jvd_spec
+
+let spec_for_profile ?(dispatch = `Jvd_threshold) ?threshold ~theta
+    (profile : Profile.t) =
+  match dispatch with
+  | `Jvd_threshold ->
+      ignore theta;
+      spec_for ?threshold ~jvd:profile.Profile.jvd ()
+  | `Budget_aware ->
+      (* p = 1 needs a sentry on each side of every shared join value;
+         afford it only when that floor leaves at least half the budget
+         for second-level tuples. *)
+      let budget = theta *. float_of_int profile.Profile.total_rows in
+      let sentry_floor =
+        2.0 *. float_of_int (Array.length profile.Profile.shared_values)
+      in
+      if sentry_floor <= budget /. 2.0 then Lazy.force low_jvd_spec
+      else Lazy.force high_jvd_spec
+
+let prepare ?dispatch ?threshold ?sample_first ~theta (profile : Profile.t) =
+  let spec = spec_for_profile ?dispatch ?threshold ~theta profile in
+  Estimator.prepare ?sample_first spec ~theta profile
+
+let name = "CSDL-Opt"

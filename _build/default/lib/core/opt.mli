@@ -1,0 +1,40 @@
+(** CSDL-Opt — the paper's headline hybrid (Section VI-A, Table II): use
+    CSDL(1,diff) when the join value density is low (below 0.001) and
+    CSDL(theta,diff) when it is high. The dispatch happens at preparation
+    time from the profile's measured jvd.
+
+    Beyond the paper, a [`Budget_aware] dispatch rule is provided: the jvd
+    threshold is a proxy for "can we afford a sentry for every join value?",
+    and on small tables the fixed 0.001 cut-off answers that question
+    wrongly (see examples/skew_explorer.ml). [`Budget_aware] asks it
+    directly — pick CSDL(1,diff) exactly when the p = 1 sentry floor
+    (two tuples per shared join value) fits in half the space budget. The
+    ablation bench compares the two rules. *)
+
+type dispatch =
+  [ `Jvd_threshold  (** the paper's rule; default *)
+  | `Budget_aware  (** sentry-floor rule, this repository's extension *) ]
+
+val default_threshold : float
+(** 0.001, the paper's cut-off. *)
+
+val spec_for : ?threshold:float -> jvd:float -> unit -> Spec.t
+(** The winning variant for a given join value density (paper rule). *)
+
+val spec_for_profile :
+  ?dispatch:dispatch -> ?threshold:float -> theta:float -> Profile.t -> Spec.t
+(** Variant selection with access to the full profile (needed by
+    [`Budget_aware]). *)
+
+val prepare :
+  ?dispatch:dispatch ->
+  ?threshold:float ->
+  ?sample_first:Estimator.sample_first ->
+  theta:float ->
+  Profile.t ->
+  Estimator.t
+(** Prepare a CSDL-Opt estimator: pick the variant per [dispatch], then
+    defer to {!Estimator.prepare}. *)
+
+val name : string
+(** ["CSDL-Opt"] *)

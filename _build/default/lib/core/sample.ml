@@ -1,0 +1,113 @@
+open Repro_relation
+module Prng = Repro_util.Prng
+
+type entry = {
+  sentry_row : int option;
+  rows : int array;
+  p_v : float;
+  q_v : float;
+}
+
+type t = {
+  table : Table.t;
+  column : string;
+  entries : entry Value.Tbl.t;
+  tuple_count : int;
+}
+
+let draw_entry prng ~sentry ~rows ~p_v ~q_v =
+  let n = Array.length rows in
+  if n = 0 then invalid_arg "Sample.draw_entry: empty row group";
+  if sentry then begin
+    let sentry_pos = Prng.int prng n in
+    let k = if q_v >= 1.0 then n - 1 else Prng.binomial prng (n - 1) q_v in
+    let picked =
+      if k = 0 then [||]
+      else if k = n - 1 then
+        (* everything except the sentry *)
+        Array.init (n - 1) (fun i -> if i < sentry_pos then i else i + 1)
+      else
+        (* sample k positions among the n-1 non-sentry slots, then shift
+           past the sentry position *)
+        Prng.sample_without_replacement prng k (n - 1)
+        |> Array.map (fun i -> if i < sentry_pos then i else i + 1)
+    in
+    {
+      sentry_row = Some rows.(sentry_pos);
+      rows = Array.map (fun i -> rows.(i)) picked;
+      p_v;
+      q_v;
+    }
+  end
+  else begin
+    let k = if q_v >= 1.0 then n else Prng.binomial prng n q_v in
+    let picked =
+      if k = n then Array.init n Fun.id
+      else Prng.sample_without_replacement prng k n
+    in
+    { sentry_row = None; rows = Array.map (fun i -> rows.(i)) picked; p_v; q_v }
+  end
+
+let entry_size e = Array.length e.rows + match e.sentry_row with Some _ -> 1 | None -> 0
+
+let first_side prng ~(profile : Profile.t) ~(resolved : Budget.t) =
+  let side = profile.Profile.a in
+  let sentry = resolved.Budget.spec.Spec.sentry in
+  let entries = Value.Tbl.create 256 in
+  let count = ref 0 in
+  Value.Tbl.iter
+    (fun v rows ->
+      let p_v = Budget.p_of resolved profile v in
+      if p_v > 0.0 && (p_v >= 1.0 || Prng.bernoulli prng p_v) then begin
+        let q_v = Budget.q_of resolved profile v in
+        let entry = draw_entry prng ~sentry ~rows ~p_v ~q_v in
+        (* Without sentries a value whose second level drew nothing is not
+           in S_A at all (it must not trigger the semijoin side). *)
+        if entry_size entry > 0 then begin
+          Value.Tbl.add entries v entry;
+          count := !count + entry_size entry
+        end
+      end)
+    side.Profile.groups;
+  {
+    table = side.Profile.table;
+    column = side.Profile.column;
+    entries;
+    tuple_count = !count;
+  }
+
+let second_side prng ~(profile : Profile.t) ~(resolved : Budget.t) ~first =
+  let side = profile.Profile.b in
+  let sentry = resolved.Budget.spec.Spec.sentry in
+  let entries = Value.Tbl.create 256 in
+  let count = ref 0 in
+  Value.Tbl.iter
+    (fun v (first_entry : entry) ->
+      match Value.Tbl.find_opt side.Profile.groups v with
+      | None -> () (* the value never joins; no joinable tuples in B *)
+      | Some rows ->
+          let u_v = Budget.u_of resolved profile v in
+          let entry =
+            draw_entry prng ~sentry ~rows ~p_v:first_entry.p_v ~q_v:u_v
+          in
+          Value.Tbl.add entries v entry;
+          count := !count + entry_size entry)
+    first.entries;
+  {
+    table = side.Profile.table;
+    column = side.Profile.column;
+    entries;
+    tuple_count = !count;
+  }
+
+let filtered_count t pass entry =
+  Array.fold_left
+    (fun acc row_index -> if pass (Table.row t.table row_index) then acc + 1 else acc)
+    0 entry.rows
+
+let sentry_passes t pass entry =
+  match entry.sentry_row with
+  | None -> false
+  | Some row_index -> pass (Table.row t.table row_index)
+
+let total_tuples t = t.tuple_count

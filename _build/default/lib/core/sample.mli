@@ -1,0 +1,61 @@
+(** Correlated samples: the per-value output of two-level sampling.
+
+    A sample stores, for each first-level-sampled join value, the sentry
+    tuple (when the sentry technique is on), the second-level sampled
+    tuples, and the rates the value was drawn with — everything the online
+    estimation phase needs, without retaining the data profile. Tuples are
+    stored as row indices into the base table. *)
+
+open Repro_relation
+
+type entry = {
+  sentry_row : int option;  (** uniform random tuple, always present when
+                                the spec uses sentries and the value has
+                                at least one tuple *)
+  rows : int array;  (** non-sentry sampled row indices *)
+  p_v : float;  (** first-level rate the value was drawn with *)
+  q_v : float;  (** second-level rate used for [rows] *)
+}
+
+type t = {
+  table : Table.t;
+  column : string;
+  entries : entry Value.Tbl.t;
+  tuple_count : int;  (** total sampled tuples including sentries *)
+}
+
+val draw_entry :
+  Repro_util.Prng.t ->
+  sentry:bool ->
+  rows:int array ->
+  p_v:float ->
+  q_v:float ->
+  entry
+(** Second-level draw for one value: with [sentry], one uniform tuple plus
+    Binomial(n-1, q_v) of the rest; without, Binomial(n, q_v) of all.
+    [rows] must be non-empty. *)
+
+val first_side :
+  Repro_util.Prng.t ->
+  profile:Profile.t ->
+  resolved:Budget.t ->
+  t
+(** Draw [S_A]: first-level Bernoulli(p_v) over the eligible values of the
+    profile's A side, then {!draw_entry} per kept value. *)
+
+val second_side :
+  Repro_util.Prng.t ->
+  profile:Profile.t ->
+  resolved:Budget.t ->
+  first:t ->
+  t
+(** Draw [S_B ⊆ B ⋉ S_A]: for every value present in [first] that also
+    occurs in B, sample its joinable tuples with rate [u_v]. *)
+
+val filtered_count : t -> (Value.t array -> bool) -> entry -> int
+(** Number of non-sentry tuples of one entry passing a compiled predicate. *)
+
+val sentry_passes : t -> (Value.t array -> bool) -> entry -> bool
+(** Whether the entry's sentry exists and passes the predicate. *)
+
+val total_tuples : t -> int

@@ -1,0 +1,98 @@
+type level_choice = L_one | L_theta | L_sqrt_theta | L_diff
+
+type estimation_method = Scaling | Discrete_learning
+
+type t = {
+  name : string;
+  p_choice : level_choice;
+  q_choice : level_choice;
+  u_choice : level_choice option;
+  sentry : bool;
+  method_ : estimation_method;
+  optimize_variance : bool;
+      (** CS2L only: pick the constant [q] by scanning budget splits and
+          minimising the closed-form estimation variance (Section II-B /
+          DESIGN.md substitution notes). *)
+  heavy_hitter_k : int option;
+      (** [Some k]: resolve the diff first-level rates from exact
+          frequencies for only the [k] heaviest join values; every other
+          value gets the tail-average rate — modelling the heavy-hitter
+          approximation of the original CS2L implementation [4], whose
+          misallocations on tail values drive the failures the paper
+          reports. [None] (all CSDL variants and the default CS2L) uses
+          exact frequencies throughout. *)
+}
+
+let level_to_string = function
+  | L_one -> "1"
+  | L_theta -> "t"
+  | L_sqrt_theta -> "rt"
+  | L_diff -> "diff"
+
+let csdl p_choice q_choice =
+  {
+    name =
+      Printf.sprintf "CSDL(%s,%s)" (level_to_string p_choice)
+        (level_to_string q_choice);
+    p_choice;
+    q_choice;
+    u_choice = None;
+    sentry = true;
+    method_ = Discrete_learning;
+    optimize_variance = false;
+    heavy_hitter_k = None;
+  }
+
+let csdl_variants =
+  [
+    csdl L_one L_theta;
+    csdl L_theta L_one;
+    csdl L_sqrt_theta L_sqrt_theta;
+    csdl L_diff L_one;
+    csdl L_diff L_theta;
+    csdl L_diff L_sqrt_theta;
+    csdl L_one L_diff;
+    csdl L_theta L_diff;
+    csdl L_sqrt_theta L_diff;
+    csdl L_diff L_diff;
+  ]
+
+let cs2 =
+  {
+    name = "CS2";
+    p_choice = L_one;
+    q_choice = L_theta;
+    u_choice = Some L_one;
+    sentry = false;
+    method_ = Scaling;
+    optimize_variance = false;
+    heavy_hitter_k = None;
+  }
+
+let cso =
+  {
+    name = "CSO";
+    p_choice = L_theta;
+    q_choice = L_one;
+    u_choice = None;
+    sentry = false;
+    method_ = Scaling;
+    optimize_variance = false;
+    heavy_hitter_k = None;
+  }
+
+let cs2l =
+  {
+    name = "CS2L";
+    p_choice = L_diff;
+    q_choice = L_theta;
+    u_choice = None;
+    sentry = true;
+    method_ = Scaling;
+    optimize_variance = true;
+    heavy_hitter_k = None;
+  }
+
+let cs2l_approx ?(k = 100) () = { cs2l with name = "CS2L-hh"; heavy_hitter_k = Some k }
+
+let to_string t = t.name

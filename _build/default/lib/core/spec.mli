@@ -1,0 +1,64 @@
+(** The five-parameter design space of correlated sampling (Section II-A):
+    first-level value-sampling probability [p_v], second-level tuple
+    probabilities [q_v] (sampled side) and [u_v] (semijoined side), the
+    sentry flag, and the estimation method. A [Spec.t] names a point in
+    that space; {!Budget} later resolves it into concrete per-value rates
+    for a given join profile and space budget. *)
+
+type level_choice =
+  | L_one  (** probability 1 for every value *)
+  | L_theta  (** the space-budget ratio theta *)
+  | L_sqrt_theta  (** sqrt theta *)
+  | L_diff  (** proportional to sqrt(a_v * b_v), capped at 1 *)
+
+type estimation_method =
+  | Scaling  (** unbiased scale-up, Eqs. 1–3 *)
+  | Discrete_learning  (** the biased DL estimator of Section IV *)
+
+type t = {
+  name : string;
+  p_choice : level_choice;
+  q_choice : level_choice;
+  u_choice : level_choice option;
+      (** [None] means [u_v = q_v] (every approach except CS2). *)
+  sentry : bool;
+  method_ : estimation_method;
+  optimize_variance : bool;
+      (** CS2L only: pick the constant [q] by scanning budget splits and
+          minimising the closed-form estimation variance (Section II-B /
+          DESIGN.md substitution notes). *)
+  heavy_hitter_k : int option;
+      (** [Some k]: resolve diff first-level rates from exact frequencies
+          for only the [k] heaviest join values, tail-average for the rest
+          — the original CS2L implementation's approximation [4]. [None]
+          everywhere else. *)
+}
+
+val csdl : level_choice -> level_choice -> t
+(** [csdl p q] is the CSDL variant CSDL(p,q) of Table III: sentry on,
+    discrete-learning estimation, [u_v = q_v]. *)
+
+val csdl_variants : t list
+(** All 10 variants of Table III, in the paper's column order:
+    (1,theta) (theta,1) (rt,rt) (diff,1) (diff,theta) (diff,rt)
+    (1,diff) (theta,diff) (rt,diff) (diff,diff). *)
+
+val cs2 : t
+(** Yu et al.: p=1, q=theta, u=1, no sentry, scaling. *)
+
+val cso : t
+(** Vengerov et al.: p=theta, q=u=1, no sentry, scaling. *)
+
+val cs2l : t
+(** Chen & Yi: p_v ∝ sqrt(a_v b_v), constant q=u, sentry, scaling —
+    with the variance optimisation evaluated on exact frequencies (a
+    *stronger* CS2L than the original; see DESIGN.md). *)
+
+val cs2l_approx : ?k:int -> unit -> t
+(** CS2L with the original implementation's heavy-hitter approximation:
+    only the [k] (default 100) heaviest values get exact-frequency rates;
+    the tail shares an average rate. Reproduces the failure modes the
+    paper reports for CS2L. *)
+
+val level_to_string : level_choice -> string
+val to_string : t -> string

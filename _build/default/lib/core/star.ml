@@ -1,0 +1,210 @@
+open Repro_relation
+
+type dimension = { table : Table.t; pk : string; fk : string }
+type tables = { fact : Table.t; dimensions : dimension list }
+
+type t = {
+  spec : Spec.t;
+  tables : tables;
+  profile : Profile.t;  (* fact on the anchor FK vs. anchor dimension PK *)
+  resolved : Budget.t;
+  dim_groups : (int * int array Value.Tbl.t) list;
+      (* per dimension: (fk column index in fact, pk row groups) *)
+}
+
+type synopsis = {
+  sample_f : Sample.t;
+  n0 : float;
+  prepared : t;
+}
+
+let anchor tables =
+  match tables.dimensions with
+  | [] -> invalid_arg "Star: at least one dimension required"
+  | d :: _ -> d
+
+let prepare spec ~theta tables =
+  let a = anchor tables in
+  let profile = Profile.of_tables tables.fact a.fk a.table a.pk in
+  let profile =
+    {
+      profile with
+      Profile.total_rows =
+        List.fold_left
+          (fun acc d -> acc + Table.cardinality d.table)
+          (Table.cardinality tables.fact)
+          tables.dimensions;
+    }
+  in
+  let resolved = Budget.resolve spec ~theta profile in
+  let dim_groups =
+    List.map
+      (fun d ->
+        (Table.column_index tables.fact d.fk, Table.group_by d.table d.pk))
+      tables.dimensions
+  in
+  { spec; tables; profile; resolved; dim_groups }
+
+let prepare_opt ?threshold ~theta tables =
+  let a = anchor tables in
+  let jvd = Join.jvd tables.fact a.fk a.table a.pk in
+  prepare (Opt.spec_for ?threshold ~jvd ()) ~theta tables
+
+let draw t prng =
+  let sample_f = Sample.first_side prng ~profile:t.profile ~resolved:t.resolved in
+  let n0 = ref 0.0 in
+  Value.Tbl.iter
+    (fun v (_ : Sample.entry) ->
+      n0 := !n0 +. float_of_int (Profile.frequency t.profile.Profile.a v))
+    sample_f.Sample.entries;
+  { sample_f; n0 = !n0; prepared = t }
+
+let compile_opt table = function
+  | Predicate.True -> fun (_ : Value.t array) -> true
+  | p -> Predicate.compile p (Table.schema table)
+
+let pad_predicates dims preds =
+  let rec pad dims preds =
+    match (dims, preds) with
+    | [], _ -> []
+    | _ :: rest_d, [] -> Predicate.True :: pad rest_d []
+    | _ :: rest_d, p :: rest_p -> p :: pad rest_d rest_p
+  in
+  pad dims preds
+
+let estimate ?dl_config ?(pred_fact = Predicate.True) ?(pred_dims = []) t
+    synopsis =
+  let pass_fact = compile_opt t.tables.fact pred_fact in
+  let dim_preds = pad_predicates t.tables.dimensions pred_dims in
+  let dim_checks =
+    List.map2
+      (fun d p ->
+        let pass = compile_opt d.table p in
+        fun (groups : int array Value.Tbl.t) fk_value ->
+          match fk_value with
+          | Value.Null -> false
+          | v -> (
+              match Value.Tbl.find_opt groups v with
+              | None -> false
+              | Some rows ->
+                  Array.exists (fun r -> pass (Table.row d.table r)) rows))
+      t.tables.dimensions dim_preds
+  in
+  let checks = List.map2 (fun (i, g) check -> (i, g, check)) t.dim_groups dim_checks in
+  let anchor_check, other_checks =
+    match checks with
+    | [] -> assert false
+    | anchor :: rest -> (anchor, rest)
+  in
+  let sample_f = synopsis.sample_f in
+  let total_tuples = Sample.total_tuples sample_f in
+  if total_tuples = 0 then 0.0
+  else begin
+    let base_q = t.resolved.Budget.base_q in
+    (* Per anchor value: filtered fact count/sentry, the survivor counts
+       (non-anchor dimensions all match), and DL virtual counts. *)
+    let stats = Value.Tbl.create (Value.Tbl.length sample_f.Sample.entries) in
+    let filtered_tuples = ref 0 in
+    let virtual_counts = ref [] in
+    let row_survives row =
+      List.for_all
+        (fun (i, groups, check) -> check groups row.(i))
+        other_checks
+    in
+    Value.Tbl.iter
+      (fun v (entry : Sample.entry) ->
+        let passing = ref 0 and surviving = ref 0 in
+        let consider row_index =
+          let row = Table.row sample_f.Sample.table row_index in
+          if pass_fact row then begin
+            incr passing;
+            if row_survives row then incr surviving
+          end
+        in
+        Array.iter consider entry.Sample.rows;
+        let sentry_passing = ref false and sentry_surviving = ref false in
+        (match entry.Sample.sentry_row with
+        | None -> ()
+        | Some row_index ->
+            let row = Table.row sample_f.Sample.table row_index in
+            if pass_fact row then begin
+              sentry_passing := true;
+              if row_survives row then sentry_surviving := true
+            end);
+        Value.Tbl.add stats v
+          (!passing, !surviving, !sentry_passing, !sentry_surviving);
+        filtered_tuples :=
+          !filtered_tuples + !passing + (if !sentry_passing then 1 else 0);
+        if !passing > 0 && entry.Sample.q_v > 0.0 then begin
+          let virtual_count =
+            float_of_int !passing *. base_q /. entry.Sample.q_v
+          in
+          if virtual_count > 0.0 then
+            virtual_counts := virtual_count :: !virtual_counts
+        end)
+      sample_f.Sample.entries;
+    let selectivity =
+      float_of_int !filtered_tuples /. float_of_int total_tuples
+    in
+    let n_filtered = synopsis.n0 *. selectivity in
+    let learned =
+      match t.spec.Spec.method_ with
+      | Spec.Discrete_learning ->
+          Some
+            (Discrete_learning.learn ?config:dl_config
+               (Array.of_list !virtual_counts))
+      | Spec.Scaling -> None
+    in
+    let sentry_spec = t.spec.Spec.sentry in
+    let anchor_i, anchor_groups, anchor_pass = anchor_check in
+    ignore anchor_i;
+    let total = ref 0.0 in
+    Value.Tbl.iter
+      (fun v (entry : Sample.entry) ->
+        let passing, surviving, sentry_passing, sentry_surviving =
+          Value.Tbl.find stats v
+        in
+        let evidence = passing + if sentry_passing then 1 else 0 in
+        if evidence > 0 && anchor_pass anchor_groups v then begin
+          let fact_factor =
+            match learned with
+            | Some learned ->
+                let x_v =
+                  if passing = 0 || entry.Sample.q_v <= 0.0 then 0.0
+                  else
+                    Discrete_learning.probability_of_count learned
+                      (float_of_int passing *. base_q /. entry.Sample.q_v)
+                in
+                (x_v *. n_filtered)
+                +. if sentry_spec && sentry_passing then 1.0 else 0.0
+            | None ->
+                let scaled =
+                  if passing = 0 then 0.0
+                  else float_of_int passing /. entry.Sample.q_v
+                in
+                scaled +. if sentry_spec && sentry_passing then 1.0 else 0.0
+          in
+          let survivors = surviving + if sentry_surviving then 1 else 0 in
+          let rho = float_of_int survivors /. float_of_int evidence in
+          let term = fact_factor *. rho /. entry.Sample.p_v in
+          if term > 0.0 then total := !total +. term
+        end)
+      sample_f.Sample.entries;
+    !total
+  end
+
+let true_size ?(pred_fact = Predicate.True) ?(pred_dims = []) tables =
+  let dim_preds = pad_predicates tables.dimensions pred_dims in
+  Join.star_count ~fact:tables.fact ~fact_predicate:pred_fact
+    ~dimensions:
+      (List.map2
+         (fun d p -> (d.fk, Join.filtered d.table d.pk p))
+         tables.dimensions dim_preds)
+
+let spec t = t.spec
+
+let synopsis_tuples synopsis =
+  (* fact tuples plus at most one dimension tuple per (dimension, value)
+     referenced by the sample; we count the fact tuples and the anchor
+     sentries, which dominates *)
+  Sample.total_tuples synopsis.sample_f

@@ -1,0 +1,54 @@
+(** Star join estimation: a fact table whose FK columns each reference the
+    primary key of a dimension table,
+    [F |><| D_1 |><| ... |><| D_k].
+
+    The paper supports star joins via its technical report (unavailable);
+    this module follows the published chain-join design (Section V): the
+    fact table — the only FK table — is sampled two-level with sentries,
+    anchored on the first dimension's FK column, and the dimensions
+    contribute only their joinable tuples. Estimation extends Eq. 8 with a
+    per-value survivor fraction for the non-anchor dimensions:
+
+    [J = sum over anchor values v of (1/p_v) (x_v N'' + I''_F(v))
+         * I''_{D1}(v) * rho''_v]
+
+    where [rho''_v] is the fraction of sampled fact tuples with anchor
+    value [v] that pass the fact predicate and whose non-anchor dimension
+    partners all exist and pass their predicates. See DESIGN.md
+    substitutions. *)
+
+open Repro_relation
+
+type dimension = { table : Table.t; pk : string; fk : string }
+(** One dimension: its table, its key column, and the fact-table FK column
+    referencing it. *)
+
+type tables = { fact : Table.t; dimensions : dimension list }
+(** [dimensions] must be non-empty; the first one is the sampling anchor. *)
+
+type t
+type synopsis
+
+val prepare : Spec.t -> theta:float -> tables -> t
+(** Budget base is the fact table plus all dimensions. *)
+
+val prepare_opt : ?threshold:float -> theta:float -> tables -> t
+(** CSDL-Opt dispatch on the anchor join's jvd. *)
+
+val draw : t -> Repro_util.Prng.t -> synopsis
+
+val estimate :
+  ?dl_config:Discrete_learning.config ->
+  ?pred_fact:Predicate.t ->
+  ?pred_dims:Predicate.t list ->
+  t ->
+  synopsis ->
+  float
+(** [pred_dims] lines up with [tables.dimensions] (missing tail entries
+    default to [True]). *)
+
+val true_size :
+  ?pred_fact:Predicate.t -> ?pred_dims:Predicate.t list -> tables -> int
+
+val spec : t -> Spec.t
+val synopsis_tuples : synopsis -> int

@@ -1,0 +1,177 @@
+open Repro_relation
+
+type entry = {
+  table_a : string;
+  table_b : string;
+  swapped : bool;
+  synopsis : Synopsis.t;
+}
+
+type t = (string, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let add store ~key ~table_a ~table_b estimator synopsis =
+  Hashtbl.replace store key
+    { table_a; table_b; swapped = Estimator.swapped estimator; synopsis }
+
+let keys store = Hashtbl.fold (fun k _ acc -> k :: acc) store [] |> List.sort compare
+let mem store key = Hashtbl.mem store key
+let remove store key = Hashtbl.remove store key
+
+let estimate ?dl_config ?(pred_a = Predicate.True) ?(pred_b = Predicate.True)
+    store ~key =
+  let entry = Hashtbl.find store key in
+  let pred_a, pred_b =
+    if entry.swapped then (pred_b, pred_a) else (pred_a, pred_b)
+  in
+  Estimate.run ?dl_config ~pred_a ~pred_b entry.synopsis
+
+let total_tuples store =
+  Hashtbl.fold
+    (fun _ entry acc -> acc + Synopsis.size_tuples entry.synopsis)
+    store 0
+
+(* ---------------- persistence ---------------- *)
+
+let magic = "repro-csdl-store"
+let version = 1
+
+type stored_entry = {
+  s_value : Value.t;
+  s_sentry_row : int option;
+  s_rows : int array;
+  s_p_v : float;
+  s_q_v : float;
+}
+
+type stored_sample = {
+  s_table : string;
+  s_column : string;
+  s_entries : stored_entry list;
+  s_tuple_count : int;
+}
+
+type stored_synopsis = {
+  s_resolved : Budget.t;  (* pure data: spec + rates *)
+  s_a : stored_sample;
+  s_b : stored_sample;
+  s_n_prime : float;
+  s_swapped : bool;
+  s_table_a : string;
+  s_table_b : string;
+}
+
+type file = {
+  f_magic : string;
+  f_version : int;
+  f_entries : (string * stored_synopsis) list;
+}
+
+let freeze_sample ~table_name (sample : Sample.t) =
+  {
+    s_table = table_name;
+    s_column = sample.Sample.column;
+    s_entries =
+      Value.Tbl.fold
+        (fun v (e : Sample.entry) acc ->
+          {
+            s_value = v;
+            s_sentry_row = e.Sample.sentry_row;
+            s_rows = e.Sample.rows;
+            s_p_v = e.Sample.p_v;
+            s_q_v = e.Sample.q_v;
+          }
+          :: acc)
+        sample.Sample.entries [];
+    s_tuple_count = sample.Sample.tuple_count;
+  }
+
+let thaw_sample ~resolve_table stored : Sample.t =
+  let entries = Value.Tbl.create (List.length stored.s_entries) in
+  List.iter
+    (fun e ->
+      Value.Tbl.add entries e.s_value
+        {
+          Sample.sentry_row = e.s_sentry_row;
+          rows = e.s_rows;
+          p_v = e.s_p_v;
+          q_v = e.s_q_v;
+        })
+    stored.s_entries;
+  {
+    Sample.table = resolve_table stored.s_table;
+    column = stored.s_column;
+    entries;
+    tuple_count = stored.s_tuple_count;
+  }
+
+let save store path =
+  let entries =
+    Hashtbl.fold
+      (fun key entry acc ->
+        let { Synopsis.resolved; sample_a; sample_b; n_prime } =
+          entry.synopsis
+        in
+        (* in the sampler's orientation the "A" sample sits on table_a
+           unless the estimator swapped *)
+        let first_table, second_table =
+          if entry.swapped then (entry.table_b, entry.table_a)
+          else (entry.table_a, entry.table_b)
+        in
+        ( key,
+          {
+            s_resolved = resolved;
+            s_a = freeze_sample ~table_name:first_table sample_a;
+            s_b = freeze_sample ~table_name:second_table sample_b;
+            s_n_prime = n_prime;
+            s_swapped = entry.swapped;
+            s_table_a = entry.table_a;
+            s_table_b = entry.table_b;
+          } )
+        :: acc)
+      store []
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Marshal.to_channel oc
+        { f_magic = magic; f_version = version; f_entries = entries }
+        [])
+
+let load ~resolve_table path =
+  let ic = open_in_bin path in
+  let file : file =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match (Marshal.from_channel ic : file) with
+        | file -> file
+        | exception _ -> failwith (path ^ ": not a synopsis store file"))
+  in
+  if file.f_magic <> magic then failwith (path ^ ": not a synopsis store file");
+  if file.f_version <> version then
+    failwith
+      (Printf.sprintf "%s: store version %d, this library reads %d" path
+         file.f_version version);
+  let store = create () in
+  List.iter
+    (fun (key, s) ->
+      let synopsis =
+        {
+          Synopsis.resolved = s.s_resolved;
+          sample_a = thaw_sample ~resolve_table s.s_a;
+          sample_b = thaw_sample ~resolve_table s.s_b;
+          n_prime = s.s_n_prime;
+        }
+      in
+      Hashtbl.replace store key
+        {
+          table_a = s.s_table_a;
+          table_b = s.s_table_b;
+          swapped = s.s_swapped;
+          synopsis;
+        })
+    file.f_entries;
+  store

@@ -1,0 +1,56 @@
+(** A synopsis store: the workload-level object a system would actually
+    deploy. Correlated sampling builds one synopsis per frequently-queried
+    join graph (Section III's storage discussion); this module keeps them
+    under string keys, answers estimation queries against them, and
+    persists them to disk so the offline phase survives restarts.
+
+    Persistence stores sampled row indices plus the originating table
+    {e names} — not the tables — so a saved store is only meaningful
+    against the same (deterministically regenerable) base data; [load]
+    takes a resolver from table name to {!Repro_relation.Table.t}. The file
+    format is versioned Marshal, valid for the OCaml version that wrote
+    it. *)
+
+open Repro_relation
+
+type t
+
+val create : unit -> t
+
+val add :
+  t ->
+  key:string ->
+  table_a:string ->
+  table_b:string ->
+  Estimator.t ->
+  Synopsis.t ->
+  unit
+(** Register a drawn synopsis under [key]. [table_a]/[table_b] name the
+    estimator's original A and B tables (used to rehydrate after [load]).
+    Replaces any previous synopsis under the same key. *)
+
+val keys : t -> string list
+val mem : t -> string -> bool
+val remove : t -> string -> unit
+
+val estimate :
+  ?dl_config:Discrete_learning.config ->
+  ?pred_a:Predicate.t ->
+  ?pred_b:Predicate.t ->
+  t ->
+  key:string ->
+  float
+(** Online estimation against a stored synopsis; predicates are in the
+    original (A, B) orientation, as with {!Estimator.estimate}. Raises
+    [Not_found] for an unknown key. *)
+
+val total_tuples : t -> int
+(** Stored sample tuples across all synopses — the store's footprint. *)
+
+val save : t -> string -> unit
+(** Write the store to a file. *)
+
+val load : resolve_table:(string -> Table.t) -> string -> t
+(** Read a store back; [resolve_table] maps each recorded table name to
+    the (identical) base table. Raises [Failure] on a bad or
+    version-mismatched file. *)

@@ -1,0 +1,20 @@
+type t = {
+  resolved : Budget.t;
+  sample_a : Sample.t;
+  sample_b : Sample.t;
+  n_prime : float;
+}
+
+let draw prng ~profile ~resolved =
+  let sample_a = Sample.first_side prng ~profile ~resolved in
+  let sample_b = Sample.second_side prng ~profile ~resolved ~first:sample_a in
+  let n_prime = ref 0.0 in
+  Repro_relation.Value.Tbl.iter
+    (fun v (_ : Sample.entry) ->
+      n_prime :=
+        !n_prime +. float_of_int (Profile.frequency profile.Profile.a v))
+    sample_a.Sample.entries;
+  { resolved; sample_a; sample_b; n_prime = !n_prime }
+
+let size_tuples t =
+  Sample.total_tuples t.sample_a + Sample.total_tuples t.sample_b

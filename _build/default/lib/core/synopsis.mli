@@ -1,0 +1,20 @@
+(** The offline product of correlated sampling for one join graph: the two
+    correlated samples plus the bookkeeping the online phase needs ([N'],
+    the virtual-sample base rate). Self-contained — estimation does not
+    touch the data profile again. *)
+
+type t = {
+  resolved : Budget.t;
+  sample_a : Sample.t;  (** the first-sampled side *)
+  sample_b : Sample.t;  (** the semijoined side, [S_B ⊆ B ⋉ S_A] *)
+  n_prime : float;
+      (** [N' = sum over first-level sampled v of a_v] (stored at sampling
+          time, Section IV-B1). Equals [|A|]'s joinable mass when p = 1. *)
+}
+
+val draw : Repro_util.Prng.t -> profile:Profile.t -> resolved:Budget.t -> t
+(** One random offline sampling run. *)
+
+val size_tuples : t -> int
+(** Total tuples stored (both samples, sentries included) — compare against
+    [resolved.budget]. *)

@@ -1,0 +1,1 @@
+lib/datagen/imdb.ml: Array Float Printf Repro_relation Repro_util Schema Table Value Zipf

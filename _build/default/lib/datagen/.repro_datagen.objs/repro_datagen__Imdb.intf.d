@@ -1,0 +1,1 @@
+lib/datagen/imdb.mli: Repro_relation Table

@@ -1,0 +1,1 @@
+lib/datagen/job_workload.ml: Array Hashtbl Imdb Join List Option Predicate Printf Repro_relation String Table Value

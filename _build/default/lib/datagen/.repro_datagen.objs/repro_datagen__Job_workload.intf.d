@@ -1,0 +1,1 @@
+lib/datagen/job_workload.mli: Imdb Join Repro_relation

@@ -1,0 +1,1 @@
+lib/datagen/tpch.ml: Array Float Hashtbl Printf Repro_relation Repro_util Schema Table Value Zipf

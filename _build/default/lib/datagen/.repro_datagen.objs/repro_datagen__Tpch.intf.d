@@ -1,0 +1,1 @@
+lib/datagen/tpch.mli: Repro_relation Table

@@ -1,0 +1,1 @@
+lib/datagen/zipf.ml: Array Float Repro_util

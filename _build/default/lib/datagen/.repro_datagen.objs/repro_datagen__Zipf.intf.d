@@ -1,0 +1,1 @@
+lib/datagen/zipf.mli: Repro_util

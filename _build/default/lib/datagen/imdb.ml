@@ -1,0 +1,228 @@
+open Repro_relation
+module Prng = Repro_util.Prng
+
+type t = {
+  title : Table.t;
+  aka_title : Table.t;
+  movie_companies : Table.t;
+  movie_info_idx : Table.t;
+  movie_keyword : Table.t;
+  keyword : Table.t;
+  cast_info : Table.t;
+  company_type : Table.t;
+  info_type : Table.t;
+}
+
+(* First words of movie titles: a hand-picked frequent head followed by a
+   synthetic tail, drawn Zipf(1.1) so prefix selectivities span several
+   orders of magnitude like real IMDB first words do. *)
+let title_prefixes =
+  let common =
+    [|
+      "The"; "A"; "La"; "El"; "Le"; "Der"; "Die"; "Les"; "Il"; "Los";
+      "An"; "Love"; "My"; "Das"; "De"; "Un"; "Una"; "Night"; "Man"; "Der2";
+      "Last"; "Black"; "Dead"; "Big"; "Little"; "One"; "Two"; "Dark";
+      "Blood"; "House"; "Girl"; "Boy"; "King"; "Queen"; "Red"; "Blue";
+      "Great"; "American"; "Saint"; "Lost";
+    |]
+  in
+  let tail = Array.init 460 (fun i -> Printf.sprintf "Word%03d" (i + 1)) in
+  Array.append common tail
+
+let title_schema =
+  Schema.make
+    [
+      ("id", Schema.T_int);
+      ("title", Schema.T_string);
+      ("kind_id", Schema.T_int);
+      ("production_year", Schema.T_int);
+    ]
+
+let aka_title_schema =
+  Schema.make
+    [ ("id", Schema.T_int); ("movie_id", Schema.T_int); ("title", Schema.T_string) ]
+
+let movie_companies_schema =
+  Schema.make
+    [
+      ("id", Schema.T_int);
+      ("movie_id", Schema.T_int);
+      ("company_id", Schema.T_int);
+      ("company_type_id", Schema.T_int);
+    ]
+
+let movie_info_idx_schema =
+  Schema.make
+    [
+      ("id", Schema.T_int);
+      ("movie_id", Schema.T_int);
+      ("info_type_id", Schema.T_int);
+      ("info", Schema.T_string);
+    ]
+
+let movie_keyword_schema =
+  Schema.make
+    [ ("id", Schema.T_int); ("movie_id", Schema.T_int); ("keyword_id", Schema.T_int) ]
+
+let keyword_schema =
+  Schema.make [ ("id", Schema.T_int); ("keyword", Schema.T_string) ]
+
+let cast_info_schema =
+  Schema.make
+    [
+      ("id", Schema.T_int);
+      ("person_id", Schema.T_int);
+      ("movie_id", Schema.T_int);
+      ("role_id", Schema.T_int);
+    ]
+
+let company_type_schema =
+  Schema.make [ ("id", Schema.T_int); ("kind", Schema.T_string) ]
+
+let info_type_schema =
+  Schema.make [ ("id", Schema.T_int); ("info", Schema.T_string) ]
+
+let company_kinds =
+  [|
+    "production companies"; "distributors"; "special effects companies";
+    "miscellaneous companies";
+  |]
+
+let rows n f = Array.init n f
+
+let random_title prng prefix_zipf =
+  let prefix = title_prefixes.(Zipf.draw prefix_zipf prng - 1) in
+  Printf.sprintf "%s %s %d" prefix
+    (match Prng.int prng 5 with
+    | 0 -> "Story"
+    | 1 -> "Returns"
+    | 2 -> "of Fire"
+    | 3 -> "Chronicle"
+    | _ -> "Affair")
+    (Prng.int prng 100_000)
+
+let generate ?(scale = 1.0) ~seed () =
+  if scale <= 0.0 then invalid_arg "Imdb.generate: scale must be positive";
+  let prng = Prng.create seed in
+  let count base = max 4 (int_of_float (Float.round (float_of_int base *. scale))) in
+  let n_title = count 100_000 in
+  let n_aka = count 35_000 in
+  let n_mc = count 200_000 in
+  let n_mii = count 130_000 in
+  let n_keyword = count 30_000 in
+  let n_mk = count 300_000 in
+  let n_cast = count 400_000 in
+  let prefix_zipf = Zipf.make ~n:(Array.length title_prefixes) ~z:1.1 in
+  (* Movie popularity: a movie's chance of appearing in a satellite table
+     follows Zipf(1.0), like real IMDB link tables. *)
+  let movie_zipf = Zipf.make ~n:n_title ~z:1.0 in
+  let heavy_movie_zipf = Zipf.make ~n:n_title ~z:1.3 in
+  let keyword_zipf = Zipf.make ~n:n_keyword ~z:1.05 in
+  let info_type_zipf = Zipf.make ~n:113 ~z:1.2 in
+  let role_zipf = Zipf.make ~n:11 ~z:0.8 in
+  let company_type_of prng =
+    (* 1 and 2 dominate, as in IMDB where most rows are production or
+       distribution companies. *)
+    let r = Prng.float prng in
+    if r < 0.55 then 1 else if r < 0.95 then 2 else if r < 0.98 then 3 else 4
+  in
+  let title_prng = Prng.split prng in
+  let title =
+    Table.create title_schema
+      (rows n_title (fun i ->
+           [|
+             Value.Int (i + 1);
+             Value.Str (random_title title_prng prefix_zipf);
+             Value.Int (1 + Prng.int title_prng 7);
+             Value.Int (1880 + Prng.int title_prng 140);
+           |]))
+  in
+  let aka_prng = Prng.split prng in
+  (* aka_title multiplicities are nearly flat in real IMDB (~1.3 aliases
+     per aliased movie), which is what makes the Table VII prefix sweep
+     meaningful: the join mass of a prefix is spread over many movie ids
+     rather than concentrated on a few blockbusters. *)
+  let aka_title =
+    Table.create aka_title_schema
+      (rows n_aka (fun i ->
+           [|
+             Value.Int (i + 1);
+             Value.Int (1 + Prng.int aka_prng n_title);
+             Value.Str (random_title aka_prng prefix_zipf);
+           |]))
+  in
+  let mc_prng = Prng.split prng in
+  let movie_companies =
+    Table.create movie_companies_schema
+      (rows n_mc (fun i ->
+           [|
+             Value.Int (i + 1);
+             Value.Int (Zipf.draw movie_zipf mc_prng);
+             Value.Int (1 + Prng.int mc_prng (max 1 (n_title / 20)));
+             Value.Int (company_type_of mc_prng);
+           |]))
+  in
+  let mii_prng = Prng.split prng in
+  let movie_info_idx =
+    Table.create movie_info_idx_schema
+      (rows n_mii (fun i ->
+           [|
+             Value.Int (i + 1);
+             Value.Int (Zipf.draw movie_zipf mii_prng);
+             Value.Int (Zipf.draw info_type_zipf mii_prng);
+             Value.Str (Printf.sprintf "info-%d" (Prng.int mii_prng 1000));
+           |]))
+  in
+  let keyword_prng = Prng.split prng in
+  let keyword =
+    Table.create keyword_schema
+      (rows n_keyword (fun i ->
+           [|
+             Value.Int (i + 1);
+             Value.Str
+               (Printf.sprintf "%s-keyword-%d"
+                  title_prefixes.(Zipf.draw prefix_zipf keyword_prng - 1)
+                  i);
+           |]))
+  in
+  let mk_prng = Prng.split prng in
+  let movie_keyword =
+    Table.create movie_keyword_schema
+      (rows n_mk (fun i ->
+           [|
+             Value.Int (i + 1);
+             Value.Int (Zipf.draw movie_zipf mk_prng);
+             Value.Int (Zipf.draw keyword_zipf mk_prng);
+           |]))
+  in
+  let cast_prng = Prng.split prng in
+  let cast_info =
+    Table.create cast_info_schema
+      (rows n_cast (fun i ->
+           [|
+             Value.Int (i + 1);
+             Value.Int (1 + Prng.int cast_prng (max 1 (n_title * 2)));
+             Value.Int (Zipf.draw heavy_movie_zipf cast_prng);
+             Value.Int (Zipf.draw role_zipf cast_prng);
+           |]))
+  in
+  let company_type =
+    Table.create company_type_schema
+      (rows 4 (fun i -> [| Value.Int (i + 1); Value.Str company_kinds.(i) |]))
+  in
+  let info_type =
+    Table.create info_type_schema
+      (rows 113 (fun i ->
+           [| Value.Int (i + 1); Value.Str (Printf.sprintf "info-type-%d" (i + 1)) |]))
+  in
+  {
+    title;
+    aka_title;
+    movie_companies;
+    movie_info_idx;
+    movie_keyword;
+    keyword;
+    cast_info;
+    company_type;
+    info_type;
+  }

@@ -1,0 +1,45 @@
+(** Synthetic IMDB ("mini-JOB") dataset.
+
+    The paper's Experiments 1 and 2 run on the Join Order Benchmark over
+    the real IMDB dump (3.7 GB), which is not redistributable. This module
+    generates tables with the same *statistical* shape — the only thing
+    the estimators can see: Zipf-like FK multiplicities, tiny categorical
+    domains (company_type has 4 values, info_type 113) giving small-jvd
+    joins, wide movie_id domains giving large-jvd joins, and movie titles
+    whose first word follows a Zipf law so that [LIKE 'prefix%']
+    predicates have the frequency profile Table VII sweeps. See DESIGN.md
+    substitutions.
+
+    Schemas (keys abridged):
+    - title(id PK, title, kind_id, production_year)
+    - aka_title(id PK, movie_id FK, title)
+    - movie_companies(id PK, movie_id FK, company_id, company_type_id)
+    - movie_info_idx(id PK, movie_id FK, info_type_id, info)
+    - movie_keyword(id PK, movie_id FK, keyword_id FK)
+    - keyword(id PK, keyword)
+    - cast_info(id PK, person_id, movie_id FK, role_id)
+    - company_type(id PK, kind) — 4 rows
+    - info_type(id PK, info) — 113 rows *)
+
+open Repro_relation
+
+type t = {
+  title : Table.t;
+  aka_title : Table.t;
+  movie_companies : Table.t;
+  movie_info_idx : Table.t;
+  movie_keyword : Table.t;
+  keyword : Table.t;
+  cast_info : Table.t;
+  company_type : Table.t;
+  info_type : Table.t;
+}
+
+val generate : ?scale:float -> seed:int -> unit -> t
+(** [scale] multiplies every table's row count ([1.0] gives a 100k-row
+    title table and ~1M rows overall; benchmarks default to a smaller
+    scale). Deterministic per seed. *)
+
+val title_prefixes : string array
+(** The vocabulary of title first words, most frequent first. The top-100
+    drive the Table VII selectivity sweep. *)

@@ -1,0 +1,113 @@
+open Repro_relation
+
+type query = {
+  name : string;
+  a : Join.side;
+  b : Join.side;
+}
+
+let query name a b = { name; a; b }
+
+let two_table_queries (d : Imdb.t) =
+  let open Predicate in
+  let n_title = Table.cardinality d.Imdb.title in
+  let company_domain = max 1 (n_title / 20) in
+  [
+    (* --- small jvd: joins on tiny categorical domains ------------------ *)
+    query "Q1a1"
+      (Join.filtered d.Imdb.movie_companies "company_type_id"
+         (Compare (Le, "company_id", Value.Int (max 1 (company_domain / 33)))))
+      (Join.filtered d.Imdb.company_type "id"
+         (Compare (Eq, "kind", Value.Str "production companies")));
+    query "Q1a4"
+      (Join.filtered d.Imdb.movie_companies "company_type_id"
+         (Compare (Le, "company_id", Value.Int (max 1 (company_domain / 50)))))
+      (Join.filtered d.Imdb.company_type "id"
+         (Compare (Eq, "kind", Value.Str "special effects companies")));
+    query "Q1b1"
+      (Join.unfiltered d.Imdb.movie_info_idx "info_type_id")
+      (Join.unfiltered d.Imdb.info_type "id");
+    query "Q1b4"
+      (Join.unfiltered d.Imdb.movie_info_idx "info_type_id")
+      (Join.filtered d.Imdb.info_type "id" (Compare (Eq, "id", Value.Int 100)));
+    (* --- large jvd: joins on movie_id / keyword_id --------------------- *)
+    query "Q1a2"
+      (Join.filtered d.Imdb.title "id"
+         (Compare (Gt, "production_year", Value.Int 2010)))
+      (Join.filtered d.Imdb.movie_companies "movie_id"
+         (Compare (Eq, "company_type_id", Value.Int 2)));
+    query "Q1a3"
+      (Join.filtered d.Imdb.title "id"
+         (Compare (Gt, "production_year", Value.Int 2000)))
+      (Join.filtered d.Imdb.movie_info_idx "movie_id"
+         (Compare (Le, "info_type_id", Value.Int 3)));
+    query "Q1b2"
+      (Join.filtered d.Imdb.title "id"
+         (Compare (Gt, "production_year", Value.Int 1950)))
+      (Join.unfiltered d.Imdb.movie_info_idx "movie_id");
+    query "Q1b3"
+      (Join.unfiltered d.Imdb.title "id")
+      (Join.unfiltered d.Imdb.movie_companies "movie_id");
+    query "Q1b5"
+      (Join.filtered d.Imdb.title "id" (Compare (Le, "kind_id", Value.Int 3)))
+      (Join.unfiltered d.Imdb.movie_companies "movie_id");
+    query "Q2a1"
+      (Join.filtered d.Imdb.title "id"
+         (Compare (Gt, "production_year", Value.Int 1990)))
+      (Join.unfiltered d.Imdb.movie_keyword "movie_id");
+    query "Q2a2"
+      (Join.unfiltered d.Imdb.movie_keyword "keyword_id")
+      (Join.filtered d.Imdb.keyword "id" (Like_prefix ("keyword", "The")));
+    query "Q2b1"
+      (Join.filtered d.Imdb.aka_title "movie_id" (Like_prefix ("title", "The")))
+      (Join.filtered d.Imdb.movie_keyword "movie_id"
+         (Compare (Le, "keyword_id", Value.Int 1000)));
+    query "Q2c1"
+      (Join.filtered d.Imdb.aka_title "movie_id"
+         (Like_prefix ("title", "Word400")))
+      (Join.filtered d.Imdb.movie_keyword "movie_id"
+         (Compare (Le, "keyword_id", Value.Int 100)));
+    query "Q2d1"
+      (Join.filtered d.Imdb.cast_info "movie_id"
+         (Compare (Le, "role_id", Value.Int 2)))
+      (Join.unfiltered d.Imdb.title "id");
+  ]
+
+let query_jvd q =
+  Join.jvd q.a.Join.table q.a.Join.column q.b.Join.table q.b.Join.column
+
+let true_size q = Join.pair_count q.a q.b
+
+let pkfk_prefix_query (d : Imdb.t) ~prefix =
+  query
+    (Printf.sprintf "pkfk[%s]" prefix)
+    (Join.unfiltered d.Imdb.aka_title "movie_id")
+    (Join.filtered d.Imdb.title "id" (Predicate.Like_prefix ("title", prefix)))
+
+let m2m_prefix_query (d : Imdb.t) ~prefix =
+  query
+    (Printf.sprintf "m2m[%s]" prefix)
+    (Join.filtered d.Imdb.aka_title "title"
+       (Predicate.Like_prefix ("title", prefix)))
+    (Join.unfiltered d.Imdb.aka_title "title")
+
+let top_prefixes (d : Imdb.t) n =
+  let counts = Hashtbl.create 512 in
+  Table.iter
+    (fun row ->
+      match row.(Table.column_index d.Imdb.title "title") with
+      | Value.Str s ->
+          let first_word =
+            match String.index_opt s ' ' with
+            | Some i -> String.sub s 0 i
+            | None -> s
+          in
+          Hashtbl.replace counts first_word
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts first_word))
+      | _ -> ())
+    d.Imdb.title;
+  Hashtbl.fold (fun word count acc -> (word, count) :: acc) counts []
+  |> List.sort (fun (wa, ca) (wb, cb) ->
+         match compare cb ca with 0 -> compare wa wb | c -> c)
+  |> List.filteri (fun i _ -> i < n)
+  |> List.map fst

@@ -1,0 +1,42 @@
+(** The JOB-derived query workload of the paper's Experiments 1–3.
+
+    Experiment 1 derives 14 two-table join queries from JOB's Q1/Q2 join
+    graphs: 4 with small join value density (joins on the tiny
+    company_type / info_type domains) and 10 with large jvd (joins on
+    movie_id / keyword_id). We reconstruct queries with the same names,
+    the same jvd classes, and true sizes spanning the same orders of
+    magnitude; the exact sizes differ from the paper because the substrate
+    is the synthetic mini-IMDB (DESIGN.md substitutions).
+
+    Experiment 2 sweeps [LIKE 'prefix%'] selectivities over two joins on
+    aka_title: a PK-FK join with title and a many-to-many self-join. *)
+
+open Repro_relation
+
+type query = {
+  name : string;
+  a : Join.side;
+  b : Join.side;
+}
+
+val two_table_queries : Imdb.t -> query list
+(** The 14 queries: Q1a1, Q1a4, Q1b1, Q1b4 (small jvd) and Q1a2, Q1a3,
+    Q1b2, Q1b3, Q1b5, Q2a1, Q2a2, Q2b1, Q2c1, Q2d1 (large jvd). *)
+
+val query_jvd : query -> float
+(** jvd of the unfiltered join — what CSDL-Opt dispatches on. *)
+
+val true_size : query -> int
+(** Exact filtered join size (the experiment ground truth). *)
+
+val pkfk_prefix_query : Imdb.t -> prefix:string -> query
+(** Table VII(a): [aka_title |><| title] on movie_id (a PK-FK join), with
+    [title.title LIKE 'prefix%'] on the PK side. *)
+
+val m2m_prefix_query : Imdb.t -> prefix:string -> query
+(** Table VII(b): the many-to-many self-join of aka_title on the title
+    string, with the prefix predicate on the left side. *)
+
+val top_prefixes : Imdb.t -> int -> string list
+(** The n most frequent title first-words of the generated title table,
+    most frequent first — the paper's "top-100 prefixes". *)

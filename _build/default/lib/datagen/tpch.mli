@@ -1,0 +1,47 @@
+(** Skewed TPC-H-shaped data.
+
+    The paper's Tables VIII and IX use the Microsoft skewed TPC-H generator
+    (closed source) with scale factor [s] in {0.1, 1} and Zipf skew
+    [z] in {2, 4}. This module generates the four tables those experiments
+    touch — customer, supplier, orders, lineitem — with the same shape:
+    key columns drawn Zipf(z) over their domains. Row counts are the TPC-H
+    scale downsized by 10 (so [s = 1] gives 15 000 customers instead of
+    150 000) to keep the full benchmark suite running in minutes; this
+    changes absolute join sizes but not the skew behaviour the experiments
+    measure (see DESIGN.md substitutions).
+
+    Schemas:
+    - customer(c_custkey PK, c_nationkey, c_acctbal, c_mktsegment)
+    - supplier(s_suppkey PK, s_nationkey, s_acctbal)
+    - orders(o_orderkey PK, o_custkey FK, o_totalprice)
+    - lineitem(l_orderkey FK, l_partkey FK, l_linenumber, l_quantity,
+      l_extendedprice)
+    - part(p_partkey PK, p_brand, p_retailprice) — added beyond the paper
+      for the star-join bench: lineitem as fact, orders and part as
+      dimensions
+    - nation(n_nationkey PK, n_name, n_regionkey) — added for the 4-table
+      chain bench nation |><| customer |><| orders |><| lineitem. *)
+
+open Repro_relation
+
+type t = {
+  nation : Table.t;
+  customer : Table.t;
+  supplier : Table.t;
+  orders : Table.t;
+  lineitem : Table.t;
+  part : Table.t;
+  scale : float;
+  z : float;
+}
+
+val generate : scale:float -> z:float -> seed:int -> t
+(** [scale > 0]; [z >= 0] ([z = 0] is unskewed). Deterministic per seed. *)
+
+val nations : int
+(** Number of nation keys (25, as in TPC-H). [c_nationkey] and
+    [s_nationkey] are Zipf(z) over this domain — the small-jvd
+    many-to-many join of Table VIII. *)
+
+val dataset_name : t -> string
+(** e.g. ["s1-z4"], matching the paper's dataset labels. *)

@@ -1,0 +1,39 @@
+module Prng = Repro_util.Prng
+
+type t = { n : int; z : float; cdf : float array }
+
+let make ~n ~z =
+  if n < 1 then invalid_arg "Zipf.make: n must be >= 1";
+  if z < 0.0 then invalid_arg "Zipf.make: z must be >= 0";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for k = 1 to n do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int k) z);
+    cdf.(k - 1) <- !acc
+  done;
+  let total = !acc in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. total
+  done;
+  cdf.(n - 1) <- 1.0;
+  { n; z; cdf }
+
+let size t = t.n
+let exponent t = t.z
+
+let draw t prng =
+  let u = Prng.float prng in
+  (* smallest index with cdf >= u *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo + 1
+
+let pmf t k =
+  if k < 1 || k > t.n then 0.0
+  else if k = 1 then t.cdf.(0)
+  else t.cdf.(k - 1) -. t.cdf.(k - 2)
+
+let expected_count t ~total k = float_of_int total *. pmf t k

@@ -1,0 +1,22 @@
+(** Zipf-distributed integers: rank [k] of [n] has probability proportional
+    to [1/k^z]. [z = 0] degenerates to uniform. This is the skew model of
+    the Microsoft skewed-TPC-H generator the paper uses (Tables VIII/IX
+    with z in {2, 4}) and of the synthetic IMDB tables. *)
+
+type t
+
+val make : n:int -> z:float -> t
+(** Precomputes the CDF; [n >= 1], [z >= 0]. O(n) space. *)
+
+val size : t -> int
+val exponent : t -> float
+
+val draw : t -> Repro_util.Prng.t -> int
+(** A random rank in [1, n], by binary search on the CDF. *)
+
+val pmf : t -> int -> float
+(** Probability of rank [k]; 0 outside [1, n]. *)
+
+val expected_count : t -> total:int -> int -> float
+(** [expected_count t ~total k] — expected multiplicity of rank [k] among
+    [total] independent draws. *)

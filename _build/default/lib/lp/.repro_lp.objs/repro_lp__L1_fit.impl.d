@@ -1,0 +1,1 @@
+lib/lp/l1_fit.ml: Array Fun List Simplex

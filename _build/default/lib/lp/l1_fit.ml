@@ -1,0 +1,55 @@
+type spec = {
+  design : float array array;
+  target : float array;
+  mass_coefficients : float array;
+  mass : float;
+}
+
+type outcome = {
+  weights : float array;
+  residual : float;
+}
+
+let fit spec =
+  let m = Array.length spec.design in
+  if Array.length spec.target <> m then
+    invalid_arg "L1_fit.fit: target length differs from design rows";
+  let n = Array.length spec.mass_coefficients in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "L1_fit.fit: design row width differs from mass coefficients")
+    spec.design;
+  (* Variables: r_0..r_{n-1}, then t_0..t_{m-1}. *)
+  let total = n + m in
+  let objective = Array.make total 0.0 in
+  for i = 0 to m - 1 do
+    objective.(n + i) <- 1.0
+  done;
+  let upper i =
+    (* design_i . r - t_i <= target_i *)
+    let coefficients = Array.make total 0.0 in
+    Array.blit spec.design.(i) 0 coefficients 0 n;
+    coefficients.(n + i) <- -1.0;
+    { Simplex.coefficients; relation = Simplex.Le; rhs = spec.target.(i) }
+  in
+  let lower i =
+    (* design_i . r + t_i >= target_i *)
+    let coefficients = Array.make total 0.0 in
+    Array.blit spec.design.(i) 0 coefficients 0 n;
+    coefficients.(n + i) <- 1.0;
+    { Simplex.coefficients; relation = Simplex.Ge; rhs = spec.target.(i) }
+  in
+  let mass_row =
+    let coefficients = Array.make total 0.0 in
+    Array.blit spec.mass_coefficients 0 coefficients 0 n;
+    { Simplex.coefficients; relation = Simplex.Eq; rhs = spec.mass }
+  in
+  let constraints =
+    mass_row :: List.concat_map (fun i -> [ upper i; lower i ]) (List.init m Fun.id)
+  in
+  match Simplex.solve { objective; constraints } with
+  | Simplex.Optimal { objective_value; solution } ->
+      Ok { weights = Array.sub solution 0 n; residual = objective_value }
+  | Simplex.Infeasible -> Error "infeasible"
+  | Simplex.Unbounded -> Error "unbounded"

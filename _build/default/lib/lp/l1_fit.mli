@@ -1,0 +1,29 @@
+(** L1 residual fitting, the optimisation at the core of the
+    discrete-learning algorithm (Algorithm 1, line 4):
+
+    minimise [sum_i |target_i - (design r)_i|] over [r >= 0] subject to the
+    linear equality [mass_coefficients . r = mass].
+
+    The absolute values are linearised with one auxiliary variable per
+    residual and the whole thing handed to {!Simplex}. *)
+
+type spec = {
+  design : float array array;
+      (** [m x n]: [design.(i).(j)] is the model's contribution of unit
+          weight at grid point [j] to observation [i] (Poisson probabilities
+          in the DL use). Rows must share a width. *)
+  target : float array;  (** length [m]: the observed values. *)
+  mass_coefficients : float array;
+      (** length [n]: coefficients of the equality constraint. *)
+  mass : float;  (** right-hand side of the equality constraint. *)
+}
+
+type outcome = {
+  weights : float array;  (** length [n]: the fitted non-negative [r]. *)
+  residual : float;  (** the attained L1 objective. *)
+}
+
+val fit : spec -> (outcome, string) Stdlib.result
+(** [fit spec] returns the optimum or a human-readable reason
+    ([Error "infeasible"] when the mass constraint cannot be met, which for
+    the DL grid means the caller picked an empty grid). *)

@@ -1,0 +1,237 @@
+type relation = Le | Ge | Eq
+
+type constraint_row = {
+  coefficients : float array;
+  relation : relation;
+  rhs : float;
+}
+
+type problem = {
+  objective : float array;
+  constraints : constraint_row list;
+}
+
+type result =
+  | Optimal of { objective_value : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+(* Tableau layout: [tab] has [m] constraint rows and one objective row
+   ([tab.(m)]), each of width [total_vars + 1]; the last column is the RHS.
+   The objective row stores reduced costs negated so that "entering column"
+   means a negative entry, and [tab.(m).(total_vars)] holds the negated
+   objective value. [basis.(i)] is the variable basic in row [i]. *)
+
+type tableau = {
+  tab : float array array;
+  basis : int array;
+  m : int;
+  total_vars : int;
+}
+
+let pivot t ~row ~col =
+  let { tab; basis; m; total_vars } = t in
+  let pivot_value = tab.(row).(col) in
+  let prow = tab.(row) in
+  for j = 0 to total_vars do
+    prow.(j) <- prow.(j) /. pivot_value
+  done;
+  for i = 0 to m do
+    if i <> row then begin
+      let factor = tab.(i).(col) in
+      if factor <> 0.0 then begin
+        let irow = tab.(i) in
+        for j = 0 to total_vars do
+          irow.(j) <- irow.(j) -. (factor *. prow.(j))
+        done
+      end
+    end
+  done;
+  basis.(row) <- col
+
+(* One simplex phase on an already-feasible tableau. [allowed j] masks
+   columns that may enter (used to keep artificials out in phase 2).
+   Returns [`Optimal] or [`Unbounded]. *)
+let run_phase ~epsilon ~allowed t =
+  let { tab; m; total_vars; _ } = t in
+  let obj = tab.(m) in
+  let stall_limit = 64 * (m + total_vars) in
+  let iterations = ref 0 in
+  let choose_entering_dantzig () =
+    let best = ref (-1) and best_value = ref (-.epsilon) in
+    for j = 0 to total_vars - 1 do
+      if allowed j && obj.(j) < !best_value then begin
+        best := j;
+        best_value := obj.(j)
+      end
+    done;
+    !best
+  in
+  let choose_entering_bland () =
+    let rec find j =
+      if j >= total_vars then -1
+      else if allowed j && obj.(j) < -.epsilon then j
+      else find (j + 1)
+    in
+    find 0
+  in
+  let choose_leaving col =
+    (* Min-ratio test; ties broken by smallest basis variable (Bland). *)
+    let best = ref (-1) and best_ratio = ref Float.infinity in
+    for i = 0 to m - 1 do
+      let a = tab.(i).(col) in
+      if a > epsilon then begin
+        let ratio = tab.(i).(total_vars) /. a in
+        if
+          ratio < !best_ratio -. epsilon
+          || (ratio < !best_ratio +. epsilon
+             && (!best = -1 || t.basis.(i) < t.basis.(!best)))
+        then begin
+          best := i;
+          best_ratio := ratio
+        end
+      end
+    done;
+    !best
+  in
+  let rec loop () =
+    incr iterations;
+    let entering =
+      if !iterations > stall_limit then choose_entering_bland ()
+      else choose_entering_dantzig ()
+    in
+    if entering = -1 then `Optimal
+    else
+      match choose_leaving entering with
+      | -1 -> `Unbounded
+      | row ->
+          pivot t ~row ~col:entering;
+          loop ()
+  in
+  loop ()
+
+let solve ?(epsilon = 1e-9) problem =
+  let n = Array.length problem.objective in
+  let constraints = Array.of_list problem.constraints in
+  let m = Array.length constraints in
+  Array.iter
+    (fun row ->
+      if Array.length row.coefficients <> n then
+        invalid_arg "Simplex.solve: coefficient width mismatch")
+    constraints;
+  (* Normalise RHS signs so every row can host an artificial if needed. *)
+  let rows =
+    Array.map
+      (fun row ->
+        if row.rhs < 0.0 then
+          {
+            coefficients = Array.map (fun x -> -.x) row.coefficients;
+            rhs = -.row.rhs;
+            relation =
+              (match row.relation with Le -> Ge | Ge -> Le | Eq -> Eq);
+          }
+        else row)
+      constraints
+  in
+  (* Column layout: structural | slack/surplus | artificial | RHS. *)
+  let slack_count =
+    Array.fold_left
+      (fun acc row -> match row.relation with Le | Ge -> acc + 1 | Eq -> acc)
+      0 rows
+  in
+  let artificial_count =
+    Array.fold_left
+      (fun acc row -> match row.relation with Le -> acc | Ge | Eq -> acc + 1)
+      0 rows
+  in
+  let total_vars = n + slack_count + artificial_count in
+  let tab = Array.make_matrix (m + 1) (total_vars + 1) 0.0 in
+  let basis = Array.make m (-1) in
+  let next_slack = ref n in
+  let next_artificial = ref (n + slack_count) in
+  Array.iteri
+    (fun i row ->
+      Array.blit row.coefficients 0 tab.(i) 0 n;
+      tab.(i).(total_vars) <- row.rhs;
+      (match row.relation with
+      | Le ->
+          tab.(i).(!next_slack) <- 1.0;
+          basis.(i) <- !next_slack;
+          incr next_slack
+      | Ge ->
+          tab.(i).(!next_slack) <- -1.0;
+          incr next_slack;
+          tab.(i).(!next_artificial) <- 1.0;
+          basis.(i) <- !next_artificial;
+          incr next_artificial
+      | Eq ->
+          tab.(i).(!next_artificial) <- 1.0;
+          basis.(i) <- !next_artificial;
+          incr next_artificial))
+    rows;
+  let t = { tab; basis; m; total_vars } in
+  let is_artificial j = j >= n + slack_count in
+  (* Phase 1: minimise the sum of artificials. Objective row = minus the sum
+     of rows that contain a basic artificial (price-out). *)
+  let phase1_needed = artificial_count > 0 in
+  let feasible =
+    if not phase1_needed then true
+    else begin
+      let obj = tab.(m) in
+      Array.fill obj 0 (total_vars + 1) 0.0;
+      for j = n + slack_count to total_vars - 1 do
+        obj.(j) <- 1.0 (* cost of each artificial *)
+      done;
+      for i = 0 to m - 1 do
+        if is_artificial basis.(i) then
+          for j = 0 to total_vars do
+            obj.(j) <- obj.(j) -. tab.(i).(j)
+          done
+      done;
+      (match run_phase ~epsilon ~allowed:(fun _ -> true) t with
+      | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+      | `Optimal -> ());
+      let infeasibility = -.tab.(m).(total_vars) in
+      if infeasibility > 1e-6 then false
+      else begin
+        (* Drive any artificial still basic (at value 0) out of the basis. *)
+        for i = 0 to m - 1 do
+          if is_artificial basis.(i) then begin
+            let found = ref (-1) in
+            for j = 0 to n + slack_count - 1 do
+              if !found = -1 && Float.abs tab.(i).(j) > epsilon then found := j
+            done;
+            match !found with
+            | -1 -> () (* redundant row: all-zero, harmless to keep *)
+            | j -> pivot t ~row:i ~col:j
+          end
+        done;
+        true
+      end
+    end
+  in
+  if not feasible then Infeasible
+  else begin
+    (* Phase 2: install the real objective, priced out against the basis. *)
+    let obj = tab.(m) in
+    Array.fill obj 0 (total_vars + 1) 0.0;
+    Array.blit problem.objective 0 obj 0 n;
+    for i = 0 to m - 1 do
+      let b = basis.(i) in
+      if b < n && obj.(b) <> 0.0 then begin
+        let factor = obj.(b) in
+        for j = 0 to total_vars do
+          obj.(j) <- obj.(j) -. (factor *. tab.(i).(j))
+        done
+      end
+    done;
+    match run_phase ~epsilon ~allowed:(fun j -> not (is_artificial j)) t with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+        let solution = Array.make n 0.0 in
+        for i = 0 to m - 1 do
+          if basis.(i) < n then solution.(basis.(i)) <- tab.(i).(total_vars)
+        done;
+        let objective_value = -.tab.(m).(total_vars) in
+        Optimal { objective_value; solution }
+  end

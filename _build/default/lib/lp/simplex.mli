@@ -1,0 +1,31 @@
+(** Dense two-phase primal simplex.
+
+    Solves [minimize c.x subject to A x (<=|=|>=) b, x >= 0]. Sized for the
+    discrete-learning LP of this repository: a handful of rows and up to a
+    few thousand columns, for which a dense tableau is both simple and fast.
+    Pivoting uses Dantzig's rule with an automatic switch to Bland's rule
+    when progress stalls, which guarantees termination. *)
+
+type relation = Le | Ge | Eq
+
+type constraint_row = {
+  coefficients : float array;  (** one per structural variable *)
+  relation : relation;
+  rhs : float;
+}
+
+type problem = {
+  objective : float array;  (** minimised; one per structural variable *)
+  constraints : constraint_row list;
+}
+
+type result =
+  | Optimal of { objective_value : float; solution : float array }
+      (** [solution] holds the structural variables only. *)
+  | Infeasible
+  | Unbounded
+
+val solve : ?epsilon:float -> problem -> result
+(** [solve p] runs two-phase simplex. [epsilon] (default [1e-9]) is the
+    feasibility/optimality tolerance. Raises [Invalid_argument] when
+    constraint rows disagree with the objective on the variable count. *)

@@ -1,0 +1,1 @@
+lib/planner/cardinality.ml: Csdl Float Hashtbl Join List Query Repro_relation Repro_util

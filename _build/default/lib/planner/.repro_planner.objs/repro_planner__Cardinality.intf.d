@@ -1,0 +1,1 @@
+lib/planner/cardinality.mli: Csdl Query

@@ -1,0 +1,1 @@
+lib/planner/executor.ml: Array List Optimizer Predicate Query Repro_relation Schema Table Value

@@ -1,0 +1,1 @@
+lib/planner/executor.mli: Optimizer Query Repro_relation Table

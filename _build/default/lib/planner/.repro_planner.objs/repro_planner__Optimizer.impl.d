@@ -1,0 +1,1 @@
+lib/planner/optimizer.ml: Array Cardinality Hashtbl List Printf Query

@@ -1,0 +1,1 @@
+lib/planner/optimizer.mli: Cardinality Query

@@ -1,0 +1,1 @@
+lib/planner/query.ml: Array Fun Hashtbl List Predicate Printf Repro_relation Schema String Table

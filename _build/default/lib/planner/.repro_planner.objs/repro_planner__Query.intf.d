@@ -1,0 +1,1 @@
+lib/planner/query.mli: Hashtbl Predicate Repro_relation Table

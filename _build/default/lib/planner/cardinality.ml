@@ -1,0 +1,83 @@
+open Repro_relation
+module Prng = Repro_util.Prng
+
+type t = {
+  query : Query.t;
+  selectivities : (Query.edge * float) list;
+}
+
+let selectivity_of_estimate query edge estimate =
+  let a = Query.relation_index query edge.Query.left in
+  let b = Query.relation_index query edge.Query.right in
+  let ca = float_of_int (Query.filtered_cardinality query a) in
+  let cb = float_of_int (Query.filtered_cardinality query b) in
+  if ca <= 0.0 || cb <= 0.0 then 0.0 else Float.max 0.0 estimate /. (ca *. cb)
+
+let of_edge_estimator query estimator =
+  {
+    query;
+    selectivities =
+      List.map
+        (fun e -> (e, selectivity_of_estimate query e (estimator e)))
+        query.Query.edges;
+  }
+
+let exact_edge_size query (e : Query.edge) =
+  let rel name = Query.relation query (Query.relation_index query name) in
+  let a = rel e.Query.left and b = rel e.Query.right in
+  float_of_int
+    (Join.pair_count
+       (Join.filtered a.Query.table e.Query.left_column a.Query.predicate)
+       (Join.filtered b.Query.table e.Query.right_column b.Query.predicate))
+
+let of_exact query = of_edge_estimator query (exact_edge_size query)
+
+let sampled_edge_size ~prepare ~theta ~seed query (e : Query.edge) =
+  let rel name = Query.relation query (Query.relation_index query name) in
+  let a = rel e.Query.left and b = rel e.Query.right in
+  let profile =
+    Csdl.Profile.of_tables a.Query.table e.Query.left_column b.Query.table
+      e.Query.right_column
+  in
+  let estimator = prepare ~theta profile in
+  let prng = Prng.create (Hashtbl.hash (seed, e.Query.left, e.Query.right)) in
+  Csdl.Estimator.estimate_once ~pred_a:a.Query.predicate
+    ~pred_b:b.Query.predicate estimator prng
+
+let of_csdl_opt ~theta ~seed query =
+  of_edge_estimator query
+    (sampled_edge_size ~prepare:(fun ~theta p -> Csdl.Opt.prepare ~theta p)
+       ~theta ~seed query)
+
+let of_spec spec ~theta ~seed query =
+  of_edge_estimator query
+    (sampled_edge_size
+       ~prepare:(fun ~theta p -> Csdl.Estimator.prepare spec ~theta p)
+       ~theta ~seed query)
+
+let edge_selectivity t edge =
+  match
+    List.find_opt
+      (fun (e, _) ->
+        e.Query.left = edge.Query.left && e.Query.right = edge.Query.right
+        && e.Query.left_column = edge.Query.left_column
+        && e.Query.right_column = edge.Query.right_column)
+      t.selectivities
+  with
+  | Some (_, s) -> s
+  | None -> invalid_arg "Cardinality.edge_selectivity: edge not in query"
+
+let subset_cardinality t indices =
+  let base =
+    List.fold_left
+      (fun acc i ->
+        acc *. float_of_int (Query.filtered_cardinality t.query i))
+      1.0 indices
+  in
+  let joined =
+    List.fold_left
+      (fun acc e -> acc *. edge_selectivity t e)
+      base
+      (Query.edges_within t.query indices)
+  in
+  joined

@@ -1,0 +1,33 @@
+(** Cardinality models for the optimizer.
+
+    A model assigns every connected relation subset an estimated result
+    size. Join estimators in this repository are pairwise, so multi-way
+    sizes are composed the way classic optimizers do: the product of the
+    filtered base cardinalities times the product of the per-edge join
+    selectivities inside the subset,
+
+    [card(S) = prod_{R in S} |sigma(R)| * prod_{e in S} sel(e)],
+    [sel(e) = J_hat(e) / (|sigma(A)| * |sigma(B)|)]
+
+    — exact for two relations, an independence approximation beyond (the
+    same approximation every selectivity-based optimizer makes). *)
+
+type t
+
+val of_exact : Query.t -> t
+(** Edge selectivities from exact join counts — the oracle model. *)
+
+val of_csdl_opt : theta:float -> seed:int -> Query.t -> t
+(** One CSDL-Opt synopsis per join edge (predicates applied online). *)
+
+val of_spec : Csdl.Spec.t -> theta:float -> seed:int -> Query.t -> t
+(** Same with any correlated-sampling spec (e.g. [Csdl.Spec.cs2l]). *)
+
+val of_edge_estimator : Query.t -> (Query.edge -> float) -> t
+(** Custom: supply the estimated filtered join size per edge. *)
+
+val subset_cardinality : t -> int list -> float
+(** Estimated result size of a relation-index subset (singletons give the
+    filtered base cardinality). *)
+
+val edge_selectivity : t -> Query.edge -> float

@@ -1,0 +1,98 @@
+open Repro_relation
+
+let qualified_schema query i =
+  let r = Query.relation query i in
+  Schema.make
+    (List.map
+       (fun (name, ty) -> (r.Query.name ^ "." ^ name, ty))
+       (Schema.columns (Table.schema r.Query.table)))
+
+let scan query i =
+  let r = Query.relation query i in
+  let filtered =
+    match r.Query.predicate with
+    | Predicate.True -> r.Query.table
+    | p -> Predicate.apply p r.Query.table
+  in
+  (* re-wrap rows under the qualified schema (rows are shared, not copied) *)
+  let rows = Array.init (Table.cardinality filtered) (Table.row filtered) in
+  Table.create (qualified_schema query i) rows
+
+(* join conditions between two relation sets: (left column, right column)
+   in qualified form, already oriented left-side-first *)
+let conditions query left_members right_members =
+  List.filter_map
+    (fun e ->
+      let l = Query.relation_index query e.Query.left in
+      let r = Query.relation_index query e.Query.right in
+      let qualify name column = name ^ "." ^ column in
+      if List.mem l left_members && List.mem r right_members then
+        Some
+          ( qualify e.Query.left e.Query.left_column,
+            qualify e.Query.right e.Query.right_column )
+      else if List.mem r left_members && List.mem l right_members then
+        Some
+          ( qualify e.Query.right e.Query.right_column,
+            qualify e.Query.left e.Query.left_column )
+      else None)
+    query.Query.edges
+
+let hash_join left right conds =
+  let left_schema = Table.schema left and right_schema = Table.schema right in
+  let joined_schema =
+    Schema.make (Schema.columns left_schema @ Schema.columns right_schema)
+  in
+  let rows = ref [] in
+  (match conds with
+  | [] ->
+      (* Cartesian product *)
+      Table.iter
+        (fun lrow ->
+          Table.iter
+            (fun rrow -> rows := Array.append lrow rrow :: !rows)
+            right)
+        left
+  | (lc, rc) :: rest ->
+      let li = Table.column_index left lc in
+      let groups = Table.group_by right rc in
+      let residual =
+        List.map
+          (fun (lc, rc) ->
+            (Table.column_index left lc, Table.column_index right rc))
+          rest
+      in
+      Table.iter
+        (fun lrow ->
+          match lrow.(li) with
+          | Value.Null -> ()
+          | v -> (
+              match Value.Tbl.find_opt groups v with
+              | None -> ()
+              | Some indices ->
+                  Array.iter
+                    (fun r ->
+                      let rrow = Table.row right r in
+                      let ok =
+                        List.for_all
+                          (fun (i, j) -> Value.equal lrow.(i) rrow.(j))
+                          residual
+                      in
+                      if ok then rows := Array.append lrow rrow :: !rows)
+                    indices))
+        left);
+  Table.create joined_schema (Array.of_list !rows)
+
+let rec run query = function
+  | Optimizer.Scan i -> (scan query i, 0.0)
+  | Optimizer.Join (l, r) ->
+      let left, cost_l = run query l in
+      let right, cost_r = run query r in
+      let conds =
+        conditions query (Optimizer.relations_of l) (Optimizer.relations_of r)
+      in
+      let joined = hash_join left right conds in
+      (joined, cost_l +. cost_r +. float_of_int (Table.cardinality joined))
+
+let execute query plan = fst (run query plan)
+let true_cost query plan = snd (run query plan)
+let result_size query plan = Table.cardinality (execute query plan)

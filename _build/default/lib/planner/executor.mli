@@ -1,0 +1,24 @@
+(** Plan execution: materialise an {!Optimizer.plan} over its query's base
+    tables. Used to ground the optimizer's cost model in reality — the
+    independence assumption behind {!Cardinality.subset_cardinality} can
+    be checked against the sizes this module actually produces — and to
+    verify that every plan for a query returns the same result size.
+
+    Output schemas qualify columns as ["relation.column"], so the joined
+    tuples of different relations never collide. *)
+
+open Repro_relation
+
+val execute : Query.t -> Optimizer.plan -> Table.t
+(** Materialise the plan: scans apply the relations' predicates, joins are
+    hash joins over {e all} query edges connecting the two sides. A join
+    node whose sides share no edge is a Cartesian product — supported but
+    O(|L| * |R|). *)
+
+val true_cost : Query.t -> Optimizer.plan -> float
+(** The plan's actual C_out: the summed cardinalities of every
+    materialised intermediate (join-node) result. *)
+
+val result_size : Query.t -> Optimizer.plan -> int
+(** Cardinality of the plan's final result (identical across plans of the
+    same query — a handy invariant for tests). *)

@@ -1,0 +1,89 @@
+type plan = Scan of int | Join of plan * plan
+
+let rec relations_of = function
+  | Scan i -> [ i ]
+  | Join (l, r) -> relations_of l @ relations_of r
+
+let rec to_string query = function
+  | Scan i -> (Query.relation query i).Query.name
+  | Join (l, r) ->
+      Printf.sprintf "(%s ⋈ %s)" (to_string query l) (to_string query r)
+
+(* subsets are bitmasks over relation indices *)
+let bits_of_mask mask =
+  let rec collect i mask acc =
+    if mask = 0 then List.rev acc
+    else if mask land 1 = 1 then collect (i + 1) (mask lsr 1) (i :: acc)
+    else collect (i + 1) (mask lsr 1) acc
+  in
+  collect 0 mask []
+
+let connected query mask =
+  match bits_of_mask mask with
+  | [] -> false
+  | first :: _ as members ->
+      let edges = Query.edges_within query members in
+      let reached = Hashtbl.create 8 in
+      Hashtbl.replace reached first ();
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun e ->
+            let l = Query.relation_index query e.Query.left in
+            let r = Query.relation_index query e.Query.right in
+            let has x = Hashtbl.mem reached x in
+            if has l && not (has r) then begin
+              Hashtbl.replace reached r ();
+              changed := true
+            end;
+            if has r && not (has l) then begin
+              Hashtbl.replace reached l ();
+              changed := true
+            end)
+          edges
+      done;
+      List.for_all (Hashtbl.mem reached) members
+
+(* C_out: sum of intermediate result sizes over all internal nodes. *)
+let rec cost_under model = function
+  | Scan _ -> 0.0
+  | Join (l, r) as node ->
+      let members = relations_of node in
+      Cardinality.subset_cardinality model members
+      +. cost_under model l +. cost_under model r
+
+let optimize query model =
+  let n = Query.relation_count query in
+  if n > 20 then invalid_arg "Optimizer.optimize: too many relations";
+  let best : (plan * float) option array = Array.make (1 lsl n) None in
+  for i = 0 to n - 1 do
+    best.(1 lsl i) <- Some (Scan i, 0.0)
+  done;
+  (* iterate masks in increasing popcount order implicitly: numeric order
+     suffices because every strict submask is numerically smaller *)
+  for mask = 1 to (1 lsl n) - 1 do
+    if best.(mask) = None && connected query mask then begin
+      let members = bits_of_mask mask in
+      let result_size = Cardinality.subset_cardinality model members in
+      (* enumerate proper submask splits; consider each unordered pair once *)
+      let sub = ref ((mask - 1) land mask) in
+      while !sub > 0 do
+        let other = mask land lnot !sub in
+        if !sub < other then ()
+        else begin
+          match (best.(!sub), best.(other)) with
+          | Some (pl, cl), Some (pr, cr) ->
+              let cost = result_size +. cl +. cr in
+              (match best.(mask) with
+              | Some (_, existing) when existing <= cost -> ()
+              | _ -> best.(mask) <- Some (Join (pl, pr), cost))
+          | _ -> ()
+        end;
+        sub := (!sub - 1) land mask
+      done
+    end
+  done;
+  match best.((1 lsl n) - 1) with
+  | Some result -> result
+  | None -> invalid_arg "Optimizer.optimize: query graph is not connected"

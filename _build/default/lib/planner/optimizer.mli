@@ -1,0 +1,28 @@
+(** Dynamic-programming join-order optimisation (DPsub over connected
+    subgraphs, bushy plans) under the C_out cost model — the standard
+    setting of the "how good are query optimizers" line of work the paper
+    draws its q-error methodology from. The cost of a plan is the sum of
+    the (estimated) sizes of all intermediate join results; the model
+    supplying those sizes is pluggable, so plans built from CSDL-Opt
+    estimates can be compared against plans built from exact
+    cardinalities or from any baseline estimator. *)
+
+type plan =
+  | Scan of int  (** relation index *)
+  | Join of plan * plan
+
+val optimize : Query.t -> Cardinality.t -> plan * float
+(** The C_out-optimal bushy plan under the model, with its estimated cost.
+    Only connected sub-plans are enumerated (no Cartesian products);
+    queries must therefore have connected join graphs (enforced by
+    {!Query.make}). Exponential in the number of relations — fine for the
+    <= 15-relation queries of this repository. *)
+
+val cost_under : Cardinality.t -> plan -> float
+(** Re-cost an existing plan under a (different) model: the tool for plan
+    *regret* — [cost_under exact plan_estimated / cost_under exact
+    plan_optimal] measures how much an estimator's errors hurt. *)
+
+val relations_of : plan -> int list
+val to_string : Query.t -> plan -> string
+(** e.g. ["((title ⋈ mc) ⋈ mii)"]. *)

@@ -1,0 +1,96 @@
+open Repro_relation
+
+type relation = {
+  name : string;
+  table : Table.t;
+  predicate : Predicate.t;
+}
+
+type edge = {
+  left : string;
+  left_column : string;
+  right : string;
+  right_column : string;
+}
+
+type t = {
+  relations : relation array;
+  edges : edge list;
+  index_of : (string, int) Hashtbl.t;
+  filtered : int option array;  (* memoised filtered cardinalities *)
+}
+
+let make relations edges =
+  if List.length relations < 2 then
+    invalid_arg "Query.make: need at least two relations";
+  let relations = Array.of_list relations in
+  let index_of = Hashtbl.create (Array.length relations) in
+  Array.iteri
+    (fun i r ->
+      if Hashtbl.mem index_of r.name then
+        invalid_arg (Printf.sprintf "Query.make: duplicate relation %S" r.name);
+      Hashtbl.add index_of r.name i)
+    relations;
+  let check_endpoint name column =
+    match Hashtbl.find_opt index_of name with
+    | None -> invalid_arg (Printf.sprintf "Query.make: unknown relation %S" name)
+    | Some i ->
+        let schema = Table.schema relations.(i).table in
+        if not (Schema.mem schema column) then
+          invalid_arg
+            (Printf.sprintf "Query.make: relation %S has no column %S" name column)
+  in
+  List.iter
+    (fun e ->
+      check_endpoint e.left e.left_column;
+      check_endpoint e.right e.right_column;
+      if String.equal e.left e.right then
+        invalid_arg "Query.make: self-loop edges are not supported")
+    edges;
+  (* connectivity check: BFS over the join graph *)
+  let n = Array.length relations in
+  let visited = Array.make n false in
+  let rec visit i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter
+        (fun e ->
+          let l = Hashtbl.find index_of e.left
+          and r = Hashtbl.find index_of e.right in
+          if l = i then visit r;
+          if r = i then visit l)
+        edges
+    end
+  in
+  visit 0;
+  if not (Array.for_all Fun.id visited) then
+    invalid_arg "Query.make: join graph is not connected";
+  { relations; edges; index_of; filtered = Array.make n None }
+
+let relation_count t = Array.length t.relations
+let relation t i = t.relations.(i)
+
+let relation_index t name =
+  match Hashtbl.find_opt t.index_of name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Query: unknown relation %S" name)
+
+let edges_within t indices =
+  List.filter
+    (fun e ->
+      List.mem (relation_index t e.left) indices
+      && List.mem (relation_index t e.right) indices)
+    t.edges
+
+let filtered_cardinality t i =
+  match t.filtered.(i) with
+  | Some c -> c
+  | None ->
+      let r = t.relations.(i) in
+      let c =
+        match r.predicate with
+        | Predicate.True -> Table.cardinality r.table
+        | p -> Table.cardinality (Predicate.apply p r.table)
+      in
+      t.filtered.(i) <- Some c;
+      c

@@ -1,0 +1,43 @@
+(** Multi-way join queries for the optimizer: a set of named base
+    relations (each with its selection predicate) connected by equijoin
+    edges. This is the substrate on which cardinality estimation earns its
+    keep — the paper's introduction motivates join-size estimation by
+    cost-based join ordering, and {!Optimizer} closes that loop. *)
+
+open Repro_relation
+
+type relation = {
+  name : string;
+  table : Table.t;
+  predicate : Predicate.t;
+}
+
+type edge = {
+  left : string;  (** relation name *)
+  left_column : string;
+  right : string;
+  right_column : string;
+}
+
+type t = private {
+  relations : relation array;
+  edges : edge list;
+  index_of : (string, int) Hashtbl.t;
+  filtered : int option array;  (** memoised filtered cardinalities *)
+}
+
+val make : relation list -> edge list -> t
+(** Validates: at least two relations, unique names, every edge endpoint
+    names a declared relation with an existing column, and the join graph
+    is connected. Raises [Invalid_argument] otherwise. *)
+
+val relation_count : t -> int
+val relation : t -> int -> relation
+val relation_index : t -> string -> int
+
+val edges_within : t -> int list -> edge list
+(** The edges whose two endpoints both lie in the given relation-index
+    set. *)
+
+val filtered_cardinality : t -> int -> int
+(** Rows of one relation passing its predicate (memoised). *)

@@ -1,0 +1,1 @@
+lib/relation/aggregate.ml: Array Fun Hashtbl List Option Printf Schema Table Value

@@ -1,0 +1,1 @@
+lib/relation/aggregate.mli: Table

@@ -1,0 +1,1 @@
+lib/relation/csv_io.ml: Array Buffer Fun List Printf Schema String Table Value

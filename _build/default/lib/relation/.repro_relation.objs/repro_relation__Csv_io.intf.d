@@ -1,0 +1,1 @@
+lib/relation/csv_io.mli: Schema Table

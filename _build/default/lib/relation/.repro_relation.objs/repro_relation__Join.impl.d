@@ -1,0 +1,1 @@
+lib/relation/join.ml: Array Float List Predicate Table Value

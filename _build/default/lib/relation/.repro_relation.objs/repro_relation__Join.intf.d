@@ -1,0 +1,1 @@
+lib/relation/join.mli: Predicate Table Value

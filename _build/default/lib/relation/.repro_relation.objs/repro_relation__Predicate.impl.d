@@ -1,0 +1,1 @@
+lib/relation/predicate.ml: Array List Printf Schema String Table Value

@@ -1,0 +1,1 @@
+lib/relation/predicate.mli: Schema Table Value

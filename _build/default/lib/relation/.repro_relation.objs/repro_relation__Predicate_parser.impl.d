@@ -1,0 +1,1 @@
+lib/relation/predicate_parser.ml: Buffer List Predicate Printf String Value

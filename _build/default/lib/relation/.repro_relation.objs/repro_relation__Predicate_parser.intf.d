@@ -1,0 +1,1 @@
+lib/relation/predicate_parser.mli: Predicate

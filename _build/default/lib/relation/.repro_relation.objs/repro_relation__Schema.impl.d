@@ -1,0 +1,1 @@
+lib/relation/schema.ml: Array Format Hashtbl List Printf String Value

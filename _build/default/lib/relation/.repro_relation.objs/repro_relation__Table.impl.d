@@ -1,0 +1,1 @@
+lib/relation/table.ml: Array Format Printf Schema Seq String Value

@@ -1,0 +1,1 @@
+lib/relation/value.ml: Float Format Hashtbl Int Map Printf Set String

@@ -1,0 +1,146 @@
+type aggregation =
+  | Count
+  | Sum of string
+  | Avg of string
+  | Min of string
+  | Max of string
+  | Count_distinct of string
+
+(* group keys are value lists; wrap them for hashtable use *)
+module Key_tbl = Hashtbl.Make (struct
+  type t = Value.t list
+
+  let equal a b = List.compare Value.compare a b = 0
+  let hash key = Hashtbl.hash (List.map Value.hash key)
+end)
+
+let numeric_of column row index =
+  match Value.as_float row.(index) with
+  | Some f -> Some f
+  | None -> (
+      match row.(index) with
+      | Value.Null -> None
+      | v ->
+          invalid_arg
+            (Printf.sprintf "Aggregate: non-numeric %s value in column %S"
+               (Value.type_name v) column))
+
+let output_type source_schema = function
+  | Count | Count_distinct _ -> Schema.T_int
+  | Sum _ | Avg _ -> Schema.T_float
+  | Min column | Max column ->
+      Schema.type_of source_schema (Schema.index_of source_schema column)
+
+let group_by ~keys ~aggregations table =
+  if keys = [] then invalid_arg "Aggregate.group_by: empty key list";
+  let schema = Table.schema table in
+  let key_indices = List.map (Table.column_index table) keys in
+  let column_of = function
+    | Count -> None
+    | Sum c | Avg c | Min c | Max c | Count_distinct c -> Some c
+  in
+  List.iter
+    (fun (_, agg) ->
+      Option.iter
+        (fun c -> ignore (Table.column_index table c : int))
+        (column_of agg))
+    aggregations;
+  let out_schema =
+    Schema.make
+      (List.map
+         (fun (k, i) -> (k, Schema.type_of schema i))
+         (List.combine keys key_indices)
+      @ List.map (fun (name, agg) -> (name, output_type schema agg)) aggregations)
+  in
+  (* per-group state: row indices *)
+  let groups = Key_tbl.create 256 in
+  let order = ref [] in
+  Table.iteri
+    (fun row_index row ->
+      let key = List.map (fun i -> row.(i)) key_indices in
+      match Key_tbl.find_opt groups key with
+      | Some acc -> acc := row_index :: !acc
+      | None ->
+          Key_tbl.add groups key (ref [ row_index ]);
+          order := key :: !order)
+    table;
+  let compute key rows agg =
+    let rows = List.rev_map (Table.row table) rows in
+    ignore key;
+    match agg with
+    | Count -> Value.Int (List.length rows)
+    | Count_distinct column ->
+        let i = Table.column_index table column in
+        let seen = Value.Tbl.create 16 in
+        List.iter
+          (fun row ->
+            match row.(i) with
+            | Value.Null -> ()
+            | v -> Value.Tbl.replace seen v ())
+          rows;
+        Value.Int (Value.Tbl.length seen)
+    | Sum column ->
+        let i = Table.column_index table column in
+        Value.Float
+          (List.fold_left
+             (fun acc row ->
+               match numeric_of column row i with
+               | Some f -> acc +. f
+               | None -> acc)
+             0.0 rows)
+    | Avg column ->
+        let i = Table.column_index table column in
+        let total = ref 0.0 and n = ref 0 in
+        List.iter
+          (fun row ->
+            match numeric_of column row i with
+            | Some f ->
+                total := !total +. f;
+                incr n
+            | None -> ())
+          rows;
+        if !n = 0 then Value.Null else Value.Float (!total /. float_of_int !n)
+    | Min column | Max column ->
+        let i = Table.column_index table column in
+        let keep_smaller = match agg with Min _ -> true | _ -> false in
+        List.fold_left
+          (fun best row ->
+            match (best, row.(i)) with
+            | best, Value.Null -> best
+            | Value.Null, v -> v
+            | best, v ->
+                if
+                  (keep_smaller && Value.compare v best < 0)
+                  || ((not keep_smaller) && Value.compare v best > 0)
+                then v
+                else best)
+          Value.Null rows
+  in
+  let keys_sorted =
+    List.sort (List.compare Value.compare) (List.rev !order)
+  in
+  let rows =
+    List.map
+      (fun key ->
+        let group_rows = !(Key_tbl.find groups key) in
+        Array.of_list
+          (key @ List.map (fun (_, agg) -> compute key group_rows agg) aggregations))
+      keys_sorted
+  in
+  Table.of_rows out_schema rows
+
+let order_by ~by ?(descending = false) table =
+  let i = Table.column_index table by in
+  let rows = Array.init (Table.cardinality table) (Table.row table) in
+  let cmp a b =
+    let c = Value.compare a.(i) b.(i) in
+    if descending then -c else c
+  in
+  let sorted = Array.copy rows in
+  Array.stable_sort cmp sorted;
+  Table.create (Table.schema table) sorted
+
+let top_k ~by ?(descending = true) k table =
+  let sorted = order_by ~by ~descending table in
+  let n = min k (Table.cardinality sorted) in
+  Table.select_rows sorted (Array.init n Fun.id)

@@ -1,0 +1,31 @@
+(** Grouping and aggregation over tables — rounding out the relational
+    engine so example applications can answer realistic reporting queries
+    over plan results (group counts, per-key sums/averages, top-k). *)
+
+type aggregation =
+  | Count  (** number of rows in the group *)
+  | Sum of string  (** sum of a numeric column ([Null]s skipped) *)
+  | Avg of string  (** mean of a numeric column; [Null] result when empty *)
+  | Min of string
+  | Max of string
+  | Count_distinct of string  (** distinct non-null values of a column *)
+
+val group_by :
+  keys:string list ->
+  aggregations:(string * aggregation) list ->
+  Table.t ->
+  Table.t
+(** [group_by ~keys ~aggregations table] — one output row per distinct key
+    combination (SQL GROUP BY; key [Null]s form their own group as in
+    SQL). Output columns are the keys followed by the named aggregates;
+    [Sum]/[Avg] yield float columns, [Count]/[Count_distinct] ints,
+    [Min]/[Max] keep the source type. Output rows are sorted by key.
+    Raises [Invalid_argument] on unknown columns, an empty key list, or
+    duplicate output names. *)
+
+val top_k : by:string -> ?descending:bool -> int -> Table.t -> Table.t
+(** The k rows with the largest (default) or smallest values in [by].
+    Ties broken arbitrarily but deterministically. *)
+
+val order_by : by:string -> ?descending:bool -> Table.t -> Table.t
+(** Stable sort of the whole table on one column. *)

@@ -1,0 +1,180 @@
+let needs_quoting s =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+
+let encode_field v =
+  match v with
+  | Value.Null -> ""
+  | _ ->
+      let s = Value.to_string v in
+      if needs_quoting s then
+        let buffer = Buffer.create (String.length s + 2) in
+        Buffer.add_char buffer '"';
+        String.iter
+          (fun c ->
+            if c = '"' then Buffer.add_string buffer "\"\""
+            else Buffer.add_char buffer c)
+          s;
+        Buffer.add_char buffer '"';
+        Buffer.contents buffer
+      else s
+
+let write path table =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let schema = Table.schema table in
+      let names = List.map fst (Schema.columns schema) in
+      output_string oc (String.concat "," names);
+      output_char oc '\n';
+      Table.iter
+        (fun row ->
+          let fields = Array.to_list (Array.map encode_field row) in
+          output_string oc (String.concat "," fields);
+          output_char oc '\n')
+        table)
+
+(* Split one CSV record into fields, handling quoted fields. Assumes the
+   record contains no embedded newlines (we never write any: generated data
+   has no newlines in strings). *)
+let split_record line =
+  let fields = ref [] in
+  let buffer = Buffer.create 32 in
+  let n = String.length line in
+  let rec field i =
+    if i >= n then finish i
+    else if line.[i] = '"' then quoted (i + 1)
+    else plain i
+  and plain i =
+    if i >= n || line.[i] = ',' then finish i
+    else begin
+      Buffer.add_char buffer line.[i];
+      plain (i + 1)
+    end
+  and quoted i =
+    if i >= n then failwith "unterminated quote"
+    else if line.[i] = '"' then
+      if i + 1 < n && line.[i + 1] = '"' then begin
+        Buffer.add_char buffer '"';
+        quoted (i + 2)
+      end
+      else finish (i + 1)
+    else begin
+      Buffer.add_char buffer line.[i];
+      quoted (i + 1)
+    end
+  and finish i =
+    fields := Buffer.contents buffer :: !fields;
+    Buffer.clear buffer;
+    if i < n && line.[i] = ',' then field (i + 1)
+  in
+  field 0;
+  List.rev !fields
+
+let parse_field ty raw =
+  if String.equal raw "" then Value.Null
+  else
+    match ty with
+    | Schema.T_int -> Value.Int (int_of_string raw)
+    | Schema.T_float -> Value.Float (float_of_string raw)
+    | Schema.T_string -> Value.Str raw
+
+let read schema path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let arity = Schema.arity schema in
+      let types = Array.init arity (Schema.type_of schema) in
+      (match input_line ic with
+      | (_ : string) -> () (* header discarded; schema is authoritative *)
+      | exception End_of_file -> failwith "empty CSV file");
+      let rows = ref [] in
+      let line_number = ref 1 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr line_number;
+           if not (String.equal line "") then begin
+             let fields = split_record line in
+             if List.length fields <> arity then
+               failwith
+                 (Printf.sprintf "line %d: expected %d fields, got %d"
+                    !line_number arity (List.length fields));
+             let row = Array.make arity Value.Null in
+             List.iteri
+               (fun j raw ->
+                 row.(j) <-
+                   (try parse_field types.(j) raw
+                    with _ ->
+                      failwith
+                        (Printf.sprintf "line %d: bad %s field %S" !line_number
+                           (match types.(j) with
+                           | Schema.T_int -> "int"
+                           | Schema.T_float -> "float"
+                           | Schema.T_string -> "string")
+                           raw)))
+               fields;
+             rows := row :: !rows
+           end
+         done
+       with End_of_file -> ());
+      Table.create schema (Array.of_list (List.rev !rows)))
+
+let read_auto path =
+  (* Two passes: sniff column types, then parse with the inferred schema. *)
+  let ic = open_in path in
+  let header, records =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let header =
+          match input_line ic with
+          | line -> split_record line
+          | exception End_of_file -> failwith "empty CSV file"
+        in
+        let records = ref [] in
+        (try
+           while true do
+             let line = input_line ic in
+             if not (String.equal line "") then
+               records := split_record line :: !records
+           done
+         with End_of_file -> ());
+        (header, List.rev !records))
+  in
+  let arity = List.length header in
+  let rank = function Schema.T_int -> 0 | Schema.T_float -> 1 | Schema.T_string -> 2 in
+  let widen current field =
+    if String.equal field "" then current
+    else
+      let fits ty =
+        match ty with
+        | Schema.T_int -> int_of_string_opt field <> None
+        | Schema.T_float -> float_of_string_opt field <> None
+        | Schema.T_string -> true
+      in
+      let candidates = [ Schema.T_int; Schema.T_float; Schema.T_string ] in
+      List.find
+        (fun ty -> rank ty >= rank current && fits ty)
+        candidates
+  in
+  let types = Array.make arity Schema.T_int in
+  List.iteri
+    (fun line_index fields ->
+      if List.length fields <> arity then
+        failwith
+          (Printf.sprintf "line %d: expected %d fields, got %d" (line_index + 2)
+             arity (List.length fields));
+      List.iteri (fun j field -> types.(j) <- widen types.(j) field) fields)
+    records;
+  let schema = Schema.make (List.mapi (fun j name -> (name, types.(j))) header) in
+  let rows =
+    List.map
+      (fun fields ->
+        let row = Array.make arity Value.Null in
+        List.iteri (fun j field -> row.(j) <- parse_field types.(j) field) fields;
+        row)
+      records
+  in
+  Table.create schema (Array.of_list rows)

@@ -1,0 +1,20 @@
+(** Minimal CSV import/export so example programs can persist and reload
+    generated datasets. Quoting follows RFC 4180 (double quotes, doubled
+    quote escapes); values are parsed back using the schema's column
+    types, with empty fields read as [Null]. *)
+
+val write : string -> Table.t -> unit
+(** [write path table] writes a header row (column names) plus one line per
+    row. Raises [Sys_error] on IO failure. *)
+
+val read : Schema.t -> string -> Table.t
+(** [read schema path] parses a file written by {!write} (or any simple
+    CSV with a matching header). Raises [Failure] with the offending line
+    number on malformed input or arity mismatch. *)
+
+val read_auto : string -> Table.t
+(** [read_auto path] reads a CSV without a known schema: column names come
+    from the header and each column's type is inferred from the data
+    (int if every non-empty field parses as an int, else float if every
+    non-empty field parses as a number, else string). Raises [Failure] on
+    malformed input or an empty file. *)

@@ -1,0 +1,110 @@
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Compare of comparison * string * Value.t
+  | Like_prefix of string * string
+  | Like_contains of string * string
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let string_has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let string_contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  if nl = 0 then true
+  else if nl > hl then false
+  else
+    let rec scan i =
+      if i > hl - nl then false
+      else if String.equal (String.sub haystack i nl) needle then true
+      else scan (i + 1)
+    in
+    scan 0
+
+let compare_op op =
+  match op with
+  | Eq -> fun c -> c = 0
+  | Ne -> fun c -> c <> 0
+  | Lt -> fun c -> c < 0
+  | Le -> fun c -> c <= 0
+  | Gt -> fun c -> c > 0
+  | Ge -> fun c -> c >= 0
+
+let rec compile p schema =
+  let index name =
+    match Schema.index_of schema name with
+    | i -> i
+    | exception Not_found ->
+        invalid_arg (Printf.sprintf "Predicate: no column named %S" name)
+  in
+  match p with
+  | True -> fun _ -> true
+  | False -> fun _ -> false
+  | Compare (op, column, constant) ->
+      let i = index column in
+      let test = compare_op op in
+      fun row ->
+        (match row.(i) with
+        | Value.Null -> false
+        | v -> test (Value.compare v constant))
+  | Like_prefix (column, prefix) ->
+      let i = index column in
+      fun row ->
+        (match row.(i) with
+        | Value.Str s -> string_has_prefix ~prefix s
+        | Value.Null | Value.Int _ | Value.Float _ -> false)
+  | Like_contains (column, needle) ->
+      let i = index column in
+      fun row ->
+        (match row.(i) with
+        | Value.Str s -> string_contains ~needle s
+        | Value.Null | Value.Int _ | Value.Float _ -> false)
+  | And (a, b) ->
+      let fa = compile a schema and fb = compile b schema in
+      fun row -> fa row && fb row
+  | Or (a, b) ->
+      let fa = compile a schema and fb = compile b schema in
+      fun row -> fa row || fb row
+  | Not a ->
+      let fa = compile a schema in
+      fun row -> not (fa row)
+
+let apply p table = Table.filter (compile p (Table.schema table)) table
+
+let selectivity p table =
+  let n = Table.cardinality table in
+  if n = 0 then 0.0
+  else
+    let hits = Table.cardinality (apply p table) in
+    float_of_int hits /. float_of_int n
+
+let comparison_to_string = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec to_string = function
+  | True -> "TRUE"
+  | False -> "FALSE"
+  | Compare (op, column, constant) ->
+      Printf.sprintf "%s %s %s" column (comparison_to_string op)
+        (match constant with
+        | Value.Str s -> Printf.sprintf "'%s'" s
+        | v -> Value.to_string v)
+  | Like_prefix (column, prefix) -> Printf.sprintf "%s LIKE '%s%%'" column prefix
+  | Like_contains (column, needle) -> Printf.sprintf "%s LIKE '%%%s%%'" column needle
+  | And (a, b) -> Printf.sprintf "(%s AND %s)" (to_string a) (to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s OR %s)" (to_string a) (to_string b)
+  | Not a -> Printf.sprintf "NOT %s" (to_string a)
+
+let conj = function
+  | [] -> True
+  | p :: rest -> List.fold_left (fun acc q -> And (acc, q)) p rest

@@ -1,0 +1,34 @@
+(** Selection predicates over rows.
+
+    Supports the predicate classes the paper's experiments use: constant
+    comparisons (e.g. [c_acctbal > 8000]) and SQL [LIKE] patterns of the
+    form ['prefix%'] / ['%substring%'] (the Table VII workload). Logic is
+    two-valued: any comparison against [Null] is false. *)
+
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Compare of comparison * string * Value.t  (** [column <op> constant] *)
+  | Like_prefix of string * string  (** [column LIKE "prefix%"] *)
+  | Like_contains of string * string  (** [column LIKE "%substring%"] *)
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val compile : t -> Schema.t -> Value.t array -> bool
+(** [compile p schema] resolves column names once and returns a fast row
+    predicate. Raises [Invalid_argument] on unknown columns. *)
+
+val apply : t -> Table.t -> Table.t
+(** Rows of the table satisfying the predicate. *)
+
+val selectivity : t -> Table.t -> float
+(** Fraction of rows satisfying the predicate; 0 on an empty table. *)
+
+val to_string : t -> string
+(** SQL-flavoured rendering, for logs and examples. *)
+
+val conj : t list -> t
+(** Conjunction of a list, [True] when empty. *)

@@ -1,0 +1,205 @@
+(* Recursive-descent parser over a hand-rolled token stream. *)
+
+type token =
+  | T_ident of string
+  | T_int of int
+  | T_float of float
+  | T_string of string
+  | T_op of Predicate.comparison
+  | T_like
+  | T_and
+  | T_or
+  | T_not
+  | T_true
+  | T_false
+  | T_lparen
+  | T_rparen
+
+exception Parse_error of string
+
+let fail position message =
+  raise (Parse_error (Printf.sprintf "at offset %d: %s" position message))
+
+let is_ident_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> true
+  | _ -> false
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' then incr i
+    else if c = '(' then (emit T_lparen; incr i)
+    else if c = ')' then (emit T_rparen; incr i)
+    else if c = '\'' then begin
+      (* string literal; '' escapes a quote *)
+      let buffer = Buffer.create 16 in
+      let start = !i in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if input.[!i] = '\'' then
+          if !i + 1 < n && input.[!i + 1] = '\'' then begin
+            Buffer.add_char buffer '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buffer input.[!i];
+          incr i
+        end
+      done;
+      if not !closed then fail start "unterminated string literal";
+      emit (T_string (Buffer.contents buffer))
+    end
+    else if c = '=' then (emit (T_op Predicate.Eq); incr i)
+    else if c = '<' then
+      if !i + 1 < n && input.[!i + 1] = '=' then (emit (T_op Predicate.Le); i := !i + 2)
+      else if !i + 1 < n && input.[!i + 1] = '>' then (emit (T_op Predicate.Ne); i := !i + 2)
+      else (emit (T_op Predicate.Lt); incr i)
+    else if c = '>' then
+      if !i + 1 < n && input.[!i + 1] = '=' then (emit (T_op Predicate.Ge); i := !i + 2)
+      else (emit (T_op Predicate.Gt); incr i)
+    else if c = '!' then
+      if !i + 1 < n && input.[!i + 1] = '=' then (emit (T_op Predicate.Ne); i := !i + 2)
+      else fail !i "expected != "
+    else if c = '-' || ('0' <= c && c <= '9') then begin
+      let start = !i in
+      incr i;
+      while
+        !i < n
+        && (match input.[!i] with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false)
+      do
+        incr i
+      done;
+      let raw = String.sub input start (!i - start) in
+      match int_of_string_opt raw with
+      | Some v -> emit (T_int v)
+      | None -> (
+          match float_of_string_opt raw with
+          | Some v -> emit (T_float v)
+          | None -> fail start (Printf.sprintf "bad number %S" raw))
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      let word = String.sub input start (!i - start) in
+      match String.uppercase_ascii word with
+      | "AND" -> emit T_and
+      | "OR" -> emit T_or
+      | "NOT" -> emit T_not
+      | "LIKE" -> emit T_like
+      | "TRUE" -> emit T_true
+      | "FALSE" -> emit T_false
+      | _ -> emit (T_ident word)
+    end
+    else fail !i (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev !tokens
+
+(* LIKE patterns: 'p%' (prefix), '%s%' (contains); '%' alone matches all *)
+let like_of_pattern column pattern =
+  let n = String.length pattern in
+  let has_inner_percent s =
+    String.exists (fun c -> c = '%') s
+  in
+  if n = 0 then Predicate.Like_prefix (column, "")
+  else if pattern = "%" then Predicate.Like_contains (column, "")
+  else if n >= 2 && pattern.[0] = '%' && pattern.[n - 1] = '%' then begin
+    let inner = String.sub pattern 1 (n - 2) in
+    if has_inner_percent inner then
+      raise (Parse_error "LIKE supports only 'prefix%' and '%substring%' patterns");
+    Predicate.Like_contains (column, inner)
+  end
+  else if pattern.[n - 1] = '%' then begin
+    let prefix = String.sub pattern 0 (n - 1) in
+    if has_inner_percent prefix then
+      raise (Parse_error "LIKE supports only 'prefix%' and '%substring%' patterns");
+    Predicate.Like_prefix (column, prefix)
+  end
+  else if has_inner_percent pattern then
+    raise (Parse_error "LIKE supports only 'prefix%' and '%substring%' patterns")
+  else
+    (* no wildcard: plain equality *)
+    Predicate.Compare (Predicate.Eq, column, Value.Str pattern)
+
+(* parser over a mutable token list *)
+let parse_tokens tokens =
+  let stream = ref tokens in
+  let peek () = match !stream with [] -> None | t :: _ -> Some t in
+  let advance () =
+    match !stream with
+    | [] -> raise (Parse_error "unexpected end of input")
+    | t :: rest ->
+        stream := rest;
+        t
+  in
+  let expect_rparen () =
+    match advance () with
+    | T_rparen -> ()
+    | _ -> raise (Parse_error "expected )")
+  in
+  let rec expr () = parse_or ()
+  and parse_or () =
+    let left = parse_and () in
+    match peek () with
+    | Some T_or ->
+        ignore (advance ());
+        Predicate.Or (left, parse_or ())
+    | _ -> left
+  and parse_and () =
+    let left = unary () in
+    match peek () with
+    | Some T_and ->
+        ignore (advance ());
+        Predicate.And (left, parse_and ())
+    | _ -> left
+  and unary () =
+    match advance () with
+    | T_not -> Predicate.Not (unary ())
+    | T_lparen ->
+        let inner = expr () in
+        expect_rparen ();
+        inner
+    | T_true -> Predicate.True
+    | T_false -> Predicate.False
+    | T_ident column -> atom column
+    | _ -> raise (Parse_error "expected a condition")
+  and atom column =
+    match advance () with
+    | T_like -> (
+        match advance () with
+        | T_string pattern -> like_of_pattern column pattern
+        | _ -> raise (Parse_error "LIKE expects a string pattern"))
+    | T_op op -> (
+        match advance () with
+        | T_int v -> Predicate.Compare (op, column, Value.Int v)
+        | T_float v -> Predicate.Compare (op, column, Value.Float v)
+        | T_string v -> Predicate.Compare (op, column, Value.Str v)
+        | _ -> raise (Parse_error "expected a literal after the operator"))
+    | _ -> raise (Parse_error "expected an operator or LIKE")
+  in
+  let result = expr () in
+  (match !stream with
+  | [] -> ()
+  | _ -> raise (Parse_error "trailing input after the predicate"));
+  result
+
+let parse input =
+  match parse_tokens (tokenize input) with
+  | predicate -> Ok predicate
+  | exception Parse_error message -> Error message
+
+let parse_exn input =
+  match parse input with
+  | Ok predicate -> predicate
+  | Error message -> invalid_arg ("Predicate_parser: " ^ message)

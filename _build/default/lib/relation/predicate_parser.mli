@@ -1,0 +1,31 @@
+(** A small SQL-flavoured parser for {!Predicate.t}, so tools (the CLI,
+    config files) can accept predicates as text:
+
+    {v
+      production_year > 2000 AND kind_id <= 3
+      title LIKE 'The %'
+      NOT (kind = 'distributors' OR company_id = 42)
+      price >= 99.5
+    v}
+
+    Grammar (case-insensitive keywords):
+
+    {v
+      expr     ::= or
+      or       ::= and { OR and }
+      and      ::= unary { AND unary }
+      unary    ::= NOT unary | '(' expr ')' | atom | TRUE | FALSE
+      atom     ::= ident op literal | ident LIKE string
+      op       ::= = | != | <> | < | <= | > | >=
+      literal  ::= int | float | 'string'
+    v}
+
+    [LIKE] patterns support a trailing [%] (prefix match) and a leading and
+    trailing [%] (substring match) — the forms the estimators support;
+    anything else is rejected. *)
+
+val parse : string -> (Predicate.t, string) result
+(** [Error] carries a human-readable message with the offending position. *)
+
+val parse_exn : string -> Predicate.t
+(** Raises [Invalid_argument] with the same message. *)

@@ -1,0 +1,52 @@
+type column_type = T_int | T_float | T_string
+
+type t = {
+  names : string array;
+  types : column_type array;
+  positions : (string, int) Hashtbl.t;
+}
+
+let make columns =
+  if columns = [] then invalid_arg "Schema.make: empty column list";
+  let names = Array.of_list (List.map fst columns) in
+  let types = Array.of_list (List.map snd columns) in
+  let positions = Hashtbl.create (Array.length names) in
+  Array.iteri
+    (fun i name ->
+      if Hashtbl.mem positions name then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate column %S" name);
+      Hashtbl.add positions name i)
+    names;
+  { names; types; positions }
+
+let arity t = Array.length t.names
+
+let columns t =
+  Array.to_list (Array.mapi (fun i name -> (name, t.types.(i))) t.names)
+
+let index_of t name = Hashtbl.find t.positions name
+let mem t name = Hashtbl.mem t.positions name
+let name_of t i = t.names.(i)
+let type_of t i = t.types.(i)
+
+let equal a b = a.names = b.names && a.types = b.types
+
+let type_to_string = function
+  | T_int -> "int"
+  | T_float -> "float"
+  | T_string -> "string"
+
+let pp fmt t =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", "
+       (List.map
+          (fun (name, ty) -> Printf.sprintf "%s:%s" name (type_to_string ty))
+          (columns t)))
+
+let accepts ty v =
+  match (ty, v) with
+  | _, Value.Null -> true
+  | T_int, Value.Int _ -> true
+  | T_float, (Value.Float _ | Value.Int _) -> true
+  | T_string, Value.Str _ -> true
+  | (T_int | T_float | T_string), _ -> false

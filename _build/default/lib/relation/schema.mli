@@ -1,0 +1,25 @@
+(** Named, ordered columns of a table. *)
+
+type column_type = T_int | T_float | T_string
+
+type t
+
+val make : (string * column_type) list -> t
+(** Raises [Invalid_argument] on duplicate column names or an empty list. *)
+
+val arity : t -> int
+val columns : t -> (string * column_type) list
+
+val index_of : t -> string -> int
+(** Position of a column by name; raises [Not_found]. *)
+
+val mem : t -> string -> bool
+val name_of : t -> int -> string
+val type_of : t -> int -> column_type
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val accepts : column_type -> Value.t -> bool
+(** [accepts ty v] — whether value [v] may live in a column of type [ty];
+    [Null] is accepted everywhere. *)

@@ -1,0 +1,93 @@
+type t = { schema : Schema.t; rows : Value.t array array }
+
+let create ?(validate = false) schema rows =
+  let arity = Schema.arity schema in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> arity then
+        invalid_arg
+          (Printf.sprintf "Table.create: row %d has arity %d, schema wants %d" i
+             (Array.length row) arity);
+      if validate then
+        Array.iteri
+          (fun j v ->
+            if not (Schema.accepts (Schema.type_of schema j) v) then
+              invalid_arg
+                (Printf.sprintf "Table.create: row %d column %s: %s value" i
+                   (Schema.name_of schema j) (Value.type_name v)))
+          row)
+    rows;
+  { schema; rows }
+
+let of_rows schema rows = create schema (Array.of_list rows)
+
+let schema t = t.schema
+let cardinality t = Array.length t.rows
+let row t i = t.rows.(i)
+let iter f t = Array.iter f t.rows
+let iteri f t = Array.iteri f t.rows
+let fold f init t = Array.fold_left f init t.rows
+
+let column_index t name =
+  match Schema.index_of t.schema name with
+  | i -> i
+  | exception Not_found ->
+      invalid_arg (Printf.sprintf "Table: no column named %S" name)
+
+let column_values t name =
+  let i = column_index t name in
+  Array.map (fun row -> row.(i)) t.rows
+
+let filter predicate t =
+  { t with rows = Array.of_seq (Seq.filter predicate (Array.to_seq t.rows)) }
+
+let select_rows t indices =
+  { t with rows = Array.map (fun i -> t.rows.(i)) indices }
+
+let frequency_map t name =
+  let i = column_index t name in
+  let freq = Value.Tbl.create 1024 in
+  Array.iter
+    (fun row ->
+      match row.(i) with
+      | Value.Null -> ()
+      | v -> (
+          match Value.Tbl.find_opt freq v with
+          | Some c -> Value.Tbl.replace freq v (c + 1)
+          | None -> Value.Tbl.add freq v 1))
+    t.rows;
+  freq
+
+let group_by t name =
+  let i = column_index t name in
+  let groups = Value.Tbl.create 1024 in
+  Array.iteri
+    (fun row_index row ->
+      match row.(i) with
+      | Value.Null -> ()
+      | v -> (
+          match Value.Tbl.find_opt groups v with
+          | Some acc -> acc := row_index :: !acc
+          | None -> Value.Tbl.add groups v (ref [ row_index ])))
+    t.rows;
+  let out = Value.Tbl.create (Value.Tbl.length groups) in
+  Value.Tbl.iter
+    (fun v acc ->
+      let arr = Array.of_list !acc in
+      (* rows were prepended, so reverse into increasing order *)
+      let n = Array.length arr in
+      let sorted = Array.init n (fun k -> arr.(n - 1 - k)) in
+      Value.Tbl.add out v sorted)
+    groups;
+  out
+
+let distinct_count t name = Value.Tbl.length (frequency_map t name)
+
+let pp_head ?(limit = 10) fmt t =
+  Format.fprintf fmt "%a (%d rows)@." Schema.pp t.schema (cardinality t);
+  let shown = min limit (cardinality t) in
+  for i = 0 to shown - 1 do
+    let cells = Array.to_list (Array.map Value.to_string t.rows.(i)) in
+    Format.fprintf fmt "  %s@." (String.concat " | " cells)
+  done;
+  if cardinality t > shown then Format.fprintf fmt "  ...@."

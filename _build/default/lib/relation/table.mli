@@ -1,0 +1,49 @@
+(** In-memory row-major tables.
+
+    A table is immutable once built; rows are exposed without copying, so
+    callers must not mutate them. Sized for the experiments in this
+    repository (up to a few million rows). *)
+
+type t
+
+val create : ?validate:bool -> Schema.t -> Value.t array array -> t
+(** [create schema rows] wraps [rows] (taken by reference). With
+    [~validate:true] (default [false]) every cell is checked against the
+    schema's column types; arity is always checked. *)
+
+val of_rows : Schema.t -> Value.t array list -> t
+
+val schema : t -> Schema.t
+val cardinality : t -> int
+val row : t -> int -> Value.t array
+val iter : (Value.t array -> unit) -> t -> unit
+val iteri : (int -> Value.t array -> unit) -> t -> unit
+val fold : ('a -> Value.t array -> 'a) -> 'a -> t -> 'a
+
+val column_index : t -> string -> int
+(** Raises [Invalid_argument] naming the column when absent. *)
+
+val column_values : t -> string -> Value.t array
+(** All values (including duplicates and nulls) of one column, in row
+    order. *)
+
+val filter : (Value.t array -> bool) -> t -> t
+(** Rows satisfying the predicate, sharing row arrays with the original. *)
+
+val select_rows : t -> int array -> t
+(** Sub-table with exactly the given row indices (shared row arrays). *)
+
+val frequency_map : t -> string -> int Value.Tbl.t
+(** Per-value occurrence counts of a column, skipping [Null]s (which never
+    participate in equijoins). *)
+
+val group_by : t -> string -> int array Value.Tbl.t
+(** Row indices grouped by the value of a column, skipping [Null]s. Index
+    arrays are in increasing row order. *)
+
+val distinct_count : t -> string -> int
+(** Number of distinct non-null values in a column — the [|V_A|] of the
+    paper's join value density. *)
+
+val pp_head : ?limit:int -> Format.formatter -> t -> unit
+(** Debug printer: schema plus the first [limit] (default 10) rows. *)

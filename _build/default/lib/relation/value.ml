@@ -1,0 +1,67 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+
+let equal a b =
+  match (a, b) with
+  | Null, _ | _, Null -> false
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Int x, Float y | Float y, Int x -> Float.equal (float_of_int x) y
+  | Str x, Str y -> String.equal x y
+  | (Int _ | Float _ | Str _), _ -> false
+
+let constructor_rank = function Null -> 0 | Int _ -> 1 | Float _ -> 2 | Str _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | _ -> Int.compare (constructor_rank a) (constructor_rank b)
+
+let hash = function
+  | Null -> 0
+  | Int x -> Hashtbl.hash x
+  | Float x -> Hashtbl.hash x
+  | Str s -> Hashtbl.hash s
+
+let to_string = function
+  | Null -> "NULL"
+  | Int x -> string_of_int x
+  | Float x -> Printf.sprintf "%g" x
+  | Str s -> s
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let type_name = function
+  | Null -> "null"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Str _ -> "string"
+
+let as_int = function Int x -> Some x | Null | Float _ | Str _ -> None
+
+let as_float = function
+  | Float x -> Some x
+  | Int x -> Some (float_of_int x)
+  | Null | Str _ -> None
+
+let as_string = function Str s -> Some s | Null | Int _ | Float _ -> None
+
+module Key = struct
+  type nonrec t = t
+
+  let equal a b = match (a, b) with Null, Null -> true | _ -> equal a b
+  let hash = hash
+  let compare = compare
+end
+
+module Tbl = Hashtbl.Make (Key)
+module Map = Map.Make (Key)
+module Set = Set.Make (Key)

@@ -1,0 +1,39 @@
+(** SQL-ish atomic values. Join columns in this repository are typically
+    [Int] keys or [Str] titles; [Null] never joins (SQL semantics). *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+
+val equal : t -> t -> bool
+(** Structural equality, except [Null] is not equal to anything including
+    itself — matching SQL equijoin semantics. *)
+
+val compare : t -> t -> int
+(** Total order for sorting and map keys: Null < Int < Float < Str, with the
+    natural order within each constructor. (Unlike {!equal}, [Null] compares
+    equal to itself so that containers behave.) *)
+
+val hash : t -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val type_name : t -> string
+(** ["null" | "int" | "float" | "string"] — used in error messages. *)
+
+val as_int : t -> int option
+val as_float : t -> float option
+(** [as_float] widens [Int] values too. *)
+
+val as_string : t -> string option
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed by values. For container purposes [Null] equals
+    itself here (unlike {!equal}); callers that implement join semantics
+    must skip [Null] keys themselves. *)
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,1 @@
+lib/stats/bootstrap.ml: Array Repro_util

@@ -1,0 +1,1 @@
+lib/stats/fingerprint.ml: Float Int Map Seq

@@ -1,0 +1,1 @@
+lib/stats/fingerprint.mli: Seq

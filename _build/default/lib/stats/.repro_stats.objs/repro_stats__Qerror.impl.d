@@ -1,0 +1,1 @@
+lib/stats/qerror.ml: Float Printf

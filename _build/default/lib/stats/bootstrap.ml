@@ -1,0 +1,34 @@
+module Prng = Repro_util.Prng
+module Summary = Repro_util.Summary
+
+type interval = {
+  lower : float;
+  point : float;
+  upper : float;
+}
+
+let confidence_interval ?(replicates = 1000) ?(level = 0.95) ~statistic prng
+    runs =
+  let n = Array.length runs in
+  if n = 0 then invalid_arg "Bootstrap.confidence_interval: empty input";
+  if level <= 0.0 || level >= 1.0 then
+    invalid_arg "Bootstrap.confidence_interval: level must be in (0, 1)";
+  if replicates < 1 then
+    invalid_arg "Bootstrap.confidence_interval: replicates must be >= 1";
+  let resample = Array.make n 0.0 in
+  let statistics =
+    Array.init replicates (fun _ ->
+        for i = 0 to n - 1 do
+          resample.(i) <- runs.(Prng.int prng n)
+        done;
+        statistic resample)
+  in
+  let alpha = (1.0 -. level) /. 2.0 in
+  {
+    lower = Summary.quantile alpha statistics;
+    point = statistic runs;
+    upper = Summary.quantile (1.0 -. alpha) statistics;
+  }
+
+let median_interval ?replicates ?level prng runs =
+  confidence_interval ?replicates ?level ~statistic:Summary.median prng runs

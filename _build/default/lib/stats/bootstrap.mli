@@ -1,0 +1,28 @@
+(** Percentile-bootstrap confidence intervals over repeated estimation
+    runs. The paper reports point medians; a system shipping these
+    estimators would also want to say how much a reported estimate can be
+    trusted, and resampling the run results is the assumption-free way to
+    get there (the estimators' sampling distributions are decidedly
+    non-Gaussian — see the infinite-q-error failure masses). *)
+
+type interval = {
+  lower : float;
+  point : float;  (** the statistic on the original runs *)
+  upper : float;
+}
+
+val confidence_interval :
+  ?replicates:int ->
+  ?level:float ->
+  statistic:(float array -> float) ->
+  Repro_util.Prng.t ->
+  float array ->
+  interval
+(** [confidence_interval ~statistic prng runs] resamples [runs] with
+    replacement [replicates] times (default 1000) and returns the
+    [level] (default 0.95) percentile interval of the statistic. Raises
+    [Invalid_argument] on an empty input or a level outside (0, 1). *)
+
+val median_interval :
+  ?replicates:int -> ?level:float -> Repro_util.Prng.t -> float array -> interval
+(** The common case: a CI on the median estimate. *)

@@ -1,0 +1,43 @@
+module Int_map = Map.Make (Int)
+
+type t = float Int_map.t
+
+let empty = Int_map.empty
+
+let add_mass index mass t =
+  if index < 1 || mass <= 0.0 then t
+  else
+    Int_map.update index
+      (function None -> Some mass | Some m -> Some (m +. mass))
+      t
+
+let of_int_counts counts =
+  Seq.fold_left (fun t c -> add_mass c 1.0 t) empty counts
+
+let of_float_counts counts =
+  Seq.fold_left
+    (fun t c ->
+      if c <= 0.0 then t
+      else
+        let lo = Float.floor c in
+        let frac = c -. lo in
+        if frac = 0.0 then add_mass (int_of_float lo) 1.0 t
+        else
+          t
+          |> add_mass (int_of_float lo) (1.0 -. frac)
+          |> add_mass (int_of_float lo + 1) frac)
+    empty counts
+
+let get t i = match Int_map.find_opt i t with Some m -> m | None -> 0.0
+
+let max_index t =
+  match Int_map.max_binding_opt t with Some (i, _) -> i | None -> 0
+
+let sample_size t =
+  Int_map.fold (fun i m acc -> acc +. (float_of_int i *. m)) t 0.0
+
+let distinct_values t = Int_map.fold (fun _ m acc -> acc +. m) t 0.0
+
+let iter f t = Int_map.iter f t
+let fold f t init = Int_map.fold f t init
+let to_alist t = Int_map.bindings t

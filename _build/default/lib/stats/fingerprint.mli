@@ -1,0 +1,42 @@
+(** Sample fingerprints.
+
+    The fingerprint of a sample is the map [i -> F_i] where [F_i] is the
+    number of distinct domain values appearing exactly [i] times (Algorithm
+    1, line 1). [F_i] is real-valued here because the virtual samples of
+    CSDL Cases 3/4 carry fractional per-value counts [S_A(v) * q / q_v]
+    (Eq. 6): a fractional count [c] contributes [1 - frac c] to
+    [F_(floor c)] and [frac c] to [F_(ceil c)], which preserves expected
+    fingerprints — the property Lemma 1 needs. *)
+
+type t
+
+val empty : t
+
+val of_int_counts : int Seq.t -> t
+(** Fingerprint of a sample given its per-value multiplicities. Zero and
+    negative counts are ignored. *)
+
+val of_float_counts : float Seq.t -> t
+(** Fractional variant (see above). Counts [<= 0] are ignored; a count that
+    is an exact integer lands wholly in its own bin. *)
+
+val get : t -> int -> float
+(** [get t i] is [F_i] (0 when absent). [i >= 1]. *)
+
+val max_index : t -> int
+(** Largest [i] with [F_i > 0]; 0 for the empty fingerprint. *)
+
+val sample_size : t -> float
+(** [sum_i i * F_i] — the (possibly fractional) number of sampled tuples. *)
+
+val distinct_values : t -> float
+(** [sum_i F_i] — the number of distinct sampled values (fractional counts
+    contribute their split mass). *)
+
+val iter : (int -> float -> unit) -> t -> unit
+(** Iterate over non-zero entries in increasing [i]. *)
+
+val fold : (int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_alist : t -> (int * float) list
+(** Non-zero entries in increasing [i]. *)

@@ -1,0 +1,17 @@
+(** The q-error metric of Moerkotte et al. used throughout the paper's
+    evaluation: [qerror = max(J, J_hat) / min(J, J_hat)].
+
+    Conventions (matching how the paper reports results): a zero estimate
+    for a non-zero truth — the "filtered sample is empty" failure mode — is
+    infinity; estimating zero when the truth is zero is a perfect 1. *)
+
+val compute : truth:float -> estimate:float -> float
+(** Requires [truth >= 0] and treats a negative estimate as 0 (estimators
+    never produce one, but clamping keeps the metric total). *)
+
+val is_failure : float -> bool
+(** [is_failure q] — whether a q-error value represents the paper's
+    "infinity" failure case. *)
+
+val to_string : float -> string
+(** Renders like the paper's tables: two decimals, or the infinity sign. *)

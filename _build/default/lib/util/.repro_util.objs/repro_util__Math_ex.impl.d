@@ -1,0 +1,1 @@
+lib/util/math_ex.ml: Array Float Lazy

@@ -1,0 +1,1 @@
+lib/util/math_ex.mli:

@@ -1,0 +1,1 @@
+lib/util/weighted.ml: Array Float List

@@ -1,0 +1,75 @@
+(* Lanczos approximation with g = 7, n = 9 coefficients (Boost's choice for
+   double precision). *)
+let lanczos_coefficients =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec log_gamma x =
+  if x <= 0.0 then invalid_arg "Math_ex.log_gamma: requires x > 0";
+  if x < 0.5 then
+    (* Reflection formula keeps the Lanczos series in its accurate range. *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1.0 -. x)
+  else
+    let x = x -. 1.0 in
+    let a = ref lanczos_coefficients.(0) in
+    let t = x +. 7.5 in
+    for i = 1 to 8 do
+      a := !a +. (lanczos_coefficients.(i) /. (x +. float_of_int i))
+    done;
+    (0.5 *. log (2.0 *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
+
+let log_factorial_cache_size = 1024
+
+let log_factorial_cache =
+  lazy
+    (let cache = Array.make log_factorial_cache_size 0.0 in
+     for n = 2 to log_factorial_cache_size - 1 do
+       cache.(n) <- cache.(n - 1) +. log (float_of_int n)
+     done;
+     cache)
+
+let log_factorial n =
+  if n < 0 then invalid_arg "Math_ex.log_factorial: requires n >= 0";
+  if n < log_factorial_cache_size then (Lazy.force log_factorial_cache).(n)
+  else log_gamma (float_of_int n +. 1.0)
+
+let poisson_log_pmf lambda k =
+  if k < 0 then neg_infinity
+  else if lambda < 0.0 then invalid_arg "Math_ex.poisson_log_pmf: lambda >= 0"
+  else if lambda = 0.0 then (if k = 0 then 0.0 else neg_infinity)
+  else (float_of_int k *. log lambda) -. lambda -. log_factorial k
+
+let poisson_pmf lambda k = exp (poisson_log_pmf lambda k)
+
+let binomial_pmf n p k =
+  if k < 0 || k > n then 0.0
+  else if p <= 0.0 then (if k = 0 then 1.0 else 0.0)
+  else if p >= 1.0 then (if k = n then 1.0 else 0.0)
+  else
+    let log_choose = log_factorial n -. log_factorial k -. log_factorial (n - k) in
+    exp
+      (log_choose
+      +. (float_of_int k *. log p)
+      +. (float_of_int (n - k) *. log1p (-.p)))
+
+let generalized_harmonic n z =
+  if n < 0 then invalid_arg "Math_ex.generalized_harmonic: requires n >= 0";
+  (* Sum small terms first to limit rounding error. *)
+  let acc = ref 0.0 in
+  for k = n downto 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int k) z)
+  done;
+  !acc
+
+let log_sum_exp xs =
+  let m = Array.fold_left Float.max neg_infinity xs in
+  if m = neg_infinity then neg_infinity
+  else
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. exp (x -. m)) xs;
+    m +. log !acc
+
+let feq ?(eps = 1e-9) a b =
+  let diff = Float.abs (a -. b) in
+  diff <= eps || diff <= eps *. Float.max (Float.abs a) (Float.abs b)

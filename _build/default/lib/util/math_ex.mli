@@ -1,0 +1,32 @@
+(** Special functions used by the discrete-learning estimator and the data
+    generators: log-gamma, Poisson probabilities, and Zipf normalisation. *)
+
+val log_gamma : float -> float
+(** Natural log of the Gamma function for positive arguments (Lanczos
+    approximation, ~15 significant digits). *)
+
+val log_factorial : int -> float
+(** [log_factorial n] = ln(n!). Memoised for small [n], falls back to
+    [log_gamma] above the cache. Requires [n >= 0]. *)
+
+val poisson_pmf : float -> int -> float
+(** [poisson_pmf lambda k] is P[Poi(lambda) = k], computed in log space so it
+    neither overflows nor underflows for large [lambda] or [k].
+    [poisson_pmf 0. 0 = 1.]. *)
+
+val poisson_log_pmf : float -> int -> float
+(** Log of the above; [neg_infinity] when the probability is zero. *)
+
+val binomial_pmf : int -> float -> int -> float
+(** [binomial_pmf n p k] is P[Bin(n,p) = k]. *)
+
+val generalized_harmonic : int -> float -> float
+(** [generalized_harmonic n z] = sum_{k=1}^{n} 1/k^z — the normalising
+    constant of a Zipf(z) distribution over [n] ranks. *)
+
+val log_sum_exp : float array -> float
+(** Numerically stable ln(sum exp x_i); [neg_infinity] for the empty array. *)
+
+val feq : ?eps:float -> float -> float -> bool
+(** Approximate float equality: absolute or relative difference below [eps]
+    (default [1e-9]). *)

@@ -1,0 +1,122 @@
+(* xoshiro256** with splitmix64 seeding.
+   Reference: Blackman & Vigna, "Scrambled linear pseudorandom number
+   generators" (2018). *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let u = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 u;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  (* Seed a fresh generator from the parent's stream via splitmix64 so the
+     child is decorrelated even for adjacent splits. *)
+  let state = ref (bits64 t) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits for exact uniformity. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFF in
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) land mask in
+    let v = r mod bound in
+    if r - v > mask - bound + 1 then draw () else v
+  in
+  draw ()
+
+let float t =
+  (* 53 random bits scaled into [0,1). *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int r *. 0x1p-53
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let bernoulli t p = if p >= 1.0 then true else if p <= 0.0 then false else float t < p
+
+let geometric t p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Prng.geometric: p must be in (0,1]";
+  if p >= 1.0 then 0
+  else
+    let u = 1.0 -. float t in
+    (* u in (0,1]; floor(log u / log (1-p)) is the failure count. *)
+    int_of_float (Float.floor (log u /. log1p (-.p)))
+
+let binomial t n p =
+  if n < 0 then invalid_arg "Prng.binomial: n must be non-negative";
+  if p <= 0.0 || n = 0 then 0
+  else if p >= 1.0 then n
+  else if p > 0.5 then n - (let q = 1.0 -. p in
+                            (* mirror to keep the skip-sampling loop short *)
+                            let rec skip acc pos =
+                              let pos = pos + geometric t q + 1 in
+                              if pos > n then acc else skip (acc + 1) pos
+                            in
+                            skip 0 0)
+  else
+    (* Waiting-time ("skip") method: number of successes equals the number of
+       inter-success gaps that fit in n trials. Exact and O(np) expected. *)
+    let rec skip acc pos =
+      let pos = pos + geometric t p + 1 in
+      if pos > n then acc else skip (acc + 1) pos
+    in
+    skip 0 0
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  (* Floyd's algorithm: k hash inserts, no O(n) scratch. *)
+  let chosen = Hashtbl.create (2 * k) in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    if Hashtbl.mem chosen r then Hashtbl.replace chosen j ()
+    else Hashtbl.replace chosen r ()
+  done;
+  let out = Array.make k 0 in
+  let i = ref 0 in
+  Hashtbl.iter (fun key () -> out.(!i) <- key; incr i) chosen;
+  Array.sort compare out;
+  out
+
+let exponential t lambda =
+  if lambda <= 0.0 then invalid_arg "Prng.exponential: lambda must be positive";
+  -.log1p (-.float t) /. lambda

@@ -1,0 +1,58 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then Float.nan
+  else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then Float.nan
+  else if Array.exists Float.is_nan xs then Float.nan
+  else if Array.exists (fun x -> x = Float.infinity || x = Float.neg_infinity) xs then Float.infinity
+  else
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
+    !acc /. float_of_int (n - 1)
+
+let sorted_copy xs =
+  let copy = Array.copy xs in
+  Array.sort compare copy;
+  copy
+
+let median xs =
+  let n = Array.length xs in
+  if n = 0 then Float.nan
+  else
+    let sorted = sorted_copy xs in
+    if n mod 2 = 1 then sorted.(n / 2)
+    else
+      let a = sorted.((n / 2) - 1) and b = sorted.(n / 2) in
+      if a = Float.infinity && b = Float.infinity then Float.infinity
+      else (a +. b) /. 2.0
+
+let quantile p xs =
+  if p < 0.0 || p > 1.0 then invalid_arg "Summary.quantile: p must be in [0,1]";
+  let n = Array.length xs in
+  if n = 0 then Float.nan
+  else
+    let sorted = sorted_copy xs in
+    let pos = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = int_of_float (Float.ceil pos) in
+    if lo = hi then sorted.(lo)
+    else
+      let w = pos -. float_of_int lo in
+      (sorted.(lo) *. (1.0 -. w)) +. (sorted.(hi) *. w)
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Summary.min_max: empty array";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let relative_variance ~truth xs =
+  if truth = 0.0 then Float.infinity
+  else
+    let v = variance xs in
+    if Float.is_nan v then Float.nan else v /. (truth *. truth)

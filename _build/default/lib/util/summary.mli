@@ -1,0 +1,28 @@
+(** Order statistics and moment summaries over float samples. The paper
+    reports the median q-error over 20 estimation runs and empirical
+    estimation variances; these helpers implement exactly those reductions,
+    treating [infinity] (failed estimates) the way the paper does: an infinite
+    median means more than half the runs failed. *)
+
+val mean : float array -> float
+(** Arithmetic mean; [nan] on the empty array. *)
+
+val variance : float array -> float
+(** Unbiased (n-1) sample variance; [nan] for fewer than two points;
+    [infinity] if any point is infinite. *)
+
+val median : float array -> float
+(** Median (average of the two middle elements for even lengths). Infinite
+    values sort high, so a majority of failures yields [infinity]. [nan] on
+    the empty array. Does not mutate the input. *)
+
+val quantile : float -> float array -> float
+(** [quantile p xs] with linear interpolation, [0 <= p <= 1]. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element; raises [Invalid_argument] on empty. *)
+
+val relative_variance : truth:float -> float array -> float
+(** Empirical variance of the estimates normalised by the squared ground
+    truth — the scale-free dispersion measure used in Tables VI and VIII.
+    [infinity] when any estimate is infinite or zero truth. *)

@@ -1,0 +1,291 @@
+(* Tests for the data generators: Zipf, skewed TPC-H, synthetic IMDB and
+   the JOB workload queries. *)
+
+open Repro_datagen
+open Repro_relation
+module Prng = Repro_util.Prng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Zipf                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_zipf_pmf_sums_to_one () =
+  let z = Zipf.make ~n:50 ~z:1.5 in
+  let total = ref 0.0 in
+  for k = 1 to 50 do
+    total := !total +. Zipf.pmf z k
+  done;
+  Alcotest.(check (float 1e-9)) "mass" 1.0 !total
+
+let test_zipf_pmf_monotone () =
+  let z = Zipf.make ~n:100 ~z:2.0 in
+  for k = 1 to 99 do
+    if Zipf.pmf z k < Zipf.pmf z (k + 1) then
+      Alcotest.failf "pmf not decreasing at %d" k
+  done
+
+let test_zipf_uniform_when_z_zero () =
+  let z = Zipf.make ~n:10 ~z:0.0 in
+  for k = 1 to 10 do
+    check_float "uniform pmf" 0.1 (Zipf.pmf z k)
+  done
+
+let test_zipf_draw_range () =
+  let z = Zipf.make ~n:7 ~z:1.0 in
+  let prng = Prng.create 5 in
+  for _ = 1 to 5_000 do
+    let k = Zipf.draw z prng in
+    if k < 1 || k > 7 then Alcotest.failf "draw out of range: %d" k
+  done
+
+let test_zipf_empirical_matches_pmf () =
+  let z = Zipf.make ~n:5 ~z:2.0 in
+  let prng = Prng.create 11 in
+  let counts = Array.make 5 0 in
+  let n = 200_000 in
+  for _ = 1 to n do
+    let k = Zipf.draw z prng in
+    counts.(k - 1) <- counts.(k - 1) + 1
+  done;
+  for k = 1 to 5 do
+    let expected = Zipf.pmf z k in
+    let actual = float_of_int counts.(k - 1) /. float_of_int n in
+    if Float.abs (expected -. actual) > 0.01 then
+      Alcotest.failf "rank %d: pmf %f vs empirical %f" k expected actual
+  done
+
+let test_zipf_expected_count () =
+  let z = Zipf.make ~n:4 ~z:0.0 in
+  check_float "expected count" 25.0 (Zipf.expected_count z ~total:100 1)
+
+let test_zipf_single_rank () =
+  let z = Zipf.make ~n:1 ~z:3.0 in
+  check_float "only rank" 1.0 (Zipf.pmf z 1);
+  let prng = Prng.create 1 in
+  Alcotest.(check int) "always 1" 1 (Zipf.draw z prng)
+
+let test_zipf_rejects_bad_args () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.make: n must be >= 1")
+    (fun () -> ignore (Zipf.make ~n:0 ~z:1.0));
+  Alcotest.check_raises "z<0" (Invalid_argument "Zipf.make: z must be >= 0")
+    (fun () -> ignore (Zipf.make ~n:3 ~z:(-1.0)))
+
+(* ------------------------------------------------------------------ *)
+(* Tpch                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_tpch = lazy (Tpch.generate ~scale:0.02 ~z:2.0 ~seed:3)
+
+let test_tpch_row_counts_scale () =
+  let d = Lazy.force tiny_tpch in
+  Alcotest.(check int) "customers" 3000 (Table.cardinality d.Tpch.customer);
+  Alcotest.(check int) "suppliers" 200 (Table.cardinality d.Tpch.supplier);
+  Alcotest.(check int) "orders" 30000 (Table.cardinality d.Tpch.orders);
+  Alcotest.(check int) "lineitem" 120000 (Table.cardinality d.Tpch.lineitem)
+
+let test_tpch_keys_unique () =
+  let d = Lazy.force tiny_tpch in
+  Alcotest.(check int) "custkey unique" 3000
+    (Table.distinct_count d.Tpch.customer "c_custkey");
+  Alcotest.(check int) "orderkey unique" 30000
+    (Table.distinct_count d.Tpch.orders "o_orderkey")
+
+let test_tpch_nationkey_domain () =
+  let d = Lazy.force tiny_tpch in
+  Table.iter
+    (fun row ->
+      match row.(Table.column_index d.Tpch.customer "c_nationkey") with
+      | Value.Int k when k >= 0 && k < Tpch.nations -> ()
+      | v -> Alcotest.failf "bad nationkey %s" (Value.to_string v))
+    d.Tpch.customer
+
+let test_tpch_skew_increases_with_z () =
+  (* With z=4 the top nation should dominate far more than with z=0. *)
+  let skewed = Tpch.generate ~scale:0.05 ~z:4.0 ~seed:7 in
+  let flat = Tpch.generate ~scale:0.05 ~z:0.0 ~seed:7 in
+  let top_share d =
+    let freq = Table.frequency_map d.Tpch.customer "c_nationkey" in
+    let top = Value.Tbl.fold (fun _ c acc -> max c acc) freq 0 in
+    float_of_int top /. float_of_int (Table.cardinality d.Tpch.customer)
+  in
+  Alcotest.(check bool) "skewed top dominates" true (top_share skewed > 0.8);
+  Alcotest.(check bool) "flat top small" true (top_share flat < 0.15)
+
+let test_tpch_deterministic () =
+  let a = Tpch.generate ~scale:0.02 ~z:2.0 ~seed:3 in
+  let b = Tpch.generate ~scale:0.02 ~z:2.0 ~seed:3 in
+  let key t i = (Table.row t i).(1) in
+  for i = 0 to 99 do
+    Alcotest.(check bool) "same nationkey stream" true
+      (Value.compare (key a.Tpch.customer i) (key b.Tpch.customer i) = 0)
+  done
+
+let test_tpch_fk_integrity () =
+  let d = Lazy.force tiny_tpch in
+  let n_orders = Table.cardinality d.Tpch.orders in
+  Table.iter
+    (fun row ->
+      match row.(Table.column_index d.Tpch.lineitem "l_orderkey") with
+      | Value.Int k when k >= 1 && k <= n_orders -> ()
+      | v -> Alcotest.failf "dangling l_orderkey %s" (Value.to_string v))
+    d.Tpch.lineitem
+
+let test_tpch_orders_cap () =
+  let d = Tpch.generate ~scale:1.0 ~z:0.0 ~seed:5 in
+  Alcotest.(check int) "orders capped" 300_000 (Table.cardinality d.Tpch.orders);
+  Alcotest.(check int) "customer full size" 150_000 (Table.cardinality d.Tpch.customer)
+
+let test_tpch_dataset_name () =
+  let d = Tpch.generate ~scale:1.0 ~z:4.0 ~seed:1 in
+  Alcotest.(check string) "name" "s1-z4" (Tpch.dataset_name d);
+  let d = Tpch.generate ~scale:0.1 ~z:2.0 ~seed:1 in
+  Alcotest.(check string) "fractional scale" "s0.1-z2" (Tpch.dataset_name d)
+
+(* ------------------------------------------------------------------ *)
+(* Imdb + Job_workload                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_imdb = lazy (Imdb.generate ~scale:0.02 ~seed:42 ())
+
+let test_imdb_table_sizes () =
+  let d = Lazy.force tiny_imdb in
+  Alcotest.(check int) "title" 2000 (Table.cardinality d.Imdb.title);
+  Alcotest.(check int) "company_type" 4 (Table.cardinality d.Imdb.company_type);
+  Alcotest.(check int) "info_type" 113 (Table.cardinality d.Imdb.info_type)
+
+let test_imdb_title_pk () =
+  let d = Lazy.force tiny_imdb in
+  Alcotest.(check int) "title.id unique"
+    (Table.cardinality d.Imdb.title)
+    (Table.distinct_count d.Imdb.title "id")
+
+let test_imdb_fk_integrity () =
+  let d = Lazy.force tiny_imdb in
+  let n = Table.cardinality d.Imdb.title in
+  List.iter
+    (fun (t, col) ->
+      Table.iter
+        (fun row ->
+          match row.(Table.column_index t col) with
+          | Value.Int k when k >= 1 && k <= n -> ()
+          | v -> Alcotest.failf "dangling %s: %s" col (Value.to_string v))
+        t)
+    [
+      (d.Imdb.aka_title, "movie_id");
+      (d.Imdb.movie_companies, "movie_id");
+      (d.Imdb.movie_info_idx, "movie_id");
+      (d.Imdb.movie_keyword, "movie_id");
+      (d.Imdb.cast_info, "movie_id");
+    ]
+
+let test_imdb_company_types_in_domain () =
+  let d = Lazy.force tiny_imdb in
+  Table.iter
+    (fun row ->
+      match row.(Table.column_index d.Imdb.movie_companies "company_type_id") with
+      | Value.Int k when k >= 1 && k <= 4 -> ()
+      | v -> Alcotest.failf "bad company_type_id %s" (Value.to_string v))
+    d.Imdb.movie_companies
+
+let test_workload_query_count_and_names () =
+  let d = Lazy.force tiny_imdb in
+  let queries = Job_workload.two_table_queries d in
+  Alcotest.(check int) "14 queries" 14 (List.length queries);
+  let names = List.map (fun q -> q.Job_workload.name) queries in
+  List.iter
+    (fun expected ->
+      if not (List.mem expected names) then
+        Alcotest.failf "missing query %s" expected)
+    [ "Q1a1"; "Q1a4"; "Q1b1"; "Q1b4"; "Q1a2"; "Q2d1"; "Q2c1" ]
+
+let test_workload_jvd_classes () =
+  let d = Lazy.force tiny_imdb in
+  let queries = Job_workload.two_table_queries d in
+  let jvd_of name =
+    Job_workload.query_jvd
+      (List.find (fun q -> q.Job_workload.name = name) queries)
+  in
+  (* Categorical joins have tiny jvd; movie_id joins have large jvd.
+     (The absolute threshold depends on scale; the *ordering* must hold.) *)
+  Alcotest.(check bool) "Q1a1 far below Q1a2" true
+    (jvd_of "Q1a1" <= 0.001 && jvd_of "Q1a2" > 0.01
+    && jvd_of "Q1a1" < jvd_of "Q1a2" /. 100.0);
+  Alcotest.(check bool) "Q1b1 small" true (jvd_of "Q1b1" < jvd_of "Q1b2")
+
+let test_workload_true_sizes_positive () =
+  let d = Lazy.force tiny_imdb in
+  List.iter
+    (fun q ->
+      let size = Job_workload.true_size q in
+      if size < 0 then Alcotest.failf "%s negative size" q.Job_workload.name)
+    (Job_workload.two_table_queries d)
+
+let test_workload_prefix_queries () =
+  let d = Lazy.force tiny_imdb in
+  let prefixes = Job_workload.top_prefixes d 10 in
+  Alcotest.(check int) "10 prefixes" 10 (List.length prefixes);
+  (* "The" has Zipf rank 1 in the generator vocabulary. *)
+  Alcotest.(check string) "most frequent" "The" (List.hd prefixes);
+  let q = Job_workload.pkfk_prefix_query d ~prefix:"The" in
+  Alcotest.(check bool) "pkfk truth positive" true (Job_workload.true_size q > 0);
+  let q = Job_workload.m2m_prefix_query d ~prefix:"The" in
+  Alcotest.(check bool) "m2m truth positive" true (Job_workload.true_size q > 0)
+
+let test_workload_prefixes_ordered_by_frequency () =
+  let d = Lazy.force tiny_imdb in
+  let prefixes = Job_workload.top_prefixes d 20 in
+  let count p =
+    Table.cardinality
+      (Predicate.apply (Predicate.Like_prefix ("title", p ^ " ")) d.Imdb.title)
+  in
+  let counts = List.map count prefixes in
+  let rec non_increasing = function
+    | a :: b :: rest -> a >= b && non_increasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "non-increasing frequency" true (non_increasing counts)
+
+let () =
+  Alcotest.run "repro_datagen"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "pmf mass" `Quick test_zipf_pmf_sums_to_one;
+          Alcotest.test_case "pmf monotone" `Quick test_zipf_pmf_monotone;
+          Alcotest.test_case "uniform z=0" `Quick test_zipf_uniform_when_z_zero;
+          Alcotest.test_case "draw range" `Quick test_zipf_draw_range;
+          Alcotest.test_case "empirical vs pmf" `Slow test_zipf_empirical_matches_pmf;
+          Alcotest.test_case "expected count" `Quick test_zipf_expected_count;
+          Alcotest.test_case "single rank" `Quick test_zipf_single_rank;
+          Alcotest.test_case "bad args" `Quick test_zipf_rejects_bad_args;
+        ] );
+      ( "tpch",
+        [
+          Alcotest.test_case "row counts" `Quick test_tpch_row_counts_scale;
+          Alcotest.test_case "keys unique" `Quick test_tpch_keys_unique;
+          Alcotest.test_case "nationkey domain" `Quick test_tpch_nationkey_domain;
+          Alcotest.test_case "skew grows with z" `Quick test_tpch_skew_increases_with_z;
+          Alcotest.test_case "deterministic" `Quick test_tpch_deterministic;
+          Alcotest.test_case "fk integrity" `Quick test_tpch_fk_integrity;
+          Alcotest.test_case "orders cap" `Slow test_tpch_orders_cap;
+          Alcotest.test_case "dataset name" `Quick test_tpch_dataset_name;
+        ] );
+      ( "imdb",
+        [
+          Alcotest.test_case "table sizes" `Quick test_imdb_table_sizes;
+          Alcotest.test_case "title pk" `Quick test_imdb_title_pk;
+          Alcotest.test_case "fk integrity" `Quick test_imdb_fk_integrity;
+          Alcotest.test_case "company type domain" `Quick test_imdb_company_types_in_domain;
+        ] );
+      ( "job_workload",
+        [
+          Alcotest.test_case "query names" `Quick test_workload_query_count_and_names;
+          Alcotest.test_case "jvd classes" `Quick test_workload_jvd_classes;
+          Alcotest.test_case "true sizes" `Quick test_workload_true_sizes_positive;
+          Alcotest.test_case "prefix queries" `Quick test_workload_prefix_queries;
+          Alcotest.test_case "prefix ordering" `Quick
+            test_workload_prefixes_ordered_by_frequency;
+        ] );
+    ]

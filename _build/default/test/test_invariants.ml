@@ -1,0 +1,216 @@
+(* Cross-module property tests: invariants that must hold across the whole
+   offline-sample -> online-estimate pipeline, for every spec in the design
+   space, on randomly generated data. *)
+
+open Repro_relation
+module Prng = Repro_util.Prng
+
+let schema = Schema.make [ ("k", Schema.T_int); ("attr", Schema.T_int) ]
+
+let table_of_counts counts =
+  Table.of_rows schema
+    (List.concat_map
+       (fun (v, m) -> List.init m (fun i -> [| Value.Int v; Value.Int i |]))
+       counts)
+
+let dedup counts = List.sort_uniq (fun (a, _) (b, _) -> compare a b) counts
+
+let profile_gen =
+  QCheck.Gen.(
+    let counts =
+      list_size (int_range 2 12) (pair (int_range 0 9) (int_range 1 25))
+    in
+    map2
+      (fun ca cb ->
+        Csdl.Profile.of_tables
+          (table_of_counts (dedup ca))
+          "k"
+          (table_of_counts (dedup cb))
+          "k")
+      counts counts)
+
+let all_specs =
+  Csdl.Spec.csdl_variants @ [ Csdl.Spec.cs2; Csdl.Spec.cso; Csdl.Spec.cs2l ]
+
+let spec_gen =
+  QCheck.Gen.map (List.nth all_specs)
+    (QCheck.Gen.int_range 0 (List.length all_specs - 1))
+
+let pipeline_gen =
+  QCheck.Gen.(triple profile_gen spec_gen (int_range 1 100_000))
+
+(* Every sampled value in S_A exists in A; every S_B value exists in S_A
+   and in B (the correlated-sampling contract S_B ⊆ B ⋉ S_A). *)
+let prop_sample_containment =
+  QCheck.Test.make ~count:120 ~name:"S_B values ⊆ S_A values ∩ V_B"
+    (QCheck.make pipeline_gen)
+    (fun (profile, spec, seed) ->
+      let estimator = Csdl.Estimator.prepare ~sample_first:`A spec ~theta:0.3 profile in
+      let synopsis = Csdl.Estimator.draw estimator (Prng.create seed) in
+      let a_entries = synopsis.Csdl.Synopsis.sample_a.Csdl.Sample.entries in
+      let ok = ref true in
+      Value.Tbl.iter
+        (fun v (_ : Csdl.Sample.entry) ->
+          if not (Value.Tbl.mem a_entries v) then ok := false;
+          if Csdl.Profile.frequency profile.Csdl.Profile.b v = 0 then ok := false)
+        synopsis.Csdl.Synopsis.sample_b.Csdl.Sample.entries;
+      Value.Tbl.iter
+        (fun v (_ : Csdl.Sample.entry) ->
+          if Csdl.Profile.frequency profile.Csdl.Profile.a v = 0 then ok := false)
+        a_entries;
+      !ok)
+
+(* N' is exactly the A-frequency mass of the sampled values. *)
+let prop_n_prime_consistent =
+  QCheck.Test.make ~count:120 ~name:"N' = sum of sampled values' a_v"
+    (QCheck.make pipeline_gen)
+    (fun (profile, spec, seed) ->
+      let estimator = Csdl.Estimator.prepare ~sample_first:`A spec ~theta:0.3 profile in
+      let synopsis = Csdl.Estimator.draw estimator (Prng.create seed) in
+      let expected = ref 0.0 in
+      Value.Tbl.iter
+        (fun v (_ : Csdl.Sample.entry) ->
+          expected :=
+            !expected
+            +. float_of_int (Csdl.Profile.frequency profile.Csdl.Profile.a v))
+        synopsis.Csdl.Synopsis.sample_a.Csdl.Sample.entries;
+      Float.abs (!expected -. synopsis.Csdl.Synopsis.n_prime) < 1e-9)
+
+(* Estimates are finite and non-negative for every spec, and an impossible
+   predicate always yields exactly 0. *)
+let prop_estimates_sane =
+  QCheck.Test.make ~count:120 ~name:"estimates finite, >= 0, False-pred = 0"
+    (QCheck.make pipeline_gen)
+    (fun (profile, spec, seed) ->
+      let estimator = Csdl.Estimator.prepare ~sample_first:`A spec ~theta:0.3 profile in
+      let synopsis = Csdl.Estimator.draw estimator (Prng.create seed) in
+      let unfiltered = Csdl.Estimator.estimate estimator synopsis in
+      let impossible =
+        Csdl.Estimator.estimate ~pred_a:Predicate.False estimator synopsis
+      in
+      Float.is_finite unfiltered && unfiltered >= 0.0 && impossible = 0.0)
+
+(* Synopsis tuple accounting matches Budget.expected_size in expectation:
+   check a generous 4x band on a single draw (binomial noise). *)
+let prop_synopsis_size_banded =
+  QCheck.Test.make ~count:80 ~name:"synopsis size within 4x of expectation"
+    (QCheck.make (QCheck.Gen.pair profile_gen (QCheck.Gen.int_range 1 100_000)))
+    (fun (profile, seed) ->
+      let spec = Csdl.Spec.csdl Csdl.Spec.L_one Csdl.Spec.L_theta in
+      let estimator = Csdl.Estimator.prepare ~sample_first:`A spec ~theta:0.5 profile in
+      let synopsis = Csdl.Estimator.draw estimator (Prng.create seed) in
+      let expected = (Csdl.Estimator.resolved estimator).Csdl.Budget.expected_size in
+      let actual = float_of_int (Csdl.Synopsis.size_tuples synopsis) in
+      expected = 0.0 || (actual <= 4.0 *. expected +. 4.0 && actual *. 4.0 +. 4.0 >= expected))
+
+(* The store's save/load roundtrip yields bit-identical estimates. *)
+let prop_store_roundtrip =
+  QCheck.Test.make ~count:40 ~name:"store roundtrip preserves estimates"
+    (QCheck.make pipeline_gen)
+    (fun (profile, spec, seed) ->
+      let table_a = profile.Csdl.Profile.a.Csdl.Profile.table in
+      let table_b = profile.Csdl.Profile.b.Csdl.Profile.table in
+      let estimator = Csdl.Estimator.prepare ~sample_first:`A spec ~theta:0.4 profile in
+      let synopsis = Csdl.Estimator.draw estimator (Prng.create seed) in
+      let store = Csdl.Store.create () in
+      Csdl.Store.add store ~key:"q" ~table_a:"a" ~table_b:"b" estimator synopsis;
+      let path = Filename.temp_file "repro" ".inv" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Csdl.Store.save store path;
+          let back =
+            Csdl.Store.load
+              ~resolve_table:(function
+                | "a" -> table_a
+                | "b" -> table_b
+                | _ -> assert false)
+              path
+          in
+          let pred = Predicate.Compare (Predicate.Lt, "attr", Value.Int 7) in
+          (* hashtable rebuild changes float summation order: compare up
+             to relative rounding, not bit-for-bit *)
+          Repro_util.Math_ex.feq ~eps:1e-9
+            (Csdl.Store.estimate store ~key:"q" ~pred_a:pred)
+            (Csdl.Store.estimate back ~key:"q" ~pred_a:pred)))
+
+(* A 2-table Chain_n on PK data agrees with Join.pair_count. *)
+let prop_chain_n_pair_agreement =
+  QCheck.Test.make ~count:60 ~name:"2-table chain = pair count on PK data"
+    QCheck.(pair (int_range 2 30) (int_range 1 10_000))
+    (fun (n_pk, seed) ->
+      let prng = Prng.create seed in
+      let pk_table =
+        table_of_counts (List.init n_pk (fun i -> (i, 1)))
+      in
+      let fk_rows = 3 * n_pk in
+      let fk_table =
+        Table.of_rows schema
+          (List.init fk_rows (fun i ->
+               [| Value.Int (Prng.int prng (2 * n_pk)); Value.Int i |]))
+      in
+      let tables =
+        {
+          Csdl.Chain_n.links =
+            [ { Csdl.Chain_n.table = pk_table; pk = "k"; fk = None } ];
+          last = fk_table;
+          last_fk = "k";
+        }
+      in
+      Csdl.Chain_n.true_size tables
+      = Join.pair_count (Join.unfiltered pk_table "k") (Join.unfiltered fk_table "k"))
+
+(* The optimizer's plan never costs more (under its own model) than any
+   hand-rolled left-deep alternative. *)
+let prop_optimizer_dominates_left_deep =
+  QCheck.Test.make ~count:40 ~name:"DP plan <= every left-deep plan"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let open Repro_planner in
+      let prng = Prng.create seed in
+      let rel name n =
+        {
+          Query.name;
+          table =
+            Table.of_rows
+              (Schema.make [ (name ^ "_k", Schema.T_int) ])
+              (List.init n (fun _ -> [| Value.Int (Prng.int prng 6) |]));
+          predicate = Predicate.True;
+        }
+      in
+      let q =
+        Query.make
+          [ rel "a" 12; rel "b" 15; rel "c" 9 ]
+          [
+            { Query.left = "a"; left_column = "a_k"; right = "b"; right_column = "b_k" };
+            { Query.left = "b"; left_column = "b_k"; right = "c"; right_column = "c_k" };
+          ]
+      in
+      let model = Cardinality.of_exact q in
+      let _, best = Optimizer.optimize q model in
+      let left_deep order =
+        match order with
+        | [ x; y; z ] ->
+            Optimizer.Join (Optimizer.Join (Optimizer.Scan x, Optimizer.Scan y), Optimizer.Scan z)
+        | _ -> assert false
+      in
+      List.for_all
+        (fun order -> best <= Optimizer.cost_under model (left_deep order) +. 1e-6)
+        [ [ 0; 1; 2 ]; [ 1; 2; 0 ]; [ 1; 0; 2 ]; [ 2; 1; 0 ] ])
+
+let () =
+  Alcotest.run "repro_invariants"
+    [
+      ( "pipeline",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_sample_containment;
+            prop_n_prime_consistent;
+            prop_estimates_sane;
+            prop_synopsis_size_banded;
+            prop_store_roundtrip;
+          ] );
+      ( "multi_module",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_chain_n_pair_agreement; prop_optimizer_dominates_left_deep ] );
+    ]

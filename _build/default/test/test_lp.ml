@@ -1,0 +1,361 @@
+(* Tests for the simplex solver and the L1 fitting layer. *)
+
+open Repro_lp
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let solve_exn problem =
+  match Simplex.solve problem with
+  | Simplex.Optimal { objective_value; solution } -> (objective_value, solution)
+  | Simplex.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+(* ------------------------------------------------------------------ *)
+(* Hand-checked LPs                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_simplex_basic_le () =
+  (* max x + y s.t. x + 2y <= 4, 3x + y <= 6  => min -(x+y); optimum at
+     intersection (8/5, 6/5), objective 14/5. *)
+  let problem =
+    {
+      Simplex.objective = [| -1.0; -1.0 |];
+      constraints =
+        [
+          { Simplex.coefficients = [| 1.0; 2.0 |]; relation = Simplex.Le; rhs = 4.0 };
+          { Simplex.coefficients = [| 3.0; 1.0 |]; relation = Simplex.Le; rhs = 6.0 };
+        ];
+    }
+  in
+  let objective_value, solution = solve_exn problem in
+  check_float "objective" (-2.8) objective_value;
+  check_float "x" 1.6 solution.(0);
+  check_float "y" 1.2 solution.(1)
+
+let test_simplex_equality () =
+  (* min x + y s.t. x + y = 3, x >= 0, y >= 0; any split is optimal with
+     objective 3. *)
+  let problem =
+    {
+      Simplex.objective = [| 1.0; 1.0 |];
+      constraints =
+        [ { Simplex.coefficients = [| 1.0; 1.0 |]; relation = Simplex.Eq; rhs = 3.0 } ];
+    }
+  in
+  let objective_value, solution = solve_exn problem in
+  check_float "objective" 3.0 objective_value;
+  check_float "feasibility" 3.0 (solution.(0) +. solution.(1))
+
+let test_simplex_ge () =
+  (* min 2x + 3y s.t. x + y >= 4, x >= 0, y >= 0. Optimum x=4, y=0, obj 8. *)
+  let problem =
+    {
+      Simplex.objective = [| 2.0; 3.0 |];
+      constraints =
+        [ { Simplex.coefficients = [| 1.0; 1.0 |]; relation = Simplex.Ge; rhs = 4.0 } ];
+    }
+  in
+  let objective_value, solution = solve_exn problem in
+  check_float "objective" 8.0 objective_value;
+  check_float "x" 4.0 solution.(0);
+  check_float "y" 0.0 solution.(1)
+
+let test_simplex_infeasible () =
+  (* x <= 1 and x >= 2 cannot both hold. *)
+  let problem =
+    {
+      Simplex.objective = [| 1.0 |];
+      constraints =
+        [
+          { Simplex.coefficients = [| 1.0 |]; relation = Simplex.Le; rhs = 1.0 };
+          { Simplex.coefficients = [| 1.0 |]; relation = Simplex.Ge; rhs = 2.0 };
+        ];
+    }
+  in
+  match Simplex.solve problem with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_simplex_unbounded () =
+  (* min -x with no upper bound on x. *)
+  let problem =
+    {
+      Simplex.objective = [| -1.0 |];
+      constraints =
+        [ { Simplex.coefficients = [| 1.0 |]; relation = Simplex.Ge; rhs = 0.0 } ];
+    }
+  in
+  match Simplex.solve problem with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_simplex_negative_rhs () =
+  (* min x s.t. -x <= -2  (i.e. x >= 2). Tests RHS sign normalisation. *)
+  let problem =
+    {
+      Simplex.objective = [| 1.0 |];
+      constraints =
+        [ { Simplex.coefficients = [| -1.0 |]; relation = Simplex.Le; rhs = -2.0 } ];
+    }
+  in
+  let objective_value, solution = solve_exn problem in
+  check_float "objective" 2.0 objective_value;
+  check_float "x" 2.0 solution.(0)
+
+let test_simplex_degenerate () =
+  (* Degenerate vertex: three constraints through one point; must terminate. *)
+  let problem =
+    {
+      Simplex.objective = [| -1.0; -1.0 |];
+      constraints =
+        [
+          { Simplex.coefficients = [| 1.0; 0.0 |]; relation = Simplex.Le; rhs = 1.0 };
+          { Simplex.coefficients = [| 0.0; 1.0 |]; relation = Simplex.Le; rhs = 1.0 };
+          { Simplex.coefficients = [| 1.0; 1.0 |]; relation = Simplex.Le; rhs = 2.0 };
+        ];
+    }
+  in
+  let objective_value, _ = solve_exn problem in
+  check_float "objective" (-2.0) objective_value
+
+let test_simplex_redundant_equality () =
+  (* Two identical equalities: phase 1 leaves a redundant artificial. *)
+  let problem =
+    {
+      Simplex.objective = [| 1.0; 2.0 |];
+      constraints =
+        [
+          { Simplex.coefficients = [| 1.0; 1.0 |]; relation = Simplex.Eq; rhs = 2.0 };
+          { Simplex.coefficients = [| 1.0; 1.0 |]; relation = Simplex.Eq; rhs = 2.0 };
+        ];
+    }
+  in
+  let objective_value, _ = solve_exn problem in
+  check_float "objective" 2.0 objective_value
+
+let test_simplex_width_mismatch () =
+  let problem =
+    {
+      Simplex.objective = [| 1.0; 2.0 |];
+      constraints =
+        [ { Simplex.coefficients = [| 1.0 |]; relation = Simplex.Le; rhs = 1.0 } ];
+    }
+  in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Simplex.solve: coefficient width mismatch") (fun () ->
+      ignore (Simplex.solve problem))
+
+let test_simplex_many_variables () =
+  (* min sum x_i s.t. sum x_i >= 1 over 500 variables: objective 1. *)
+  let n = 500 in
+  let problem =
+    {
+      Simplex.objective = Array.make n 1.0;
+      constraints =
+        [ { Simplex.coefficients = Array.make n 1.0; relation = Simplex.Ge; rhs = 1.0 } ];
+    }
+  in
+  let objective_value, _ = solve_exn problem in
+  check_float "objective" 1.0 objective_value
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force cross-check on random small LPs                         *)
+(* ------------------------------------------------------------------ *)
+
+(* For 2-variable LPs with <= constraints and bounded feasible region, the
+   optimum lies at a vertex; enumerate all candidate vertices (constraint
+   intersections and axis intercepts) and compare. *)
+let brute_force_2var objective constraints =
+  let feasible (x, y) =
+    x >= -1e-9 && y >= -1e-9
+    && List.for_all
+         (fun { Simplex.coefficients = c; rhs; _ } ->
+           (c.(0) *. x) +. (c.(1) *. y) <= rhs +. 1e-9)
+         constraints
+  in
+  let lines =
+    (* each constraint as a line, plus the two axes *)
+    ([| 1.0; 0.0 |], 0.0) :: ([| 0.0; 1.0 |], 0.0)
+    :: List.map (fun { Simplex.coefficients = c; rhs; _ } -> (c, rhs)) constraints
+  in
+  let intersections = ref [] in
+  List.iteri
+    (fun i (a, b1) ->
+      List.iteri
+        (fun j (c, b2) ->
+          if i < j then begin
+            let det = (a.(0) *. c.(1)) -. (a.(1) *. c.(0)) in
+            if Float.abs det > 1e-9 then begin
+              let x = ((b1 *. c.(1)) -. (a.(1) *. b2)) /. det in
+              let y = ((a.(0) *. b2) -. (b1 *. c.(0))) /. det in
+              intersections := (x, y) :: !intersections
+            end
+          end)
+        lines)
+    lines;
+  let best = ref Float.infinity in
+  List.iter
+    (fun (x, y) ->
+      if feasible (x, y) then begin
+        let v = (objective.(0) *. x) +. (objective.(1) *. y) in
+        if v < !best then best := v
+      end)
+    !intersections;
+  !best
+
+let prop_simplex_matches_brute_force =
+  let gen =
+    QCheck.Gen.(
+      let coef = float_range 0.1 5.0 in
+      let constraint_gen =
+        map2
+          (fun a b -> ((a, b), float_of_int 10))
+          coef coef
+      in
+      pair (pair coef coef) (list_size (int_range 1 4) constraint_gen))
+  in
+  QCheck.Test.make ~count:100 ~name:"simplex matches 2-var brute force"
+    (QCheck.make gen)
+    (fun ((ox, oy), raw_constraints) ->
+      (* Positive coefficients and RHS 10 guarantee a bounded, nonempty
+         feasible region in the first quadrant. *)
+      let constraints =
+        List.map
+          (fun ((a, b), rhs) ->
+            { Simplex.coefficients = [| a; b |]; relation = Simplex.Le; rhs })
+          raw_constraints
+      in
+      (* minimise -(ox x + oy y): maximisation, bounded by constraints *)
+      let objective = [| -.ox; -.oy |] in
+      match Simplex.solve { Simplex.objective; constraints } with
+      | Simplex.Optimal { objective_value; _ } ->
+          let expected = brute_force_2var objective constraints in
+          Float.abs (objective_value -. expected)
+          <= 1e-6 *. Float.max 1.0 (Float.abs expected)
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* L1 fitting                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_l1_exact_recovery () =
+  (* Design is the identity: fitting should reproduce the target exactly
+     when the mass constraint allows it. *)
+  let spec =
+    {
+      L1_fit.design = [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |];
+      target = [| 2.0; 3.0 |];
+      mass_coefficients = [| 1.0; 1.0 |];
+      mass = 5.0;
+    }
+  in
+  match L1_fit.fit spec with
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+  | Ok { weights; residual } ->
+      check_float "residual" 0.0 residual;
+      check_float "w0" 2.0 weights.(0);
+      check_float "w1" 3.0 weights.(1)
+
+let test_l1_constrained_tradeoff () =
+  (* Identity design but mass forces total 4 while target sums to 5:
+     optimal residual is 1 (shave one unit off either coordinate). *)
+  let spec =
+    {
+      L1_fit.design = [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |];
+      target = [| 2.0; 3.0 |];
+      mass_coefficients = [| 1.0; 1.0 |];
+      mass = 4.0;
+    }
+  in
+  match L1_fit.fit spec with
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+  | Ok { weights; residual } ->
+      check_float "residual" 1.0 residual;
+      check_float "mass respected" 4.0 (weights.(0) +. weights.(1))
+
+let test_l1_nonnegative_weights () =
+  let spec =
+    {
+      L1_fit.design = [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |];
+      target = [| -5.0; -5.0 |];
+      mass_coefficients = [| 1.0; 1.0 |];
+      mass = 1.0;
+    }
+  in
+  match L1_fit.fit spec with
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+  | Ok { weights; _ } ->
+      Array.iter
+        (fun w ->
+          if w < -1e-9 then Alcotest.failf "negative weight %f" w)
+        weights
+
+let test_l1_infeasible_mass () =
+  (* All mass coefficients zero but mass 1: infeasible. *)
+  let spec =
+    {
+      L1_fit.design = [| [| 1.0 |] |];
+      target = [| 1.0 |];
+      mass_coefficients = [| 0.0 |];
+      mass = 1.0;
+    }
+  in
+  match L1_fit.fit spec with
+  | Error "infeasible" -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" e
+  | Ok _ -> Alcotest.fail "expected infeasible"
+
+let prop_l1_residual_not_worse_than_any_feasible_point =
+  (* The optimal residual must be <= the residual of the specific feasible
+     point that puts all mass on one grid point. *)
+  QCheck.Test.make ~count:60 ~name:"L1 optimum beats single-point solutions"
+    QCheck.(pair (float_range 0.5 3.0) (float_range 0.5 3.0))
+    (fun (t1, t2) ->
+      let spec =
+        {
+          L1_fit.design = [| [| 1.0; 0.5 |]; [| 0.25; 1.0 |] |];
+          target = [| t1; t2 |];
+          mass_coefficients = [| 0.5; 0.5 |];
+          mass = 1.0;
+        }
+      in
+      match L1_fit.fit spec with
+      | Error _ -> false
+      | Ok { residual; _ } ->
+          (* all mass on grid point 0: r = (2, 0) *)
+          let single0 =
+            Float.abs (t1 -. 2.0) +. Float.abs (t2 -. 0.5)
+          in
+          let single1 = Float.abs (t1 -. 1.0) +. Float.abs (t2 -. 2.0) in
+          residual <= Float.min single0 single1 +. 1e-6)
+
+let () =
+  Alcotest.run "repro_lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "basic <= LP" `Quick test_simplex_basic_le;
+          Alcotest.test_case "equality" `Quick test_simplex_equality;
+          Alcotest.test_case ">= constraint" `Quick test_simplex_ge;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "negative rhs" `Quick test_simplex_negative_rhs;
+          Alcotest.test_case "degenerate vertex" `Quick test_simplex_degenerate;
+          Alcotest.test_case "redundant equality" `Quick test_simplex_redundant_equality;
+          Alcotest.test_case "width mismatch" `Quick test_simplex_width_mismatch;
+          Alcotest.test_case "many variables" `Quick test_simplex_many_variables;
+        ] );
+      ( "l1_fit",
+        [
+          Alcotest.test_case "exact recovery" `Quick test_l1_exact_recovery;
+          Alcotest.test_case "constrained tradeoff" `Quick test_l1_constrained_tradeoff;
+          Alcotest.test_case "nonnegative weights" `Quick test_l1_nonnegative_weights;
+          Alcotest.test_case "infeasible mass" `Quick test_l1_infeasible_mass;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_simplex_matches_brute_force;
+            prop_l1_residual_not_worse_than_any_feasible_point;
+          ] );
+    ]

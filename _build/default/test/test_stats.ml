@@ -1,0 +1,210 @@
+(* Tests for fingerprints and the q-error metric. *)
+
+open Repro_stats
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fingerprint_int_counts () =
+  (* counts 1,1,2,3,3,3 -> F1=2, F2=1, F3=3? no: counts are per-value
+     multiplicities; [1;1;2;3] means two values appear once, one twice,
+     one three times. *)
+  let fp = Fingerprint.of_int_counts (List.to_seq [ 1; 1; 2; 3 ]) in
+  check_float "F1" 2.0 (Fingerprint.get fp 1);
+  check_float "F2" 1.0 (Fingerprint.get fp 2);
+  check_float "F3" 1.0 (Fingerprint.get fp 3);
+  check_float "F4 absent" 0.0 (Fingerprint.get fp 4);
+  Alcotest.(check int) "max index" 3 (Fingerprint.max_index fp)
+
+let test_fingerprint_ignores_nonpositive () =
+  let fp = Fingerprint.of_int_counts (List.to_seq [ 0; -3; 2 ]) in
+  check_float "only positive" 1.0 (Fingerprint.distinct_values fp);
+  check_float "sample size" 2.0 (Fingerprint.sample_size fp)
+
+let test_fingerprint_sample_size () =
+  let fp = Fingerprint.of_int_counts (List.to_seq [ 1; 2; 3 ]) in
+  check_float "n = sum i*F_i" 6.0 (Fingerprint.sample_size fp);
+  check_float "distinct" 3.0 (Fingerprint.distinct_values fp)
+
+let test_fingerprint_fractional_split () =
+  (* count 2.25 contributes 0.75 to F2 and 0.25 to F3 *)
+  let fp = Fingerprint.of_float_counts (List.to_seq [ 2.25 ]) in
+  check_float "F2" 0.75 (Fingerprint.get fp 2);
+  check_float "F3" 0.25 (Fingerprint.get fp 3);
+  (* mass-preserving: 2*0.75 + 3*0.25 = 2.25 *)
+  check_float "expected size preserved" 2.25 (Fingerprint.sample_size fp)
+
+let test_fingerprint_fractional_integer_count () =
+  let fp = Fingerprint.of_float_counts (List.to_seq [ 3.0 ]) in
+  check_float "whole mass in F3" 1.0 (Fingerprint.get fp 3);
+  check_float "no F4 leakage" 0.0 (Fingerprint.get fp 4)
+
+let test_fingerprint_subunit_count () =
+  (* count 0.4 -> 0.4 of a value at F1, 0.6 "below one occurrence" dropped
+     (index 0 is not a fingerprint entry) *)
+  let fp = Fingerprint.of_float_counts (List.to_seq [ 0.4 ]) in
+  check_float "F1 partial" 0.4 (Fingerprint.get fp 1);
+  check_float "distinct mass" 0.4 (Fingerprint.distinct_values fp)
+
+let test_fingerprint_to_alist_sorted () =
+  let fp = Fingerprint.of_int_counts (List.to_seq [ 5; 1; 3; 1 ]) in
+  let keys = List.map fst (Fingerprint.to_alist fp) in
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 5 ] keys
+
+let test_fingerprint_empty () =
+  check_float "empty size" 0.0 (Fingerprint.sample_size Fingerprint.empty);
+  Alcotest.(check int) "empty max" 0 (Fingerprint.max_index Fingerprint.empty)
+
+(* ------------------------------------------------------------------ *)
+(* Qerror                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_qerror_basic () =
+  check_float "exact" 1.0 (Qerror.compute ~truth:10.0 ~estimate:10.0);
+  check_float "2x over" 2.0 (Qerror.compute ~truth:10.0 ~estimate:20.0);
+  check_float "2x under" 2.0 (Qerror.compute ~truth:10.0 ~estimate:5.0)
+
+let test_qerror_zero_cases () =
+  check_float "both zero" 1.0 (Qerror.compute ~truth:0.0 ~estimate:0.0);
+  check_float "estimate zero" Float.infinity (Qerror.compute ~truth:5.0 ~estimate:0.0);
+  check_float "truth zero" Float.infinity (Qerror.compute ~truth:0.0 ~estimate:5.0)
+
+let test_qerror_negative_estimate_clamped () =
+  check_float "negative treated as 0" Float.infinity
+    (Qerror.compute ~truth:5.0 ~estimate:(-3.0))
+
+let test_qerror_nan_estimate () =
+  check_float "nan is failure" Float.infinity
+    (Qerror.compute ~truth:5.0 ~estimate:Float.nan)
+
+let test_qerror_failure_predicate () =
+  Alcotest.(check bool) "inf" true (Qerror.is_failure Float.infinity);
+  Alcotest.(check bool) "finite" false (Qerror.is_failure 3.0)
+
+let test_qerror_to_string () =
+  Alcotest.(check string) "format" "2.50" (Qerror.to_string 2.5);
+  Alcotest.(check string) "inf" "inf" (Qerror.to_string Float.infinity)
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Prng = Repro_util.Prng
+
+let test_bootstrap_contains_point () =
+  let prng = Prng.create 3 in
+  let runs = Array.init 50 (fun i -> float_of_int (i mod 10)) in
+  let ci = Bootstrap.median_interval prng runs in
+  Alcotest.(check bool) "lower <= point" true (ci.Bootstrap.lower <= ci.Bootstrap.point);
+  Alcotest.(check bool) "point <= upper" true (ci.Bootstrap.point <= ci.Bootstrap.upper)
+
+let test_bootstrap_degenerate_data () =
+  let prng = Prng.create 5 in
+  let runs = Array.make 20 7.0 in
+  let ci = Bootstrap.median_interval prng runs in
+  check_float "tight lower" 7.0 ci.Bootstrap.lower;
+  check_float "tight upper" 7.0 ci.Bootstrap.upper
+
+let test_bootstrap_wider_at_higher_level () =
+  let prng = Prng.create 7 in
+  let runs = Array.init 60 (fun i -> float_of_int ((i * 37) mod 100)) in
+  let narrow = Bootstrap.median_interval ~level:0.5 (Prng.copy prng) runs in
+  let wide = Bootstrap.median_interval ~level:0.99 (Prng.copy prng) runs in
+  Alcotest.(check bool) "99% at least as wide as 50%" true
+    (wide.Bootstrap.upper -. wide.Bootstrap.lower
+    >= narrow.Bootstrap.upper -. narrow.Bootstrap.lower)
+
+let test_bootstrap_validation () =
+  let prng = Prng.create 9 in
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Bootstrap.confidence_interval: empty input") (fun () ->
+      ignore (Bootstrap.median_interval prng [||]));
+  Alcotest.check_raises "bad level"
+    (Invalid_argument "Bootstrap.confidence_interval: level must be in (0, 1)")
+    (fun () -> ignore (Bootstrap.median_interval ~level:1.5 prng [| 1.0 |]))
+
+let test_bootstrap_custom_statistic () =
+  let prng = Prng.create 11 in
+  let runs = Array.init 30 (fun i -> float_of_int i) in
+  let ci =
+    Bootstrap.confidence_interval ~statistic:Repro_util.Summary.mean prng runs
+  in
+  check_float "point is the mean" 14.5 ci.Bootstrap.point
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_qerror_at_least_one =
+  QCheck.Test.make ~count:500 ~name:"q-error >= 1"
+    QCheck.(pair (float_range 0.001 1e6) (float_range 0.0 1e6))
+    (fun (truth, estimate) -> Qerror.compute ~truth ~estimate >= 1.0)
+
+let prop_qerror_symmetric =
+  QCheck.Test.make ~count:500 ~name:"q-error symmetric in truth/estimate"
+    QCheck.(pair (float_range 0.001 1e6) (float_range 0.001 1e6))
+    (fun (x, y) ->
+      Repro_util.Math_ex.feq ~eps:1e-9
+        (Qerror.compute ~truth:x ~estimate:y)
+        (Qerror.compute ~truth:y ~estimate:x))
+
+let prop_fingerprint_mass_conserved =
+  QCheck.Test.make ~count:300 ~name:"fractional fingerprint preserves sample size"
+    QCheck.(list_of_size Gen.(int_range 0 30) (float_range 0.0 20.0))
+    (fun counts ->
+      let fp = Fingerprint.of_float_counts (List.to_seq counts) in
+      let expected =
+        List.fold_left
+          (fun acc c ->
+            (* counts below 1 lose their floor mass to the nonexistent
+               F0 bin; model that in the oracle *)
+            if c <= 0.0 then acc
+            else if c < 1.0 then acc +. (c -. Float.floor c) *. 1.0
+            else acc +. c)
+          0.0 counts
+      in
+      Float.abs (Fingerprint.sample_size fp -. expected) < 1e-6)
+
+let () =
+  Alcotest.run "repro_stats"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "int counts" `Quick test_fingerprint_int_counts;
+          Alcotest.test_case "ignores nonpositive" `Quick test_fingerprint_ignores_nonpositive;
+          Alcotest.test_case "sample size" `Quick test_fingerprint_sample_size;
+          Alcotest.test_case "fractional split" `Quick test_fingerprint_fractional_split;
+          Alcotest.test_case "fractional integer" `Quick
+            test_fingerprint_fractional_integer_count;
+          Alcotest.test_case "subunit count" `Quick test_fingerprint_subunit_count;
+          Alcotest.test_case "alist sorted" `Quick test_fingerprint_to_alist_sorted;
+          Alcotest.test_case "empty" `Quick test_fingerprint_empty;
+        ] );
+      ( "qerror",
+        [
+          Alcotest.test_case "basic" `Quick test_qerror_basic;
+          Alcotest.test_case "zero cases" `Quick test_qerror_zero_cases;
+          Alcotest.test_case "negative clamped" `Quick test_qerror_negative_estimate_clamped;
+          Alcotest.test_case "nan" `Quick test_qerror_nan_estimate;
+          Alcotest.test_case "failure predicate" `Quick test_qerror_failure_predicate;
+          Alcotest.test_case "to_string" `Quick test_qerror_to_string;
+        ] );
+      ( "bootstrap",
+        [
+          Alcotest.test_case "contains point" `Quick test_bootstrap_contains_point;
+          Alcotest.test_case "degenerate" `Quick test_bootstrap_degenerate_data;
+          Alcotest.test_case "level widens" `Quick test_bootstrap_wider_at_higher_level;
+          Alcotest.test_case "validation" `Quick test_bootstrap_validation;
+          Alcotest.test_case "custom statistic" `Quick test_bootstrap_custom_statistic;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_qerror_at_least_one;
+            prop_qerror_symmetric;
+            prop_fingerprint_mass_conserved;
+          ] );
+    ]

@@ -1,0 +1,127 @@
+(* Tests for the synopsis store: registry behaviour and persistence. *)
+
+open Repro_relation
+module Prng = Repro_util.Prng
+
+let schema = Schema.make [ ("k", Schema.T_int); ("attr", Schema.T_int) ]
+
+let table_of_counts counts =
+  Table.of_rows schema
+    (List.concat_map
+       (fun (v, m) -> List.init m (fun i -> [| Value.Int v; Value.Int i |]))
+       counts)
+
+let tables =
+  lazy
+    (let a = table_of_counts [ (1, 12); (2, 7); (3, 20) ] in
+     let b = table_of_counts [ (1, 5); (2, 16); (3, 4) ] in
+     let fk = table_of_counts [ (1, 3); (2, 2); (3, 4) ] in
+     let pk = table_of_counts (List.init 10 (fun i -> (i, 1))) in
+     [ ("a", a); ("b", b); ("fk", fk); ("pk", pk) ])
+
+let table name = List.assoc name (Lazy.force tables)
+
+let resolve_table name =
+  match List.assoc_opt name (Lazy.force tables) with
+  | Some t -> t
+  | None -> failwith ("unknown table " ^ name)
+
+let build_store () =
+  let store = Csdl.Store.create () in
+  let register key ta tb spec =
+    let profile = Csdl.Profile.of_tables (table ta) "k" (table tb) "k" in
+    let estimator = Csdl.Estimator.prepare spec ~theta:0.5 profile in
+    let synopsis = Csdl.Estimator.draw estimator (Prng.create 7) in
+    Csdl.Store.add store ~key ~table_a:ta ~table_b:tb estimator synopsis
+  in
+  register "a-b" "a" "b" (Csdl.Spec.csdl Csdl.Spec.L_one Csdl.Spec.L_theta);
+  register "pk-fk" "pk" "fk" Csdl.Spec.cs2l;
+  store
+
+let test_store_registry () =
+  let store = build_store () in
+  Alcotest.(check (list string)) "keys" [ "a-b"; "pk-fk" ] (Csdl.Store.keys store);
+  Alcotest.(check bool) "mem" true (Csdl.Store.mem store "a-b");
+  Alcotest.(check bool) "footprint positive" true (Csdl.Store.total_tuples store > 0);
+  Csdl.Store.remove store "a-b";
+  Alcotest.(check bool) "removed" false (Csdl.Store.mem store "a-b")
+
+let test_store_estimate () =
+  let store = build_store () in
+  let estimate = Csdl.Store.estimate store ~key:"a-b" in
+  Alcotest.(check bool) "positive estimate" true (estimate > 0.0);
+  Alcotest.check_raises "unknown key" Not_found (fun () ->
+      ignore (Csdl.Store.estimate store ~key:"nope"))
+
+let test_store_estimate_orientation () =
+  (* the pk-fk entry was registered with the PK table as side A; the
+     estimator swaps internally, and the store must keep mapping pred_a to
+     the PK table. A predicate selecting no PK rows must zero the
+     estimate. *)
+  let store = build_store () in
+  let unfiltered = Csdl.Store.estimate store ~key:"pk-fk" in
+  Alcotest.(check bool) "unfiltered positive" true (unfiltered > 0.0);
+  let none = Csdl.Store.estimate store ~key:"pk-fk" ~pred_a:Predicate.False in
+  Alcotest.(check (float 0.0)) "impossible pred on A zeroes" 0.0 none
+
+let test_store_roundtrip () =
+  let store = build_store () in
+  let path = Filename.temp_file "repro" ".synopses" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csdl.Store.save store path;
+      let back = Csdl.Store.load ~resolve_table path in
+      Alcotest.(check (list string)) "keys preserved" (Csdl.Store.keys store)
+        (Csdl.Store.keys back);
+      Alcotest.(check int) "footprint preserved"
+        (Csdl.Store.total_tuples store)
+        (Csdl.Store.total_tuples back);
+      (* same samples, same math — equal up to float summation order,
+         which the hashtable rebuild may permute *)
+      List.iter
+        (fun key ->
+          let pred = Predicate.Compare (Predicate.Lt, "attr", Value.Int 3) in
+          let before = Csdl.Store.estimate store ~key ~pred_a:pred in
+          let after = Csdl.Store.estimate back ~key ~pred_a:pred in
+          if not (Repro_util.Math_ex.feq ~eps:1e-9 before after) then
+            Alcotest.failf "%s estimate drifted: %.12g vs %.12g" key before
+              after)
+        (Csdl.Store.keys store))
+
+let test_store_load_rejects_garbage () =
+  let path = Filename.temp_file "repro" ".synopses" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "not a store";
+      close_out oc;
+      match Csdl.Store.load ~resolve_table path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "expected Failure")
+
+let test_store_replace_same_key () =
+  let store = build_store () in
+  let profile = Csdl.Profile.of_tables (table "a") "k" (table "b") "k" in
+  let estimator =
+    Csdl.Estimator.prepare (Csdl.Spec.csdl Csdl.Spec.L_one Csdl.Spec.L_diff)
+      ~theta:0.5 profile
+  in
+  let synopsis = Csdl.Estimator.draw estimator (Prng.create 9) in
+  Csdl.Store.add store ~key:"a-b" ~table_a:"a" ~table_b:"b" estimator synopsis;
+  Alcotest.(check int) "still two keys" 2 (List.length (Csdl.Store.keys store))
+
+let () =
+  Alcotest.run "csdl_store"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "registry" `Quick test_store_registry;
+          Alcotest.test_case "estimate" `Quick test_store_estimate;
+          Alcotest.test_case "orientation" `Quick test_store_estimate_orientation;
+          Alcotest.test_case "save/load roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_store_load_rejects_garbage;
+          Alcotest.test_case "replace key" `Quick test_store_replace_same_key;
+        ] );
+    ]

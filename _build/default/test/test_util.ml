@@ -1,0 +1,440 @@
+(* Unit and property tests for the repro_util substrate. *)
+
+open Repro_util
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Prng.bits64 a) (Prng.bits64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_prng_split_independent () =
+  let parent = Prng.create 7 in
+  let child = Prng.split parent in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Prng.bits64 parent) (Prng.bits64 child)) then
+      differs := true
+  done;
+  Alcotest.(check bool) "split stream diverges from parent" true !differs
+
+let test_prng_int_range () =
+  let t = Prng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int t 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "Prng.int out of range"
+  done
+
+let test_prng_int_uniformity () =
+  let t = Prng.create 11 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Prng.int t 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* Each bucket should be within 5 sigma of n/10. *)
+  let expected = float_of_int n /. 10.0 in
+  let sigma = sqrt (expected *. 0.9) in
+  Array.iteri
+    (fun i c ->
+      let dev = Float.abs (float_of_int c -. expected) in
+      if dev > 5.0 *. sigma then
+        Alcotest.failf "bucket %d count %d deviates too much" i c)
+    counts
+
+let test_prng_float_range () =
+  let t = Prng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float t in
+    if v < 0.0 || v >= 1.0 then Alcotest.fail "Prng.float out of [0,1)"
+  done
+
+let test_prng_bernoulli_extremes () =
+  let t = Prng.create 9 in
+  Alcotest.(check bool) "p=1 always true" true (Prng.bernoulli t 1.0);
+  Alcotest.(check bool) "p=0 always false" false (Prng.bernoulli t 0.0)
+
+let test_prng_bernoulli_mean () =
+  let t = Prng.create 13 in
+  let n = 100_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Prng.bernoulli t 0.3 then incr hits
+  done;
+  let p_hat = float_of_int !hits /. float_of_int n in
+  if Float.abs (p_hat -. 0.3) > 0.01 then
+    Alcotest.failf "bernoulli(0.3) mean drifted: %f" p_hat
+
+let test_prng_binomial_bounds () =
+  let t = Prng.create 21 in
+  for _ = 1 to 1000 do
+    let v = Prng.binomial t 50 0.25 in
+    if v < 0 || v > 50 then Alcotest.fail "binomial out of range"
+  done
+
+let test_prng_binomial_mean_variance () =
+  let t = Prng.create 23 in
+  let n_draws = 50_000 and n = 40 and p = 0.3 in
+  let draws = Array.init n_draws (fun _ -> float_of_int (Prng.binomial t n p)) in
+  let mean = Summary.mean draws in
+  let var = Summary.variance draws in
+  let expected_mean = float_of_int n *. p in
+  let expected_var = float_of_int n *. p *. (1.0 -. p) in
+  if Float.abs (mean -. expected_mean) > 0.1 then
+    Alcotest.failf "binomial mean %f vs %f" mean expected_mean;
+  if Float.abs (var -. expected_var) > 0.5 then
+    Alcotest.failf "binomial variance %f vs %f" var expected_var
+
+let test_prng_binomial_extreme_p () =
+  let t = Prng.create 29 in
+  Alcotest.(check int) "p=0" 0 (Prng.binomial t 100 0.0);
+  Alcotest.(check int) "p=1" 100 (Prng.binomial t 100 1.0);
+  Alcotest.(check int) "n=0" 0 (Prng.binomial t 0 0.5)
+
+let test_prng_binomial_high_p_mean () =
+  let t = Prng.create 31 in
+  let n_draws = 50_000 in
+  let draws =
+    Array.init n_draws (fun _ -> float_of_int (Prng.binomial t 30 0.9))
+  in
+  let mean = Summary.mean draws in
+  if Float.abs (mean -. 27.0) > 0.1 then
+    Alcotest.failf "binomial(30,0.9) mean %f vs 27" mean
+
+let test_prng_geometric_mean () =
+  let t = Prng.create 37 in
+  let n = 100_000 and p = 0.2 in
+  let draws = Array.init n (fun _ -> float_of_int (Prng.geometric t p)) in
+  let mean = Summary.mean draws in
+  (* E[failures before success] = (1-p)/p = 4 *)
+  if Float.abs (mean -. 4.0) > 0.1 then
+    Alcotest.failf "geometric(0.2) mean %f vs 4" mean
+
+let test_prng_shuffle_permutation () =
+  let t = Prng.create 41 in
+  let arr = Array.init 100 Fun.id in
+  Prng.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 100 Fun.id) sorted
+
+let test_prng_sample_without_replacement () =
+  let t = Prng.create 43 in
+  let s = Prng.sample_without_replacement t 10 100 in
+  Alcotest.(check int) "size" 10 (Array.length s);
+  let distinct = Array.to_list s |> List.sort_uniq compare |> List.length in
+  Alcotest.(check int) "distinct" 10 distinct;
+  Array.iter (fun v -> if v < 0 || v >= 100 then Alcotest.fail "range") s;
+  (* sorted *)
+  for i = 1 to 9 do
+    if s.(i - 1) >= s.(i) then Alcotest.fail "not sorted"
+  done
+
+let test_prng_sample_full () =
+  let t = Prng.create 47 in
+  let s = Prng.sample_without_replacement t 5 5 in
+  Alcotest.(check (array int)) "k = n returns all" [| 0; 1; 2; 3; 4 |] s
+
+(* ------------------------------------------------------------------ *)
+(* Math_ex                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_gamma_factorials () =
+  (* Gamma(n) = (n-1)! *)
+  check_float_loose "Gamma(1)=1" 0.0 (Math_ex.log_gamma 1.0);
+  check_float_loose "Gamma(2)=1" 0.0 (Math_ex.log_gamma 2.0);
+  check_float_loose "Gamma(5)=24" (log 24.0) (Math_ex.log_gamma 5.0);
+  check_float_loose "Gamma(11)=10!" (log 3628800.0) (Math_ex.log_gamma 11.0)
+
+let test_log_gamma_half () =
+  (* Gamma(1/2) = sqrt(pi) *)
+  check_float_loose "Gamma(0.5)" (0.5 *. log Float.pi) (Math_ex.log_gamma 0.5)
+
+let test_log_factorial_matches () =
+  for n = 0 to 20 do
+    let direct = ref 0.0 in
+    for k = 2 to n do
+      direct := !direct +. log (float_of_int k)
+    done;
+    check_float_loose (Printf.sprintf "log %d!" n) !direct (Math_ex.log_factorial n)
+  done
+
+let test_log_factorial_large () =
+  (* Above the cache boundary it must agree with log_gamma. *)
+  let n = 5000 in
+  check_float_loose "log 5000!"
+    (Math_ex.log_gamma (float_of_int n +. 1.0))
+    (Math_ex.log_factorial n)
+
+let test_poisson_pmf_sums_to_one () =
+  let lambda = 3.7 in
+  let total = ref 0.0 in
+  for k = 0 to 100 do
+    total := !total +. Math_ex.poisson_pmf lambda k
+  done;
+  check_float_loose "poisson mass" 1.0 !total
+
+let test_poisson_pmf_known_values () =
+  check_float "poi(0,0)" 1.0 (Math_ex.poisson_pmf 0.0 0);
+  check_float "poi(0,3)" 0.0 (Math_ex.poisson_pmf 0.0 3);
+  check_float_loose "poi(2,0)" (exp (-2.0)) (Math_ex.poisson_pmf 2.0 0);
+  check_float_loose "poi(2,1)" (2.0 *. exp (-2.0)) (Math_ex.poisson_pmf 2.0 1);
+  check_float_loose "poi(2,2)" (2.0 *. exp (-2.0)) (Math_ex.poisson_pmf 2.0 2)
+
+let test_poisson_pmf_no_overflow () =
+  let v = Math_ex.poisson_pmf 1e6 1_000_000 in
+  Alcotest.(check bool) "finite" true (Float.is_finite v);
+  Alcotest.(check bool) "positive" true (v > 0.0)
+
+let test_binomial_pmf_sums_to_one () =
+  let n = 30 and p = 0.42 in
+  let total = ref 0.0 in
+  for k = 0 to n do
+    total := !total +. Math_ex.binomial_pmf n p k
+  done;
+  check_float_loose "binomial mass" 1.0 !total
+
+let test_binomial_pmf_degenerate () =
+  check_float "p=0 k=0" 1.0 (Math_ex.binomial_pmf 10 0.0 0);
+  check_float "p=1 k=n" 1.0 (Math_ex.binomial_pmf 10 1.0 10);
+  check_float "k out of range" 0.0 (Math_ex.binomial_pmf 10 0.5 11)
+
+let test_generalized_harmonic () =
+  check_float "H_1,1" 1.0 (Math_ex.generalized_harmonic 1 1.0);
+  check_float_loose "H_3,1" (1.0 +. 0.5 +. (1.0 /. 3.0))
+    (Math_ex.generalized_harmonic 3 1.0);
+  check_float_loose "H_3,2"
+    (1.0 +. 0.25 +. (1.0 /. 9.0))
+    (Math_ex.generalized_harmonic 3 2.0)
+
+let test_log_sum_exp () =
+  check_float_loose "lse of equal" (log 3.0) (Math_ex.log_sum_exp [| 0.0; 0.0; 0.0 |]);
+  check_float "lse empty" Float.neg_infinity (Math_ex.log_sum_exp [||]);
+  (* Stability: huge values must not overflow. *)
+  let v = Math_ex.log_sum_exp [| 1000.0; 1000.0 |] in
+  check_float_loose "lse huge" (1000.0 +. log 2.0) v
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_mean_variance () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Summary.mean xs);
+  check_float_loose "variance" (5.0 /. 3.0) (Summary.variance xs)
+
+let test_summary_median () =
+  check_float "odd" 2.0 (Summary.median [| 3.0; 1.0; 2.0 |]);
+  check_float "even" 2.5 (Summary.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Summary.median [||]))
+
+let test_summary_median_with_infinities () =
+  (* Median over runs where a minority fail stays finite; majority fails -> inf. *)
+  let minority = [| 1.0; 2.0; 3.0; 4.0; Float.infinity |] in
+  check_float "minority failures" 3.0 (Summary.median minority);
+  let majority = [| 1.0; 2.0; Float.infinity; Float.infinity; Float.infinity |] in
+  check_float "majority failures" Float.infinity (Summary.median majority)
+
+let test_summary_median_does_not_mutate () =
+  let xs = [| 3.0; 1.0; 2.0 |] in
+  let _ = Summary.median xs in
+  Alcotest.(check (array (float 0.0))) "unchanged" [| 3.0; 1.0; 2.0 |] xs
+
+let test_summary_quantile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "q0" 1.0 (Summary.quantile 0.0 xs);
+  check_float "q1" 5.0 (Summary.quantile 1.0 xs);
+  check_float "q0.5" 3.0 (Summary.quantile 0.5 xs);
+  check_float "q0.25" 2.0 (Summary.quantile 0.25 xs)
+
+let test_summary_variance_infinite () =
+  check_float "inf propagates" Float.infinity
+    (Summary.variance [| 1.0; Float.infinity |])
+
+let test_summary_relative_variance () =
+  let xs = [| 10.0; 10.0; 10.0 |] in
+  check_float "zero dispersion" 0.0 (Summary.relative_variance ~truth:10.0 xs);
+  check_float "zero truth" Float.infinity
+    (Summary.relative_variance ~truth:0.0 xs)
+
+let test_summary_min_max () =
+  let lo, hi = Summary.min_max [| 3.0; -1.0; 7.0 |] in
+  check_float "min" (-1.0) lo;
+  check_float "max" 7.0 hi
+
+(* ------------------------------------------------------------------ *)
+(* Weighted                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_weighted_median_simple () =
+  let t = Weighted.of_pairs [ (1.0, 1.0); (2.0, 1.0); (3.0, 1.0) ] in
+  check_float "uniform median" 2.0 (Weighted.median t)
+
+let test_weighted_median_skewed () =
+  let t = Weighted.of_pairs [ (1.0, 10.0); (2.0, 1.0); (3.0, 1.0) ] in
+  check_float "heavy low value wins" 1.0 (Weighted.median t)
+
+let test_weighted_median_order_independent () =
+  let a = Weighted.of_pairs [ (3.0, 1.0); (1.0, 5.0); (2.0, 2.0) ] in
+  let b = Weighted.of_pairs [ (1.0, 5.0); (2.0, 2.0); (3.0, 1.0) ] in
+  check_float "same median" (Weighted.median a) (Weighted.median b)
+
+let test_weighted_drops_zero_weights () =
+  let t = Weighted.of_pairs [ (1.0, 0.0); (2.0, 1.0) ] in
+  Alcotest.(check int) "only positive kept" 1 (Weighted.size t);
+  check_float "median skips zero-weight" 2.0 (Weighted.median t)
+
+let test_weighted_reweight () =
+  let t = Weighted.of_pairs [ (1.0, 1.0); (2.0, 1.0); (3.0, 1.0) ] in
+  (* Kill everything except the value 3. *)
+  let t' = Weighted.reweight (fun v w -> if v < 2.5 then 0.0 else w) t in
+  Alcotest.(check int) "size after reweight" 1 (Weighted.size t');
+  check_float "median" 3.0 (Weighted.median t')
+
+let test_weighted_mean () =
+  let t = Weighted.of_pairs [ (0.0, 1.0); (10.0, 3.0) ] in
+  check_float "weighted mean" 7.5 (Weighted.mean t)
+
+let test_weighted_total () =
+  let t = Weighted.of_pairs [ (0.0, 1.5); (10.0, 2.5) ] in
+  check_float "total weight" 4.0 (Weighted.total_weight t);
+  Alcotest.(check bool) "not empty" false (Weighted.is_empty t);
+  Alcotest.(check bool) "empty is empty" true (Weighted.is_empty (Weighted.of_pairs []))
+
+let test_weighted_rejects_negative () =
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Weighted.of_pairs: negative weight") (fun () ->
+      ignore (Weighted.of_pairs [ (1.0, -1.0) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_median_bounded =
+  QCheck.Test.make ~count:200 ~name:"median lies within min/max"
+    QCheck.(array_of_size Gen.(int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let m = Summary.median xs in
+      let lo, hi = Summary.min_max xs in
+      m >= lo && m <= hi)
+
+let prop_weighted_median_bounded =
+  QCheck.Test.make ~count:200 ~name:"weighted median lies within support"
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 30)
+        (pair (float_range (-100.) 100.) (float_range 0.1 10.)))
+    (fun pairs ->
+      let t = Weighted.of_pairs pairs in
+      let m = Weighted.median t in
+      List.exists (fun (v, _) -> v = m) pairs)
+
+let prop_poisson_pmf_nonnegative =
+  QCheck.Test.make ~count:500 ~name:"poisson pmf in [0,1]"
+    QCheck.(pair (float_range 0.0 50.0) (int_range 0 200))
+    (fun (lambda, k) ->
+      let p = Math_ex.poisson_pmf lambda k in
+      p >= 0.0 && p <= 1.0 +. 1e-12)
+
+let prop_binomial_within_bounds =
+  QCheck.Test.make ~count:300 ~name:"binomial draw within [0,n]"
+    QCheck.(pair (int_range 0 200) (float_range 0.0 1.0))
+    (fun (n, p) ->
+      let t = Prng.create (n + int_of_float (p *. 1000.0)) in
+      let v = Prng.binomial t n p in
+      v >= 0 && v <= n)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~count:200 ~name:"quantile is monotone in p"
+    QCheck.(array_of_size Gen.(int_range 2 40) (float_range (-50.) 50.))
+    (fun xs ->
+      Summary.quantile 0.25 xs <= Summary.quantile 0.75 xs)
+
+let () =
+  Alcotest.run "repro_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "int range" `Quick test_prng_int_range;
+          Alcotest.test_case "int uniformity" `Slow test_prng_int_uniformity;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "bernoulli extremes" `Quick test_prng_bernoulli_extremes;
+          Alcotest.test_case "bernoulli mean" `Slow test_prng_bernoulli_mean;
+          Alcotest.test_case "binomial bounds" `Quick test_prng_binomial_bounds;
+          Alcotest.test_case "binomial moments" `Slow test_prng_binomial_mean_variance;
+          Alcotest.test_case "binomial extremes" `Quick test_prng_binomial_extreme_p;
+          Alcotest.test_case "binomial high p" `Slow test_prng_binomial_high_p_mean;
+          Alcotest.test_case "geometric mean" `Slow test_prng_geometric_mean;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "sample without replacement" `Quick
+            test_prng_sample_without_replacement;
+          Alcotest.test_case "sample k=n" `Quick test_prng_sample_full;
+        ] );
+      ( "math_ex",
+        [
+          Alcotest.test_case "log_gamma factorials" `Quick test_log_gamma_factorials;
+          Alcotest.test_case "log_gamma half" `Quick test_log_gamma_half;
+          Alcotest.test_case "log_factorial small" `Quick test_log_factorial_matches;
+          Alcotest.test_case "log_factorial large" `Quick test_log_factorial_large;
+          Alcotest.test_case "poisson mass" `Quick test_poisson_pmf_sums_to_one;
+          Alcotest.test_case "poisson known values" `Quick test_poisson_pmf_known_values;
+          Alcotest.test_case "poisson no overflow" `Quick test_poisson_pmf_no_overflow;
+          Alcotest.test_case "binomial mass" `Quick test_binomial_pmf_sums_to_one;
+          Alcotest.test_case "binomial degenerate" `Quick test_binomial_pmf_degenerate;
+          Alcotest.test_case "generalized harmonic" `Quick test_generalized_harmonic;
+          Alcotest.test_case "log_sum_exp" `Quick test_log_sum_exp;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "mean/variance" `Quick test_summary_mean_variance;
+          Alcotest.test_case "median" `Quick test_summary_median;
+          Alcotest.test_case "median with infinities" `Quick
+            test_summary_median_with_infinities;
+          Alcotest.test_case "median does not mutate" `Quick
+            test_summary_median_does_not_mutate;
+          Alcotest.test_case "quantile" `Quick test_summary_quantile;
+          Alcotest.test_case "variance infinity" `Quick test_summary_variance_infinite;
+          Alcotest.test_case "relative variance" `Quick test_summary_relative_variance;
+          Alcotest.test_case "min_max" `Quick test_summary_min_max;
+        ] );
+      ( "weighted",
+        [
+          Alcotest.test_case "median simple" `Quick test_weighted_median_simple;
+          Alcotest.test_case "median skewed" `Quick test_weighted_median_skewed;
+          Alcotest.test_case "median order independent" `Quick
+            test_weighted_median_order_independent;
+          Alcotest.test_case "drops zero weights" `Quick test_weighted_drops_zero_weights;
+          Alcotest.test_case "reweight" `Quick test_weighted_reweight;
+          Alcotest.test_case "mean" `Quick test_weighted_mean;
+          Alcotest.test_case "total" `Quick test_weighted_total;
+          Alcotest.test_case "rejects negative" `Quick test_weighted_rejects_negative;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_median_bounded;
+            prop_weighted_median_bounded;
+            prop_poisson_pmf_nonnegative;
+            prop_binomial_within_bounds;
+            prop_quantile_monotone;
+          ] );
+    ]
