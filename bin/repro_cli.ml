@@ -185,6 +185,15 @@ let exact_arg =
     value & flag
     & info [ "exact" ] ~doc:"Also compute the exact join size and q-error.")
 
+let guarded_arg =
+  Arg.(
+    value & flag
+    & info [ "guarded" ]
+        ~doc:
+          "Use the fault-tolerant degradation cascade (CSDL variants, then \
+           scaling, then the independence baseline) instead of a single \
+           approach; prints the rung that answered and any downgrades.")
+
 let predicate_conv =
   Arg.conv
     ( (fun s ->
@@ -206,8 +215,28 @@ let where_right_arg =
     value & opt predicate_conv Predicate.True
     & info [ "where-right" ] ~docv:"COND" ~doc:"Selection on the right table.")
 
-let estimate left left_col right right_col theta approach runs exact seed
-    pred_left pred_right =
+(* One guarded run: print the rung that answered (and the downgrades that
+   led there), return the estimate. *)
+let guarded_run ~theta ~pred_left ~pred_right profile prng i =
+  match
+    Repro_robustness.Guarded.estimate ~pred_a:pred_left ~pred_b:pred_right
+      ~theta profile prng
+  with
+  | Error fault ->
+      Printf.eprintf "error: %s\n" (Csdl.Fault.error_to_string fault);
+      exit 1
+  | Ok g ->
+      Printf.printf "run %d: %.1f via %s%s\n" (i + 1) g.Csdl.Estimator.value
+        g.Csdl.Estimator.rung
+        (if g.Csdl.Estimator.clamped then " (clamped)" else "");
+      List.iter
+        (fun d ->
+          Printf.printf "  downgraded: %s\n" (Csdl.Fault.degradation_to_string d))
+        g.Csdl.Estimator.trace;
+      g.Csdl.Estimator.value
+
+let estimate left left_col right right_col theta approach runs exact guarded
+    seed pred_left pred_right =
   let table_a = Csv_io.read_auto left and table_b = Csv_io.read_auto right in
   let profile = Csdl.Profile.of_tables table_a left_col table_b right_col in
   Printf.printf "|A| = %d, |B| = %d, shared join values = %d, jvd = %.6f\n"
@@ -215,26 +244,34 @@ let estimate left left_col right right_col theta approach runs exact seed
     profile.Csdl.Profile.b.Csdl.Profile.cardinality
     (Array.length profile.Csdl.Profile.shared_values)
     profile.Csdl.Profile.jvd;
-  let estimator =
-    match approach with
-    | Opt -> Csdl.Opt.prepare ~theta profile
-    | Cs2l -> Csdl.Estimator.prepare Csdl.Spec.cs2l ~theta profile
-    | Cs2 -> Csdl.Estimator.prepare Csdl.Spec.cs2 ~theta profile
-    | Cso -> Csdl.Estimator.prepare Csdl.Spec.cso ~theta profile
-    | Variant spec -> Csdl.Estimator.prepare spec ~theta profile
-  in
-  Printf.printf "approach: %s (sampling the %s table first)\n"
-    (Csdl.Spec.to_string (Csdl.Estimator.spec estimator))
-    (if Csdl.Estimator.swapped estimator then "right" else "left");
   if pred_left <> Predicate.True then
     Printf.printf "left selection: %s\n" (Predicate.to_string pred_left);
   if pred_right <> Predicate.True then
     Printf.printf "right selection: %s\n" (Predicate.to_string pred_right);
   let prng = Prng.create seed in
   let estimates =
-    Array.init runs (fun _ ->
-        Csdl.Estimator.estimate_once ~pred_a:pred_left ~pred_b:pred_right
-          estimator prng)
+    if guarded then begin
+      Printf.printf
+        "approach: guarded cascade (csdl:t,diff -> csdl:1,diff -> scaling -> \
+         independent)\n";
+      Array.init runs (guarded_run ~theta ~pred_left ~pred_right profile prng)
+    end
+    else begin
+      let estimator =
+        match approach with
+        | Opt -> Csdl.Opt.prepare ~theta profile
+        | Cs2l -> Csdl.Estimator.prepare Csdl.Spec.cs2l ~theta profile
+        | Cs2 -> Csdl.Estimator.prepare Csdl.Spec.cs2 ~theta profile
+        | Cso -> Csdl.Estimator.prepare Csdl.Spec.cso ~theta profile
+        | Variant spec -> Csdl.Estimator.prepare spec ~theta profile
+      in
+      Printf.printf "approach: %s (sampling the %s table first)\n"
+        (Csdl.Spec.to_string (Csdl.Estimator.spec estimator))
+        (if Csdl.Estimator.swapped estimator then "right" else "left");
+      Array.init runs (fun _ ->
+          Csdl.Estimator.estimate_once ~pred_a:pred_left ~pred_b:pred_right
+            estimator prng)
+    end
   in
   let median = Repro_util.Summary.median estimates in
   Printf.printf "median estimate over %d runs: %.1f\n" runs median;
@@ -262,8 +299,8 @@ let estimate_cmd =
     (Cmd.info "estimate" ~doc:"Estimate the equijoin size of two CSV tables.")
     Term.(
       const estimate $ left_arg $ left_col_arg $ right_arg $ right_col_arg
-      $ theta_arg $ approach_arg $ runs_arg $ exact_arg $ seed_arg
-      $ where_left_arg $ where_right_arg)
+      $ theta_arg $ approach_arg $ runs_arg $ exact_arg $ guarded_arg
+      $ seed_arg $ where_left_arg $ where_right_arg)
 
 (* ---------------- synopsis-build / synopsis-estimate ---------------- *)
 

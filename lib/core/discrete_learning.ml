@@ -58,62 +58,90 @@ let degenerate n =
     cache = Hashtbl.create 4;
   }
 
+let config_valid config =
+  0.0 < config.d /. 2.0 && config.d /. 2.0 < config.e && config.e < config.d
+  && config.d < 0.1
+
+(* Algorithm 1 on a validated, non-empty fingerprint. When the LP layer
+   fails, returns the empirical-fallback shape (count classes use j/n)
+   together with the typed LP error so checked callers can refuse it. *)
+let learn_core config fingerprint n =
+  let n_d = Float.pow n config.d and n_e = Float.pow n config.e in
+  let lp_max_i = max 1 (int_of_float (Float.floor n_d)) in
+  let heavy_threshold = n_d +. (2.0 *. n_e) in
+  (* Heavy counts keep their empirical probability (lines 6, 12). *)
+  let heavy_entries =
+    Fingerprint.fold
+      (fun i mass acc ->
+        if float_of_int i > heavy_threshold then
+          (float_of_int i /. n, mass) :: acc
+        else acc)
+      fingerprint []
+  in
+  let heavy_mass =
+    List.fold_left (fun acc (x, mass) -> acc +. (x *. mass)) 0.0 heavy_entries
+  in
+  let mass = Float.max 0.0 (1.0 -. heavy_mass) in
+  let x_max = (n_d +. n_e) /. n in
+  let grid = build_grid config ~n ~x_max in
+  let design =
+    Array.init lp_max_i (fun row ->
+        let i = row + 1 in
+        Array.map (fun x -> Math_ex.poisson_pmf (n *. x) i) grid)
+  in
+  let target =
+    Array.init lp_max_i (fun row -> Fingerprint.get fingerprint (row + 1))
+  in
+  let lp_entries, lp_error =
+    match
+      Repro_lp.L1_fit.fit
+        { design; target; mass_coefficients = Array.copy grid; mass }
+    with
+    | Ok { weights; _ } ->
+        let entries = ref [] in
+        Array.iteri
+          (fun j w -> if w > 0.0 then entries := (grid.(j), w) :: !entries)
+          weights;
+        (!entries, None)
+    | Error e ->
+        (* Cannot happen for a non-empty grid with mass >= 0 and finite
+           counts, but fall back to an empty shape rather than crash:
+           count classes then use their empirical probability. *)
+        ([], Some e)
+  in
+  let histogram = Weighted.of_pairs (lp_entries @ heavy_entries) in
+  let log_n = log n in
+  let empirical_cutoff = if log_n <= 0.0 then 0.0 else log_n *. log_n in
+  ({ n; histogram; empirical_cutoff; cache = Hashtbl.create 16 }, lp_error)
+
 let learn ?(config = default_config) counts =
-  if not (0.0 < config.d /. 2.0 && config.d /. 2.0 < config.e
-          && config.e < config.d && config.d < 0.1)
-  then invalid_arg "Discrete_learning.learn: need 0 < D/2 < E < D < 0.1";
-  let fingerprint = Fingerprint.of_float_counts (Array.to_seq counts) in
+  if not (config_valid config) then
+    invalid_arg "Discrete_learning.learn: need 0 < D/2 < E < D < 0.1";
+  let fingerprint =
+    Fingerprint.of_float_counts
+      (Seq.filter Float.is_finite (Array.to_seq counts))
+  in
   let n = Fingerprint.sample_size fingerprint in
   if n <= 0.0 then degenerate 0.0
-  else begin
-    let n_d = Float.pow n config.d and n_e = Float.pow n config.e in
-    let lp_max_i = max 1 (int_of_float (Float.floor n_d)) in
-    let heavy_threshold = n_d +. (2.0 *. n_e) in
-    (* Heavy counts keep their empirical probability (lines 6, 12). *)
-    let heavy_entries =
-      Fingerprint.fold
-        (fun i mass acc ->
-          if float_of_int i > heavy_threshold then
-            (float_of_int i /. n, mass) :: acc
-          else acc)
-        fingerprint []
-    in
-    let heavy_mass =
-      List.fold_left (fun acc (x, mass) -> acc +. (x *. mass)) 0.0 heavy_entries
-    in
-    let mass = Float.max 0.0 (1.0 -. heavy_mass) in
-    let x_max = (n_d +. n_e) /. n in
-    let grid = build_grid config ~n ~x_max in
-    let design =
-      Array.init lp_max_i (fun row ->
-          let i = row + 1 in
-          Array.map (fun x -> Math_ex.poisson_pmf (n *. x) i) grid)
-    in
-    let target =
-      Array.init lp_max_i (fun row -> Fingerprint.get fingerprint (row + 1))
-    in
-    let lp_entries =
-      match
-        Repro_lp.L1_fit.fit
-          { design; target; mass_coefficients = Array.copy grid; mass }
-      with
-      | Ok { weights; _ } ->
-          let entries = ref [] in
-          Array.iteri
-            (fun j w -> if w > 0.0 then entries := (grid.(j), w) :: !entries)
-            weights;
-          !entries
-      | Error _ ->
-          (* Cannot happen for a non-empty grid with mass >= 0, but fall
-             back to an empty shape rather than crash: count classes then
-             use their empirical probability. *)
-          []
-    in
-    let histogram = Weighted.of_pairs (lp_entries @ heavy_entries) in
-    let log_n = log n in
-    let empirical_cutoff = if log_n <= 0.0 then 0.0 else log_n *. log_n in
-    { n; histogram; empirical_cutoff; cache = Hashtbl.create 16 }
-  end
+  else fst (learn_core config fingerprint n)
+
+let learn_checked ?(config = default_config) counts =
+  if not (config_valid config) then
+    Error (Fault.Bad_input "discrete learning config: need 0 < D/2 < E < D < 0.1")
+  else
+    match Array.find_opt (fun c -> not (Float.is_finite c)) counts with
+    | Some bad ->
+        Error (Fault.Numeric { what = "discrete-learning count"; value = bad })
+    | None ->
+        let fingerprint = Fingerprint.of_float_counts (Array.to_seq counts) in
+        let n = Fingerprint.sample_size fingerprint in
+        if n <= 0.0 then
+          Error (Fault.Bad_input "discrete learning: empty or all-zero counts")
+        else begin
+          match learn_core config fingerprint n with
+          | t, None -> Ok t
+          | _, Some lp_error -> Error (Fault.of_l1_error lp_error)
+        end
 
 let probability_of_count t j =
   if j <= 0.0 || t.n <= 0.0 then 0.0

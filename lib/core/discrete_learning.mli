@@ -32,9 +32,19 @@ type t
 
 val learn : ?config:config -> float array -> t
 (** [learn counts] runs Algorithm 1 on a sample described by its
-    per-distinct-value multiplicities (zeros and negatives ignored). The
-    sample size is [sum counts]. An all-zero input yields a degenerate
-    result whose probabilities are all 0. *)
+    per-distinct-value multiplicities (zeros, negatives and non-finite
+    entries ignored). The sample size is [sum counts]. An all-zero input
+    yields a degenerate result whose probabilities are all 0, and an LP
+    failure falls back to the empirical shape — use {!learn_checked} when
+    those conditions should be reported instead of absorbed. *)
+
+val learn_checked : ?config:config -> float array -> (t, Fault.error) result
+(** Like {!learn} but every silent-degradation path becomes a typed error:
+    an invalid config or an empty/all-zero input is [Error (Bad_input _)]
+    instead of [Invalid_argument]/a degenerate result, a NaN or infinite
+    count is [Error (Numeric _)] instead of being dropped, and an LP
+    failure is [Error (Lp_infeasible | Lp_unbounded | Lp_iteration_cap |
+    Numeric _)] instead of the empirical fallback. Never raises. *)
 
 val sample_size : t -> float
 

@@ -7,6 +7,7 @@ type breakdown = {
   selectivity_a : float;
   virtual_sample_size : float;
   contributing_values : int;
+  degenerate : bool;
 }
 
 (* Filtered view of one sample entry under a compiled predicate. *)
@@ -58,7 +59,7 @@ let scaling_estimate synopsis pass_a pass_b =
     sample_b.Sample.entries;
   (!total, !contributing)
 
-let dl_estimate ?dl_config ~virtual_sample synopsis pass_a pass_b =
+let dl_estimate ~learn ~virtual_sample synopsis pass_a pass_b =
   let { Synopsis.resolved; sample_a; sample_b; n_prime } = synopsis in
   let base_q = resolved.Budget.base_q in
   (* Ablation hook: without the Eq. 6 virtual sample, raw counts feed the
@@ -92,10 +93,7 @@ let dl_estimate ?dl_config ~virtual_sample synopsis pass_a pass_b =
     let selectivity =
       float_of_int !filtered_tuples /. float_of_int total_tuples
     in
-    let learned =
-      Discrete_learning.learn ?config:dl_config
-        (Array.of_list !virtual_counts)
-    in
+    let learned = learn (Array.of_list !virtual_counts) in
     let n_filtered = n_prime *. selectivity in
     let sentry_spec = resolved.Budget.spec.Spec.sentry in
     let total = ref 0.0 in
@@ -127,8 +125,9 @@ let dl_estimate ?dl_config ~virtual_sample synopsis pass_a pass_b =
     (!total, !contributing, selectivity, Discrete_learning.sample_size learned)
   end
 
-let run_with_breakdown ?dl_config ?(virtual_sample = true)
-    ?(pred_a = Predicate.True) ?(pred_b = Predicate.True) synopsis =
+(* Shared core: [learn] abstracts over the raising/absorbing learner
+   (legacy path) and the checked one (recording its fault in a ref). *)
+let breakdown_with ~learn ~virtual_sample ~pred_a ~pred_b synopsis =
   let { Synopsis.resolved; sample_a; sample_b; _ } = synopsis in
   let pass_a = compile_for sample_a pred_a in
   let pass_b = compile_for sample_b pred_b in
@@ -142,6 +141,13 @@ let run_with_breakdown ?dl_config ?(virtual_sample = true)
   in
   let filtered_a_tuples = count_filtered sample_a pass_a in
   let filtered_b_tuples = count_filtered sample_b pass_b in
+  (* An empty filtered sample means the estimate is "no evidence", not a
+     measured zero — the failure mode behind the paper's infinite q-errors
+     on selective predicates. Flag it so callers can tell the two apart. *)
+  let degenerate =
+    Sample.total_tuples sample_a = 0
+    || filtered_a_tuples = 0 || filtered_b_tuples = 0
+  in
   match resolved.Budget.spec.Spec.method_ with
   | Spec.Scaling ->
       let estimate, contributing = scaling_estimate synopsis pass_a pass_b in
@@ -157,10 +163,11 @@ let run_with_breakdown ?dl_config ?(virtual_sample = true)
         selectivity_a;
         virtual_sample_size = 0.0;
         contributing_values = contributing;
+        degenerate;
       }
   | Spec.Discrete_learning ->
       let estimate, contributing, selectivity_a, virtual_sample_size =
-        dl_estimate ?dl_config ~virtual_sample synopsis pass_a pass_b
+        dl_estimate ~learn ~virtual_sample synopsis pass_a pass_b
       in
       {
         estimate;
@@ -169,8 +176,103 @@ let run_with_breakdown ?dl_config ?(virtual_sample = true)
         selectivity_a;
         virtual_sample_size;
         contributing_values = contributing;
+        degenerate;
       }
+
+let run_with_breakdown ?dl_config ?(virtual_sample = true)
+    ?(pred_a = Predicate.True) ?(pred_b = Predicate.True) synopsis =
+  breakdown_with
+    ~learn:(Discrete_learning.learn ?config:dl_config)
+    ~virtual_sample ~pred_a ~pred_b synopsis
 
 let run ?dl_config ?virtual_sample ?pred_a ?pred_b synopsis =
   (run_with_breakdown ?dl_config ?virtual_sample ?pred_a ?pred_b synopsis)
     .estimate
+
+(* ---------------- checked entry point ---------------- *)
+
+let validate_sample label (sample : Sample.t) =
+  let fault = ref None in
+  Value.Tbl.iter
+    (fun _ (entry : Sample.entry) ->
+      if !fault = None then begin
+        if not (Float.is_finite entry.Sample.p_v) || entry.Sample.p_v <= 0.0
+        then
+          fault :=
+            Some
+              (Fault.Numeric
+                 { what = label ^ " sampling rate p_v"; value = entry.Sample.p_v })
+        else if
+          not (Float.is_finite entry.Sample.q_v) || entry.Sample.q_v <= 0.0
+        then
+          fault :=
+            Some
+              (Fault.Numeric
+                 { what = label ^ " sampling rate q_v"; value = entry.Sample.q_v })
+      end)
+    sample.Sample.entries;
+  !fault
+
+let validate_synopsis (synopsis : Synopsis.t) =
+  let { Synopsis.sample_a; sample_b; n_prime; _ } = synopsis in
+  if not (Float.is_finite n_prime) || n_prime < 0.0 then
+    Some (Fault.Numeric { what = "synopsis N'"; value = n_prime })
+  else if synopsis.Synopsis.sample_a.Sample.tuple_count < 0 then
+    Some (Fault.Corrupt_synopsis "negative tuple count on side A")
+  else if synopsis.Synopsis.sample_b.Sample.tuple_count < 0 then
+    Some (Fault.Corrupt_synopsis "negative tuple count on side B")
+  else begin
+    let dangling = ref false in
+    Value.Tbl.iter
+      (fun v (_ : Sample.entry) ->
+        if not (Value.Tbl.mem sample_a.Sample.entries v) then dangling := true)
+      sample_b.Sample.entries;
+    if !dangling then
+      Some
+        (Fault.Corrupt_synopsis
+           "semijoin side references a value absent from the first side")
+    else
+      match validate_sample "side A" sample_a with
+      | Some f -> Some f
+      | None -> validate_sample "side B" sample_b
+  end
+
+let run_checked ?dl_config ?(virtual_sample = true)
+    ?(pred_a = Predicate.True) ?(pred_b = Predicate.True) synopsis =
+  match validate_synopsis synopsis with
+  | Some fault -> Error fault
+  | None -> (
+      let learner_fault = ref None in
+      let learn counts =
+        match Discrete_learning.learn_checked ?config:dl_config counts with
+        | Ok t -> t
+        | Error fault ->
+            if !learner_fault = None then learner_fault := Some fault;
+            (* neutral placeholder; the recorded fault discards the result *)
+            Discrete_learning.learn counts
+      in
+      match
+        breakdown_with ~learn ~virtual_sample ~pred_a ~pred_b synopsis
+      with
+      | exception exn ->
+          Error (Fault.Corrupt_synopsis (Printexc.to_string exn))
+      | breakdown -> (
+          if breakdown.filtered_a_tuples = 0 then
+            Error (Fault.Empty_filtered_sample Fault.A)
+          else if breakdown.filtered_b_tuples = 0 then
+            Error (Fault.Empty_filtered_sample Fault.B)
+          else
+            match !learner_fault with
+            | Some fault -> Error fault
+            | None ->
+                if
+                  not (Float.is_finite breakdown.estimate)
+                  || breakdown.estimate < 0.0
+                then
+                  Error
+                    (Fault.Numeric
+                       {
+                         what = "join size estimate";
+                         value = breakdown.estimate;
+                       })
+                else Ok breakdown))

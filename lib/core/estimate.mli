@@ -34,6 +34,12 @@ type breakdown = {
   selectivity_a : float;  (** f^{c_A} = |S''_A| / |S_A| *)
   virtual_sample_size : float;  (** n of the DL input; 0 for scaling *)
   contributing_values : int;  (** |V''_{A,B}| with a non-zero term *)
+  degenerate : bool;
+      (** [true] when a filtered sample (or the whole first-side sample)
+          is empty, i.e. the estimate is "no evidence" rather than a
+          measured zero — the regime the paper reports as infinite
+          q-error. Callers that must act on it should prefer
+          {!run_checked}, which turns it into a typed error. *)
 }
 
 val run_with_breakdown :
@@ -49,3 +55,19 @@ val run_with_breakdown :
     [false] feeds raw counts to the learner — the ablation showing why
     Lemma 1 matters for different-[q_v] variants. Ignored by scaling
     specs. *)
+
+val run_checked :
+  ?dl_config:Discrete_learning.config ->
+  ?virtual_sample:bool ->
+  ?pred_a:Predicate.t ->
+  ?pred_b:Predicate.t ->
+  Synopsis.t ->
+  (breakdown, Fault.error) result
+(** Guarded variant of {!run_with_breakdown}: validates the synopsis
+    (finite [N'], finite positive stored rates, semijoin side referencing
+    only first-side values), reports empty filtered samples as
+    [Error (Empty_filtered_sample _)] instead of a silent [0.], surfaces
+    discrete-learning failures via {!Discrete_learning.learn_checked}, and
+    rejects a non-finite or negative final estimate as [Error (Numeric _)].
+    Any stray exception out of a structurally corrupt synopsis is caught
+    and returned as [Error (Corrupt_synopsis _)]. Never raises. *)

@@ -49,6 +49,58 @@ val estimate_once :
   float
 (** Convenience: {!draw} then {!estimate} in one call. *)
 
+val estimate_checked :
+  ?dl_config:Discrete_learning.config ->
+  ?virtual_sample:bool ->
+  ?pred_a:Predicate.t ->
+  ?pred_b:Predicate.t ->
+  t ->
+  Synopsis.t ->
+  (Estimate.breakdown, Fault.error) result
+(** {!estimate} through {!Estimate.run_checked}: predicates are mapped to
+    the sampler's orientation, and every failure mode comes back as a
+    typed error instead of a raise or a silent degenerate number. *)
+
+type guarded = {
+  value : float;  (** finite, clamped to [0, |A| * |B|] *)
+  rung : string;  (** the cascade rung that produced [value] *)
+  trace : Fault.trace;  (** downgrades on the way there; [] = no fault *)
+  clamped : bool;  (** [value] was pulled back into range *)
+}
+
+val independence_prior : Profile.t -> unit -> float
+(** The sampling-free System-R independence prior
+    [|A| * |B| / max(d_A, d_B)] — the default final cascade rung. *)
+
+val scaling_spec : Spec.t
+(** The cascade's LP-free rung: sentry-backed simple scaling with constant
+    rates (p = theta, q = 1). *)
+
+val estimate_guarded :
+  ?dl_config:Discrete_learning.config ->
+  ?virtual_sample:bool ->
+  ?pred_a:Predicate.t ->
+  ?pred_b:Predicate.t ->
+  ?sample_first:sample_first ->
+  ?draw:(t -> Repro_util.Prng.t -> Synopsis.t) ->
+  ?fallback:string * (unit -> float) ->
+  theta:float ->
+  Profile.t ->
+  Repro_util.Prng.t ->
+  (guarded, Fault.error) result
+(** Fault-tolerant estimation: run the degradation cascade
+    CSDL(theta,diff) -> CSDL(1,diff) -> simple scaling -> [fallback]
+    (default {!independence_prior}), downgrading one rung whenever the
+    current one returns a typed error, raises, or yields a non-finite or
+    negative estimate. Each downgrade is recorded in the trace; the final
+    answer is clamped to [0, |A| * |B|]. [draw] overrides synopsis drawing
+    (the fault-injection harness corrupts synopses through it); [fallback]
+    is [(rung_name, thunk)] — lib/robustness wires the sampling
+    independence baseline here. The only [Error _] is
+    [Bad_input] for a theta outside (0, 1]; anything downstream degrades
+    instead of escaping, so callers always get a finite non-negative
+    number plus an honest account of how it was obtained. *)
+
 val swapped : t -> bool
 (** Whether the sampler operates on the (B, A) orientation. *)
 

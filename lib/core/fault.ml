@@ -1,0 +1,57 @@
+type side = A | B
+
+type error =
+  | Lp_infeasible
+  | Lp_unbounded
+  | Lp_iteration_cap
+  | Numeric of { what : string; value : float }
+  | Empty_filtered_sample of side
+  | Corrupt_synopsis of string
+  | Bad_input of string
+
+type degradation = { rung : string; fault : error }
+
+type trace = degradation list
+
+let side_to_string = function A -> "A" | B -> "B"
+
+let error_to_string = function
+  | Lp_infeasible -> "LP infeasible"
+  | Lp_unbounded -> "LP unbounded"
+  | Lp_iteration_cap -> "LP iteration cap exhausted"
+  | Numeric { what; value } -> Printf.sprintf "non-finite %s (%h)" what value
+  | Empty_filtered_sample side ->
+      Printf.sprintf "empty filtered sample on side %s" (side_to_string side)
+  | Corrupt_synopsis reason -> "corrupt synopsis: " ^ reason
+  | Bad_input reason -> "bad input: " ^ reason
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let of_l1_error (e : Repro_lp.L1_fit.error) =
+  match e with
+  | Repro_lp.L1_fit.Infeasible -> Lp_infeasible
+  | Repro_lp.L1_fit.Unbounded -> Lp_unbounded
+  | Repro_lp.L1_fit.Aborted reason ->
+      (* The simplex aborts defensively for two reasons: fuel exhaustion
+         and non-finite tableau entries. *)
+      if contains_substring reason "iteration cap" then Lp_iteration_cap
+      else Numeric { what = "LP tableau (" ^ reason ^ ")"; value = Float.nan }
+
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
+
+let degradation_to_string { rung; fault } =
+  Printf.sprintf "%s failed: %s" rung (error_to_string fault)
+
+let pp_trace fmt trace =
+  match trace with
+  | [] -> Format.pp_print_string fmt "no degradation"
+  | steps ->
+      Format.pp_print_list
+        ~pp_sep:(fun fmt () -> Format.fprintf fmt "@ -> ")
+        (fun fmt d -> Format.pp_print_string fmt (degradation_to_string d))
+        fmt steps
+
+let trace_to_string trace = Format.asprintf "@[<h>%a@]" pp_trace trace

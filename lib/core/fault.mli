@@ -1,0 +1,58 @@
+(** Typed failure taxonomy and degradation traces for the fault-tolerant
+    estimation pipeline.
+
+    The checked entry points ({!Discrete_learning.learn_checked},
+    {!Estimate.run_checked}) return [('a, Fault.error) result] instead of
+    raising or silently returning degenerate numbers; the guarded estimator
+    ({!Estimator.estimate_guarded}) turns those errors into downgrades along
+    a fallback cascade, recording each step as a {!degradation}. See
+    docs/robustness.md for when each error fires and how the cascade
+    responds. *)
+
+type side = A | B
+(** Which sample of the synopsis an error refers to, in the sampler's
+    orientation ([A] is the first-sampled side). *)
+
+type error =
+  | Lp_infeasible  (** the discrete learner's LP has no feasible point *)
+  | Lp_unbounded  (** the LP objective is unbounded below *)
+  | Lp_iteration_cap
+      (** the simplex hit its absolute pivot budget (cycling or a
+          numerically hostile tableau) *)
+  | Numeric of { what : string; value : float }
+      (** a quantity that must be finite and in range came out NaN,
+          infinite or negative; [what] names it, [value] is the offender *)
+  | Empty_filtered_sample of side
+      (** the predicate filtered every sampled tuple out on [side] — the
+          "no evidence" regime the paper reports as infinite q-error *)
+  | Corrupt_synopsis of string
+      (** the synopsis violates a structural invariant (e.g. the semijoin
+          side references a value absent from the first side, or stored
+          rates are non-finite) *)
+  | Bad_input of string  (** caller-supplied parameters are invalid *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+val side_to_string : side -> string
+
+val of_l1_error : Repro_lp.L1_fit.error -> error
+(** Map the LP layer's typed failures into this taxonomy. *)
+
+type degradation = {
+  rung : string;  (** name of the cascade rung that was attempted *)
+  fault : error;  (** why it was abandoned *)
+}
+(** One downgrade event: the named rung failed with [fault] and the
+    cascade moved on to the next rung. *)
+
+type trace = degradation list
+(** Downgrades in the order they happened (first attempt first). An empty
+    trace means the primary estimator answered. *)
+
+val degradation_to_string : degradation -> string
+val pp_trace : Format.formatter -> trace -> unit
+val trace_to_string : trace -> string
+
+val contains_substring : string -> string -> bool
+(** [contains_substring s sub] — exposed for the fault-mapping helpers and
+    tests. *)

@@ -10,6 +10,13 @@ type outcome = {
   residual : float;
 }
 
+type error = Infeasible | Unbounded | Aborted of string
+
+let error_to_string = function
+  | Infeasible -> "infeasible"
+  | Unbounded -> "unbounded"
+  | Aborted reason -> "aborted: " ^ reason
+
 let fit spec =
   let m = Array.length spec.design in
   if Array.length spec.target <> m then
@@ -51,5 +58,6 @@ let fit spec =
   match Simplex.solve { objective; constraints } with
   | Simplex.Optimal { objective_value; solution } ->
       Ok { weights = Array.sub solution 0 n; residual = objective_value }
-  | Simplex.Infeasible -> Error "infeasible"
-  | Simplex.Unbounded -> Error "unbounded"
+  | Simplex.Infeasible -> Error Infeasible
+  | Simplex.Unbounded -> Error Unbounded
+  | Simplex.Failed reason -> Error (Aborted reason)

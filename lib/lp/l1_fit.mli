@@ -23,7 +23,18 @@ type outcome = {
   residual : float;  (** the attained L1 objective. *)
 }
 
-val fit : spec -> (outcome, string) Stdlib.result
-(** [fit spec] returns the optimum or a human-readable reason
-    ([Error "infeasible"] when the mass constraint cannot be met, which for
-    the DL grid means the caller picked an empty grid). *)
+type error =
+  | Infeasible
+      (** The mass constraint cannot be met — for the DL grid this means
+          the caller picked an empty grid. *)
+  | Unbounded
+  | Aborted of string
+      (** The simplex aborted defensively (non-finite tableau entries or
+          iteration cap); see {!Simplex.Failed}. *)
+
+val error_to_string : error -> string
+
+val fit : spec -> (outcome, error) Stdlib.result
+(** [fit spec] returns the optimum or the typed reason it could not be
+    computed. Never raises on numerically bad inputs: NaN/Inf design or
+    target entries surface as [Error (Aborted _)]. *)

@@ -15,6 +15,7 @@ type result =
   | Optimal of { objective_value : float; solution : float array }
   | Infeasible
   | Unbounded
+  | Failed of string
 
 (* Tableau layout: [tab] has [m] constraint rows and one objective row
    ([tab.(m)]), each of width [total_vars + 1]; the last column is the RHS.
@@ -51,8 +52,11 @@ let pivot t ~row ~col =
 
 (* One simplex phase on an already-feasible tableau. [allowed j] masks
    columns that may enter (used to keep artificials out in phase 2).
-   Returns [`Optimal] or [`Unbounded]. *)
-let run_phase ~epsilon ~allowed t =
+   [fuel] is the absolute iteration budget shared across phases: every
+   pivot decrements it, and exhaustion aborts the solve rather than
+   spinning on a cycling or numerically-poisoned tableau.
+   Returns [`Optimal], [`Unbounded] or [`Failed]. *)
+let run_phase ~epsilon ~allowed ~fuel t =
   let { tab; m; total_vars; _ } = t in
   let obj = tab.(m) in
   let stall_limit = 64 * (m + total_vars) in
@@ -96,21 +100,41 @@ let run_phase ~epsilon ~allowed t =
   in
   let rec loop () =
     incr iterations;
-    let entering =
-      if !iterations > stall_limit then choose_entering_bland ()
-      else choose_entering_dantzig ()
-    in
-    if entering = -1 then `Optimal
-    else
-      match choose_leaving entering with
-      | -1 -> `Unbounded
-      | row ->
-          pivot t ~row ~col:entering;
-          loop ()
+    if !fuel <= 0 then `Failed "iteration cap exhausted"
+    else begin
+      decr fuel;
+      let entering =
+        if !iterations > stall_limit then choose_entering_bland ()
+        else choose_entering_dantzig ()
+      in
+      if entering = -1 then
+        if Float.is_finite obj.(total_vars) then `Optimal
+        else `Failed "non-finite objective value"
+      else
+        match choose_leaving entering with
+        | -1 -> `Unbounded
+        | row ->
+            let pv = tab.(row).(entering) in
+            if not (Float.is_finite pv) || pv = 0.0 then
+              `Failed "non-finite or zero pivot"
+            else begin
+              pivot t ~row ~col:entering;
+              if Float.is_finite obj.(total_vars) then loop ()
+              else `Failed "tableau diverged to non-finite values"
+            end
+    end
   in
   loop ()
 
-let solve ?(epsilon = 1e-9) problem =
+let finite_inputs problem =
+  Array.for_all Float.is_finite problem.objective
+  && List.for_all
+       (fun row ->
+         Float.is_finite row.rhs
+         && Array.for_all Float.is_finite row.coefficients)
+       problem.constraints
+
+let solve ?(epsilon = 1e-9) ?max_iterations problem =
   let n = Array.length problem.objective in
   let constraints = Array.of_list problem.constraints in
   let m = Array.length constraints in
@@ -119,6 +143,13 @@ let solve ?(epsilon = 1e-9) problem =
       if Array.length row.coefficients <> n then
         invalid_arg "Simplex.solve: coefficient width mismatch")
     constraints;
+  if not (finite_inputs problem) then
+    Failed "non-finite objective, coefficient or rhs"
+  else begin
+  (* Absolute pivot budget across both phases. The default leaves the
+     Dantzig->Bland stall switch (64 * (m + total_vars) iterations per
+     phase) ample room while still bounding a pathological tableau. *)
+  let default_fuel m total_vars = 1000 + (256 * (m + total_vars)) in
   (* Normalise RHS signs so every row can host an artificial if needed. *)
   let rows =
     Array.map
@@ -145,6 +176,12 @@ let solve ?(epsilon = 1e-9) problem =
       0 rows
   in
   let total_vars = n + slack_count + artificial_count in
+  let fuel =
+    ref
+      (match max_iterations with
+      | Some cap -> max 1 cap
+      | None -> default_fuel m total_vars)
+  in
   let tab = Array.make_matrix (m + 1) (total_vars + 1) 0.0 in
   let basis = Array.make m (-1) in
   let next_slack = ref n in
@@ -174,8 +211,8 @@ let solve ?(epsilon = 1e-9) problem =
   (* Phase 1: minimise the sum of artificials. Objective row = minus the sum
      of rows that contain a basic artificial (price-out). *)
   let phase1_needed = artificial_count > 0 in
-  let feasible =
-    if not phase1_needed then true
+  let phase1 =
+    if not phase1_needed then `Feasible
     else begin
       let obj = tab.(m) in
       Array.fill obj 0 (total_vars + 1) 0.0;
@@ -188,50 +225,65 @@ let solve ?(epsilon = 1e-9) problem =
             obj.(j) <- obj.(j) -. tab.(i).(j)
           done
       done;
-      (match run_phase ~epsilon ~allowed:(fun _ -> true) t with
-      | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
-      | `Optimal -> ());
-      let infeasibility = -.tab.(m).(total_vars) in
-      if infeasibility > 1e-6 then false
-      else begin
-        (* Drive any artificial still basic (at value 0) out of the basis. *)
-        for i = 0 to m - 1 do
-          if is_artificial basis.(i) then begin
-            let found = ref (-1) in
-            for j = 0 to n + slack_count - 1 do
-              if !found = -1 && Float.abs tab.(i).(j) > epsilon then found := j
+      match run_phase ~epsilon ~allowed:(fun _ -> true) ~fuel t with
+      | `Unbounded ->
+          (* The phase-1 objective is bounded below by 0; reaching this arm
+             means the tableau is numerically poisoned, not unbounded. *)
+          `Failed "phase 1 reported unbounded"
+      | `Failed reason -> `Failed ("phase 1: " ^ reason)
+      | `Optimal ->
+          let infeasibility = -.tab.(m).(total_vars) in
+          if infeasibility > 1e-6 then `Infeasible
+          else begin
+            (* Drive any artificial still basic (at value 0) out of the basis. *)
+            for i = 0 to m - 1 do
+              if is_artificial basis.(i) then begin
+                let found = ref (-1) in
+                for j = 0 to n + slack_count - 1 do
+                  if !found = -1 && Float.abs tab.(i).(j) > epsilon then found := j
+                done;
+                match !found with
+                | -1 -> () (* redundant row: all-zero, harmless to keep *)
+                | j -> pivot t ~row:i ~col:j
+              end
             done;
-            match !found with
-            | -1 -> () (* redundant row: all-zero, harmless to keep *)
-            | j -> pivot t ~row:i ~col:j
+            `Feasible
           end
-        done;
-        true
-      end
     end
   in
-  if not feasible then Infeasible
-  else begin
-    (* Phase 2: install the real objective, priced out against the basis. *)
-    let obj = tab.(m) in
-    Array.fill obj 0 (total_vars + 1) 0.0;
-    Array.blit problem.objective 0 obj 0 n;
-    for i = 0 to m - 1 do
-      let b = basis.(i) in
-      if b < n && obj.(b) <> 0.0 then begin
-        let factor = obj.(b) in
-        for j = 0 to total_vars do
-          obj.(j) <- obj.(j) -. (factor *. tab.(i).(j))
-        done
-      end
-    done;
-    match run_phase ~epsilon ~allowed:(fun j -> not (is_artificial j)) t with
-    | `Unbounded -> Unbounded
-    | `Optimal ->
-        let solution = Array.make n 0.0 in
-        for i = 0 to m - 1 do
-          if basis.(i) < n then solution.(basis.(i)) <- tab.(i).(total_vars)
-        done;
-        let objective_value = -.tab.(m).(total_vars) in
-        Optimal { objective_value; solution }
+  match phase1 with
+  | `Infeasible -> Infeasible
+  | `Failed reason -> Failed reason
+  | `Feasible -> begin
+      (* Phase 2: install the real objective, priced out against the basis. *)
+      let obj = tab.(m) in
+      Array.fill obj 0 (total_vars + 1) 0.0;
+      Array.blit problem.objective 0 obj 0 n;
+      for i = 0 to m - 1 do
+        let b = basis.(i) in
+        if b < n && obj.(b) <> 0.0 then begin
+          let factor = obj.(b) in
+          for j = 0 to total_vars do
+            obj.(j) <- obj.(j) -. (factor *. tab.(i).(j))
+          done
+        end
+      done;
+      match run_phase ~epsilon ~allowed:(fun j -> not (is_artificial j)) ~fuel t with
+      | `Unbounded -> Unbounded
+      | `Failed reason -> Failed ("phase 2: " ^ reason)
+      | `Optimal ->
+          let solution = Array.make n 0.0 in
+          let corrupt = ref false in
+          for i = 0 to m - 1 do
+            if basis.(i) < n then begin
+              let x = tab.(i).(total_vars) in
+              if not (Float.is_finite x) then corrupt := true;
+              solution.(basis.(i)) <- x
+            end
+          done;
+          let objective_value = -.tab.(m).(total_vars) in
+          if !corrupt || not (Float.is_finite objective_value) then
+            Failed "non-finite solution"
+          else Optimal { objective_value; solution }
+    end
   end

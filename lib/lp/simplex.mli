@@ -4,7 +4,10 @@
     discrete-learning LP of this repository: a handful of rows and up to a
     few thousand columns, for which a dense tableau is both simple and fast.
     Pivoting uses Dantzig's rule with an automatic switch to Bland's rule
-    when progress stalls, which guarantees termination. *)
+    when progress stalls, which guarantees termination on degenerate
+    vertices; an absolute iteration cap and in-tableau NaN/Inf detection
+    additionally bound the solver on numerically poisoned inputs, reporting
+    {!Failed} instead of spinning or returning garbage. *)
 
 type relation = Le | Ge | Eq
 
@@ -24,8 +27,18 @@ type result =
       (** [solution] holds the structural variables only. *)
   | Infeasible
   | Unbounded
+  | Failed of string
+      (** The solve was aborted defensively: non-finite inputs, a tableau
+          entry diverging to NaN/Inf mid-pivot, or the absolute iteration
+          cap running out. The payload names the trigger. Callers should
+          treat this like a solver crash they can recover from. *)
 
-val solve : ?epsilon:float -> problem -> result
+val solve : ?epsilon:float -> ?max_iterations:int -> problem -> result
 (** [solve p] runs two-phase simplex. [epsilon] (default [1e-9]) is the
-    feasibility/optimality tolerance. Raises [Invalid_argument] when
-    constraint rows disagree with the objective on the variable count. *)
+    feasibility/optimality tolerance. [max_iterations] is the absolute
+    pivot budget shared by both phases (default [1000 + 256 * (rows +
+    columns)], far above what a well-posed problem of this shape needs);
+    exhausting it yields [Failed], never an infinite loop. Raises
+    [Invalid_argument] when constraint rows disagree with the objective on
+    the variable count — a caller bug, unlike the runtime conditions
+    reported via [Failed]. *)

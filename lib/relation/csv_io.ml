@@ -34,11 +34,17 @@ let write path table =
           output_char oc '\n')
         table)
 
+type row_error = { line : int; reason : string }
+
+type lenient = { table : Table.t; skipped : row_error list; skipped_count : int }
+
 (* Split one CSV record into fields, handling quoted fields. Assumes the
    record contains no embedded newlines (we never write any: generated data
-   has no newlines in strings). *)
-let split_record line =
+   has no newlines in strings). [line_number] is only used to locate
+   errors. *)
+let split_record_checked ~line_number line =
   let fields = ref [] in
+  let count = ref 0 in
   let buffer = Buffer.create 32 in
   let n = String.length line in
   let rec field i =
@@ -52,7 +58,10 @@ let split_record line =
       plain (i + 1)
     end
   and quoted i =
-    if i >= n then failwith "unterminated quote"
+    if i >= n then
+      Error
+        (Printf.sprintf "line %d: unterminated quote in field %d" line_number
+           (!count + 1))
     else if line.[i] = '"' then
       if i + 1 < n && line.[i + 1] = '"' then begin
         Buffer.add_char buffer '"';
@@ -65,11 +74,16 @@ let split_record line =
     end
   and finish i =
     fields := Buffer.contents buffer :: !fields;
+    incr count;
     Buffer.clear buffer;
-    if i < n && line.[i] = ',' then field (i + 1)
+    if i < n && line.[i] = ',' then field (i + 1) else Ok (List.rev !fields)
   in
-  field 0;
-  List.rev !fields
+  field 0
+
+let split_record ?(line_number = 0) line =
+  match split_record_checked ~line_number line with
+  | Ok fields -> fields
+  | Error reason -> failwith reason
 
 let parse_field ty raw =
   if String.equal raw "" then Value.Null
@@ -79,7 +93,48 @@ let parse_field ty raw =
     | Schema.T_float -> Value.Float (float_of_string raw)
     | Schema.T_string -> Value.Str raw
 
-let read schema path =
+let type_name = function
+  | Schema.T_int -> "int"
+  | Schema.T_float -> "float"
+  | Schema.T_string -> "string"
+
+(* Parse one record into a row under [types]; all failure modes become a
+   located reason. *)
+let parse_record ~line_number ~arity ~types line =
+  match split_record_checked ~line_number line with
+  | Error reason -> Error { line = line_number; reason }
+  | Ok fields ->
+      if List.length fields <> arity then
+        Error
+          {
+            line = line_number;
+            reason =
+              Printf.sprintf "line %d: expected %d fields, got %d" line_number
+                arity (List.length fields);
+          }
+      else begin
+        let row = Array.make arity Value.Null in
+        let bad = ref None in
+        List.iteri
+          (fun j raw ->
+            if !bad = None then
+              match parse_field types.(j) raw with
+              | v -> row.(j) <- v
+              | exception _ ->
+                  bad :=
+                    Some
+                      {
+                        line = line_number;
+                        reason =
+                          Printf.sprintf "line %d: bad %s field %d: %S"
+                            line_number (type_name types.(j)) (j + 1) raw;
+                      })
+          fields;
+        match !bad with None -> Ok row | Some e -> Error e
+      end
+
+(* Shared scan loop: [on_error] decides strict (stop) vs lenient (skip). *)
+let fold_records schema path ~on_row ~on_error =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -88,38 +143,50 @@ let read schema path =
       let types = Array.init arity (Schema.type_of schema) in
       (match input_line ic with
       | (_ : string) -> () (* header discarded; schema is authoritative *)
-      | exception End_of_file -> failwith "empty CSV file");
-      let rows = ref [] in
+      | exception End_of_file ->
+          ignore (on_error { line = 1; reason = "empty CSV file" } : bool));
       let line_number = ref 1 in
+      let stop = ref false in
       (try
-         while true do
+         while not !stop do
            let line = input_line ic in
            incr line_number;
-           if not (String.equal line "") then begin
-             let fields = split_record line in
-             if List.length fields <> arity then
-               failwith
-                 (Printf.sprintf "line %d: expected %d fields, got %d"
-                    !line_number arity (List.length fields));
-             let row = Array.make arity Value.Null in
-             List.iteri
-               (fun j raw ->
-                 row.(j) <-
-                   (try parse_field types.(j) raw
-                    with _ ->
-                      failwith
-                        (Printf.sprintf "line %d: bad %s field %S" !line_number
-                           (match types.(j) with
-                           | Schema.T_int -> "int"
-                           | Schema.T_float -> "float"
-                           | Schema.T_string -> "string")
-                           raw)))
-               fields;
-             rows := row :: !rows
-           end
+           if not (String.equal line "") then
+             match parse_record ~line_number:!line_number ~arity ~types line with
+             | Ok row -> on_row row
+             | Error e -> if not (on_error e) then stop := true
          done
-       with End_of_file -> ());
-      Table.create schema (Array.of_list (List.rev !rows)))
+       with End_of_file -> ()))
+
+let read_lenient schema path =
+  let rows = ref [] and skipped = ref [] in
+  fold_records schema path
+    ~on_row:(fun row -> rows := row :: !rows)
+    ~on_error:(fun e ->
+      skipped := e :: !skipped;
+      true);
+  let skipped = List.rev !skipped in
+  {
+    table = Table.create schema (Array.of_list (List.rev !rows));
+    skipped;
+    skipped_count = List.length skipped;
+  }
+
+let read_strict schema path =
+  let rows = ref [] and first_error = ref None in
+  fold_records schema path
+    ~on_row:(fun row -> rows := row :: !rows)
+    ~on_error:(fun e ->
+      first_error := Some e;
+      false);
+  match !first_error with
+  | Some e -> Error e
+  | None -> Ok (Table.create schema (Array.of_list (List.rev !rows)))
+
+let read schema path =
+  match read_strict schema path with
+  | Ok table -> table
+  | Error { reason; _ } -> failwith reason
 
 let read_auto path =
   (* Two passes: sniff column types, then parse with the inferred schema. *)
@@ -130,15 +197,17 @@ let read_auto path =
       (fun () ->
         let header =
           match input_line ic with
-          | line -> split_record line
+          | line -> split_record ~line_number:1 line
           | exception End_of_file -> failwith "empty CSV file"
         in
         let records = ref [] in
+        let line_number = ref 1 in
         (try
            while true do
              let line = input_line ic in
+             incr line_number;
              if not (String.equal line "") then
-               records := split_record line :: !records
+               records := split_record ~line_number:!line_number line :: !records
            done
          with End_of_file -> ());
         (header, List.rev !records))

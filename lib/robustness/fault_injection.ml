@@ -1,0 +1,131 @@
+open Csdl
+module Prng = Repro_util.Prng
+module Value = Repro_relation.Value
+
+type fault =
+  | Corrupt_counts
+  | Drop_sentries
+  | Nan_rates
+  | Truncate_samples
+  | Force_lp_failure
+
+let all =
+  [ Corrupt_counts; Drop_sentries; Nan_rates; Truncate_samples; Force_lp_failure ]
+
+let to_string = function
+  | Corrupt_counts -> "corrupt-counts"
+  | Drop_sentries -> "drop-sentries"
+  | Nan_rates -> "nan-rates"
+  | Truncate_samples -> "truncate-samples"
+  | Force_lp_failure -> "force-lp-failure"
+
+(* Rebuild a sample with every entry passed through [f], recomputing the
+   tuple count so the corrupted synopsis stays self-consistent (the point
+   is to corrupt one thing at a time, not everything at once). *)
+let map_entries f (sample : Sample.t) =
+  let entries = Value.Tbl.create (Value.Tbl.length sample.Sample.entries) in
+  Value.Tbl.iter
+    (fun v e -> Value.Tbl.add entries v (f e))
+    sample.Sample.entries;
+  let tuple_count =
+    Value.Tbl.fold
+      (fun _ (e : Sample.entry) acc ->
+        acc
+        + Array.length e.Sample.rows
+        + (match e.Sample.sentry_row with Some _ -> 1 | None -> 0))
+      entries 0
+  in
+  { sample with Sample.entries; tuple_count }
+
+let corrupt_counts prng (synopsis : Synopsis.t) =
+  match Prng.int prng 3 with
+  | 0 ->
+      (* negative N': the scale factor of the DL estimator goes bad *)
+      { synopsis with Synopsis.n_prime = -1.0 -. Float.abs synopsis.Synopsis.n_prime }
+  | 1 -> { synopsis with Synopsis.n_prime = Float.nan }
+  | _ ->
+      (* a flatly impossible bookkeeping total on the first side *)
+      {
+        synopsis with
+        Synopsis.sample_a =
+          { synopsis.Synopsis.sample_a with Sample.tuple_count = -5 };
+      }
+
+let drop_sentries (synopsis : Synopsis.t) =
+  let strip sample =
+    map_entries (fun e -> { e with Sample.sentry_row = None }) sample
+  in
+  {
+    synopsis with
+    Synopsis.sample_a = strip synopsis.Synopsis.sample_a;
+    Synopsis.sample_b = strip synopsis.Synopsis.sample_b;
+  }
+
+let nan_rates prng (sample : Sample.t) =
+  let n = Value.Tbl.length sample.Sample.entries in
+  if n = 0 then sample
+  else begin
+    (* poison at least one entry, and each further one with probability
+       1/4; coin-flip between the two rates *)
+    let victim = Prng.int prng n in
+    let i = ref 0 in
+    map_entries
+      (fun e ->
+        let hit = !i = victim || Prng.bernoulli prng 0.25 in
+        incr i;
+        if not hit then e
+        else if Prng.bool prng then { e with Sample.p_v = Float.nan }
+        else { e with Sample.q_v = Float.nan })
+      sample
+  end
+
+let truncate_samples prng (synopsis : Synopsis.t) =
+  if
+    Prng.bool prng
+    && Value.Tbl.length synopsis.Synopsis.sample_b.Sample.entries > 0
+  then
+    (* wipe the first side but keep the semijoin side: S_B ⊆ B ⋉ S_A is
+       now violated *)
+    {
+      synopsis with
+      Synopsis.sample_a =
+        {
+          synopsis.Synopsis.sample_a with
+          Sample.entries = Value.Tbl.create 1;
+          tuple_count = 0;
+        };
+    }
+  else begin
+    let strip sample =
+      map_entries (fun e -> { e with Sample.rows = [||] }) sample
+    in
+    {
+      synopsis with
+      Synopsis.sample_a = strip synopsis.Synopsis.sample_a;
+      Synopsis.sample_b = strip synopsis.Synopsis.sample_b;
+    }
+  end
+
+let corrupt fault prng (synopsis : Synopsis.t) =
+  match fault with
+  | Corrupt_counts -> corrupt_counts prng synopsis
+  | Drop_sentries -> drop_sentries synopsis
+  | Nan_rates ->
+      if Prng.bool prng then
+        { synopsis with Synopsis.sample_a = nan_rates prng synopsis.Synopsis.sample_a }
+      else
+        { synopsis with Synopsis.sample_b = nan_rates prng synopsis.Synopsis.sample_b }
+  | Truncate_samples -> truncate_samples prng synopsis
+  | Force_lp_failure -> synopsis
+
+let dl_config = function
+  | Force_lp_failure ->
+      (* E < D/2 violates the algorithm's precondition, so the learner
+         refuses on every CSDL rung and the cascade must step past the
+         LP-based estimators. *)
+      Some { Discrete_learning.default_config with Discrete_learning.e = 0.01 }
+  | Corrupt_counts | Drop_sentries | Nan_rates | Truncate_samples -> None
+
+let draw fault estimator prng =
+  let synopsis = Estimator.draw estimator prng in
+  corrupt fault prng synopsis

@@ -1,0 +1,45 @@
+(** Deterministic fault injection for the estimation pipeline.
+
+    Each fault is a named corruption applied between the offline sampling
+    phase and the online estimation phase — exactly where a synopsis
+    would rot in practice (bit flips in persisted counts, partial writes,
+    a buggy serializer). Corruption is keyed by the caller's {!Prng.t},
+    so every scenario replays from a seed.
+
+    Faults reach the pipeline through two channels: {!corrupt} (or the
+    prewired {!draw}) rewrites a drawn synopsis, and {!dl_config} feeds
+    the discrete-learning stage a config it must refuse. {!Guarded.estimate}
+    wires both for you. *)
+
+open Csdl
+
+type fault =
+  | Corrupt_counts
+      (** negate or NaN the synopsis total [N'], or force a negative
+          per-sample tuple count *)
+  | Drop_sentries
+      (** remove every sentry tuple while the spec still expects them *)
+  | Nan_rates
+      (** poison [p_v]/[q_v] sampling rates of random entries with NaN *)
+  | Truncate_samples
+      (** wipe the first-side sample while keeping the semijoin side
+          (violating [S_B ⊆ B ⋉ S_A]), or drop every sampled row *)
+  | Force_lp_failure
+      (** make the discrete-learning / LP stage fail on every CSDL rung
+          via an invalid learner config *)
+
+val all : fault list
+val to_string : fault -> string
+
+val corrupt : fault -> Repro_util.Prng.t -> Synopsis.t -> Synopsis.t
+(** Apply one fault to a drawn synopsis. The input is not mutated; shared
+    structure aside, a fresh synopsis is returned. [Force_lp_failure] is
+    the identity here (it lives in {!dl_config}). *)
+
+val dl_config : fault -> Discrete_learning.config option
+(** The learner-config channel: [Some invalid_config] for
+    [Force_lp_failure], [None] otherwise. *)
+
+val draw : fault -> Estimator.t -> Repro_util.Prng.t -> Synopsis.t
+(** [draw fault] is a drop-in for {!Estimator.draw} that corrupts each
+    drawn synopsis — pass it as [~draw] to {!Estimator.estimate_guarded}. *)

@@ -1,0 +1,23 @@
+module Prng = Repro_util.Prng
+module Independent = Repro_baselines.Independent
+
+let estimate ?fault ?dl_config ?virtual_sample ?pred_a ?pred_b ?sample_first
+    ~theta profile prng =
+  (* Split off the fallback's randomness up front so the cascade's own
+     draws do not shift depending on whether the fallback runs. *)
+  let fallback_prng = Prng.split prng in
+  let fallback =
+    ( Independent.name,
+      fun () ->
+        let baseline = Independent.prepare ~theta profile in
+        Independent.estimate_once ?pred_a ?pred_b baseline fallback_prng )
+  in
+  let draw = Option.map Fault_injection.draw fault in
+  let dl_config =
+    match (dl_config, fault) with
+    | (Some _ as given), _ -> given
+    | None, Some fault -> Fault_injection.dl_config fault
+    | None, None -> None
+  in
+  Csdl.Estimator.estimate_guarded ?dl_config ?virtual_sample ?pred_a ?pred_b
+    ?sample_first ?draw ~fallback ~theta profile prng

@@ -1,0 +1,25 @@
+(** The fully-wired fault-tolerant estimator: the
+    {!Csdl.Estimator.estimate_guarded} degradation cascade with the
+    sampling independence baseline ([lib/baselines/independent.ml]) as
+    the final rung — the dependency csdl itself cannot take — and
+    optional {!Fault_injection} faults plugged into both injection
+    channels. *)
+
+open Repro_relation
+
+val estimate :
+  ?fault:Fault_injection.fault ->
+  ?dl_config:Csdl.Discrete_learning.config ->
+  ?virtual_sample:bool ->
+  ?pred_a:Predicate.t ->
+  ?pred_b:Predicate.t ->
+  ?sample_first:Csdl.Estimator.sample_first ->
+  theta:float ->
+  Csdl.Profile.t ->
+  Repro_util.Prng.t ->
+  (Csdl.Estimator.guarded, Csdl.Fault.error) result
+(** Run the cascade CSDL(θ,diff) → CSDL(1,diff) → scaling → independent
+    baseline. With [?fault], every drawn synopsis is corrupted through
+    {!Fault_injection.draw} (and [Force_lp_failure] additionally breaks
+    the learner config unless the caller supplied [?dl_config]). The only
+    [Error _] is [Bad_input] for a theta outside (0, 1]. *)

@@ -9,6 +9,7 @@ let solve_exn problem =
   | Simplex.Optimal { objective_value; solution } -> (objective_value, solution)
   | Simplex.Infeasible -> Alcotest.fail "unexpected infeasible"
   | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Simplex.Failed reason -> Alcotest.failf "unexpected failure: %s" reason
 
 (* ------------------------------------------------------------------ *)
 (* Hand-checked LPs                                                    *)
@@ -158,6 +159,70 @@ let test_simplex_many_variables () =
   let objective_value, _ = solve_exn problem in
   check_float "objective" 1.0 objective_value
 
+let test_simplex_beale_cycling () =
+  (* Beale's classic cycling example: pure Dantzig pricing cycles forever
+     on this LP; the stall-triggered Bland switch (and, as a backstop, the
+     absolute iteration cap) must terminate it at the true optimum. *)
+  let problem =
+    {
+      Simplex.objective = [| -0.75; 150.0; -0.02; 6.0 |];
+      constraints =
+        [
+          {
+            Simplex.coefficients = [| 0.25; -60.0; -0.04; 9.0 |];
+            relation = Simplex.Le;
+            rhs = 0.0;
+          };
+          {
+            Simplex.coefficients = [| 0.5; -90.0; -0.02; 3.0 |];
+            relation = Simplex.Le;
+            rhs = 0.0;
+          };
+          {
+            Simplex.coefficients = [| 0.0; 0.0; 1.0; 0.0 |];
+            relation = Simplex.Le;
+            rhs = 1.0;
+          };
+        ];
+    }
+  in
+  let objective_value, _ = solve_exn problem in
+  check_float "objective" (-0.05) objective_value
+
+let test_simplex_iteration_cap () =
+  (* With a one-pivot budget the solver must give up cleanly, not spin. *)
+  let problem =
+    {
+      Simplex.objective = [| -1.0; -1.0 |];
+      constraints =
+        [
+          { Simplex.coefficients = [| 1.0; 2.0 |]; relation = Simplex.Le; rhs = 4.0 };
+          { Simplex.coefficients = [| 3.0; 1.0 |]; relation = Simplex.Le; rhs = 6.0 };
+        ];
+    }
+  in
+  (match Simplex.solve ~max_iterations:1 problem with
+  | Simplex.Failed _ -> ()
+  | _ -> Alcotest.fail "expected Failed under a 1-iteration cap");
+  (* The same problem solves fine with the default budget. *)
+  let objective_value, _ = solve_exn problem in
+  check_float "objective" (-2.8) objective_value
+
+let test_simplex_non_finite_inputs () =
+  let mk rhs coef =
+    {
+      Simplex.objective = [| 1.0 |];
+      constraints =
+        [ { Simplex.coefficients = [| coef |]; relation = Simplex.Le; rhs } ];
+    }
+  in
+  List.iter
+    (fun problem ->
+      match Simplex.solve problem with
+      | Simplex.Failed _ -> ()
+      | _ -> Alcotest.fail "expected Failed on non-finite input")
+    [ mk Float.nan 1.0; mk 1.0 Float.nan; mk Float.infinity 1.0 ]
+
 (* ------------------------------------------------------------------ *)
 (* Brute-force cross-check on random small LPs                         *)
 (* ------------------------------------------------------------------ *)
@@ -250,7 +315,7 @@ let test_l1_exact_recovery () =
     }
   in
   match L1_fit.fit spec with
-  | Error e -> Alcotest.failf "unexpected error: %s" e
+  | Error e -> Alcotest.failf "unexpected error: %s" (L1_fit.error_to_string e)
   | Ok { weights; residual } ->
       check_float "residual" 0.0 residual;
       check_float "w0" 2.0 weights.(0);
@@ -268,7 +333,7 @@ let test_l1_constrained_tradeoff () =
     }
   in
   match L1_fit.fit spec with
-  | Error e -> Alcotest.failf "unexpected error: %s" e
+  | Error e -> Alcotest.failf "unexpected error: %s" (L1_fit.error_to_string e)
   | Ok { weights; residual } ->
       check_float "residual" 1.0 residual;
       check_float "mass respected" 4.0 (weights.(0) +. weights.(1))
@@ -283,7 +348,7 @@ let test_l1_nonnegative_weights () =
     }
   in
   match L1_fit.fit spec with
-  | Error e -> Alcotest.failf "unexpected error: %s" e
+  | Error e -> Alcotest.failf "unexpected error: %s" (L1_fit.error_to_string e)
   | Ok { weights; _ } ->
       Array.iter
         (fun w ->
@@ -301,8 +366,8 @@ let test_l1_infeasible_mass () =
     }
   in
   match L1_fit.fit spec with
-  | Error "infeasible" -> ()
-  | Error e -> Alcotest.failf "wrong error: %s" e
+  | Error L1_fit.Infeasible -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (L1_fit.error_to_string e)
   | Ok _ -> Alcotest.fail "expected infeasible"
 
 let prop_l1_residual_not_worse_than_any_feasible_point =
@@ -344,6 +409,11 @@ let () =
           Alcotest.test_case "redundant equality" `Quick test_simplex_redundant_equality;
           Alcotest.test_case "width mismatch" `Quick test_simplex_width_mismatch;
           Alcotest.test_case "many variables" `Quick test_simplex_many_variables;
+          Alcotest.test_case "Beale cycling terminates" `Quick
+            test_simplex_beale_cycling;
+          Alcotest.test_case "iteration cap" `Quick test_simplex_iteration_cap;
+          Alcotest.test_case "non-finite inputs" `Quick
+            test_simplex_non_finite_inputs;
         ] );
       ( "l1_fit",
         [

@@ -402,6 +402,68 @@ let test_csv_bad_field () =
             (String.length msg > 0 && String.sub msg 0 4 = "line")
       | _ -> Alcotest.fail "expected Failure")
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_csv_unterminated_quote_located () =
+  let path = Filename.temp_file "repro" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "a,b\n1,\"oops\n";
+      close_out oc;
+      (match Csv_io.read schema_ab path with
+      | exception Failure msg ->
+          Alcotest.(check bool) "names line 2" true (contains msg "line 2");
+          Alcotest.(check bool) "names field 2" true (contains msg "field 2");
+          Alcotest.(check bool) "says unterminated" true
+            (contains msg "unterminated quote")
+      | _ -> Alcotest.fail "expected Failure");
+      match Csv_io.read_strict schema_ab path with
+      | Error { Csv_io.line; reason } ->
+          Alcotest.(check int) "error line" 2 line;
+          Alcotest.(check bool) "reason located" true
+            (contains reason "unterminated quote")
+      | Ok _ -> Alcotest.fail "expected Error")
+
+let test_csv_read_lenient_skips_bad_rows () =
+  let path = Filename.temp_file "repro" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      (* line 2 ok, 3 bad int, 4 wrong arity, 5 unterminated quote, 6 ok *)
+      output_string oc "a,b\n1,x\nnot_an_int,y\n7\n8,\"oops\n9,z\n";
+      close_out oc;
+      let { Csv_io.table; skipped; skipped_count } =
+        Csv_io.read_lenient schema_ab path
+      in
+      Alcotest.(check int) "kept rows" 2 (Table.cardinality table);
+      Alcotest.(check int) "skip counter" 3 skipped_count;
+      Alcotest.(check (list int)) "skipped lines" [ 3; 4; 5 ]
+        (List.map (fun e -> e.Csv_io.line) skipped);
+      (* strict mode reports the first of the same errors *)
+      match Csv_io.read_strict schema_ab path with
+      | Error { Csv_io.line; _ } -> Alcotest.(check int) "first error" 3 line
+      | Ok _ -> Alcotest.fail "expected Error")
+
+let test_csv_strict_ok_roundtrip () =
+  let t =
+    Table.of_rows schema_ab
+      [ [| Value.Int 1; Value.Str "x" |]; [| Value.Int 2; Value.Str "y" |] ]
+  in
+  let path = Filename.temp_file "repro" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv_io.write path t;
+      match Csv_io.read_strict schema_ab path with
+      | Ok back -> Alcotest.(check int) "rows" 2 (Table.cardinality back)
+      | Error { Csv_io.reason; _ } -> Alcotest.failf "unexpected: %s" reason)
+
 (* ------------------------------------------------------------------ *)
 (* Predicate parser                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -653,6 +715,12 @@ let () =
           Alcotest.test_case "read_auto inference" `Quick test_csv_read_auto_infers_types;
           Alcotest.test_case "read_auto widening" `Quick test_csv_read_auto_widen_to_string;
           Alcotest.test_case "bad field" `Quick test_csv_bad_field;
+          Alcotest.test_case "unterminated quote located" `Quick
+            test_csv_unterminated_quote_located;
+          Alcotest.test_case "lenient skips bad rows" `Quick
+            test_csv_read_lenient_skips_bad_rows;
+          Alcotest.test_case "strict ok roundtrip" `Quick
+            test_csv_strict_ok_roundtrip;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
