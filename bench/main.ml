@@ -2,32 +2,59 @@
    (Tables IV-IX plus the Section VI-A estimation-time comparison) and runs
    one Bechamel micro-benchmark per table.
 
-   Usage:  dune exec bench/main.exe -- [--quick] [--skip-bechamel]
-                                       [--tables 4,5,6,7,8,9]
-   Environment: REPRO_SCALE, REPRO_RUNS, REPRO_SEED, REPRO_PREFIXES
-   (see Repro_benchlib.Config). *)
+   Usage:  dune exec bench/main.exe -- [--quick] [--smoke] [--jobs N]
+                                       [--skip-bechamel] [--skip-ablations]
+                                       [--csv DIR] [--tables 4,5,6,7,8,9]
+   Environment: REPRO_SCALE, REPRO_RUNS, REPRO_SEED, REPRO_PREFIXES,
+   REPRO_JOBS (see Repro_benchlib.Config).
+
+   Experiment cells run on a pool of [--jobs] OCaml domains
+   (Repro_util.Pool); every cell owns a keyed PRNG stream, so table output
+   is bit-identical at any [--jobs]. Deterministic tables go to stdout;
+   progress banners and measured timings go to stderr, so
+   `main.exe --smoke --jobs N > out.txt` is byte-comparable across N. *)
 
 open Repro_benchlib
 module Prng = Repro_util.Prng
+module Clock = Repro_util.Clock
 module Job = Repro_datagen.Job_workload
 open Repro_relation
 
 type options = {
   quick : bool;
+  smoke : bool;
+  jobs : int option;  (* --jobs override; otherwise Config.from_env *)
   skip_bechamel : bool;
   skip_ablations : bool;
   tables : int list;  (* which paper tables to regenerate *)
 }
 
+let usage =
+  "usage: main.exe [--quick] [--smoke] [--jobs N] [--skip-bechamel]\n\
+  \                [--skip-ablations] [--csv DIR] [--tables 4,5,...]\n"
+
 let parse_options () =
-  let quick = ref false and skip_bechamel = ref false in
-  let skip_ablations = ref false in
+  let quick = ref false and smoke = ref false in
+  let jobs = ref None in
+  let skip_bechamel = ref false and skip_ablations = ref false in
   let tables = ref [ 4; 5; 6; 7; 8; 9 ] in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
         quick := true;
         parse rest
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := Some n;
+            parse rest
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %s\n%s" n
+              usage;
+            exit 2)
     | "--skip-bechamel" :: rest ->
         skip_bechamel := true;
         parse rest
@@ -44,15 +71,14 @@ let parse_options () =
           |> List.filter_map int_of_string_opt;
         parse rest
     | arg :: _ ->
-        Printf.eprintf
-          "unknown argument %s\n\
-           usage: main.exe [--quick] [--skip-bechamel] [--tables 4,5,...]\n"
-          arg;
+        Printf.eprintf "unknown argument %s\n%s" arg usage;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   {
     quick = !quick;
+    smoke = !smoke;
+    jobs = !jobs;
     skip_bechamel = !skip_bechamel;
     skip_ablations = !skip_ablations;
     tables = !tables;
@@ -60,10 +86,14 @@ let parse_options () =
 
 let wants options n = List.mem n options.tables
 
+(* Stage banner: wall clock is the headline (the paper's latency metric);
+   CPU time rides along — under the domain pool it sums over every worker,
+   so cpu >> wall is the expected signature of parallel execution. Banners
+   go to stderr: stdout carries only the deterministic tables. *)
 let timed label f =
-  let started = Sys.time () in
-  let result = f () in
-  Format.printf "[%s: %.1fs cpu]@." label (Sys.time () -. started);
+  let result, span = Clock.time f in
+  Format.eprintf "[%s: %.1fs wall, %.1fs cpu]@." label span.Clock.wall_seconds
+    span.Clock.cpu_seconds;
   result
 
 (* ------------------------------------------------------------------ *)
@@ -74,7 +104,15 @@ let bechamel_tests config data =
   let open Bechamel in
   let prng = Prng.create (config.Config.seed + 77) in
   let queries = Job.two_table_queries data in
-  let find_query name = List.find (fun q -> q.Job.name = name) queries in
+  let find_query name =
+    match List.find_opt (fun q -> q.Job.name = name) queries with
+    | Some q -> q
+    | None ->
+        failwith
+          (Printf.sprintf
+             "bechamel: no query %S in the two-table workload (have: %s)" name
+             (String.concat ", " (List.map (fun q -> q.Job.name) queries)))
+  in
   let pair_estimate_test ~name ~query_name ~spec ~theta =
     let q = find_query query_name in
     let profile =
@@ -174,7 +212,7 @@ let run_bechamel config data =
     analyzed;
   let rows = List.sort compare !rows in
   Render.print_table ~title:"per-call estimation time"
-    ~header:[ "benchmark"; "time/call" ] ~rows
+    ~header:[ "benchmark"; "time/call" ] ~rows ()
 
 (* ------------------------------------------------------------------ *)
 (* Main                                                                *)
@@ -182,13 +220,32 @@ let run_bechamel config data =
 
 let () =
   let options = parse_options () in
+  (* --smoke: a CI-sized deterministic grid — Tables IV/V/VI only, small
+     scale, no bechamel/ablations, measured timings on stderr. *)
+  let options =
+    if options.smoke then
+      {
+        options with
+        tables = List.filter (wants options) [ 4; 5; 6 ];
+        skip_bechamel = true;
+        skip_ablations = true;
+      }
+    else options
+  in
   let config =
     let base = Config.from_env () in
-    if options.quick then
-      { base with Config.imdb_scale = 0.2; runs = 5; prefix_count = 30 }
-    else base
+    let base =
+      if options.smoke then
+        { base with Config.imdb_scale = 0.2; runs = 6; prefix_count = 20 }
+      else if options.quick then
+        { base with Config.imdb_scale = 0.2; runs = 5; prefix_count = 30 }
+      else base
+    in
+    match options.jobs with
+    | Some jobs -> { base with Config.jobs = jobs }
+    | None -> base
   in
-  Format.printf "repro bench: %a@." Config.pp config;
+  Format.eprintf "repro bench: %a@." Config.pp config;
   let data =
     timed "generate mini-IMDB" (fun () ->
         Repro_datagen.Imdb.generate ~scale:config.Config.imdb_scale
@@ -214,7 +271,12 @@ let () =
   if wants options 9 then
     timed "chain joins" (fun () -> Table9.run config) |> Table9.print;
   Option.iter
-    (fun results -> Timing.run config results |> Timing.print)
+    (fun results ->
+      let summaries = Timing.run config results in
+      (* measured wall times are nondeterministic — keep them off the
+         byte-comparable stdout stream in smoke mode *)
+      if options.smoke then Timing.print ~ppf:Format.err_formatter summaries
+      else Timing.print summaries)
     two_table_results;
   if not options.skip_ablations then begin
     timed "related-work comparison" (fun () -> Baseline_table.run config data)

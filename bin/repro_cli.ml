@@ -11,6 +11,7 @@
 open Cmdliner
 open Repro_relation
 module Prng = Repro_util.Prng
+module Pool = Repro_util.Pool
 
 let ensure_directory path =
   if not (Sys.file_exists path) then Sys.mkdir path 0o755
@@ -185,6 +186,15 @@ let exact_arg =
     value & flag
     & info [ "exact" ] ~doc:"Also compute the exact join size and q-error.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the estimation runs (default 1; 0 = one per \
+           available core). Each run draws from its own seed-keyed PRNG \
+           stream, so results are identical at any $(docv).")
+
 let guarded_arg =
   Arg.(
     value & flag
@@ -215,28 +225,16 @@ let where_right_arg =
     value & opt predicate_conv Predicate.True
     & info [ "where-right" ] ~docv:"COND" ~doc:"Selection on the right table.")
 
-(* One guarded run: print the rung that answered (and the downgrades that
-   led there), return the estimate. *)
-let guarded_run ~theta ~pred_left ~pred_right profile prng i =
-  match
-    Repro_robustness.Guarded.estimate ~pred_a:pred_left ~pred_b:pred_right
-      ~theta profile prng
-  with
-  | Error fault ->
-      Printf.eprintf "error: %s\n" (Csdl.Fault.error_to_string fault);
-      exit 1
-  | Ok g ->
-      Printf.printf "run %d: %.1f via %s%s\n" (i + 1) g.Csdl.Estimator.value
-        g.Csdl.Estimator.rung
-        (if g.Csdl.Estimator.clamped then " (clamped)" else "");
-      List.iter
-        (fun d ->
-          Printf.printf "  downgraded: %s\n" (Csdl.Fault.degradation_to_string d))
-        g.Csdl.Estimator.trace;
-      g.Csdl.Estimator.value
+(* One guarded run over its own keyed stream; results are printed by the
+   caller in run order once every (possibly parallel) run has finished. *)
+let guarded_run ~theta ~pred_left ~pred_right ~seed profile i =
+  let prng = Prng.create_keyed ~seed (Printf.sprintf "estimate/run=%d" i) in
+  Repro_robustness.Guarded.estimate ~pred_a:pred_left ~pred_b:pred_right ~theta
+    profile prng
 
 let estimate left left_col right right_col theta approach runs exact guarded
-    seed pred_left pred_right =
+    jobs seed pred_left pred_right =
+  let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
   let table_a = Csv_io.read_auto left and table_b = Csv_io.read_auto right in
   let profile = Csdl.Profile.of_tables table_a left_col table_b right_col in
   Printf.printf "|A| = %d, |B| = %d, shared join values = %d, jvd = %.6f\n"
@@ -248,13 +246,34 @@ let estimate left left_col right right_col theta approach runs exact guarded
     Printf.printf "left selection: %s\n" (Predicate.to_string pred_left);
   if pred_right <> Predicate.True then
     Printf.printf "right selection: %s\n" (Predicate.to_string pred_right);
-  let prng = Prng.create seed in
+  let run_indices = Array.init runs (fun i -> i) in
   let estimates =
     if guarded then begin
       Printf.printf
         "approach: guarded cascade (csdl:t,diff -> csdl:1,diff -> scaling -> \
          independent)\n";
-      Array.init runs (guarded_run ~theta ~pred_left ~pred_right profile prng)
+      let outcomes =
+        Pool.map_array ~jobs
+          (guarded_run ~theta ~pred_left ~pred_right ~seed profile)
+          run_indices
+      in
+      Array.mapi
+        (fun i outcome ->
+          match outcome with
+          | Error fault ->
+              Printf.eprintf "error: %s\n" (Csdl.Fault.error_to_string fault);
+              exit 1
+          | Ok g ->
+              Printf.printf "run %d: %.1f via %s%s\n" (i + 1)
+                g.Csdl.Estimator.value g.Csdl.Estimator.rung
+                (if g.Csdl.Estimator.clamped then " (clamped)" else "");
+              List.iter
+                (fun d ->
+                  Printf.printf "  downgraded: %s\n"
+                    (Csdl.Fault.degradation_to_string d))
+                g.Csdl.Estimator.trace;
+              g.Csdl.Estimator.value)
+        outcomes
     end
     else begin
       let estimator =
@@ -268,9 +287,14 @@ let estimate left left_col right right_col theta approach runs exact guarded
       Printf.printf "approach: %s (sampling the %s table first)\n"
         (Csdl.Spec.to_string (Csdl.Estimator.spec estimator))
         (if Csdl.Estimator.swapped estimator then "right" else "left");
-      Array.init runs (fun _ ->
+      Pool.map_array ~jobs
+        (fun i ->
+          let prng =
+            Prng.create_keyed ~seed (Printf.sprintf "estimate/run=%d" i)
+          in
           Csdl.Estimator.estimate_once ~pred_a:pred_left ~pred_b:pred_right
             estimator prng)
+        run_indices
     end
   in
   let median = Repro_util.Summary.median estimates in
@@ -300,7 +324,7 @@ let estimate_cmd =
     Term.(
       const estimate $ left_arg $ left_col_arg $ right_arg $ right_col_arg
       $ theta_arg $ approach_arg $ runs_arg $ exact_arg $ guarded_arg
-      $ seed_arg $ where_left_arg $ where_right_arg)
+      $ jobs_arg $ seed_arg $ where_left_arg $ where_right_arg)
 
 (* ---------------- synopsis-build / synopsis-estimate ---------------- *)
 

@@ -38,16 +38,18 @@ type sketch = { plan_id : int; counters : float array array }
 
 let name = "AGMS sketch"
 
-let next_plan_id = ref 0
+(* Atomic: benchmark cells build plans concurrently from pool domains.
+   Ids only need to be distinct (they pair sketches with their plan), not
+   allocation-ordered. *)
+let next_plan_id = Atomic.make 0
 
 let plan ?(depth = 5) ~theta (profile : Csdl.Profile.t) ~seed =
   if depth < 1 then invalid_arg "Agms.plan: depth must be >= 1";
   let budget = theta *. float_of_int profile.Csdl.Profile.total_rows in
   let width = max 1 (int_of_float (budget /. float_of_int depth)) in
   let prng = Prng.create seed in
-  incr next_plan_id;
   {
-    id = !next_plan_id;
+    id = 1 + Atomic.fetch_and_add next_plan_id 1;
     depth;
     width;
     bucket_tables = Array.init depth (fun _ -> make_tabulation prng);

@@ -1,5 +1,6 @@
 open Repro_relation
 module Prng = Repro_util.Prng
+module Pool = Repro_util.Pool
 module Job = Repro_datagen.Job_workload
 
 type comparison_row = {
@@ -41,7 +42,7 @@ let virtual_sample (config : Config.t) data =
     pick [ "Q1a1"; "Q1b1"; "Q2a2"; "Q2d1" ] (Job.two_table_queries data)
   in
   let spec = Csdl.Spec.csdl Csdl.Spec.L_one Csdl.Spec.L_diff in
-  List.map
+  Pool.map ~jobs:config.Config.jobs
     (fun (q : Job.query) ->
       {
         label = q.Job.name;
@@ -64,7 +65,7 @@ let sentry (config : Config.t) data =
   let without_sentry =
     { with_sentry with Csdl.Spec.sentry = false; name = "CSDL(1,t)-nosentry" }
   in
-  List.map
+  Pool.map ~jobs:config.Config.jobs
     (fun (q : Job.query) ->
       {
         label = q.Job.name;
@@ -79,7 +80,7 @@ let sentry (config : Config.t) data =
 (* Paper's jvd-threshold dispatch vs. the budget-aware rule on the skewed
    TPC-H nationkey join whose jvd straddles the threshold. *)
 let dispatch (config : Config.t) =
-  List.map
+  Pool.map ~jobs:config.Config.jobs
     (fun (scale, z) ->
       let data =
         Repro_datagen.Tpch.generate ~scale ~z ~seed:config.Config.seed
@@ -123,7 +124,7 @@ let grid_resolution (config : Config.t) data =
   let fine =
     { Csdl.Discrete_learning.default_config with linear_grid_points = 2000 }
   in
-  List.map
+  Pool.map ~jobs:config.Config.jobs
     (fun points ->
       let coarse =
         { Csdl.Discrete_learning.default_config with linear_grid_points = points }
@@ -151,6 +152,7 @@ let print ~title ~with_label ~without_label rows =
              Render.qerror_cell r.ablated;
            ])
          rows)
+    ()
 
 let run_all config data =
   print

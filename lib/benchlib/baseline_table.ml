@@ -1,5 +1,6 @@
 open Repro_relation
 module Prng = Repro_util.Prng
+module Pool = Repro_util.Pool
 module Job = Repro_datagen.Job_workload
 open Repro_baselines
 
@@ -17,121 +18,142 @@ let approach_names =
     "join-syn"; "wander";
   ]
 
-let median_of ~runs ~truth estimate_once seed =
-  let prng = Prng.create seed in
+let median_of ~runs ~truth estimate_once ~seed ~key =
+  let prng = Prng.create_keyed ~seed key in
   let qerrors =
     Array.init runs (fun _ ->
         Repro_stats.Qerror.compute ~truth ~estimate:(estimate_once prng))
   in
   Repro_util.Summary.median qerrors
 
-let run (config : Config.t) data =
+(* The per-query closures, one per approach column; [None] marks an
+   approach that cannot answer the query (sketches and histograms
+   summarise unfiltered columns). Each closure only reads the shared
+   profile and draws from its own keyed stream. *)
+let approach_cells (config : Config.t) (q : Job.query) profile truth =
   let runs = config.Config.runs in
-  List.map
-    (fun (q : Job.query) ->
-      let profile =
-        Csdl.Profile.of_tables q.Job.a.Join.table q.Job.a.Join.column
-          q.Job.b.Join.table q.Job.b.Join.column
-      in
-      let truth = float_of_int (Job.true_size q) in
-      let pred_a = q.Job.a.Join.predicate and pred_b = q.Job.b.Join.predicate in
-      let has_predicates = pred_a <> Predicate.True || pred_b <> Predicate.True in
-      let seed tag = Hashtbl.hash (config.Config.seed, "baselines", q.Job.name, tag) in
-      let csdl_opt =
-        let est = Csdl.Opt.prepare ~theta profile in
-        Some
-          (median_of ~runs ~truth
-             (fun prng -> Csdl.Estimator.estimate_once ~pred_a ~pred_b est prng)
-             (seed "opt"))
-      in
-      let cs2l =
-        let est = Csdl.Estimator.prepare Csdl.Spec.cs2l ~theta profile in
-        Some
-          (median_of ~runs ~truth
-             (fun prng -> Csdl.Estimator.estimate_once ~pred_a ~pred_b est prng)
-             (seed "cs2l"))
-      in
-      let independent =
-        let est = Independent.prepare ~theta profile in
-        Some
-          (median_of ~runs ~truth
-             (fun prng -> Independent.estimate_once ~pred_a ~pred_b est prng)
-             (seed "ind"))
-      in
-      let end_biased =
-        let est = End_biased.prepare ~theta profile in
-        Some
-          (median_of ~runs ~truth
-             (fun prng -> End_biased.estimate_once ~pred_a ~pred_b est prng)
-             (seed "eb"))
-      in
-      let agms =
-        (* sketches summarise unfiltered columns; only predicate-free
-           queries are answerable *)
-        if has_predicates then None
-        else
-          let qerrors =
-            Array.init runs (fun i ->
-                let plan = Agms.plan ~theta profile ~seed:(seed "agms" + i) in
-                Repro_stats.Qerror.compute ~truth
-                  ~estimate:(Agms.estimate_profile plan profile))
-          in
-          Some (Repro_util.Summary.median qerrors)
-      in
-      let histogram =
-        (* histograms summarise unfiltered join columns; they answer
-           predicate-free queries (and range predicates on the join
-           column, which this workload does not use) *)
-        if has_predicates then None
-        else begin
-          let buckets = Histogram.plan_buckets ~theta profile in
-          let ha =
-            Histogram.build ~buckets q.Job.a.Join.table q.Job.a.Join.column
-          in
-          let hb =
-            Histogram.build ~buckets q.Job.b.Join.table q.Job.b.Join.column
-          in
-          Some
-            (Repro_stats.Qerror.compute ~truth
-               ~estimate:(Histogram.estimate_join ha hb))
-        end
-      in
-      let join_syn =
-        match Join_synopsis.prepare ~theta profile with
-        | Error _ -> None
-        | Ok est ->
-            let pred_fk, pred_pk =
-              if Join_synopsis.fk_is_left est then (pred_a, pred_b)
-              else (pred_b, pred_a)
+  let seed = config.Config.seed in
+  let pred_a = q.Job.a.Join.predicate and pred_b = q.Job.b.Join.predicate in
+  let has_predicates = pred_a <> Predicate.True || pred_b <> Predicate.True in
+  let key tag = Printf.sprintf "baselines/%s/%s" q.Job.name tag in
+  let csdl_opt () =
+    let est = Csdl.Opt.prepare ~theta profile in
+    Some
+      (median_of ~runs ~truth
+         (fun prng -> Csdl.Estimator.estimate_once ~pred_a ~pred_b est prng)
+         ~seed ~key:(key "opt"))
+  in
+  let cs2l () =
+    let est = Csdl.Estimator.prepare Csdl.Spec.cs2l ~theta profile in
+    Some
+      (median_of ~runs ~truth
+         (fun prng -> Csdl.Estimator.estimate_once ~pred_a ~pred_b est prng)
+         ~seed ~key:(key "cs2l"))
+  in
+  let independent () =
+    let est = Independent.prepare ~theta profile in
+    Some
+      (median_of ~runs ~truth
+         (fun prng -> Independent.estimate_once ~pred_a ~pred_b est prng)
+         ~seed ~key:(key "ind"))
+  in
+  let end_biased () =
+    let est = End_biased.prepare ~theta profile in
+    Some
+      (median_of ~runs ~truth
+         (fun prng -> End_biased.estimate_once ~pred_a ~pred_b est prng)
+         ~seed ~key:(key "eb"))
+  in
+  let agms () =
+    (* sketches summarise unfiltered columns; only predicate-free
+       queries are answerable *)
+    if has_predicates then None
+    else
+      let qerrors =
+        Array.init runs (fun i ->
+            let plan_seed =
+              Int64.to_int
+                (Prng.derive ~seed (key (Printf.sprintf "agms/run=%d" i)))
             in
-            Some
-              (median_of ~runs ~truth
-                 (fun prng ->
-                   Join_synopsis.estimate_once ~pred_fk ~pred_pk est prng)
-                 (seed "js"))
+            let plan = Agms.plan ~theta profile ~seed:plan_seed in
+            Repro_stats.Qerror.compute ~truth
+              ~estimate:(Agms.estimate_profile plan profile))
       in
-      let wander =
-        let walks =
-          max 1
-            (int_of_float (theta *. float_of_int profile.Csdl.Profile.total_rows))
+      Some (Repro_util.Summary.median qerrors)
+  in
+  let histogram () =
+    (* histograms summarise unfiltered join columns; they answer
+       predicate-free queries (and range predicates on the join
+       column, which this workload does not use) *)
+    if has_predicates then None
+    else begin
+      let buckets = Histogram.plan_buckets ~theta profile in
+      let ha = Histogram.build ~buckets q.Job.a.Join.table q.Job.a.Join.column in
+      let hb = Histogram.build ~buckets q.Job.b.Join.table q.Job.b.Join.column in
+      Some
+        (Repro_stats.Qerror.compute ~truth
+           ~estimate:(Histogram.estimate_join ha hb))
+    end
+  in
+  let join_syn () =
+    match Join_synopsis.prepare ~theta profile with
+    | Error _ -> None
+    | Ok est ->
+        let pred_fk, pred_pk =
+          if Join_synopsis.fk_is_left est then (pred_a, pred_b)
+          else (pred_b, pred_a)
         in
-        let est = Wander.prepare ~walks profile in
         Some
           (median_of ~runs ~truth
-             (fun prng -> Wander.estimate ~pred_a ~pred_b est prng)
-             (seed "wander"))
-      in
+             (fun prng -> Join_synopsis.estimate_once ~pred_fk ~pred_pk est prng)
+             ~seed ~key:(key "js"))
+  in
+  let wander () =
+    let walks =
+      max 1 (int_of_float (theta *. float_of_int profile.Csdl.Profile.total_rows))
+    in
+    let est = Wander.prepare ~walks profile in
+    Some
+      (median_of ~runs ~truth
+         (fun prng -> Wander.estimate ~pred_a ~pred_b est prng)
+         ~seed ~key:(key "wander"))
+  in
+  [ csdl_opt; cs2l; independent; end_biased; agms; histogram; join_syn; wander ]
+
+let run (config : Config.t) data =
+  let jobs = config.Config.jobs in
+  (* Stage 1 — per query: the profile and exact size all eight approach
+     cells share. *)
+  let contexts =
+    Pool.map ~jobs
+      (fun (q : Job.query) ->
+        let profile =
+          Csdl.Profile.of_tables q.Job.a.Join.table q.Job.a.Join.column
+            q.Job.b.Join.table q.Job.b.Join.column
+        in
+        (q, profile, float_of_int (Job.true_size q)))
+      (Job.two_table_queries data)
+  in
+  (* Stage 2 — the flat (query x approach) grid. *)
+  let tasks =
+    List.concat_map
+      (fun (q, profile, truth) -> approach_cells config q profile truth)
+      contexts
+  in
+  let cell_results =
+    Pool.map_array ~jobs (fun cell -> cell ()) (Array.of_list tasks)
+  in
+  let per_row = List.length approach_names in
+  List.mapi
+    (fun i (q, _, truth) ->
       {
         query = q.Job.name;
         truth = int_of_float truth;
         cells =
           List.combine approach_names
-            [
-              csdl_opt; cs2l; independent; end_biased; agms; histogram;
-              join_syn; wander;
-            ];
+            (List.init per_row (fun j -> cell_results.((i * per_row) + j)));
       })
-    (Job.two_table_queries data)
+    contexts
 
 let print rows =
   Render.print_table
@@ -151,3 +173,4 @@ let print rows =
                   | Some q -> Render.qerror_cell q)
                 r.cells)
          rows)
+    ()

@@ -1,4 +1,5 @@
 module Prng = Repro_util.Prng
+module Pool = Repro_util.Pool
 module Tpch = Repro_datagen.Tpch
 open Repro_relation
 
@@ -12,41 +13,59 @@ type row = {
 let theta = 0.001
 
 let run (config : Config.t) =
-  List.map
-    (fun (scale, z) ->
-      let data = Tpch.generate ~scale ~z ~seed:config.Config.seed in
-      let tables =
-        {
-          Csdl.Chain_n.links =
-            [
-              { Csdl.Chain_n.table = data.Tpch.nation; pk = "n_nationkey"; fk = None };
-              {
-                Csdl.Chain_n.table = data.Tpch.customer;
-                pk = "c_custkey";
-                fk = Some "c_nationkey";
-              };
-              {
-                Csdl.Chain_n.table = data.Tpch.orders;
-                pk = "o_orderkey";
-                fk = Some "o_custkey";
-              };
-            ];
-          last = data.Tpch.lineitem;
-          last_fk = "l_orderkey";
-        }
-      in
-      let predicates =
-        [
-          Predicate.Compare (Predicate.Lt, "n_regionkey", Value.Int 3);
-          Predicate.Compare (Predicate.Gt, "c_acctbal", Value.Float 8000.0);
-          Predicate.True;
-          Predicate.True;
-        ]
-      in
-      let truth = float_of_int (Csdl.Chain_n.true_size ~predicates tables) in
-      let median prepared tag =
+  let jobs = config.Config.jobs in
+  let predicates =
+    [
+      Predicate.Compare (Predicate.Lt, "n_regionkey", Value.Int 3);
+      Predicate.Compare (Predicate.Gt, "c_acctbal", Value.Float 8000.0);
+      Predicate.True;
+      Predicate.True;
+    ]
+  in
+  let contexts =
+    Pool.map ~jobs
+      (fun (scale, z) ->
+        let data = Tpch.generate ~scale ~z ~seed:config.Config.seed in
+        let tables =
+          {
+            Csdl.Chain_n.links =
+              [
+                { Csdl.Chain_n.table = data.Tpch.nation; pk = "n_nationkey"; fk = None };
+                {
+                  Csdl.Chain_n.table = data.Tpch.customer;
+                  pk = "c_custkey";
+                  fk = Some "c_nationkey";
+                };
+                {
+                  Csdl.Chain_n.table = data.Tpch.orders;
+                  pk = "o_orderkey";
+                  fk = Some "o_custkey";
+                };
+              ];
+            last = data.Tpch.lineitem;
+            last_fk = "l_orderkey";
+          }
+        in
+        let truth = float_of_int (Csdl.Chain_n.true_size ~predicates tables) in
+        (scale, z, Tpch.dataset_name data, tables, truth))
+      Table8.datasets
+  in
+  let tasks =
+    List.concat_map
+      (fun context -> [ (context, "opt"); (context, "cs2l") ])
+      contexts
+  in
+  let medians =
+    Pool.map_array ~jobs
+      (fun ((scale, z, _, tables, truth), tag) ->
+        let prepared =
+          match tag with
+          | "opt" -> Csdl.Chain_n.prepare_opt ~theta tables
+          | _ -> Csdl.Chain_n.prepare Csdl.Spec.cs2l ~theta tables
+        in
         let prng =
-          Prng.create (Hashtbl.hash (config.Config.seed, "chain4", scale, z, tag))
+          Prng.create_keyed ~seed:config.Config.seed
+            (Printf.sprintf "chain4/scale=%g/z=%g/%s" scale z tag)
         in
         let qerrors =
           Array.init config.Config.runs (fun _ ->
@@ -54,16 +73,18 @@ let run (config : Config.t) =
               Repro_stats.Qerror.compute ~truth
                 ~estimate:(Csdl.Chain_n.estimate ~predicates prepared synopsis))
         in
-        Repro_util.Summary.median qerrors
-      in
+        Repro_util.Summary.median qerrors)
+      (Array.of_list tasks)
+  in
+  List.mapi
+    (fun i (_, _, dataset, _, truth) ->
       {
-        dataset = Tpch.dataset_name data;
+        dataset;
         truth = int_of_float truth;
-        opt_qerror = median (Csdl.Chain_n.prepare_opt ~theta tables) "opt";
-        cs2l_qerror =
-          median (Csdl.Chain_n.prepare Csdl.Spec.cs2l ~theta tables) "cs2l";
+        opt_qerror = medians.(2 * i);
+        cs2l_qerror = medians.((2 * i) + 1);
       })
-    Table8.datasets
+    contexts
 
 let print rows =
   Render.print_table
@@ -81,3 +102,4 @@ let print rows =
              Render.qerror_cell r.cs2l_qerror;
            ])
          rows)
+    ()

@@ -7,6 +7,7 @@ type t = {
   prefix_theta : float;
   prefix_count : int;
   jvd_threshold : float;
+  jobs : int;
 }
 
 let default =
@@ -19,6 +20,7 @@ let default =
     prefix_theta = 0.02;
     prefix_count = 100;
     jvd_threshold = 0.001;
+    jobs = Repro_util.Pool.default_jobs ();
   }
 
 let env_float name fallback =
@@ -40,13 +42,14 @@ let from_env () =
     runs = env_int "REPRO_RUNS" default.runs;
     seed = env_int "REPRO_SEED" default.seed;
     prefix_count = env_int "REPRO_PREFIXES" default.prefix_count;
+    jobs = max 1 (env_int "REPRO_JOBS" default.jobs);
   }
 
 let pp fmt t =
   Format.fprintf fmt
-    "imdb_scale=%g runs=%d seed=%d thetas=[%s] tpch_thetas=[%s] \
+    "imdb_scale=%g runs=%d seed=%d jobs=%d thetas=[%s] tpch_thetas=[%s] \
      prefix_theta=%g prefixes=%d jvd_threshold=%g"
-    t.imdb_scale t.runs t.seed
+    t.imdb_scale t.runs t.seed t.jobs
     (String.concat "; " (List.map (Printf.sprintf "%g") t.thetas))
     (String.concat "; " (List.map (Printf.sprintf "%g") t.tpch_thetas))
     t.prefix_theta t.prefix_count t.jvd_threshold

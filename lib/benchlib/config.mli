@@ -7,7 +7,10 @@
     - [REPRO_RUNS]    — estimation runs per reported median (default 20)
     - [REPRO_SEED]    — master seed (default 20200427, chosen so every
       skewed-TPC-H chain of Table IX is non-degenerate — see EXPERIMENTS.md)
-    - [REPRO_PREFIXES] — size of the Table VII prefix sweep (default 100) *)
+    - [REPRO_PREFIXES] — size of the Table VII prefix sweep (default 100)
+    - [REPRO_JOBS]    — worker domains for the parallel harness (default
+      [Repro_util.Pool.default_jobs ()]; floored at 1). Results are
+      bit-identical at any setting — every cell owns a keyed PRNG stream *)
 
 type t = {
   imdb_scale : float;
@@ -29,6 +32,9 @@ type t = {
           sample-size parity reason (paper: 0.001 on 2.9M rows). *)
   prefix_count : int;  (** Table VII sweep size *)
   jvd_threshold : float;  (** small/large split, 0.001 in the paper *)
+  jobs : int;
+      (** worker domains used by every experiment runner; purely an
+          execution-speed knob, never a results knob *)
 }
 
 val default : t

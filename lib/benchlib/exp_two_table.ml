@@ -1,5 +1,7 @@
 open Repro_relation
 module Prng = Repro_util.Prng
+module Pool = Repro_util.Pool
+module Clock = Repro_util.Clock
 module Job = Repro_datagen.Job_workload
 
 type approach = { label : string; spec : Csdl.Spec.t }
@@ -27,7 +29,9 @@ type cell = {
   estimates : float array;
   median_qerror : float;
   rel_variance : float;
-  avg_seconds : float;
+  avg_wall_seconds : float;
+  avg_cpu_seconds : float;
+  zero_runs : int;
 }
 
 type query_result = {
@@ -38,74 +42,155 @@ type query_result = {
   cells : cell list;
 }
 
-let run_cell ~runs ~prng ~truth ~pred_a ~pred_b estimator =
+(* The deterministic stream of one (seed, query, theta, approach) cell.
+   The key is an explicit delimited string — see Prng.derive for why
+   Hashtbl.hash on a tuple is not good enough here. *)
+let cell_prng ~seed ~query ~theta ~label =
+  Prng.create_keyed ~seed
+    (Printf.sprintf "two-table/%s/theta=%.17g/%s" query theta label)
+
+let run_cell ~runs ~clock ~prng ~truth ~pred_a ~pred_b estimator =
   let estimates = Array.make runs 0.0 in
-  let time_total = ref 0.0 and time_count = ref 0 in
+  let wall_total = ref 0.0 and cpu_total = ref 0.0 and zero_runs = ref 0 in
   for r = 0 to runs - 1 do
     let synopsis = Csdl.Estimator.draw estimator prng in
-    let started = Sys.time () in
-    let estimate = Csdl.Estimator.estimate ~pred_a ~pred_b estimator synopsis in
-    let elapsed = Sys.time () -. started in
+    let estimate, span =
+      Clock.time ~wall_clock:clock (fun () ->
+          Csdl.Estimator.estimate ~pred_a ~pred_b estimator synopsis)
+    in
     estimates.(r) <- estimate;
-    if estimate > 0.0 then begin
-      time_total := !time_total +. elapsed;
-      incr time_count
-    end
+    wall_total := !wall_total +. span.Clock.wall_seconds;
+    cpu_total := !cpu_total +. span.Clock.cpu_seconds;
+    if estimate = 0.0 then incr zero_runs
   done;
   let qerrors =
     Array.map
       (fun estimate -> Repro_stats.Qerror.compute ~truth ~estimate)
       estimates
   in
-  let avg_seconds =
-    if !time_count = 0 then Float.nan
-    else !time_total /. float_of_int !time_count
-  in
+  let per_run total = total /. float_of_int runs in
   ( estimates,
     Repro_util.Summary.median qerrors,
     Repro_util.Summary.relative_variance ~truth estimates,
-    avg_seconds )
+    per_run !wall_total,
+    per_run !cpu_total,
+    !zero_runs )
 
-let run (config : Config.t) data =
+(* One unit of pool work: everything a cell needs, resolved up front so
+   the closure only reads shared immutable state (the profile, the query's
+   tables) plus its own PRNG stream. *)
+type cell_task = {
+  t_query : Job.query;
+  t_profile : Csdl.Profile.t;
+  t_truth : float;
+  t_theta : float;
+  t_approach : approach;
+}
+
+let run ?(clock = Clock.wall) (config : Config.t) data =
+  let jobs = config.Config.jobs in
   let queries = Job.two_table_queries data in
+  (* Stage 1 — one task per query: profile construction and the exact
+     join size are the heavy read-only inputs every cell of that query
+     shares. *)
+  let contexts =
+    Pool.map ~jobs
+      (fun (q : Job.query) ->
+        let profile =
+          Csdl.Profile.of_tables q.Job.a.Join.table q.Job.a.Join.column
+            q.Job.b.Join.table q.Job.b.Join.column
+        in
+        (q, profile, float_of_int (Job.true_size q)))
+      queries
+  in
+  (* Stage 2 — the flat (query x theta x approach) grid, one pure closure
+     per cell. Cells are keyed-PRNG independent, so any execution order
+     (any [jobs]) yields bit-identical results. *)
+  let tasks =
+    List.concat_map
+      (fun (q, profile, truth) ->
+        List.concat_map
+          (fun theta ->
+            List.map
+              (fun approach ->
+                {
+                  t_query = q;
+                  t_profile = profile;
+                  t_truth = truth;
+                  t_theta = theta;
+                  t_approach = approach;
+                })
+              approaches)
+          config.Config.thetas)
+      contexts
+  in
+  let cell_results =
+    Pool.map_array ~jobs
+      (fun task ->
+        let { label; spec } = task.t_approach in
+        let estimator =
+          Csdl.Estimator.prepare spec ~theta:task.t_theta task.t_profile
+        in
+        let prng =
+          cell_prng ~seed:config.Config.seed ~query:task.t_query.Job.name
+            ~theta:task.t_theta ~label
+        in
+        let ( estimates,
+              median_qerror,
+              rel_variance,
+              avg_wall_seconds,
+              avg_cpu_seconds,
+              zero_runs ) =
+          run_cell ~runs:config.Config.runs ~clock ~prng ~truth:task.t_truth
+            ~pred_a:task.t_query.Job.a.Join.predicate
+            ~pred_b:task.t_query.Job.b.Join.predicate estimator
+        in
+        {
+          approach = label;
+          estimates;
+          median_qerror;
+          rel_variance;
+          avg_wall_seconds;
+          avg_cpu_seconds;
+          zero_runs;
+        })
+      (Array.of_list tasks)
+  in
+  (* Reassemble in workload order: cells were enumerated row-major as
+     (query, theta, approach), so each (query, theta) owns a consecutive
+     block of |approaches| results. *)
+  let per_row = List.length approaches in
+  let row = ref 0 in
   List.concat_map
-    (fun (q : Job.query) ->
-      let profile =
-        Csdl.Profile.of_tables q.Job.a.Join.table q.Job.a.Join.column
-          q.Job.b.Join.table q.Job.b.Join.column
-      in
-      let truth = float_of_int (Job.true_size q) in
+    (fun (q, profile, truth) ->
       List.map
         (fun theta ->
-          let cells =
-            List.map
-              (fun { label; spec } ->
-                let estimator = Csdl.Estimator.prepare spec ~theta profile in
-                (* one deterministic stream per (query, theta, approach) *)
-                let prng =
-                  Prng.create
-                    (Hashtbl.hash (config.Config.seed, q.Job.name, theta, label))
-                in
-                let estimates, median_qerror, rel_variance, avg_seconds =
-                  run_cell ~runs:config.Config.runs ~prng ~truth
-                    ~pred_a:q.Job.a.Join.predicate ~pred_b:q.Job.b.Join.predicate
-                    estimator
-                in
-                { approach = label; estimates; median_qerror; rel_variance; avg_seconds })
-              approaches
-          in
+          let base = !row * per_row in
+          incr row;
           {
             name = q.Job.name;
             jvd = profile.Csdl.Profile.jvd;
             truth = int_of_float truth;
             theta;
-            cells;
+            cells =
+              List.init per_row (fun i -> cell_results.(base + i));
           })
         config.Config.thetas)
-    queries
+    contexts
 
 let is_small_jvd (config : Config.t) result =
   result.jvd < config.Config.jvd_threshold
+
+let find_cell ~context label cells =
+  match List.find_opt (fun c -> c.approach = label) cells with
+  | Some cell -> cell
+  | None ->
+      failwith
+        (Printf.sprintf
+           "%s: no cell for approach %S (have: %s) — approach labels and \
+            result cells are out of sync"
+           context label
+           (String.concat ", " (List.map (fun c -> c.approach) cells)))
 
 let qerror_rows results =
   List.map
@@ -125,7 +210,7 @@ let print_table4 config results =
       (Printf.sprintf
          "Table IV: q-error, queries with small join value density (jvd < %g)"
          config.Config.jvd_threshold)
-    ~header:qerror_header ~rows:(qerror_rows small)
+    ~header:qerror_header ~rows:(qerror_rows small) ()
 
 let print_table5 config results =
   let large = List.filter (fun r -> not (is_small_jvd config r)) results in
@@ -134,12 +219,12 @@ let print_table5 config results =
       (Printf.sprintf
          "Table V: q-error, queries with large join value density (jvd >= %g)"
          config.Config.jvd_threshold)
-    ~header:qerror_header ~rows:(qerror_rows large)
+    ~header:qerror_header ~rows:(qerror_rows large) ()
 
 let print_table6 config results =
   let small = List.filter (is_small_jvd config) results in
-  let pick label cells = List.find (fun c -> c.approach = label) cells in
-  let variance_of cell =
+  let variance_of result label =
+    let cell = find_cell ~context:("Table VI, query " ^ result.name) label result.cells in
     (* the paper reports inf variance for cells whose estimation failed *)
     if Repro_stats.Qerror.is_failure cell.median_qerror then Float.infinity
     else cell.rel_variance
@@ -150,9 +235,9 @@ let print_table6 config results =
         [
           r.name;
           Printf.sprintf "%g" r.theta;
-          Render.variance_cell (variance_of (pick "1,t" r.cells));
-          Render.variance_cell (variance_of (pick "1,diff" r.cells));
-          Render.variance_cell (variance_of (pick "CS2L" r.cells));
+          Render.variance_cell (variance_of r "1,t");
+          Render.variance_cell (variance_of r "1,diff");
+          Render.variance_cell (variance_of r "CS2L");
         ])
       small
   in
@@ -160,4 +245,4 @@ let print_table6 config results =
     ~title:
       "Table VI: estimation variance (Var/J^2) on small-jvd queries"
     ~header:[ "Query"; "theta"; "CSDL(1,t)"; "CSDL(1,diff)"; "CS2L" ]
-    ~rows
+    ~rows ()

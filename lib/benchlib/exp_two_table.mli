@@ -1,7 +1,14 @@
 (** Experiment 1 (and the data feeding Experiments 3's variance view):
     the 14 JOB-derived two-table queries, every CSDL variant plus CS2L,
     both space budgets, [runs] estimations per cell — the raw material of
-    Tables IV, V and VI. *)
+    Tables IV, V and VI.
+
+    Execution is a two-stage fan-out on {!Repro_util.Pool}: first one task
+    per query (profile construction and exact join size, the read-only
+    state all of that query's cells share), then one task per
+    (query, theta, approach) cell. Each cell draws from its own
+    {!Repro_util.Prng.create_keyed} stream, so the results are
+    bit-identical at any [Config.jobs] setting. *)
 
 type approach = { label : string; spec : Csdl.Spec.t }
 
@@ -15,9 +22,15 @@ type cell = {
   estimates : float array;  (** one per run *)
   median_qerror : float;
   rel_variance : float;  (** empirical Var / J^2 (Table VI's metric) *)
-  avg_seconds : float;
-      (** mean online-estimation wall time over the non-zero-estimate runs
-          (the paper's timing protocol); [nan] when every run failed *)
+  avg_wall_seconds : float;
+      (** mean online-estimation wall-clock time over ALL runs — including
+          runs that estimated 0, which the old protocol silently dropped
+          and thereby biased the mean toward successful runs *)
+  avg_cpu_seconds : float;
+      (** mean CPU time over all runs, reported alongside wall time so
+          EXPERIMENTS.md can cite the paper-comparable wall number while
+          keeping the old CPU metric for continuity *)
+  zero_runs : int;  (** how many of the runs estimated exactly 0 *)
 }
 
 type query_result = {
@@ -28,8 +41,19 @@ type query_result = {
   cells : cell list;
 }
 
-val run : Config.t -> Repro_datagen.Imdb.t -> query_result list
-(** All (query, theta) combinations, in workload order. *)
+val run :
+  ?clock:Repro_util.Clock.t ->
+  Config.t ->
+  Repro_datagen.Imdb.t ->
+  query_result list
+(** All (query, theta) combinations, in workload order. [clock] (default
+    {!Repro_util.Clock.wall}) is injectable for tests; inject a fake
+    clock only with [Config.jobs = 1], fakes are not domain-safe. *)
+
+val find_cell : context:string -> string -> cell list -> cell
+(** [find_cell ~context label cells] is the cell with approach [label];
+    fails with a message naming [label], [context] and the labels present
+    instead of raising a bare [Not_found]. *)
 
 val is_small_jvd : Config.t -> query_result -> bool
 

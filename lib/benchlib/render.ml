@@ -62,10 +62,10 @@ let write_csv ~title ~header ~rows dir =
           output_char oc '\n')
         (header :: rows))
 
-let print_table ~title ~header ~rows =
-  Format.printf "@.== %s ==@." title;
-  table ~header ~rows Format.std_formatter;
-  Format.print_flush ();
+let print_table ?(ppf = Format.std_formatter) ~title ~header ~rows () =
+  Format.fprintf ppf "@.== %s ==@." title;
+  table ~header ~rows ppf;
+  Format.pp_print_flush ppf ();
   Option.iter (write_csv ~title ~header ~rows) !csv_directory
 
 let qerror_cell = Repro_stats.Qerror.to_string

@@ -6,9 +6,17 @@ val table :
 (** Column widths are derived from the content; every row must have the
     header's arity. *)
 
-val print_table : title:string -> header:string list -> rows:string list list -> unit
-(** [table] to stdout under a [== title ==] banner; additionally written as
-    CSV when {!set_csv_dir} is active. *)
+val print_table :
+  ?ppf:Format.formatter ->
+  title:string ->
+  header:string list ->
+  rows:string list list ->
+  unit ->
+  unit
+(** [table] to [ppf] (default stdout) under a [== title ==] banner;
+    additionally written as CSV when {!set_csv_dir} is active. The smoke
+    harness routes nondeterministic tables (measured timings) to stderr so
+    stdout stays byte-comparable across [--jobs] settings. *)
 
 val set_csv_dir : string option -> unit
 (** When set, every {!print_table} call also writes

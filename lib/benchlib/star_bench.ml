@@ -1,4 +1,5 @@
 module Prng = Repro_util.Prng
+module Pool = Repro_util.Pool
 module Tpch = Repro_datagen.Tpch
 open Repro_relation
 
@@ -12,29 +13,47 @@ type row = {
 let theta = 0.001
 
 let run (config : Config.t) =
-  List.map
-    (fun (scale, z) ->
-      let data = Tpch.generate ~scale ~z ~seed:config.Config.seed in
-      let tables =
-        {
-          Csdl.Star.fact = data.Tpch.lineitem;
-          dimensions =
-            [
-              { Csdl.Star.table = data.Tpch.orders; pk = "o_orderkey"; fk = "l_orderkey" };
-              { Csdl.Star.table = data.Tpch.part; pk = "p_partkey"; fk = "l_partkey" };
-            ];
-        }
-      in
-      let pred_dims =
-        [
-          Predicate.Compare (Predicate.Gt, "o_totalprice", Value.Float 250_000.0);
-          Predicate.Compare (Predicate.Lt, "p_retailprice", Value.Float 1_000.0);
-        ]
-      in
-      let truth = float_of_int (Csdl.Star.true_size ~pred_dims tables) in
-      let median prepared tag =
+  let jobs = config.Config.jobs in
+  let pred_dims =
+    [
+      Predicate.Compare (Predicate.Gt, "o_totalprice", Value.Float 250_000.0);
+      Predicate.Compare (Predicate.Lt, "p_retailprice", Value.Float 1_000.0);
+    ]
+  in
+  let contexts =
+    Pool.map ~jobs
+      (fun (scale, z) ->
+        let data = Tpch.generate ~scale ~z ~seed:config.Config.seed in
+        let tables =
+          {
+            Csdl.Star.fact = data.Tpch.lineitem;
+            dimensions =
+              [
+                { Csdl.Star.table = data.Tpch.orders; pk = "o_orderkey"; fk = "l_orderkey" };
+                { Csdl.Star.table = data.Tpch.part; pk = "p_partkey"; fk = "l_partkey" };
+              ];
+          }
+        in
+        let truth = float_of_int (Csdl.Star.true_size ~pred_dims tables) in
+        (scale, z, Tpch.dataset_name data, tables, truth))
+      Table8.datasets
+  in
+  let tasks =
+    List.concat_map
+      (fun context -> [ (context, "opt"); (context, "cs2l") ])
+      contexts
+  in
+  let medians =
+    Pool.map_array ~jobs
+      (fun ((scale, z, _, tables, truth), tag) ->
+        let prepared =
+          match tag with
+          | "opt" -> Csdl.Star.prepare_opt ~theta tables
+          | _ -> Csdl.Star.prepare Csdl.Spec.cs2l ~theta tables
+        in
         let prng =
-          Prng.create (Hashtbl.hash (config.Config.seed, "star", scale, z, tag))
+          Prng.create_keyed ~seed:config.Config.seed
+            (Printf.sprintf "star/scale=%g/z=%g/%s" scale z tag)
         in
         let qerrors =
           Array.init config.Config.runs (fun _ ->
@@ -42,15 +61,18 @@ let run (config : Config.t) =
               Repro_stats.Qerror.compute ~truth
                 ~estimate:(Csdl.Star.estimate ~pred_dims prepared synopsis))
         in
-        Repro_util.Summary.median qerrors
-      in
+        Repro_util.Summary.median qerrors)
+      (Array.of_list tasks)
+  in
+  List.mapi
+    (fun i (_, _, dataset, _, truth) ->
       {
-        dataset = Tpch.dataset_name data;
+        dataset;
         truth = int_of_float truth;
-        opt_qerror = median (Csdl.Star.prepare_opt ~theta tables) "opt";
-        cs2l_qerror = median (Csdl.Star.prepare Csdl.Spec.cs2l ~theta tables) "cs2l";
+        opt_qerror = medians.(2 * i);
+        cs2l_qerror = medians.((2 * i) + 1);
       })
-    Table8.datasets
+    contexts
 
 let print rows =
   Render.print_table
@@ -68,3 +90,4 @@ let print rows =
              Render.qerror_cell r.cs2l_qerror;
            ])
          rows)
+    ()

@@ -1,5 +1,6 @@
 open Repro_relation
 module Prng = Repro_util.Prng
+module Pool = Repro_util.Pool
 module Job = Repro_datagen.Job_workload
 
 type sweep_point = {
@@ -18,6 +19,7 @@ type result = {
 }
 
 let run_kind (config : Config.t) data prefixes kind =
+  let jobs = config.Config.jobs in
   (* The offline phase does not depend on the predicate, so we draw the
      synopses once per approach and reuse them across the whole sweep. *)
   let query_of prefix =
@@ -25,6 +27,7 @@ let run_kind (config : Config.t) data prefixes kind =
     | `Pkfk -> Job.pkfk_prefix_query data ~prefix
     | `M2m -> Job.m2m_prefix_query data ~prefix
   in
+  let kind_tag = match kind with `Pkfk -> "pkfk" | `M2m -> "m2m" in
   let theta = config.Config.prefix_theta in
   let template = query_of "X" in
   let profile =
@@ -34,18 +37,28 @@ let run_kind (config : Config.t) data prefixes kind =
   let opt = Csdl.Opt.prepare ~theta profile in
   let cs2l = Csdl.Estimator.prepare Csdl.Spec.cs2l ~theta profile in
   let cs2l_hh = Csdl.Estimator.prepare (Csdl.Spec.cs2l_approx ()) ~theta profile in
-  let synopses estimator tag =
-    let prng =
-      Prng.create (Hashtbl.hash (config.Config.seed, "table7", tag))
-    in
-    Array.init config.Config.runs (fun _ -> Csdl.Estimator.draw estimator prng)
+  (* Three independent keyed streams, one per approach — drawn as three
+     pool tasks since each stream is internally sequential. *)
+  let all_synopses =
+    Pool.map_array ~jobs
+      (fun (estimator, tag) ->
+        let prng =
+          Prng.create_keyed ~seed:config.Config.seed
+            (Printf.sprintf "table7/%s/%s" kind_tag tag)
+        in
+        Array.init config.Config.runs (fun _ ->
+            Csdl.Estimator.draw estimator prng))
+      [| (opt, "opt"); (cs2l, "cs2l"); (cs2l_hh, "cs2l_hh") |]
   in
-  let opt_synopses = synopses opt "opt"
-  and cs2l_synopses = synopses cs2l "cs2l"
-  and cs2l_hh_synopses = synopses cs2l_hh "cs2l_hh" in
+  let opt_synopses = all_synopses.(0)
+  and cs2l_synopses = all_synopses.(1)
+  and cs2l_hh_synopses = all_synopses.(2) in
+  (* The sweep itself: one pure task per prefix. Estimation only reads the
+     shared estimators and pre-drawn synopses, so points parallelise
+     without perturbing each other. *)
   let points =
-    List.mapi
-      (fun i prefix ->
+    Pool.map ~jobs
+      (fun (i, prefix) ->
         let q = query_of prefix in
         let truth = float_of_int (Job.true_size q) in
         let median estimator synopses =
@@ -69,7 +82,7 @@ let run_kind (config : Config.t) data prefixes kind =
           cs2l_qerror = median cs2l cs2l_synopses;
           cs2l_hh_qerror = median cs2l_hh cs2l_hh_synopses;
         })
-      prefixes
+      (List.mapi (fun i prefix -> (i, prefix)) prefixes)
   in
   let shown_ranks =
     List.filteri (fun i _ -> i mod 5 = 0) (List.mapi (fun i _ -> i + 1) prefixes)
@@ -137,4 +150,4 @@ let print result =
   in
   Render.print_table ~title
     ~header:[ "Rank"; "Prefix"; "J"; "CSDL-Opt"; "CS2L"; "CS2L-hh" ]
-    ~rows:(rows @ summary)
+    ~rows:(rows @ summary) ()

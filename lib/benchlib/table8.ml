@@ -1,4 +1,5 @@
 module Prng = Repro_util.Prng
+module Pool = Repro_util.Pool
 module Tpch = Repro_datagen.Tpch
 
 type row = {
@@ -16,49 +17,80 @@ type row = {
 
 let datasets = [ (1.0, 4.0); (0.1, 4.0); (1.0, 2.0); (0.1, 2.0) ]
 
+let approaches = [ "opt"; "1diff"; "cs2l" ]
+
 let run (config : Config.t) =
+  let jobs = config.Config.jobs in
+  (* Stage 1 — one task per dataset: generation, the profile and the
+     exact join size are shared read-only by all of that dataset's
+     cells. *)
+  let contexts =
+    Pool.map ~jobs
+      (fun (scale, z) ->
+        let data = Tpch.generate ~scale ~z ~seed:config.Config.seed in
+        let profile =
+          Csdl.Profile.of_tables data.Tpch.customer "c_nationkey"
+            data.Tpch.supplier "s_nationkey"
+        in
+        let truth = float_of_int (Csdl.Profile.true_join_size profile) in
+        (scale, z, Tpch.dataset_name data, profile, truth))
+      datasets
+  in
+  (* Stage 2 — one cell per (dataset, theta, approach), each with its own
+     keyed stream. *)
+  let tasks =
+    List.concat_map
+      (fun context ->
+        List.concat_map
+          (fun theta -> List.map (fun tag -> (context, theta, tag)) approaches)
+          config.Config.tpch_thetas)
+      contexts
+  in
+  let cell_results =
+    Pool.map_array ~jobs
+      (fun ((scale, z, _, profile, truth), theta, tag) ->
+        let estimator =
+          match tag with
+          | "opt" -> Csdl.Opt.prepare ~theta profile
+          | "1diff" ->
+              Csdl.Estimator.prepare
+                (Csdl.Spec.csdl Csdl.Spec.L_one Csdl.Spec.L_diff)
+                ~theta profile
+          | _ -> Csdl.Estimator.prepare Csdl.Spec.cs2l ~theta profile
+        in
+        let prng =
+          Prng.create_keyed ~seed:config.Config.seed
+            (Printf.sprintf "table8/scale=%g/z=%g/theta=%.17g/%s" scale z
+               theta tag)
+        in
+        let estimates =
+          Array.init config.Config.runs (fun _ ->
+              Csdl.Estimator.estimate_once estimator prng)
+        in
+        let qerrors =
+          Array.map
+            (fun estimate -> Repro_stats.Qerror.compute ~truth ~estimate)
+            estimates
+        in
+        ( Repro_util.Summary.median qerrors,
+          Repro_util.Summary.relative_variance ~truth estimates ))
+      (Array.of_list tasks)
+  in
+  (* Reassemble: each (dataset, theta) row owns |approaches| consecutive
+     cells in enumeration order. *)
+  let per_row = List.length approaches in
+  let row = ref 0 in
   List.concat_map
-    (fun (scale, z) ->
-      let data = Tpch.generate ~scale ~z ~seed:config.Config.seed in
-      let profile =
-        Csdl.Profile.of_tables data.Tpch.customer "c_nationkey"
-          data.Tpch.supplier "s_nationkey"
-      in
-      let truth = float_of_int (Csdl.Profile.true_join_size profile) in
+    (fun (_, _, dataset, profile, truth) ->
       List.map
         (fun theta ->
-          let stats estimator tag =
-            let prng =
-              Prng.create
-                (Hashtbl.hash (config.Config.seed, "table8", scale, z, theta, tag))
-            in
-            let estimates =
-              Array.init config.Config.runs (fun _ ->
-                  Csdl.Estimator.estimate_once estimator prng)
-            in
-            let qerrors =
-              Array.map
-                (fun estimate -> Repro_stats.Qerror.compute ~truth ~estimate)
-                estimates
-            in
-            ( Repro_util.Summary.median qerrors,
-              Repro_util.Summary.relative_variance ~truth estimates )
-          in
-          let opt_qerror, opt_variance =
-            stats (Csdl.Opt.prepare ~theta profile) "opt"
-          in
-          let one_diff_qerror, one_diff_variance =
-            stats
-              (Csdl.Estimator.prepare
-                 (Csdl.Spec.csdl Csdl.Spec.L_one Csdl.Spec.L_diff)
-                 ~theta profile)
-              "1diff"
-          in
-          let cs2l_qerror, cs2l_variance =
-            stats (Csdl.Estimator.prepare Csdl.Spec.cs2l ~theta profile) "cs2l"
-          in
+          let base = !row * per_row in
+          incr row;
+          let opt_qerror, opt_variance = cell_results.(base) in
+          let one_diff_qerror, one_diff_variance = cell_results.(base + 1) in
+          let cs2l_qerror, cs2l_variance = cell_results.(base + 2) in
           {
-            dataset = Tpch.dataset_name data;
+            dataset;
             theta;
             truth = int_of_float truth;
             jvd = profile.Csdl.Profile.jvd;
@@ -70,7 +102,7 @@ let run (config : Config.t) =
             cs2l_variance;
           })
         config.Config.tpch_thetas)
-    datasets
+    contexts
 
 let print rows =
   (* failed cells report infinite variance, matching the paper *)
@@ -103,3 +135,4 @@ let print rows =
              Render.variance_cell (variance r.cs2l_qerror r.cs2l_variance);
            ])
          rows)
+    ()

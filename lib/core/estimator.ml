@@ -86,13 +86,14 @@ let scaling_spec =
     heavy_hitter_k = None;
   }
 
+(* Eager, not [lazy]: guarded estimates may run on pool domains, and
+   concurrently forcing a [lazy] raises [RacyLazy] on OCaml 5. *)
 let cascade_specs =
-  lazy
-    [
-      Spec.csdl Spec.L_theta Spec.L_diff;
-      Spec.csdl Spec.L_one Spec.L_diff;
-      scaling_spec;
-    ]
+  [
+    Spec.csdl Spec.L_theta Spec.L_diff;
+    Spec.csdl Spec.L_one Spec.L_diff;
+    scaling_spec;
+  ]
 
 let estimate_guarded ?dl_config ?virtual_sample ?pred_a ?pred_b ?sample_first
     ?draw:(draw_fn = draw) ?fallback ~theta profile prng =
@@ -130,7 +131,7 @@ let estimate_guarded ?dl_config ?virtual_sample ?pred_a ?pred_b ?sample_first
           | None -> first_rung rest)
     in
     let answer =
-      match first_rung (Lazy.force cascade_specs) with
+      match first_rung cascade_specs with
       | Some answer -> Some answer
       | None -> (
           let rung, thunk =

@@ -2,11 +2,13 @@ type dispatch = [ `Jvd_threshold | `Budget_aware ]
 
 let default_threshold = 0.001
 
-let low_jvd_spec = lazy (Spec.csdl Spec.L_one Spec.L_diff)
-let high_jvd_spec = lazy (Spec.csdl Spec.L_theta Spec.L_diff)
+(* Plain values, not [lazy]: the parallel harness prepares estimators from
+   several domains, and concurrent forcing raises [RacyLazy] on OCaml 5. *)
+let low_jvd_spec = Spec.csdl Spec.L_one Spec.L_diff
+let high_jvd_spec = Spec.csdl Spec.L_theta Spec.L_diff
 
 let spec_for ?(threshold = default_threshold) ~jvd () =
-  if jvd < threshold then Lazy.force low_jvd_spec else Lazy.force high_jvd_spec
+  if jvd < threshold then low_jvd_spec else high_jvd_spec
 
 let spec_for_profile ?(dispatch = `Jvd_threshold) ?threshold ~theta
     (profile : Profile.t) =
@@ -22,8 +24,8 @@ let spec_for_profile ?(dispatch = `Jvd_threshold) ?threshold ~theta
       let sentry_floor =
         2.0 *. float_of_int (Array.length profile.Profile.shared_values)
       in
-      if sentry_floor <= budget /. 2.0 then Lazy.force low_jvd_spec
-      else Lazy.force high_jvd_spec
+      if sentry_floor <= budget /. 2.0 then low_jvd_spec
+      else high_jvd_spec
 
 let prepare ?dispatch ?threshold ?sample_first ~theta (profile : Profile.t) =
   let spec = spec_for_profile ?dispatch ?threshold ~theta profile in

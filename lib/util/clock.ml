@@ -1,0 +1,20 @@
+type t = unit -> float
+
+let wall : t = Unix.gettimeofday
+let cpu : t = Sys.time
+
+let counter ?(start = 0.0) ?(step = 1.0) () : t =
+  let now = ref start in
+  fun () ->
+    let v = !now in
+    now := !now +. step;
+    v
+
+type span = { wall_seconds : float; cpu_seconds : float }
+
+let time ?(wall_clock = wall) ?(cpu_clock = cpu) f =
+  let w0 = wall_clock () and c0 = cpu_clock () in
+  let result = f () in
+  let wall_seconds = Float.max 0.0 (wall_clock () -. w0) in
+  let cpu_seconds = Float.max 0.0 (cpu_clock () -. c0) in
+  (result, { wall_seconds; cpu_seconds })

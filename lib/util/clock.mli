@@ -1,0 +1,34 @@
+(** Wall-clock and CPU timing for the benchmark harness.
+
+    The paper's Section VI-A estimation-time comparison reports elapsed
+    (wall) time per estimate. Measuring it with [Sys.time] — process CPU
+    time — both misreports latency in a single-threaded run (any I/O or
+    scheduler wait disappears) and becomes meaningless under the
+    domain-parallel harness, where the process accumulates CPU seconds on
+    every core at once. All harness timing therefore flows through this
+    module: wall time from a monotonically-clamped [Unix.gettimeofday],
+    CPU time from [Sys.time], and an injectable clock so tests can drive
+    timing code deterministically. *)
+
+type t = unit -> float
+(** A clock: each call returns the current time in seconds. *)
+
+val wall : t
+(** Wall clock, backed by [Unix.gettimeofday]. *)
+
+val cpu : t
+(** Process CPU clock, backed by [Sys.time]. Under [Pool] parallelism this
+    counts the CPU seconds of every domain, so it can exceed wall time. *)
+
+val counter : ?start:float -> ?step:float -> unit -> t
+(** [counter ()] is a deterministic fake clock for tests: the first call
+    returns [start] (default 0.), each subsequent call advances by [step]
+    (default 1.). Not domain-safe — inject it only into single-job runs. *)
+
+type span = { wall_seconds : float; cpu_seconds : float }
+
+val time : ?wall_clock:t -> ?cpu_clock:t -> (unit -> 'a) -> 'a * span
+(** [time f] runs [f ()] and reports both elapsed wall time (default
+    clock: {!wall}) and CPU time (default: {!cpu}). Elapsed values are
+    clamped to be non-negative, so a stepping system clock can never
+    produce a negative duration. *)

@@ -21,17 +21,18 @@ let rec log_gamma x =
 
 let log_factorial_cache_size = 1024
 
+(* Built eagerly: benchmark cells hit this from several domains at once,
+   and concurrently forcing a [lazy] raises [RacyLazy] on OCaml 5. *)
 let log_factorial_cache =
-  lazy
-    (let cache = Array.make log_factorial_cache_size 0.0 in
-     for n = 2 to log_factorial_cache_size - 1 do
-       cache.(n) <- cache.(n - 1) +. log (float_of_int n)
-     done;
-     cache)
+  let cache = Array.make log_factorial_cache_size 0.0 in
+  for n = 2 to log_factorial_cache_size - 1 do
+    cache.(n) <- cache.(n - 1) +. log (float_of_int n)
+  done;
+  cache
 
 let log_factorial n =
   if n < 0 then invalid_arg "Math_ex.log_factorial: requires n >= 0";
-  if n < log_factorial_cache_size then (Lazy.force log_factorial_cache).(n)
+  if n < log_factorial_cache_size then log_factorial_cache.(n)
   else log_gamma (float_of_int n +. 1.0)
 
 let poisson_log_pmf lambda k =

@@ -1,0 +1,58 @@
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* One cell per task: either its value or the exception it raised. Slots
+   are written at distinct indices by exactly one domain each, so plain
+   array stores suffice (no per-slot atomics needed). *)
+type 'b slot =
+  | Pending
+  | Done of 'b
+  | Raised of exn * Printexc.raw_backtrace
+
+let run_queue ~jobs ~chunk f items results =
+  let n = Array.length items in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let start = Atomic.fetch_and_add next chunk in
+      if start < n then begin
+        let stop = min n (start + chunk) in
+        for i = start to stop - 1 do
+          results.(i) <-
+            (match f items.(i) with
+            | value -> Done value
+            | exception exn ->
+                Raised (exn, Printexc.get_raw_backtrace ()))
+        done;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join helpers
+
+let map_array ?jobs ?(chunk = 1) f items =
+  let n = Array.length items in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let jobs = min jobs (max 1 n) in
+  let chunk = max 1 chunk in
+  if n = 0 then [||]
+  else if jobs = 1 then Array.map f items
+  else begin
+    let results = Array.make n Pending in
+    run_queue ~jobs ~chunk f items results;
+    Array.map
+      (function
+        | Done value -> value
+        | Raised (exn, bt) -> Printexc.raise_with_backtrace exn bt
+        | Pending ->
+            (* unreachable: the queue is drained before the domains join *)
+            invalid_arg "Pool.map_array: task never ran")
+      results
+  end
+
+let map ?jobs ?chunk f items =
+  Array.to_list (map_array ?jobs ?chunk f (Array.of_list items))

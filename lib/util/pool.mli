@@ -1,0 +1,38 @@
+(** Fixed-size domain pool for embarrassingly parallel benchmark grids.
+
+    The experiment harness enumerates its work as arrays of independent
+    cells — each cell owns a deterministic per-key PRNG stream (see
+    {!Prng.create_keyed}) and only reads shared state (profiles, tables) —
+    so cells may execute on any domain in any order without changing a
+    single bit of the result. This module supplies the execution side of
+    that contract: a pool of [jobs] OCaml 5 domains draining a shared
+    work queue, with results returned in task-index order and the first
+    (lowest-index) task exception re-raised after all domains join.
+
+    Not reentrant: do not call [map]/[map_array] with [jobs > 1] from
+    inside a task already running on a pool. The harness only fans out
+    from the top-level experiment driver, one stage at a time. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1] (one domain is the caller's),
+    floored at 1. This is the default for the harness' [--jobs] flag. *)
+
+val map_array : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array ~jobs f items] is [Array.map f items] computed by [jobs]
+    domains (the calling domain plus [jobs - 1] spawned ones). Results are
+    positioned by task index, so the output is identical to the sequential
+    map whenever [f] is pure. [jobs] defaults to {!default_jobs}[ ()] and
+    is clamped to [[1; Array.length items]]; [jobs = 1] runs sequentially
+    in the calling domain without spawning.
+
+    [chunk] (default 1) is how many consecutive tasks a domain claims per
+    queue round-trip; raise it only when tasks are so cheap that the
+    claim — one [Atomic.fetch_and_add] — dominates.
+
+    If tasks raise, every remaining task still runs, and then the
+    exception of the lowest-index failing task is re-raised with its
+    backtrace — the same exception a sequential [Array.map] would have
+    surfaced first. *)
+
+val map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List version of {!map_array}. *)

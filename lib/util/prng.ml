@@ -4,21 +4,49 @@
 
 type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
 
-let splitmix64_next state =
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* splitmix64's finalizer: a bijective avalanche over 64 bits. *)
+let mix64 z =
   let open Int64 in
-  state := add !state 0x9E3779B97F4A7C15L;
-  let z = !state in
   let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
-let create seed =
-  let state = ref (Int64.of_int seed) in
+let splitmix64_next state =
+  state := Int64.add !state golden_gamma;
+  mix64 !state
+
+let of_state state =
+  let state = ref state in
   let s0 = splitmix64_next state in
   let s1 = splitmix64_next state in
   let s2 = splitmix64_next state in
   let s3 = splitmix64_next state in
   { s0; s1; s2; s3 }
+
+let create seed = of_state (Int64.of_int seed)
+
+(* Seed derivation for keyed substreams: a splitmix-style fold that
+   absorbs one key byte per mix. Unlike [Hashtbl.hash] on a tuple — which
+   truncates its traversal, collides easily, and may change across OCaml
+   releases — this walks the whole key and is pure Int64 arithmetic, so a
+   (seed, key) pair names the same stream on every OCaml version, word
+   size, and [--jobs] setting. *)
+let derive ~seed key =
+  let state = ref (mix64 (Int64.add (Int64.of_int seed) golden_gamma)) in
+  String.iter
+    (fun c ->
+      state :=
+        mix64
+          (Int64.add
+             (Int64.logxor !state (Int64.of_int (Char.code c)))
+             golden_gamma))
+    key;
+  (* absorb the length so keys differing only by trailing NULs separate *)
+  mix64 (Int64.add !state (Int64.of_int (String.length key)))
+
+let create_keyed ~seed key = of_state (derive ~seed key)
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 

@@ -13,6 +13,23 @@ val create : int -> t
 (** [create seed] builds a generator from an integer seed. Equal seeds yield
     identical streams. *)
 
+val derive : seed:int -> string -> int64
+(** [derive ~seed key] folds the master [seed] and every byte of [key]
+    through the splitmix64 finalizer into a 64-bit sub-seed. Unlike
+    [Hashtbl.hash], which truncates its traversal and whose value may
+    change between OCaml releases, the result depends on the whole key and
+    on nothing but Int64 arithmetic — the same [(seed, key)] names the
+    same stream on every OCaml version and at any degree of parallelism.
+    Callers are responsible for making keys injective (e.g. separate the
+    components with a delimiter that cannot occur inside them). *)
+
+val create_keyed : seed:int -> string -> t
+(** [create_keyed ~seed key] is a generator seeded from
+    [derive ~seed key]. This is how benchmark cells obtain their
+    per-[(query, theta, approach)] streams: each cell's stream is
+    independent of every other cell's, so cells can run in any order, on
+    any domain, and still draw identical samples. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state; the copy and original then evolve
     independently. *)

@@ -1,0 +1,320 @@
+(* Tests for the domain pool and the parallel benchmark harness: result
+   ordering, exception propagation, and the central determinism contract —
+   bench cells are bit-identical at any --jobs setting because every cell
+   owns a keyed PRNG stream. *)
+
+module Pool = Repro_util.Pool
+module Clock = Repro_util.Clock
+open Repro_benchlib
+
+let exact_float =
+  Alcotest.testable (fun ppf f -> Format.fprintf ppf "%.17g" f)
+    (fun a b -> Float.compare a b = 0)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_default_jobs () =
+  Alcotest.(check bool) "at least one worker" true (Pool.default_jobs () >= 1)
+
+let test_map_matches_sequential () =
+  let items = List.init 201 Fun.id in
+  let f i = (i * i) + (i mod 7) in
+  Alcotest.(check (list int))
+    "parallel map equals List.map" (List.map f items) (Pool.map ~jobs:4 f items)
+
+let test_map_array_matches_sequential () =
+  let items = Array.init 97 (fun i -> Printf.sprintf "item-%03d" i) in
+  let f s = String.uppercase_ascii s ^ "!" in
+  Alcotest.(check (array string))
+    "parallel map_array equals Array.map" (Array.map f items)
+    (Pool.map_array ~jobs:4 f items)
+
+let test_map_array_chunked () =
+  let items = Array.init 100 Fun.id in
+  let f i = 3 * i in
+  Alcotest.(check (array int))
+    "chunked claims preserve index order" (Array.map f items)
+    (Pool.map_array ~jobs:3 ~chunk:8 f items)
+
+let test_map_array_empty_and_singleton () =
+  Alcotest.(check (array int)) "empty" [||] (Pool.map_array ~jobs:4 Fun.id [||]);
+  Alcotest.(check (array int)) "singleton" [| 42 |]
+    (Pool.map_array ~jobs:4 Fun.id [| 42 |])
+
+let test_jobs_clamped_to_items () =
+  (* more workers than tasks must not deadlock or drop results *)
+  let items = Array.init 5 Fun.id in
+  Alcotest.(check (array int))
+    "jobs > n" (Array.map succ items)
+    (Pool.map_array ~jobs:64 succ items)
+
+exception Boom of int
+
+let test_exception_lowest_index () =
+  let f i = if i = 37 || i = 73 then raise (Boom i) else i in
+  match Pool.map_array ~jobs:4 f (Array.init 100 Fun.id) with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i ->
+      Alcotest.(check int)
+        "lowest-index failure wins, as in a sequential map" 37 i
+
+(* ------------------------------------------------------------------ *)
+(* Bench-grid determinism: jobs=1 vs jobs=N bit-identical              *)
+(* ------------------------------------------------------------------ *)
+
+(* A CI-sized grid: one theta, two runs, 5% scale. Generated once and
+   shared by the grid tests below. *)
+let tiny_config =
+  { Config.default with Config.imdb_scale = 0.05; runs = 2; thetas = [ 0.01 ] }
+
+let tiny_data =
+  let data = ref None in
+  fun () ->
+    match !data with
+    | Some d -> d
+    | None ->
+        let d =
+          Repro_datagen.Imdb.generate ~scale:tiny_config.Config.imdb_scale
+            ~seed:tiny_config.Config.seed ()
+        in
+        data := Some d;
+        d
+
+let check_same_results seq par =
+  Alcotest.(check int)
+    "same number of (query, theta) rows" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Exp_two_table.query_result) (b : Exp_two_table.query_result) ->
+      Alcotest.(check string) "query order" a.Exp_two_table.name b.Exp_two_table.name;
+      Alcotest.check exact_float "jvd" a.Exp_two_table.jvd b.Exp_two_table.jvd;
+      Alcotest.(check int) "truth" a.Exp_two_table.truth b.Exp_two_table.truth;
+      List.iter2
+        (fun (ca : Exp_two_table.cell) (cb : Exp_two_table.cell) ->
+          let ctx = a.Exp_two_table.name ^ "/" ^ ca.Exp_two_table.approach in
+          Alcotest.(check string) (ctx ^ ": approach") ca.Exp_two_table.approach
+            cb.Exp_two_table.approach;
+          Alcotest.(check (array exact_float))
+            (ctx ^ ": estimates bit-identical") ca.Exp_two_table.estimates
+            cb.Exp_two_table.estimates;
+          Alcotest.check exact_float (ctx ^ ": median q-error")
+            ca.Exp_two_table.median_qerror cb.Exp_two_table.median_qerror;
+          Alcotest.check exact_float (ctx ^ ": relative variance")
+            ca.Exp_two_table.rel_variance cb.Exp_two_table.rel_variance;
+          Alcotest.(check int) (ctx ^ ": zero runs") ca.Exp_two_table.zero_runs
+            cb.Exp_two_table.zero_runs)
+        a.Exp_two_table.cells b.Exp_two_table.cells)
+    seq par
+
+let test_grid_jobs_invariant () =
+  let data = tiny_data () in
+  let seq = Exp_two_table.run { tiny_config with Config.jobs = 1 } data in
+  let par = Exp_two_table.run { tiny_config with Config.jobs = 3 } data in
+  check_same_results seq par
+
+(* With an injected counter clock every timed section lasts exactly one
+   step, so every cell's wall average must equal the step — which also
+   proves run_cell times ALL runs (a dropped run would shift the mean). *)
+let test_grid_injected_clock_and_timing () =
+  let data = tiny_data () in
+  let config = { tiny_config with Config.jobs = 1 } in
+  let step = 0.25 in
+  let results = Exp_two_table.run ~clock:(Clock.counter ~step ()) config data in
+  List.iter
+    (fun (r : Exp_two_table.query_result) ->
+      List.iter
+        (fun (c : Exp_two_table.cell) ->
+          Alcotest.check exact_float
+            (r.Exp_two_table.name ^ "/" ^ c.Exp_two_table.approach
+           ^ ": wall avg = clock step")
+            step c.Exp_two_table.avg_wall_seconds)
+        r.Exp_two_table.cells)
+    results;
+  (* Timing summaries over the same fake-clock results: every query is
+     measured, and the wall mean is exactly the step. *)
+  let queries = List.length results in
+  List.iter
+    (fun (s : Timing.summary) ->
+      Alcotest.(check int)
+        (s.Timing.approach ^ ": all queries measured") queries
+        s.Timing.queries_measured;
+      Alcotest.(check int)
+        (s.Timing.approach ^ ": total queries") queries s.Timing.queries_total;
+      Alcotest.check exact_float
+        (s.Timing.approach ^ ": wall mean = clock step") step
+        s.Timing.mean_wall_seconds)
+    (Timing.run config results)
+
+(* ------------------------------------------------------------------ *)
+(* Timing summaries on hand-built cells                                *)
+(* ------------------------------------------------------------------ *)
+
+let mk_cell approach wall cpu zero =
+  {
+    Exp_two_table.approach;
+    estimates = [| 1.0; 2.0 |];
+    median_qerror = 1.0;
+    rel_variance = 0.0;
+    avg_wall_seconds = wall;
+    avg_cpu_seconds = cpu;
+    zero_runs = zero;
+  }
+
+let mk_result name jvd theta cells =
+  { Exp_two_table.name; jvd; truth = 100; theta; cells }
+
+let timing_config =
+  {
+    Config.default with
+    Config.thetas = [ 0.01; 0.001 ];
+    jvd_threshold = 0.001;
+  }
+
+let find_summary label summaries =
+  match
+    List.find_opt (fun s -> s.Timing.approach = label) summaries
+  with
+  | Some s -> s
+  | None -> Alcotest.fail ("no summary for " ^ label)
+
+let test_timing_summary_means () =
+  let results =
+    [
+      (* small jvd: CSDL-Opt dispatches to "1,diff" *)
+      mk_result "Qsmall" 0.0001 0.001
+        [
+          mk_cell "1,diff" 0.2 0.3 1;
+          mk_cell "t,diff" 9.9 9.9 0;
+          mk_cell "CS2L" 0.1 0.1 2;
+        ];
+      (* large jvd: CSDL-Opt dispatches to "t,diff" *)
+      mk_result "Qlarge" 0.01 0.001
+        [
+          mk_cell "1,diff" 9.9 9.9 0;
+          mk_cell "t,diff" 0.4 0.5 0;
+          mk_cell "CS2L" 0.2 0.2 1;
+        ];
+      (* wrong theta: must be ignored by the timing protocol *)
+      mk_result "Qignored" 0.0001 0.01
+        [
+          mk_cell "1,diff" 100.0 100.0 9;
+          mk_cell "t,diff" 100.0 100.0 9;
+          mk_cell "CS2L" 100.0 100.0 9;
+        ];
+    ]
+  in
+  let summaries = Timing.run timing_config results in
+  let opt = find_summary "CSDL-Opt" summaries in
+  Alcotest.check exact_float "opt wall mean" ((0.2 +. 0.4) /. 2.0)
+    opt.Timing.mean_wall_seconds;
+  Alcotest.check exact_float "opt cpu mean" ((0.3 +. 0.5) /. 2.0)
+    opt.Timing.mean_cpu_seconds;
+  Alcotest.(check int) "opt measured" 2 opt.Timing.queries_measured;
+  Alcotest.(check int) "opt total" 2 opt.Timing.queries_total;
+  Alcotest.(check int) "opt zero-estimate runs" 1 opt.Timing.zero_estimate_runs;
+  Alcotest.check exact_float "opt fraction under 0.5s" 1.0
+    opt.Timing.fraction_under;
+  let cs2l = find_summary "CS2L" summaries in
+  Alcotest.check exact_float "cs2l wall mean" ((0.1 +. 0.2) /. 2.0)
+    cs2l.Timing.mean_wall_seconds;
+  Alcotest.(check int) "cs2l zero-estimate runs" 3
+    cs2l.Timing.zero_estimate_runs;
+  (* threshold 0.15s: 0.1 is under, 0.2 is not *)
+  Alcotest.check exact_float "cs2l fraction under" 0.5
+    cs2l.Timing.fraction_under
+
+let test_timing_nan_cells_excluded () =
+  let results =
+    [
+      mk_result "Qok" 0.0001 0.001
+        [ mk_cell "1,diff" 0.2 0.3 0; mk_cell "CS2L" 0.1 0.1 0 ];
+      mk_result "Qnan" 0.01 0.001
+        [ mk_cell "t,diff" Float.nan Float.nan 2; mk_cell "CS2L" 0.3 0.3 0 ];
+    ]
+  in
+  (* give Qok a t,diff cell and Qnan a 1,diff cell so lookups succeed *)
+  let results =
+    match results with
+    | [ a; b ] ->
+        [
+          { a with Exp_two_table.cells = mk_cell "t,diff" 0.9 0.9 0 :: a.Exp_two_table.cells };
+          { b with Exp_two_table.cells = mk_cell "1,diff" 0.9 0.9 0 :: b.Exp_two_table.cells };
+        ]
+    | _ -> assert false
+  in
+  let opt = find_summary "CSDL-Opt" (Timing.run timing_config results) in
+  Alcotest.(check int) "NaN cell not measured" 1 opt.Timing.queries_measured;
+  Alcotest.(check int) "but still counted" 2 opt.Timing.queries_total;
+  Alcotest.check exact_float "mean over measured cells only" 0.2
+    opt.Timing.mean_wall_seconds;
+  Alcotest.(check int) "zero runs of ALL cells counted" 2
+    opt.Timing.zero_estimate_runs
+
+let test_timing_missing_label_named () =
+  let results =
+    [ mk_result "Qx" 0.0001 0.001 [ mk_cell "1,diff" 0.1 0.1 0 ] ]
+  in
+  match Timing.run timing_config results with
+  | _ -> Alcotest.fail "expected a Failure naming the missing label"
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        ("message names the label and query: " ^ msg)
+        true
+        (contains msg "CS2L" && contains msg "Qx")
+
+let test_find_cell_error_message () =
+  match
+    Exp_two_table.find_cell ~context:"unit test" "nope"
+      [ mk_cell "1,diff" 0.1 0.1 0 ]
+  with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        ("message names context, label and candidates: " ^ msg)
+        true
+        (contains msg "unit test" && contains msg "nope"
+        && contains msg "1,diff")
+
+let () =
+  Alcotest.run "repro_pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "default jobs" `Quick test_default_jobs;
+          Alcotest.test_case "map matches sequential" `Quick
+            test_map_matches_sequential;
+          Alcotest.test_case "map_array matches sequential" `Quick
+            test_map_array_matches_sequential;
+          Alcotest.test_case "chunked claims" `Quick test_map_array_chunked;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_map_array_empty_and_singleton;
+          Alcotest.test_case "jobs clamped to items" `Quick
+            test_jobs_clamped_to_items;
+          Alcotest.test_case "lowest-index exception" `Quick
+            test_exception_lowest_index;
+        ] );
+      ( "grid determinism",
+        [
+          Alcotest.test_case "jobs=1 vs jobs=3 bit-identical" `Slow
+            test_grid_jobs_invariant;
+          Alcotest.test_case "injected clock drives timings" `Slow
+            test_grid_injected_clock_and_timing;
+        ] );
+      ( "timing summary",
+        [
+          Alcotest.test_case "means and fractions" `Quick
+            test_timing_summary_means;
+          Alcotest.test_case "NaN cells excluded but counted" `Quick
+            test_timing_nan_cells_excluded;
+          Alcotest.test_case "missing label is named" `Quick
+            test_timing_missing_label_named;
+          Alcotest.test_case "find_cell error message" `Quick
+            test_find_cell_error_message;
+        ] );
+    ]

@@ -33,6 +33,46 @@ let test_prng_split_independent () =
   done;
   Alcotest.(check bool) "split stream diverges from parent" true !differs
 
+(* Keyed derivation: the splitmix fold over seed + cell-key string that
+   replaced Hashtbl.hash-based seeding. Golden values pin the derivation
+   across refactors — a silent change here would silently reshuffle every
+   benchmark cell's stream. *)
+let test_prng_derive_golden () =
+  Alcotest.(check int64) "empty key" (-5575780348996920605L)
+    (Prng.derive ~seed:42 "");
+  Alcotest.(check int64) "bench cell key" 6455720955555524684L
+    (Prng.derive ~seed:42 "two-table/Q1a1/theta=0.01/1,t");
+  Alcotest.(check int64) "tpch cell key" (-9104234409078918703L)
+    (Prng.derive ~seed:20200427 "table8/scale=1/z=4/theta=0.001/opt")
+
+let test_prng_derive_deterministic () =
+  let key = "two-table/Q1a1/theta=0.001/CS2L" in
+  Alcotest.(check int64) "same seed+key, same state"
+    (Prng.derive ~seed:7 key) (Prng.derive ~seed:7 key)
+
+let test_prng_derive_sensitivity () =
+  let key = "chain4/scale=0.1/z=2/opt" in
+  Alcotest.(check bool) "seed matters" false
+    (Int64.equal (Prng.derive ~seed:1 key) (Prng.derive ~seed:2 key));
+  Alcotest.(check bool) "key matters" false
+    (Int64.equal (Prng.derive ~seed:1 key) (Prng.derive ~seed:1 (key ^ "x")));
+  (* same bytes, different split: the length fold keeps these apart *)
+  Alcotest.(check bool) "delimiter placement matters" false
+    (Int64.equal (Prng.derive ~seed:1 "ab/c") (Prng.derive ~seed:1 "a/bc"))
+
+let test_prng_create_keyed_stream () =
+  let a = Prng.create_keyed ~seed:11 "cell"
+  and b = Prng.create_keyed ~seed:11 "cell" in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "same keyed stream" (Prng.bits64 a) (Prng.bits64 b)
+  done;
+  let c = Prng.create_keyed ~seed:11 "other-cell" in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Prng.bits64 a) (Prng.bits64 c)) then differs := true
+  done;
+  Alcotest.(check bool) "different keys diverge" true !differs
+
 let test_prng_int_range () =
   let t = Prng.create 3 in
   for _ = 1 to 10_000 do
@@ -366,6 +406,42 @@ let prop_quantile_monotone =
     (fun xs ->
       Summary.quantile 0.25 xs <= Summary.quantile 0.75 xs)
 
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_counter_steps () =
+  let c = Clock.counter () in
+  check_float "first call is start" 0.0 (c ());
+  check_float "advances by default step" 1.0 (c ());
+  check_float "again" 2.0 (c ());
+  let c = Clock.counter ~start:5.0 ~step:0.5 () in
+  check_float "custom start" 5.0 (c ());
+  check_float "custom step" 5.5 (c ())
+
+let test_clock_time_span () =
+  let wall_clock = Clock.counter ~step:2.0 () in
+  let cpu_clock = Clock.counter ~step:0.25 () in
+  let result, span = Clock.time ~wall_clock ~cpu_clock (fun () -> "done") in
+  Alcotest.(check string) "result passed through" "done" result;
+  check_float "wall elapsed = one step" 2.0 span.Clock.wall_seconds;
+  check_float "cpu elapsed = one step" 0.25 span.Clock.cpu_seconds
+
+let test_clock_time_clamps_negative () =
+  (* a stepping system clock must never yield a negative duration *)
+  let backwards = Clock.counter ~start:100.0 ~step:(-3.0) () in
+  let _, span =
+    Clock.time ~wall_clock:backwards ~cpu_clock:backwards (fun () -> ())
+  in
+  check_float "wall clamped to zero" 0.0 span.Clock.wall_seconds;
+  check_float "cpu clamped to zero" 0.0 span.Clock.cpu_seconds
+
+let test_clock_wall_monotone_enough () =
+  let t0 = Clock.wall () in
+  let t1 = Clock.wall () in
+  Alcotest.(check bool) "wall clock does not go backwards here" true
+    (t1 >= t0)
+
 let () =
   Alcotest.run "repro_util"
     [
@@ -374,6 +450,12 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
           Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
           Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "derive golden values" `Quick test_prng_derive_golden;
+          Alcotest.test_case "derive deterministic" `Quick
+            test_prng_derive_deterministic;
+          Alcotest.test_case "derive sensitivity" `Quick
+            test_prng_derive_sensitivity;
+          Alcotest.test_case "keyed stream" `Quick test_prng_create_keyed_stream;
           Alcotest.test_case "int range" `Quick test_prng_int_range;
           Alcotest.test_case "int uniformity" `Slow test_prng_int_uniformity;
           Alcotest.test_case "float range" `Quick test_prng_float_range;
@@ -427,6 +509,15 @@ let () =
           Alcotest.test_case "mean" `Quick test_weighted_mean;
           Alcotest.test_case "total" `Quick test_weighted_total;
           Alcotest.test_case "rejects negative" `Quick test_weighted_rejects_negative;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "counter steps" `Quick test_clock_counter_steps;
+          Alcotest.test_case "time span" `Quick test_clock_time_span;
+          Alcotest.test_case "negative durations clamped" `Quick
+            test_clock_time_clamps_negative;
+          Alcotest.test_case "wall clock monotone" `Quick
+            test_clock_wall_monotone_enough;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
