@@ -5,6 +5,7 @@
    Usage:  dune exec bench/main.exe -- [--quick] [--smoke] [--jobs N]
                                        [--skip-bechamel] [--skip-ablations]
                                        [--csv DIR] [--tables 4,5,6,7,8,9]
+                                       [--trace FILE]
    Environment: REPRO_SCALE, REPRO_RUNS, REPRO_SEED, REPRO_PREFIXES,
    REPRO_JOBS (see Repro_benchlib.Config).
 
@@ -12,12 +13,18 @@
    (Repro_util.Pool); every cell owns a keyed PRNG stream, so table output
    is bit-identical at any [--jobs]. Deterministic tables go to stdout;
    progress banners and measured timings go to stderr, so
-   `main.exe --smoke --jobs N > out.txt` is byte-comparable across N. *)
+   `main.exe --smoke --jobs N > out.txt` is byte-comparable across N.
+
+   --trace FILE turns on the observability layer (lib/obs): spans and a
+   final metrics dump go to FILE as JSONL and a Prometheus-style snapshot
+   goes to stderr. Instrumentation never touches a PRNG stream, so stdout
+   stays byte-identical with tracing on or off. *)
 
 open Repro_benchlib
 module Prng = Repro_util.Prng
 module Clock = Repro_util.Clock
 module Job = Repro_datagen.Job_workload
+module Obs = Repro_obs.Obs
 open Repro_relation
 
 type options = {
@@ -27,17 +34,20 @@ type options = {
   skip_bechamel : bool;
   skip_ablations : bool;
   tables : int list;  (* which paper tables to regenerate *)
+  trace : string option;  (* --trace FILE: JSONL span/metric export *)
 }
 
 let usage =
   "usage: main.exe [--quick] [--smoke] [--jobs N] [--skip-bechamel]\n\
-  \                [--skip-ablations] [--csv DIR] [--tables 4,5,...]\n"
+  \                [--skip-ablations] [--csv DIR] [--tables 4,5,...]\n\
+  \                [--trace FILE]\n"
 
 let parse_options () =
   let quick = ref false and smoke = ref false in
   let jobs = ref None in
   let skip_bechamel = ref false and skip_ablations = ref false in
   let tables = ref [ 4; 5; 6; 7; 8; 9 ] in
+  let trace = ref None in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -70,6 +80,9 @@ let parse_options () =
           String.split_on_char ',' spec
           |> List.filter_map int_of_string_opt;
         parse rest
+    | "--trace" :: file :: rest ->
+        trace := Some file;
+        parse rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %s\n%s" arg usage;
         exit 2
@@ -82,6 +95,7 @@ let parse_options () =
     skip_bechamel = !skip_bechamel;
     skip_ablations = !skip_ablations;
     tables = !tables;
+    trace = !trace;
   }
 
 let wants options n = List.mem n options.tables
@@ -90,8 +104,11 @@ let wants options n = List.mem n options.tables
    CPU time rides along — under the domain pool it sums over every worker,
    so cpu >> wall is the expected signature of parallel execution. Banners
    go to stderr: stdout carries only the deterministic tables. *)
-let timed label f =
-  let result, span = Clock.time f in
+let timed ?(obs = Obs.null) label f =
+  let result, span =
+    Clock.time (fun () ->
+        Obs.Span.with_ obs ~name:"bench.stage" ~attrs:[ ("stage", label) ] f)
+  in
   Format.eprintf "[%s: %.1fs wall, %.1fs cpu]@." label span.Clock.wall_seconds
     span.Clock.cpu_seconds;
   result
@@ -232,6 +249,14 @@ let () =
       }
     else options
   in
+  let obs =
+    match options.trace with
+    | None -> Obs.null
+    | Some file -> Obs.create ~sink:(Repro_obs.Trace.file file) ()
+  in
+  (* Pre-declare the cascade counter so the metrics dump always carries it
+     — a trace with zero downgrades is then explicit, not absent. *)
+  Obs.count obs "estimate.downgrades.total" 0;
   let config =
     let base = Config.from_env () in
     let base =
@@ -241,11 +266,15 @@ let () =
         { base with Config.imdb_scale = 0.2; runs = 5; prefix_count = 30 }
       else base
     in
-    match options.jobs with
-    | Some jobs -> { base with Config.jobs = jobs }
-    | None -> base
+    let base =
+      match options.jobs with
+      | Some jobs -> { base with Config.jobs = jobs }
+      | None -> base
+    in
+    { base with Config.obs = obs }
   in
   Format.eprintf "repro bench: %a@." Config.pp config;
+  let timed label f = timed ~obs label f in
   let data =
     timed "generate mini-IMDB" (fun () ->
         Repro_datagen.Imdb.generate ~scale:config.Config.imdb_scale
@@ -286,4 +315,12 @@ let () =
     |> Chain4_bench.print;
     timed "ablations" (fun () -> Ablation.run_all config data)
   end;
-  if not options.skip_bechamel then run_bechamel config data
+  if not options.skip_bechamel then run_bechamel config data;
+  (* End-of-run observability export: Prometheus snapshot to stderr (never
+     stdout — tables must stay byte-comparable), metrics dump + span file
+     closed last. *)
+  Option.iter
+    (fun snapshot ->
+      Format.eprintf "== metrics snapshot ==@.%s@." snapshot)
+    (Obs.prometheus obs);
+  Obs.close obs

@@ -12,6 +12,7 @@ open Cmdliner
 open Repro_relation
 module Prng = Repro_util.Prng
 module Pool = Repro_util.Pool
+module Obs = Repro_obs.Obs
 
 let ensure_directory path =
   if not (Sys.file_exists path) then Sys.mkdir path 0o755
@@ -225,16 +226,32 @@ let where_right_arg =
     value & opt predicate_conv Predicate.True
     & info [ "where-right" ] ~docv:"COND" ~doc:"Selection on the right table.")
 
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write observability output (JSONL spans plus a final metrics \
+           dump) to $(docv) and a Prometheus-style snapshot to stderr. \
+           Never changes estimates: instrumentation does not touch the \
+           PRNG streams.")
+
 (* One guarded run over its own keyed stream; results are printed by the
    caller in run order once every (possibly parallel) run has finished. *)
-let guarded_run ~theta ~pred_left ~pred_right ~seed profile i =
+let guarded_run ~obs ~theta ~pred_left ~pred_right ~seed profile i =
   let prng = Prng.create_keyed ~seed (Printf.sprintf "estimate/run=%d" i) in
-  Repro_robustness.Guarded.estimate ~pred_a:pred_left ~pred_b:pred_right ~theta
-    profile prng
+  Repro_robustness.Guarded.estimate ~obs ~pred_a:pred_left ~pred_b:pred_right
+    ~theta profile prng
 
 let estimate left left_col right right_col theta approach runs exact guarded
-    jobs seed pred_left pred_right =
+    jobs seed pred_left pred_right trace =
   let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
+  let obs =
+    match trace with
+    | None -> Obs.null
+    | Some file -> Obs.create ~sink:(Repro_obs.Trace.file file) ()
+  in
+  Obs.count obs "estimate.downgrades.total" 0;
   let table_a = Csv_io.read_auto left and table_b = Csv_io.read_auto right in
   let profile = Csdl.Profile.of_tables table_a left_col table_b right_col in
   Printf.printf "|A| = %d, |B| = %d, shared join values = %d, jvd = %.6f\n"
@@ -253,8 +270,8 @@ let estimate left left_col right right_col theta approach runs exact guarded
         "approach: guarded cascade (csdl:t,diff -> csdl:1,diff -> scaling -> \
          independent)\n";
       let outcomes =
-        Pool.map_array ~jobs
-          (guarded_run ~theta ~pred_left ~pred_right ~seed profile)
+        Pool.map_array ~obs ~jobs
+          (guarded_run ~obs ~theta ~pred_left ~pred_right ~seed profile)
           run_indices
       in
       Array.mapi
@@ -287,13 +304,13 @@ let estimate left left_col right right_col theta approach runs exact guarded
       Printf.printf "approach: %s (sampling the %s table first)\n"
         (Csdl.Spec.to_string (Csdl.Estimator.spec estimator))
         (if Csdl.Estimator.swapped estimator then "right" else "left");
-      Pool.map_array ~jobs
+      Pool.map_array ~obs ~jobs
         (fun i ->
           let prng =
             Prng.create_keyed ~seed (Printf.sprintf "estimate/run=%d" i)
           in
-          Csdl.Estimator.estimate_once ~pred_a:pred_left ~pred_b:pred_right
-            estimator prng)
+          Csdl.Estimator.estimate_once ~obs ~pred_a:pred_left
+            ~pred_b:pred_right estimator prng)
         run_indices
     end
   in
@@ -316,7 +333,11 @@ let estimate left left_col right right_col theta approach runs exact guarded
       (Repro_stats.Qerror.to_string
          (Repro_stats.Qerror.compute ~truth:(float_of_int truth)
             ~estimate:median))
-  end
+  end;
+  Option.iter
+    (fun snapshot -> Printf.eprintf "== metrics snapshot ==\n%s%!" snapshot)
+    (Obs.prometheus obs);
+  Obs.close obs
 
 let estimate_cmd =
   Cmd.v
@@ -324,7 +345,59 @@ let estimate_cmd =
     Term.(
       const estimate $ left_arg $ left_col_arg $ right_arg $ right_col_arg
       $ theta_arg $ approach_arg $ runs_arg $ exact_arg $ guarded_arg
-      $ jobs_arg $ seed_arg $ where_left_arg $ where_right_arg)
+      $ jobs_arg $ seed_arg $ where_left_arg $ where_right_arg $ trace_arg)
+
+(* ---------------- metrics ---------------- *)
+
+(* A self-contained exercise of the instrumented pipeline: run guarded
+   estimates over a generated workload with a live context and print the
+   Prometheus-style snapshot to stdout — the quickest way to see every
+   metric the pipeline exports (and to scrape one in CI). *)
+let metrics scale seed runs theta =
+  let obs = Obs.create () in
+  Obs.count obs "estimate.downgrades.total" 0;
+  let d = Repro_datagen.Imdb.generate ~scale ~seed () in
+  let queries = Repro_datagen.Job_workload.two_table_queries d in
+  List.iter
+    (fun (q : Repro_datagen.Job_workload.query) ->
+      let profile =
+        Csdl.Profile.of_tables q.Repro_datagen.Job_workload.a.Join.table
+          q.Repro_datagen.Job_workload.a.Join.column
+          q.Repro_datagen.Job_workload.b.Join.table
+          q.Repro_datagen.Job_workload.b.Join.column
+      in
+      for i = 0 to runs - 1 do
+        let prng =
+          Prng.create_keyed ~seed
+            (Printf.sprintf "metrics/%s/run=%d"
+               q.Repro_datagen.Job_workload.name i)
+        in
+        match
+          Repro_robustness.Guarded.estimate ~obs
+            ~pred_a:q.Repro_datagen.Job_workload.a.Join.predicate
+            ~pred_b:q.Repro_datagen.Job_workload.b.Join.predicate ~theta
+            profile prng
+        with
+        | Ok _ -> ()
+        | Error fault ->
+            Printf.eprintf "error: %s\n" (Csdl.Fault.error_to_string fault);
+            exit 1
+      done)
+    queries;
+  print_string (Option.value ~default:"" (Obs.prometheus obs))
+
+let metrics_runs_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "runs" ] ~docv:"N" ~doc:"Guarded estimation runs per query.")
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Exercise the instrumented estimation pipeline on a generated \
+          workload and print the Prometheus-style metrics snapshot.")
+    Term.(const metrics $ scale_arg $ seed_arg $ metrics_runs_arg $ theta_arg)
 
 (* ---------------- synopsis-build / synopsis-estimate ---------------- *)
 
@@ -442,6 +515,7 @@ let () =
             generate_tpch_cmd;
             inspect_cmd;
             estimate_cmd;
+            metrics_cmd;
             synopsis_build_cmd;
             synopsis_estimate_cmd;
             workload_cmd;

@@ -42,7 +42,7 @@ let virtual_sample (config : Config.t) data =
     pick [ "Q1a1"; "Q1b1"; "Q2a2"; "Q2d1" ] (Job.two_table_queries data)
   in
   let spec = Csdl.Spec.csdl Csdl.Spec.L_one Csdl.Spec.L_diff in
-  Pool.map ~jobs:config.Config.jobs
+  Pool.map ~obs:config.Config.obs ~jobs:config.Config.jobs
     (fun (q : Job.query) ->
       {
         label = q.Job.name;
@@ -65,7 +65,7 @@ let sentry (config : Config.t) data =
   let without_sentry =
     { with_sentry with Csdl.Spec.sentry = false; name = "CSDL(1,t)-nosentry" }
   in
-  Pool.map ~jobs:config.Config.jobs
+  Pool.map ~obs:config.Config.obs ~jobs:config.Config.jobs
     (fun (q : Job.query) ->
       {
         label = q.Job.name;
@@ -80,7 +80,7 @@ let sentry (config : Config.t) data =
 (* Paper's jvd-threshold dispatch vs. the budget-aware rule on the skewed
    TPC-H nationkey join whose jvd straddles the threshold. *)
 let dispatch (config : Config.t) =
-  Pool.map ~jobs:config.Config.jobs
+  Pool.map ~obs:config.Config.obs ~jobs:config.Config.jobs
     (fun (scale, z) ->
       let data =
         Repro_datagen.Tpch.generate ~scale ~z ~seed:config.Config.seed
@@ -124,7 +124,7 @@ let grid_resolution (config : Config.t) data =
   let fine =
     { Csdl.Discrete_learning.default_config with linear_grid_points = 2000 }
   in
-  Pool.map ~jobs:config.Config.jobs
+  Pool.map ~obs:config.Config.obs ~jobs:config.Config.jobs
     (fun points ->
       let coarse =
         { Csdl.Discrete_learning.default_config with linear_grid_points = points }

@@ -125,7 +125,7 @@ let run (config : Config.t) data =
   (* Stage 1 — per query: the profile and exact size all eight approach
      cells share. *)
   let contexts =
-    Pool.map ~jobs
+    Pool.map ~obs:config.Config.obs ~jobs
       (fun (q : Job.query) ->
         let profile =
           Csdl.Profile.of_tables q.Job.a.Join.table q.Job.a.Join.column
@@ -141,7 +141,7 @@ let run (config : Config.t) data =
       contexts
   in
   let cell_results =
-    Pool.map_array ~jobs (fun cell -> cell ()) (Array.of_list tasks)
+    Pool.map_array ~obs:config.Config.obs ~jobs (fun cell -> cell ()) (Array.of_list tasks)
   in
   let per_row = List.length approach_names in
   List.mapi

@@ -8,6 +8,7 @@ type t = {
   prefix_count : int;
   jvd_threshold : float;
   jobs : int;
+  obs : Repro_obs.Obs.ctx;
 }
 
 let default =
@@ -21,6 +22,7 @@ let default =
     prefix_count = 100;
     jvd_threshold = 0.001;
     jobs = Repro_util.Pool.default_jobs ();
+    obs = Repro_obs.Obs.null;
   }
 
 let env_float name fallback =

@@ -35,6 +35,12 @@ type t = {
   jobs : int;
       (** worker domains used by every experiment runner; purely an
           execution-speed knob, never a results knob *)
+  obs : Repro_obs.Obs.ctx;
+      (** observability context threaded through every runner, the worker
+          pool and the estimators. Defaults to {!Repro_obs.Obs.null}
+          (zero-overhead no-op); a live context never changes results —
+          instrumentation reads clocks and bumps atomics but never touches
+          a PRNG stream. *)
 }
 
 val default : t

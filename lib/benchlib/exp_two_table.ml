@@ -3,6 +3,7 @@ module Prng = Repro_util.Prng
 module Pool = Repro_util.Pool
 module Clock = Repro_util.Clock
 module Job = Repro_datagen.Job_workload
+module Obs = Repro_obs.Obs
 
 type approach = { label : string; spec : Csdl.Spec.t }
 
@@ -49,14 +50,15 @@ let cell_prng ~seed ~query ~theta ~label =
   Prng.create_keyed ~seed
     (Printf.sprintf "two-table/%s/theta=%.17g/%s" query theta label)
 
-let run_cell ~runs ~clock ~prng ~truth ~pred_a ~pred_b estimator =
+let run_cell ?(obs = Obs.null) ~runs ~clock ~prng ~truth ~pred_a ~pred_b
+    estimator =
   let estimates = Array.make runs 0.0 in
   let wall_total = ref 0.0 and cpu_total = ref 0.0 and zero_runs = ref 0 in
   for r = 0 to runs - 1 do
-    let synopsis = Csdl.Estimator.draw estimator prng in
+    let synopsis = Csdl.Estimator.draw ~obs estimator prng in
     let estimate, span =
       Clock.time ~wall_clock:clock (fun () ->
-          Csdl.Estimator.estimate ~pred_a ~pred_b estimator synopsis)
+          Csdl.Estimator.estimate ~obs ~pred_a ~pred_b estimator synopsis)
     in
     estimates.(r) <- estimate;
     wall_total := !wall_total +. span.Clock.wall_seconds;
@@ -89,12 +91,13 @@ type cell_task = {
 
 let run ?(clock = Clock.wall) (config : Config.t) data =
   let jobs = config.Config.jobs in
+  let obs = config.Config.obs in
   let queries = Job.two_table_queries data in
   (* Stage 1 — one task per query: profile construction and the exact
      join size are the heavy read-only inputs every cell of that query
      shares. *)
   let contexts =
-    Pool.map ~jobs
+    Pool.map ~obs ~jobs
       (fun (q : Job.query) ->
         let profile =
           Csdl.Profile.of_tables q.Job.a.Join.table q.Job.a.Join.column
@@ -125,7 +128,7 @@ let run ?(clock = Clock.wall) (config : Config.t) data =
       contexts
   in
   let cell_results =
-    Pool.map_array ~jobs
+    Pool.map_array ~obs ~jobs
       (fun task ->
         let { label; spec } = task.t_approach in
         let estimator =
@@ -141,7 +144,8 @@ let run ?(clock = Clock.wall) (config : Config.t) data =
               avg_wall_seconds,
               avg_cpu_seconds,
               zero_runs ) =
-          run_cell ~runs:config.Config.runs ~clock ~prng ~truth:task.t_truth
+          run_cell ~obs ~runs:config.Config.runs ~clock ~prng
+            ~truth:task.t_truth
             ~pred_a:task.t_query.Job.a.Join.predicate
             ~pred_b:task.t_query.Job.b.Join.predicate estimator
         in

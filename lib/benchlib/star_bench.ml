@@ -21,7 +21,7 @@ let run (config : Config.t) =
     ]
   in
   let contexts =
-    Pool.map ~jobs
+    Pool.map ~obs:config.Config.obs ~jobs
       (fun (scale, z) ->
         let data = Tpch.generate ~scale ~z ~seed:config.Config.seed in
         let tables =
@@ -44,7 +44,7 @@ let run (config : Config.t) =
       contexts
   in
   let medians =
-    Pool.map_array ~jobs
+    Pool.map_array ~obs:config.Config.obs ~jobs
       (fun ((scale, z, _, tables, truth), tag) ->
         let prepared =
           match tag with

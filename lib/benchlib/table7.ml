@@ -40,7 +40,7 @@ let run_kind (config : Config.t) data prefixes kind =
   (* Three independent keyed streams, one per approach — drawn as three
      pool tasks since each stream is internally sequential. *)
   let all_synopses =
-    Pool.map_array ~jobs
+    Pool.map_array ~obs:config.Config.obs ~jobs
       (fun (estimator, tag) ->
         let prng =
           Prng.create_keyed ~seed:config.Config.seed
@@ -57,7 +57,7 @@ let run_kind (config : Config.t) data prefixes kind =
      shared estimators and pre-drawn synopses, so points parallelise
      without perturbing each other. *)
   let points =
-    Pool.map ~jobs
+    Pool.map ~obs:config.Config.obs ~jobs
       (fun (i, prefix) ->
         let q = query_of prefix in
         let truth = float_of_int (Job.true_size q) in

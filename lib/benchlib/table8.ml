@@ -25,7 +25,7 @@ let run (config : Config.t) =
      exact join size are shared read-only by all of that dataset's
      cells. *)
   let contexts =
-    Pool.map ~jobs
+    Pool.map ~obs:config.Config.obs ~jobs
       (fun (scale, z) ->
         let data = Tpch.generate ~scale ~z ~seed:config.Config.seed in
         let profile =
@@ -47,7 +47,7 @@ let run (config : Config.t) =
       contexts
   in
   let cell_results =
-    Pool.map_array ~jobs
+    Pool.map_array ~obs:config.Config.obs ~jobs
       (fun ((scale, z, _, profile, truth), theta, tag) ->
         let estimator =
           match tag with

@@ -20,7 +20,7 @@ let run (config : Config.t) =
   (* Stage 1 — per dataset: generation and the exact chain size, shared by
      both approach cells. *)
   let contexts =
-    Pool.map ~jobs
+    Pool.map ~obs:config.Config.obs ~jobs
       (fun (scale, z) ->
         let data = Tpch.generate ~scale ~z ~seed:config.Config.seed in
         let tables =
@@ -45,7 +45,7 @@ let run (config : Config.t) =
       contexts
   in
   let medians =
-    Pool.map_array ~jobs
+    Pool.map_array ~obs:config.Config.obs ~jobs
       (fun ((scale, z, _, tables, truth), tag) ->
         let prepared =
           match tag with

@@ -27,6 +27,7 @@ let run (config : Config.t) results =
     in
     cell_of label r
   in
+  let obs = config.Config.obs in
   let summarise approach threshold_seconds cells =
     (* every run is timed now — zero-estimate runs included, so the mean
        is no longer biased toward successful runs. Cells whose timing is
@@ -37,6 +38,15 @@ let run (config : Config.t) results =
         (fun c -> not (Float.is_nan c.Exp_two_table.avg_wall_seconds))
         cells
     in
+    if Repro_obs.Obs.is_live obs then
+      List.iter
+        (fun c ->
+          let labels = [ ("approach", approach) ] in
+          Repro_obs.Obs.observe obs ~labels "bench.query.wall_seconds"
+            c.Exp_two_table.avg_wall_seconds;
+          Repro_obs.Obs.observe obs ~labels "bench.query.cpu_seconds"
+            c.Exp_two_table.avg_cpu_seconds)
+        measured;
     let n = List.length measured in
     let zero_estimate_runs =
       List.fold_left (fun acc c -> acc + c.Exp_two_table.zero_runs) 0 cells

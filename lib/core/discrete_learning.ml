@@ -1,6 +1,7 @@
 module Weighted = Repro_util.Weighted
 module Math_ex = Repro_util.Math_ex
 module Fingerprint = Repro_stats.Fingerprint
+module Obs = Repro_obs.Obs
 
 type config = {
   d : float;
@@ -65,7 +66,9 @@ let config_valid config =
 (* Algorithm 1 on a validated, non-empty fingerprint. When the LP layer
    fails, returns the empirical-fallback shape (count classes use j/n)
    together with the typed LP error so checked callers can refuse it. *)
-let learn_core config fingerprint n =
+let learn_core ?(obs = Obs.null) config fingerprint n =
+  Obs.Span.with_ obs ~name:"dl.learn" @@ fun () ->
+  Obs.observe obs "dl.virtual_sample.size" n;
   let n_d = Float.pow n config.d and n_e = Float.pow n config.e in
   let lp_max_i = max 1 (int_of_float (Float.floor n_d)) in
   let heavy_threshold = n_d +. (2.0 *. n_e) in
@@ -94,7 +97,7 @@ let learn_core config fingerprint n =
   in
   let lp_entries, lp_error =
     match
-      Repro_lp.L1_fit.fit
+      Repro_lp.L1_fit.fit ~obs
         { design; target; mass_coefficients = Array.copy grid; mass }
     with
     | Ok { weights; _ } ->
@@ -107,6 +110,7 @@ let learn_core config fingerprint n =
         (* Cannot happen for a non-empty grid with mass >= 0 and finite
            counts, but fall back to an empty shape rather than crash:
            count classes then use their empirical probability. *)
+        Obs.count obs "dl.lp.failures" 1;
         ([], Some e)
   in
   let histogram = Weighted.of_pairs (lp_entries @ heavy_entries) in
@@ -114,7 +118,7 @@ let learn_core config fingerprint n =
   let empirical_cutoff = if log_n <= 0.0 then 0.0 else log_n *. log_n in
   ({ n; histogram; empirical_cutoff; cache = Hashtbl.create 16 }, lp_error)
 
-let learn ?(config = default_config) counts =
+let learn ?(obs = Obs.null) ?(config = default_config) counts =
   if not (config_valid config) then
     invalid_arg "Discrete_learning.learn: need 0 < D/2 < E < D < 0.1";
   let fingerprint =
@@ -123,9 +127,9 @@ let learn ?(config = default_config) counts =
   in
   let n = Fingerprint.sample_size fingerprint in
   if n <= 0.0 then degenerate 0.0
-  else fst (learn_core config fingerprint n)
+  else fst (learn_core ~obs config fingerprint n)
 
-let learn_checked ?(config = default_config) counts =
+let learn_checked ?(obs = Obs.null) ?(config = default_config) counts =
   if not (config_valid config) then
     Error (Fault.Bad_input "discrete learning config: need 0 < D/2 < E < D < 0.1")
   else
@@ -138,7 +142,7 @@ let learn_checked ?(config = default_config) counts =
         if n <= 0.0 then
           Error (Fault.Bad_input "discrete learning: empty or all-zero counts")
         else begin
-          match learn_core config fingerprint n with
+          match learn_core ~obs config fingerprint n with
           | t, None -> Ok t
           | _, Some lp_error -> Error (Fault.of_l1_error lp_error)
         end

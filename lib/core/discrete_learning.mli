@@ -30,15 +30,19 @@ val default_config : config
 
 type t
 
-val learn : ?config:config -> float array -> t
+val learn : ?obs:Repro_obs.Obs.ctx -> ?config:config -> float array -> t
 (** [learn counts] runs Algorithm 1 on a sample described by its
     per-distinct-value multiplicities (zeros, negatives and non-finite
     entries ignored). The sample size is [sum counts]. An all-zero input
     yields a degenerate result whose probabilities are all 0, and an LP
     failure falls back to the empirical shape — use {!learn_checked} when
-    those conditions should be reported instead of absorbed. *)
+    those conditions should be reported instead of absorbed. A live [obs]
+    context wraps the run in a [dl.learn] span, records the virtual sample
+    size ([dl.virtual_sample.size]), counts absorbed LP failures
+    ([dl.lp.failures]) and forwards to the LP-layer metrics. *)
 
-val learn_checked : ?config:config -> float array -> (t, Fault.error) result
+val learn_checked :
+  ?obs:Repro_obs.Obs.ctx -> ?config:config -> float array -> (t, Fault.error) result
 (** Like {!learn} but every silent-degradation path becomes a typed error:
     an invalid config or an empty/all-zero input is [Error (Bad_input _)]
     instead of [Invalid_argument]/a degenerate result, a NaN or infinite

@@ -1,4 +1,5 @@
 open Repro_relation
+module Obs = Repro_obs.Obs
 
 type breakdown = {
   estimate : float;
@@ -125,10 +126,19 @@ let dl_estimate ~learn ~virtual_sample synopsis pass_a pass_b =
     (!total, !contributing, selectivity, Discrete_learning.sample_size learned)
   end
 
+let method_label = function
+  | Spec.Scaling -> "scaling"
+  | Spec.Discrete_learning -> "dl"
+
 (* Shared core: [learn] abstracts over the raising/absorbing learner
    (legacy path) and the checked one (recording its fault in a ref). *)
-let breakdown_with ~learn ~virtual_sample ~pred_a ~pred_b synopsis =
+let breakdown_with ?(obs = Obs.null) ~learn ~virtual_sample ~pred_a ~pred_b
+    synopsis =
   let { Synopsis.resolved; sample_a; sample_b; _ } = synopsis in
+  let meth = method_label resolved.Budget.spec.Spec.method_ in
+  Obs.Span.with_ obs ~name:"estimate.run" ~attrs:[ ("method", meth) ]
+  @@ fun () ->
+  Obs.count obs ~labels:[ ("method", meth) ] "estimate.runs" 1;
   let pass_a = compile_for sample_a pred_a in
   let pass_b = compile_for sample_b pred_b in
   let count_filtered sample pass =
@@ -148,6 +158,7 @@ let breakdown_with ~learn ~virtual_sample ~pred_a ~pred_b synopsis =
     Sample.total_tuples sample_a = 0
     || filtered_a_tuples = 0 || filtered_b_tuples = 0
   in
+  if degenerate then Obs.count obs "estimate.degenerate" 1;
   match resolved.Budget.spec.Spec.method_ with
   | Spec.Scaling ->
       let estimate, contributing = scaling_estimate synopsis pass_a pass_b in
@@ -179,14 +190,14 @@ let breakdown_with ~learn ~virtual_sample ~pred_a ~pred_b synopsis =
         degenerate;
       }
 
-let run_with_breakdown ?dl_config ?(virtual_sample = true)
+let run_with_breakdown ?(obs = Obs.null) ?dl_config ?(virtual_sample = true)
     ?(pred_a = Predicate.True) ?(pred_b = Predicate.True) synopsis =
-  breakdown_with
-    ~learn:(Discrete_learning.learn ?config:dl_config)
+  breakdown_with ~obs
+    ~learn:(Discrete_learning.learn ~obs ?config:dl_config)
     ~virtual_sample ~pred_a ~pred_b synopsis
 
-let run ?dl_config ?virtual_sample ?pred_a ?pred_b synopsis =
-  (run_with_breakdown ?dl_config ?virtual_sample ?pred_a ?pred_b synopsis)
+let run ?obs ?dl_config ?virtual_sample ?pred_a ?pred_b synopsis =
+  (run_with_breakdown ?obs ?dl_config ?virtual_sample ?pred_a ?pred_b synopsis)
     .estimate
 
 (* ---------------- checked entry point ---------------- *)
@@ -237,14 +248,16 @@ let validate_synopsis (synopsis : Synopsis.t) =
       | None -> validate_sample "side B" sample_b
   end
 
-let run_checked ?dl_config ?(virtual_sample = true)
+let run_checked ?(obs = Obs.null) ?dl_config ?(virtual_sample = true)
     ?(pred_a = Predicate.True) ?(pred_b = Predicate.True) synopsis =
   match validate_synopsis synopsis with
   | Some fault -> Error fault
   | None -> (
       let learner_fault = ref None in
       let learn counts =
-        match Discrete_learning.learn_checked ?config:dl_config counts with
+        match
+          Discrete_learning.learn_checked ~obs ?config:dl_config counts
+        with
         | Ok t -> t
         | Error fault ->
             if !learner_fault = None then learner_fault := Some fault;
@@ -252,7 +265,7 @@ let run_checked ?dl_config ?(virtual_sample = true)
             Discrete_learning.learn counts
       in
       match
-        breakdown_with ~learn ~virtual_sample ~pred_a ~pred_b synopsis
+        breakdown_with ~obs ~learn ~virtual_sample ~pred_a ~pred_b synopsis
       with
       | exception exn ->
           Error (Fault.Corrupt_synopsis (Printexc.to_string exn))

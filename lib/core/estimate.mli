@@ -17,6 +17,7 @@
 open Repro_relation
 
 val run :
+  ?obs:Repro_obs.Obs.ctx ->
   ?dl_config:Discrete_learning.config ->
   ?virtual_sample:bool ->
   ?pred_a:Predicate.t ->
@@ -25,7 +26,10 @@ val run :
   float
 (** Estimated join size of [sigma_a(A) |><| sigma_b(B)]; predicates default
     to [Predicate.True]. Returns 0 when the filtered samples are empty —
-    the failure mode the paper reports as infinite q-error. *)
+    the failure mode the paper reports as infinite q-error. A live [obs]
+    context wraps the run in an [estimate.run] span (attribute [method]),
+    counts runs ([estimate.runs{method}]) and degenerate outcomes
+    ([estimate.degenerate]), and forwards to the DL/LP metrics. *)
 
 type breakdown = {
   estimate : float;
@@ -43,6 +47,7 @@ type breakdown = {
 }
 
 val run_with_breakdown :
+  ?obs:Repro_obs.Obs.ctx ->
   ?dl_config:Discrete_learning.config ->
   ?virtual_sample:bool ->
   ?pred_a:Predicate.t ->
@@ -57,6 +62,7 @@ val run_with_breakdown :
     specs. *)
 
 val run_checked :
+  ?obs:Repro_obs.Obs.ctx ->
   ?dl_config:Discrete_learning.config ->
   ?virtual_sample:bool ->
   ?pred_a:Predicate.t ->

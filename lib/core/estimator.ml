@@ -1,4 +1,5 @@
 open Repro_relation
+module Obs = Repro_obs.Obs
 
 type sample_first = [ `A | `B | `Fk_side ]
 
@@ -24,21 +25,22 @@ let prepare ?(sample_first = `Fk_side) spec ~theta (profile : Profile.t) =
   let resolved = Budget.resolve spec ~theta profile in
   { spec; profile; resolved; swapped }
 
-let draw t prng = Synopsis.draw prng ~profile:t.profile ~resolved:t.resolved
+let draw ?obs t prng =
+  Synopsis.draw ?obs prng ~profile:t.profile ~resolved:t.resolved
 
-let estimate ?dl_config ?virtual_sample ?(pred_a = Predicate.True)
+let estimate ?obs ?dl_config ?virtual_sample ?(pred_a = Predicate.True)
     ?(pred_b = Predicate.True) t synopsis =
   let pred_a, pred_b = if t.swapped then (pred_b, pred_a) else (pred_a, pred_b) in
-  Estimate.run ?dl_config ?virtual_sample ~pred_a ~pred_b synopsis
+  Estimate.run ?obs ?dl_config ?virtual_sample ~pred_a ~pred_b synopsis
 
-let estimate_once ?dl_config ?virtual_sample ?pred_a ?pred_b t prng =
-  let synopsis = draw t prng in
-  estimate ?dl_config ?virtual_sample ?pred_a ?pred_b t synopsis
+let estimate_once ?obs ?dl_config ?virtual_sample ?pred_a ?pred_b t prng =
+  let synopsis = draw ?obs t prng in
+  estimate ?obs ?dl_config ?virtual_sample ?pred_a ?pred_b t synopsis
 
-let estimate_checked ?dl_config ?virtual_sample ?(pred_a = Predicate.True)
+let estimate_checked ?obs ?dl_config ?virtual_sample ?(pred_a = Predicate.True)
     ?(pred_b = Predicate.True) t synopsis =
   let pred_a, pred_b = if t.swapped then (pred_b, pred_a) else (pred_a, pred_b) in
-  Estimate.run_checked ?dl_config ?virtual_sample ~pred_a ~pred_b synopsis
+  Estimate.run_checked ?obs ?dl_config ?virtual_sample ~pred_a ~pred_b synopsis
 
 let swapped t = t.swapped
 let spec t = t.spec
@@ -95,11 +97,13 @@ let cascade_specs =
     scaling_spec;
   ]
 
-let estimate_guarded ?dl_config ?virtual_sample ?pred_a ?pred_b ?sample_first
-    ?draw:(draw_fn = draw) ?fallback ~theta profile prng =
+let estimate_guarded ?(obs = Obs.null) ?dl_config ?virtual_sample ?pred_a
+    ?pred_b ?sample_first ?draw:(draw_fn = fun t prng -> draw ~obs t prng)
+    ?fallback ~theta profile prng =
   if not (Float.is_finite theta) || theta <= 0.0 || theta > 1.0 then
     Error (Fault.Bad_input "estimate_guarded: theta must be in (0, 1]")
   else begin
+    Obs.Span.with_ obs ~name:"estimate.guarded" @@ fun () ->
     let upper = join_upper_bound profile in
     let clamp value =
       if value > upper then (upper, true)
@@ -107,13 +111,20 @@ let estimate_guarded ?dl_config ?virtual_sample ?pred_a ?pred_b ?sample_first
       else (value, false)
     in
     let trace = ref [] in
-    let downgrade rung fault = trace := { Fault.rung; fault } :: !trace in
+    let downgrade rung fault =
+      Obs.count obs
+        ~labels:[ ("fault", Fault.variant_label fault) ]
+        "estimate.downgrade" 1;
+      Obs.count obs "estimate.downgrades.total" 1;
+      trace := { Fault.rung; fault } :: !trace
+    in
     let attempt spec =
       let rung = Spec.to_string spec in
       match
         let t = prepare ?sample_first spec ~theta profile in
         let synopsis = draw_fn t prng in
-        estimate_checked ?dl_config ?virtual_sample ?pred_a ?pred_b t synopsis
+        estimate_checked ~obs ?dl_config ?virtual_sample ?pred_a ?pred_b t
+          synopsis
       with
       | Ok breakdown -> Some (rung, breakdown.Estimate.estimate)
       | Error fault ->
@@ -157,5 +168,7 @@ let estimate_guarded ?dl_config ?virtual_sample ?pred_a ?pred_b ?sample_first
           ("zero", 0.0)
     in
     let value, clamped = clamp raw in
+    Obs.count obs ~labels:[ ("rung", rung) ] "estimate.rung" 1;
+    if clamped then Obs.count obs "estimate.clamped" 1;
     Ok { value; rung; trace = List.rev !trace; clamped }
   end

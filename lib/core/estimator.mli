@@ -26,10 +26,12 @@ val prepare :
     [theta * (|A| + |B|)]. This is deterministic; all randomness is in
     {!draw}. *)
 
-val draw : t -> Repro_util.Prng.t -> Synopsis.t
-(** One offline sampling run. *)
+val draw : ?obs:Repro_obs.Obs.ctx -> t -> Repro_util.Prng.t -> Synopsis.t
+(** One offline sampling run. A live [obs] context records sampling spans
+    and counters (see {!Synopsis.draw}) without touching the PRNG. *)
 
 val estimate :
+  ?obs:Repro_obs.Obs.ctx ->
   ?dl_config:Discrete_learning.config ->
   ?virtual_sample:bool ->
   ?pred_a:Predicate.t ->
@@ -40,6 +42,7 @@ val estimate :
 (** Online phase: estimated size of [sigma_a(A) |><| sigma_b(B)]. *)
 
 val estimate_once :
+  ?obs:Repro_obs.Obs.ctx ->
   ?dl_config:Discrete_learning.config ->
   ?virtual_sample:bool ->
   ?pred_a:Predicate.t ->
@@ -50,6 +53,7 @@ val estimate_once :
 (** Convenience: {!draw} then {!estimate} in one call. *)
 
 val estimate_checked :
+  ?obs:Repro_obs.Obs.ctx ->
   ?dl_config:Discrete_learning.config ->
   ?virtual_sample:bool ->
   ?pred_a:Predicate.t ->
@@ -77,6 +81,7 @@ val scaling_spec : Spec.t
     rates (p = theta, q = 1). *)
 
 val estimate_guarded :
+  ?obs:Repro_obs.Obs.ctx ->
   ?dl_config:Discrete_learning.config ->
   ?virtual_sample:bool ->
   ?pred_a:Predicate.t ->
@@ -99,7 +104,14 @@ val estimate_guarded :
     independence baseline here. The only [Error _] is
     [Bad_input] for a theta outside (0, 1]; anything downstream degrades
     instead of escaping, so callers always get a finite non-negative
-    number plus an honest account of how it was obtained. *)
+    number plus an honest account of how it was obtained.
+
+    A live [obs] context wraps the cascade in an [estimate.guarded] span
+    and counts each downgrade ([estimate.downgrade{fault}] and
+    [estimate.downgrades.total] — always equal to the trace length), the
+    answering rung ([estimate.rung{rung}]) and clamping events
+    ([estimate.clamped]). When [draw] is not overridden, the default draw
+    inherits [obs]. *)
 
 val swapped : t -> bool
 (** Whether the sampler operates on the (B, A) orientation. *)

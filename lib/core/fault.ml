@@ -42,6 +42,17 @@ let of_l1_error (e : Repro_lp.L1_fit.error) =
 
 let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
 
+(* Stable machine-readable variant names, used as the [fault] label on the
+   [estimate.downgrade] counter (docs/observability.md). *)
+let variant_label = function
+  | Lp_infeasible -> "lp_infeasible"
+  | Lp_unbounded -> "lp_unbounded"
+  | Lp_iteration_cap -> "lp_iteration_cap"
+  | Numeric _ -> "numeric"
+  | Empty_filtered_sample _ -> "empty_filtered_sample"
+  | Corrupt_synopsis _ -> "corrupt_synopsis"
+  | Bad_input _ -> "bad_input"
+
 let degradation_to_string { rung; fault } =
   Printf.sprintf "%s failed: %s" rung (error_to_string fault)
 

@@ -33,6 +33,12 @@ type error =
 
 val error_to_string : error -> string
 val pp_error : Format.formatter -> error -> unit
+
+val variant_label : error -> string
+(** Stable lowercase name of the variant (payload dropped), e.g.
+    ["lp_iteration_cap"] — the [fault] label of the
+    [estimate.downgrade] observability counter. *)
+
 val side_to_string : side -> string
 
 val of_l1_error : Repro_lp.L1_fit.error -> error

@@ -1,5 +1,6 @@
 open Repro_relation
 module Prng = Repro_util.Prng
+module Obs = Repro_obs.Obs
 
 type entry = {
   sentry_row : int option;
@@ -50,11 +51,41 @@ let draw_entry prng ~sentry ~rows ~p_v ~q_v =
 
 let entry_size e = Array.length e.rows + match e.sentry_row with Some _ -> 1 | None -> 0
 
-let first_side prng ~(profile : Profile.t) ~(resolved : Budget.t) =
+(* Draw-level tallies, emitted once per side per draw (not per tuple) so a
+   live context costs a handful of atomics per synopsis. The local integer
+   accounting is cheap enough to run unconditionally. *)
+type tally = {
+  mutable values_kept : int;  (** survived level 1 and drew > 0 tuples *)
+  mutable values_dropped : int;  (** rejected at level 1 or drew nothing *)
+  mutable tuples_dropped : int;  (** level-2 rejects of level-1 survivors *)
+  mutable sentries : int;
+}
+
+let tally () =
+  { values_kept = 0; values_dropped = 0; tuples_dropped = 0; sentries = 0 }
+
+let emit_tally obs ~side t ~tuples_kept =
+  if Obs.is_live obs then begin
+    let labels = [ ("side", side) ] in
+    Obs.count obs ~labels "sample.values.kept" t.values_kept;
+    Obs.count obs ~labels "sample.values.dropped" t.values_dropped;
+    Obs.count obs ~labels "sample.tuples.kept" tuples_kept;
+    Obs.count obs ~labels "sample.tuples.dropped" t.tuples_dropped;
+    Obs.count obs ~labels "sample.sentries.active" t.sentries
+  end
+
+let record_entry t entry ~group_size =
+  t.values_kept <- t.values_kept + 1;
+  t.tuples_dropped <- t.tuples_dropped + (group_size - entry_size entry);
+  if entry.sentry_row <> None then t.sentries <- t.sentries + 1
+
+let first_side ?(obs = Obs.null) prng ~(profile : Profile.t)
+    ~(resolved : Budget.t) =
   let side = profile.Profile.a in
   let sentry = resolved.Budget.spec.Spec.sentry in
   let entries = Value.Tbl.create 256 in
   let count = ref 0 in
+  let t = tally () in
   Value.Tbl.iter
     (fun v rows ->
       let p_v = Budget.p_of resolved profile v in
@@ -65,10 +96,17 @@ let first_side prng ~(profile : Profile.t) ~(resolved : Budget.t) =
            in S_A at all (it must not trigger the semijoin side). *)
         if entry_size entry > 0 then begin
           Value.Tbl.add entries v entry;
-          count := !count + entry_size entry
+          count := !count + entry_size entry;
+          record_entry t entry ~group_size:(Array.length rows)
         end
-      end)
+        else begin
+          t.values_dropped <- t.values_dropped + 1;
+          t.tuples_dropped <- t.tuples_dropped + Array.length rows
+        end
+      end
+      else t.values_dropped <- t.values_dropped + 1)
     side.Profile.groups;
+  emit_tally obs ~side:"a" t ~tuples_kept:!count;
   {
     table = side.Profile.table;
     column = side.Profile.column;
@@ -76,23 +114,29 @@ let first_side prng ~(profile : Profile.t) ~(resolved : Budget.t) =
     tuple_count = !count;
   }
 
-let second_side prng ~(profile : Profile.t) ~(resolved : Budget.t) ~first =
+let second_side ?(obs = Obs.null) prng ~(profile : Profile.t)
+    ~(resolved : Budget.t) ~first =
   let side = profile.Profile.b in
   let sentry = resolved.Budget.spec.Spec.sentry in
   let entries = Value.Tbl.create 256 in
   let count = ref 0 in
+  let t = tally () in
   Value.Tbl.iter
     (fun v (first_entry : entry) ->
       match Value.Tbl.find_opt side.Profile.groups v with
-      | None -> () (* the value never joins; no joinable tuples in B *)
+      | None ->
+          (* the value never joins; no joinable tuples in B *)
+          t.values_dropped <- t.values_dropped + 1
       | Some rows ->
           let u_v = Budget.u_of resolved profile v in
           let entry =
             draw_entry prng ~sentry ~rows ~p_v:first_entry.p_v ~q_v:u_v
           in
           Value.Tbl.add entries v entry;
-          count := !count + entry_size entry)
+          count := !count + entry_size entry;
+          record_entry t entry ~group_size:(Array.length rows))
     first.entries;
+  emit_tally obs ~side:"b" t ~tuples_kept:!count;
   {
     table = side.Profile.table;
     column = side.Profile.column;

@@ -36,21 +36,27 @@ val draw_entry :
     [rows] must be non-empty. *)
 
 val first_side :
+  ?obs:Repro_obs.Obs.ctx ->
   Repro_util.Prng.t ->
   profile:Profile.t ->
   resolved:Budget.t ->
   t
 (** Draw [S_A]: first-level Bernoulli(p_v) over the eligible values of the
-    profile's A side, then {!draw_entry} per kept value. *)
+    profile's A side, then {!draw_entry} per kept value. A live [obs]
+    context records values/tuples kept and dropped and sentry activations
+    under [sample.*{side="a"}] counters; instrumentation never touches the
+    PRNG, so draws are identical with or without it. *)
 
 val second_side :
+  ?obs:Repro_obs.Obs.ctx ->
   Repro_util.Prng.t ->
   profile:Profile.t ->
   resolved:Budget.t ->
   first:t ->
   t
 (** Draw [S_B ⊆ B ⋉ S_A]: for every value present in [first] that also
-    occurs in B, sample its joinable tuples with rate [u_v]. *)
+    occurs in B, sample its joinable tuples with rate [u_v]. Metrics as in
+    {!first_side}, labelled [side="b"]. *)
 
 val filtered_count : t -> (Value.t array -> bool) -> entry -> int
 (** Number of non-sentry tuples of one entry passing a compiled predicate. *)

@@ -5,9 +5,20 @@ type t = {
   n_prime : float;
 }
 
-let draw prng ~profile ~resolved =
-  let sample_a = Sample.first_side prng ~profile ~resolved in
-  let sample_b = Sample.second_side prng ~profile ~resolved ~first:sample_a in
+module Obs = Repro_obs.Obs
+
+let draw ?(obs = Obs.null) prng ~profile ~resolved =
+  Obs.Span.with_ obs ~name:"sample.draw"
+    ~attrs:[ ("spec", Spec.to_string resolved.Budget.spec) ]
+  @@ fun () ->
+  let sample_a =
+    Obs.Span.with_ obs ~name:"sample.first" @@ fun () ->
+    Sample.first_side ~obs prng ~profile ~resolved
+  in
+  let sample_b =
+    Obs.Span.with_ obs ~name:"sample.second" @@ fun () ->
+    Sample.second_side ~obs prng ~profile ~resolved ~first:sample_a
+  in
   let n_prime = ref 0.0 in
   Repro_relation.Value.Tbl.iter
     (fun v (_ : Sample.entry) ->

@@ -12,8 +12,15 @@ type t = {
           time, Section IV-B1). Equals [|A|]'s joinable mass when p = 1. *)
 }
 
-val draw : Repro_util.Prng.t -> profile:Profile.t -> resolved:Budget.t -> t
-(** One random offline sampling run. *)
+val draw :
+  ?obs:Repro_obs.Obs.ctx ->
+  Repro_util.Prng.t ->
+  profile:Profile.t ->
+  resolved:Budget.t ->
+  t
+(** One random offline sampling run. A live [obs] context wraps the run in
+    a [sample.draw] span (with [sample.first]/[sample.second] children) and
+    forwards to the {!Sample} counters; the PRNG stream is unaffected. *)
 
 val size_tuples : t -> int
 (** Total tuples stored (both samples, sentries included) — compare against

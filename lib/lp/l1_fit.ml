@@ -1,3 +1,5 @@
+module Obs = Repro_obs.Obs
+
 type spec = {
   design : float array array;
   target : float array;
@@ -17,7 +19,7 @@ let error_to_string = function
   | Unbounded -> "unbounded"
   | Aborted reason -> "aborted: " ^ reason
 
-let fit spec =
+let fit ?(obs = Obs.null) spec =
   let m = Array.length spec.design in
   if Array.length spec.target <> m then
     invalid_arg "L1_fit.fit: target length differs from design rows";
@@ -55,8 +57,9 @@ let fit spec =
   let constraints =
     mass_row :: List.concat_map (fun i -> [ upper i; lower i ]) (List.init m Fun.id)
   in
-  match Simplex.solve { objective; constraints } with
+  match Simplex.solve ~obs { objective; constraints } with
   | Simplex.Optimal { objective_value; solution } ->
+      Obs.observe obs "lp.l1.residual" objective_value;
       Ok { weights = Array.sub solution 0 n; residual = objective_value }
   | Simplex.Infeasible -> Error Infeasible
   | Simplex.Unbounded -> Error Unbounded

@@ -34,7 +34,9 @@ type error =
 
 val error_to_string : error -> string
 
-val fit : spec -> (outcome, error) Stdlib.result
+val fit : ?obs:Repro_obs.Obs.ctx -> spec -> (outcome, error) Stdlib.result
 (** [fit spec] returns the optimum or the typed reason it could not be
     computed. Never raises on numerically bad inputs: NaN/Inf design or
-    target entries surface as [Error (Aborted _)]. *)
+    target entries surface as [Error (Aborted _)]. A live [obs] context
+    records the attained residual ([lp.l1.residual] histogram) on top of
+    the underlying {!Simplex.solve} metrics. *)

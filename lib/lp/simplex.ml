@@ -1,3 +1,5 @@
+module Obs = Repro_obs.Obs
+
 type relation = Le | Ge | Eq
 
 type constraint_row = {
@@ -134,7 +136,29 @@ let finite_inputs problem =
          && Array.for_all Float.is_finite row.coefficients)
        problem.constraints
 
-let solve ?(epsilon = 1e-9) ?max_iterations problem =
+let outcome_label = function
+  | Optimal _ -> "optimal"
+  | Infeasible -> "infeasible"
+  | Unbounded -> "unbounded"
+  | Failed _ -> "failed"
+
+(* Metric side of a finished solve: pivot count (the fuel consumed across
+   both phases), the outcome tally, and fuel exhaustion as its own
+   counter so a cycling tableau is visible at a glance. *)
+let record_solve obs ~initial_fuel ~fuel result =
+  if Obs.is_live obs then begin
+    Obs.observe obs "lp.simplex.iterations"
+      (float_of_int (max 0 (initial_fuel - !fuel)));
+    Obs.count obs
+      ~labels:[ ("outcome", outcome_label result) ]
+      "lp.simplex.solves" 1;
+    match result with
+    | Failed _ when !fuel <= 0 -> Obs.count obs "lp.simplex.fuel_exhausted" 1
+    | _ -> ()
+  end;
+  result
+
+let solve ?(obs = Obs.null) ?(epsilon = 1e-9) ?max_iterations problem =
   let n = Array.length problem.objective in
   let constraints = Array.of_list problem.constraints in
   let m = Array.length constraints in
@@ -144,7 +168,8 @@ let solve ?(epsilon = 1e-9) ?max_iterations problem =
         invalid_arg "Simplex.solve: coefficient width mismatch")
     constraints;
   if not (finite_inputs problem) then
-    Failed "non-finite objective, coefficient or rhs"
+    record_solve obs ~initial_fuel:0 ~fuel:(ref 0)
+      (Failed "non-finite objective, coefficient or rhs")
   else begin
   (* Absolute pivot budget across both phases. The default leaves the
      Dantzig->Bland stall switch (64 * (m + total_vars) iterations per
@@ -182,6 +207,7 @@ let solve ?(epsilon = 1e-9) ?max_iterations problem =
       | Some cap -> max 1 cap
       | None -> default_fuel m total_vars)
   in
+  let initial_fuel = !fuel in
   let tab = Array.make_matrix (m + 1) (total_vars + 1) 0.0 in
   let basis = Array.make m (-1) in
   let next_slack = ref n in
@@ -251,7 +277,8 @@ let solve ?(epsilon = 1e-9) ?max_iterations problem =
           end
     end
   in
-  match phase1 with
+  record_solve obs ~initial_fuel ~fuel
+    (match phase1 with
   | `Infeasible -> Infeasible
   | `Failed reason -> Failed reason
   | `Feasible -> begin
@@ -285,5 +312,5 @@ let solve ?(epsilon = 1e-9) ?max_iterations problem =
           if !corrupt || not (Float.is_finite objective_value) then
             Failed "non-finite solution"
           else Optimal { objective_value; solution }
-    end
+    end)
   end

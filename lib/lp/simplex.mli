@@ -33,8 +33,17 @@ type result =
           cap running out. The payload names the trigger. Callers should
           treat this like a solver crash they can recover from. *)
 
-val solve : ?epsilon:float -> ?max_iterations:int -> problem -> result
-(** [solve p] runs two-phase simplex. [epsilon] (default [1e-9]) is the
+val solve :
+  ?obs:Repro_obs.Obs.ctx ->
+  ?epsilon:float ->
+  ?max_iterations:int ->
+  problem ->
+  result
+(** [solve p] runs two-phase simplex. A live [obs] context records the
+    pivot count ([lp.simplex.iterations] histogram), the outcome tally
+    ([lp.simplex.solves{outcome}]) and fuel exhaustion
+    ([lp.simplex.fuel_exhausted]); the result itself is unaffected.
+    [epsilon] (default [1e-9]) is the
     feasibility/optimality tolerance. [max_iterations] is the absolute
     pivot budget shared by both phases (default [1000 + 256 * (rows +
     columns)], far above what a well-posed problem of this shape needs);

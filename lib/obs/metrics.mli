@@ -1,0 +1,94 @@
+(** Process-wide metrics: counters, gauges and fixed log-scale histograms.
+
+    Every mutation is a single [Atomic] operation (or a CAS retry loop for
+    float accumulation), so instrumented code may run concurrently on any
+    {!Repro_util.Pool} domain without locks, torn reads, or lost updates.
+    Metric {e creation} goes through a mutex-guarded registry; the
+    steady-state hot path only touches atomics.
+
+    Naming convention (see docs/observability.md): dot-separated lowercase
+    names ([estimate.downgrades.total]), dots become underscores in the
+    Prometheus rendering. Labels are [(key, value)] pairs; a metric's
+    identity is its name plus its canonically-sorted label set. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> unit
+  val incr : t -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val create : unit -> t
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+
+  val observe : t -> float -> unit
+  (** Record one observation. NaN observations are dropped; everything
+      else lands in a fixed power-of-two bucket (see {!bucket_index}) and
+      accumulates into {!sum} and {!count}. *)
+
+  val count : t -> int
+  val sum : t -> float
+
+  val bucket_count : int
+  (** Number of buckets. Bucket [i] covers [[bucket_upper (i-1),
+      bucket_upper i)]; bucket [0] additionally absorbs everything at or
+      below its lower bound (zero, negatives, underflow) and the last
+      bucket absorbs overflow and [+inf]. *)
+
+  val bucket_index : float -> int
+  (** The bucket an observation falls into: power-of-two (log-scale)
+      boundaries from [2^-30] up to [2^35], clamped at both ends. *)
+
+  val bucket_upper : int -> float
+  (** Exclusive upper bound of bucket [i]: [2^(i - 30)]. *)
+
+  val bucket_value : t -> int -> int
+  (** Current count of bucket [i]. *)
+
+  val nonzero_buckets : t -> (float * int) list
+  (** [(upper_bound, count)] for every non-empty bucket, in bound order.
+      Counts are per-bucket, not cumulative. *)
+end
+
+type point =
+  | P_counter of int
+  | P_gauge of float
+  | P_histogram of { count : int; sum : float; buckets : (float * int) list }
+      (** [buckets] as in {!Histogram.nonzero_buckets}. *)
+
+module Registry : sig
+  type t
+
+  val create : unit -> t
+
+  val counter : t -> ?labels:(string * string) list -> string -> Counter.t
+  (** Get-or-create; subsequent calls with the same name and label set
+      return the same counter. Raises [Invalid_argument] if the name is
+      already registered as a different metric kind. *)
+
+  val gauge : t -> ?labels:(string * string) list -> string -> Gauge.t
+  val histogram : t -> ?labels:(string * string) list -> string -> Histogram.t
+
+  val snapshot : t -> (string * (string * string) list * point) list
+  (** Point-in-time values of every registered metric, sorted by name then
+      labels — the stable order both exporters render in. *)
+end
+
+val render_prometheus : Registry.t -> string
+(** The registry as a Prometheus text-format snapshot: [# TYPE] comments,
+    sanitised names (dots to underscores), histograms expanded into
+    cumulative [_bucket{le="..."}] series plus [_sum]/[_count]. Output is
+    deterministic for a given registry state. *)

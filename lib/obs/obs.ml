@@ -1,0 +1,136 @@
+type live = {
+  registry : Metrics.Registry.t;
+  sink : Trace.sink option;
+  next_span : int Atomic.t;
+}
+
+type ctx = Null | Live of live
+
+let null = Null
+
+let create ?sink () =
+  Live { registry = Metrics.Registry.create (); sink; next_span = Atomic.make 1 }
+
+let is_live = function Null -> false | Live _ -> true
+let registry = function Null -> None | Live l -> Some l.registry
+
+let count ctx ?labels name n =
+  match ctx with
+  | Null -> ()
+  | Live l -> Metrics.Counter.add (Metrics.Registry.counter l.registry ?labels name) n
+
+let set_gauge ctx ?labels name v =
+  match ctx with
+  | Null -> ()
+  | Live l -> Metrics.Gauge.set (Metrics.Registry.gauge l.registry ?labels name) v
+
+let observe ctx ?labels name v =
+  match ctx with
+  | Null -> ()
+  | Live l ->
+      Metrics.Histogram.observe
+        (Metrics.Registry.histogram l.registry ?labels name)
+        v
+
+module Span = struct
+  (* The innermost open span of the current domain. Spans never cross a
+     domain boundary (Pool tasks start fresh on their worker), so a
+     per-domain cell is exactly the right parent scope. *)
+  let current : int option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let with_ ctx ~name ?(attrs = []) f =
+    match ctx with
+    | Null -> f ()
+    | Live l -> (
+        let start_s = Unix.gettimeofday () in
+        let finish () =
+          let duration_s = Float.max 0.0 (Unix.gettimeofday () -. start_s) in
+          observe ctx ~labels:[ ("name", name) ] "span_seconds" duration_s;
+          duration_s
+        in
+        match l.sink with
+        | None -> (
+            match f () with
+            | v ->
+                ignore (finish () : float);
+                v
+            | exception exn ->
+                ignore (finish () : float);
+                raise exn)
+        | Some sink -> (
+            let id = Atomic.fetch_and_add l.next_span 1 in
+            let slot = Domain.DLS.get current in
+            let parent = !slot in
+            slot := Some id;
+            let close extra_attrs =
+              slot := parent;
+              let duration_s = finish () in
+              Trace.emit_span sink
+                {
+                  Trace.id;
+                  parent;
+                  name;
+                  attrs = attrs @ extra_attrs;
+                  domain = (Domain.self () :> int);
+                  start_s;
+                  duration_s;
+                }
+            in
+            match f () with
+            | v ->
+                close [];
+                v
+            | exception exn ->
+                close [ ("error", Printexc.to_string exn) ];
+                raise exn))
+end
+
+let prometheus = function
+  | Null -> None
+  | Live l -> Some (Metrics.render_prometheus l.registry)
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":\"%s\"" (Trace.escape_string k)
+             (Trace.escape_string v))
+         labels)
+  ^ "}"
+
+let dump_metrics ctx =
+  match ctx with
+  | Null | Live { sink = None; _ } -> ()
+  | Live { registry; sink = Some sink; _ } ->
+      List.iter
+        (fun (name, labels, point) ->
+          let common =
+            Printf.sprintf "\"name\":\"%s\",\"labels\":%s"
+              (Trace.escape_string name) (json_labels labels)
+          in
+          let line =
+            match point with
+            | Metrics.P_counter v ->
+                Printf.sprintf "{\"type\":\"counter\",%s,\"value\":%d}" common v
+            | Metrics.P_gauge v ->
+                Printf.sprintf "{\"type\":\"gauge\",%s,\"value\":%.17g}" common v
+            | Metrics.P_histogram { count; sum; buckets } ->
+                Printf.sprintf
+                  "{\"type\":\"histogram\",%s,\"count\":%d,\"sum\":%.17g,\"buckets\":[%s]}"
+                  common count sum
+                  (String.concat ","
+                     (List.map
+                        (fun (upper, c) -> Printf.sprintf "[%.17g,%d]" upper c)
+                        buckets))
+          in
+          Trace.emit_line sink line)
+        (Metrics.Registry.snapshot registry)
+
+let close ctx =
+  match ctx with
+  | Null | Live { sink = None; _ } -> ()
+  | Live { sink = Some sink; _ } ->
+      dump_metrics ctx;
+      Trace.close sink

@@ -1,0 +1,66 @@
+(** Observability context: the handle instrumented code threads through
+    the estimation pipeline.
+
+    A context is either {!null} — every operation is a no-op costing one
+    branch, the default everywhere — or live, carrying a
+    {!Metrics.Registry} plus an optional {!Trace} sink for spans. The
+    instrumented hot paths ([Csdl.Sample], [Csdl.Estimator],
+    [Repro_lp.Simplex], [Repro_util.Pool], the bench harness) accept
+    [?obs:Obs.ctx] and never change their results based on it: a live
+    context only adds atomic metric updates and trace records, so bench
+    output stays bit-identical with tracing on or off.
+
+    Typical wiring (see docs/observability.md):
+    {[
+      let sink = Repro_obs.Trace.file "t.jsonl" in
+      let obs = Repro_obs.Obs.create ~sink () in
+      ... run the pipeline with ~obs ...
+      prerr_string
+        (Option.value ~default:"" (Repro_obs.Obs.prometheus obs));
+      Repro_obs.Obs.close obs   (* appends the metrics dump, closes t.jsonl *)
+    ]} *)
+
+type ctx
+
+val null : ctx
+(** The no-op context: no registry, no sink, negligible overhead. *)
+
+val create : ?sink:Trace.sink -> unit -> ctx
+(** A live context with a fresh registry. With [sink], finished spans are
+    exported as JSONL as they close, and {!close} appends a metrics dump. *)
+
+val is_live : ctx -> bool
+
+val registry : ctx -> Metrics.Registry.t option
+(** [None] for {!null}. *)
+
+val count : ctx -> ?labels:(string * string) list -> string -> int -> unit
+(** Add to a counter (get-or-create). No-op on {!null}; [count ctx name 0]
+    still registers the counter, which pre-declares it in snapshots. *)
+
+val set_gauge : ctx -> ?labels:(string * string) list -> string -> float -> unit
+val observe : ctx -> ?labels:(string * string) list -> string -> float -> unit
+(** Record a histogram observation (get-or-create). No-op on {!null}. *)
+
+module Span : sig
+  val with_ :
+    ctx -> name:string -> ?attrs:(string * string) list -> (unit -> 'a) -> 'a
+  (** [with_ ctx ~name f] times [f ()]. On a live context the duration is
+      observed into the [span_seconds{name}] histogram, and when the
+      context has a sink a span record is emitted with the enclosing
+      [with_] on the same domain as its parent. An exception inside [f]
+      still emits the span (attr [error]) and is re-raised. On {!null}
+      this is exactly [f ()]. *)
+end
+
+val prometheus : ctx -> string option
+(** {!Metrics.render_prometheus} of the live registry; [None] on {!null}. *)
+
+val dump_metrics : ctx -> unit
+(** Append one JSONL line per registered metric to the sink (no-op
+    without one). {!close} calls this; call it directly only for
+    mid-run snapshots. *)
+
+val close : ctx -> unit
+(** Dump metrics and close the sink. Idempotent; no-op on {!null} or a
+    sink-less context. *)

@@ -1,0 +1,61 @@
+(** Tracing spans and the JSONL exporter.
+
+    A span is one timed region of the pipeline (a synopsis draw, an online
+    estimate, a pool fan-out) with a name, string attributes, the domain
+    it ran on, and a parent link for nesting. Finished spans are pushed to
+    a {!sink} — a thread-safe append-only writer, either a JSONL file /
+    channel or an in-memory buffer for tests.
+
+    JSONL format: one object per line. Spans are
+    [{"type":"span","id":N,"parent":N|null,"name":S,"domain":N,
+      "start":F,"duration":F,"attrs":{K:V,...}}]; the metrics dump
+    appended at {!Obs.close} uses [{"type":"counter"|"gauge"|"histogram",
+    "name":S,"labels":{...},...}] lines. *)
+
+type span = {
+  id : int;  (** unique within one {!Obs.ctx} *)
+  parent : int option;  (** enclosing span on the same domain, if any *)
+  name : string;
+  attrs : (string * string) list;
+  domain : int;  (** [Domain.self] the span ran on *)
+  start_s : float;  (** wall-clock start, seconds since the epoch *)
+  duration_s : float;
+}
+
+type sink
+
+val file : string -> sink
+(** JSONL sink writing (and truncating) [path]; closed by {!close}. *)
+
+val channel : out_channel -> sink
+(** JSONL sink on a caller-owned channel; {!close} flushes but does not
+    close it. *)
+
+val memory : unit -> sink
+(** In-memory sink for tests; read back with {!spans} and {!lines}. *)
+
+val emit_span : sink -> span -> unit
+(** Thread-safe: serialises the span and appends one line. *)
+
+val emit_line : sink -> string -> unit
+(** Thread-safe raw append (used for the metrics dump). The line must be
+    a complete JSON object without the trailing newline. *)
+
+val spans : sink -> span list
+(** Spans emitted so far, in emission order (memory sinks only; [[]] for
+    file/channel sinks). *)
+
+val lines : sink -> string list
+(** All lines emitted so far (memory sinks only). *)
+
+val close : sink -> unit
+(** Flush, and close the underlying file if the sink owns it. Idempotent. *)
+
+val escape_string : string -> string
+(** JSON string-content escaping (quotes not included) — shared with the
+    metrics dump in {!Obs}. *)
+
+val span_to_json : span -> string
+val span_of_json : string -> (span, string) result
+(** Inverse of {!span_to_json}; [Error] describes the first parse problem.
+    Round-trips exactly: floats are printed with 17 significant digits. *)

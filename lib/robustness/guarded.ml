@@ -1,8 +1,8 @@
 module Prng = Repro_util.Prng
 module Independent = Repro_baselines.Independent
 
-let estimate ?fault ?dl_config ?virtual_sample ?pred_a ?pred_b ?sample_first
-    ~theta profile prng =
+let estimate ?obs ?fault ?dl_config ?virtual_sample ?pred_a ?pred_b
+    ?sample_first ~theta profile prng =
   (* Split off the fallback's randomness up front so the cascade's own
      draws do not shift depending on whether the fallback runs. *)
   let fallback_prng = Prng.split prng in
@@ -19,5 +19,5 @@ let estimate ?fault ?dl_config ?virtual_sample ?pred_a ?pred_b ?sample_first
     | None, Some fault -> Fault_injection.dl_config fault
     | None, None -> None
   in
-  Csdl.Estimator.estimate_guarded ?dl_config ?virtual_sample ?pred_a ?pred_b
-    ?sample_first ?draw ~fallback ~theta profile prng
+  Csdl.Estimator.estimate_guarded ?obs ?dl_config ?virtual_sample ?pred_a
+    ?pred_b ?sample_first ?draw ~fallback ~theta profile prng

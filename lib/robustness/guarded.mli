@@ -8,6 +8,7 @@
 open Repro_relation
 
 val estimate :
+  ?obs:Repro_obs.Obs.ctx ->
   ?fault:Fault_injection.fault ->
   ?dl_config:Csdl.Discrete_learning.config ->
   ?virtual_sample:bool ->
@@ -22,4 +23,6 @@ val estimate :
     baseline. With [?fault], every drawn synopsis is corrupted through
     {!Fault_injection.draw} (and [Force_lp_failure] additionally breaks
     the learner config unless the caller supplied [?dl_config]). The only
-    [Error _] is [Bad_input] for a theta outside (0, 1]. *)
+    [Error _] is [Bad_input] for a theta outside (0, 1]. A live [obs]
+    context records the cascade metrics of
+    {!Csdl.Estimator.estimate_guarded}. *)

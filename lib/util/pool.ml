@@ -1,3 +1,5 @@
+module Obs = Repro_obs.Obs
+
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
 (* One cell per task: either its value or the exception it raised. Slots
@@ -8,31 +10,64 @@ type 'b slot =
   | Done of 'b
   | Raised of exn * Printexc.raw_backtrace
 
-let run_queue ~jobs ~chunk f items results =
+let run_task f items results i =
+  results.(i) <-
+    (match f items.(i) with
+    | value -> Done value
+    | exception exn -> Raised (exn, Printexc.get_raw_backtrace ()))
+
+let run_queue ~obs ~jobs ~chunk f items results =
   let n = Array.length items in
   let next = Atomic.make 0 in
-  let worker () =
+  let plain_worker () =
     let rec loop () =
       let start = Atomic.fetch_and_add next chunk in
       if start < n then begin
         let stop = min n (start + chunk) in
         for i = start to stop - 1 do
-          results.(i) <-
-            (match f items.(i) with
-            | value -> Done value
-            | exception exn ->
-                Raised (exn, Printexc.get_raw_backtrace ()))
+          run_task f items results i
         done;
         loop ()
       end
     in
     loop ()
   in
-  let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-  worker ();
+  (* Instrumented twin of [plain_worker]: identical claim/run protocol,
+     plus per-task latency and per-worker busy/idle accounting. Kept
+     separate so the uninstrumented path pays nothing per task. *)
+  let timed_worker w () =
+    let t0 = Unix.gettimeofday () in
+    let busy = ref 0.0 and tasks = ref 0 in
+    let rec loop () =
+      let start = Atomic.fetch_and_add next chunk in
+      if start < n then begin
+        let stop = min n (start + chunk) in
+        for i = start to stop - 1 do
+          let s = Unix.gettimeofday () in
+          run_task f items results i;
+          let dt = Float.max 0.0 (Unix.gettimeofday () -. s) in
+          busy := !busy +. dt;
+          incr tasks;
+          Obs.observe obs "pool.task.seconds" dt
+        done;
+        loop ()
+      end
+    in
+    loop ();
+    let wall = Float.max 0.0 (Unix.gettimeofday () -. t0) in
+    Obs.count obs "pool.tasks" !tasks;
+    Obs.observe obs "pool.queue.wait_seconds" (Float.max 0.0 (wall -. !busy));
+    Obs.set_gauge obs
+      ~labels:[ ("domain", string_of_int w) ]
+      "pool.domain.utilisation"
+      (if wall > 0.0 then !busy /. wall else 1.0)
+  in
+  let worker w = if Obs.is_live obs then timed_worker w else plain_worker in
+  let helpers = Array.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+  worker 0 ();
   Array.iter Domain.join helpers
 
-let map_array ?jobs ?(chunk = 1) f items =
+let map_array ?(obs = Obs.null) ?jobs ?(chunk = 1) f items =
   let n = Array.length items in
   let jobs =
     match jobs with Some j -> max 1 j | None -> default_jobs ()
@@ -40,10 +75,12 @@ let map_array ?jobs ?(chunk = 1) f items =
   let jobs = min jobs (max 1 n) in
   let chunk = max 1 chunk in
   if n = 0 then [||]
-  else if jobs = 1 then Array.map f items
+  else if jobs = 1 && not (Obs.is_live obs) then Array.map f items
   else begin
     let results = Array.make n Pending in
-    run_queue ~jobs ~chunk f items results;
+    Obs.Span.with_ obs ~name:"pool.map"
+      ~attrs:[ ("jobs", string_of_int jobs); ("tasks", string_of_int n) ]
+      (fun () -> run_queue ~obs ~jobs ~chunk f items results);
     Array.map
       (function
         | Done value -> value
@@ -54,5 +91,5 @@ let map_array ?jobs ?(chunk = 1) f items =
       results
   end
 
-let map ?jobs ?chunk f items =
-  Array.to_list (map_array ?jobs ?chunk f (Array.of_list items))
+let map ?obs ?jobs ?chunk f items =
+  Array.to_list (map_array ?obs ?jobs ?chunk f (Array.of_list items))

@@ -17,13 +17,25 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count () - 1] (one domain is the caller's),
     floored at 1. This is the default for the harness' [--jobs] flag. *)
 
-val map_array : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_array :
+  ?obs:Repro_obs.Obs.ctx ->
+  ?jobs:int ->
+  ?chunk:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 (** [map_array ~jobs f items] is [Array.map f items] computed by [jobs]
     domains (the calling domain plus [jobs - 1] spawned ones). Results are
     positioned by task index, so the output is identical to the sequential
     map whenever [f] is pure. [jobs] defaults to {!default_jobs}[ ()] and
     is clamped to [[1; Array.length items]]; [jobs = 1] runs sequentially
     in the calling domain without spawning.
+
+    With a live [obs] context the fan-out is wrapped in a [pool.map] span
+    and each worker records per-task latency ([pool.task.seconds]), its
+    queue wait ([pool.queue.wait_seconds]) and its utilisation
+    ([pool.domain.utilisation{domain}]). Results are unchanged; with the
+    default {!Repro_obs.Obs.null} the per-task overhead is zero.
 
     [chunk] (default 1) is how many consecutive tasks a domain claims per
     queue round-trip; raise it only when tasks are so cheap that the
@@ -34,5 +46,11 @@ val map_array : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
     backtrace — the same exception a sequential [Array.map] would have
     surfaced first. *)
 
-val map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+val map :
+  ?obs:Repro_obs.Obs.ctx ->
+  ?jobs:int ->
+  ?chunk:int ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 (** List version of {!map_array}. *)

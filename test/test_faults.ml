@@ -238,6 +238,44 @@ let test_learn_checked_rejects_bad_arrays () =
       ignore (Csdl.Discrete_learning.learn counts : Csdl.Discrete_learning.t))
     [ [||]; [| 0.0; 0.0 |]; [| 3.0; Float.nan; 1.0 |] ]
 
+(* The observability layer's downgrade counter must agree exactly with the
+   honest traces the guarded API returns: every downgrade recorded once. *)
+let test_downgrade_counter_matches_traces () =
+  let obs = Repro_obs.Obs.create () in
+  let traced = ref 0 in
+  List.iter
+    (fun fault ->
+      List.iter
+        (fun pair ->
+          let profile = profile_of pair in
+          for seed = 0 to 4 do
+            match
+              Guarded.estimate ~obs ~fault ~theta:0.6 profile
+                (Prng.create (60000 + seed))
+            with
+            | Error f -> Alcotest.failf "Error: %s" (Fault.error_to_string f)
+            | Ok g -> traced := !traced + List.length g.Csdl.Estimator.trace
+          done)
+        table_pairs)
+    Fault_injection.all;
+  Alcotest.(check bool) "some downgrades occurred" true (!traced > 0);
+  let counted =
+    match Repro_obs.Obs.registry obs with
+    | None -> Alcotest.fail "expected a live context"
+    | Some registry ->
+        List.fold_left
+          (fun acc (name, _, point) ->
+            match point with
+            | Repro_obs.Metrics.P_counter v
+              when String.equal name "estimate.downgrades.total" ->
+                acc + v
+            | _ -> acc)
+          0
+          (Repro_obs.Metrics.Registry.snapshot registry)
+  in
+  Alcotest.(check int)
+    "estimate.downgrades.total equals summed trace lengths" !traced counted
+
 let test_guarded_rejects_bad_theta () =
   let profile = profile_of (dense, dense) in
   List.iter
@@ -262,6 +300,8 @@ let () =
             test_validator_faults_reach_fallback;
           Alcotest.test_case "LP failure degrades past CSDL" `Quick
             test_lp_failure_degrades_past_csdl;
+          Alcotest.test_case "downgrade counter matches traces" `Quick
+            test_downgrade_counter_matches_traces;
         ] );
       ( "degenerate inputs",
         [

@@ -1,0 +1,338 @@
+(* Observability layer: registry atomicity under real Pool domains,
+   histogram bucket arithmetic, span nesting, JSONL round-trips, and a
+   golden Prometheus snapshot. The layer's contract is "never perturbs
+   results": these tests also pin the properties the bench harness relies
+   on (counts exact under contention, exporters deterministic). *)
+
+module Obs = Repro_obs.Obs
+module Metrics = Repro_obs.Metrics
+module Trace = Repro_obs.Trace
+module Pool = Repro_util.Pool
+
+let find_point name labels snapshot =
+  match
+    List.find_opt (fun (n, l, _) -> n = name && l = labels) snapshot
+  with
+  | Some (_, _, p) -> p
+  | None -> Alcotest.failf "metric %s not in snapshot" name
+
+let counter_value name ?(labels = []) obs =
+  match Obs.registry obs with
+  | None -> Alcotest.fail "expected a live context"
+  | Some registry -> (
+      match find_point name labels (Metrics.Registry.snapshot registry) with
+      | Metrics.P_counter v -> v
+      | _ -> Alcotest.failf "%s is not a counter" name)
+
+(* ---------------- atomicity under Pool.map ---------------- *)
+
+let test_registry_atomic_under_pool () =
+  let obs = Obs.create () in
+  let tasks = 2000 in
+  let results =
+    Pool.map_array ~obs ~jobs:4
+      (fun i ->
+        Obs.count obs "test.counter" 1;
+        Obs.count obs ~labels:[ ("worker", string_of_int (i mod 3)) ]
+          "test.labelled" 1;
+        Obs.observe obs "test.hist" (float_of_int (i mod 7));
+        i)
+      (Array.init tasks (fun i -> i))
+  in
+  Alcotest.(check int) "all tasks ran" tasks (Array.length results);
+  Alcotest.(check int)
+    "counter exact under 4 domains" tasks
+    (counter_value "test.counter" obs);
+  let labelled =
+    List.fold_left
+      (fun acc w ->
+        acc
+        + counter_value "test.labelled"
+            ~labels:[ ("worker", string_of_int w) ]
+            obs)
+      0 [ 0; 1; 2 ]
+  in
+  Alcotest.(check int) "labelled counters partition the tasks" tasks labelled;
+  (match Obs.registry obs with
+  | None -> Alcotest.fail "live context"
+  | Some registry ->
+      let h = Metrics.Registry.histogram registry "test.hist" in
+      Alcotest.(check int)
+        "histogram count exact under 4 domains" tasks
+        (Metrics.Histogram.count h);
+      (* sum of 2000 values of i mod 7: 285 full cycles of 0+..+6 = 21,
+         then 0+..+5 for the remaining 5 observations *)
+      Alcotest.(check (float 1e-9))
+        "histogram sum exact"
+        ((285.0 *. 21.0) +. 10.0)
+        (Metrics.Histogram.sum h));
+  (* the pool's own instrumentation saw every task *)
+  Alcotest.(check int)
+    "pool.tasks counted every task" tasks
+    (counter_value "pool.tasks" obs)
+
+let test_gauge_cas_accumulation () =
+  let registry = Metrics.Registry.create () in
+  let g = Metrics.Registry.gauge registry "test.gauge" in
+  let per_domain = 5000 in
+  let domains =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Metrics.Gauge.add g 0.25
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check (float 1e-9))
+    "no lost float updates across 4 domains"
+    (4.0 *. float_of_int per_domain *. 0.25)
+    (Metrics.Gauge.value g)
+
+(* ---------------- histogram buckets ---------------- *)
+
+let test_bucket_boundaries () =
+  let module H = Metrics.Histogram in
+  (* every positive finite value lands strictly below its bucket's upper
+     bound and at or above the previous bound *)
+  List.iter
+    (fun v ->
+      let i = H.bucket_index v in
+      Alcotest.(check bool)
+        (Printf.sprintf "%g < upper(%d)" v i)
+        true
+        (v < H.bucket_upper i);
+      if i > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "%g >= upper(%d)" v (i - 1))
+          true
+          (v >= H.bucket_upper (i - 1)))
+    [ 1e-9; 0.001; 0.5; 0.75; 1.0; 1.5; 2.0; 1000.0; 3.0e9 ];
+  (* power-of-two boundaries are exclusive: 2^k opens the next bucket *)
+  Alcotest.(check (float 0.0))
+    "upper bound of 1.0's bucket is 2" 2.0
+    (H.bucket_upper (H.bucket_index 1.0));
+  Alcotest.(check int)
+    "1.0 and 1.999 share a bucket" (H.bucket_index 1.0)
+    (H.bucket_index 1.999);
+  Alcotest.(check bool)
+    "2.0 is one bucket above 1.0" true
+    (H.bucket_index 2.0 = H.bucket_index 1.0 + 1);
+  (* clamping at both ends *)
+  Alcotest.(check int) "zero clamps to bucket 0" 0 (H.bucket_index 0.0);
+  Alcotest.(check int) "negative clamps to bucket 0" 0 (H.bucket_index (-3.0));
+  Alcotest.(check int)
+    "tiny underflow clamps to bucket 0" 0 (H.bucket_index 1e-300);
+  Alcotest.(check int)
+    "huge overflow clamps to the last bucket" (H.bucket_count - 1)
+    (H.bucket_index 1e300);
+  Alcotest.(check int)
+    "+inf clamps to the last bucket" (H.bucket_count - 1)
+    (H.bucket_index Float.infinity);
+  (* NaN observations are dropped entirely *)
+  let h = H.create () in
+  H.observe h Float.nan;
+  Alcotest.(check int) "NaN dropped" 0 (H.count h);
+  H.observe h 0.75;
+  H.observe h 1.5;
+  Alcotest.(check int) "count after two observations" 2 (H.count h);
+  Alcotest.(check (float 1e-12)) "sum after two observations" 2.25 (H.sum h);
+  Alcotest.(check int)
+    "0.75 landed in its bucket" 1
+    (H.bucket_value h (H.bucket_index 0.75))
+
+let test_registry_kind_mismatch () =
+  let registry = Metrics.Registry.create () in
+  ignore (Metrics.Registry.counter registry "test.kind" : Metrics.Counter.t);
+  match Metrics.Registry.gauge registry "test.kind" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on kind mismatch"
+
+(* ---------------- spans ---------------- *)
+
+let test_span_nesting () =
+  let sink = Trace.memory () in
+  let obs = Obs.create ~sink () in
+  let result =
+    Obs.Span.with_ obs ~name:"outer" ~attrs:[ ("k", "v") ] @@ fun () ->
+    Obs.Span.with_ obs ~name:"inner" (fun () -> 17)
+  in
+  Alcotest.(check int) "body result passes through" 17 result;
+  match Trace.spans sink with
+  | [ inner; outer ] ->
+      (* inner closes (and is emitted) first *)
+      Alcotest.(check string) "inner name" "inner" inner.Trace.name;
+      Alcotest.(check string) "outer name" "outer" outer.Trace.name;
+      Alcotest.(check (option int))
+        "inner's parent is outer" (Some outer.Trace.id) inner.Trace.parent;
+      Alcotest.(check (option int))
+        "outer is a root span" None outer.Trace.parent;
+      Alcotest.(check (list (pair string string)))
+        "attrs preserved"
+        [ ("k", "v") ]
+        outer.Trace.attrs;
+      Alcotest.(check bool)
+        "durations non-negative" true
+        (inner.Trace.duration_s >= 0.0 && outer.Trace.duration_s >= 0.0);
+      Alcotest.(check bool)
+        "inner nested within outer's window" true
+        (inner.Trace.start_s >= outer.Trace.start_s)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_span_exception_path () =
+  let sink = Trace.memory () in
+  let obs = Obs.create ~sink () in
+  (match
+     Obs.Span.with_ obs ~name:"raiser" (fun () -> failwith "boom")
+   with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception must propagate");
+  match Trace.spans sink with
+  | [ s ] ->
+      Alcotest.(check string) "span still emitted" "raiser" s.Trace.name;
+      Alcotest.(check bool)
+        "error attr recorded" true
+        (List.mem_assoc "error" s.Trace.attrs);
+      (* the parent slot must be restored for the next span *)
+      Obs.Span.with_ obs ~name:"after" (fun () -> ());
+      let after = List.nth (Trace.spans sink) 1 in
+      Alcotest.(check (option int))
+        "parent stack unwound after raise" None after.Trace.parent
+  | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans)
+
+(* ---------------- JSONL round-trip ---------------- *)
+
+let span_testable =
+  Alcotest.testable
+    (fun fmt s -> Format.pp_print_string fmt (Trace.span_to_json s))
+    (fun a b ->
+      a.Trace.id = b.Trace.id
+      && a.Trace.parent = b.Trace.parent
+      && String.equal a.Trace.name b.Trace.name
+      && a.Trace.attrs = b.Trace.attrs
+      && a.Trace.domain = b.Trace.domain
+      && Float.equal a.Trace.start_s b.Trace.start_s
+      && Float.equal a.Trace.duration_s b.Trace.duration_s)
+
+let test_jsonl_round_trip () =
+  let spans =
+    [
+      {
+        Trace.id = 0;
+        parent = None;
+        name = "sample.draw";
+        attrs = [ ("spec", "CSDL(t,diff)"); ("quote", "a\"b\\c\nd") ];
+        domain = 0;
+        start_s = 1722950000.123456;
+        duration_s = 0.25;
+      };
+      {
+        Trace.id = 1;
+        parent = Some 0;
+        name = "estimate.run";
+        attrs = [];
+        domain = 3;
+        start_s = 0.0;
+        duration_s = 1.0 /. 3.0;
+      };
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Trace.span_of_json (Trace.span_to_json s) with
+      | Ok parsed -> Alcotest.check span_testable "round-trips" s parsed
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+    spans;
+  (* real emitted lines parse too *)
+  let sink = Trace.memory () in
+  let obs = Obs.create ~sink () in
+  Obs.Span.with_ obs ~name:"outer" (fun () ->
+      Obs.Span.with_ obs ~name:"inner" (fun () -> ()));
+  List.iter
+    (fun line ->
+      match Trace.span_of_json line with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "emitted line does not parse: %s (%s)" e line)
+    (Trace.lines sink);
+  match Trace.span_of_json "{\"type\":\"span\"" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated JSON must not parse"
+
+(* ---------------- golden Prometheus snapshot ---------------- *)
+
+let test_prometheus_golden () =
+  let registry = Metrics.Registry.create () in
+  Metrics.Counter.add
+    (Metrics.Registry.counter registry ~labels:[ ("method", "get") ]
+       "requests.total")
+    3;
+  Metrics.Gauge.set (Metrics.Registry.gauge registry "pool.util") 0.5;
+  let h = Metrics.Registry.histogram registry "lat" in
+  List.iter (Metrics.Histogram.observe h) [ 0.75; 1.5; 3.0 ];
+  let expected =
+    String.concat "\n"
+      [
+        "# TYPE lat histogram";
+        "lat_bucket{le=\"1\"} 1";
+        "lat_bucket{le=\"2\"} 2";
+        "lat_bucket{le=\"4\"} 3";
+        "lat_bucket{le=\"+Inf\"} 3";
+        "lat_sum 5.25";
+        "lat_count 3";
+        "# TYPE pool_util gauge";
+        "pool_util 0.5";
+        "# TYPE requests_total counter";
+        "requests_total{method=\"get\"} 3";
+        "";
+      ]
+  in
+  Alcotest.(check string)
+    "snapshot is byte-stable" expected
+    (Metrics.render_prometheus registry)
+
+(* ---------------- the null context ---------------- *)
+
+let test_null_is_inert () =
+  Alcotest.(check bool) "null is not live" false (Obs.is_live Obs.null);
+  Obs.count Obs.null "anything" 5;
+  Obs.observe Obs.null "anything" 1.0;
+  Obs.set_gauge Obs.null "anything" 1.0;
+  Alcotest.(check int)
+    "span body runs on null" 3
+    (Obs.Span.with_ Obs.null ~name:"noop" (fun () -> 3));
+  Alcotest.(check bool)
+    "no registry" true
+    (Option.is_none (Obs.registry Obs.null));
+  Alcotest.(check bool)
+    "no prometheus" true
+    (Option.is_none (Obs.prometheus Obs.null));
+  Obs.close Obs.null
+
+let () =
+  Alcotest.run "repro_obs"
+    [
+      ( "atomicity",
+        [
+          Alcotest.test_case "registry under Pool.map (4 domains)" `Quick
+            test_registry_atomic_under_pool;
+          Alcotest.test_case "gauge CAS accumulation" `Quick
+            test_gauge_cas_accumulation;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "kind mismatch" `Quick test_registry_kind_mismatch;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and parenting" `Quick test_span_nesting;
+          Alcotest.test_case "exception path" `Quick test_span_exception_path;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "JSONL round-trip" `Quick test_jsonl_round_trip;
+          Alcotest.test_case "golden Prometheus snapshot" `Quick
+            test_prometheus_golden;
+        ] );
+      ( "null context",
+        [ Alcotest.test_case "inert" `Quick test_null_is_inert ] );
+    ]

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Every library module must have an explicit interface: fail when a
+# lib/**/*.ml lacks a matching .mli. Interfaces are where this repo keeps
+# its documentation and its API discipline (see docs/architecture.md) —
+# a bare .ml silently exports everything, and the next refactor starts
+# depending on internals.
+#
+# Usage: tools/check_mli_coverage.sh [repo-root]
+# Runs from any cwd; exits non-zero listing each uncovered module.
+set -eu
+
+root=${1:-$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)}
+cd "$root"
+
+status=0
+for file in lib/*/*.ml lib/*/*/*.ml; do
+  [ -e "$file" ] || continue # unmatched glob
+  if [ ! -f "${file}i" ]; then
+    echo "lint: $file has no interface (${file}i missing)" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "lint: add a .mli for each module above (docs/architecture.md)" >&2
+fi
+exit $status

@@ -7,9 +7,12 @@
 # extends it.
 #
 # Usage: tools/lint_no_failwith.sh [repo-root]
+# Runs from any cwd: without an argument the repo root is resolved from
+# the script's own location. Exits non-zero on violations, listing each
+# offending site as file:line:content.
 set -eu
 
-root=${1:-$(dirname "$0")/..}
+root=${1:-$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)}
 cd "$root"
 
 # file:count pairs that are allowed to raise untyped errors today
@@ -31,7 +34,7 @@ for file in lib/core/*.ml lib/lp/*.ml; do
   done
   if [ "$count" -gt "$allowed" ]; then
     echo "lint: $file has $count bare failwith/assert-false sites (allowed: $allowed)" >&2
-    grep -n 'failwith\|assert false' "$file" >&2
+    grep -n 'failwith\|assert false' "$file" | sed "s|^|$file:|" >&2
     status=1
   fi
 done
