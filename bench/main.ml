@@ -5,7 +5,7 @@
    Usage:  dune exec bench/main.exe -- [--quick] [--smoke] [--jobs N]
                                        [--skip-bechamel] [--skip-ablations]
                                        [--csv DIR] [--tables 4,5,6,7,8,9]
-                                       [--trace FILE]
+                                       [--trace FILE] [--bench-json FILE]
    Environment: REPRO_SCALE, REPRO_RUNS, REPRO_SEED, REPRO_PREFIXES,
    REPRO_JOBS (see Repro_benchlib.Config).
 
@@ -18,7 +18,13 @@
    --trace FILE turns on the observability layer (lib/obs): spans and a
    final metrics dump go to FILE as JSONL and a Prometheus-style snapshot
    goes to stderr. Instrumentation never touches a PRNG stream, so stdout
-   stays byte-identical with tracing on or off. *)
+   stays byte-identical with tracing on or off.
+
+   --bench-json FILE collects per-cell estimate provenance (query, variant,
+   sample size, truth, estimate, q-error, timings) from every runner and
+   writes the versioned BENCH artifact FILE at exit — the input of
+   `repro_cli bench diff`. Same opt-in contract as --trace: collection
+   happens in the sequential reassembly phases and never perturbs stdout. *)
 
 open Repro_benchlib
 module Prng = Repro_util.Prng
@@ -35,12 +41,13 @@ type options = {
   skip_ablations : bool;
   tables : int list;  (* which paper tables to regenerate *)
   trace : string option;  (* --trace FILE: JSONL span/metric export *)
+  bench_json : string option;  (* --bench-json FILE: provenance artifact *)
 }
 
 let usage =
   "usage: main.exe [--quick] [--smoke] [--jobs N] [--skip-bechamel]\n\
   \                [--skip-ablations] [--csv DIR] [--tables 4,5,...]\n\
-  \                [--trace FILE]\n"
+  \                [--trace FILE] [--bench-json FILE]\n"
 
 let parse_options () =
   let quick = ref false and smoke = ref false in
@@ -48,6 +55,7 @@ let parse_options () =
   let skip_bechamel = ref false and skip_ablations = ref false in
   let tables = ref [ 4; 5; 6; 7; 8; 9 ] in
   let trace = ref None in
+  let bench_json = ref None in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -83,6 +91,9 @@ let parse_options () =
     | "--trace" :: file :: rest ->
         trace := Some file;
         parse rest
+    | "--bench-json" :: file :: rest ->
+        bench_json := Some file;
+        parse rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %s\n%s" arg usage;
         exit 2
@@ -96,6 +107,7 @@ let parse_options () =
     skip_ablations = !skip_ablations;
     tables = !tables;
     trace = !trace;
+    bench_json = !bench_json;
   }
 
 let wants options n = List.mem n options.tables
@@ -257,6 +269,11 @@ let () =
   (* Pre-declare the cascade counter so the metrics dump always carries it
      — a trace with zero downgrades is then explicit, not absent. *)
   Obs.count obs "estimate.downgrades.total" 0;
+  let prov =
+    match options.bench_json with
+    | None -> Provenance.null
+    | Some _ -> Provenance.create ()
+  in
   let config =
     let base = Config.from_env () in
     let base =
@@ -271,7 +288,7 @@ let () =
       | Some jobs -> { base with Config.jobs = jobs }
       | None -> base
     in
-    { base with Config.obs = obs }
+    { base with Config.obs = obs; prov }
   in
   Format.eprintf "repro bench: %a@." Config.pp config;
   let timed label f = timed ~obs label f in
@@ -316,6 +333,25 @@ let () =
     timed "ablations" (fun () -> Ablation.run_all config data)
   end;
   if not options.skip_bechamel then run_bechamel config data;
+  (* Provenance artifact: every record the runners collected, summarised
+     per (experiment, variant), to the --bench-json path. The artifact
+     name is the basename minus the conventional BENCH_/.json affixes, so
+     BENCH_baseline.json is named "baseline". *)
+  Option.iter
+    (fun path ->
+      let name =
+        let base = Filename.basename path in
+        let base = Filename.remove_extension base in
+        if String.length base > 6 && String.sub base 0 6 = "BENCH_" then
+          String.sub base 6 (String.length base - 6)
+        else base
+      in
+      let artifact = Provenance.artifact ~name (Provenance.records prov) in
+      Provenance.write ~path artifact;
+      Format.eprintf "[provenance: %d records -> %s]@."
+        (List.length artifact.Provenance.a_records)
+        path)
+    options.bench_json;
   (* End-of-run observability export: Prometheus snapshot to stderr (never
      stdout — tables must stay byte-comparable), metrics dump + span file
      closed last. *)

@@ -12,7 +12,10 @@ open Cmdliner
 open Repro_relation
 module Prng = Repro_util.Prng
 module Pool = Repro_util.Pool
+module Clock = Repro_util.Clock
 module Obs = Repro_obs.Obs
+module Report = Repro_obs.Report
+module Provenance = Repro_benchlib.Provenance
 
 let ensure_directory path =
   if not (Sys.file_exists path) then Sys.mkdir path 0o755
@@ -236,6 +239,16 @@ let trace_arg =
            Never changes estimates: instrumentation does not touch the \
            PRNG streams.")
 
+let bench_json_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "bench-json" ] ~docv:"FILE"
+        ~doc:
+          "Write a versioned estimate-provenance artifact (one record per \
+           run: variant, sample size, estimate, q-error, cascade rung, \
+           timings) to $(docv), diffable with $(b,repro_cli bench diff). \
+           Never changes estimates or stdout.")
+
 (* One guarded run over its own keyed stream; results are printed by the
    caller in run order once every (possibly parallel) run has finished. *)
 let guarded_run ~obs ~theta ~pred_left ~pred_right ~seed profile i =
@@ -243,8 +256,20 @@ let guarded_run ~obs ~theta ~pred_left ~pred_right ~seed profile i =
   Repro_robustness.Guarded.estimate ~obs ~pred_a:pred_left ~pred_b:pred_right
     ~theta profile prng
 
+(* What one estimation run contributes to the provenance artifact, on top
+   of its estimate: the cascade rung that answered (plain runs: ""), the
+   downgrade count, the synopsis size in tuples (nan when the cascade
+   hides it) and the run's timing. *)
+type run_info = {
+  r_value : float;
+  r_rung : string;
+  r_downgrades : int;
+  r_sample_tuples : float;
+  r_span : Clock.span;
+}
+
 let estimate left left_col right right_col theta approach runs exact guarded
-    jobs seed pred_left pred_right trace =
+    jobs seed pred_left pred_right trace bench_json =
   let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
   let obs =
     match trace with
@@ -264,33 +289,42 @@ let estimate left left_col right right_col theta approach runs exact guarded
   if pred_right <> Predicate.True then
     Printf.printf "right selection: %s\n" (Predicate.to_string pred_right);
   let run_indices = Array.init runs (fun i -> i) in
-  let estimates =
+  let run_results, variant =
     if guarded then begin
       Printf.printf
         "approach: guarded cascade (csdl:t,diff -> csdl:1,diff -> scaling -> \
          independent)\n";
       let outcomes =
         Pool.map_array ~obs ~jobs
-          (guarded_run ~obs ~theta ~pred_left ~pred_right ~seed profile)
+          (fun i ->
+            Clock.time (fun () ->
+                guarded_run ~obs ~theta ~pred_left ~pred_right ~seed profile i))
           run_indices
       in
-      Array.mapi
-        (fun i outcome ->
-          match outcome with
-          | Error fault ->
-              Printf.eprintf "error: %s\n" (Csdl.Fault.error_to_string fault);
-              exit 1
-          | Ok g ->
-              Printf.printf "run %d: %.1f via %s%s\n" (i + 1)
-                g.Csdl.Estimator.value g.Csdl.Estimator.rung
-                (if g.Csdl.Estimator.clamped then " (clamped)" else "");
-              List.iter
-                (fun d ->
-                  Printf.printf "  downgraded: %s\n"
-                    (Csdl.Fault.degradation_to_string d))
-                g.Csdl.Estimator.trace;
-              g.Csdl.Estimator.value)
-        outcomes
+      ( Array.mapi
+          (fun i (outcome, span) ->
+            match outcome with
+            | Error fault ->
+                Printf.eprintf "error: %s\n" (Csdl.Fault.error_to_string fault);
+                exit 1
+            | Ok g ->
+                Printf.printf "run %d: %.1f via %s%s\n" (i + 1)
+                  g.Csdl.Estimator.value g.Csdl.Estimator.rung
+                  (if g.Csdl.Estimator.clamped then " (clamped)" else "");
+                List.iter
+                  (fun d ->
+                    Printf.printf "  downgraded: %s\n"
+                      (Csdl.Fault.degradation_to_string d))
+                  g.Csdl.Estimator.trace;
+                {
+                  r_value = g.Csdl.Estimator.value;
+                  r_rung = g.Csdl.Estimator.rung;
+                  r_downgrades = List.length g.Csdl.Estimator.trace;
+                  r_sample_tuples = Float.nan;
+                  r_span = span;
+                })
+          outcomes,
+        "guarded" )
     end
     else begin
       let estimator =
@@ -301,18 +335,43 @@ let estimate left left_col right right_col theta approach runs exact guarded
         | Cso -> Csdl.Estimator.prepare Csdl.Spec.cso ~theta profile
         | Variant spec -> Csdl.Estimator.prepare spec ~theta profile
       in
-      Printf.printf "approach: %s (sampling the %s table first)\n"
-        (Csdl.Spec.to_string (Csdl.Estimator.spec estimator))
+      let variant = Csdl.Spec.to_string (Csdl.Estimator.spec estimator) in
+      Printf.printf "approach: %s (sampling the %s table first)\n" variant
         (if Csdl.Estimator.swapped estimator then "right" else "left");
-      Pool.map_array ~obs ~jobs
-        (fun i ->
-          let prng =
-            Prng.create_keyed ~seed (Printf.sprintf "estimate/run=%d" i)
-          in
-          Csdl.Estimator.estimate_once ~obs ~pred_a:pred_left
-            ~pred_b:pred_right estimator prng)
-        run_indices
+      ( Pool.map_array ~obs ~jobs
+          (fun i ->
+            let prng =
+              Prng.create_keyed ~seed (Printf.sprintf "estimate/run=%d" i)
+            in
+            (* draw + estimate is estimate_once unrolled — same PRNG
+               stream, but the synopsis size and online time become
+               observable for provenance *)
+            let synopsis = Csdl.Estimator.draw ~obs estimator prng in
+            let value, span =
+              Clock.time (fun () ->
+                  Csdl.Estimator.estimate ~obs ~pred_a:pred_left
+                    ~pred_b:pred_right estimator synopsis)
+            in
+            {
+              r_value = value;
+              r_rung = "";
+              r_downgrades = 0;
+              r_sample_tuples =
+                float_of_int (Csdl.Synopsis.size_tuples synopsis);
+              r_span = span;
+            })
+          run_indices,
+        variant )
     end
+  in
+  let estimates = Array.map (fun r -> r.r_value) run_results in
+  let truth =
+    if exact then
+      Some
+        (Join.pair_count
+           (Join.filtered table_a left_col pred_left)
+           (Join.filtered table_b right_col pred_right))
+    else None
   in
   let median = Repro_util.Summary.median estimates in
   Printf.printf "median estimate over %d runs: %.1f\n" runs median;
@@ -323,17 +382,55 @@ let estimate left left_col right right_col theta approach runs exact guarded
     Printf.printf "bootstrap 95%% CI on the median: [%.1f, %.1f]\n"
       ci.Repro_stats.Bootstrap.lower ci.Repro_stats.Bootstrap.upper
   end;
-  if exact then begin
-    let truth =
-      Join.pair_count
-        (Join.filtered table_a left_col pred_left)
-        (Join.filtered table_b right_col pred_right)
-    in
-    Printf.printf "exact join size: %d (q-error %s)\n" truth
-      (Repro_stats.Qerror.to_string
-         (Repro_stats.Qerror.compute ~truth:(float_of_int truth)
-            ~estimate:median))
-  end;
+  Option.iter
+    (fun truth ->
+      Printf.printf "exact join size: %d (q-error %s)\n" truth
+        (Repro_stats.Qerror.to_string
+           (Repro_stats.Qerror.compute ~truth:(float_of_int truth)
+              ~estimate:median)))
+    truth;
+  Option.iter
+    (fun path ->
+      let prov = Provenance.create () in
+      let query =
+        Printf.sprintf "%s-%s"
+          (Filename.remove_extension (Filename.basename left))
+          (Filename.remove_extension (Filename.basename right))
+      in
+      let truth_f =
+        match truth with Some t -> float_of_int t | None -> Float.nan
+      in
+      Array.iter
+        (fun r ->
+          Provenance.add prov
+            {
+              Provenance.experiment = "estimate";
+              query;
+              variant;
+              theta;
+              jvd = profile.Csdl.Profile.jvd;
+              sample_tuples = r.r_sample_tuples;
+              truth = truth_f;
+              estimate = r.r_value;
+              qerror =
+                (match truth with
+                | Some t ->
+                    Repro_stats.Qerror.compute ~truth:(float_of_int t)
+                      ~estimate:r.r_value
+                | None -> Float.nan);
+              rung = r.r_rung;
+              downgrades = r.r_downgrades;
+              runs = 1;
+              zero_runs = (if r.r_value = 0.0 then 1 else 0);
+              wall_seconds = r.r_span.Clock.wall_seconds;
+              cpu_seconds = r.r_span.Clock.cpu_seconds;
+            })
+        run_results;
+      let name = Filename.remove_extension (Filename.basename path) in
+      Provenance.write ~path
+        (Provenance.artifact ~name (Provenance.records prov));
+      Printf.eprintf "provenance: %d records -> %s\n" runs path)
+    bench_json;
   Option.iter
     (fun snapshot -> Printf.eprintf "== metrics snapshot ==\n%s%!" snapshot)
     (Obs.prometheus obs);
@@ -345,7 +442,8 @@ let estimate_cmd =
     Term.(
       const estimate $ left_arg $ left_col_arg $ right_arg $ right_col_arg
       $ theta_arg $ approach_arg $ runs_arg $ exact_arg $ guarded_arg
-      $ jobs_arg $ seed_arg $ where_left_arg $ where_right_arg $ trace_arg)
+      $ jobs_arg $ seed_arg $ where_left_arg $ where_right_arg $ trace_arg
+      $ bench_json_arg)
 
 (* ---------------- metrics ---------------- *)
 
@@ -483,6 +581,120 @@ let synopsis_estimate_cmd =
          "Estimate a join size from a persisted synopsis store (the base           CSVs must still be readable at their recorded paths).")
     Term.(const synopsis_estimate $ key_arg $ store_arg)
 
+(* ---------------- trace report ---------------- *)
+
+let trace_file_arg =
+  Arg.(
+    required & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"JSONL trace file (written by --trace).")
+
+let folded_arg =
+  Arg.(
+    value & flag
+    & info [ "folded" ]
+        ~doc:
+          "Emit folded stacks (one 'root;child;leaf MICROSECONDS' line per \
+           distinct stack, self time) for flamegraph.pl or speedscope \
+           instead of the textual report.")
+
+let trace_report file folded =
+  let reading = Report.read_file file in
+  List.iter
+    (fun d ->
+      Printf.eprintf "%s: skipped line %d: %s\n" file d.Report.line
+        d.Report.reason)
+    reading.Report.skipped;
+  if folded then
+    List.iter
+      (fun (stack, micros) -> Printf.printf "%s %d\n" stack micros)
+      (Report.folded (Report.forest reading.Report.spans))
+  else Format.printf "%a" Report.pp reading
+
+let trace_report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Analyse a JSONL trace: per-span aggregates (count, total, self, \
+          p50/p95/max), the critical path, and optionally folded stacks. \
+          Malformed lines are skipped with a diagnostic on stderr, so a \
+          trace truncated by a crash still reports.")
+    Term.(const trace_report $ trace_file_arg $ folded_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Analyse observability trace files.")
+    [ trace_report_cmd ]
+
+(* ---------------- bench diff ---------------- *)
+
+let baseline_arg =
+  Arg.(
+    required & pos 0 (some file) None
+    & info [] ~docv:"BASELINE.json" ~doc:"Baseline BENCH artifact.")
+
+let current_arg =
+  Arg.(
+    required & pos 1 (some file) None
+    & info [] ~docv:"CURRENT.json" ~doc:"Candidate BENCH artifact.")
+
+let max_wall_ratio_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "max-wall-ratio" ] ~docv:"R"
+        ~doc:
+          "Fail if a variant's mean wall time exceeds $(docv) times the \
+           baseline (wall times under 10ms are never flagged).")
+
+let max_qerr_ratio_arg =
+  Arg.(
+    value & opt float 1.1
+    & info [ "max-qerr-ratio" ] ~docv:"R"
+        ~doc:
+          "Fail if a variant's median or p95 q-error exceeds $(docv) times \
+           the baseline.")
+
+(* Exit codes: 0 = within limits, 1 = regression, 2 = unreadable artifact.
+   cmdliner reserves 124+ for its own errors, so these are safe. *)
+let bench_diff baseline_path current_path max_wall_ratio max_qerr_ratio =
+  let load path =
+    match Provenance.read path with
+    | Ok artifact -> artifact
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 2
+  in
+  let baseline = load baseline_path and current = load current_path in
+  let checks =
+    Provenance.diff ~max_wall_ratio ~max_qerr_ratio ~baseline ~current
+  in
+  Provenance.pp_checks Format.std_formatter checks;
+  match Provenance.regressions checks with
+  | [] ->
+      Printf.printf "no regressions (%d checks, %s vs %s)\n"
+        (List.length checks) baseline.Provenance.a_name
+        current.Provenance.a_name
+  | bad ->
+      Printf.printf "%d regression(s) against %s\n" (List.length bad)
+        baseline.Provenance.a_name;
+      exit 1
+
+let bench_diff_cmd =
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two BENCH provenance artifacts per (experiment, variant): \
+          median/p95 q-error and mean wall time against ratio limits. Exits \
+          0 when within limits, 1 on a regression or lost coverage, 2 on an \
+          unreadable artifact.")
+    Term.(
+      const bench_diff $ baseline_arg $ current_arg $ max_wall_ratio_arg
+      $ max_qerr_ratio_arg)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench" ~doc:"Benchmark provenance artifacts.")
+    [ bench_diff_cmd ]
+
 (* ---------------- workload ---------------- *)
 
 let workload scale seed =
@@ -516,6 +728,8 @@ let () =
             inspect_cmd;
             estimate_cmd;
             metrics_cmd;
+            trace_cmd;
+            bench_cmd;
             synopsis_build_cmd;
             synopsis_estimate_cmd;
             workload_cmd;

@@ -9,6 +9,7 @@ type t = {
   jvd_threshold : float;
   jobs : int;
   obs : Repro_obs.Obs.ctx;
+  prov : Provenance.collector;
 }
 
 let default =
@@ -23,6 +24,7 @@ let default =
     jvd_threshold = 0.001;
     jobs = Repro_util.Pool.default_jobs ();
     obs = Repro_obs.Obs.null;
+    prov = Provenance.null;
   }
 
 let env_float name fallback =

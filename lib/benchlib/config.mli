@@ -41,6 +41,11 @@ type t = {
           (zero-overhead no-op); a live context never changes results —
           instrumentation reads clocks and bumps atomics but never touches
           a PRNG stream. *)
+  prov : Provenance.collector;
+      (** estimate-provenance collector the runners record per-cell
+          accuracy records into (the [BENCH_*.json] artifact). Defaults to
+          {!Provenance.null}; same opt-in contract as [obs] — capture
+          never perturbs results or stdout. *)
 }
 
 val default : t

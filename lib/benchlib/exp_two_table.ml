@@ -28,8 +28,10 @@ let approaches =
 type cell = {
   approach : string;
   estimates : float array;
+  median_estimate : float;
   median_qerror : float;
   rel_variance : float;
+  avg_sample_tuples : float;
   avg_wall_seconds : float;
   avg_cpu_seconds : float;
   zero_runs : int;
@@ -50,12 +52,14 @@ let cell_prng ~seed ~query ~theta ~label =
   Prng.create_keyed ~seed
     (Printf.sprintf "two-table/%s/theta=%.17g/%s" query theta label)
 
-let run_cell ?(obs = Obs.null) ~runs ~clock ~prng ~truth ~pred_a ~pred_b
-    estimator =
+let run_cell ?(obs = Obs.null) ~approach ~runs ~clock ~prng ~truth ~pred_a
+    ~pred_b estimator =
   let estimates = Array.make runs 0.0 in
   let wall_total = ref 0.0 and cpu_total = ref 0.0 and zero_runs = ref 0 in
+  let sample_tuples = ref 0 in
   for r = 0 to runs - 1 do
     let synopsis = Csdl.Estimator.draw ~obs estimator prng in
+    sample_tuples := !sample_tuples + Csdl.Synopsis.size_tuples synopsis;
     let estimate, span =
       Clock.time ~wall_clock:clock (fun () ->
           Csdl.Estimator.estimate ~obs ~pred_a ~pred_b estimator synopsis)
@@ -71,12 +75,17 @@ let run_cell ?(obs = Obs.null) ~runs ~clock ~prng ~truth ~pred_a ~pred_b
       estimates
   in
   let per_run total = total /. float_of_int runs in
-  ( estimates,
-    Repro_util.Summary.median qerrors,
-    Repro_util.Summary.relative_variance ~truth estimates,
-    per_run !wall_total,
-    per_run !cpu_total,
-    !zero_runs )
+  {
+    approach;
+    estimates;
+    median_estimate = Repro_util.Summary.median estimates;
+    median_qerror = Repro_util.Summary.median qerrors;
+    rel_variance = Repro_util.Summary.relative_variance ~truth estimates;
+    avg_sample_tuples = per_run (float_of_int !sample_tuples);
+    avg_wall_seconds = per_run !wall_total;
+    avg_cpu_seconds = per_run !cpu_total;
+    zero_runs = !zero_runs;
+  }
 
 (* One unit of pool work: everything a cell needs, resolved up front so
    the closure only reads shared immutable state (the profile, the query's
@@ -138,26 +147,9 @@ let run ?(clock = Clock.wall) (config : Config.t) data =
           cell_prng ~seed:config.Config.seed ~query:task.t_query.Job.name
             ~theta:task.t_theta ~label
         in
-        let ( estimates,
-              median_qerror,
-              rel_variance,
-              avg_wall_seconds,
-              avg_cpu_seconds,
-              zero_runs ) =
-          run_cell ~obs ~runs:config.Config.runs ~clock ~prng
-            ~truth:task.t_truth
-            ~pred_a:task.t_query.Job.a.Join.predicate
-            ~pred_b:task.t_query.Job.b.Join.predicate estimator
-        in
-        {
-          approach = label;
-          estimates;
-          median_qerror;
-          rel_variance;
-          avg_wall_seconds;
-          avg_cpu_seconds;
-          zero_runs;
-        })
+        run_cell ~obs ~approach:label ~runs:config.Config.runs ~clock ~prng
+          ~truth:task.t_truth ~pred_a:task.t_query.Job.a.Join.predicate
+          ~pred_b:task.t_query.Job.b.Join.predicate estimator)
       (Array.of_list tasks)
   in
   (* Reassemble in workload order: cells were enumerated row-major as
@@ -165,22 +157,51 @@ let run ?(clock = Clock.wall) (config : Config.t) data =
      block of |approaches| results. *)
   let per_row = List.length approaches in
   let row = ref 0 in
-  List.concat_map
-    (fun (q, profile, truth) ->
-      List.map
-        (fun theta ->
-          let base = !row * per_row in
-          incr row;
-          {
-            name = q.Job.name;
-            jvd = profile.Csdl.Profile.jvd;
-            truth = int_of_float truth;
-            theta;
-            cells =
-              List.init per_row (fun i -> cell_results.(base + i));
-          })
-        config.Config.thetas)
-    contexts
+  let results =
+    List.concat_map
+      (fun (q, profile, truth) ->
+        List.map
+          (fun theta ->
+            let base = !row * per_row in
+            incr row;
+            {
+              name = q.Job.name;
+              jvd = profile.Csdl.Profile.jvd;
+              truth = int_of_float truth;
+              theta;
+              cells = List.init per_row (fun i -> cell_results.(base + i));
+            })
+          config.Config.thetas)
+      contexts
+  in
+  (* Provenance capture (opt-in, sequential, after the parallel phase): one
+     record per (query, theta, approach) cell — never touches stdout. *)
+  if Provenance.is_live config.Config.prov then
+    List.iter
+      (fun r ->
+        List.iter
+          (fun c ->
+            Provenance.add config.Config.prov
+              {
+                Provenance.experiment = "two-table";
+                query = r.name;
+                variant = c.approach;
+                theta = r.theta;
+                jvd = r.jvd;
+                sample_tuples = c.avg_sample_tuples;
+                truth = float_of_int r.truth;
+                estimate = c.median_estimate;
+                qerror = c.median_qerror;
+                rung = "";
+                downgrades = 0;
+                runs = config.Config.runs;
+                zero_runs = c.zero_runs;
+                wall_seconds = c.avg_wall_seconds;
+                cpu_seconds = c.avg_cpu_seconds;
+              })
+          r.cells)
+      results;
+  results
 
 let is_small_jvd (config : Config.t) result =
   result.jvd < config.Config.jvd_threshold

@@ -20,8 +20,11 @@ val approaches : approach list
 type cell = {
   approach : string;
   estimates : float array;  (** one per run *)
+  median_estimate : float;  (** provenance: the reported point estimate *)
   median_qerror : float;
   rel_variance : float;  (** empirical Var / J^2 (Table VI's metric) *)
+  avg_sample_tuples : float;
+      (** mean synopsis size (tuples) per run — what theta actually bought *)
   avg_wall_seconds : float;
       (** mean online-estimation wall-clock time over ALL runs — including
           runs that estimated 0, which the old protocol silently dropped

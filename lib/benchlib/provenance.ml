@@ -1,0 +1,339 @@
+module Json = Repro_obs.Json
+
+type record = {
+  experiment : string;
+  query : string;
+  variant : string;
+  theta : float;
+  jvd : float;
+  sample_tuples : float;
+  truth : float;
+  estimate : float;
+  qerror : float;
+  rung : string;
+  downgrades : int;
+  runs : int;
+  zero_runs : int;
+  wall_seconds : float;
+  cpu_seconds : float;
+}
+
+(* ---------------- collection ---------------- *)
+
+type live = { mutex : Mutex.t; mutable rev : record list }
+type collector = Null | Live of live
+
+let null = Null
+let create () = Live { mutex = Mutex.create (); rev = [] }
+let is_live = function Null -> false | Live _ -> true
+
+let add t record =
+  match t with
+  | Null -> ()
+  | Live l ->
+      Mutex.lock l.mutex;
+      l.rev <- record :: l.rev;
+      Mutex.unlock l.mutex
+
+let records = function
+  | Null -> []
+  | Live l ->
+      Mutex.lock l.mutex;
+      let r = List.rev l.rev in
+      Mutex.unlock l.mutex;
+      r
+
+(* ---------------- summaries ---------------- *)
+
+type summary = {
+  s_experiment : string;
+  s_variant : string;
+  s_records : int;
+  median_qerror : float;
+  p95_qerror : float;
+  mean_wall_seconds : float;
+  mean_cpu_seconds : float;
+}
+
+let summarise records =
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let key = (r.experiment, r.variant) in
+      Hashtbl.replace groups key
+        (r :: Option.value ~default:[] (Hashtbl.find_opt groups key)))
+    records;
+  Hashtbl.fold
+    (fun (experiment, variant) group acc ->
+      let group = List.rev group in
+      let qerrors = Array.of_list (List.map (fun r -> r.qerror) group) in
+      {
+        s_experiment = experiment;
+        s_variant = variant;
+        s_records = List.length group;
+        median_qerror = Repro_util.Summary.median qerrors;
+        p95_qerror = Repro_util.Summary.quantile 0.95 qerrors;
+        mean_wall_seconds =
+          Repro_util.Summary.mean
+            (Array.of_list (List.map (fun r -> r.wall_seconds) group));
+        mean_cpu_seconds =
+          Repro_util.Summary.mean
+            (Array.of_list (List.map (fun r -> r.cpu_seconds) group));
+      }
+      :: acc)
+    groups []
+  |> List.sort (fun a b ->
+         compare (a.s_experiment, a.s_variant) (b.s_experiment, b.s_variant))
+
+(* ---------------- the BENCH artifact ---------------- *)
+
+let version = 1
+
+type artifact = {
+  a_version : int;
+  a_name : string;
+  a_records : record list;
+  a_summaries : summary list;
+}
+
+let artifact ~name records =
+  {
+    a_version = version;
+    a_name = name;
+    a_records = records;
+    a_summaries = summarise records;
+  }
+
+let record_to_json r =
+  Json.Obj
+    [
+      ("experiment", Json.Str r.experiment);
+      ("query", Json.Str r.query);
+      ("variant", Json.Str r.variant);
+      ("theta", Json.number r.theta);
+      ("jvd", Json.number r.jvd);
+      ("sample_tuples", Json.number r.sample_tuples);
+      ("truth", Json.number r.truth);
+      ("estimate", Json.number r.estimate);
+      ("qerror", Json.number r.qerror);
+      ("rung", Json.Str r.rung);
+      ("downgrades", Json.number (float_of_int r.downgrades));
+      ("runs", Json.number (float_of_int r.runs));
+      ("zero_runs", Json.number (float_of_int r.zero_runs));
+      ("wall_seconds", Json.number r.wall_seconds);
+      ("cpu_seconds", Json.number r.cpu_seconds);
+    ]
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("experiment", Json.Str s.s_experiment);
+      ("variant", Json.Str s.s_variant);
+      ("records", Json.number (float_of_int s.s_records));
+      ("median_qerror", Json.number s.median_qerror);
+      ("p95_qerror", Json.number s.p95_qerror);
+      ("mean_wall_seconds", Json.number s.mean_wall_seconds);
+      ("mean_cpu_seconds", Json.number s.mean_cpu_seconds);
+    ]
+
+let to_json a =
+  Json.to_string_multiline
+    (Json.Obj
+       [
+         ("version", Json.number (float_of_int a.a_version));
+         ("name", Json.Str a.a_name);
+         ("records", Json.Arr (List.map record_to_json a.a_records));
+         ("summaries", Json.Arr (List.map summary_to_json a.a_summaries));
+       ])
+
+let write ~path a =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json a);
+      output_char oc '\n')
+
+let ( let* ) = Result.bind
+
+let field name conv value =
+  match Option.bind (Json.member name value) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let record_of_json value =
+  let* experiment = field "experiment" Json.to_str value in
+  let* query = field "query" Json.to_str value in
+  let* variant = field "variant" Json.to_str value in
+  let* theta = field "theta" Json.to_float value in
+  let* jvd = field "jvd" Json.to_float value in
+  let* sample_tuples = field "sample_tuples" Json.to_float value in
+  let* truth = field "truth" Json.to_float value in
+  let* estimate = field "estimate" Json.to_float value in
+  let* qerror = field "qerror" Json.to_float value in
+  let* rung = field "rung" Json.to_str value in
+  let* downgrades = field "downgrades" Json.to_int value in
+  let* runs = field "runs" Json.to_int value in
+  let* zero_runs = field "zero_runs" Json.to_int value in
+  let* wall_seconds = field "wall_seconds" Json.to_float value in
+  let* cpu_seconds = field "cpu_seconds" Json.to_float value in
+  Ok
+    {
+      experiment;
+      query;
+      variant;
+      theta;
+      jvd;
+      sample_tuples;
+      truth;
+      estimate;
+      qerror;
+      rung;
+      downgrades;
+      runs;
+      zero_runs;
+      wall_seconds;
+      cpu_seconds;
+    }
+
+let read path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | contents -> (
+      match Json.parse contents with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok value ->
+          let* v = field "version" Json.to_int value in
+          if v > version then
+            Error
+              (Printf.sprintf "%s: version %d is newer than supported (%d)"
+                 path v version)
+          else
+            let* name = field "name" Json.to_str value in
+            let* raw_records = field "records" Json.to_list value in
+            let* records =
+              List.fold_left
+                (fun acc (i, r) ->
+                  let* acc = acc in
+                  match record_of_json r with
+                  | Ok record -> Ok (record :: acc)
+                  | Error e -> Error (Printf.sprintf "record %d: %s" i e))
+                (Ok [])
+                (List.mapi (fun i r -> (i, r)) raw_records)
+              |> Result.map List.rev
+            in
+            (* summaries are recomputed, not trusted: a hand-edited record
+               list stays consistent with its summary view *)
+            Ok (artifact ~name records))
+
+(* ---------------- regression gating ---------------- *)
+
+type check = {
+  subject : string;
+  metric : string;
+  baseline : float;
+  current : float;
+  limit : float;
+  ok : bool;
+}
+
+(* Wall times below this are clock-granularity noise on a fast machine;
+   never flag them. Accuracy checks have no such floor. *)
+let wall_floor_seconds = 0.01
+
+let ratio_ok ~limit ~baseline ~current =
+  if Float.is_nan current || Float.is_nan baseline then true
+  else if current = Float.infinity then baseline = Float.infinity
+  else if baseline = Float.infinity then true
+  else if baseline <= 0.0 then true
+  else current <= limit *. baseline
+
+let diff ~max_wall_ratio ~max_qerr_ratio ~baseline ~current =
+  let find summaries key =
+    List.find_opt (fun s -> (s.s_experiment, s.s_variant) = key) summaries
+  in
+  List.concat_map
+    (fun b ->
+      let key = (b.s_experiment, b.s_variant) in
+      let subject = b.s_experiment ^ "/" ^ b.s_variant in
+      match find current.a_summaries key with
+      | None ->
+          [
+            {
+              subject;
+              metric = "coverage";
+              baseline = float_of_int b.s_records;
+              current = 0.0;
+              limit = 1.0;
+              ok = false;
+            };
+          ]
+      | Some c ->
+          let accuracy metric baseline current =
+            {
+              subject;
+              metric;
+              baseline;
+              current;
+              limit = max_qerr_ratio;
+              ok = ratio_ok ~limit:max_qerr_ratio ~baseline ~current;
+            }
+          in
+          [
+            accuracy "median q-error" b.median_qerror c.median_qerror;
+            accuracy "p95 q-error" b.p95_qerror c.p95_qerror;
+            {
+              subject;
+              metric = "mean wall seconds";
+              baseline = b.mean_wall_seconds;
+              current = c.mean_wall_seconds;
+              limit = max_wall_ratio;
+              ok =
+                c.mean_wall_seconds < wall_floor_seconds
+                || ratio_ok ~limit:max_wall_ratio
+                     ~baseline:b.mean_wall_seconds ~current:c.mean_wall_seconds;
+            };
+          ])
+    baseline.a_summaries
+
+let regressions checks = List.filter (fun c -> not c.ok) checks
+
+let metric_str v =
+  if Float.is_nan v then "n/a"
+  else if v = Float.infinity then "inf"
+  else Printf.sprintf "%.4g" v
+
+let pp_checks ppf checks =
+  let header = [ "subject"; "metric"; "baseline"; "current"; "limit"; "" ] in
+  let rows =
+    List.map
+      (fun c ->
+        [
+          c.subject;
+          c.metric;
+          metric_str c.baseline;
+          metric_str c.current;
+          Printf.sprintf "%.4gx" c.limit;
+          (if c.ok then "ok" else "REGRESSION");
+        ])
+      checks
+  in
+  let all = header :: rows in
+  let arity = List.length header in
+  let widths = Array.make arity 0 in
+  List.iter
+    (List.iteri (fun j cell -> widths.(j) <- max widths.(j) (String.length cell)))
+    all;
+  let line row =
+    row
+    |> List.mapi (fun j cell -> Printf.sprintf "%-*s" widths.(j) cell)
+    |> String.concat "  "
+  in
+  Format.fprintf ppf "%s@.%s@." (line header)
+    (String.make (Array.fold_left ( + ) (2 * (arity - 1)) widths) '-');
+  List.iter (fun row -> Format.fprintf ppf "%s@." (line row)) rows

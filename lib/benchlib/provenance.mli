@@ -1,0 +1,125 @@
+(** Per-query estimate provenance: the machine-readable record of {e how}
+    every benchmark estimate was obtained — which CSDL variant answered,
+    at what sample size, with what q-error, after which downgrades — and
+    the versioned [BENCH_<name>.json] artifact that carries those records
+    between runs so accuracy and latency regressions are diffable in CI
+    (see docs/observability.md, "Trace reports & regression gating").
+
+    Capture follows the [?obs] opt-in pattern: every runner records into
+    a {!collector} that defaults to {!null}, on which {!add} is a no-op.
+    Provenance capture never touches a PRNG stream and writes only to the
+    JSON artifact, so bench stdout stays byte-identical with capture on
+    or off (enforced by the [@bench-smoke] alias). *)
+
+type record = {
+  experiment : string;  (** runner id: ["two-table"], ["table8"], ... *)
+  query : string;  (** query id within the experiment *)
+  variant : string;  (** approach / CSDL variant label *)
+  theta : float;
+  jvd : float;  (** join value density; [nan] where undefined (chains) *)
+  sample_tuples : float;  (** mean synopsis tuples per run; [nan] if unknown *)
+  truth : float;  (** exact join size; [nan] if not computed *)
+  estimate : float;  (** median estimate over [runs] *)
+  qerror : float;  (** median q-error; [infinity] = failed estimates *)
+  rung : string;  (** cascade rung that answered; [""] outside the cascade *)
+  downgrades : int;  (** cascade downgrades; 0 outside the cascade *)
+  runs : int;
+  zero_runs : int;
+  wall_seconds : float;  (** mean wall time per estimation run *)
+  cpu_seconds : float;
+}
+
+(** {1 Collection} *)
+
+type collector
+
+val null : collector
+(** The no-op collector: {!add} does nothing, {!records} is []. *)
+
+val create : unit -> collector
+val is_live : collector -> bool
+
+val add : collector -> record -> unit
+(** Append one record (thread-safe; no-op on {!null}). Runners add from
+    their sequential reassembly phase, so record order is deterministic. *)
+
+val records : collector -> record list
+(** Records in insertion order. *)
+
+(** {1 Summaries} *)
+
+type summary = {
+  s_experiment : string;
+  s_variant : string;
+  s_records : int;
+  median_qerror : float;
+  p95_qerror : float;
+  mean_wall_seconds : float;
+  mean_cpu_seconds : float;
+}
+
+val summarise : record list -> summary list
+(** Group records by (experiment, variant) and reduce — the per-table
+    median/p95 q-error view of the paper's Tables IV-V, plus mean
+    latency. Sorted by experiment then variant. *)
+
+(** {1 The BENCH artifact} *)
+
+val version : int
+(** Schema version written into every artifact; readers reject anything
+    newer. Currently 1. *)
+
+type artifact = {
+  a_version : int;
+  a_name : string;
+  a_records : record list;
+  a_summaries : summary list;
+}
+
+val artifact : name:string -> record list -> artifact
+(** Package records with freshly computed summaries. *)
+
+val to_json : artifact -> string
+(** Multi-line JSON (diff-friendly). Non-finite floats are encoded as the
+    strings ["inf"]/["-inf"]/["nan"] and read back exactly. *)
+
+val write : path:string -> artifact -> unit
+
+val read : string -> (artifact, string) result
+(** Parse an artifact file. [Error] on unreadable JSON, a missing field,
+    or an unsupported (newer) version — never an exception. Summaries are
+    recomputed from the records, so a hand-edited artifact stays
+    self-consistent. *)
+
+(** {1 Regression gating} *)
+
+type check = {
+  subject : string;  (** "experiment/variant" *)
+  metric : string;
+  baseline : float;
+  current : float;
+  limit : float;  (** the max allowed current/baseline ratio *)
+  ok : bool;
+}
+
+val diff :
+  max_wall_ratio:float ->
+  max_qerr_ratio:float ->
+  baseline:artifact ->
+  current:artifact ->
+  check list
+(** Compare per-(experiment, variant) summaries. For every group in
+    [baseline]: median and p95 q-error must not exceed the baseline by
+    more than [max_qerr_ratio] (an infinite current against a finite
+    baseline always fails; infinite against infinite passes), and mean
+    wall time must not exceed [max_wall_ratio] times the baseline —
+    except that wall times under 10ms are never flagged, so clock
+    granularity on fast machines cannot produce spurious failures. A
+    group missing from [current] fails a ["coverage"] check. Groups only
+    in [current] are new coverage and produce no check. *)
+
+val regressions : check list -> check list
+(** The failing subset, i.e. what a CI gate should report and exit 1 on. *)
+
+val pp_checks : Format.formatter -> check list -> unit
+(** Render the comparison as an aligned table, failures marked. *)

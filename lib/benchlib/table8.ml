@@ -1,5 +1,7 @@
 module Prng = Repro_util.Prng
 module Pool = Repro_util.Pool
+module Clock = Repro_util.Clock
+module Summary = Repro_util.Summary
 module Tpch = Repro_datagen.Tpch
 
 type row = {
@@ -18,6 +20,18 @@ type row = {
 let datasets = [ (1.0, 4.0); (0.1, 4.0); (1.0, 2.0); (0.1, 2.0) ]
 
 let approaches = [ "opt"; "1diff"; "cs2l" ]
+
+(* Everything one (dataset, theta, approach) cell produces: the printed
+   pair plus the provenance-only fields. *)
+type cell = {
+  c_qerror : float;
+  c_variance : float;
+  c_estimate : float;
+  c_sample_tuples : float;
+  c_wall : float;
+  c_cpu : float;
+  c_zero_runs : int;
+}
 
 let run (config : Config.t) =
   let jobs = config.Config.jobs in
@@ -63,17 +77,44 @@ let run (config : Config.t) =
             (Printf.sprintf "table8/scale=%g/z=%g/theta=%.17g/%s" scale z
                theta tag)
         in
+        (* draw + estimate is exactly [estimate_once] unrolled, so the
+           PRNG stream — and every printed number — is unchanged; the
+           unrolling is what lets us see the synopsis size and time the
+           online phase for provenance. *)
+        let runs = config.Config.runs in
+        let wall_total = ref 0.0
+        and cpu_total = ref 0.0
+        and sample_tuples = ref 0
+        and zero_runs = ref 0 in
         let estimates =
-          Array.init config.Config.runs (fun _ ->
-              Csdl.Estimator.estimate_once estimator prng)
+          Array.init runs (fun _ ->
+              let synopsis = Csdl.Estimator.draw estimator prng in
+              sample_tuples :=
+                !sample_tuples + Csdl.Synopsis.size_tuples synopsis;
+              let estimate, span =
+                Clock.time (fun () ->
+                    Csdl.Estimator.estimate estimator synopsis)
+              in
+              wall_total := !wall_total +. span.Clock.wall_seconds;
+              cpu_total := !cpu_total +. span.Clock.cpu_seconds;
+              if estimate = 0.0 then incr zero_runs;
+              estimate)
         in
         let qerrors =
           Array.map
             (fun estimate -> Repro_stats.Qerror.compute ~truth ~estimate)
             estimates
         in
-        ( Repro_util.Summary.median qerrors,
-          Repro_util.Summary.relative_variance ~truth estimates ))
+        let per_run total = total /. float_of_int runs in
+        {
+          c_qerror = Summary.median qerrors;
+          c_variance = Summary.relative_variance ~truth estimates;
+          c_estimate = Summary.median estimates;
+          c_sample_tuples = per_run (float_of_int !sample_tuples);
+          c_wall = per_run !wall_total;
+          c_cpu = per_run !cpu_total;
+          c_zero_runs = !zero_runs;
+        })
       (Array.of_list tasks)
   in
   (* Reassemble: each (dataset, theta) row owns |approaches| consecutive
@@ -86,20 +127,43 @@ let run (config : Config.t) =
         (fun theta ->
           let base = !row * per_row in
           incr row;
-          let opt_qerror, opt_variance = cell_results.(base) in
-          let one_diff_qerror, one_diff_variance = cell_results.(base + 1) in
-          let cs2l_qerror, cs2l_variance = cell_results.(base + 2) in
+          let jvd = profile.Csdl.Profile.jvd in
+          List.iteri
+            (fun i tag ->
+              let c = cell_results.(base + i) in
+              Provenance.add config.Config.prov
+                {
+                  Provenance.experiment = "table8";
+                  query = dataset;
+                  variant = tag;
+                  theta;
+                  jvd;
+                  sample_tuples = c.c_sample_tuples;
+                  truth;
+                  estimate = c.c_estimate;
+                  qerror = c.c_qerror;
+                  rung = "";
+                  downgrades = 0;
+                  runs = config.Config.runs;
+                  zero_runs = c.c_zero_runs;
+                  wall_seconds = c.c_wall;
+                  cpu_seconds = c.c_cpu;
+                })
+            approaches;
+          let opt = cell_results.(base) in
+          let one_diff = cell_results.(base + 1) in
+          let cs2l = cell_results.(base + 2) in
           {
             dataset;
             theta;
             truth = int_of_float truth;
-            jvd = profile.Csdl.Profile.jvd;
-            opt_qerror;
-            opt_variance;
-            one_diff_qerror;
-            one_diff_variance;
-            cs2l_qerror;
-            cs2l_variance;
+            jvd;
+            opt_qerror = opt.c_qerror;
+            opt_variance = opt.c_variance;
+            one_diff_qerror = one_diff.c_qerror;
+            one_diff_variance = one_diff.c_variance;
+            cs2l_qerror = cs2l.c_qerror;
+            cs2l_variance = cs2l.c_variance;
           })
         config.Config.tpch_thetas)
     contexts

@@ -1,5 +1,7 @@
 module Prng = Repro_util.Prng
 module Pool = Repro_util.Pool
+module Clock = Repro_util.Clock
+module Summary = Repro_util.Summary
 module Tpch = Repro_datagen.Tpch
 open Repro_relation
 
@@ -8,6 +10,15 @@ type row = {
   truth : int;
   opt_qerror : float;
   cs2l_qerror : float;
+}
+
+type cell = {
+  c_qerror : float;
+  c_estimate : float;
+  c_sample_tuples : float;
+  c_wall : float;
+  c_cpu : float;
+  c_zero_runs : int;
 }
 
 let theta = 0.001
@@ -44,7 +55,7 @@ let run (config : Config.t) =
       (fun context -> [ (context, "opt"); (context, "cs2l") ])
       contexts
   in
-  let medians =
+  let cells =
     Pool.map_array ~obs:config.Config.obs ~jobs
       (fun ((scale, z, _, tables, truth), tag) ->
         let prepared =
@@ -56,22 +67,71 @@ let run (config : Config.t) =
           Prng.create_keyed ~seed:config.Config.seed
             (Printf.sprintf "table9/scale=%g/z=%g/%s" scale z tag)
         in
-        let qerrors =
-          Array.init config.Config.runs (fun _ ->
+        let runs = config.Config.runs in
+        let wall_total = ref 0.0
+        and cpu_total = ref 0.0
+        and sample_tuples = ref 0
+        and zero_runs = ref 0 in
+        let estimates =
+          Array.init runs (fun _ ->
               let synopsis = Csdl.Chain.draw prepared prng in
-              let estimate = Csdl.Chain.estimate ~pred_a prepared synopsis in
-              Repro_stats.Qerror.compute ~truth ~estimate)
+              sample_tuples :=
+                !sample_tuples + Csdl.Chain.synopsis_tuples synopsis;
+              let estimate, span =
+                Clock.time (fun () ->
+                    Csdl.Chain.estimate ~pred_a prepared synopsis)
+              in
+              wall_total := !wall_total +. span.Clock.wall_seconds;
+              cpu_total := !cpu_total +. span.Clock.cpu_seconds;
+              if estimate = 0.0 then incr zero_runs;
+              estimate)
         in
-        Repro_util.Summary.median qerrors)
+        let qerrors =
+          Array.map
+            (fun estimate -> Repro_stats.Qerror.compute ~truth ~estimate)
+            estimates
+        in
+        let per_run total = total /. float_of_int runs in
+        {
+          c_qerror = Summary.median qerrors;
+          c_estimate = Summary.median estimates;
+          c_sample_tuples = per_run (float_of_int !sample_tuples);
+          c_wall = per_run !wall_total;
+          c_cpu = per_run !cpu_total;
+          c_zero_runs = !zero_runs;
+        })
       (Array.of_list tasks)
   in
   List.mapi
     (fun i (_, _, dataset, _, truth) ->
+      let record tag (c : cell) =
+        Provenance.add config.Config.prov
+          {
+            Provenance.experiment = "table9";
+            query = dataset;
+            variant = tag;
+            theta;
+            jvd = Float.nan;
+            sample_tuples = c.c_sample_tuples;
+            truth;
+            estimate = c.c_estimate;
+            qerror = c.c_qerror;
+            rung = "";
+            downgrades = 0;
+            runs = config.Config.runs;
+            zero_runs = c.c_zero_runs;
+            wall_seconds = c.c_wall;
+            cpu_seconds = c.c_cpu;
+          }
+      in
+      let opt = cells.(2 * i) and cs2l = cells.((2 * i) + 1) in
+      record "opt" opt;
+      record "cs2l" cs2l;
       {
         dataset;
         truth = int_of_float truth;
-        opt_qerror = medians.(2 * i);
-        cs2l_qerror = medians.((2 * i) + 1);
+        opt_qerror = opt.c_qerror;
+        cs2l_qerror = cs2l.c_qerror;
       })
     contexts
 

@@ -1,0 +1,275 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let number v =
+  if Float.is_nan v then Str "nan"
+  else if v = Float.infinity then Str "inf"
+  else if v = Float.neg_infinity then Str "-inf"
+  else Num v
+
+(* %.17g round-trips every finite float exactly. *)
+let float_literal v =
+  if Float.is_integer v && Float.abs v < 1e16 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let rec render ~indent ~level buf v =
+  let pad n =
+    match indent with
+    | None -> ()
+    | Some step -> Buffer.add_string buf (String.make (step * n) ' ')
+  in
+  let newline () = if indent <> None then Buffer.add_char buf '\n' in
+  let sequence ~open_c ~close_c items render_item =
+    match items with
+    | [] ->
+        Buffer.add_char buf open_c;
+        Buffer.add_char buf close_c
+    | items ->
+        Buffer.add_char buf open_c;
+        newline ();
+        List.iteri
+          (fun i item ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              newline ()
+            end;
+            pad (level + 1);
+            render_item item)
+          items;
+        newline ();
+        pad level;
+        Buffer.add_char buf close_c
+  in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num v -> Buffer.add_string buf (float_literal v)
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape_string s);
+      Buffer.add_char buf '"'
+  | Arr items ->
+      sequence ~open_c:'[' ~close_c:']' items (fun item ->
+          render ~indent ~level:(level + 1) buf item)
+  | Obj fields ->
+      sequence ~open_c:'{' ~close_c:'}' fields (fun (k, item) ->
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape_string k);
+          Buffer.add_string buf "\":";
+          if indent <> None then Buffer.add_char buf ' ';
+          render ~indent ~level:(level + 1) buf item)
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  render ~indent:None ~level:0 buf v;
+  Buffer.contents buf
+
+let to_string_multiline v =
+  let buf = Buffer.create 1024 in
+  render ~indent:(Some 2) ~level:0 buf v;
+  Buffer.contents buf
+
+exception Parse of string
+
+let parse input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let len = String.length word in
+    if !pos + len <= n && String.sub input !pos len = word then begin
+      pos := !pos + len;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'n' ->
+              Buffer.add_char buf '\n';
+              advance ();
+              go ()
+          | Some 'r' ->
+              Buffer.add_char buf '\r';
+              advance ();
+              go ()
+          | Some 't' ->
+              Buffer.add_char buf '\t';
+              advance ();
+              go ()
+          | Some '"' ->
+              Buffer.add_char buf '"';
+              advance ();
+              go ()
+          | Some '\\' ->
+              Buffer.add_char buf '\\';
+              advance ();
+              go ()
+          | Some '/' ->
+              Buffer.add_char buf '/';
+              advance ();
+              go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub input !pos 4 in
+              pos := !pos + 4;
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+              | Some _ -> fail "non-ASCII \\u escape unsupported"
+              | None -> fail "bad \\u escape");
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match input.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub input start (!pos - start)) with
+    | Some v -> v
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> parse_object ()
+    | Some '[' -> parse_array ()
+    | Some '"' -> Str (parse_string ())
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some ('-' | '0' .. '9') -> Num (parse_number ())
+    | _ -> fail "expected value"
+  and parse_array () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      advance ();
+      Arr []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value () in
+        items := v :: !items;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            elements ()
+        | Some ']' -> advance ()
+        | _ -> fail "expected ',' or ']'"
+      in
+      elements ();
+      Arr (List.rev !items)
+    end
+  and parse_object () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      advance ();
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws ();
+        let key = parse_string () in
+        skip_ws ();
+        expect ':';
+        let value = parse_value () in
+        fields := (key, value) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            members ()
+        | Some '}' -> advance ()
+        | _ -> fail "expected ',' or '}'"
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise (Parse "trailing garbage");
+    v
+  with
+  | v -> Ok v
+  | exception Parse msg -> Error msg
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_float = function
+  | Num v -> Some v
+  | Str "inf" -> Some Float.infinity
+  | Str "-inf" -> Some Float.neg_infinity
+  | Str "nan" -> Some Float.nan
+  | _ -> None
+
+let to_int = function
+  | Num v when Float.is_integer v -> Some (int_of_float v)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function Arr items -> Some items | _ -> None

@@ -1,0 +1,49 @@
+(** The tiny JSON dialect shared by the observability exporters and
+    readers: the {!Trace} JSONL span/metric lines, the {!Report} trace
+    analytics, and the benchlib [BENCH_*.json] provenance artifacts.
+
+    This is deliberately not a general-purpose JSON library — it covers
+    exactly what those producers emit (objects, arrays, strings, finite
+    and non-finite numbers, booleans, null) so the repo needs no external
+    dependency. Non-finite floats, which JSON cannot represent as number
+    literals, are printed as the strings ["inf"], ["-inf"] and ["nan"];
+    {!to_float} reads them back, so q-error infinities survive a
+    round-trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape_string : string -> string
+(** JSON string-content escaping (surrounding quotes not included). *)
+
+val number : float -> t
+(** [Num v] for finite [v]; the sentinel strings above otherwise. *)
+
+val to_string : t -> string
+(** Compact single-line rendering. Finite floats print with 17 significant
+    digits and round-trip exactly. *)
+
+val to_string_multiline : t -> string
+(** Two-space-indented rendering for artifacts meant to be diffed and read
+    by humans ([BENCH_*.json]). Parses back identically. *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON value (trailing whitespace allowed, anything
+    else is an error). [Error] carries a self-locating message with the
+    byte offset of the first problem. Only ASCII [\u] escapes are
+    supported — nothing in this repo emits others. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else. *)
+
+val to_float : t -> float option
+(** [Num v], or the sentinel strings ["inf"], ["-inf"], ["nan"]. *)
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option

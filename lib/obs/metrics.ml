@@ -78,6 +78,31 @@ module Histogram = struct
       if c > 0 then acc := (bucket_upper i, c) :: !acc
     done;
     !acc
+
+  let bucket_lower i = if i = 0 then 0.0 else bucket_upper (i - 1)
+
+  let quantile t q =
+    let total = count t in
+    if total = 0 then Float.nan
+    else begin
+      let q = Float.min 1.0 (Float.max 0.0 q) in
+      (* Prometheus-style rank: the q-th observation in cumulative bucket
+         order, linearly interpolated inside the bucket it lands in. *)
+      let rank = q *. float_of_int total in
+      let rec find i cumulative =
+        (* count t > 0 guarantees some bucket is non-empty, so [find]
+           always terminates before running off the end *)
+        let c = Atomic.get t.buckets.(i) in
+        let cumulative' = cumulative +. float_of_int c in
+        if c > 0 && cumulative' >= rank then begin
+          let lower = bucket_lower i and upper = bucket_upper i in
+          let within = (rank -. cumulative) /. float_of_int c in
+          lower +. (Float.max 0.0 (Float.min 1.0 within) *. (upper -. lower))
+        end
+        else find (i + 1) cumulative'
+      in
+      find 0 0.0
+    end
 end
 
 type point =

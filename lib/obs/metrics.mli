@@ -61,6 +61,16 @@ module Histogram : sig
   val nonzero_buckets : t -> (float * int) list
   (** [(upper_bound, count)] for every non-empty bucket, in bound order.
       Counts are per-bucket, not cumulative. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] estimates the [q]-th quantile ([q] clamped to
+      [[0, 1]]) from the log-scale buckets, interpolating linearly inside
+      the bucket the rank [q * count] lands in — the same estimate
+      Prometheus's [histogram_quantile] computes. Bucket 0's lower bound
+      is taken as 0. Exact for values on bucket boundaries; otherwise off
+      by at most the bucket width (a factor of 2). [nan] on an empty
+      histogram; [quantile t 0.0] is the lower bound of the first
+      non-empty bucket, [quantile t 1.0] the upper bound of the last. *)
 end
 
 type point =

@@ -2,6 +2,7 @@ type live = {
   registry : Metrics.Registry.t;
   sink : Trace.sink option;
   next_span : int Atomic.t;
+  closed : bool Atomic.t;
 }
 
 type ctx = Null | Live of live
@@ -9,7 +10,13 @@ type ctx = Null | Live of live
 let null = Null
 
 let create ?sink () =
-  Live { registry = Metrics.Registry.create (); sink; next_span = Atomic.make 1 }
+  Live
+    {
+      registry = Metrics.Registry.create ();
+      sink;
+      next_span = Atomic.make 1;
+      closed = Atomic.make false;
+    }
 
 let is_live = function Null -> false | Live _ -> true
 let registry = function Null -> None | Live l -> Some l.registry
@@ -131,6 +138,11 @@ let dump_metrics ctx =
 let close ctx =
   match ctx with
   | Null | Live { sink = None; _ } -> ()
-  | Live { sink = Some sink; _ } ->
-      dump_metrics ctx;
-      Trace.close sink
+  | Live ({ sink = Some sink; _ } as l) ->
+      (* The exchange makes close idempotent even on sinks that cannot
+         track closure themselves (memory sinks): without it a second
+         close would append the metrics dump again. *)
+      if not (Atomic.exchange l.closed true) then begin
+        dump_metrics ctx;
+        Trace.close sink
+      end

@@ -62,5 +62,6 @@ val dump_metrics : ctx -> unit
     mid-run snapshots. *)
 
 val close : ctx -> unit
-(** Dump metrics and close the sink. Idempotent; no-op on {!null} or a
-    sink-less context. *)
+(** Dump metrics and close the sink. Idempotent — a second close neither
+    re-dumps the metrics nor touches the sink again, on file and memory
+    sinks alike. No-op on {!null} or a sink-less context. *)

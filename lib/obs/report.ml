@@ -1,0 +1,294 @@
+type diagnostic = { line : int; reason : string }
+
+type reading = {
+  spans : Trace.span list;
+  metric_lines : int;
+  other_lines : int;
+  skipped : diagnostic list;
+}
+
+let is_blank s = String.for_all (function ' ' | '\t' | '\r' -> true | _ -> false) s
+
+let of_lines lines =
+  let rev_spans = ref [] and rev_skipped = ref [] in
+  let metric_lines = ref 0 and other_lines = ref 0 in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      if not (is_blank raw) then
+        match Json.parse raw with
+        | Error reason ->
+            rev_skipped :=
+              { line; reason = Printf.sprintf "line %d: %s" line reason }
+              :: !rev_skipped
+        | Ok value -> (
+            match Option.bind (Json.member "type" value) Json.to_str with
+            | Some "span" -> (
+                match Trace.span_of_value value with
+                | Ok span -> rev_spans := span :: !rev_spans
+                | Error reason ->
+                    rev_skipped :=
+                      { line; reason = Printf.sprintf "line %d: %s" line reason }
+                      :: !rev_skipped)
+            | Some ("counter" | "gauge" | "histogram") -> incr metric_lines
+            | Some _ | None -> incr other_lines))
+    lines;
+  {
+    spans = List.rev !rev_spans;
+    metric_lines = !metric_lines;
+    other_lines = !other_lines;
+    skipped = List.rev !rev_skipped;
+  }
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rev = ref [] in
+      (try
+         while true do
+           rev := input_line ic :: !rev
+         done
+       with End_of_file -> ());
+      of_lines (List.rev !rev))
+
+(* ---------------- span trees ---------------- *)
+
+type node = { span : Trace.span; children : node list }
+
+let by_start a b =
+  match Float.compare a.Trace.start_s b.Trace.start_s with
+  | 0 -> compare a.Trace.id b.Trace.id
+  | c -> c
+
+let forest spans =
+  let ids = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace ids s.Trace.id ()) spans;
+  let children = Hashtbl.create 64 in
+  let roots = ref [] in
+  List.iter
+    (fun s ->
+      match s.Trace.parent with
+      | Some p when Hashtbl.mem ids p ->
+          Hashtbl.replace children p
+            (s :: (Option.value ~default:[] (Hashtbl.find_opt children p)))
+      | Some _ | None -> roots := s :: !roots)
+    spans;
+  let rec build s =
+    {
+      span = s;
+      children =
+        Option.value ~default:[] (Hashtbl.find_opt children s.Trace.id)
+        |> List.sort by_start
+        |> List.map build;
+    }
+  in
+  !roots |> List.sort by_start |> List.map build
+
+(* ---------------- aggregation ---------------- *)
+
+type agg = {
+  name : string;
+  count : int;
+  total_s : float;
+  self_s : float;
+  p50_s : float;
+  p95_s : float;
+  max_s : float;
+}
+
+(* Linear-interpolation quantile over a sorted array — Summary.quantile's
+   semantics, reimplemented here because repro_obs sits below repro_util. *)
+let quantile_sorted p xs =
+  let n = Array.length xs in
+  if n = 0 then Float.nan
+  else begin
+    let h = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor h) in
+    let lo = if lo < 0 then 0 else if lo > n - 1 then n - 1 else lo in
+    let hi = if lo + 1 > n - 1 then n - 1 else lo + 1 in
+    xs.(lo) +. ((h -. float_of_int lo) *. (xs.(hi) -. xs.(lo)))
+  end
+
+let aggregate spans =
+  (* time spent in direct children, per parent id *)
+  let child_time = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      match s.Trace.parent with
+      | None -> ()
+      | Some p ->
+          Hashtbl.replace child_time p
+            (s.Trace.duration_s
+            +. Option.value ~default:0.0 (Hashtbl.find_opt child_time p)))
+    spans;
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace groups s.Trace.name
+        (s :: Option.value ~default:[] (Hashtbl.find_opt groups s.Trace.name)))
+    spans;
+  Hashtbl.fold
+    (fun name group acc ->
+      let durations =
+        Array.of_list (List.map (fun s -> s.Trace.duration_s) group)
+      in
+      Array.sort Float.compare durations;
+      let total_s = Array.fold_left ( +. ) 0.0 durations in
+      let self_s =
+        List.fold_left
+          (fun acc s ->
+            let children =
+              Option.value ~default:0.0
+                (Hashtbl.find_opt child_time s.Trace.id)
+            in
+            acc +. Float.max 0.0 (s.Trace.duration_s -. children))
+          0.0 group
+      in
+      {
+        name;
+        count = Array.length durations;
+        total_s;
+        self_s;
+        p50_s = quantile_sorted 0.5 durations;
+        p95_s = quantile_sorted 0.95 durations;
+        max_s = durations.(Array.length durations - 1);
+      }
+      :: acc)
+    groups []
+  |> List.sort (fun a b ->
+         match Float.compare b.total_s a.total_s with
+         | 0 -> String.compare a.name b.name
+         | c -> c)
+
+let longest nodes =
+  List.fold_left
+    (fun best node ->
+      match best with
+      | Some b when b.span.Trace.duration_s >= node.span.Trace.duration_s ->
+          Some b
+      | _ -> Some node)
+    None nodes
+
+let critical_path nodes =
+  let rec descend node acc =
+    match longest node.children with
+    | None -> List.rev (node.span :: acc)
+    | Some child -> descend child (node.span :: acc)
+  in
+  match longest nodes with None -> [] | Some root -> descend root []
+
+let folded nodes =
+  let weights = Hashtbl.create 64 in
+  let rec walk prefix node =
+    let stack =
+      if prefix = "" then node.span.Trace.name
+      else prefix ^ ";" ^ node.span.Trace.name
+    in
+    let child_time =
+      List.fold_left
+        (fun acc c -> acc +. c.span.Trace.duration_s)
+        0.0 node.children
+    in
+    let self_us =
+      int_of_float
+        (Float.round
+           (Float.max 0.0 (node.span.Trace.duration_s -. child_time) *. 1e6))
+    in
+    if self_us > 0 then
+      Hashtbl.replace weights stack
+        (self_us + Option.value ~default:0 (Hashtbl.find_opt weights stack));
+    List.iter (walk stack) node.children
+  in
+  List.iter (walk "") nodes;
+  Hashtbl.fold (fun stack w acc -> (stack, w) :: acc) weights []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ---------------- rendering ---------------- *)
+
+let pp_seconds ppf v =
+  if Float.is_nan v then Format.pp_print_string ppf "n/a"
+  else if v >= 1.0 then Format.fprintf ppf "%.3fs" v
+  else if v >= 1e-3 then Format.fprintf ppf "%.3fms" (v *. 1e3)
+  else Format.fprintf ppf "%.1fus" (v *. 1e6)
+
+let seconds v = Format.asprintf "%a" pp_seconds v
+
+let pp_table ppf ~header rows =
+  let all = header :: rows in
+  let arity = List.length header in
+  let widths = Array.make arity 0 in
+  List.iter
+    (List.iteri (fun j cell -> widths.(j) <- max widths.(j) (String.length cell)))
+    all;
+  let row_line row =
+    row
+    |> List.mapi (fun j cell -> Printf.sprintf "%-*s" widths.(j) cell)
+    |> String.concat "  "
+  in
+  let rule = String.make (Array.fold_left ( + ) (2 * (arity - 1)) widths) '-' in
+  Format.fprintf ppf "%s@.%s@." (row_line header) rule;
+  List.iter (fun row -> Format.fprintf ppf "%s@." (row_line row)) rows
+
+let pp ppf reading =
+  let spans = reading.spans in
+  let domains =
+    List.sort_uniq compare (List.map (fun s -> s.Trace.domain) spans)
+  in
+  Format.fprintf ppf "%d spans on %d domain%s, %d metric line%s"
+    (List.length spans) (List.length domains)
+    (if List.length domains = 1 then "" else "s")
+    reading.metric_lines
+    (if reading.metric_lines = 1 then "" else "s");
+  if reading.other_lines > 0 then
+    Format.fprintf ppf ", %d unknown line%s" reading.other_lines
+      (if reading.other_lines = 1 then "" else "s");
+  if reading.skipped <> [] then
+    Format.fprintf ppf ", %d malformed line%s skipped"
+      (List.length reading.skipped)
+      (if List.length reading.skipped = 1 then "" else "s");
+  Format.fprintf ppf "@.";
+  List.iteri
+    (fun i d -> if i < 5 then Format.fprintf ppf "  skipped %s@." d.reason)
+    reading.skipped;
+  if List.length reading.skipped > 5 then
+    Format.fprintf ppf "  ... and %d more@." (List.length reading.skipped - 5);
+  let aggs = aggregate spans in
+  if aggs <> [] then begin
+    Format.fprintf ppf "@.== span aggregates (by total time) ==@.";
+    pp_table ppf
+      ~header:[ "span"; "count"; "total"; "self"; "p50"; "p95"; "max" ]
+      (List.map
+         (fun a ->
+           [
+             a.name;
+             string_of_int a.count;
+             seconds a.total_s;
+             seconds a.self_s;
+             seconds a.p50_s;
+             seconds a.p95_s;
+             seconds a.max_s;
+           ])
+         aggs)
+  end;
+  let path = critical_path (forest spans) in
+  if path <> [] then begin
+    let root_duration =
+      match path with s :: _ -> s.Trace.duration_s | [] -> 0.0
+    in
+    Format.fprintf ppf "@.== critical path ==@.";
+    List.iteri
+      (fun depth s ->
+        let share =
+          if root_duration > 0.0 then
+            Printf.sprintf " (%.0f%%)" (100.0 *. s.Trace.duration_s /. root_duration)
+          else ""
+        in
+        Format.fprintf ppf "%s%s  %s%s@."
+          (String.make (2 * depth) ' ')
+          s.Trace.name
+          (seconds s.Trace.duration_s)
+          share)
+      path
+  end

@@ -10,21 +10,7 @@ type span = {
 
 (* ---------------- JSON (the subset this module emits) ---------------- *)
 
-let escape_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let escape_string = Json.escape_string
 
 let json_string s = "\"" ^ escape_string s ^ "\""
 
@@ -49,177 +35,67 @@ let span_to_json s =
       ("attrs", json_obj (List.map (fun (k, v) -> (k, json_string v)) s.attrs));
     ]
 
-(* Minimal recursive-descent parser for the objects emitted above:
-   objects, strings, numbers, null. Enough for the round-trip tests and
-   for external tooling sanity checks; not a general JSON parser. *)
+(* Parsing goes through the shared {!Json} reader; unknown fields are
+   ignored so future producers can extend the line format without breaking
+   old readers. *)
 
-type json = J_null | J_num of float | J_str of string | J_obj of (string * json) list
-
-exception Parse of string
+let span_of_value value =
+  let find key = Json.member key value in
+  let str key =
+    match Option.bind (find key) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing string field %S" key)
+  in
+  let num key =
+    match Option.bind (find key) Json.to_float with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing numeric field %S" key)
+  in
+  let ( let* ) = Result.bind in
+  let* ty = str "type" in
+  if ty <> "span" then Error (Printf.sprintf "not a span line (type=%S)" ty)
+  else
+    let* name = str "name" in
+    let* id = num "id" in
+    let* domain = num "domain" in
+    let* start_s = num "start" in
+    let* duration_s = num "duration" in
+    let* parent =
+      match find "parent" with
+      | Some Json.Null | None -> Ok None
+      | Some (Json.Num p) -> Ok (Some (int_of_float p))
+      | Some _ -> Error "bad parent field"
+    in
+    let* attrs =
+      match find "attrs" with
+      | None -> Ok []
+      | Some (Json.Obj kvs) ->
+          List.fold_left
+            (fun acc (k, v) ->
+              let* acc = acc in
+              match v with
+              | Json.Str s -> Ok ((k, s) :: acc)
+              | _ -> Error "non-string attr")
+            (Ok []) kvs
+          |> Result.map List.rev
+      | Some _ -> Error "bad attrs field"
+    in
+    Ok
+      {
+        id = int_of_float id;
+        parent;
+        name;
+        attrs;
+        domain = int_of_float domain;
+        start_s;
+        duration_s;
+      }
 
 let span_of_json line =
-  let n = String.length line in
-  let pos = ref 0 in
-  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then Some line.[!pos] else None in
-  let advance () = incr pos in
-  let skip_ws () =
-    while
-      !pos < n
-      && (match line.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
-    do
-      advance ()
-    done
-  in
-  let expect c =
-    match peek () with
-    | Some d when d = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected %C" c)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-          advance ();
-          match peek () with
-          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
-          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
-          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
-          | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
-          | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
-          | Some 'u' ->
-              advance ();
-              if !pos + 4 > n then fail "truncated \\u escape";
-              let hex = String.sub line !pos 4 in
-              pos := !pos + 4;
-              (match int_of_string_opt ("0x" ^ hex) with
-              | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
-              | Some _ -> fail "non-ASCII \\u escape unsupported"
-              | None -> fail "bad \\u escape");
-              go ()
-          | _ -> fail "bad escape")
-      | Some c -> Buffer.add_char buf c; advance (); go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    while
-      !pos < n
-      &&
-      match line.[!pos] with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    do
-      advance ()
-    done;
-    match float_of_string_opt (String.sub line start (!pos - start)) with
-    | Some v -> v
-    | None -> fail "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' -> parse_object ()
-    | Some '"' -> J_str (parse_string ())
-    | Some 'n' ->
-        if !pos + 4 <= n && String.sub line !pos 4 = "null" then begin
-          pos := !pos + 4;
-          J_null
-        end
-        else fail "expected null"
-    | Some ('-' | '0' .. '9') -> J_num (parse_number ())
-    | _ -> fail "expected value"
-  and parse_object () =
-    expect '{';
-    skip_ws ();
-    if peek () = Some '}' then begin
-      advance ();
-      J_obj []
-    end
-    else begin
-      let fields = ref [] in
-      let rec members () =
-        skip_ws ();
-        let key = parse_string () in
-        skip_ws ();
-        expect ':';
-        let value = parse_value () in
-        fields := (key, value) :: !fields;
-        skip_ws ();
-        match peek () with
-        | Some ',' -> advance (); members ()
-        | Some '}' -> advance ()
-        | _ -> fail "expected ',' or '}'"
-      in
-      members ();
-      J_obj (List.rev !fields)
-    end
-  in
-  match
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> n then raise (Parse "trailing garbage");
-    v
-  with
-  | exception Parse msg -> Error msg
-  | J_obj fields -> (
-      let find key = List.assoc_opt key fields in
-      let str key =
-        match find key with
-        | Some (J_str s) -> Ok s
-        | _ -> Error (Printf.sprintf "missing string field %S" key)
-      in
-      let num key =
-        match find key with
-        | Some (J_num v) -> Ok v
-        | _ -> Error (Printf.sprintf "missing numeric field %S" key)
-      in
-      let ( let* ) = Result.bind in
-      let* ty = str "type" in
-      if ty <> "span" then Error (Printf.sprintf "not a span line (type=%S)" ty)
-      else
-        let* name = str "name" in
-        let* id = num "id" in
-        let* domain = num "domain" in
-        let* start_s = num "start" in
-        let* duration_s = num "duration" in
-        let* parent =
-          match find "parent" with
-          | Some J_null | None -> Ok None
-          | Some (J_num p) -> Ok (Some (int_of_float p))
-          | Some _ -> Error "bad parent field"
-        in
-        let* attrs =
-          match find "attrs" with
-          | None -> Ok []
-          | Some (J_obj kvs) ->
-              List.fold_left
-                (fun acc (k, v) ->
-                  let* acc = acc in
-                  match v with
-                  | J_str s -> Ok ((k, s) :: acc)
-                  | _ -> Error "non-string attr")
-                (Ok []) kvs
-              |> Result.map List.rev
-          | Some _ -> Error "bad attrs field"
-        in
-        Ok
-          {
-            id = int_of_float id;
-            parent;
-            name;
-            attrs;
-            domain = int_of_float domain;
-            start_s;
-            duration_s;
-          })
-  | _ -> Error "not a JSON object"
+  match Json.parse line with
+  | Error _ as e -> e
+  | Ok (Json.Obj _ as value) -> span_of_value value
+  | Ok _ -> Error "not a JSON object"
 
 (* ---------------- sinks ---------------- *)
 

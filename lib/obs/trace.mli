@@ -58,4 +58,10 @@ val escape_string : string -> string
 val span_to_json : span -> string
 val span_of_json : string -> (span, string) result
 (** Inverse of {!span_to_json}; [Error] describes the first parse problem.
-    Round-trips exactly: floats are printed with 17 significant digits. *)
+    Round-trips exactly: floats are printed with 17 significant digits.
+    Unknown fields are ignored, so readers stay compatible with producers
+    that extend the line format. *)
+
+val span_of_value : Json.t -> (span, string) result
+(** {!span_of_json} on an already-parsed line — what {!Report} uses to
+    classify lines without parsing twice. *)

@@ -140,6 +140,38 @@ let test_bucket_boundaries () =
     "0.75 landed in its bucket" 1
     (H.bucket_value h (H.bucket_index 0.75))
 
+let test_histogram_quantile () =
+  let module H = Metrics.Histogram in
+  let h = H.create () in
+  Alcotest.(check bool)
+    "empty histogram quantile is nan" true
+    (Float.is_nan (H.quantile h 0.5));
+  (* four observations of 1.0 all land in the [1, 2) bucket; quantiles
+     interpolate linearly within it (Prometheus histogram_quantile
+     semantics: the bucket is all we know) *)
+  for _ = 1 to 4 do
+    H.observe h 1.0
+  done;
+  Alcotest.(check (float 1e-12)) "q=0 is the bucket's lower bound" 1.0
+    (H.quantile h 0.0);
+  Alcotest.(check (float 1e-12)) "q=0.5 is the bucket midpoint" 1.5
+    (H.quantile h 0.5);
+  Alcotest.(check (float 1e-12)) "q=1 is the bucket's upper bound" 2.0
+    (H.quantile h 1.0);
+  Alcotest.(check (float 1e-12)) "q below 0 clamps to 0" 1.0
+    (H.quantile h (-3.0));
+  Alcotest.(check (float 1e-12)) "q above 1 clamps to 1" 2.0 (H.quantile h 7.0);
+  (* across buckets: 0.75 in [0.5, 1), 1.5 in [1, 2) *)
+  let h2 = H.create () in
+  H.observe h2 0.75;
+  H.observe h2 1.5;
+  Alcotest.(check (float 1e-12))
+    "rank inside the first bucket" 0.75 (H.quantile h2 0.25);
+  Alcotest.(check (float 1e-12))
+    "median at the first bucket's upper bound" 1.0 (H.quantile h2 0.5);
+  Alcotest.(check (float 1e-12))
+    "max at the last occupied bucket's upper bound" 2.0 (H.quantile h2 1.0)
+
 let test_registry_kind_mismatch () =
   let registry = Metrics.Registry.create () in
   ignore (Metrics.Registry.counter registry "test.kind" : Metrics.Counter.t);
@@ -289,6 +321,72 @@ let test_prometheus_golden () =
     "snapshot is byte-stable" expected
     (Metrics.render_prometheus registry)
 
+(* Label values are where hostile bytes enter the exposition format:
+   query names and predicate strings carry quotes, backslashes and (via
+   CSV data) even newlines. Pin the escaping byte-for-byte. *)
+let test_prometheus_hostile_labels () =
+  let registry = Metrics.Registry.create () in
+  Metrics.Counter.add
+    (Metrics.Registry.counter registry
+       ~labels:[ ("q", "a\"b\\c\nd"); ("pred", "name LIKE 'The %'") ]
+       "hostile.total")
+    1;
+  let expected =
+    String.concat "\n"
+      [
+        "# TYPE hostile_total counter";
+        "hostile_total{pred=\"name LIKE 'The %'\",q=\"a\\\"b\\\\c\\nd\"} 1";
+        "";
+      ]
+  in
+  Alcotest.(check string)
+    "hostile label values escape to \\\" \\\\ \\n" expected
+    (Metrics.render_prometheus registry)
+
+(* ---------------- idempotent close ---------------- *)
+
+(* Closing twice must not append the metrics dump twice — the memory sink
+   has no closed flag of its own, so this is the context's job. *)
+let count_metric_lines =
+  List.fold_left
+    (fun acc line ->
+      if String.starts_with ~prefix:"{\"type\":\"counter\"" line then acc + 1
+      else acc)
+    0
+
+let test_close_idempotent_memory () =
+  let sink = Trace.memory () in
+  let obs = Obs.create ~sink () in
+  Obs.count obs "close.test" 1;
+  Obs.close obs;
+  let after_first = count_metric_lines (Trace.lines sink) in
+  Alcotest.(check int) "one metrics dump after first close" 1 after_first;
+  Obs.close obs;
+  Obs.close obs;
+  Alcotest.(check int)
+    "repeated closes add nothing" after_first
+    (count_metric_lines (Trace.lines sink))
+
+let test_close_idempotent_file () =
+  let path = Filename.temp_file "obs_close" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let obs = Obs.create ~sink:(Trace.file path) () in
+      Obs.count obs "close.test" 1;
+      Obs.close obs;
+      Obs.close obs;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      Alcotest.(check int)
+        "file carries exactly one metrics dump" 1
+        (count_metric_lines !lines))
+
 (* ---------------- the null context ---------------- *)
 
 let test_null_is_inert () =
@@ -320,6 +418,8 @@ let () =
       ( "histograms",
         [
           Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "quantile interpolation" `Quick
+            test_histogram_quantile;
           Alcotest.test_case "kind mismatch" `Quick test_registry_kind_mismatch;
         ] );
       ( "spans",
@@ -332,6 +432,15 @@ let () =
           Alcotest.test_case "JSONL round-trip" `Quick test_jsonl_round_trip;
           Alcotest.test_case "golden Prometheus snapshot" `Quick
             test_prometheus_golden;
+          Alcotest.test_case "hostile label values" `Quick
+            test_prometheus_hostile_labels;
+        ] );
+      ( "close",
+        [
+          Alcotest.test_case "idempotent on memory sink" `Quick
+            test_close_idempotent_memory;
+          Alcotest.test_case "idempotent on file sink" `Quick
+            test_close_idempotent_file;
         ] );
       ( "null context",
         [ Alcotest.test_case "inert" `Quick test_null_is_inert ] );

@@ -159,8 +159,10 @@ let mk_cell approach wall cpu zero =
   {
     Exp_two_table.approach;
     estimates = [| 1.0; 2.0 |];
+    median_estimate = 1.5;
     median_qerror = 1.0;
     rel_variance = 0.0;
+    avg_sample_tuples = 0.0;
     avg_wall_seconds = wall;
     avg_cpu_seconds = cpu;
     zero_runs = zero;

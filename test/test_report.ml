@@ -1,0 +1,325 @@
+(* Trace analytics and estimate provenance: the lenient JSONL reader
+   (truncation, interleaved metric lines, unknown fields), span-tree
+   reconstruction, aggregation and folded stacks; then the BENCH artifact
+   round-trip and the regression-gate semantics `repro_cli bench diff`
+   builds on. *)
+
+module Trace = Repro_obs.Trace
+module Report = Repro_obs.Report
+module Obs = Repro_obs.Obs
+module Pool = Repro_util.Pool
+module Provenance = Repro_benchlib.Provenance
+
+let span ?parent ?(attrs = []) ?(domain = 0) ~id ~name ~start ~dur () =
+  {
+    Trace.id;
+    parent;
+    name;
+    attrs;
+    domain;
+    start_s = start;
+    duration_s = dur;
+  }
+
+(* The three-span shape most tests share: a 10s root with two "work"
+   children of 4s and 3s, so root self-time is 3s and work has no
+   children at all. *)
+let root = span ~id:0 ~name:"root" ~start:0.0 ~dur:10.0 ()
+let work_a = span ~id:1 ~parent:0 ~name:"work" ~start:1.0 ~dur:4.0 ()
+let work_b = span ~id:2 ~parent:0 ~name:"work" ~start:6.0 ~dur:3.0 ()
+let shape = [ root; work_a; work_b ]
+
+(* ---------------- lenient reading ---------------- *)
+
+let test_lenient_classification () =
+  let truncated =
+    let full = Trace.span_to_json work_a in
+    String.sub full 0 (String.length full - 5)
+  in
+  let reading =
+    Report.of_lines
+      [
+        Trace.span_to_json root;
+        "";
+        "{\"type\":\"counter\",\"name\":\"pool.tasks\",\"labels\":{},\"value\":4}";
+        "{\"type\":\"wibble\",\"payload\":[]}";
+        "{\"no_type_at_all\":1}";
+        "definitely not json";
+        truncated;
+      ]
+  in
+  Alcotest.(check int) "one well-formed span" 1 (List.length reading.Report.spans);
+  Alcotest.(check string)
+    "it is the root span" "root"
+    (List.hd reading.Report.spans).Trace.name;
+  Alcotest.(check int) "one metric line" 1 reading.Report.metric_lines;
+  Alcotest.(check int)
+    "unknown types are counted, not errors" 2 reading.Report.other_lines;
+  match reading.Report.skipped with
+  | [ garbage; partial ] ->
+      Alcotest.(check int) "garbage line located" 6 garbage.Report.line;
+      Alcotest.(check int)
+        "truncated final line located" 7 partial.Report.line;
+      Alcotest.(check bool)
+        "diagnostics are self-locating" true
+        (String.starts_with ~prefix:"line 6:" garbage.Report.reason
+        && String.starts_with ~prefix:"line 7:" partial.Report.reason)
+  | skipped ->
+      Alcotest.failf "expected 2 skipped lines, got %d" (List.length skipped)
+
+let test_unknown_span_fields_ignored () =
+  let json = Trace.span_to_json work_a in
+  let augmented =
+    "{\"future_field\":{\"nested\":[1,2]},"
+    ^ String.sub json 1 (String.length json - 1)
+  in
+  (match Trace.span_of_json augmented with
+  | Ok s ->
+      Alcotest.(check string) "span survives unknown keys" "work" s.Trace.name;
+      Alcotest.(check int) "id intact" 1 s.Trace.id
+  | Error e -> Alcotest.failf "unknown field rejected: %s" e);
+  match Trace.span_of_json "{\"type\":\"span\",\"id\":1}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "span missing required fields must not parse"
+
+(* ---------------- trees, aggregation, folded stacks ---------------- *)
+
+let test_forest_and_orphans () =
+  let orphan = span ~id:5 ~parent:99 ~name:"orphan" ~start:2.0 ~dur:1.0 () in
+  match Report.forest (orphan :: shape) with
+  | [ r; o ] ->
+      Alcotest.(check string) "earliest root first" "root" r.Report.span.Trace.name;
+      Alcotest.(check string)
+        "orphan promoted to root, not dropped" "orphan" o.Report.span.Trace.name;
+      Alcotest.(check (list string))
+        "children ordered by start" [ "work"; "work" ]
+        (List.map (fun c -> c.Report.span.Trace.name) r.Report.children)
+  | f -> Alcotest.failf "expected 2 roots, got %d" (List.length f)
+
+let test_aggregate () =
+  match Report.aggregate shape with
+  | [ r; w ] ->
+      Alcotest.(check string) "largest total first" "root" r.Report.name;
+      Alcotest.(check (float 1e-9)) "root total" 10.0 r.Report.total_s;
+      Alcotest.(check (float 1e-9))
+        "root self excludes direct children" 3.0 r.Report.self_s;
+      Alcotest.(check int) "work count" 2 w.Report.count;
+      Alcotest.(check (float 1e-9)) "work total" 7.0 w.Report.total_s;
+      Alcotest.(check (float 1e-9)) "leaf self = total" 7.0 w.Report.self_s;
+      Alcotest.(check (float 1e-9)) "work p50 interpolates" 3.5 w.Report.p50_s;
+      Alcotest.(check (float 1e-9)) "work p95 interpolates" 3.95 w.Report.p95_s;
+      Alcotest.(check (float 1e-9)) "work max" 4.0 w.Report.max_s
+  | aggs -> Alcotest.failf "expected 2 aggregates, got %d" (List.length aggs)
+
+let test_critical_path () =
+  match Report.critical_path (Report.forest shape) with
+  | [ a; b ] ->
+      Alcotest.(check string) "starts at the longest root" "root" a.Trace.name;
+      Alcotest.(check int)
+        "descends into the longest child" work_a.Trace.id b.Trace.id
+  | path -> Alcotest.failf "expected path of 2, got %d" (List.length path)
+
+let test_folded () =
+  Alcotest.(check (list (pair string int)))
+    "self-time folded stacks, merged and sorted"
+    [ ("root", 3_000_000); ("root;work", 7_000_000) ]
+    (Report.folded (Report.forest shape))
+
+(* ---------------- round-trip through a real 2-domain run ------------ *)
+
+let test_pool_round_trip () =
+  let sink = Trace.memory () in
+  let obs = Obs.create ~sink () in
+  let results =
+    Pool.map ~obs ~jobs:2
+      (fun i -> Obs.Span.with_ obs ~name:"task" (fun () -> i * i))
+      [ 1; 2; 3; 4 ]
+  in
+  Obs.close obs;
+  Alcotest.(check (list int)) "pool results" [ 1; 4; 9; 16 ] results;
+  let reading = Report.of_lines (Trace.lines sink) in
+  Alcotest.(check int) "nothing skipped" 0 (List.length reading.Report.skipped);
+  Alcotest.(check bool)
+    "all four task spans came back" true
+    (List.length
+       (List.filter (fun s -> s.Trace.name = "task") reading.Report.spans)
+    = 4);
+  Alcotest.(check bool)
+    "the metrics dump interleaves as metric lines" true
+    (reading.Report.metric_lines > 0);
+  Alcotest.(check bool)
+    "forest reconstructs" true
+    (Report.forest reading.Report.spans <> [])
+
+(* ---------------- provenance artifacts ---------------- *)
+
+let mk ?(experiment = "two-table") ?(query = "Q1a1") ?(variant = "1,diff")
+    ?(qerror = 2.0) ?(wall = 0.5) () =
+  {
+    Provenance.experiment;
+    query;
+    variant;
+    theta = 0.01;
+    jvd = Float.nan;
+    sample_tuples = 414.5;
+    truth = 644.0;
+    estimate = 700.25;
+    qerror;
+    rung = "";
+    downgrades = 0;
+    runs = 6;
+    zero_runs = 0;
+    wall_seconds = wall;
+    cpu_seconds = wall *. 2.0;
+  }
+
+let test_artifact_round_trip () =
+  let records =
+    [
+      mk ();
+      mk ~qerror:Float.infinity ();
+      mk ~variant:"CS2L" ~qerror:1.25 ();
+    ]
+  in
+  let artifact = Provenance.artifact ~name:"golden" records in
+  let path = Filename.temp_file "bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Provenance.write ~path artifact;
+      match Provenance.read path with
+      | Error e -> Alcotest.failf "read back failed: %s" e
+      | Ok parsed ->
+          Alcotest.(check string) "name" "golden" parsed.Provenance.a_name;
+          (* structural compare: nan = nan, inf = inf *)
+          Alcotest.(check bool)
+            "records round-trip exactly (inf and nan included)" true
+            (compare records parsed.Provenance.a_records = 0);
+          Alcotest.(check bool)
+            "summaries recomputed on read" true
+            (compare artifact.Provenance.a_summaries
+               parsed.Provenance.a_summaries
+            = 0))
+
+let test_summarise () =
+  let records =
+    [ mk ~qerror:1.0 (); mk ~qerror:2.0 (); mk ~qerror:3.0 ~wall:1.0 () ]
+  in
+  match Provenance.summarise records with
+  | [ s ] ->
+      Alcotest.(check string) "experiment" "two-table" s.Provenance.s_experiment;
+      Alcotest.(check int) "count" 3 s.Provenance.s_records;
+      Alcotest.(check (float 1e-9)) "median q-error" 2.0
+        s.Provenance.median_qerror;
+      Alcotest.(check (float 1e-9))
+        "mean wall" ((0.5 +. 0.5 +. 1.0) /. 3.0)
+        s.Provenance.mean_wall_seconds
+  | ss -> Alcotest.failf "expected 1 summary, got %d" (List.length ss)
+
+let diff = Provenance.diff ~max_wall_ratio:2.0 ~max_qerr_ratio:1.1
+
+let test_diff_self_is_clean () =
+  let a = Provenance.artifact ~name:"a" [ mk (); mk ~variant:"CS2L" () ] in
+  let checks = diff ~baseline:a ~current:a in
+  Alcotest.(check int) "3 checks per variant" 6 (List.length checks);
+  Alcotest.(check int)
+    "self-diff has no regressions" 0
+    (List.length (Provenance.regressions checks))
+
+let test_diff_catches_regression_and_coverage () =
+  let baseline =
+    Provenance.artifact ~name:"base" [ mk (); mk ~variant:"CS2L" () ]
+  in
+  let current =
+    (* q-error doubled, and the CS2L group vanished entirely *)
+    Provenance.artifact ~name:"cur" [ mk ~qerror:4.0 () ]
+  in
+  let bad = Provenance.regressions (diff ~baseline ~current) in
+  Alcotest.(check bool)
+    "doctored q-error flagged" true
+    (List.exists
+       (fun c ->
+         c.Provenance.metric = "median q-error" && not c.Provenance.ok)
+       bad);
+  Alcotest.(check bool)
+    "lost group fails coverage" true
+    (List.exists (fun c -> c.Provenance.metric = "coverage") bad);
+  (* a NEW group in current is extra coverage, not a regression *)
+  let grown =
+    Provenance.artifact ~name:"grown" [ mk (); mk ~experiment:"table8" () ]
+  in
+  let baseline_one = Provenance.artifact ~name:"b1" [ mk () ] in
+  Alcotest.(check int)
+    "new coverage passes" 0
+    (List.length (Provenance.regressions (diff ~baseline:baseline_one ~current:grown)))
+
+let test_diff_gating_edges () =
+  (* sub-10ms wall times are clock noise: a 5000x blowup under the floor
+     must not flag *)
+  let fast = Provenance.artifact ~name:"fast" [ mk ~wall:1e-6 () ] in
+  let slow_but_tiny = Provenance.artifact ~name:"tiny" [ mk ~wall:5e-3 () ] in
+  Alcotest.(check int)
+    "wall floor suppresses noise" 0
+    (List.length
+       (Provenance.regressions (diff ~baseline:fast ~current:slow_but_tiny)));
+  (* inf against inf is the same failure mode, not a regression; finite
+     baseline going to inf is *)
+  let inf_art name = Provenance.artifact ~name [ mk ~qerror:Float.infinity () ] in
+  Alcotest.(check int)
+    "inf vs inf passes" 0
+    (List.length
+       (Provenance.regressions
+          (diff ~baseline:(inf_art "a") ~current:(inf_art "b"))));
+  let finite = Provenance.artifact ~name:"f" [ mk ~qerror:3.0 () ] in
+  Alcotest.(check bool)
+    "finite -> inf fails" true
+    (Provenance.regressions (diff ~baseline:finite ~current:(inf_art "c"))
+    <> [])
+
+let test_version_rejected () =
+  let path = Filename.temp_file "bench_v99" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{\"version\": 99, \"name\": \"x\", \"records\": []}";
+      close_out oc;
+      match Provenance.read path with
+      | Error e ->
+          Alcotest.(check bool)
+            "error names the version" true
+            (String.length e > 0)
+      | Ok _ -> Alcotest.fail "a newer artifact version must be rejected")
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "lenient reader",
+        [
+          Alcotest.test_case "classification and located skips" `Quick
+            test_lenient_classification;
+          Alcotest.test_case "unknown span fields ignored" `Quick
+            test_unknown_span_fields_ignored;
+        ] );
+      ( "analytics",
+        [
+          Alcotest.test_case "forest and orphans" `Quick test_forest_and_orphans;
+          Alcotest.test_case "aggregation" `Quick test_aggregate;
+          Alcotest.test_case "critical path" `Quick test_critical_path;
+          Alcotest.test_case "folded stacks" `Quick test_folded;
+          Alcotest.test_case "2-domain pool round-trip" `Quick
+            test_pool_round_trip;
+        ] );
+      ( "provenance",
+        [
+          Alcotest.test_case "artifact round-trip" `Quick
+            test_artifact_round_trip;
+          Alcotest.test_case "summarise" `Quick test_summarise;
+          Alcotest.test_case "self-diff is clean" `Quick test_diff_self_is_clean;
+          Alcotest.test_case "regression and coverage" `Quick
+            test_diff_catches_regression_and_coverage;
+          Alcotest.test_case "gating edge cases" `Quick test_diff_gating_edges;
+          Alcotest.test_case "newer version rejected" `Quick
+            test_version_rejected;
+        ] );
+    ]
