@@ -1,0 +1,53 @@
+#!/bin/sh
+# Batched vs unbatched online estimation from one persisted synopsis
+# store: build a small store over generated CSVs, answer 20 predicate
+# queries with `repro_cli batch` (one load, one process) and with 20
+# separate `synopsis-estimate` invocations, and require the two estimate
+# columns to be byte-identical. Run from the bench build directory by the
+# @bench-smoke alias.
+set -eu
+
+{
+  echo k,attr
+  i=0
+  while [ $i -lt 200 ]; do
+    echo "$((i % 20)),$((i % 7))"
+    i=$((i + 1))
+  done
+} > smoke-left.csv
+
+{
+  echo k,attr
+  i=0
+  while [ $i -lt 140 ]; do
+    echo "$((i % 14)),$((i % 5))"
+    i=$((i + 1))
+  done
+} > smoke-right.csv
+
+awk 'BEGIN {
+  for (i = 0; i < 20; i++)
+    printf "attr < %d ;; attr > %d\n", (i % 7) + 1, i % 3
+}' > smoke-queries.txt
+
+../bin/repro_cli.exe synopsis-build "ab=smoke-left.csv:k,smoke-right.csv:k" \
+  --theta 0.5 --seed 11 --store smoke-synopses.bin
+
+../bin/repro_cli.exe batch ab --store smoke-synopses.bin \
+  --queries smoke-queries.txt --bench-json BENCH_batch.json > batch-out.txt
+
+test "$(wc -l < batch-out.txt)" -eq 20
+grep -q '"offline_wall_seconds"' BENCH_batch.json
+grep -q '"experiment": "batch"' BENCH_batch.json
+
+while IFS= read -r line; do
+  left=${line%%;;*}
+  right=${line#*;;}
+  ../bin/repro_cli.exe synopsis-estimate ab --store smoke-synopses.bin \
+    --where-left "$left" --where-right "$right"
+done < smoke-queries.txt > unbatched-out.txt
+
+awk '{ print $NF }' batch-out.txt > batch-vals.txt
+awk '{ print $NF }' unbatched-out.txt > unbatched-vals.txt
+cmp batch-vals.txt unbatched-vals.txt
+echo "batch vs unbatched: 20 estimates byte-identical"

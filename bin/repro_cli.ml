@@ -266,6 +266,7 @@ type run_info = {
   r_downgrades : int;
   r_sample_tuples : float;
   r_span : Clock.span;
+  r_offline_wall : float;  (** draw wall time; nan when the cascade hides it *)
 }
 
 let estimate left left_col right right_col theta approach runs exact guarded
@@ -322,6 +323,7 @@ let estimate left left_col right right_col theta approach runs exact guarded
                   r_downgrades = List.length g.Csdl.Estimator.trace;
                   r_sample_tuples = Float.nan;
                   r_span = span;
+                  r_offline_wall = Float.nan;
                 })
           outcomes,
         "guarded" )
@@ -344,9 +346,11 @@ let estimate left left_col right right_col theta approach runs exact guarded
               Prng.create_keyed ~seed (Printf.sprintf "estimate/run=%d" i)
             in
             (* draw + estimate is estimate_once unrolled — same PRNG
-               stream, but the synopsis size and online time become
-               observable for provenance *)
-            let synopsis = Csdl.Estimator.draw ~obs estimator prng in
+               stream, but the synopsis size and the offline/online time
+               split become observable for provenance *)
+            let synopsis, draw_span =
+              Clock.time (fun () -> Csdl.Estimator.draw ~obs estimator prng)
+            in
             let value, span =
               Clock.time (fun () ->
                   Csdl.Estimator.estimate ~obs ~pred_a:pred_left
@@ -359,6 +363,7 @@ let estimate left left_col right right_col theta approach runs exact guarded
               r_sample_tuples =
                 float_of_int (Csdl.Synopsis.size_tuples synopsis);
               r_span = span;
+              r_offline_wall = draw_span.Clock.wall_seconds;
             })
           run_indices,
         variant )
@@ -424,6 +429,7 @@ let estimate left left_col right right_col theta approach runs exact guarded
               zero_runs = (if r.r_value = 0.0 then 1 else 0);
               wall_seconds = r.r_span.Clock.wall_seconds;
               cpu_seconds = r.r_span.Clock.cpu_seconds;
+              offline_wall_seconds = r.r_offline_wall;
             })
         run_results;
       let name = Filename.remove_extension (Filename.basename path) in
@@ -532,14 +538,20 @@ let store_arg =
 
 let synopsis_build graphs theta store seed =
   let s = Csdl.Store.create () in
-  let prng = Prng.create seed in
   List.iter
     (fun (key, lf, lc, rf, rc) ->
       let table_a = Csv_io.read_auto lf and table_b = Csv_io.read_auto rf in
       let profile = Csdl.Profile.of_tables table_a lc table_b rc in
       let estimator = Csdl.Opt.prepare ~theta profile in
+      (* one keyed stream per graph: rebuilding any subset of graphs with
+         the same seed redraws bit-identical synopses, independent of
+         which other graphs are on the command line *)
+      let stream = Printf.sprintf "synopsis/%s" key in
+      let prng = Prng.create_keyed ~seed stream in
       let synopsis = Csdl.Estimator.draw estimator prng in
-      Csdl.Store.add s ~key ~table_a:lf ~table_b:rf estimator synopsis;
+      Csdl.Store.add
+        ~prng_key:(Printf.sprintf "%d:%s" seed stream)
+        s ~key ~table_a:lf ~table_b:rf estimator synopsis;
       Printf.printf "built %s: %s, %d sample tuples
 %!" key
         (Csdl.Spec.to_string (Csdl.Estimator.spec estimator))
@@ -562,24 +574,116 @@ let key_arg =
     required & pos 0 (some string) None
     & info [] ~docv:"KEY" ~doc:"Join-graph key in the store.")
 
-let synopsis_estimate key store =
-  (* table names recorded in the store are the CSV paths *)
-  let s = Csdl.Store.load ~resolve_table:Csv_io.read_auto store in
+let load_store_or_exit store =
+  match Csdl.Store.load_result ~resolve_table:Csv_io.read_auto store with
+  | Ok s -> s
+  | Error fault ->
+      Printf.eprintf "error: %s: %s\n" store (Csdl.Fault.error_to_string fault);
+      exit 1
+
+let require_key s store key =
   if not (Csdl.Store.mem s key) then begin
-    Printf.eprintf "no synopsis %S in %s (have: %s)
-" key store
+    Printf.eprintf "no synopsis %S in %s (have: %s)\n" key store
       (String.concat ", " (Csdl.Store.keys s));
     exit 1
-  end;
-  Printf.printf "estimate for %s: %.1f
-" key (Csdl.Store.estimate s ~key)
+  end
+
+let synopsis_estimate key store pred_left pred_right =
+  (* table names recorded in the store are the CSV paths *)
+  let s = load_store_or_exit store in
+  require_key s store key;
+  Printf.printf "estimate for %s: %.17g\n" key
+    (Csdl.Store.estimate ~pred_a:pred_left ~pred_b:pred_right s ~key)
 
 let synopsis_estimate_cmd =
   Cmd.v
     (Cmd.info "synopsis-estimate"
        ~doc:
          "Estimate a join size from a persisted synopsis store (the base           CSVs must still be readable at their recorded paths).")
-    Term.(const synopsis_estimate $ key_arg $ store_arg)
+    Term.(
+      const synopsis_estimate $ key_arg $ store_arg $ where_left_arg
+      $ where_right_arg)
+
+(* ---------------- batch ---------------- *)
+
+let queries_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "queries" ] ~docv:"FILE"
+        ~doc:
+          "Query file: one query per line as 'LEFT ;; RIGHT' (selection \
+           predicates on the two tables; an empty side means no selection; \
+           '#' comments and blank lines are skipped).")
+
+let batch key store queries_file trace bench_json =
+  let obs =
+    match trace with
+    | None -> Obs.null
+    | Some file -> Obs.create ~sink:(Repro_obs.Trace.file file) ()
+  in
+  let s, load_span =
+    Clock.time (fun () -> load_store_or_exit store)
+  in
+  require_key s store key;
+  let contents =
+    let ic = open_in_bin queries_file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Repro_benchlib.Batch.parse_queries contents with
+  | Error e ->
+      Printf.eprintf "error: %s: %s\n" queries_file e;
+      exit 1
+  | Ok queries ->
+      let prov = Provenance.create () in
+      let rows =
+        Repro_benchlib.Batch.run ~obs ~prov ~store:s ~key
+          ~load_wall_seconds:load_span.Clock.wall_seconds queries
+      in
+      (* stdout is exactly one "<id>: <estimate>" line per query, full
+         float precision — byte-comparable against unbatched runs *)
+      List.iter
+        (fun r ->
+          Printf.printf "%s: %.17g\n" r.Repro_benchlib.Batch.b_id
+            r.Repro_benchlib.Batch.b_estimate)
+        rows;
+      let online = Repro_benchlib.Batch.total_online_wall rows in
+      Option.iter
+        (fun i ->
+          Printf.eprintf "synopsis %s: %s, theta=%g, %d tuples%s\n" key
+            i.Csdl.Store.i_variant i.Csdl.Store.i_theta i.Csdl.Store.i_tuples
+            (if i.Csdl.Store.i_prng_key = "" then ""
+             else " (prng " ^ i.Csdl.Store.i_prng_key ^ ")"))
+        (Csdl.Store.info s key);
+      Printf.eprintf
+        "batch: %d queries, load %.6fs (offline), online total %.6fs (mean \
+         %.6fs/query)\n"
+        (List.length rows) load_span.Clock.wall_seconds online
+        (if rows = [] then Float.nan else online /. float_of_int (List.length rows));
+      Option.iter
+        (fun path ->
+          let name = Filename.remove_extension (Filename.basename path) in
+          Provenance.write ~path
+            (Provenance.artifact ~name (Provenance.records prov));
+          Printf.eprintf "provenance: %d records -> %s\n" (List.length rows)
+            path)
+        bench_json;
+      Obs.close obs
+
+let batch_cmd =
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Load one synopsis from a store and answer a file of predicate \
+          queries from it in a single process, timing only the online \
+          phase per query. Writes one '<id>: <estimate>' line per query to \
+          stdout; timing and provenance are reported on stderr / via \
+          $(b,--bench-json).")
+    Term.(
+      const batch $ key_arg $ store_arg $ queries_arg $ trace_arg
+      $ bench_json_arg)
 
 (* ---------------- trace report ---------------- *)
 
@@ -732,5 +836,6 @@ let () =
             bench_cmd;
             synopsis_build_cmd;
             synopsis_estimate_cmd;
+            batch_cmd;
             workload_cmd;
           ]))

@@ -34,6 +34,7 @@ type cell = {
   avg_sample_tuples : float;
   avg_wall_seconds : float;
   avg_cpu_seconds : float;
+  avg_offline_wall_seconds : float;
   zero_runs : int;
 }
 
@@ -56,9 +57,14 @@ let run_cell ?(obs = Obs.null) ~approach ~runs ~clock ~prng ~truth ~pred_a
     ~pred_b estimator =
   let estimates = Array.make runs 0.0 in
   let wall_total = ref 0.0 and cpu_total = ref 0.0 and zero_runs = ref 0 in
+  let offline_total = ref 0.0 in
   let sample_tuples = ref 0 in
   for r = 0 to runs - 1 do
-    let synopsis = Csdl.Estimator.draw ~obs estimator prng in
+    let synopsis, draw_span =
+      Clock.time ~wall_clock:clock (fun () ->
+          Csdl.Estimator.draw ~obs estimator prng)
+    in
+    offline_total := !offline_total +. draw_span.Clock.wall_seconds;
     sample_tuples := !sample_tuples + Csdl.Synopsis.size_tuples synopsis;
     let estimate, span =
       Clock.time ~wall_clock:clock (fun () ->
@@ -84,6 +90,7 @@ let run_cell ?(obs = Obs.null) ~approach ~runs ~clock ~prng ~truth ~pred_a
     avg_sample_tuples = per_run (float_of_int !sample_tuples);
     avg_wall_seconds = per_run !wall_total;
     avg_cpu_seconds = per_run !cpu_total;
+    avg_offline_wall_seconds = per_run !offline_total;
     zero_runs = !zero_runs;
   }
 
@@ -198,6 +205,7 @@ let run ?(clock = Clock.wall) (config : Config.t) data =
                 zero_runs = c.zero_runs;
                 wall_seconds = c.avg_wall_seconds;
                 cpu_seconds = c.avg_cpu_seconds;
+                offline_wall_seconds = c.avg_offline_wall_seconds;
               })
           r.cells)
       results;

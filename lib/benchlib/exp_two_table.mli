@@ -33,6 +33,9 @@ type cell = {
       (** mean CPU time over all runs, reported alongside wall time so
           EXPERIMENTS.md can cite the paper-comparable wall number while
           keeping the old CPU metric for continuity *)
+  avg_offline_wall_seconds : float;
+      (** mean wall time of the offline phase (synopsis drawing) per run —
+          the other half of the paper's offline/online split *)
   zero_runs : int;  (** how many of the runs estimated exactly 0 *)
 }
 

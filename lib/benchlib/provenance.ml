@@ -16,6 +16,7 @@ type record = {
   zero_runs : int;
   wall_seconds : float;
   cpu_seconds : float;
+  offline_wall_seconds : float;
 }
 
 (* ---------------- collection ---------------- *)
@@ -122,6 +123,7 @@ let record_to_json r =
       ("zero_runs", Json.number (float_of_int r.zero_runs));
       ("wall_seconds", Json.number r.wall_seconds);
       ("cpu_seconds", Json.number r.cpu_seconds);
+      ("offline_wall_seconds", Json.number r.offline_wall_seconds);
     ]
 
 let summary_to_json s =
@@ -177,6 +179,12 @@ let record_of_json value =
   let* zero_runs = field "zero_runs" Json.to_int value in
   let* wall_seconds = field "wall_seconds" Json.to_float value in
   let* cpu_seconds = field "cpu_seconds" Json.to_float value in
+  (* absent in version-1 artifacts written before the offline/online split
+     was tracked; nan means "not measured" *)
+  let offline_wall_seconds =
+    Option.value ~default:Float.nan
+      (Option.bind (Json.member "offline_wall_seconds" value) Json.to_float)
+  in
   Ok
     {
       experiment;
@@ -194,6 +202,7 @@ let record_of_json value =
       zero_runs;
       wall_seconds;
       cpu_seconds;
+      offline_wall_seconds;
     }
 
 let read path =

@@ -27,6 +27,10 @@ type record = {
   zero_runs : int;
   wall_seconds : float;  (** mean wall time per estimation run *)
   cpu_seconds : float;
+  offline_wall_seconds : float;
+      (** wall time of the offline phase behind this estimate: synopsis
+          drawing (amortised per query when one synopsis serves many).
+          [nan] = not measured; absent in pre-split artifacts. *)
 }
 
 (** {1 Collection} *)

@@ -148,6 +148,7 @@ let run (config : Config.t) =
                   zero_runs = c.c_zero_runs;
                   wall_seconds = c.c_wall;
                   cpu_seconds = c.c_cpu;
+                  offline_wall_seconds = Float.nan;
                 })
             approaches;
           let opt = cell_results.(base) in

@@ -122,6 +122,7 @@ let run (config : Config.t) =
             zero_runs = c.c_zero_runs;
             wall_seconds = c.c_wall;
             cpu_seconds = c.c_cpu;
+            offline_wall_seconds = Float.nan;
           }
       in
       let opt = cells.(2 * i) and cs2l = cells.((2 * i) + 1) in

@@ -121,7 +121,15 @@ let estimate ?dl_config ?(pred_a = Predicate.True) ?(pred_b = Predicate.True)
     let selectivity =
       float_of_int !filtered_tuples /. float_of_int total_tuples
     in
-    let n0_filtered = synopsis.n0 *. selectivity in
+    (* Virtual-sample population: the sentries sit outside the second-level
+       draw (see Estimate.dl_estimate) and must not be scaled by x_v. *)
+    let n0_virtual =
+      if t.spec.Spec.sentry then
+        Float.max 0.0
+          (synopsis.n0 -. float_of_int (Sample.sentry_count sample_c))
+      else synopsis.n0
+    in
+    let n0_filtered = n0_virtual *. selectivity in
     let learned =
       match t.spec.Spec.method_ with
       | Spec.Discrete_learning ->

@@ -95,8 +95,19 @@ let dl_estimate ~learn ~virtual_sample synopsis pass_a pass_b =
       float_of_int !filtered_tuples /. float_of_int total_tuples
     in
     let learned = learn (Array.of_list !virtual_counts) in
-    let n_filtered = n_prime *. selectivity in
     let sentry_spec = resolved.Budget.spec.Spec.sentry in
+    (* Lemma 1 / Eq. 6: the virtual sample is drawn from the non-sentry
+       tuples of the first-level sampled values, a population of
+       N' - #sentries — each sentry sits outside its value's second-level
+       draw and re-enters only through the +1 indicator below. Scaling by
+       the full N' would count every sentry twice (exactly +1 per
+       contributing value at theta = 1). *)
+    let virtual_population =
+      if sentry_spec then
+        Float.max 0.0 (n_prime -. float_of_int (Sample.sentry_count sample_a))
+      else n_prime
+    in
+    let n_filtered = virtual_population *. selectivity in
     let total = ref 0.0 in
     let contributing = ref 0 in
     Value.Tbl.iter

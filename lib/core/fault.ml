@@ -8,6 +8,7 @@ type error =
   | Empty_filtered_sample of side
   | Corrupt_synopsis of string
   | Bad_input of string
+  | Store_mismatch of { what : string; detail : string }
 
 type degradation = { rung : string; fault : error }
 
@@ -24,6 +25,8 @@ let error_to_string = function
       Printf.sprintf "empty filtered sample on side %s" (side_to_string side)
   | Corrupt_synopsis reason -> "corrupt synopsis: " ^ reason
   | Bad_input reason -> "bad input: " ^ reason
+  | Store_mismatch { what; detail } ->
+      Printf.sprintf "synopsis store %s mismatch: %s" what detail
 
 let contains_substring s sub =
   let n = String.length s and m = String.length sub in
@@ -52,6 +55,7 @@ let variant_label = function
   | Empty_filtered_sample _ -> "empty_filtered_sample"
   | Corrupt_synopsis _ -> "corrupt_synopsis"
   | Bad_input _ -> "bad_input"
+  | Store_mismatch _ -> "store_mismatch"
 
 let degradation_to_string { rung; fault } =
   Printf.sprintf "%s failed: %s" rung (error_to_string fault)

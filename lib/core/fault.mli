@@ -30,6 +30,12 @@ type error =
           side references a value absent from the first side, or stored
           rates are non-finite) *)
   | Bad_input of string  (** caller-supplied parameters are invalid *)
+  | Store_mismatch of { what : string; detail : string }
+      (** a persisted synopsis store failed validation on load — bad
+          magic, unsupported version, layout (schema-hash) drift, checksum
+          failure, a truncated or malformed payload, or base-table
+          fingerprints that do not match the resolved tables. [what] names
+          the failing check (e.g. ["checksum"], ["fingerprint"]). *)
 
 val error_to_string : error -> string
 val pp_error : Format.formatter -> error -> unit

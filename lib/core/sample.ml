@@ -155,3 +155,9 @@ let sentry_passes t pass entry =
   | Some row_index -> pass (Table.row t.table row_index)
 
 let total_tuples t = t.tuple_count
+
+let sentry_count t =
+  Value.Tbl.fold
+    (fun _ (entry : entry) acc ->
+      match entry.sentry_row with Some _ -> acc + 1 | None -> acc)
+    t.entries 0

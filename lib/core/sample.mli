@@ -65,3 +65,10 @@ val sentry_passes : t -> (Value.t array -> bool) -> entry -> bool
 (** Whether the entry's sentry exists and passes the predicate. *)
 
 val total_tuples : t -> int
+
+val sentry_count : t -> int
+(** Number of entries carrying a sentry tuple. With the sentry technique on
+    this equals the number of first-level sampled values; the estimation
+    side subtracts it from [N'] to get the virtual-sample population
+    (Lemma 1 draws the virtual sample from the {e non-sentry} tuples
+    only). *)

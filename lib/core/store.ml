@@ -4,6 +4,9 @@ type entry = {
   table_a : string;
   table_b : string;
   swapped : bool;
+  fingerprint_a : int64;
+  fingerprint_b : int64;
+  prng_key : string;
   synopsis : Synopsis.t;
 }
 
@@ -11,167 +14,113 @@ type t = (string, entry) Hashtbl.t
 
 let create () : t = Hashtbl.create 16
 
-let add store ~key ~table_a ~table_b estimator synopsis =
+let add ?(prng_key = "") store ~key ~table_a ~table_b estimator synopsis =
+  let swapped = Estimator.swapped estimator in
+  let profile = Estimator.profile estimator in
+  (* the estimator's profile is in sampler orientation: its A side sits on
+     [table_b]'s data when the estimator swapped *)
+  let fp_first = Table.fingerprint profile.Profile.a.Profile.table in
+  let fp_second = Table.fingerprint profile.Profile.b.Profile.table in
+  let fingerprint_a, fingerprint_b =
+    if swapped then (fp_second, fp_first) else (fp_first, fp_second)
+  in
   Hashtbl.replace store key
-    { table_a; table_b; swapped = Estimator.swapped estimator; synopsis }
+    {
+      table_a;
+      table_b;
+      swapped;
+      fingerprint_a;
+      fingerprint_b;
+      prng_key;
+      synopsis;
+    }
 
 let keys store = Hashtbl.fold (fun k _ acc -> k :: acc) store [] |> List.sort compare
 let mem store key = Hashtbl.mem store key
 let remove store key = Hashtbl.remove store key
 
-let estimate ?dl_config ?(pred_a = Predicate.True) ?(pred_b = Predicate.True)
-    store ~key =
+type info = {
+  i_table_a : string;
+  i_table_b : string;
+  i_swapped : bool;
+  i_theta : float;
+  i_variant : string;
+  i_prng_key : string;
+  i_tuples : int;
+}
+
+let info store key =
+  Option.map
+    (fun entry ->
+      {
+        i_table_a = entry.table_a;
+        i_table_b = entry.table_b;
+        i_swapped = entry.swapped;
+        i_theta = entry.synopsis.Synopsis.resolved.Budget.theta;
+        i_variant =
+          Spec.to_string entry.synopsis.Synopsis.resolved.Budget.spec;
+        i_prng_key = entry.prng_key;
+        i_tuples = Synopsis.size_tuples entry.synopsis;
+      })
+    (Hashtbl.find_opt store key)
+
+let estimate ?obs ?dl_config ?(pred_a = Predicate.True)
+    ?(pred_b = Predicate.True) store ~key =
   let entry = Hashtbl.find store key in
   let pred_a, pred_b =
     if entry.swapped then (pred_b, pred_a) else (pred_a, pred_b)
   in
-  Estimate.run ?dl_config ~pred_a ~pred_b entry.synopsis
+  Estimate.run ?obs ?dl_config ~pred_a ~pred_b entry.synopsis
 
 let total_tuples store =
   Hashtbl.fold
     (fun _ entry acc -> acc + Synopsis.size_tuples entry.synopsis)
     store 0
 
-(* ---------------- persistence ---------------- *)
-
-let magic = "repro-csdl-store"
-let version = 1
-
-type stored_entry = {
-  s_value : Value.t;
-  s_sentry_row : int option;
-  s_rows : int array;
-  s_p_v : float;
-  s_q_v : float;
-}
-
-type stored_sample = {
-  s_table : string;
-  s_column : string;
-  s_entries : stored_entry list;
-  s_tuple_count : int;
-}
-
-type stored_synopsis = {
-  s_resolved : Budget.t;  (* pure data: spec + rates *)
-  s_a : stored_sample;
-  s_b : stored_sample;
-  s_n_prime : float;
-  s_swapped : bool;
-  s_table_a : string;
-  s_table_b : string;
-}
-
-type file = {
-  f_magic : string;
-  f_version : int;
-  f_entries : (string * stored_synopsis) list;
-}
-
-let freeze_sample ~table_name (sample : Sample.t) =
-  {
-    s_table = table_name;
-    s_column = sample.Sample.column;
-    s_entries =
-      Value.Tbl.fold
-        (fun v (e : Sample.entry) acc ->
-          {
-            s_value = v;
-            s_sentry_row = e.Sample.sentry_row;
-            s_rows = e.Sample.rows;
-            s_p_v = e.Sample.p_v;
-            s_q_v = e.Sample.q_v;
-          }
-          :: acc)
-        sample.Sample.entries [];
-    s_tuple_count = sample.Sample.tuple_count;
-  }
-
-let thaw_sample ~resolve_table stored : Sample.t =
-  let entries = Value.Tbl.create (List.length stored.s_entries) in
-  List.iter
-    (fun e ->
-      Value.Tbl.add entries e.s_value
-        {
-          Sample.sentry_row = e.s_sentry_row;
-          rows = e.s_rows;
-          p_v = e.s_p_v;
-          q_v = e.s_q_v;
-        })
-    stored.s_entries;
-  {
-    Sample.table = resolve_table stored.s_table;
-    column = stored.s_column;
-    entries;
-    tuple_count = stored.s_tuple_count;
-  }
+(* ---------------- persistence (via Synopsis_store) ---------------- *)
 
 let save store path =
   let entries =
     Hashtbl.fold
       (fun key entry acc ->
-        let { Synopsis.resolved; sample_a; sample_b; n_prime } =
-          entry.synopsis
-        in
-        (* in the sampler's orientation the "A" sample sits on table_a
-           unless the estimator swapped *)
-        let first_table, second_table =
-          if entry.swapped then (entry.table_b, entry.table_a)
-          else (entry.table_a, entry.table_b)
-        in
-        ( key,
-          {
-            s_resolved = resolved;
-            s_a = freeze_sample ~table_name:first_table sample_a;
-            s_b = freeze_sample ~table_name:second_table sample_b;
-            s_n_prime = n_prime;
-            s_swapped = entry.swapped;
-            s_table_a = entry.table_a;
-            s_table_b = entry.table_b;
-          } )
+        {
+          Synopsis_store.key;
+          table_a = entry.table_a;
+          table_b = entry.table_b;
+          swapped = entry.swapped;
+          fingerprint_a = entry.fingerprint_a;
+          fingerprint_b = entry.fingerprint_b;
+          prng_key = entry.prng_key;
+          synopsis = entry.synopsis;
+        }
         :: acc)
       store []
+    (* deterministic file bytes regardless of registration order *)
+    |> List.sort (fun (a : Synopsis_store.stored) b -> compare a.key b.key)
   in
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Marshal.to_channel oc
-        { f_magic = magic; f_version = version; f_entries = entries }
-        [])
+  Synopsis_store.write ~path entries
+
+let load_result ~resolve_table path =
+  Result.map
+    (fun entries ->
+      let store = create () in
+      List.iter
+        (fun (s : Synopsis_store.stored) ->
+          Hashtbl.replace store s.Synopsis_store.key
+            {
+              table_a = s.Synopsis_store.table_a;
+              table_b = s.Synopsis_store.table_b;
+              swapped = s.Synopsis_store.swapped;
+              fingerprint_a = s.Synopsis_store.fingerprint_a;
+              fingerprint_b = s.Synopsis_store.fingerprint_b;
+              prng_key = s.Synopsis_store.prng_key;
+              synopsis = s.Synopsis_store.synopsis;
+            })
+        entries;
+      store)
+    (Synopsis_store.read ~resolve_table ~path)
 
 let load ~resolve_table path =
-  let ic = open_in_bin path in
-  let file : file =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        match (Marshal.from_channel ic : file) with
-        | file -> file
-        | exception _ -> failwith (path ^ ": not a synopsis store file"))
-  in
-  if file.f_magic <> magic then failwith (path ^ ": not a synopsis store file");
-  if file.f_version <> version then
-    failwith
-      (Printf.sprintf "%s: store version %d, this library reads %d" path
-         file.f_version version);
-  let store = create () in
-  List.iter
-    (fun (key, s) ->
-      let synopsis =
-        {
-          Synopsis.resolved = s.s_resolved;
-          sample_a = thaw_sample ~resolve_table s.s_a;
-          sample_b = thaw_sample ~resolve_table s.s_b;
-          n_prime = s.s_n_prime;
-        }
-      in
-      Hashtbl.replace store key
-        {
-          table_a = s.s_table_a;
-          table_b = s.s_table_b;
-          swapped = s.s_swapped;
-          synopsis;
-        })
-    file.f_entries;
-  store
+  match load_result ~resolve_table path with
+  | Ok store -> store
+  | Error fault -> failwith (path ^ ": " ^ Fault.error_to_string fault)

@@ -4,12 +4,13 @@
     under string keys, answers estimation queries against them, and
     persists them to disk so the offline phase survives restarts.
 
-    Persistence stores sampled row indices plus the originating table
-    {e names} — not the tables — so a saved store is only meaningful
-    against the same (deterministically regenerable) base data; [load]
-    takes a resolver from table name to {!Repro_relation.Table.t}. The file
-    format is versioned Marshal, valid for the OCaml version that wrote
-    it. *)
+    Persistence is the versioned, checksummed binary format of
+    {!Synopsis_store}: sampled row indices plus the originating table
+    {e names} and content fingerprints — not the tables — so a saved store
+    is only meaningful against the same (deterministically regenerable)
+    base data. [load] takes a resolver from table name to
+    {!Repro_relation.Table.t} and verifies each table's fingerprint against
+    the recorded one before rehydrating. *)
 
 open Repro_relation
 
@@ -18,6 +19,7 @@ type t
 val create : unit -> t
 
 val add :
+  ?prng_key:string ->
   t ->
   key:string ->
   table_a:string ->
@@ -26,14 +28,31 @@ val add :
   Synopsis.t ->
   unit
 (** Register a drawn synopsis under [key]. [table_a]/[table_b] name the
-    estimator's original A and B tables (used to rehydrate after [load]).
-    Replaces any previous synopsis under the same key. *)
+    estimator's original A and B tables (used to rehydrate after [load]);
+    their content fingerprints are computed here, at registration time.
+    [prng_key] records which keyed PRNG stream drew the synopsis (purely
+    informational provenance; defaults to [""]). Replaces any previous
+    synopsis under the same key. *)
 
 val keys : t -> string list
 val mem : t -> string -> bool
 val remove : t -> string -> unit
 
+type info = {
+  i_table_a : string;
+  i_table_b : string;
+  i_swapped : bool;
+  i_theta : float;
+  i_variant : string;  (** {!Spec.to_string} of the resolved spec *)
+  i_prng_key : string;
+  i_tuples : int;  (** stored sample tuples in this synopsis *)
+}
+
+val info : t -> string -> info option
+(** Provenance view of one entry, e.g. for CLI reporting. *)
+
 val estimate :
+  ?obs:Repro_obs.Obs.ctx ->
   ?dl_config:Discrete_learning.config ->
   ?pred_a:Predicate.t ->
   ?pred_b:Predicate.t ->
@@ -48,9 +67,15 @@ val total_tuples : t -> int
 (** Stored sample tuples across all synopses — the store's footprint. *)
 
 val save : t -> string -> unit
-(** Write the store to a file. *)
+(** Write the store to a file ({!Synopsis_store} format, entries sorted by
+    key so identical stores produce identical bytes). *)
 
 val load : resolve_table:(string -> Table.t) -> string -> t
 (** Read a store back; [resolve_table] maps each recorded table name to
-    the (identical) base table. Raises [Failure] on a bad or
-    version-mismatched file. *)
+    the (identical) base table. Raises [Failure] on a bad, corrupted or
+    version-mismatched file — use {!load_result} for a typed error. *)
+
+val load_result :
+  resolve_table:(string -> Table.t) -> string -> (t, Fault.error) result
+(** Like {!load} but returning {!Fault.Store_mismatch} faults instead of
+    raising. *)

@@ -1,0 +1,95 @@
+module Obs = Repro_obs.Obs
+
+type key = {
+  fp_a : int64;
+  fp_b : int64;
+  variant : string;
+  theta : float;
+  prng_key : string;
+}
+
+type slot = { synopsis : Synopsis.t; mutable stamp : int }
+
+type t = {
+  capacity : int;
+  slots : (key, slot) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  obs : Obs.ctx;
+}
+
+let create ?(obs = Obs.null) ~capacity () =
+  if capacity <= 0 then
+    invalid_arg "Synopsis_cache.create: capacity must be positive";
+  (* pre-declare the counters so a snapshot shows them even before any
+     lookup *)
+  Obs.count obs "synopsis_cache.hits" 0;
+  Obs.count obs "synopsis_cache.misses" 0;
+  Obs.count obs "synopsis_cache.evictions" 0;
+  {
+    capacity;
+    slots = Hashtbl.create (2 * capacity);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    obs;
+  }
+
+let length t = Hashtbl.length t.slots
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let touch t slot =
+  t.tick <- t.tick + 1;
+  slot.stamp <- t.tick
+
+let find t key =
+  match Hashtbl.find_opt t.slots key with
+  | Some slot ->
+      t.hits <- t.hits + 1;
+      Obs.count t.obs "synopsis_cache.hits" 1;
+      touch t slot;
+      Some slot.synopsis
+  | None ->
+      t.misses <- t.misses + 1;
+      Obs.count t.obs "synopsis_cache.misses" 1;
+      None
+
+(* Least-recently-used eviction by scanning for the smallest stamp. Linear
+   in the cache size, which is bounded by [capacity] — fine for the
+   handful-of-synopses caches this serves; revisit with an intrusive list
+   if capacities ever reach the thousands. *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key slot ->
+      match !victim with
+      | Some (_, best) when best.stamp <= slot.stamp -> ()
+      | _ -> victim := Some (key, slot))
+    t.slots;
+  match !victim with
+  | None -> ()
+  | Some (key, _) ->
+      Hashtbl.remove t.slots key;
+      t.evictions <- t.evictions + 1;
+      Obs.count t.obs "synopsis_cache.evictions" 1
+
+let insert t key synopsis =
+  (match Hashtbl.find_opt t.slots key with
+  | Some _ -> Hashtbl.remove t.slots key
+  | None -> if Hashtbl.length t.slots >= t.capacity then evict_lru t);
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.slots key { synopsis; stamp = t.tick };
+  Obs.set_gauge t.obs "synopsis_cache.size" (float_of_int (length t))
+
+let find_or_build t key build =
+  match find t key with
+  | Some synopsis -> synopsis
+  | None ->
+      let synopsis = build () in
+      insert t key synopsis;
+      synopsis

@@ -1,0 +1,41 @@
+(** In-process LRU cache of drawn synopses.
+
+    A synopsis is a pure function of (base data, variant, theta, PRNG
+    stream), so the cache key is exactly that tuple: the two table
+    {e content} fingerprints ({!Repro_relation.Table.fingerprint}), the
+    spec name, theta, and the keyed-PRNG stream name. A hit returns the
+    very synopsis object that was inserted, so cached estimates are
+    trivially bit-identical to fresh ones for the same key.
+
+    Not thread-safe; create one per domain (like the PRNG). A live [obs]
+    context maintains [synopsis_cache.hits]/[.misses]/[.evictions]
+    counters and a [synopsis_cache.size] gauge; the same tallies are
+    always available through the accessors below. *)
+
+type key = {
+  fp_a : int64;  (** first-sampled table's content fingerprint *)
+  fp_b : int64;  (** semijoined table's content fingerprint *)
+  variant : string;  (** {!Spec.to_string} of the spec *)
+  theta : float;
+  prng_key : string;  (** name of the keyed PRNG stream used to draw *)
+}
+
+type t
+
+val create : ?obs:Repro_obs.Obs.ctx -> capacity:int -> unit -> t
+(** [capacity] must be positive; insertion beyond it evicts the least
+    recently used entry. *)
+
+val find : t -> key -> Synopsis.t option
+(** Tallies a hit or a miss and refreshes recency on hit. *)
+
+val insert : t -> key -> Synopsis.t -> unit
+(** Inserts (or replaces) an entry, evicting the LRU entry when full. *)
+
+val find_or_build : t -> key -> (unit -> Synopsis.t) -> Synopsis.t
+(** [find], or on a miss run [build], cache and return its result. *)
+
+val length : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int

@@ -1,0 +1,453 @@
+open Repro_relation
+
+type stored = {
+  key : string;
+  table_a : string;
+  table_b : string;
+  swapped : bool;
+  fingerprint_a : int64;
+  fingerprint_b : int64;
+  prng_key : string;
+  synopsis : Synopsis.t;
+}
+
+let magic = "reprosyn"
+let version = 1
+
+(* ---------------- FNV-1a (checksum + layout hash) ---------------- *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv_string_from h s =
+  let h = ref h in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  !h
+
+(* The layout descriptor names every field of the payload in order. Any
+   change to the wire layout must edit this string, which changes the
+   schema hash and makes old readers reject new files (and vice versa)
+   with a typed error instead of misparsing them. *)
+let layout =
+  "v1: entries[key table_a table_b swapped fp_a fp_b prng_key \
+   budget[spec[name p q u sentry method opt_var hh_k] theta p_rate q_rate \
+   u_rate base_q expected_size budget] sample_a sample_b n_prime]; \
+   sample = column tuple_count entries[value sentry_row rows p_v q_v]; \
+   rate = const|scaled|blended[c light (value weight)*]; \
+   ints i64le, floats f64 bits, strings length-prefixed"
+
+let schema_hash = fnv_string_from fnv_offset layout
+
+(* ---------------- encoder ---------------- *)
+
+let add_u8 buf i = Buffer.add_char buf (Char.chr (i land 0xff))
+let add_bool buf b = add_u8 buf (if b then 1 else 0)
+let add_i64 buf (x : int64) = Buffer.add_int64_le buf x
+let add_int buf i = add_i64 buf (Int64.of_int i)
+let add_f64 buf x = add_i64 buf (Int64.bits_of_float x)
+
+let add_str buf s =
+  add_int buf (String.length s);
+  Buffer.add_string buf s
+
+let add_opt add buf = function
+  | None -> add_u8 buf 0
+  | Some x ->
+      add_u8 buf 1;
+      add buf x
+
+let add_value buf = function
+  | Value.Null -> add_u8 buf 0
+  | Value.Int x ->
+      add_u8 buf 1;
+      add_int buf x
+  | Value.Float x ->
+      add_u8 buf 2;
+      add_f64 buf x
+  | Value.Str s ->
+      add_u8 buf 3;
+      add_str buf s
+
+let level_tag = function
+  | Spec.L_one -> 0
+  | Spec.L_theta -> 1
+  | Spec.L_sqrt_theta -> 2
+  | Spec.L_diff -> 3
+
+let method_tag = function Spec.Scaling -> 0 | Spec.Discrete_learning -> 1
+
+let add_spec buf (s : Spec.t) =
+  add_str buf s.Spec.name;
+  add_u8 buf (level_tag s.Spec.p_choice);
+  add_u8 buf (level_tag s.Spec.q_choice);
+  add_opt (fun buf c -> add_u8 buf (level_tag c)) buf s.Spec.u_choice;
+  add_bool buf s.Spec.sentry;
+  add_u8 buf (method_tag s.Spec.method_);
+  add_bool buf s.Spec.optimize_variance;
+  add_opt add_int buf s.Spec.heavy_hitter_k
+
+(* Hashtable contents are written in iteration order so the decoder can
+   rebuild the exact same table (see [thaw_entries]). *)
+let tbl_bindings tbl =
+  let acc = ref [] in
+  Value.Tbl.iter (fun k v -> acc := (k, v) :: !acc) tbl;
+  List.rev !acc
+
+let add_rate buf = function
+  | Budget.Const c ->
+      add_u8 buf 0;
+      add_f64 buf c
+  | Budget.Scaled c ->
+      add_u8 buf 1;
+      add_f64 buf c
+  | Budget.Blended { c; heavy; light } ->
+      add_u8 buf 2;
+      add_f64 buf c;
+      add_f64 buf light;
+      let bindings = tbl_bindings heavy in
+      add_int buf (List.length bindings);
+      List.iter
+        (fun (v, w) ->
+          add_value buf v;
+          add_f64 buf w)
+        bindings
+
+let add_budget buf (b : Budget.t) =
+  add_spec buf b.Budget.spec;
+  add_f64 buf b.Budget.theta;
+  add_rate buf b.Budget.p_rate;
+  add_rate buf b.Budget.q_rate;
+  add_rate buf b.Budget.u_rate;
+  add_f64 buf b.Budget.base_q;
+  add_f64 buf b.Budget.expected_size;
+  add_f64 buf b.Budget.budget
+
+let add_sample buf (s : Sample.t) =
+  add_str buf s.Sample.column;
+  add_int buf s.Sample.tuple_count;
+  let bindings = tbl_bindings s.Sample.entries in
+  add_int buf (List.length bindings);
+  List.iter
+    (fun (v, (e : Sample.entry)) ->
+      add_value buf v;
+      add_opt add_int buf e.Sample.sentry_row;
+      add_int buf (Array.length e.Sample.rows);
+      Array.iter (add_int buf) e.Sample.rows;
+      add_f64 buf e.Sample.p_v;
+      add_f64 buf e.Sample.q_v)
+    bindings
+
+let add_stored buf s =
+  add_str buf s.key;
+  add_str buf s.table_a;
+  add_str buf s.table_b;
+  add_bool buf s.swapped;
+  add_i64 buf s.fingerprint_a;
+  add_i64 buf s.fingerprint_b;
+  add_str buf s.prng_key;
+  let { Synopsis.resolved; sample_a; sample_b; n_prime } = s.synopsis in
+  add_budget buf resolved;
+  add_sample buf sample_a;
+  add_sample buf sample_b;
+  add_f64 buf n_prime
+
+let encode_payload entries =
+  let buf = Buffer.create 4096 in
+  add_int buf (List.length entries);
+  List.iter (add_stored buf) entries;
+  Buffer.contents buf
+
+let encode entries =
+  let payload = encode_payload entries in
+  let buf = Buffer.create (String.length payload + 40) in
+  Buffer.add_string buf magic;
+  add_int buf version;
+  add_i64 buf schema_hash;
+  add_int buf (String.length payload);
+  add_i64 buf (fnv_string_from fnv_offset payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+(* ---------------- decoder ---------------- *)
+
+exception Fail of Fault.error
+
+let fail what detail = raise (Fail (Fault.Store_mismatch { what; detail }))
+
+type reader = { data : string; mutable pos : int }
+
+let need r n =
+  if n < 0 || r.pos + n > String.length r.data then
+    fail "payload"
+      (Printf.sprintf "truncated at byte %d (need %d of %d)" r.pos n
+         (String.length r.data))
+
+let get_u8 r =
+  need r 1;
+  let b = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  b
+
+let get_bool r = get_u8 r <> 0
+
+let get_i64 r =
+  need r 8;
+  let x = String.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  x
+
+let get_int r =
+  let x = get_i64 r in
+  let i = Int64.to_int x in
+  if Int64.of_int i <> x then fail "payload" "integer out of range";
+  i
+
+let get_count r what =
+  let n = get_int r in
+  if n < 0 then fail "payload" ("negative " ^ what ^ " count");
+  n
+
+let get_f64 r = Int64.float_of_bits (get_i64 r)
+
+let get_str r =
+  let n = get_count r "string" in
+  need r n;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_opt get r = match get_u8 r with 0 -> None | _ -> Some (get r)
+
+let get_value r =
+  match get_u8 r with
+  | 0 -> Value.Null
+  | 1 -> Value.Int (get_int r)
+  | 2 -> Value.Float (get_f64 r)
+  | 3 -> Value.Str (get_str r)
+  | tag -> fail "payload" (Printf.sprintf "unknown value tag %d" tag)
+
+let get_level r =
+  match get_u8 r with
+  | 0 -> Spec.L_one
+  | 1 -> Spec.L_theta
+  | 2 -> Spec.L_sqrt_theta
+  | 3 -> Spec.L_diff
+  | tag -> fail "payload" (Printf.sprintf "unknown level tag %d" tag)
+
+let get_method r =
+  match get_u8 r with
+  | 0 -> Spec.Scaling
+  | 1 -> Spec.Discrete_learning
+  | tag -> fail "payload" (Printf.sprintf "unknown method tag %d" tag)
+
+let get_spec r =
+  let name = get_str r in
+  let p_choice = get_level r in
+  let q_choice = get_level r in
+  let u_choice = get_opt get_level r in
+  let sentry = get_bool r in
+  let method_ = get_method r in
+  let optimize_variance = get_bool r in
+  let heavy_hitter_k = get_opt get_int r in
+  {
+    Spec.name;
+    p_choice;
+    q_choice;
+    u_choice;
+    sentry;
+    method_;
+    optimize_variance;
+    heavy_hitter_k;
+  }
+
+let get_rate r =
+  match get_u8 r with
+  | 0 -> Budget.Const (get_f64 r)
+  | 1 -> Budget.Scaled (get_f64 r)
+  | 2 ->
+      let c = get_f64 r in
+      let light = get_f64 r in
+      let n = get_count r "heavy-hitter" in
+      let heavy = Value.Tbl.create (max 16 n) in
+      for _ = 1 to n do
+        let v = get_value r in
+        let w = get_f64 r in
+        Value.Tbl.add heavy v w
+      done;
+      Budget.Blended { c; heavy; light }
+  | tag -> fail "payload" (Printf.sprintf "unknown rate tag %d" tag)
+
+let get_budget r =
+  let spec = get_spec r in
+  let theta = get_f64 r in
+  let p_rate = get_rate r in
+  let q_rate = get_rate r in
+  let u_rate = get_rate r in
+  let base_q = get_f64 r in
+  let expected_size = get_f64 r in
+  let budget = get_f64 r in
+  {
+    Budget.spec;
+    theta;
+    p_rate;
+    q_rate;
+    u_rate;
+    base_q;
+    expected_size;
+    budget;
+  }
+
+(* Rebuild a sample hashtable whose iteration order is exactly the
+   recorded (= original) one, so online estimates sum floats in the same
+   order and are bit-identical before and after a round trip. The stdlib
+   hashtable iterates buckets in index order and each bucket in reverse
+   insertion order, and its final bucket layout depends only on the
+   initial capacity and the number of additions — so re-adding the
+   recorded bindings in reverse order into a table created like the
+   sampler's ([Value.Tbl.create 256] in sample.ml) reproduces the original
+   iteration order. The round-trip test in test_store.ml pins this
+   bit-identity for every variant. *)
+let thaw_entries bindings =
+  let entries = Value.Tbl.create 256 in
+  List.iter (fun (v, e) -> Value.Tbl.add entries v e) (List.rev bindings);
+  entries
+
+let get_sample r ~table =
+  let column = get_str r in
+  let tuple_count = get_int r in
+  if tuple_count < 0 then fail "payload" "negative tuple count";
+  let n = get_count r "sample entry" in
+  let bindings = ref [] in
+  for _ = 1 to n do
+    let v = get_value r in
+    let sentry_row = get_opt get_int r in
+    let rows_n = get_count r "row" in
+    need r (rows_n * 8);
+    (* explicit loop: Array.init does not guarantee evaluation order, and
+       the reader is stateful *)
+    let rows = Array.make rows_n 0 in
+    for i = 0 to rows_n - 1 do
+      rows.(i) <- get_int r
+    done;
+    let p_v = get_f64 r in
+    let q_v = get_f64 r in
+    bindings := (v, { Sample.sentry_row; rows; p_v; q_v }) :: !bindings
+  done;
+  {
+    Sample.table;
+    column;
+    entries = thaw_entries (List.rev !bindings);
+    tuple_count;
+  }
+
+let get_stored r ~resolve_table =
+  let key = get_str r in
+  let table_a = get_str r in
+  let table_b = get_str r in
+  let swapped = get_bool r in
+  let fingerprint_a = get_i64 r in
+  let fingerprint_b = get_i64 r in
+  let prng_key = get_str r in
+  let resolve name =
+    match resolve_table name with
+    | table -> table
+    | exception exn ->
+        fail "table"
+          (Printf.sprintf "cannot resolve %S: %s" name (Printexc.to_string exn))
+  in
+  let resolved_a = resolve table_a and resolved_b = resolve table_b in
+  let check name table recorded =
+    let actual = Table.fingerprint table in
+    if actual <> recorded then
+      fail "fingerprint"
+        (Printf.sprintf "table %S: recorded %Lx, resolved data hashes to %Lx"
+           name recorded actual)
+  in
+  check table_a resolved_a fingerprint_a;
+  check table_b resolved_b fingerprint_b;
+  (* the samples are stored in sampler orientation: the first-sampled side
+     lives on table_b when the estimator swapped *)
+  let first, second =
+    if swapped then (resolved_b, resolved_a) else (resolved_a, resolved_b)
+  in
+  let resolved = get_budget r in
+  let sample_a = get_sample r ~table:first in
+  let sample_b = get_sample r ~table:second in
+  let n_prime = get_f64 r in
+  {
+    key;
+    table_a;
+    table_b;
+    swapped;
+    fingerprint_a;
+    fingerprint_b;
+    prng_key;
+    synopsis = { Synopsis.resolved; sample_a; sample_b; n_prime };
+  }
+
+let decode ~resolve_table data =
+  match
+    if String.length data < 40 then fail "header" "file shorter than header";
+    if String.sub data 0 8 <> magic then fail "magic" "not a synopsis store";
+    let r = { data; pos = 8 } in
+    let v = get_int r in
+    if v <> version then
+      fail "version"
+        (Printf.sprintf "file version %d, this library reads %d" v version);
+    let h = get_i64 r in
+    if h <> schema_hash then
+      fail "schema-hash"
+        (Printf.sprintf "file layout %Lx, this library reads %Lx" h schema_hash);
+    let payload_length = get_count r "payload byte" in
+    let recorded_checksum = get_i64 r in
+    if r.pos + payload_length <> String.length data then
+      fail "payload"
+        (Printf.sprintf "payload length %d does not match file size"
+           payload_length);
+    let payload = String.sub data r.pos payload_length in
+    let actual = fnv_string_from fnv_offset payload in
+    if actual <> recorded_checksum then
+      fail "checksum"
+        (Printf.sprintf "recorded %Lx, payload hashes to %Lx" recorded_checksum
+           actual);
+    let pr = { data = payload; pos = 0 } in
+    let n = get_count pr "entry" in
+    let entries = ref [] in
+    for _ = 1 to n do
+      entries := get_stored pr ~resolve_table :: !entries
+    done;
+    let entries = List.rev !entries in
+    if pr.pos <> String.length payload then
+      fail "payload" "trailing bytes after last entry";
+    entries
+  with
+  | entries -> Ok entries
+  | exception Fail fault -> Error fault
+  | exception exn ->
+      Error
+        (Fault.Store_mismatch
+           { what = "payload"; detail = Printexc.to_string exn })
+
+(* ---------------- file IO ---------------- *)
+
+let write ~path entries =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode entries))
+
+let read ~resolve_table ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e ->
+      Error (Fault.Store_mismatch { what = "file"; detail = e })
+  | exception End_of_file ->
+      Error (Fault.Store_mismatch { what = "file"; detail = path ^ ": truncated" })
+  | data -> decode ~resolve_table data

@@ -1,0 +1,66 @@
+(** Versioned, checksummed binary persistence for drawn synopses — the
+    offline half of the paper's offline/online split, made durable.
+
+    A store file is [magic | version | schema-hash | payload-length |
+    payload-checksum | payload], all integers 64-bit little-endian. The
+    schema hash fingerprints the wire {e layout} (a descriptor string baked
+    into this module), so readers reject files whose field layout drifted
+    even at an unchanged version number; the checksum (FNV-1a over the
+    payload bytes) rejects bit rot and truncation. The payload stores, per
+    synopsis: the join-graph key, both base-table names and content
+    fingerprints ({!Repro_relation.Table.fingerprint}), the orientation
+    flag, the PRNG key the samples were drawn with, the fully resolved
+    budget (spec, theta, p/q/u rates, base q) and both per-value tuple
+    samples with their sentry bookkeeping.
+
+    Tables themselves are {e not} stored — only sampled row indices — so
+    decoding takes a resolver from table name to table and refuses (typed
+    {!Fault.Store_mismatch}, never a crash) to rehydrate against data
+    whose fingerprint differs from the recorded one.
+
+    Sample hashtables are serialized in iteration order and rebuilt so
+    that the decoded table iterates in exactly the original order; online
+    estimates against a decoded synopsis are therefore bit-identical to
+    estimates against the freshly drawn one (pinned by test_store.ml for
+    every variant). *)
+
+open Repro_relation
+
+type stored = {
+  key : string;  (** join-graph key in the store *)
+  table_a : string;  (** original A-side table name *)
+  table_b : string;  (** original B-side table name *)
+  swapped : bool;  (** the sampler operated on the (B, A) orientation *)
+  fingerprint_a : int64;  (** {!Table.fingerprint} of [table_a]'s data *)
+  fingerprint_b : int64;  (** {!Table.fingerprint} of [table_b]'s data *)
+  prng_key : string;
+      (** the keyed-PRNG stream the samples were drawn from (informational;
+          [""] when the caller did not record one) *)
+  synopsis : Synopsis.t;  (** in sampler orientation, as {!Synopsis.draw} *)
+}
+
+val version : int
+
+val schema_hash : int64
+(** FNV-1a hash of the wire-layout descriptor for [version]. *)
+
+val encode : stored list -> string
+(** Serialize to the full file image (header + payload). *)
+
+val decode :
+  resolve_table:(string -> Table.t) ->
+  string ->
+  (stored list, Fault.error) result
+(** Parse a file image. Every failure — bad magic, version or layout
+    drift, checksum mismatch, truncated or malformed payload, resolver
+    failure, fingerprint mismatch — comes back as
+    [Error (Store_mismatch _)]; this function never raises. *)
+
+val write : path:string -> stored list -> unit
+
+val read :
+  resolve_table:(string -> Table.t) ->
+  path:string ->
+  (stored list, Fault.error) result
+(** [encode]/[decode] through a file; unreadable files are
+    [Error (Store_mismatch {what = "file"; _})]. *)

@@ -94,11 +94,17 @@ module Histogram = struct
            always terminates before running off the end *)
         let c = Atomic.get t.buckets.(i) in
         let cumulative' = cumulative +. float_of_int c in
-        if c > 0 && cumulative' >= rank then begin
-          let lower = bucket_lower i and upper = bucket_upper i in
-          let within = (rank -. cumulative) /. float_of_int c in
-          lower +. (Float.max 0.0 (Float.min 1.0 within) *. (upper -. lower))
-        end
+        if c > 0 && cumulative' >= rank then
+          if i = bucket_count - 1 then
+            (* the clamp bucket holds everything >= its lower bound,
+               including infinities — its nominal upper bound says nothing
+               about the observations, so don't interpolate toward it *)
+            bucket_lower i
+          else begin
+            let lower = bucket_lower i and upper = bucket_upper i in
+            let within = (rank -. cumulative) /. float_of_int c in
+            lower +. (Float.max 0.0 (Float.min 1.0 within) *. (upper -. lower))
+          end
         else find (i + 1) cumulative'
       in
       find 0 0.0

@@ -200,6 +200,8 @@ let read_auto path =
           | line -> split_record ~line_number:1 line
           | exception End_of_file -> failwith "empty CSV file"
         in
+        (* keep each record's real file line: blank lines are skipped, so
+           a record's position in the list is not its line number *)
         let records = ref [] in
         let line_number = ref 1 in
         (try
@@ -207,7 +209,9 @@ let read_auto path =
              let line = input_line ic in
              incr line_number;
              if not (String.equal line "") then
-               records := split_record ~line_number:!line_number line :: !records
+               records :=
+                 (!line_number, split_record ~line_number:!line_number line)
+                 :: !records
            done
          with End_of_file -> ());
         (header, List.rev !records))
@@ -229,18 +233,18 @@ let read_auto path =
         candidates
   in
   let types = Array.make arity Schema.T_int in
-  List.iteri
-    (fun line_index fields ->
+  List.iter
+    (fun (line_number, fields) ->
       if List.length fields <> arity then
         failwith
-          (Printf.sprintf "line %d: expected %d fields, got %d" (line_index + 2)
+          (Printf.sprintf "line %d: expected %d fields, got %d" line_number
              arity (List.length fields));
       List.iteri (fun j field -> types.(j) <- widen types.(j) field) fields)
     records;
   let schema = Schema.make (List.mapi (fun j name -> (name, types.(j))) header) in
   let rows =
     List.map
-      (fun fields ->
+      (fun (_, fields) ->
         let row = Array.make arity Value.Null in
         List.iteri (fun j field -> row.(j) <- parse_field types.(j) field) fields;
         row)

@@ -83,6 +83,51 @@ let group_by t name =
 
 let distinct_count t name = Value.Tbl.length (frequency_map t name)
 
+(* FNV-1a over a canonical byte rendering of the schema and every cell.
+   64-bit, content-only: two tables with equal schemas and equal rows in
+   equal order fingerprint identically on any platform. Used by the
+   synopsis store to refuse rehydrating sampled row indices against data
+   that is not the data they were drawn from. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv_int64 h x =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := fnv_byte !h (Int64.to_int (Int64.shift_right_logical x (shift * 8)))
+  done;
+  !h
+
+let fnv_string h s =
+  let h = ref (fnv_int64 h (Int64.of_int (String.length s))) in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  !h
+
+let fnv_value h v =
+  match v with
+  | Value.Null -> fnv_byte h 0
+  | Value.Int x -> fnv_int64 (fnv_byte h 1) (Int64.of_int x)
+  | Value.Float x -> fnv_int64 (fnv_byte h 2) (Int64.bits_of_float x)
+  | Value.Str s -> fnv_string (fnv_byte h 3) s
+
+let fingerprint t =
+  let h = ref (fnv_int64 fnv_offset (Int64.of_int (cardinality t))) in
+  List.iter
+    (fun (name, ty) ->
+      h := fnv_string !h name;
+      h :=
+        fnv_byte !h
+          (match ty with
+          | Schema.T_int -> 0
+          | Schema.T_float -> 1
+          | Schema.T_string -> 2))
+    (Schema.columns t.schema);
+  Array.iter (fun row -> Array.iter (fun v -> h := fnv_value !h v) row) t.rows;
+  !h
+
 let pp_head ?(limit = 10) fmt t =
   Format.fprintf fmt "%a (%d rows)@." Schema.pp t.schema (cardinality t);
   let shown = min limit (cardinality t) in

@@ -47,3 +47,9 @@ val distinct_count : t -> string -> int
 
 val pp_head : ?limit:int -> Format.formatter -> t -> unit
 (** Debug printer: schema plus the first [limit] (default 10) rows. *)
+
+val fingerprint : t -> int64
+(** Content fingerprint (64-bit FNV-1a over schema and rows, in row
+    order). Equal tables fingerprint equally on every platform; the
+    synopsis store records it so persisted row indices are never
+    rehydrated against different base data. Not cryptographic. *)

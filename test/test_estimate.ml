@@ -79,6 +79,32 @@ let test_scaling_exact_with_predicates_at_theta_one () =
   in
   Alcotest.(check (float 1e-6)) "filtered exact" (float_of_int truth) estimate
 
+(* Regression for the sentry double-count: Lemma 1 / Eq. 6 draw the
+   virtual sample from the non-sentry tuples, population N' - V. The old
+   code scaled by the full N' and then added the sentry indicator on top,
+   inflating every DL estimate by one b-side factor per sampled value —
+   visible as exactly +|V| * avg_b at theta = 1 against enumeration. *)
+let test_dl_exact_at_theta_one () =
+  let counts = List.init 4 (fun i -> (i + 1, 10)) in
+  let counts_b = List.init 4 (fun i -> (i + 1, 5)) in
+  let ta = table_of_counts counts and tb = table_of_counts counts_b in
+  let truth = float_of_int (4 * 10 * 5) in
+  List.iter
+    (fun (name, spec) ->
+      let est =
+        Csdl.Estimator.prepare ~sample_first:`A spec ~theta:1.0
+          (profile_of ta tb)
+      in
+      let estimate = Csdl.Estimator.estimate_once est (Prng.create 5) in
+      if estimate <> truth then
+        Alcotest.failf "%s at theta=1: %.17g <> enumerated %.17g" name
+          estimate truth)
+    [
+      ("CSDL(1,diff)", Csdl.Spec.csdl Csdl.Spec.L_one Csdl.Spec.L_diff);
+      ("CSDL(1,t)", Csdl.Spec.csdl Csdl.Spec.L_one Csdl.Spec.L_theta);
+      ("CSDL(t,1)", Csdl.Spec.csdl Csdl.Spec.L_theta Csdl.Spec.L_one);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Unbiasedness of the scaling estimator (CS2L)                        *)
 (* ------------------------------------------------------------------ *)
@@ -354,6 +380,8 @@ let () =
           Alcotest.test_case "CSO theta=1" `Quick test_cso_exact_at_theta_one;
           Alcotest.test_case "CS2 theta=1" `Quick test_cs2_exact_at_theta_one;
           Alcotest.test_case "CS2L theta=1" `Quick test_cs2l_exact_at_theta_one;
+          Alcotest.test_case "DL variants theta=1 (sentry not double-counted)"
+            `Quick test_dl_exact_at_theta_one;
           Alcotest.test_case "filtered theta=1" `Quick
             test_scaling_exact_with_predicates_at_theta_one;
         ] );

@@ -172,6 +172,28 @@ let test_histogram_quantile () =
   Alcotest.(check (float 1e-12))
     "max at the last occupied bucket's upper bound" 2.0 (H.quantile h2 1.0)
 
+let test_histogram_quantile_clamp_bucket () =
+  let module H = Metrics.Histogram in
+  (* the top bucket clamps every overflow — including +inf. Interpolating
+     toward its nominal upper bound (2^36) would fabricate a magnitude no
+     observation ever had; quantiles landing there must return the
+     bucket's lower bound, the largest value the histogram can vouch
+     for. *)
+  let h = H.create () in
+  H.observe h 1.0;
+  H.observe h Float.infinity;
+  let top_lower = H.bucket_upper (H.bucket_count - 2) in
+  Alcotest.(check (float 1e-12))
+    "p=1 with an inf observation stays at the clamp bucket's lower bound"
+    top_lower (H.quantile h 1.0);
+  Alcotest.(check bool) "never infinite" true
+    (Float.is_finite (H.quantile h 1.0));
+  let h2 = H.create () in
+  H.observe h2 Float.infinity;
+  Alcotest.(check (float 1e-12))
+    "all-overflow histogram: every quantile is the clamp lower bound"
+    top_lower (H.quantile h2 0.5)
+
 let test_registry_kind_mismatch () =
   let registry = Metrics.Registry.create () in
   ignore (Metrics.Registry.counter registry "test.kind" : Metrics.Counter.t);
@@ -420,6 +442,8 @@ let () =
           Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
           Alcotest.test_case "quantile interpolation" `Quick
             test_histogram_quantile;
+          Alcotest.test_case "quantile clamp bucket" `Quick
+            test_histogram_quantile_clamp_bucket;
           Alcotest.test_case "kind mismatch" `Quick test_registry_kind_mismatch;
         ] );
       ( "spans",

@@ -165,6 +165,7 @@ let mk_cell approach wall cpu zero =
     avg_sample_tuples = 0.0;
     avg_wall_seconds = wall;
     avg_cpu_seconds = cpu;
+    avg_offline_wall_seconds = 0.0;
     zero_runs = zero;
   }
 

@@ -375,6 +375,23 @@ let test_csv_read_auto_infers_types () =
       Alcotest.(check bool) "empty row is nulls" true
         (match (Table.row t 2).(0) with Value.Null -> true | _ -> false))
 
+let test_csv_read_auto_arity_error_line_number () =
+  (* blank lines are skipped but still advance the file position: the
+     ragged record on file line 5 must be reported as line 5, not by its
+     index among the surviving records (which would say line 3) *)
+  let path = Filename.temp_file "repro" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "a,b\n1,2\n\n\n3,4,5\n";
+      close_out oc;
+      match Csv_io.read_auto path with
+      | exception Failure msg ->
+          Alcotest.(check string) "real file line reported"
+            "line 5: expected 2 fields, got 3" msg
+      | _ -> Alcotest.fail "expected Failure on ragged record")
+
 let test_csv_read_auto_widen_to_string () =
   let path = Filename.temp_file "repro" ".csv" in
   Fun.protect
@@ -714,6 +731,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
           Alcotest.test_case "read_auto inference" `Quick test_csv_read_auto_infers_types;
           Alcotest.test_case "read_auto widening" `Quick test_csv_read_auto_widen_to_string;
+          Alcotest.test_case "read_auto arity error line numbers" `Quick
+            test_csv_read_auto_arity_error_line_number;
           Alcotest.test_case "bad field" `Quick test_csv_bad_field;
           Alcotest.test_case "unterminated quote located" `Quick
             test_csv_unterminated_quote_located;

@@ -171,6 +171,7 @@ let mk ?(experiment = "two-table") ?(query = "Q1a1") ?(variant = "1,diff")
     zero_runs = 0;
     wall_seconds = wall;
     cpu_seconds = wall *. 2.0;
+    offline_wall_seconds = wall *. 10.0;
   }
 
 let test_artifact_round_trip () =

@@ -80,6 +80,21 @@ let test_qerror_nan_estimate () =
   check_float "nan is failure" Float.infinity
     (Qerror.compute ~truth:5.0 ~estimate:Float.nan)
 
+let test_qerror_boundaries () =
+  (* the both-zero convention (a correct "no result" estimate is perfect,
+     q = 1) must survive sign and magnitude edge cases *)
+  check_float "negative zero estimate, zero truth" 1.0
+    (Qerror.compute ~truth:0.0 ~estimate:(-0.0));
+  check_float "negative estimate clamps into the both-zero case" 1.0
+    (Qerror.compute ~truth:0.0 ~estimate:(-7.0));
+  check_float "denormal exact match" 1.0
+    (Qerror.compute ~truth:Float.min_float ~estimate:Float.min_float);
+  check_float "infinite estimate is a failure" Float.infinity
+    (Qerror.compute ~truth:5.0 ~estimate:Float.infinity);
+  Alcotest.check_raises "negative truth rejected"
+    (Invalid_argument "Qerror.compute: negative truth") (fun () ->
+      ignore (Qerror.compute ~truth:(-1.0) ~estimate:2.0))
+
 let test_qerror_failure_predicate () =
   Alcotest.(check bool) "inf" true (Qerror.is_failure Float.infinity);
   Alcotest.(check bool) "finite" false (Qerror.is_failure 3.0)
@@ -189,6 +204,7 @@ let () =
           Alcotest.test_case "zero cases" `Quick test_qerror_zero_cases;
           Alcotest.test_case "negative clamped" `Quick test_qerror_negative_estimate_clamped;
           Alcotest.test_case "nan" `Quick test_qerror_nan_estimate;
+          Alcotest.test_case "boundaries" `Quick test_qerror_boundaries;
           Alcotest.test_case "failure predicate" `Quick test_qerror_failure_predicate;
           Alcotest.test_case "to_string" `Quick test_qerror_to_string;
         ] );

@@ -1,4 +1,6 @@
-(* Tests for the synopsis store: registry behaviour and persistence. *)
+(* Tests for the synopsis store: registry behaviour, binary persistence
+   (bit-identical rehydration, typed rejection of bad files) and the LRU
+   synopsis cache. *)
 
 open Repro_relation
 module Prng = Repro_util.Prng
@@ -24,7 +26,7 @@ let table name = List.assoc name (Lazy.force tables)
 let resolve_table name =
   match List.assoc_opt name (Lazy.force tables) with
   | Some t -> t
-  | None -> failwith ("unknown table " ^ name)
+  | None -> raise Not_found
 
 let build_store () =
   let store = Csdl.Store.create () in
@@ -64,30 +66,157 @@ let test_store_estimate_orientation () =
   let none = Csdl.Store.estimate store ~key:"pk-fk" ~pred_a:Predicate.False in
   Alcotest.(check (float 0.0)) "impossible pred on A zeroes" 0.0 none
 
-let test_store_roundtrip () =
+(* ---------------- persistence ---------------- *)
+
+let with_saved_store f =
   let store = build_store () in
   let path = Filename.temp_file "repro" ".synopses" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Csdl.Store.save store path;
+      f store path)
+
+let test_store_roundtrip () =
+  with_saved_store (fun store path ->
       let back = Csdl.Store.load ~resolve_table path in
       Alcotest.(check (list string)) "keys preserved" (Csdl.Store.keys store)
         (Csdl.Store.keys back);
       Alcotest.(check int) "footprint preserved"
         (Csdl.Store.total_tuples store)
         (Csdl.Store.total_tuples back);
-      (* same samples, same math — equal up to float summation order,
-         which the hashtable rebuild may permute *)
       List.iter
         (fun key ->
           let pred = Predicate.Compare (Predicate.Lt, "attr", Value.Int 3) in
           let before = Csdl.Store.estimate store ~key ~pred_a:pred in
           let after = Csdl.Store.estimate back ~key ~pred_a:pred in
-          if not (Repro_util.Math_ex.feq ~eps:1e-9 before after) then
-            Alcotest.failf "%s estimate drifted: %.12g vs %.12g" key before
-              after)
+          (* bit-identical, not approximately equal: the decoder rebuilds
+             the sample hashtables in their original iteration order, so
+             even float summation order is preserved *)
+          if before <> after then
+            Alcotest.failf "%s estimate drifted: %h vs %h" key before after)
         (Csdl.Store.keys store))
+
+(* The tentpole guarantee: serialize -> deserialize -> estimate is
+   bit-identical to estimating against the freshly drawn synopsis, for
+   every variant, at more than one theta. *)
+let variant_estimators =
+  [
+    ("csdl(1,diff)", fun ~theta profile ->
+      Csdl.Estimator.prepare
+        (Csdl.Spec.csdl Csdl.Spec.L_one Csdl.Spec.L_diff)
+        ~theta profile);
+    ("csdl(t,diff)", fun ~theta profile ->
+      Csdl.Estimator.prepare
+        (Csdl.Spec.csdl Csdl.Spec.L_theta Csdl.Spec.L_diff)
+        ~theta profile);
+    ("csdl-opt", fun ~theta profile -> Csdl.Opt.prepare ~theta profile);
+    ("cs2", fun ~theta profile ->
+      Csdl.Estimator.prepare Csdl.Spec.cs2 ~theta profile);
+    ("cso", fun ~theta profile ->
+      Csdl.Estimator.prepare Csdl.Spec.cso ~theta profile);
+    ("cs2l", fun ~theta profile ->
+      Csdl.Estimator.prepare Csdl.Spec.cs2l ~theta profile);
+  ]
+
+let test_roundtrip_bit_identical_all_variants () =
+  let pred_a = Predicate.Compare (Predicate.Lt, "attr", Value.Int 9) in
+  let pred_b = Predicate.Compare (Predicate.Gt, "attr", Value.Int 0) in
+  List.iter
+    (fun theta ->
+      List.iter
+        (fun (name, prepare) ->
+          let profile = Csdl.Profile.of_tables (table "a") "k" (table "b") "k" in
+          let estimator = prepare ~theta profile in
+          let synopsis = Csdl.Estimator.draw estimator (Prng.create 42) in
+          let store = Csdl.Store.create () in
+          Csdl.Store.add store ~key:"q" ~table_a:"a" ~table_b:"b" estimator
+            synopsis;
+          let fresh = Csdl.Store.estimate store ~key:"q" ~pred_a ~pred_b in
+          let path = Filename.temp_file "repro" ".synopses" in
+          Fun.protect
+            ~finally:(fun () -> Sys.remove path)
+            (fun () ->
+              Csdl.Store.save store path;
+              let back = Csdl.Store.load ~resolve_table path in
+              let thawed = Csdl.Store.estimate back ~key:"q" ~pred_a ~pred_b in
+              if fresh <> thawed then
+                Alcotest.failf "%s theta=%g: %h <> %h after roundtrip" name
+                  theta fresh thawed))
+        variant_estimators)
+    [ 0.5; 1.0 ]
+
+let test_prng_key_and_info_roundtrip () =
+  let profile = Csdl.Profile.of_tables (table "a") "k" (table "b") "k" in
+  let estimator = Csdl.Opt.prepare ~theta:0.25 profile in
+  let synopsis = Csdl.Estimator.draw estimator (Prng.create 3) in
+  let store = Csdl.Store.create () in
+  Csdl.Store.add ~prng_key:"3:synopsis/a-b" store ~key:"a-b" ~table_a:"a"
+    ~table_b:"b" estimator synopsis;
+  let path = Filename.temp_file "repro" ".synopses" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csdl.Store.save store path;
+      let back = Csdl.Store.load ~resolve_table path in
+      match Csdl.Store.info back "a-b" with
+      | None -> Alcotest.fail "info missing after roundtrip"
+      | Some i ->
+          Alcotest.(check string) "prng key" "3:synopsis/a-b"
+            i.Csdl.Store.i_prng_key;
+          Alcotest.(check string) "table a" "a" i.Csdl.Store.i_table_a;
+          Alcotest.(check string) "table b" "b" i.Csdl.Store.i_table_b;
+          Alcotest.(check (float 0.0)) "theta" 0.25 i.Csdl.Store.i_theta;
+          Alcotest.(check bool) "tuples recorded" true
+            (i.Csdl.Store.i_tuples > 0))
+
+(* ---------------- typed rejection of bad files ---------------- *)
+
+let patch_byte path offset f =
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let b = Bytes.of_string data in
+  Bytes.set b offset (f (Bytes.get b offset));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let expect_mismatch what ?(resolve = resolve_table) path =
+  match Csdl.Store.load_result ~resolve_table:resolve path with
+  | Error (Csdl.Fault.Store_mismatch { what = w; _ }) ->
+      Alcotest.(check string) "mismatch kind" what w
+  | Error e ->
+      Alcotest.failf "unexpected fault: %s" (Csdl.Fault.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected a Store_mismatch error"
+
+let test_store_rejects_corrupted_payload () =
+  with_saved_store (fun _ path ->
+      (* flip one bit in the payload (header is 40 bytes) *)
+      patch_byte path 45 (fun c -> Char.chr (Char.code c lxor 0x01));
+      expect_mismatch "checksum" path)
+
+let test_store_rejects_wrong_version () =
+  with_saved_store (fun _ path ->
+      (* the version i64 sits right after the 8-byte magic *)
+      patch_byte path 8 (fun _ -> '\xf7');
+      expect_mismatch "version" path)
+
+let test_store_rejects_truncation () =
+  with_saved_store (fun _ path ->
+      let ic = open_in_bin path in
+      let data = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc (String.sub data 0 (String.length data - 3));
+      close_out oc;
+      expect_mismatch "payload" path)
+
+let test_store_rejects_fingerprint_mismatch () =
+  with_saved_store (fun _ path ->
+      (* same names, different data: "a" resolves to the fk table *)
+      let resolve = function "a" -> table "fk" | name -> resolve_table name in
+      expect_mismatch "fingerprint" ~resolve path)
 
 let test_store_load_rejects_garbage () =
   let path = Filename.temp_file "repro" ".synopses" in
@@ -97,9 +226,10 @@ let test_store_load_rejects_garbage () =
       let oc = open_out path in
       output_string oc "not a store";
       close_out oc;
-      match Csdl.Store.load ~resolve_table path with
+      (match Csdl.Store.load ~resolve_table path with
       | exception Failure _ -> ()
-      | _ -> Alcotest.fail "expected Failure")
+      | _ -> Alcotest.fail "expected Failure");
+      expect_mismatch "header" path)
 
 let test_store_replace_same_key () =
   let store = build_store () in
@@ -112,6 +242,70 @@ let test_store_replace_same_key () =
   Csdl.Store.add store ~key:"a-b" ~table_a:"a" ~table_b:"b" estimator synopsis;
   Alcotest.(check int) "still two keys" 2 (List.length (Csdl.Store.keys store))
 
+(* ---------------- LRU synopsis cache ---------------- *)
+
+let cache_key i =
+  {
+    Csdl.Synopsis_cache.fp_a = Int64.of_int i;
+    fp_b = 0L;
+    variant = "csdl-opt";
+    theta = 0.5;
+    prng_key = "";
+  }
+
+let draw_synopsis seed =
+  let profile = Csdl.Profile.of_tables (table "a") "k" (table "b") "k" in
+  let estimator = Csdl.Opt.prepare ~theta:0.5 profile in
+  Csdl.Estimator.draw estimator (Prng.create seed)
+
+let test_cache_hit_miss_counters () =
+  let cache = Csdl.Synopsis_cache.create ~capacity:4 () in
+  let s1 = draw_synopsis 1 in
+  Alcotest.(check bool) "initial miss" true
+    (Csdl.Synopsis_cache.find cache (cache_key 1) = None);
+  Csdl.Synopsis_cache.insert cache (cache_key 1) s1;
+  (match Csdl.Synopsis_cache.find cache (cache_key 1) with
+  | Some s -> Alcotest.(check bool) "hit returns the same object" true (s == s1)
+  | None -> Alcotest.fail "expected a hit");
+  let built = ref 0 in
+  let s =
+    Csdl.Synopsis_cache.find_or_build cache (cache_key 1) (fun () ->
+        incr built;
+        draw_synopsis 99)
+  in
+  Alcotest.(check bool) "find_or_build hit skips build" true
+    (s == s1 && !built = 0);
+  ignore
+    (Csdl.Synopsis_cache.find_or_build cache (cache_key 2) (fun () ->
+         incr built;
+         draw_synopsis 2));
+  Alcotest.(check int) "miss builds" 1 !built;
+  Alcotest.(check int) "hits" 2 (Csdl.Synopsis_cache.hits cache);
+  Alcotest.(check int) "misses" 2 (Csdl.Synopsis_cache.misses cache);
+  Alcotest.(check int) "no evictions" 0 (Csdl.Synopsis_cache.evictions cache);
+  Alcotest.(check int) "length" 2 (Csdl.Synopsis_cache.length cache)
+
+let test_cache_lru_eviction_order () =
+  let cache = Csdl.Synopsis_cache.create ~capacity:2 () in
+  Csdl.Synopsis_cache.insert cache (cache_key 1) (draw_synopsis 1);
+  Csdl.Synopsis_cache.insert cache (cache_key 2) (draw_synopsis 2);
+  (* touch 1 so 2 becomes the LRU entry *)
+  ignore (Csdl.Synopsis_cache.find cache (cache_key 1));
+  Csdl.Synopsis_cache.insert cache (cache_key 3) (draw_synopsis 3);
+  Alcotest.(check int) "one eviction" 1 (Csdl.Synopsis_cache.evictions cache);
+  Alcotest.(check bool) "LRU entry evicted" true
+    (Csdl.Synopsis_cache.find cache (cache_key 2) = None);
+  Alcotest.(check bool) "recently used survives" true
+    (Csdl.Synopsis_cache.find cache (cache_key 1) <> None);
+  Alcotest.(check bool) "new entry present" true
+    (Csdl.Synopsis_cache.find cache (cache_key 3) <> None);
+  Alcotest.(check int) "capacity respected" 2 (Csdl.Synopsis_cache.length cache)
+
+let test_cache_rejects_bad_capacity () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Synopsis_cache.create: capacity must be positive")
+    (fun () -> ignore (Csdl.Synopsis_cache.create ~capacity:0 ()))
+
 let () =
   Alcotest.run "csdl_store"
     [
@@ -121,7 +315,27 @@ let () =
           Alcotest.test_case "estimate" `Quick test_store_estimate;
           Alcotest.test_case "orientation" `Quick test_store_estimate_orientation;
           Alcotest.test_case "save/load roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "bit-identical roundtrip, all variants" `Quick
+            test_roundtrip_bit_identical_all_variants;
+          Alcotest.test_case "prng key and info" `Quick
+            test_prng_key_and_info_roundtrip;
+          Alcotest.test_case "rejects corrupted payload" `Quick
+            test_store_rejects_corrupted_payload;
+          Alcotest.test_case "rejects wrong version" `Quick
+            test_store_rejects_wrong_version;
+          Alcotest.test_case "rejects truncation" `Quick
+            test_store_rejects_truncation;
+          Alcotest.test_case "rejects fingerprint mismatch" `Quick
+            test_store_rejects_fingerprint_mismatch;
           Alcotest.test_case "rejects garbage" `Quick test_store_load_rejects_garbage;
           Alcotest.test_case "replace key" `Quick test_store_replace_same_key;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss counters" `Quick
+            test_cache_hit_miss_counters;
+          Alcotest.test_case "LRU eviction order" `Quick
+            test_cache_lru_eviction_order;
+          Alcotest.test_case "bad capacity" `Quick test_cache_rejects_bad_capacity;
         ] );
     ]
