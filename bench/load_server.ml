@@ -1,0 +1,324 @@
+(* Liveness test for the estimation daemon: hammer a real TCP server with
+   thousands of single-query connections while the synopsis cache churns
+   and chaos corrupts a third of the loads, then prove four things from
+   the outside:
+
+   1. zero crashes or hangs — every connection gets exactly one reply;
+   2. every request ends in exactly one of {answered, degraded-with-trace,
+      shed, deadline-exceeded}, and the server's own [server.outcome]
+      counters sum to the request count (client-side tallies must agree
+      with the registry, class by class);
+   3. tail latency stays bounded (p99 under 2s on loopback) even with
+      fault injection on;
+   4. an overloaded server sheds explicitly (phase B: one worker held
+      hostage by a mute client, a tiny queue, a burst of connects — the
+      displaced connections must be told "shed", not time out).
+
+   The daemon runs in-process (its own accept domain + worker domains)
+   but is only ever spoken to over the socket, like any client. *)
+
+open Repro_relation
+module Clock = Repro_util.Clock
+module Pool = Repro_util.Pool
+module Prng = Repro_util.Prng
+module Obs = Repro_obs.Obs
+module Metrics = Repro_obs.Metrics
+module Engine = Repro_server.Engine
+module Server = Repro_server.Server
+module Client = Repro_server.Client
+module Protocol = Repro_server.Protocol
+
+let failures = ref 0
+
+let check cond fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if cond then Printf.printf "ok: %s\n%!" msg
+      else begin
+        incr failures;
+        Printf.printf "FAIL: %s\n%!" msg
+      end)
+    fmt
+
+(* ---------------- fixture: dataset + synopsis store ---------------- *)
+
+let build_store ~dir ~seed =
+  let d = Repro_datagen.Imdb.generate ~scale:0.05 ~seed () in
+  let write name table =
+    let path = Filename.concat dir (name ^ ".csv") in
+    Csv_io.write path table;
+    path
+  in
+  let title = write "title" d.Repro_datagen.Imdb.title in
+  let pairs =
+    [
+      ("mc-t", write "movie_companies" d.Repro_datagen.Imdb.movie_companies);
+      ("mk-t", write "movie_keyword" d.Repro_datagen.Imdb.movie_keyword);
+      ("mi-t", write "movie_info_idx" d.Repro_datagen.Imdb.movie_info_idx);
+      ("ci-t", write "cast_info" d.Repro_datagen.Imdb.cast_info);
+      ("at-t", write "aka_title" d.Repro_datagen.Imdb.aka_title);
+      ("mc2-t", write "movie_companies2" d.Repro_datagen.Imdb.movie_companies);
+    ]
+  in
+  let store = Csdl.Store.create () in
+  List.iter
+    (fun (key, left) ->
+      let table_a = Csv_io.read_auto left in
+      let table_b = Csv_io.read_auto title in
+      let profile = Csdl.Profile.of_tables table_a "movie_id" table_b "id" in
+      let estimator = Csdl.Opt.prepare ~theta:0.02 profile in
+      let prng = Prng.create_keyed ~seed (Printf.sprintf "synopsis/%s" key) in
+      let synopsis = Csdl.Estimator.draw estimator prng in
+      Csdl.Store.add ~prng_key:(Printf.sprintf "%d:synopsis/%s" seed key)
+        store ~key ~table_a:left ~table_b:title estimator synopsis)
+    pairs;
+  let path = Filename.concat dir "load-test-store.bin" in
+  Csdl.Store.save store path;
+  (path, List.map fst pairs)
+
+(* Base tables stay resident across store decodes, as they would in a real
+   deployment — the repeated cost under churn is the decode, not the CSV
+   parse. *)
+let memoized_resolver () =
+  let cache = Hashtbl.create 8 in
+  let mutex = Mutex.create () in
+  fun name ->
+    Mutex.lock mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock mutex)
+      (fun () ->
+        match Hashtbl.find_opt cache name with
+        | Some t -> t
+        | None ->
+            let t = Csv_io.read_auto name in
+            Hashtbl.replace cache name t;
+            t)
+
+let counter_value obs ?labels name =
+  match Obs.registry obs with
+  | None -> 0
+  | Some registry -> Metrics.Counter.value (Metrics.Registry.counter registry ?labels name)
+
+(* ---------------- phase A: throughput + chaos + churn ---------------- *)
+
+let preds =
+  [|
+    "";
+    "production_year > 1980";
+    "kind_id <= 3";
+    "production_year >= 1950 AND kind_id <= 5";
+  |]
+
+let run_one_query ~port ~keys i =
+  let key = List.nth keys (i mod List.length keys) in
+  let pred_b = preds.(i mod Array.length preds) in
+  (* every 97th request carries an impossible budget: the deadline path
+     must fire deterministically, not only under incidental slowness *)
+  let deadline_s = if i mod 97 = 0 then Some 1e-6 else None in
+  let start = Clock.wall () in
+  let c = Client.connect ~timeout_s:30.0 ~host:"127.0.0.1" ~port () in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      let reply =
+        Client.estimate c ?deadline_s
+          ?pred_b:(if pred_b = "" then None else Some pred_b)
+          ~key ()
+      in
+      let elapsed = Clock.wall () -. start in
+      match reply with
+      | Ok r -> (Protocol.reply_class r, elapsed, i)
+      | Error e -> failwith (Printf.sprintf "query %d: bad reply: %s" i e))
+
+let phase_a ~n ~chaos ~client_jobs ~store_path ~resolve_table =
+  Printf.printf "== phase A: %d queries, chaos %g, cache churn ==\n%!" n chaos;
+  let obs = Obs.create () in
+  let engine_config =
+    { Engine.default_config with cache_capacity = 2; chaos; seed = 42 }
+  in
+  let engine =
+    match
+      Engine.create ~obs engine_config ~resolve_table ~store_path
+    with
+    | Ok e -> e
+    | Error fault ->
+        Printf.eprintf "store unreadable: %s\n" (Csdl.Fault.error_to_string fault);
+        exit 1
+  in
+  let keys = Engine.keys engine in
+  let config =
+    {
+      (Server.default_config ~port:0) with
+      jobs = 4;
+      queue_capacity = 256;
+      default_deadline_s = 5.0;
+      io_timeout_s = 10.0;
+    }
+  in
+  let srv = Server.create ~obs config engine in
+  let port = Server.port srv in
+  let server_domain = Domain.spawn (fun () -> Server.serve srv) in
+  let results =
+    Pool.map_array ~jobs:client_jobs
+      (fun i -> run_one_query ~port ~keys i)
+      (Array.init n Fun.id)
+  in
+  Server.stop srv;
+  Domain.join server_domain;
+  let tally = Hashtbl.create 4 in
+  Array.iter
+    (fun (cls, _, _) ->
+      Hashtbl.replace tally cls (1 + Option.value ~default:0 (Hashtbl.find_opt tally cls)))
+    results;
+  let count cls = Option.value ~default:0 (Hashtbl.find_opt tally cls) in
+  let latencies = Array.map (fun (_, l, _) -> l) results in
+  Array.sort compare latencies;
+  let p99 = latencies.(min (n - 1) (n * 99 / 100)) in
+  let forced = (n + 96) / 97 in
+  Printf.printf
+    "answered %d, degraded %d, deadline_exceeded %d, shed %d; p99 %.4fs\n%!"
+    (count "answered") (count "degraded") (count "deadline_exceeded")
+    (count "shed") p99;
+  check (Array.length results = n) "all %d queries got exactly one reply" n;
+  check
+    (Hashtbl.fold (fun cls _ acc -> acc
+       && List.mem cls [ "answered"; "degraded"; "deadline_exceeded"; "shed" ])
+       tally true)
+    "every reply is answered/degraded/deadline_exceeded/shed";
+  check (count "answered" > 0) "some requests answered on the full CSDL path";
+  check (count "degraded" > 0) "chaos produced degraded-with-trace replies";
+  check
+    (count "deadline_exceeded" >= forced)
+    "all %d impossible-budget requests hit the deadline path" forced;
+  check (count "shed" = 0) "no shedding with an adequate queue";
+  (* a real hang would sit at the 10s IO / 30s client timeout, far above
+     this; the slack below it absorbs CPU contention between the client
+     and server domains on small CI machines *)
+  check (p99 < 5.0) "p99 latency %.4fs bounded under 5s" p99;
+  (* the server's own accounting must agree with what clients saw *)
+  let total = counter_value obs "server.requests.total" in
+  check (total = n) "server counted %d requests (saw %d)" n total;
+  let outcome cls = counter_value obs ~labels:[ ("class", cls) ] "server.outcome" in
+  List.iter
+    (fun cls ->
+      check
+        (outcome cls = count cls)
+        "server.outcome{class=%s} = %d matches client tally %d" cls
+        (outcome cls) (count cls))
+    [ "answered"; "degraded"; "deadline_exceeded"; "shed" ];
+  check
+    (List.fold_left (fun acc cls -> acc + outcome cls) 0
+       [ "answered"; "degraded"; "deadline_exceeded"; "shed" ]
+    = total)
+    "outcome classes sum to the request count";
+  let stats = Engine.cache_stats engine in
+  check
+    (stats.Csdl.Synopsis_cache.s_evictions > 0)
+    "cache churned (%d evictions, %d misses)"
+    stats.Csdl.Synopsis_cache.s_evictions stats.Csdl.Synopsis_cache.s_misses;
+  Printf.printf
+    "loads %d, chaos fail %d, chaos corrupt %d, singleflight shared %d, breaker trips %d\n%!"
+    (counter_value obs "server.loads.total")
+    (counter_value obs ~labels:[ ("mode", "fail") ] "server.chaos.injected")
+    (counter_value obs ~labels:[ ("mode", "corrupt") ] "server.chaos.injected")
+    (counter_value obs "server.singleflight.shared")
+    (counter_value obs "server.breaker.rejected")
+
+(* ---------------- phase B: forced overload, explicit shedding -------- *)
+
+let phase_b ~store_path ~resolve_table =
+  Printf.printf "== phase B: 1 worker, queue of 2, burst of 30 ==\n%!";
+  let obs = Obs.create () in
+  let engine =
+    match
+      Engine.create ~obs Engine.default_config ~resolve_table ~store_path
+    with
+    | Ok e -> e
+    | Error fault ->
+        Printf.eprintf "store unreadable: %s\n" (Csdl.Fault.error_to_string fault);
+        exit 1
+  in
+  let key = List.hd (Engine.keys engine) in
+  let config =
+    {
+      (Server.default_config ~port:0) with
+      jobs = 1;
+      queue_capacity = 2;
+      queue_policy = Repro_server.Admission.Drop_oldest;
+      default_deadline_s = 5.0;
+      io_timeout_s = 0.6;
+    }
+  in
+  let srv = Server.create ~obs config engine in
+  let port = Server.port srv in
+  let server_domain = Domain.spawn (fun () -> Server.serve srv) in
+  (* a mute client: the single worker blocks reading it until the IO
+     timeout, so the queue must absorb — and then shed — the burst *)
+  let hostage = Client.connect ~host:"127.0.0.1" ~port () in
+  Clock.sleepf 0.1;
+  let burst = 30 in
+  let results =
+    Pool.map_array ~jobs:16
+      (fun i ->
+        let c = Client.connect ~timeout_s:30.0 ~host:"127.0.0.1" ~port () in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            match Client.estimate c ~key () with
+            | Ok r -> Protocol.reply_class r
+            | Error e -> failwith (Printf.sprintf "burst %d: bad reply: %s" i e)))
+      (Array.init burst Fun.id)
+  in
+  Client.close hostage;
+  Server.stop srv;
+  Domain.join server_domain;
+  let count cls =
+    Array.fold_left (fun acc c -> if c = cls then acc + 1 else acc) 0 results
+  in
+  Printf.printf "answered %d, shed %d\n%!" (count "answered") (count "shed");
+  check (Array.length results = burst) "all %d burst connections replied" burst;
+  check (count "shed" > 0) "overload shed explicitly (%d shed)" (count "shed");
+  check
+    (count "answered" + count "shed" + count "degraded"
+     + count "deadline_exceeded"
+    = burst)
+    "burst outcomes partition the %d connections" burst;
+  let outcome cls = counter_value obs ~labels:[ ("class", cls) ] "server.outcome" in
+  check
+    (outcome "shed" = count "shed")
+    "server.outcome{class=shed} = %d matches client tally %d" (outcome "shed")
+    (count "shed");
+  check
+    (counter_value obs "server.requests.total"
+    = List.fold_left (fun acc cls -> acc + outcome cls) 0
+        [ "answered"; "degraded"; "deadline_exceeded"; "shed" ])
+    "outcome classes sum to the request count under overload"
+
+(* ---------------- driver ---------------- *)
+
+let () =
+  let n = ref 5000 in
+  let chaos = ref 0.3 in
+  let client_jobs = ref 8 in
+  Arg.parse
+    [
+      ("--queries", Arg.Set_int n, "total phase-A queries (default 5000)");
+      ("--chaos", Arg.Set_float chaos, "fraction of loads corrupted (default 0.3)");
+      ("--client-jobs", Arg.Set_int client_jobs, "concurrent client domains (default 8)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "load_server [--queries N] [--chaos F] [--client-jobs N]";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let dir = Filename.temp_file "load-server" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let store_path, _keys = build_store ~dir ~seed:3 in
+  let resolve_table = memoized_resolver () in
+  phase_a ~n:!n ~chaos:!chaos ~client_jobs:!client_jobs ~store_path
+    ~resolve_table;
+  phase_b ~store_path ~resolve_table;
+  if !failures > 0 then begin
+    Printf.printf "%d check(s) FAILED\n" !failures;
+    exit 1
+  end;
+  print_endline "load test passed"

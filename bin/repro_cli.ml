@@ -799,6 +799,270 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Benchmark provenance artifacts.")
     [ bench_diff_cmd ]
 
+(* ---------------- serve / client ---------------- *)
+
+module Server = Repro_server.Server
+module Server_client = Repro_server.Client
+module Protocol = Repro_server.Protocol
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind or connect to.")
+
+let port_arg =
+  Arg.(
+    value & opt int 7447
+    & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (0 binds an ephemeral one).")
+
+let serve_jobs_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains serving requests.")
+
+let queue_capacity_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue-capacity" ] ~docv:"N"
+        ~doc:"Admission queue slots; beyond this, connections are shed.")
+
+let queue_policy_arg =
+  Arg.(
+    value
+    & opt (enum [ ("reject", Repro_server.Admission.Reject);
+                  ("drop-oldest", Repro_server.Admission.Drop_oldest) ])
+        Repro_server.Admission.Reject
+    & info [ "queue-policy" ] ~docv:"POLICY"
+        ~doc:"What to shed when the queue is full: the new arrival \
+              ($(b,reject)) or the longest-waiting one ($(b,drop-oldest)).")
+
+let deadline_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:"Default per-request deadline (anchored at accept time for \
+              the first request on a connection).")
+
+let cache_capacity_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:"Decoded-synopsis LRU slots; misses re-decode the store file.")
+
+let chaos_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "chaos" ] ~docv:"FRACTION"
+        ~doc:"Fault-injection mode: corrupt this fraction of synopsis \
+              loads (half hard load failures, half silent corruptions the \
+              checked estimator must catch). Deterministic per --seed.")
+
+let serve_run store host port jobs queue_capacity queue_policy deadline
+    cache_capacity chaos seed =
+  let obs = Obs.create () in
+  let engine_config =
+    {
+      Repro_server.Engine.default_config with
+      cache_capacity;
+      chaos;
+      seed;
+    }
+  in
+  match
+    Repro_server.Engine.create ~obs engine_config
+      ~resolve_table:Csv_io.read_auto ~store_path:store
+  with
+  | Error fault ->
+      Printf.eprintf "error: %s: %s\n" store (Csdl.Fault.error_to_string fault);
+      exit 1
+  | Ok engine ->
+      let config =
+        {
+          (Server.default_config ~port) with
+          host;
+          jobs;
+          queue_capacity;
+          queue_policy;
+          default_deadline_s = deadline;
+        }
+      in
+      let srv = Server.create ~obs config engine in
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      let stop _ = Server.stop srv in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Printf.eprintf "serving %d synopses from %s on %s:%d (%d workers%s)\n%!"
+        (List.length (Repro_server.Engine.keys engine))
+        store host (Server.port srv) jobs
+        (if chaos > 0.0 then Printf.sprintf ", chaos %g" chaos else "");
+      Server.serve srv;
+      Printf.eprintf "shutdown complete\n%!"
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the estimation daemon: load a synopsis store and answer \
+          line-oriented estimation queries over TCP, with per-request \
+          deadlines, bounded admission (explicit load shedding), per-key \
+          circuit breakers and graceful degradation to the independence \
+          prior. SIGTERM drains the queue and exits 0.")
+    Term.(
+      const serve_run $ store_arg $ host_arg $ port_arg $ serve_jobs_arg
+      $ queue_capacity_arg $ queue_policy_arg $ deadline_arg
+      $ cache_capacity_arg $ chaos_arg $ seed_arg)
+
+let client_queries_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "queries" ] ~docv:"FILE"
+        ~doc:
+          "Query file in batch format ('LEFT ;; RIGHT' per line); replies \
+           print as '<id>: <estimate>' lines, byte-comparable to \
+           $(b,repro_cli batch).")
+
+let client_key_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "key" ] ~docv:"KEY" ~doc:"Join-graph key to query.")
+
+let verb_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "verb" ] ~docv:"VERB"
+        ~doc:"Send one protocol verb (health, ready, keys, metrics) and \
+              print the reply.")
+
+let client_deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Per-request deadline override.")
+
+(* first ";;" splits left/right, as in batch query files *)
+let split_query_line s =
+  let n = String.length s in
+  let rec find i =
+    if i + 1 >= n then None
+    else if s.[i] = ';' && s.[i + 1] = ';' then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> (s, None)
+  | Some i -> (String.sub s 0 i, Some (String.sub s (i + 2) (n - i - 2)))
+
+(* Send the raw predicate text and let the server parse it — the same
+   parser batch mode uses, so semantics cannot drift. Ids number surviving
+   lines exactly like Batch.parse_queries. *)
+let client_run_queries c ~key ~deadline_s contents =
+  let failures = ref 0 in
+  let i = ref 0 in
+  String.split_on_char '\n' contents
+  |> List.iter (fun raw ->
+         let s = String.trim raw in
+         if s <> "" && s.[0] <> '#' then begin
+           let id = Repro_benchlib.Batch.query_id !i in
+           incr i;
+           let pred_a, pred_b =
+             match split_query_line s with
+             | left, Some right -> (left, right)
+             | left, None -> (left, "")
+           in
+           match
+             Server_client.estimate c ?deadline_s ~pred_a ~pred_b ~key ()
+           with
+           | Ok (Protocol.R_ok v) -> Printf.printf "%s: %.17g\n" id v
+           | Ok (Protocol.R_degraded (v, trace)) ->
+               incr failures;
+               Printf.printf "%s: degraded %.17g (%s)\n" id v trace
+           | Ok (Protocol.R_deadline_exceeded what) ->
+               incr failures;
+               Printf.printf "%s: deadline_exceeded (%s)\n" id what
+           | Ok (Protocol.R_shed retry) ->
+               incr failures;
+               Printf.printf "%s: shed (retry_after %gs)\n" id retry
+           | Ok (Protocol.R_err e) ->
+               Printf.eprintf "error: %s: %s\n" id e;
+               exit 1
+           | Error e ->
+               Printf.eprintf "error: %s: bad reply: %s\n" id e;
+               exit 1
+         end);
+  !failures
+
+let client_run host port verb queries key deadline_s where_left where_right =
+  let c = Server_client.connect ~host ~port () in
+  Fun.protect
+    ~finally:(fun () -> Server_client.close c)
+    (fun () ->
+      match (verb, queries, key) with
+      | Some v, _, _ -> (
+          match v with
+          | "metrics" -> (
+              match Server_client.metrics c with
+              | Ok body -> print_string body
+              | Error e ->
+                  Printf.eprintf "error: %s\n" e;
+                  exit 1)
+          | "health" | "ready" | "keys" -> print_endline (Server_client.raw c v)
+          | v ->
+              Printf.eprintf "error: unknown verb %S\n" v;
+              exit 1)
+      | None, Some qfile, Some key ->
+          let contents =
+            let ic = open_in_bin qfile in
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          let failures = client_run_queries c ~key ~deadline_s contents in
+          if failures > 0 then
+            Printf.eprintf "%d queries did not take the full CSDL path\n"
+              failures
+      | None, None, Some key -> (
+          let some_if_nontrivial p =
+            match p with Predicate.True -> None | p -> Some (Predicate.to_string p)
+          in
+          match
+            Server_client.estimate c ?deadline_s
+              ?pred_a:(some_if_nontrivial where_left)
+              ?pred_b:(some_if_nontrivial where_right)
+              ~key ()
+          with
+          | Ok (Protocol.R_ok v) -> Printf.printf "%.17g\n" v
+          | Ok (Protocol.R_degraded (v, trace)) ->
+              Printf.printf "degraded %.17g (%s)\n" v trace
+          | Ok (Protocol.R_deadline_exceeded what) ->
+              Printf.printf "deadline_exceeded (%s)\n" what
+          | Ok (Protocol.R_shed retry) ->
+              Printf.printf "shed (retry_after %gs)\n" retry
+          | Ok (Protocol.R_err e) ->
+              Printf.eprintf "error: %s\n" e;
+              exit 1
+          | Error e ->
+              Printf.eprintf "error: bad reply: %s\n" e;
+              exit 1)
+      | None, _, None ->
+          Printf.eprintf
+            "error: need --key (with optional --queries) or --verb\n";
+          exit 1)
+
+let client_cmd =
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Query a running estimation daemon. With --queries, replays a \
+          batch query file and prints '<id>: <estimate>' lines \
+          byte-comparable to $(b,repro_cli batch); with --verb, sends one \
+          protocol verb (health, ready, keys, metrics).")
+    Term.(
+      const client_run $ host_arg $ port_arg $ verb_arg $ client_queries_arg
+      $ client_key_arg $ client_deadline_arg $ where_left_arg
+      $ where_right_arg)
+
 (* ---------------- workload ---------------- *)
 
 let workload scale seed =
@@ -837,5 +1101,7 @@ let () =
             synopsis_build_cmd;
             synopsis_estimate_cmd;
             batch_cmd;
+            serve_cmd;
+            client_cmd;
             workload_cmd;
           ]))

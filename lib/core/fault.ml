@@ -9,6 +9,7 @@ type error =
   | Corrupt_synopsis of string
   | Bad_input of string
   | Store_mismatch of { what : string; detail : string }
+  | Timeout of { what : string; budget_s : float }
 
 type degradation = { rung : string; fault : error }
 
@@ -27,6 +28,8 @@ let error_to_string = function
   | Bad_input reason -> "bad input: " ^ reason
   | Store_mismatch { what; detail } ->
       Printf.sprintf "synopsis store %s mismatch: %s" what detail
+  | Timeout { what; budget_s } ->
+      Printf.sprintf "%s exceeded its %.3fs deadline" what budget_s
 
 let contains_substring s sub =
   let n = String.length s and m = String.length sub in
@@ -56,6 +59,7 @@ let variant_label = function
   | Corrupt_synopsis _ -> "corrupt_synopsis"
   | Bad_input _ -> "bad_input"
   | Store_mismatch _ -> "store_mismatch"
+  | Timeout _ -> "timeout"
 
 let degradation_to_string { rung; fault } =
   Printf.sprintf "%s failed: %s" rung (error_to_string fault)

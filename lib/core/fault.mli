@@ -36,6 +36,10 @@ type error =
           failure, a truncated or malformed payload, or base-table
           fingerprints that do not match the resolved tables. [what] names
           the failing check (e.g. ["checksum"], ["fingerprint"]). *)
+  | Timeout of { what : string; budget_s : float }
+      (** an operation ran out of its deadline budget — the estimation
+          server degrades or rejects instead of hanging; [what] names the
+          stage (e.g. ["request"], ["synopsis load"]). *)
 
 val error_to_string : error -> string
 val pp_error : Format.formatter -> error -> unit

@@ -47,6 +47,8 @@ type info = {
   i_variant : string;
   i_prng_key : string;
   i_tuples : int;
+  i_fingerprint_a : int64;
+  i_fingerprint_b : int64;
 }
 
 let info store key =
@@ -61,6 +63,8 @@ let info store key =
           Spec.to_string entry.synopsis.Synopsis.resolved.Budget.spec;
         i_prng_key = entry.prng_key;
         i_tuples = Synopsis.size_tuples entry.synopsis;
+        i_fingerprint_a = entry.fingerprint_a;
+        i_fingerprint_b = entry.fingerprint_b;
       })
     (Hashtbl.find_opt store key)
 

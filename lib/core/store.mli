@@ -46,6 +46,8 @@ type info = {
   i_variant : string;  (** {!Spec.to_string} of the resolved spec *)
   i_prng_key : string;
   i_tuples : int;  (** stored sample tuples in this synopsis *)
+  i_fingerprint_a : int64;  (** content fingerprint of [i_table_a]'s data *)
+  i_fingerprint_b : int64;  (** content fingerprint of [i_table_b]'s data *)
 }
 
 val info : t -> string -> info option

@@ -43,6 +43,16 @@ let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions
 
+type stats = { s_hits : int; s_misses : int; s_evictions : int; s_size : int }
+
+let stats t =
+  {
+    s_hits = t.hits;
+    s_misses = t.misses;
+    s_evictions = t.evictions;
+    s_size = Hashtbl.length t.slots;
+  }
+
 let touch t slot =
   t.tick <- t.tick + 1;
   slot.stamp <- t.tick

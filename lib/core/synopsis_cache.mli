@@ -39,3 +39,10 @@ val length : t -> int
 val hits : t -> int
 val misses : t -> int
 val evictions : t -> int
+
+type stats = { s_hits : int; s_misses : int; s_evictions : int; s_size : int }
+
+val stats : t -> stats
+(** One consistent view of the tallies above plus the current size, so
+    servers and tests read cache behaviour directly instead of scraping
+    the metrics registry. *)

@@ -433,11 +433,27 @@ let decode ~resolve_table data =
 
 (* ---------------- file IO ---------------- *)
 
+(* Crash-safe write: the image goes to a fresh temp file in the target's
+   own directory (rename is only atomic within a filesystem) and is
+   renamed over [path] only after a successful close. A process killed
+   mid-write can therefore never leave a torn store at [path] — readers
+   see either the old bytes or the new ones, and the orphaned temp file
+   is removed on any failure. *)
 let write ~path entries =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (encode entries))
+  let dir = Filename.dirname path in
+  let tmp, oc =
+    Filename.open_temp_file ~mode:[ Open_binary ] ~temp_dir:dir
+      (Filename.basename path ^ ".") ".tmp"
+  in
+  match
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (encode entries))
+  with
+  | () -> Sys.rename tmp path
+  | exception exn ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise exn
 
 let read ~resolve_table ~path =
   match

@@ -57,6 +57,10 @@ val decode :
     [Error (Store_mismatch _)]; this function never raises. *)
 
 val write : path:string -> stored list -> unit
+(** Crash-safe: the image is written to a temp file in [path]'s directory
+    and atomically renamed over [path], so a killed writer never leaves a
+    torn store file — readers observe the old contents or the new ones,
+    nothing in between. *)
 
 val read :
   resolve_table:(string -> Table.t) ->

@@ -12,6 +12,10 @@ type fault =
 let all =
   [ Corrupt_counts; Drop_sentries; Nan_rates; Truncate_samples; Force_lp_failure ]
 
+let pick prng =
+  let faults = Array.of_list all in
+  faults.(Prng.int prng (Array.length faults))
+
 let to_string = function
   | Corrupt_counts -> "corrupt-counts"
   | Drop_sentries -> "drop-sentries"

@@ -31,6 +31,10 @@ type fault =
 val all : fault list
 val to_string : fault -> string
 
+val pick : Repro_util.Prng.t -> fault
+(** One uniformly random fault — how the server's [--chaos] mode chooses
+    which corruption to apply to an injected load. *)
+
 val corrupt : fault -> Repro_util.Prng.t -> Synopsis.t -> Synopsis.t
 (** Apply one fault to a drawn synopsis. The input is not mutated; shared
     structure aside, a fresh synopsis is returned. [Force_lp_failure] is

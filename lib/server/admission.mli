@@ -1,0 +1,43 @@
+(** Bounded admission queue between the accept loop and the worker pool.
+
+    Accepted connections wait here until a worker domain picks them up.
+    The queue has a hard capacity; when it is full the server {e sheds
+    load} explicitly instead of letting latency grow without bound. Two
+    shedding policies:
+
+    - [Reject]: the new arrival is turned away (the server tells the
+      client to retry later);
+    - [Drop_oldest]: the new arrival is admitted and the {e oldest}
+      queued item is displaced (the item that has already waited longest
+      is the one most likely to be past its deadline anyway).
+
+    Domain-safe: one mutex plus a condition for blocking consumers. *)
+
+type policy = Reject | Drop_oldest
+
+type 'a t
+
+val create :
+  ?obs:Repro_obs.Obs.ctx -> policy:policy -> capacity:int -> unit -> 'a t
+(** [capacity] is clamped to at least 1. A live [obs] context tracks the
+    queue depth ([server.queue.depth] gauge) and sheds
+    ([server.queue.shed{policy}]). *)
+
+type 'a offer_result =
+  | Admitted
+  | Rejected  (** full under [Reject]: caller sheds the new arrival *)
+  | Displaced of 'a
+      (** admitted under [Drop_oldest]: caller sheds the returned item *)
+  | Closed  (** the queue no longer accepts work (shutdown) *)
+
+val offer : 'a t -> 'a -> 'a offer_result
+
+val take : 'a t -> 'a option
+(** Block until an item is available or the queue is closed {e and}
+    drained; [None] means no more work will ever arrive. *)
+
+val close : 'a t -> unit
+(** Stop accepting offers; queued items are still handed out. Wakes every
+    blocked {!take}. *)
+
+val depth : 'a t -> int

@@ -1,0 +1,87 @@
+module Clock = Repro_util.Clock
+module Obs = Repro_obs.Obs
+
+type config = { threshold : int; cooldown_s : float }
+
+let default_config = { threshold = 5; cooldown_s = 1.0 }
+
+type key_state =
+  | Closed of int  (** consecutive failures so far *)
+  | Open of float  (** refuse until this instant *)
+  | Half_open  (** one probe in flight *)
+
+type t = {
+  config : config;
+  clock : Clock.t;
+  obs : Obs.ctx;
+  mutex : Mutex.t;
+  states : (string, key_state) Hashtbl.t;
+  mutable trips : int;
+}
+
+let create ?(obs = Obs.null) ?(clock = Clock.wall) config =
+  Obs.count obs "server.breaker.trips" 0;
+  Obs.count obs "server.breaker.rejected" 0;
+  {
+    config = { config with threshold = max 1 config.threshold };
+    clock;
+    obs;
+    mutex = Mutex.create ();
+    states = Hashtbl.create 16;
+    trips = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let get t key =
+  match Hashtbl.find_opt t.states key with
+  | Some s -> s
+  | None -> Closed 0
+
+let acquire t key =
+  locked t (fun () ->
+      match get t key with
+      | Closed _ -> `Proceed
+      | Half_open ->
+          Obs.count t.obs "server.breaker.rejected" 1;
+          `Open 0.0
+      | Open until ->
+          let now = t.clock () in
+          if now >= until then begin
+            (* cooldown over: this caller becomes the half-open probe *)
+            Hashtbl.replace t.states key Half_open;
+            `Proceed
+          end
+          else begin
+            Obs.count t.obs "server.breaker.rejected" 1;
+            `Open (until -. now)
+          end)
+
+let success t key = locked t (fun () -> Hashtbl.replace t.states key (Closed 0))
+
+let trip t key =
+  Hashtbl.replace t.states key (Open (t.clock () +. t.config.cooldown_s));
+  t.trips <- t.trips + 1;
+  Obs.count t.obs ~labels:[ ("key", key) ] "server.breaker.trips" 1
+
+let failure t key =
+  locked t (fun () ->
+      match get t key with
+      | Half_open -> trip t key
+      | Open _ -> ()
+      | Closed n ->
+          if n + 1 >= t.config.threshold then trip t key
+          else Hashtbl.replace t.states key (Closed (n + 1)))
+
+(* An elapsed cooldown still reports [`Open]: the transition to half-open
+   happens only when a caller acquires the probe slot. *)
+let state t key =
+  locked t (fun () ->
+      match get t key with
+      | Closed n -> `Closed n
+      | Half_open -> `Half_open
+      | Open _ -> `Open)
+
+let trips t = locked t (fun () -> t.trips)

@@ -1,0 +1,50 @@
+(** Per-key circuit breakers over the synopsis-load path.
+
+    A synopsis key whose loads keep failing (torn store, fingerprint
+    drift, injected chaos) should stop consuming retry budgets on every
+    request: after [threshold] consecutive failures the breaker {e trips}
+    and further loads of that key are refused outright for [cooldown_s]
+    seconds — callers degrade immediately instead of waiting out doomed
+    retries. After the cooldown one probe is allowed through (half-open);
+    its success closes the breaker, its failure re-trips it.
+
+    Domain-safe: every transition runs under one mutex. Time comes from an
+    injectable {!Repro_util.Clock}, so tests drive cooldowns with
+    {!Repro_util.Clock.shared_clock}. *)
+
+type config = {
+  threshold : int;  (** consecutive failures before tripping; min 1 *)
+  cooldown_s : float;  (** open duration before a half-open probe *)
+}
+
+val default_config : config
+(** threshold 5, cooldown 1s. *)
+
+type t
+
+val create :
+  ?obs:Repro_obs.Obs.ctx -> ?clock:Repro_util.Clock.t -> config -> t
+(** A live [obs] context counts trips ([server.breaker.trips{key}]) and
+    refused acquisitions ([server.breaker.rejected]). *)
+
+val acquire : t -> string -> [ `Proceed | `Open of float ]
+(** Ask to attempt a load of [key]. [`Open remaining_s] means the breaker
+    is open (or another probe is in flight) — do not try. [`Proceed]
+    reserves the half-open probe slot when the cooldown has just elapsed;
+    the caller must then report {!success} or {!failure}. *)
+
+val success : t -> string -> unit
+(** A load of [key] succeeded: close the breaker, reset the failure
+    count. *)
+
+val failure : t -> string -> unit
+(** A load attempt of [key] failed: bump the consecutive-failure count,
+    tripping the breaker at [threshold]; a half-open probe failure
+    re-trips immediately. *)
+
+val state : t -> string -> [ `Closed of int | `Open | `Half_open ]
+(** Current state ([`Closed n] carries the consecutive-failure count).
+    Keys never seen are [`Closed 0]. *)
+
+val trips : t -> int
+(** Total trips across all keys since creation. *)

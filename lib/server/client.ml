@@ -1,0 +1,46 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable closed : bool;
+}
+
+let connect ?(timeout_s = 10.0) ~host ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s
+   with exn ->
+     (try Unix.close fd with _ -> ());
+     raise exn);
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    closed = false;
+  }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_out_noerr t.oc
+  end
+
+let raw t line =
+  output_string t.oc (line ^ "\n");
+  flush t.oc;
+  input_line t.ic
+
+let estimate t ?deadline_s ?pred_a ?pred_b ~key () =
+  let line = Protocol.render_estimate ~key ?deadline_s ?pred_a ?pred_b () in
+  Protocol.parse_reply (raw t line)
+
+let metrics t =
+  let header = raw t "metrics" in
+  match String.split_on_char ' ' (String.trim header) with
+  | [ "ok"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 -> Ok (really_input_string t.ic n)
+      | _ -> Error ("bad metrics header " ^ header))
+  | _ -> Error ("bad metrics header " ^ header)

@@ -1,0 +1,33 @@
+(** Minimal blocking client for the estimation daemon — used by
+    [repro_cli client], the server smoke test and the load driver.
+
+    One [t] is one TCP connection; requests on it are serialized. All
+    calls can raise [Unix.Unix_error] / [End_of_file] on a dead or
+    unreachable server — callers that must survive that (the load driver)
+    catch and account. *)
+
+type t
+
+val connect : ?timeout_s:float -> host:string -> port:int -> unit -> t
+(** [timeout_s] (default 10) bounds reads and writes on the connection. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val estimate :
+  t ->
+  ?deadline_s:float ->
+  ?pred_a:string ->
+  ?pred_b:string ->
+  key:string ->
+  unit ->
+  (Protocol.reply, string) result
+(** One estimation round trip; predicates are raw predicate-syntax
+    strings. [Error _] is a malformed reply line (a server bug). *)
+
+val raw : t -> string -> string
+(** Send one request line verbatim, return the single reply line —
+    for [health], [ready], [keys] and protocol tests. *)
+
+val metrics : t -> (string, string) result
+(** The [metrics] verb: returns the full Prometheus text body. *)

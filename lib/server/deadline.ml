@@ -1,0 +1,21 @@
+module Clock = Repro_util.Clock
+
+type t = { clock : Clock.t; expires : float; budget : float }
+
+let check budget_s =
+  if not (Float.is_finite budget_s) || budget_s < 0.0 then
+    invalid_arg
+      (Printf.sprintf "Deadline: budget must be finite and >= 0 (got %g)"
+         budget_s)
+
+let anchored ?(clock = Clock.wall) ~start ~budget_s () =
+  check budget_s;
+  { clock; expires = start +. budget_s; budget = budget_s }
+
+let make ?(clock = Clock.wall) ~budget_s () =
+  anchored ~clock ~start:(clock ()) ~budget_s ()
+
+let budget_s t = t.budget
+let remaining t = Float.max 0.0 (t.expires -. t.clock ())
+let exceeded t = t.expires -. t.clock () <= 0.0
+let fault ~what t = Csdl.Fault.Timeout { what; budget_s = t.budget }

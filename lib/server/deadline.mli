@@ -1,0 +1,30 @@
+(** Per-request deadlines, on the injectable {!Repro_util.Clock}.
+
+    A deadline is an absolute expiry instant plus the budget it was
+    created with. Every stage of the serving path checks one before
+    spending work, so a request always terminates in a typed outcome —
+    never a hung connection. Tests drive deadline code deterministically
+    with {!Repro_util.Clock.shared_clock}. *)
+
+type t
+
+val make : ?clock:Repro_util.Clock.t -> budget_s:float -> unit -> t
+(** Expires [budget_s] seconds from now. [budget_s] must be finite and
+    non-negative ([Invalid_argument] otherwise); a zero budget is already
+    expired. Default clock: {!Repro_util.Clock.wall}. *)
+
+val anchored :
+  ?clock:Repro_util.Clock.t -> start:float -> budget_s:float -> unit -> t
+(** Like {!make} but anchored at instant [start] instead of now — the
+    server charges queue wait by anchoring at connection-accept time. *)
+
+val budget_s : t -> float
+(** The budget the deadline was created with. *)
+
+val remaining : t -> float
+(** Seconds left; negative once expired. *)
+
+val exceeded : t -> bool
+
+val fault : what:string -> t -> Csdl.Fault.error
+(** [Timeout { what; budget_s }] for degradation traces. *)

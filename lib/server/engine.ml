@@ -1,0 +1,284 @@
+open Repro_relation
+module Clock = Repro_util.Clock
+module Prng = Repro_util.Prng
+module Obs = Repro_obs.Obs
+module Cache = Csdl.Synopsis_cache
+module Fault = Csdl.Fault
+module Fault_injection = Repro_robustness.Fault_injection
+
+type config = {
+  cache_capacity : int;
+  breaker : Breaker.config;
+  backoff : Backoff.policy;
+  chaos : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    cache_capacity = 32;
+    breaker = Breaker.default_config;
+    backoff = Backoff.default;
+    chaos = 0.0;
+    seed = 1;
+  }
+
+type meta = {
+  m_cache_key : Cache.key;
+  m_swapped : bool;
+  m_prior : float;  (** independence prior, computed once at startup *)
+}
+
+type t = {
+  config : config;
+  obs : Obs.ctx;
+  clock : Clock.t;
+  sleep : Clock.sleeper;
+  store_path : string;
+  resolve_table : string -> Table.t;
+  metas : (string, meta) Hashtbl.t;  (* read-only after [create] *)
+  cache : Cache.t;
+  cache_mutex : Mutex.t;
+  breaker : Breaker.t;
+  flights : (Csdl.Synopsis.t, Fault.error) result Single_flight.t;
+  load_seq : int Atomic.t;
+}
+
+(* |A| * |B| / max(d_A, d_B): the System-R independence prior of
+   [Estimator.independence_prior], computed from the stored synopsis'
+   table handles instead of a full profile (the formula is symmetric, so
+   sampler orientation does not matter). *)
+let prior_of_synopsis (syn : Csdl.Synopsis.t) =
+  let side (s : Csdl.Sample.t) =
+    (Table.cardinality s.table, Table.distinct_count s.table s.column)
+  in
+  let card_a, d_a = side syn.sample_a in
+  let card_b, d_b = side syn.sample_b in
+  let d = max d_a d_b in
+  if d = 0 then 0.0
+  else float_of_int card_a *. float_of_int card_b /. float_of_int d
+
+let meta_of_stored (s : Csdl.Synopsis_store.stored) =
+  let resolved = s.synopsis.Csdl.Synopsis.resolved in
+  {
+    m_cache_key =
+      {
+        Cache.fp_a = s.fingerprint_a;
+        fp_b = s.fingerprint_b;
+        variant = Csdl.Spec.to_string resolved.Csdl.Budget.spec;
+        theta = resolved.Csdl.Budget.theta;
+        prng_key = s.prng_key;
+      };
+    m_swapped = s.swapped;
+    m_prior = prior_of_synopsis s.synopsis;
+  }
+
+let create ?(obs = Obs.null) ?(clock = Clock.wall) ?(sleep = Clock.sleepf)
+    config ~resolve_table ~store_path =
+  let config =
+    {
+      config with
+      cache_capacity = max 1 config.cache_capacity;
+      chaos = Float.max 0.0 (Float.min 1.0 config.chaos);
+    }
+  in
+  match Csdl.Synopsis_store.read ~resolve_table ~path:store_path with
+  | Error _ as e -> e
+  | Ok entries ->
+      let metas = Hashtbl.create 16 in
+      let cache = Cache.create ~obs ~capacity:config.cache_capacity () in
+      List.iter
+        (fun (s : Csdl.Synopsis_store.stored) ->
+          let meta = meta_of_stored s in
+          Hashtbl.replace metas s.key meta;
+          Cache.insert cache meta.m_cache_key s.synopsis)
+        entries;
+      Obs.count obs "server.requests.total" 0;
+      List.iter
+        (fun cls -> Obs.count obs ~labels:[ ("class", cls) ] "server.outcome" 0)
+        [ "answered"; "degraded"; "deadline_exceeded" ];
+      List.iter
+        (fun mode ->
+          Obs.count obs ~labels:[ ("mode", mode) ] "server.chaos.injected" 0)
+        [ "fail"; "corrupt" ];
+      Obs.count obs "server.loads.total" 0;
+      Ok
+        {
+          config;
+          obs;
+          clock;
+          sleep;
+          store_path;
+          resolve_table;
+          metas;
+          cache;
+          cache_mutex = Mutex.create ();
+          breaker = Breaker.create ~obs ~clock config.breaker;
+          flights = Single_flight.create ~obs ();
+          load_seq = Atomic.make 0;
+        }
+
+let keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.metas [] |> List.sort compare
+
+let mem t key = Hashtbl.mem t.metas key
+
+let cache_stats t =
+  Mutex.lock t.cache_mutex;
+  let stats = Cache.stats t.cache in
+  Mutex.unlock t.cache_mutex;
+  stats
+
+let breaker_state t key = Breaker.state t.breaker key
+
+let cache_find t meta =
+  Mutex.lock t.cache_mutex;
+  let found = Cache.find t.cache meta.m_cache_key in
+  Mutex.unlock t.cache_mutex;
+  found
+
+let cache_insert t meta syn =
+  Mutex.lock t.cache_mutex;
+  Cache.insert t.cache meta.m_cache_key syn;
+  Mutex.unlock t.cache_mutex
+
+(* One decode of the store file, with chaos injection. Chaos draws from a
+   per-load keyed stream, so a run replays exactly from (seed, load
+   sequence); a silent corruption is returned as [Ok] on purpose — the
+   checked estimator, not the loader, must catch it. *)
+let load_once t key seq =
+  Obs.count t.obs "server.loads.total" 1;
+  match
+    Csdl.Synopsis_store.read ~resolve_table:t.resolve_table
+      ~path:t.store_path
+  with
+  | Error _ as e -> e
+  | Ok entries -> (
+      match
+        List.find_opt
+          (fun (s : Csdl.Synopsis_store.stored) -> s.key = key)
+          entries
+      with
+      | None ->
+          Error
+            (Fault.Store_mismatch
+               { what = "key"; detail = key ^ " missing from store" })
+      | Some s ->
+          if t.config.chaos <= 0.0 then Ok s.synopsis
+          else
+            let prng =
+              Prng.create_keyed ~seed:t.config.seed
+                (Printf.sprintf "chaos/%s/load=%d" key seq)
+            in
+            if Prng.float prng >= t.config.chaos then Ok s.synopsis
+            else if Prng.bool prng then begin
+              Obs.count t.obs
+                ~labels:[ ("mode", "fail") ]
+                "server.chaos.injected" 1;
+              Error
+                (Fault.Store_mismatch
+                   {
+                     what = "chaos";
+                     detail = "injected load failure for " ^ key;
+                   })
+            end
+            else begin
+              Obs.count t.obs
+                ~labels:[ ("mode", "corrupt") ]
+                "server.chaos.injected" 1;
+              let fault = Fault_injection.pick prng in
+              Ok (Fault_injection.corrupt fault prng s.synopsis)
+            end)
+
+(* Resolve a synopsis: cache, then a single-flight breaker-gated retrying
+   decode. The breaker counts one failure per exhausted retry sequence
+   (not per attempt), so [threshold] consecutive doomed loads trip it. *)
+let load t ~deadline key meta =
+  match cache_find t meta with
+  | Some syn -> Ok syn
+  | None ->
+      Single_flight.run t.flights key (fun () ->
+          match cache_find t meta with
+          | Some syn -> Ok syn
+          | None -> (
+              match Breaker.acquire t.breaker key with
+              | `Open remaining ->
+                  Error
+                    (Fault.Store_mismatch
+                       {
+                         what = "circuit breaker";
+                         detail =
+                           Printf.sprintf "open for %s; retry in %.3fs" key
+                             remaining;
+                       })
+              | `Proceed ->
+                  let seq = Atomic.fetch_and_add t.load_seq 1 in
+                  let jitter =
+                    Prng.create_keyed ~seed:t.config.seed
+                      (Printf.sprintf "backoff/%s/seq=%d" key seq)
+                  in
+                  let result, _attempts =
+                    Backoff.retry ~sleep:t.sleep ~deadline t.config.backoff
+                      jitter (fun () -> load_once t key seq)
+                  in
+                  (match result with
+                  | Ok syn ->
+                      Breaker.success t.breaker key;
+                      cache_insert t meta syn
+                  | Error _ -> Breaker.failure t.breaker key);
+                  result))
+
+type outcome =
+  | Answered of float
+  | Degraded of { value : float; trace : Fault.trace }
+  | Deadline_exceeded of Fault.error
+
+let outcome_class = function
+  | Answered _ -> "answered"
+  | Degraded _ -> "degraded"
+  | Deadline_exceeded _ -> "deadline_exceeded"
+
+let degrade meta ~rung fault =
+  Degraded { value = meta.m_prior; trace = [ { Fault.rung; fault } ] }
+
+let handle t ~deadline ~key ?pred_a ?pred_b () =
+  let meta =
+    match Hashtbl.find_opt t.metas key with
+    | Some meta -> meta
+    | None -> raise Not_found
+  in
+  let start = t.clock () in
+  Obs.count t.obs "server.requests.total" 1;
+  let timed_out () = Deadline_exceeded (Deadline.fault ~what:"request" deadline) in
+  let outcome =
+    if Deadline.exceeded deadline then timed_out ()
+    else
+      match load t ~deadline key meta with
+      | Error fault ->
+          if Deadline.exceeded deadline then timed_out ()
+          else degrade meta ~rung:"synopsis load" fault
+      | Ok syn ->
+          if Deadline.exceeded deadline then timed_out ()
+          else
+            let pa, pb =
+              if meta.m_swapped then (pred_b, pred_a) else (pred_a, pred_b)
+            in
+            (* [run_checked]'s Ok value is bit-identical to [run]'s, and
+               an empty filtered sample is [run]'s plain 0.0 — mapping it
+               back keeps server replies byte-identical to batch mode. *)
+            (match Csdl.Estimate.run_checked ?pred_a:pa ?pred_b:pb syn with
+            | Ok b ->
+                if Deadline.exceeded deadline then timed_out ()
+                else Answered b.Csdl.Estimate.estimate
+            | Error (Fault.Empty_filtered_sample _) ->
+                if Deadline.exceeded deadline then timed_out ()
+                else Answered 0.0
+            | Error fault ->
+                if Deadline.exceeded deadline then timed_out ()
+                else degrade meta ~rung:"csdl" fault)
+  in
+  Obs.count t.obs
+    ~labels:[ ("class", outcome_class outcome) ]
+    "server.outcome" 1;
+  Obs.observe t.obs "server.request.seconds" (t.clock () -. start);
+  outcome

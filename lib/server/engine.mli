@@ -1,0 +1,90 @@
+(** The serving core: synopsis loading with retry, breaker and cache, plus
+    the per-request degradation ladder. Protocol-agnostic — {!Server}
+    wraps it in the TCP framing, tests drive it directly.
+
+    An engine owns the persisted synopsis store at one path. At startup it
+    decodes the store once to learn the key set and per-key metadata
+    (orientation, cache key, independence prior) and warms the synopsis
+    cache. At serving time a request for a key resolves its synopsis
+    through, in order: the mutex-wrapped LRU cache; a single-flight decode
+    shared by every domain missing on the same key; a per-key circuit
+    breaker; and retry with jittered backoff. Every failure mode ends in a
+    typed outcome — never an exception and never a hang:
+
+    - [Answered v]: the full CSDL estimation path ran; [v] is
+      byte-identical to what [repro_cli batch] prints for the same query.
+    - [Degraded _]: the synopsis could not be loaded (torn store, tripped
+      breaker, injected chaos) or failed checked estimation; the reply is
+      the sampling-free independence prior [|A|·|B| / max(d_A, d_B)],
+      with the downgrade trace reporting exactly what happened.
+    - [Deadline_exceeded _]: the request ran out of its time budget.
+      Deadlines are enforced at stage boundaries (admission, post-load,
+      post-estimate) and inside the retry loop, so a request overshoots
+      its budget by at most one stage, never unboundedly.
+
+    Chaos mode ([config.chaos] > 0) corrupts that fraction of store
+    {e loads} (not requests — a cached synopsis is not re-corrupted),
+    choosing per load between a hard failure (exercises retry + breaker)
+    and a silent {!Repro_robustness.Fault_injection} corruption that the
+    checked estimator must catch (exercises the ladder). Injection is
+    keyed PRNG-driven: same seed, same store, same corruption sequence. *)
+
+open Repro_relation
+
+type config = {
+  cache_capacity : int;  (** LRU slots for decoded synopses; min 1 *)
+  breaker : Breaker.config;
+  backoff : Backoff.policy;
+  chaos : float;  (** fraction of loads corrupted, 0 disables; clamped to [0,1] *)
+  seed : int;  (** keyed-PRNG seed for chaos and backoff jitter *)
+}
+
+val default_config : config
+(** 32 cache slots, {!Breaker.default_config}, {!Backoff.default}, no
+    chaos, seed 1. *)
+
+type t
+
+val create :
+  ?obs:Repro_obs.Obs.ctx ->
+  ?clock:Repro_util.Clock.t ->
+  ?sleep:Repro_util.Clock.sleeper ->
+  config ->
+  resolve_table:(string -> Table.t) ->
+  store_path:string ->
+  (t, Csdl.Fault.error) result
+(** Decode the store at [store_path], build per-key metadata and warm the
+    cache (up to [cache_capacity] entries). [Error _] means the store
+    itself is unreadable — the server refuses to start rather than serve
+    nothing. [clock]/[sleep] are injectable for tests; a live [obs]
+    context feeds the [server.*] and [synopsis_cache.*] metrics. *)
+
+val keys : t -> string list
+(** Served keys, sorted. *)
+
+val mem : t -> string -> bool
+val cache_stats : t -> Csdl.Synopsis_cache.stats
+val breaker_state : t -> string -> [ `Closed of int | `Open | `Half_open ]
+
+type outcome =
+  | Answered of float
+  | Degraded of { value : float; trace : Csdl.Fault.trace }
+  | Deadline_exceeded of Csdl.Fault.error
+
+val outcome_class : outcome -> string
+(** ["answered"] / ["degraded"] / ["deadline_exceeded"] — the [class]
+    label of the [server.outcome] counter. *)
+
+val handle :
+  t ->
+  deadline:Deadline.t ->
+  key:string ->
+  ?pred_a:Predicate.t ->
+  ?pred_b:Predicate.t ->
+  unit ->
+  outcome
+(** Serve one estimation request. Predicates are in the original (A, B)
+    orientation, as with [Store.estimate]. Raises [Not_found] for a key
+    the store does not contain (callers check {!mem} first; protocol
+    errors are not estimation outcomes). Domain-safe: any number of
+    workers may call this concurrently. *)

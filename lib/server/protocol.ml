@@ -1,0 +1,156 @@
+module Predicate_parser = Repro_relation.Predicate_parser
+module Fault = Csdl.Fault
+
+type request =
+  | Estimate of {
+      key : string;
+      deadline_s : float option;
+      pred_a : Repro_relation.Predicate.t option;
+      pred_b : Repro_relation.Predicate.t option;
+    }
+  | Health
+  | Ready
+  | Keys
+  | Metrics
+  | Quit
+
+(* Split on the first top-level ";;", as batch query files do. *)
+let split_once_on_sep s =
+  let n = String.length s in
+  let rec find i =
+    if i + 1 >= n then None
+    else if s.[i] = ';' && s.[i + 1] = ';' then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> (s, None)
+  | Some i -> (String.sub s 0 i, Some (String.sub s (i + 2) (n - i - 2)))
+
+let parse_pred what s =
+  let s = String.trim s in
+  if s = "" then Ok None
+  else
+    match Predicate_parser.parse s with
+    | Ok p -> Ok (Some p)
+    | Error e -> Error (Printf.sprintf "%s predicate: %s" what e)
+
+let parse_estimate rest =
+  let ( let* ) = Result.bind in
+  let head, tail = split_once_on_sep rest in
+  let left, right =
+    match tail with
+    | None -> ("", "")
+    | Some tail ->
+        let l, r = split_once_on_sep tail in
+        (l, Option.value ~default:"" r)
+  in
+  let words =
+    String.split_on_char ' ' (String.trim head)
+    |> List.filter (fun w -> w <> "")
+  in
+  let* key, deadline_s =
+    match words with
+    | [ key ] -> Ok (key, None)
+    | [ key; opt ] when String.length opt > 9 && String.sub opt 0 9 = "deadline="
+      -> (
+        let v = String.sub opt 9 (String.length opt - 9) in
+        match float_of_string_opt v with
+        | Some d when Float.is_finite d && d > 0.0 -> Ok (key, Some d)
+        | _ -> Error (Printf.sprintf "bad deadline %S" v))
+    | [] -> Error "estimate needs a key"
+    | _ -> Error "estimate takes a key and an optional deadline=<seconds>"
+  in
+  let* pred_a = parse_pred "left" left in
+  let* pred_b = parse_pred "right" right in
+  Ok (Estimate { key; deadline_s; pred_a; pred_b })
+
+let parse_request line =
+  let line = String.trim line in
+  match line with
+  | "health" -> Ok Health
+  | "ready" -> Ok Ready
+  | "keys" -> Ok Keys
+  | "metrics" -> Ok Metrics
+  | "quit" -> Ok Quit
+  | _ ->
+      if String.length line >= 8 && String.sub line 0 8 = "estimate" then
+        parse_estimate (String.sub line 8 (String.length line - 8))
+      else Error "unknown verb (try: estimate, health, ready, keys, metrics, quit)"
+
+let render_estimate ~key ?deadline_s ?pred_a ?pred_b () =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "estimate ";
+  Buffer.add_string b key;
+  Option.iter (fun d -> Buffer.add_string b (Printf.sprintf " deadline=%g" d)) deadline_s;
+  (match (pred_a, pred_b) with
+  | None, None -> ()
+  | _ ->
+      Buffer.add_string b " ;; ";
+      Buffer.add_string b (Option.value ~default:"" pred_a);
+      Buffer.add_string b " ;; ";
+      Buffer.add_string b (Option.value ~default:"" pred_b));
+  Buffer.contents b
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let render_outcome = function
+  | Engine.Answered v -> Printf.sprintf "ok %.17g" v
+  | Engine.Degraded { value; trace } ->
+      Printf.sprintf "degraded %.17g ;; %s" value
+        (one_line (Fault.trace_to_string trace))
+  | Engine.Deadline_exceeded fault ->
+      Printf.sprintf "deadline_exceeded ;; %s"
+        (one_line (Fault.error_to_string fault))
+
+let shed_line ~retry_after_s =
+  Printf.sprintf "shed retry_after=%.3f" retry_after_s
+
+let err_line msg = "err " ^ one_line msg
+
+type reply =
+  | R_ok of float
+  | R_degraded of float * string
+  | R_deadline_exceeded of string
+  | R_shed of float
+  | R_err of string
+
+let parse_reply line =
+  let line = String.trim line in
+  let word, rest =
+    match String.index_opt line ' ' with
+    | None -> (line, "")
+    | Some i ->
+        (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+  in
+  match word with
+  | "ok" -> (
+      match float_of_string_opt (String.trim rest) with
+      | Some v -> Ok (R_ok v)
+      | None -> Error (Printf.sprintf "bad ok value %S" rest))
+  | "degraded" -> (
+      let value, trace = split_once_on_sep rest in
+      match float_of_string_opt (String.trim value) with
+      | Some v -> Ok (R_degraded (v, String.trim (Option.value ~default:"" trace)))
+      | None -> Error (Printf.sprintf "bad degraded value %S" value))
+  | "deadline_exceeded" ->
+      let _, fault = split_once_on_sep rest in
+      Ok (R_deadline_exceeded (String.trim (Option.value ~default:"" fault)))
+  | "shed" -> (
+      let rest = String.trim rest in
+      let prefix = "retry_after=" in
+      let plen = String.length prefix in
+      if String.length rest > plen && String.sub rest 0 plen = prefix then
+        match float_of_string_opt (String.sub rest plen (String.length rest - plen)) with
+        | Some v -> Ok (R_shed v)
+        | None -> Error (Printf.sprintf "bad shed line %S" rest)
+      else Ok (R_shed 0.0))
+  | "err" -> Ok (R_err rest)
+  | _ -> Error (Printf.sprintf "unknown reply %S" line)
+
+let reply_class = function
+  | R_ok _ -> "answered"
+  | R_degraded _ -> "degraded"
+  | R_deadline_exceeded _ -> "deadline_exceeded"
+  | R_shed _ -> "shed"
+  | R_err _ -> "err"

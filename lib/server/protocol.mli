@@ -1,0 +1,84 @@
+(** The line-oriented wire protocol of the estimation server.
+
+    One request per line, one reply per line (the [metrics] body is
+    length-prefixed). The request grammar:
+
+    {v
+      estimate <key> [deadline=<seconds>] [;; <left> [;; <right>]]
+      health
+      ready
+      keys
+      metrics
+      quit
+    v}
+
+    [<left>]/[<right>] are selection predicates in
+    {!Repro_relation.Predicate_parser} syntax, in the same [;;]-separated
+    shape as a [repro_cli batch] query line; an empty or omitted side
+    means no selection. [deadline=] overrides the server's default
+    per-request budget.
+
+    Replies all start with a status word, so clients and the load driver
+    classify outcomes by the first token:
+
+    {v
+      ok <%.17g>                                 (full CSDL answer)
+      degraded <%.17g> ;; <downgrade trace>      (prior + honest trace)
+      deadline_exceeded ;; <fault>
+      shed retry_after=<seconds>                 (load was shed)
+      err <message>                              (protocol error / unknown key)
+      ok <n>\n<n bytes>                          (metrics body)
+    v}
+
+    This module is pure parsing and rendering — shared by {!Server},
+    {!Client} and the load driver so the two ends cannot drift. *)
+
+type request =
+  | Estimate of {
+      key : string;
+      deadline_s : float option;
+      pred_a : Repro_relation.Predicate.t option;
+      pred_b : Repro_relation.Predicate.t option;
+    }
+  | Health
+  | Ready
+  | Keys
+  | Metrics
+  | Quit
+
+val parse_request : string -> (request, string) result
+
+val render_estimate :
+  key:string ->
+  ?deadline_s:float ->
+  ?pred_a:string ->
+  ?pred_b:string ->
+  unit ->
+  string
+(** Client-side: the request line for an estimation query; predicates are
+    raw predicate-syntax strings. *)
+
+val render_outcome : Engine.outcome -> string
+(** The reply line for an engine outcome ([%.17g] values, so the [ok]
+    line's number is byte-identical to [repro_cli batch] output). *)
+
+val shed_line : retry_after_s:float -> string
+val err_line : string -> string
+(** [err_line msg] flattens newlines in [msg] so the reply stays one
+    line. *)
+
+type reply =
+  | R_ok of float
+  | R_degraded of float * string  (** value, rendered downgrade trace *)
+  | R_deadline_exceeded of string
+  | R_shed of float  (** suggested retry-after seconds *)
+  | R_err of string
+
+val parse_reply : string -> (reply, string) result
+(** Classify a single reply line (not the [metrics] body). *)
+
+val reply_class : reply -> string
+(** ["answered"] / ["degraded"] / ["deadline_exceeded"] / ["shed"] /
+    ["err"] — matching {!Engine.outcome_class} plus the server-level
+    classes, so the load driver's accounting keys line up with the
+    [server.outcome] counter labels. *)

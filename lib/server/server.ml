@@ -1,0 +1,183 @@
+module Clock = Repro_util.Clock
+module Obs = Repro_obs.Obs
+
+type config = {
+  host : string;
+  port : int;
+  jobs : int;
+  queue_capacity : int;
+  queue_policy : Admission.policy;
+  default_deadline_s : float;
+  io_timeout_s : float;
+  retry_after_s : float;
+}
+
+let default_config ~port =
+  {
+    host = "127.0.0.1";
+    port;
+    jobs = 4;
+    queue_capacity = 64;
+    queue_policy = Admission.Reject;
+    default_deadline_s = 1.0;
+    io_timeout_s = 10.0;
+    retry_after_s = 0.05;
+  }
+
+type conn = { fd : Unix.file_descr; accepted_at : float }
+
+type t = {
+  config : config;
+  obs : Obs.ctx;
+  clock : Clock.t;
+  engine : Engine.t;
+  listener : Unix.file_descr;
+  queue : conn Admission.t;
+  stopping : bool Atomic.t;
+}
+
+let create ?(obs = Obs.null) ?(clock = Clock.wall) config engine =
+  let config = { config with jobs = max 1 config.jobs } in
+  let addr =
+    Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port)
+  in
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listener Unix.SO_REUSEADDR true;
+     Unix.bind listener addr;
+     Unix.listen listener 128
+   with exn ->
+     Unix.close listener;
+     raise exn);
+  Obs.count obs ~labels:[ ("class", "shed") ] "server.outcome" 0;
+  Obs.count obs "server.connection.errors" 0;
+  {
+    config;
+    obs;
+    clock;
+    engine;
+    listener;
+    queue = Admission.create ~obs ~policy:config.queue_policy
+        ~capacity:config.queue_capacity ();
+    stopping = Atomic.make false;
+  }
+
+let port t =
+  match Unix.getsockname t.listener with
+  | Unix.ADDR_INET (_, p) -> p
+  | Unix.ADDR_UNIX _ -> assert false
+
+let stop t = Atomic.set t.stopping true
+
+(* Best-effort write + close for connections we are turning away; a dead
+   peer must not take the accept loop down with it. *)
+let shed_and_close t conn =
+  Obs.count t.obs "server.requests.total" 1;
+  Obs.count t.obs ~labels:[ ("class", "shed") ] "server.outcome" 1;
+  (try
+     let line = Protocol.shed_line ~retry_after_s:t.config.retry_after_s in
+     let bytes = Bytes.of_string (line ^ "\n") in
+     ignore (Unix.write conn.fd bytes 0 (Bytes.length bytes))
+   with _ -> ());
+  try Unix.close conn.fd with _ -> ()
+
+let handle_request t ~conn ~first oc line =
+  match Protocol.parse_request line with
+  | Error e -> output_string oc (Protocol.err_line e ^ "\n")
+  | Ok Protocol.Quit ->
+      output_string oc "ok bye\n";
+      raise Exit
+  | Ok Protocol.Health -> output_string oc "ok serving\n"
+  | Ok Protocol.Ready ->
+      output_string oc
+        (Printf.sprintf "ok ready keys=%d\n"
+           (List.length (Engine.keys t.engine)))
+  | Ok Protocol.Keys ->
+      output_string oc
+        ("ok " ^ String.concat " " (Engine.keys t.engine) ^ "\n")
+  | Ok Protocol.Metrics ->
+      let body = Option.value ~default:"" (Obs.prometheus t.obs) in
+      output_string oc (Printf.sprintf "ok %d\n" (String.length body));
+      output_string oc body
+  | Ok (Protocol.Estimate { key; deadline_s; pred_a; pred_b }) ->
+      if not (Engine.mem t.engine key) then
+        output_string oc (Protocol.err_line ("unknown key " ^ key) ^ "\n")
+      else begin
+        let budget_s =
+          Option.value ~default:t.config.default_deadline_s deadline_s
+        in
+        let deadline =
+          if first then
+            Deadline.anchored ~clock:t.clock ~start:conn.accepted_at
+              ~budget_s ()
+          else Deadline.make ~clock:t.clock ~budget_s ()
+        in
+        let outcome =
+          Engine.handle t.engine ~deadline ~key ?pred_a ?pred_b ()
+        in
+        output_string oc (Protocol.render_outcome outcome ^ "\n")
+      end
+
+let handle_conn t conn =
+  let ic = Unix.in_channel_of_descr conn.fd in
+  let oc = Unix.out_channel_of_descr conn.fd in
+  let first = ref true in
+  (try
+     let rec loop () =
+       let line = input_line ic in
+       handle_request t ~conn ~first:!first oc line;
+       first := false;
+       flush oc;
+       loop ()
+     in
+     loop ()
+   with
+  | End_of_file | Exit -> ()
+  | Unix.Unix_error _ | Sys_error _ | Sys_blocked_io ->
+      Obs.count t.obs "server.connection.errors" 1);
+  (try flush oc with _ -> ());
+  (* closing the out channel closes the underlying fd; _noerr because the
+     peer may already be gone *)
+  close_out_noerr oc
+
+let worker_loop t () =
+  let rec loop () =
+    match Admission.take t.queue with
+    | None -> ()
+    | Some conn ->
+        (try handle_conn t conn
+         with _ -> Obs.count t.obs "server.connection.errors" 1);
+        loop ()
+  in
+  loop ()
+
+let serve t =
+  let workers =
+    List.init t.config.jobs (fun _ -> Domain.spawn (worker_loop t))
+  in
+  let rec accept_loop () =
+    if Atomic.get t.stopping then ()
+    else begin
+      (match Unix.select [ t.listener ] [] [] 0.05 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept t.listener with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _peer -> (
+              (try
+                 Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.io_timeout_s;
+                 Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.io_timeout_s
+               with Unix.Unix_error _ -> ());
+              let conn = { fd; accepted_at = t.clock () } in
+              match Admission.offer t.queue conn with
+              | Admission.Admitted -> ()
+              | Admission.Rejected | Admission.Closed -> shed_and_close t conn
+              | Admission.Displaced oldest -> shed_and_close t oldest))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  Admission.close t.queue;
+  List.iter Domain.join workers

@@ -1,0 +1,56 @@
+(** The estimation daemon: a TCP accept loop feeding worker domains
+    through the bounded admission queue.
+
+    One {!Protocol} request per line, replies written back on the same
+    connection. Admission is connection-granular: a connection the queue
+    cannot hold is {e shed} — told [shed retry_after=<s>] and closed —
+    either the new arrival ([Reject]) or the longest-waiting queued one
+    ([Drop_oldest]). A shed connection's queries are never read, so the
+    server accounts it as one request (the load driver sends one query
+    per connection, making the [server.outcome] counters sum exactly to
+    the number of connections attempted; see docs/robustness.md).
+
+    Deadlines: the first estimate on a connection is anchored at {e
+    accept} time, so queue wait burns request budget — a request that sat
+    out its deadline in the queue is answered [deadline_exceeded], not
+    served late. Subsequent requests on a kept-alive connection start
+    their budget when read.
+
+    Shutdown: {!stop} (async-signal-safe — wire it to SIGTERM) makes
+    {!serve} close the listener, stop admitting, drain every queued
+    connection, join the workers and return. Receive/send timeouts on
+    every connection socket bound how long a dead client can hold a
+    worker. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 binds an ephemeral port; see {!port} *)
+  jobs : int;  (** worker domains; min 1 *)
+  queue_capacity : int;
+  queue_policy : Admission.policy;
+  default_deadline_s : float;  (** per-request budget unless overridden *)
+  io_timeout_s : float;  (** socket receive/send timeout per connection *)
+  retry_after_s : float;  (** suggested wait in shed replies *)
+}
+
+val default_config : port:int -> config
+(** host 127.0.0.1, 4 jobs, capacity 64, [Reject], 1s deadline, 10s IO
+    timeout, 0.05s retry-after. *)
+
+type t
+
+val create : ?obs:Repro_obs.Obs.ctx -> ?clock:Repro_util.Clock.t -> config -> Engine.t -> t
+(** Bind and listen (raises [Unix.Unix_error] if the address is taken).
+    The socket is bound here so [port t] is valid before {!serve} runs —
+    tests bind port 0 and read the real port back. *)
+
+val port : t -> int
+val serve : t -> unit
+(** Run the accept loop in the calling domain until {!stop}; spawns the
+    worker domains and joins them (after draining the queue) before
+    returning. Never raises out of a connection: per-connection failures
+    are counted ([server.connection.errors]) and the connection closed. *)
+
+val stop : t -> unit
+(** Request shutdown; safe to call from a signal handler or another
+    domain. Idempotent. *)

@@ -1,0 +1,56 @@
+module Obs = Repro_obs.Obs
+
+(* One in-flight call. Waiters keep their own reference to the cell, so
+   the leader can drop it from the table (ending the flight window)
+   before the last waiter has read the outcome. *)
+type 'a cell = { mutable outcome : ('a, exn) result option }
+
+type 'a t = {
+  obs : Obs.ctx;
+  mutex : Mutex.t;
+  done_ : Condition.t;
+  flights : (string, 'a cell) Hashtbl.t;
+  mutable shared_count : int;
+}
+
+let create ?(obs = Obs.null) () =
+  Obs.count obs "server.singleflight.shared" 0;
+  {
+    obs;
+    mutex = Mutex.create ();
+    done_ = Condition.create ();
+    flights = Hashtbl.create 16;
+    shared_count = 0;
+  }
+
+let run t key f =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.flights key with
+  | Some cell ->
+      t.shared_count <- t.shared_count + 1;
+      while cell.outcome = None do
+        Condition.wait t.done_ t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      Obs.count t.obs "server.singleflight.shared" 1;
+      (match cell.outcome with
+      | Some (Ok v) -> v
+      | Some (Error exn) -> raise exn
+      | None -> assert false)
+  | None ->
+      let cell = { outcome = None } in
+      Hashtbl.replace t.flights key cell;
+      Mutex.unlock t.mutex;
+      let outcome = match f () with v -> Ok v | exception exn -> Error exn in
+      Mutex.lock t.mutex;
+      cell.outcome <- Some outcome;
+      Hashtbl.remove t.flights key;
+      Condition.broadcast t.done_;
+      Mutex.unlock t.mutex;
+      (match outcome with Ok v -> v | Error exn -> raise exn)
+
+let shared t =
+  Mutex.lock t.mutex;
+  let n = t.shared_count in
+  Mutex.unlock t.mutex;
+  n

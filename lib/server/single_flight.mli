@@ -1,0 +1,27 @@
+(** Single-flight deduplication of concurrent cache misses.
+
+    When several worker domains miss the synopsis cache on the same key at
+    once, exactly one of them (the {e leader}) performs the expensive
+    decode; the rest block and receive the leader's result — a cold
+    synopsis is decoded once, not once per waiter. Results are shared only
+    within the in-flight window: the next miss after completion starts a
+    fresh flight, so a transient failure is not cached.
+
+    Values must be immutable or safely shareable across domains (the
+    serving path shares [(Synopsis.t, Fault.error) result]). *)
+
+type 'a t
+
+val create : ?obs:Repro_obs.Obs.ctx -> unit -> 'a t
+(** A live [obs] context counts deduplicated calls
+    ([server.singleflight.shared]). *)
+
+val run : 'a t -> string -> (unit -> 'a) -> 'a
+(** [run t key f]: if no flight for [key] is active, run [f] as the leader
+    and publish its result to every waiter that arrived meanwhile;
+    otherwise block until the active leader publishes and return its
+    result. If the leader's [f] raises, the exception is re-raised in the
+    leader {e and} every waiter. *)
+
+val shared : 'a t -> int
+(** How many calls were answered by another caller's flight. *)

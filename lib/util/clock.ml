@@ -10,6 +10,26 @@ let counter ?(start = 0.0) ?(step = 1.0) () : t =
     now := !now +. step;
     v
 
+type shared = float Atomic.t
+
+let shared_counter ?(start = 0.0) () : shared = Atomic.make start
+
+let shared_clock (shared : shared) : t = fun () -> Atomic.get shared
+
+let advance (shared : shared) dt =
+  (* CAS retry loop: float Atomics have no fetch-and-add *)
+  let rec go () =
+    let old = Atomic.get shared in
+    if not (Atomic.compare_and_set shared old (old +. dt)) then go ()
+  in
+  go ()
+
+type sleeper = float -> unit
+
+let sleepf seconds = if seconds > 0.0 then Unix.sleepf seconds
+
+let no_sleep (_ : float) = ()
+
 type span = { wall_seconds : float; cpu_seconds : float }
 
 let time ?(wall_clock = wall) ?(cpu_clock = cpu) f =

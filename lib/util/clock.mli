@@ -25,6 +25,29 @@ val counter : ?start:float -> ?step:float -> unit -> t
     returns [start] (default 0.), each subsequent call advances by [step]
     (default 1.). Not domain-safe — inject it only into single-job runs. *)
 
+type shared
+(** A domain-safe fake time source: an atomic instant that tests advance
+    explicitly. Unlike {!counter}, reading it does not advance it, so any
+    number of domains can share one (the estimation server's deadline and
+    breaker tests drive concurrent timing code with it). *)
+
+val shared_counter : ?start:float -> unit -> shared
+val shared_clock : shared -> t
+(** A clock reading the shared instant (never advances it). *)
+
+val advance : shared -> float -> unit
+(** Atomically move the shared instant forward by [dt] seconds. *)
+
+type sleeper = float -> unit
+(** An injectable sleep: production code takes one instead of calling
+    [Unix.sleepf] so backoff tests run in zero wall time. *)
+
+val sleepf : sleeper
+(** Real sleep ([Unix.sleepf]); non-positive durations return at once. *)
+
+val no_sleep : sleeper
+(** The test sleeper: returns immediately whatever the duration. *)
+
 type span = { wall_seconds : float; cpu_seconds : float }
 
 val time : ?wall_clock:t -> ?cpu_clock:t -> (unit -> 'a) -> 'a * span

@@ -66,6 +66,60 @@ let test_exception_lowest_index () =
         "lowest-index failure wins, as in a sequential map" 37 i
 
 (* ------------------------------------------------------------------ *)
+(* Adversarially skewed task durations                                 *)
+(* ------------------------------------------------------------------ *)
+
+let busy_wait seconds =
+  let stop = Clock.wall () +. seconds in
+  while Clock.wall () < stop do
+    ignore (Sys.opaque_identity ())
+  done
+
+(* A few hostage-length tasks scattered among hundreds of near-instant
+   ones: domains finish wildly out of phase, yet results must land in
+   task-index order exactly as a sequential map would produce them. *)
+let test_skewed_durations_preserve_order () =
+  let n = 240 in
+  let f i =
+    busy_wait (if i mod 48 = 0 then 0.02 else 0.0001);
+    (i * 31) + 7
+  in
+  Alcotest.(check (array int))
+    "skewed durations keep index order"
+    (Array.init n (fun i -> (i * 31) + 7))
+    (Pool.map_array ~jobs:4 f (Array.init n Fun.id))
+
+(* Strictly decreasing durations are the worst case for chunked claims
+   (the first chunk is the heaviest); ordering must still hold. *)
+let test_decreasing_durations_with_chunking () =
+  let n = 96 in
+  let f i =
+    busy_wait (float_of_int (n - i) *. 0.0002);
+    i + 1000
+  in
+  Alcotest.(check (array int))
+    "front-loaded durations with chunk > 1"
+    (Array.init n (fun i -> i + 1000))
+    (Pool.map_array ~jobs:3 ~chunk:8 f (Array.init n Fun.id))
+
+(* The lowest-index failing task is the SLOWEST: a fast high-index
+   failure completes long before it, but the pool must still re-raise
+   the low-index exception, as a sequential map would surface first. *)
+let test_slow_low_index_exception_wins () =
+  let f i =
+    if i = 3 then begin
+      busy_wait 0.05;
+      raise (Boom 3)
+    end
+    else if i = 90 then raise (Boom 90)
+    else busy_wait 0.0005
+  in
+  match Pool.map_array ~jobs:4 f (Array.init 100 Fun.id) with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i ->
+      Alcotest.(check int) "slow lowest-index failure still wins" 3 i
+
+(* ------------------------------------------------------------------ *)
 (* Bench-grid determinism: jobs=1 vs jobs=N bit-identical              *)
 (* ------------------------------------------------------------------ *)
 
@@ -301,6 +355,12 @@ let () =
             test_jobs_clamped_to_items;
           Alcotest.test_case "lowest-index exception" `Quick
             test_exception_lowest_index;
+          Alcotest.test_case "skewed durations preserve order" `Quick
+            test_skewed_durations_preserve_order;
+          Alcotest.test_case "decreasing durations with chunking" `Quick
+            test_decreasing_durations_with_chunking;
+          Alcotest.test_case "slow lowest-index exception wins" `Quick
+            test_slow_low_index_exception_wins;
         ] );
       ( "grid determinism",
         [

@@ -301,6 +301,93 @@ let test_cache_lru_eviction_order () =
     (Csdl.Synopsis_cache.find cache (cache_key 3) <> None);
   Alcotest.(check int) "capacity respected" 2 (Csdl.Synopsis_cache.length cache)
 
+let test_save_leaves_no_temp_files () =
+  (* crash-safe save goes through a temp file + atomic rename in the
+     target directory; a successful save must leave exactly the store
+     file behind, including when it replaces an existing one *)
+  let dir = Filename.temp_file "repro-store" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let store = build_store () in
+      let path = Filename.concat dir "synopses.bin" in
+      Csdl.Store.save store path;
+      Alcotest.(check (array string))
+        "only the store file after first save" [| "synopses.bin" |]
+        (Sys.readdir dir);
+      Csdl.Store.save store path;
+      Alcotest.(check (array string))
+        "only the store file after overwrite" [| "synopses.bin" |]
+        (Sys.readdir dir);
+      let back = Csdl.Store.load ~resolve_table path in
+      Alcotest.(check (list string))
+        "replaced file loads" (Csdl.Store.keys store) (Csdl.Store.keys back))
+
+let test_save_into_missing_directory_raises () =
+  let store = build_store () in
+  let path = "/nonexistent-repro-dir/synopses.bin" in
+  (match Csdl.Store.save store path with
+  | () -> Alcotest.fail "expected Sys_error"
+  | exception Sys_error _ -> ());
+  Alcotest.(check bool) "no partial target" false (Sys.file_exists path)
+
+let test_cache_stats_accessor () =
+  let cache = Csdl.Synopsis_cache.create ~capacity:2 () in
+  ignore (Csdl.Synopsis_cache.find cache (cache_key 1));
+  Csdl.Synopsis_cache.insert cache (cache_key 1) (draw_synopsis 1);
+  ignore (Csdl.Synopsis_cache.find cache (cache_key 1));
+  Csdl.Synopsis_cache.insert cache (cache_key 2) (draw_synopsis 2);
+  Csdl.Synopsis_cache.insert cache (cache_key 3) (draw_synopsis 3);
+  let s = Csdl.Synopsis_cache.stats cache in
+  Alcotest.(check int) "stats hits" (Csdl.Synopsis_cache.hits cache)
+    s.Csdl.Synopsis_cache.s_hits;
+  Alcotest.(check int) "stats misses" (Csdl.Synopsis_cache.misses cache)
+    s.Csdl.Synopsis_cache.s_misses;
+  Alcotest.(check int) "stats evictions"
+    (Csdl.Synopsis_cache.evictions cache)
+    s.Csdl.Synopsis_cache.s_evictions;
+  Alcotest.(check int) "stats size" (Csdl.Synopsis_cache.length cache)
+    s.Csdl.Synopsis_cache.s_size;
+  Alcotest.(check int) "one eviction happened" 1 s.Csdl.Synopsis_cache.s_evictions
+
+let test_cache_eviction_under_concurrent_reads () =
+  (* the cache is not thread-safe by contract; servers wrap it in a mutex
+     and keep evicting under concurrent readers — the tallies must stay
+     exact and every hit must return the synopsis inserted for that key *)
+  let cache = Csdl.Synopsis_cache.create ~capacity:2 () in
+  let mutex = Mutex.create () in
+  let nkeys = 6 in
+  let synopses = Array.init nkeys (fun i -> draw_synopsis (100 + i)) in
+  let ops_per_domain = 200 in
+  let wrong = Atomic.make 0 in
+  let worker d () =
+    for op = 0 to ops_per_domain - 1 do
+      let i = (op + (d * 7)) mod nkeys in
+      Mutex.lock mutex;
+      let got =
+        Csdl.Synopsis_cache.find_or_build cache (cache_key i) (fun () ->
+            synopses.(i))
+      in
+      Mutex.unlock mutex;
+      if not (got == synopses.(i)) then Atomic.incr wrong
+    done
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join domains;
+  let s = Csdl.Synopsis_cache.stats cache in
+  Alcotest.(check int) "no cross-key mixups" 0 (Atomic.get wrong);
+  Alcotest.(check int) "every lookup tallied (hits + misses)"
+    (4 * ops_per_domain)
+    (s.Csdl.Synopsis_cache.s_hits + s.Csdl.Synopsis_cache.s_misses);
+  Alcotest.(check int) "size pinned at capacity" 2 s.Csdl.Synopsis_cache.s_size;
+  Alcotest.(check int) "every displaced insert counted as an eviction"
+    (s.Csdl.Synopsis_cache.s_misses - s.Csdl.Synopsis_cache.s_size)
+    s.Csdl.Synopsis_cache.s_evictions
+
 let test_cache_rejects_bad_capacity () =
   Alcotest.check_raises "zero capacity"
     (Invalid_argument "Synopsis_cache.create: capacity must be positive")
@@ -329,6 +416,10 @@ let () =
             test_store_rejects_fingerprint_mismatch;
           Alcotest.test_case "rejects garbage" `Quick test_store_load_rejects_garbage;
           Alcotest.test_case "replace key" `Quick test_store_replace_same_key;
+          Alcotest.test_case "atomic save leaves no temp files" `Quick
+            test_save_leaves_no_temp_files;
+          Alcotest.test_case "save into missing directory" `Quick
+            test_save_into_missing_directory_raises;
         ] );
       ( "cache",
         [
@@ -336,6 +427,9 @@ let () =
             test_cache_hit_miss_counters;
           Alcotest.test_case "LRU eviction order" `Quick
             test_cache_lru_eviction_order;
+          Alcotest.test_case "stats accessor" `Quick test_cache_stats_accessor;
+          Alcotest.test_case "eviction under concurrent reads" `Quick
+            test_cache_eviction_under_concurrent_reads;
           Alcotest.test_case "bad capacity" `Quick test_cache_rejects_bad_capacity;
         ] );
     ]

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Fail if library code outside lib/util grows raw `Unix.gettimeofday` or
+# `Unix.sleepf` calls. Time must flow through Repro_util.Clock (a
+# `Clock.t` / `Clock.sleeper`), which is what makes deadlines, backoff
+# delays and breaker cooldowns unit-testable against a fake clock instead
+# of real sleeps (see docs/robustness.md). lib/util itself is exempt —
+# Clock is where the wrapping happens, and Pool's span timing predates
+# injection. When you remove an allowlisted site, shrink the allowlist;
+# a genuinely new one needs a justification in the PR that extends it.
+#
+# Usage: tools/lint_no_raw_clock.sh [repo-root]
+# Runs from any cwd: without an argument the repo root is resolved from
+# the script's own location. Exits non-zero on violations, listing each
+# offending site as file:line:content.
+set -eu
+
+root=${1:-$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)}
+cd "$root"
+
+pattern='Unix\.gettimeofday\|Unix\.sleepf'
+
+# file:count pairs allowed to touch the raw clock today
+allowlist="
+lib/obs/obs.ml:2
+"
+
+status=0
+for file in lib/*/*.ml; do
+  case "$file" in
+  lib/util/*) continue ;;
+  esac
+  count=$(grep -c "$pattern" "$file" || true)
+  [ "$count" -eq 0 ] && continue
+  allowed=0
+  for entry in $allowlist; do
+    case "$entry" in
+    "$file":*) allowed=${entry##*:} ;;
+    esac
+  done
+  if [ "$count" -gt "$allowed" ]; then
+    echo "lint: $file has $count raw Unix.gettimeofday/Unix.sleepf sites (allowed: $allowed)" >&2
+    grep -n "$pattern" "$file" | sed "s|^|$file:|" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "lint: inject Repro_util.Clock instead (docs/robustness.md)" >&2
+fi
+exit $status
