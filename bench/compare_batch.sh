@@ -3,8 +3,12 @@
 # store: build a small store over generated CSVs, answer 20 predicate
 # queries with `repro_cli batch` (one load, one process) and with 20
 # separate `synopsis-estimate` invocations, and require the two estimate
-# columns to be byte-identical. Run from the bench build directory by the
-# @bench-smoke alias.
+# columns to be byte-identical. Then a larger timed workload (40k x 30k
+# rows, 300 queries) whose whole-batch online wall sits above the
+# regression gate's 10ms clock-noise floor — the artifact it writes
+# (BENCH_batchwork.json) is what lets `bench diff
+# --max-online-wall-ratio` bound the online hot path for real. Run from
+# the bench build directory by the @bench-smoke alias.
 set -eu
 
 {
@@ -51,3 +55,30 @@ awk '{ print $NF }' batch-out.txt > batch-vals.txt
 awk '{ print $NF }' unbatched-out.txt > unbatched-vals.txt
 cmp batch-vals.txt unbatched-vals.txt
 echo "batch vs unbatched: 20 estimates byte-identical"
+
+# ---- timed online workload ----
+# Big enough that the summed online wall clears the 10ms floor on any
+# machine, small enough to stay a smoke test (store build + 300 queries
+# run in well under a second on the flat hot path).
+awk 'BEGIN {
+  print "k,attr"
+  for (i = 0; i < 40000; i++) printf "%d,%d\n", i % 400, i % 97
+}' > work-left.csv
+awk 'BEGIN {
+  print "k,attr"
+  for (i = 0; i < 30000; i++) printf "%d,%d\n", i % 350, i % 83
+}' > work-right.csv
+awk 'BEGIN {
+  for (i = 0; i < 300; i++)
+    printf "attr < %d ;; attr > %d\n", (i % 90) + 5, i % 40
+}' > work-queries.txt
+
+../bin/repro_cli.exe synopsis-build "work=work-left.csv:k,work-right.csv:k" \
+  --theta 0.5 --seed 23 --store work-synopses.bin
+
+../bin/repro_cli.exe batch work --store work-synopses.bin \
+  --queries work-queries.txt --bench-json BENCH_batchwork.json > work-out.txt
+
+test "$(wc -l < work-out.txt)" -eq 300
+grep -q '"experiment": "batch-online"' BENCH_batchwork.json
+echo "timed workload: 300 queries, batch-online aggregate recorded"

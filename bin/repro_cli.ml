@@ -757,19 +757,32 @@ let max_qerr_ratio_arg =
           "Fail if a variant's median or p95 q-error exceeds $(docv) times \
            the baseline.")
 
+let max_online_wall_ratio_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "max-online-wall-ratio" ] ~docv:"R"
+        ~doc:
+          "Fail if a 'batch-online' group's total online wall time exceeds \
+           $(docv) times the baseline (defaults to --max-wall-ratio). The \
+           aggregate batch record sits above the 10ms noise floor, so this \
+           bound gates the online hot path for real.")
+
 (* Exit codes: 0 = within limits, 1 = regression, 2 = unreadable artifact.
    cmdliner reserves 124+ for its own errors, so these are safe. *)
-let bench_diff baseline_path current_path max_wall_ratio max_qerr_ratio =
-  let load path =
-    match Provenance.read path with
-    | Ok artifact -> artifact
-    | Error e ->
-        Printf.eprintf "error: %s\n" e;
-        exit 2
-  in
-  let baseline = load baseline_path and current = load current_path in
+let load_artifact_or_exit path =
+  match Provenance.read path with
+  | Ok artifact -> artifact
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 2
+
+let bench_diff baseline_path current_path max_wall_ratio max_qerr_ratio
+    max_online_wall_ratio =
+  let baseline = load_artifact_or_exit baseline_path
+  and current = load_artifact_or_exit current_path in
   let checks =
-    Provenance.diff ~max_wall_ratio ~max_qerr_ratio ~baseline ~current
+    Provenance.diff ?max_online_wall_ratio ~max_wall_ratio ~max_qerr_ratio
+      ~baseline ~current ()
   in
   Provenance.pp_checks Format.std_formatter checks;
   match Provenance.regressions checks with
@@ -792,12 +805,47 @@ let bench_diff_cmd =
           unreadable artifact.")
     Term.(
       const bench_diff $ baseline_arg $ current_arg $ max_wall_ratio_arg
-      $ max_qerr_ratio_arg)
+      $ max_qerr_ratio_arg $ max_online_wall_ratio_arg)
+
+(* ---------------- bench merge ---------------- *)
+
+let merge_out_arg =
+  Arg.(
+    required & pos 0 (some string) None
+    & info [] ~docv:"OUT.json"
+        ~doc:"Merged artifact to write; its name is the basename sans \
+              extension.")
+
+let merge_inputs_arg =
+  Arg.(
+    non_empty & pos_right 0 file []
+    & info [] ~docv:"IN.json" ~doc:"Input BENCH artifacts, in order.")
+
+let bench_merge out_path input_paths =
+  let records =
+    List.concat_map
+      (fun path -> (load_artifact_or_exit path).Provenance.a_records)
+      input_paths
+  in
+  let name = Filename.remove_extension (Filename.basename out_path) in
+  Provenance.write ~path:out_path (Provenance.artifact ~name records);
+  Printf.eprintf "merged %d records from %d artifacts -> %s\n"
+    (List.length records) (List.length input_paths) out_path
+
+let bench_merge_cmd =
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Concatenate the records of several BENCH artifacts into one, \
+          recomputing summaries — e.g. to combine the bench-smoke and \
+          batch-workload artifacts into a single baseline for $(b,bench \
+          diff). Exits 2 on an unreadable input.")
+    Term.(const bench_merge $ merge_out_arg $ merge_inputs_arg)
 
 let bench_cmd =
   Cmd.group
     (Cmd.info "bench" ~doc:"Benchmark provenance artifacts.")
-    [ bench_diff_cmd ]
+    [ bench_diff_cmd; bench_merge_cmd ]
 
 (* ---------------- serve / client ---------------- *)
 

@@ -39,7 +39,12 @@ val run :
   result_row list
 (** Answer each query against the synopsis stored under [key], in order.
     Records one provenance entry per query (experiment ["batch"]); truth
-    and q-error are [nan] — a batch run has no ground truth. Raises
+    and q-error are [nan] — a batch run has no ground truth. A non-empty
+    batch also records one aggregate entry (experiment
+    {!Provenance.online_experiment}, query ["total"]) whose
+    [wall_seconds] is the summed online wall and whose
+    [offline_wall_seconds] is the un-amortised [load_wall_seconds] — the
+    record the regression gate's online-wall bound reads. Raises
     [Not_found] for an unknown key, like {!Csdl.Store.estimate}. *)
 
 val total_online_wall : result_row list -> float

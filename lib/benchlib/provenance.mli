@@ -106,11 +106,20 @@ type check = {
   ok : bool;
 }
 
+val online_experiment : string
+(** ["batch-online"] — the experiment name of the one aggregate record
+    {!Batch.run} adds per invocation, whose [wall_seconds] is the
+    whole-batch online total. Unlike per-query walls (microseconds, under
+    the clock-noise floor), the aggregate is big enough for {!diff} to
+    bound the online hot path's wall clock for real. *)
+
 val diff :
+  ?max_online_wall_ratio:float ->
   max_wall_ratio:float ->
   max_qerr_ratio:float ->
   baseline:artifact ->
   current:artifact ->
+  unit ->
   check list
 (** Compare per-(experiment, variant) summaries. For every group in
     [baseline]: median and p95 q-error must not exceed the baseline by
@@ -118,9 +127,13 @@ val diff :
     baseline always fails; infinite against infinite passes), and mean
     wall time must not exceed [max_wall_ratio] times the baseline —
     except that wall times under 10ms are never flagged, so clock
-    granularity on fast machines cannot produce spurious failures. A
-    group missing from [current] fails a ["coverage"] check. Groups only
-    in [current] are new coverage and produce no check. *)
+    granularity on fast machines cannot produce spurious failures.
+    Groups whose experiment is {!online_experiment} have their wall
+    checked against [max_online_wall_ratio] instead (default:
+    [max_wall_ratio]) — a separate, tighter bound for the batch online
+    phase, whose aggregate wall sits above the noise floor. A group
+    missing from [current] fails a ["coverage"] check. Groups only in
+    [current] are new coverage and produce no check. *)
 
 val regressions : check list -> check list
 (** The failing subset, i.e. what a CI gate should report and exit 1 on. *)

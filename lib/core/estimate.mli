@@ -12,7 +12,15 @@
       with [N'' = N' |S''_A| / |S_A|].
 
     Predicates here are in the {e sampler's} orientation: [pred_a] applies
-    to the first-sampled table. {!Estimator} handles user orientation. *)
+    to the first-sampled table. {!Estimator} handles user orientation.
+
+    The hot path operates on a {!Synopsis_flat.t}: single linear passes
+    over columnar arrays, the predicate evaluated exactly once per sampled
+    row per query, the two sides joined by precomputed index position.
+    The [*_flat] entry points take a prebuilt flat view (build it once per
+    load, reuse per query); the [Synopsis.t]-taking functions are
+    conveniences that freeze a flat view per call and are bit-identical to
+    the flat path. *)
 
 open Repro_relation
 
@@ -77,3 +85,38 @@ val run_checked :
     rejects a non-finite or negative final estimate as [Error (Numeric _)].
     Any stray exception out of a structurally corrupt synopsis is caught
     and returned as [Error (Corrupt_synopsis _)]. Never raises. *)
+
+(** {2 Flat hot path} *)
+
+val run_flat :
+  ?obs:Repro_obs.Obs.ctx ->
+  ?dl_config:Discrete_learning.config ->
+  ?virtual_sample:bool ->
+  ?pred_a:Predicate.t ->
+  ?pred_b:Predicate.t ->
+  Synopsis_flat.t ->
+  float
+(** {!run} over a prebuilt flat view — the per-query cost is the linear
+    scans only. Bit-identical to {!run}. *)
+
+val run_with_breakdown_flat :
+  ?obs:Repro_obs.Obs.ctx ->
+  ?dl_config:Discrete_learning.config ->
+  ?virtual_sample:bool ->
+  ?pred_a:Predicate.t ->
+  ?pred_b:Predicate.t ->
+  Synopsis_flat.t ->
+  breakdown
+(** {!run_with_breakdown} over a prebuilt flat view. *)
+
+val run_checked_flat :
+  ?obs:Repro_obs.Obs.ctx ->
+  ?dl_config:Discrete_learning.config ->
+  ?virtual_sample:bool ->
+  ?pred_a:Predicate.t ->
+  ?pred_b:Predicate.t ->
+  Synopsis_flat.t ->
+  (breakdown, Fault.error) result
+(** {!run_checked} over a prebuilt flat view. Structural validation is the
+    memoized {!Synopsis_flat.t.verdict} computed when the view was built —
+    once per load, not once per query. *)

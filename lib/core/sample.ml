@@ -14,6 +14,7 @@ type t = {
   column : string;
   entries : entry Value.Tbl.t;
   tuple_count : int;
+  sentries : int;
 }
 
 let draw_entry prng ~sentry ~rows ~p_v ~q_v =
@@ -112,6 +113,7 @@ let first_side ?(obs = Obs.null) prng ~(profile : Profile.t)
     column = side.Profile.column;
     entries;
     tuple_count = !count;
+    sentries = t.sentries;
   }
 
 let second_side ?(obs = Obs.null) prng ~(profile : Profile.t)
@@ -142,6 +144,7 @@ let second_side ?(obs = Obs.null) prng ~(profile : Profile.t)
     column = side.Profile.column;
     entries;
     tuple_count = !count;
+    sentries = t.sentries;
   }
 
 let filtered_count t pass entry =
@@ -156,8 +159,7 @@ let sentry_passes t pass entry =
 
 let total_tuples t = t.tuple_count
 
-let sentry_count t =
-  Value.Tbl.fold
-    (fun _ (entry : entry) acc ->
-      match entry.sentry_row with Some _ -> acc + 1 | None -> acc)
-    t.entries 0
+(* Precomputed at construction/decode: the DL estimator reads this once
+   per query (Lemma 1's virtual-sample population), so it must not cost a
+   table fold on the online path. *)
+let sentry_count (t : t) = t.sentries

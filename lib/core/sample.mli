@@ -22,6 +22,7 @@ type t = {
   column : string;
   entries : entry Value.Tbl.t;
   tuple_count : int;  (** total sampled tuples including sentries *)
+  sentries : int;  (** number of entries carrying a sentry tuple *)
 }
 
 val draw_entry :
@@ -67,8 +68,9 @@ val sentry_passes : t -> (Value.t array -> bool) -> entry -> bool
 val total_tuples : t -> int
 
 val sentry_count : t -> int
-(** Number of entries carrying a sentry tuple. With the sentry technique on
-    this equals the number of first-level sampled values; the estimation
-    side subtracts it from [N'] to get the virtual-sample population
-    (Lemma 1 draws the virtual sample from the {e non-sentry} tuples
-    only). *)
+(** Number of entries carrying a sentry tuple, precomputed at construction
+    (and at decode) so the online path never folds over the table. With the
+    sentry technique on this equals the number of first-level sampled
+    values; the estimation side subtracts it from [N'] to get the
+    virtual-sample population (Lemma 1 draws the virtual sample from the
+    {e non-sentry} tuples only). *)

@@ -8,6 +8,8 @@ type entry = {
   fingerprint_b : int64;
   prng_key : string;
   synopsis : Synopsis.t;
+  flat : Synopsis_flat.t;
+      (* frozen once at registration/load; every estimate reuses it *)
 }
 
 type t = (string, entry) Hashtbl.t
@@ -33,6 +35,7 @@ let add ?(prng_key = "") store ~key ~table_a ~table_b estimator synopsis =
       fingerprint_b;
       prng_key;
       synopsis;
+      flat = Synopsis_flat.of_synopsis synopsis;
     }
 
 let keys store = Hashtbl.fold (fun k _ acc -> k :: acc) store [] |> List.sort compare
@@ -74,7 +77,7 @@ let estimate ?obs ?dl_config ?(pred_a = Predicate.True)
   let pred_a, pred_b =
     if entry.swapped then (pred_b, pred_a) else (pred_a, pred_b)
   in
-  Estimate.run ?obs ?dl_config ~pred_a ~pred_b entry.synopsis
+  Estimate.run_flat ?obs ?dl_config ~pred_a ~pred_b entry.flat
 
 let total_tuples store =
   Hashtbl.fold
@@ -119,6 +122,7 @@ let load_result ~resolve_table path =
               fingerprint_b = s.Synopsis_store.fingerprint_b;
               prng_key = s.Synopsis_store.prng_key;
               synopsis = s.Synopsis_store.synopsis;
+              flat = Synopsis_flat.of_synopsis s.Synopsis_store.synopsis;
             })
         entries;
       store)

@@ -8,11 +8,11 @@ type key = {
   prng_key : string;
 }
 
-type slot = { synopsis : Synopsis.t; mutable stamp : int }
+type 'a slot = { value : 'a; mutable stamp : int }
 
-type t = {
+type 'a t = {
   capacity : int;
-  slots : (key, slot) Hashtbl.t;
+  slots : (key, 'a slot) Hashtbl.t;
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
@@ -63,7 +63,7 @@ let find t key =
       t.hits <- t.hits + 1;
       Obs.count t.obs "synopsis_cache.hits" 1;
       touch t slot;
-      Some slot.synopsis
+      Some slot.value
   | None ->
       t.misses <- t.misses + 1;
       Obs.count t.obs "synopsis_cache.misses" 1;
@@ -88,18 +88,18 @@ let evict_lru t =
       t.evictions <- t.evictions + 1;
       Obs.count t.obs "synopsis_cache.evictions" 1
 
-let insert t key synopsis =
+let insert t key value =
   (match Hashtbl.find_opt t.slots key with
   | Some _ -> Hashtbl.remove t.slots key
   | None -> if Hashtbl.length t.slots >= t.capacity then evict_lru t);
   t.tick <- t.tick + 1;
-  Hashtbl.replace t.slots key { synopsis; stamp = t.tick };
+  Hashtbl.replace t.slots key { value; stamp = t.tick };
   Obs.set_gauge t.obs "synopsis_cache.size" (float_of_int (length t))
 
 let find_or_build t key build =
   match find t key with
-  | Some synopsis -> synopsis
+  | Some value -> value
   | None ->
-      let synopsis = build () in
-      insert t key synopsis;
-      synopsis
+      let value = build () in
+      insert t key value;
+      value

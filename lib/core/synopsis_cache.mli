@@ -1,11 +1,12 @@
-(** In-process LRU cache of drawn synopses.
+(** In-process LRU cache of drawn synopses (or any per-synopsis payload,
+    e.g. the flattened {!Synopsis_flat.t} the server keeps hot).
 
     A synopsis is a pure function of (base data, variant, theta, PRNG
     stream), so the cache key is exactly that tuple: the two table
     {e content} fingerprints ({!Repro_relation.Table.fingerprint}), the
     spec name, theta, and the keyed-PRNG stream name. A hit returns the
-    very synopsis object that was inserted, so cached estimates are
-    trivially bit-identical to fresh ones for the same key.
+    very object that was inserted, so cached estimates are trivially
+    bit-identical to fresh ones for the same key.
 
     Not thread-safe; create one per domain (like the PRNG). A live [obs]
     context maintains [synopsis_cache.hits]/[.misses]/[.evictions]
@@ -20,29 +21,29 @@ type key = {
   prng_key : string;  (** name of the keyed PRNG stream used to draw *)
 }
 
-type t
+type 'a t
 
-val create : ?obs:Repro_obs.Obs.ctx -> capacity:int -> unit -> t
+val create : ?obs:Repro_obs.Obs.ctx -> capacity:int -> unit -> 'a t
 (** [capacity] must be positive; insertion beyond it evicts the least
     recently used entry. *)
 
-val find : t -> key -> Synopsis.t option
+val find : 'a t -> key -> 'a option
 (** Tallies a hit or a miss and refreshes recency on hit. *)
 
-val insert : t -> key -> Synopsis.t -> unit
+val insert : 'a t -> key -> 'a -> unit
 (** Inserts (or replaces) an entry, evicting the LRU entry when full. *)
 
-val find_or_build : t -> key -> (unit -> Synopsis.t) -> Synopsis.t
+val find_or_build : 'a t -> key -> (unit -> 'a) -> 'a
 (** [find], or on a miss run [build], cache and return its result. *)
 
-val length : t -> int
-val hits : t -> int
-val misses : t -> int
-val evictions : t -> int
+val length : 'a t -> int
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int
 
 type stats = { s_hits : int; s_misses : int; s_evictions : int; s_size : int }
 
-val stats : t -> stats
+val stats : 'a t -> stats
 (** One consistent view of the tallies above plus the current size, so
     servers and tests read cache behaviour directly instead of scraping
     the metrics registry. *)

@@ -1,0 +1,221 @@
+open Repro_relation
+
+type rows = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type column =
+  | Ints of rows
+  | Floats of (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+  | Boxed of Value.t array
+
+type side = {
+  table : Table.t;
+  column : string;
+  values : Value.t array;
+  row_off : int array;
+  rows : rows;
+  sentry : int array;
+  sentry_pos : int array;
+  cols : column array;
+  p_v : float array;
+  q_v : float array;
+}
+
+type t = {
+  syn : Synopsis.t;
+  a : side;
+  b : side;
+  b_to_a : int array;
+  sorted_a : int array;
+  verdict : Fault.error option;
+}
+
+(* Flatten one sample. The bindings are collected through one
+   [Value.Tbl.iter] and laid out positionally in that exact order: the
+   estimate loops accumulate floats in scan order, and scan order must
+   reproduce the historical hashtable iteration for bit-identical
+   results. *)
+let side_of_sample (sample : Sample.t) =
+  let n = Value.Tbl.length sample.Sample.entries in
+  let bindings = ref [] in
+  Value.Tbl.iter
+    (fun v (e : Sample.entry) -> bindings := (v, e) :: !bindings)
+    sample.Sample.entries;
+  let bindings = List.rev !bindings in
+  let values = Array.make n Value.Null in
+  let row_off = Array.make (n + 1) 0 in
+  let sentry = Array.make n (-1) in
+  let p_v = Array.make n 0.0 in
+  let q_v = Array.make n 0.0 in
+  let total_rows =
+    List.fold_left
+      (fun acc (_, (e : Sample.entry)) -> acc + Array.length e.Sample.rows)
+      0 bindings
+  in
+  let rows =
+    Bigarray.Array1.create Bigarray.int Bigarray.c_layout total_rows
+  in
+  let i = ref 0 and off = ref 0 in
+  List.iter
+    (fun (v, (e : Sample.entry)) ->
+      values.(!i) <- v;
+      row_off.(!i) <- !off;
+      (match e.Sample.sentry_row with
+      | Some r -> sentry.(!i) <- r
+      | None -> ());
+      p_v.(!i) <- e.Sample.p_v;
+      q_v.(!i) <- e.Sample.q_v;
+      Array.iter
+        (fun r ->
+          Bigarray.Array1.unsafe_set rows !off r;
+          incr off)
+        e.Sample.rows;
+      incr i)
+    bindings;
+  row_off.(n) <- !off;
+  (* Sentry tuples are materialized after the non-sentry rows; record each
+     value's sentry position so the predicate scan can reach it through
+     the same columns. *)
+  let sentry_pos = Array.make n (-1) in
+  let n_sentries = ref 0 in
+  for i = 0 to n - 1 do
+    if sentry.(i) >= 0 then begin
+      sentry_pos.(i) <- total_rows + !n_sentries;
+      incr n_sentries
+    end
+  done;
+  (* Gather the sampled tuples column-major. Boxed first; a column whose
+     sampled values are all Int (resp. all Float) is then unboxed into a
+     Bigarray so the scan reads immediates off contiguous memory. *)
+  let table = sample.Sample.table in
+  let arity = Schema.arity (Table.schema table) in
+  let n_positions = total_rows + !n_sentries in
+  let boxed = Array.init arity (fun _ -> Array.make n_positions Value.Null) in
+  let fill pos row_index =
+    let row = Table.row table row_index in
+    for c = 0 to arity - 1 do
+      (boxed.(c)).(pos) <- row.(c)
+    done
+  in
+  for j = 0 to total_rows - 1 do
+    fill j (Bigarray.Array1.unsafe_get rows j)
+  done;
+  for i = 0 to n - 1 do
+    if sentry_pos.(i) >= 0 then fill sentry_pos.(i) sentry.(i)
+  done;
+  let unbox (col : Value.t array) =
+    let all p = Array.for_all p col in
+    if n_positions > 0 && all (function Value.Int _ -> true | _ -> false)
+    then begin
+      let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n_positions in
+      Array.iteri
+        (fun j v -> a.{j} <- Option.value (Value.as_int v) ~default:0)
+        col;
+      Ints a
+    end
+    else if
+      n_positions > 0 && all (function Value.Float _ -> true | _ -> false)
+    then begin
+      let a =
+        Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n_positions
+      in
+      Array.iteri
+        (fun j v -> a.{j} <- Option.value (Value.as_float v) ~default:0.0)
+        col;
+      Floats a
+    end
+    else Boxed col
+  in
+  {
+    table;
+    column = sample.Sample.column;
+    values;
+    row_off;
+    sentry;
+    sentry_pos;
+    cols = Array.map unbox boxed;
+    p_v;
+    q_v;
+    rows;
+  }
+
+(* ---------------- structural validation ---------------- *)
+
+(* Same checks, same order, same wording as the historical per-query
+   [Estimate.validate_synopsis]; the flat arrays preserve hashtable
+   iteration order, so "first faulty entry" agrees too. *)
+
+let validations = Atomic.make 0
+let validation_runs () = Atomic.get validations
+
+let validate_side label (s : side) =
+  let n = Array.length s.values in
+  let fault = ref None in
+  let i = ref 0 in
+  while !fault = None && !i < n do
+    let p = s.p_v.(!i) and q = s.q_v.(!i) in
+    if not (Float.is_finite p) || p <= 0.0 then
+      fault :=
+        Some (Fault.Numeric { what = label ^ " sampling rate p_v"; value = p })
+    else if not (Float.is_finite q) || q <= 0.0 then
+      fault :=
+        Some (Fault.Numeric { what = label ^ " sampling rate q_v"; value = q });
+    incr i
+  done;
+  !fault
+
+let validate (syn : Synopsis.t) ~a ~b ~b_to_a =
+  Atomic.incr validations;
+  let n_prime = syn.Synopsis.n_prime in
+  if not (Float.is_finite n_prime) || n_prime < 0.0 then
+    Some (Fault.Numeric { what = "synopsis N'"; value = n_prime })
+  else if syn.Synopsis.sample_a.Sample.tuple_count < 0 then
+    Some (Fault.Corrupt_synopsis "negative tuple count on side A")
+  else if syn.Synopsis.sample_b.Sample.tuple_count < 0 then
+    Some (Fault.Corrupt_synopsis "negative tuple count on side B")
+  else if Array.exists (fun j -> j < 0) b_to_a then
+    Some
+      (Fault.Corrupt_synopsis
+         "semijoin side references a value absent from the first side")
+  else
+    match validate_side "side A" a with
+    | Some f -> Some f
+    | None -> validate_side "side B" b
+
+(* ---------------- construction ---------------- *)
+
+let of_synopsis (syn : Synopsis.t) =
+  let a = side_of_sample syn.Synopsis.sample_a in
+  let b = side_of_sample syn.Synopsis.sample_b in
+  (* Positions of the A values under the {e hashtable's} equality, so a
+     dangling B value here is dangling in exactly the cases the
+     hashtable-walking estimator considered it dangling. *)
+  let a_index = Value.Tbl.create (2 * Array.length a.values) in
+  Array.iteri (fun i v -> Value.Tbl.replace a_index v i) a.values;
+  let b_to_a =
+    Array.map
+      (fun v ->
+        match Value.Tbl.find_opt a_index v with Some i -> i | None -> -1)
+      b.values
+  in
+  let sorted_a = Array.init (Array.length a.values) Fun.id in
+  Array.sort
+    (fun i j ->
+      let c = Value.compare a.values.(i) a.values.(j) in
+      if c <> 0 then c else Int.compare i j)
+    sorted_a;
+  let verdict = validate syn ~a ~b ~b_to_a in
+  { syn; a; b; b_to_a; sorted_a; verdict }
+
+let find_a t v =
+  let a = t.a and sorted = t.sorted_a in
+  let lo = ref 0 and hi = ref (Array.length sorted) in
+  let found = ref None in
+  while !found = None && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let i = sorted.(mid) in
+    let c = Value.compare v a.values.(i) in
+    if c = 0 then found := Some i
+    else if c < 0 then hi := mid
+    else lo := mid + 1
+  done;
+  !found

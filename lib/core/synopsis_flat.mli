@@ -1,0 +1,91 @@
+(** Columnar flat-array view of a decoded synopsis — the online hot path.
+
+    The hashtable-of-boxed-entries layout of {!Sample} is what the offline
+    phase naturally produces, but walking it per query is pointer chasing.
+    This module freezes a synopsis into immutable flat arrays once, at
+    draw/decode/load time, so the per-query loops in {!Estimate} are
+    single linear passes over contiguous memory:
+
+    - per side, parallel arrays of values, rates and sentry rows indexed
+      by {e position}, with per-value offset ranges into one contiguous
+      row-id array (a [Bigarray], so the GC never scans it and worker
+      domains share it read-only);
+    - a precomputed B→A position map, so the estimate joins the two sides
+      by index instead of a [Value.Tbl.find_opt] per value per query;
+    - a sorted value index over the first side for point lookups;
+    - the memoized validation verdict of the synopsis, so checked
+      estimation validates once per load instead of once per query.
+
+    {b Scan order is load-bearing.} The positional order of [values] is
+    exactly the sample hashtable's iteration order — NOT sorted order —
+    because estimates accumulate floats in scan order and must stay
+    bit-identical to the historical hashtable walk (the byte-compare
+    harnesses pin `%.17g` outputs). The sorted index is a separate lookup
+    structure on top. *)
+
+open Repro_relation
+
+type rows = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** One materialized column of the {e sampled} tuples, positionally
+    aligned with the side's row positions (non-sentry rows first, then the
+    sentry tuples — see {!side.sentry_pos}). Columns whose sampled values
+    are homogeneously [Int] (resp. [Float]) are unboxed into a [Bigarray]
+    — no GC tracking, no pointer dereference per row; anything mixed,
+    stringly or nullable stays a boxed value array. *)
+type column =
+  | Ints of rows
+  | Floats of (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+  | Boxed of Value.t array
+
+type side = {
+  table : Table.t;
+  column : string;
+  values : Value.t array;
+      (** join values, positionally, in sample-hashtable iteration order *)
+  row_off : int array;
+      (** length [n+1]; value [i]'s sampled rows live at positions
+          [row_off.(i) .. row_off.(i+1) - 1] (of [rows] and of every
+          materialized column) *)
+  rows : rows;  (** all non-sentry sampled row indices, concatenated *)
+  sentry : int array;  (** sentry row index per value, [-1] when absent *)
+  sentry_pos : int array;
+      (** position of value [i]'s sentry tuple in the materialized
+          columns, [-1] when absent; sentries occupy the positions after
+          the non-sentry rows *)
+  cols : column array;
+      (** the sampled tuples themselves, column-major, one entry per
+          schema column — the predicate scan reads these, never the base
+          table *)
+  p_v : float array;
+  q_v : float array;
+}
+
+type t = {
+  syn : Synopsis.t;  (** the source synopsis (rates, [N'], counts) *)
+  a : side;
+  b : side;
+  b_to_a : int array;
+      (** position of B value [i] in [a]'s arrays; [-1] when the value is
+          dangling (corrupt: S_B ⊆ B ⋉ S_A is violated) *)
+  sorted_a : int array;
+      (** positions into [a]'s arrays, sorted by {!Value.compare} *)
+  verdict : Fault.error option;
+      (** memoized {e structural} validation: finite [N'], non-negative
+          tuple counts, no dangling B values, finite positive stored
+          rates — same checks, same fault order and wording as the
+          historical per-query [validate_synopsis] *)
+}
+
+val of_synopsis : Synopsis.t -> t
+(** Freeze a synopsis. O(size of the synopsis); meant to run once per
+    draw/decode/load, never per query. *)
+
+val find_a : t -> Value.t -> int option
+(** Position of a value on the first side, by binary search over
+    [sorted_a]. *)
+
+val validation_runs : unit -> int
+(** Process-wide count of structural validations performed by
+    {!of_synopsis} — observability for "validate once per load, not per
+    query" (see the regression test in test_store.ml). *)

@@ -336,11 +336,18 @@ let get_sample r ~table =
     let q_v = get_f64 r in
     bindings := (v, { Sample.sentry_row; rows; p_v; q_v }) :: !bindings
   done;
+  let sentries =
+    List.fold_left
+      (fun acc (_, (e : Sample.entry)) ->
+        match e.Sample.sentry_row with Some _ -> acc + 1 | None -> acc)
+      0 !bindings
+  in
   {
     Sample.table;
     column;
     entries = thaw_entries (List.rev !bindings);
     tuple_count;
+    sentries;
   }
 
 let get_stored r ~resolve_table =

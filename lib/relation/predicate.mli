@@ -21,6 +21,12 @@ val compile : t -> Schema.t -> Value.t array -> bool
 (** [compile p schema] resolves column names once and returns a fast row
     predicate. Raises [Invalid_argument] on unknown columns. *)
 
+val string_has_prefix : prefix:string -> string -> bool
+val string_contains : needle:string -> string -> bool
+(** The exact string tests behind [Like_prefix] / [Like_contains], exposed
+    so columnar scans (which evaluate predicates against materialized
+    column arrays rather than rows) cannot drift from row semantics. *)
+
 val apply : t -> Table.t -> Table.t
 (** Rows of the table satisfying the predicate. *)
 

@@ -24,22 +24,30 @@ let to_string = function
   | Force_lp_failure -> "force-lp-failure"
 
 (* Rebuild a sample with every entry passed through [f], recomputing the
-   tuple count so the corrupted synopsis stays self-consistent (the point
-   is to corrupt one thing at a time, not everything at once). *)
+   tuple and sentry counts so the corrupted synopsis stays self-consistent
+   (the point is to corrupt one thing at a time, not everything at
+   once). *)
 let map_entries f (sample : Sample.t) =
   let entries = Value.Tbl.create (Value.Tbl.length sample.Sample.entries) in
   Value.Tbl.iter
     (fun v e -> Value.Tbl.add entries v (f e))
     sample.Sample.entries;
-  let tuple_count =
-    Value.Tbl.fold
-      (fun _ (e : Sample.entry) acc ->
-        acc
-        + Array.length e.Sample.rows
-        + (match e.Sample.sentry_row with Some _ -> 1 | None -> 0))
-      entries 0
-  in
-  { sample with Sample.entries; tuple_count }
+  let tuple_count = ref 0 and sentries = ref 0 in
+  Value.Tbl.iter
+    (fun _ (e : Sample.entry) ->
+      tuple_count := !tuple_count + Array.length e.Sample.rows;
+      match e.Sample.sentry_row with
+      | Some _ ->
+          incr tuple_count;
+          incr sentries
+      | None -> ())
+    entries;
+  {
+    sample with
+    Sample.entries;
+    tuple_count = !tuple_count;
+    sentries = !sentries;
+  }
 
 let corrupt_counts prng (synopsis : Synopsis.t) =
   match Prng.int prng 3 with
@@ -97,6 +105,7 @@ let truncate_samples prng (synopsis : Synopsis.t) =
           synopsis.Synopsis.sample_a with
           Sample.entries = Value.Tbl.create 1;
           tuple_count = 0;
+          sentries = 0;
         };
     }
   else begin

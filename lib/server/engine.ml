@@ -37,10 +37,13 @@ type t = {
   store_path : string;
   resolve_table : string -> Table.t;
   metas : (string, meta) Hashtbl.t;  (* read-only after [create] *)
-  cache : Cache.t;
+  cache : Csdl.Synopsis_flat.t Cache.t;
+      (* the cache holds flattened synopses: freezing (and structurally
+         validating) happens once per load, so the per-request hot path is
+         the linear flat-array scans only *)
   cache_mutex : Mutex.t;
   breaker : Breaker.t;
-  flights : (Csdl.Synopsis.t, Fault.error) result Single_flight.t;
+  flights : (Csdl.Synopsis_flat.t, Fault.error) result Single_flight.t;
   load_seq : int Atomic.t;
 }
 
@@ -91,7 +94,8 @@ let create ?(obs = Obs.null) ?(clock = Clock.wall) ?(sleep = Clock.sleepf)
         (fun (s : Csdl.Synopsis_store.stored) ->
           let meta = meta_of_stored s in
           Hashtbl.replace metas s.key meta;
-          Cache.insert cache meta.m_cache_key s.synopsis)
+          Cache.insert cache meta.m_cache_key
+            (Csdl.Synopsis_flat.of_synopsis s.synopsis))
         entries;
       Obs.count obs "server.requests.total" 0;
       List.iter
@@ -164,13 +168,18 @@ let load_once t key seq =
             (Fault.Store_mismatch
                { what = "key"; detail = key ^ " missing from store" })
       | Some s ->
-          if t.config.chaos <= 0.0 then Ok s.synopsis
+          (* flatten {e after} any chaos corruption: the memoized
+             validation verdict must describe the synopsis actually
+             served, so the checked estimator still catches injected
+             corruption *)
+          let flat syn = Csdl.Synopsis_flat.of_synopsis syn in
+          if t.config.chaos <= 0.0 then Ok (flat s.synopsis)
           else
             let prng =
               Prng.create_keyed ~seed:t.config.seed
                 (Printf.sprintf "chaos/%s/load=%d" key seq)
             in
-            if Prng.float prng >= t.config.chaos then Ok s.synopsis
+            if Prng.float prng >= t.config.chaos then Ok (flat s.synopsis)
             else if Prng.bool prng then begin
               Obs.count t.obs
                 ~labels:[ ("mode", "fail") ]
@@ -187,7 +196,7 @@ let load_once t key seq =
                 ~labels:[ ("mode", "corrupt") ]
                 "server.chaos.injected" 1;
               let fault = Fault_injection.pick prng in
-              Ok (Fault_injection.corrupt fault prng s.synopsis)
+              Ok (flat (Fault_injection.corrupt fault prng s.synopsis))
             end)
 
 (* Resolve a synopsis: cache, then a single-flight breaker-gated retrying
@@ -263,10 +272,11 @@ let handle t ~deadline ~key ?pred_a ?pred_b () =
             let pa, pb =
               if meta.m_swapped then (pred_b, pred_a) else (pred_a, pred_b)
             in
-            (* [run_checked]'s Ok value is bit-identical to [run]'s, and
-               an empty filtered sample is [run]'s plain 0.0 — mapping it
-               back keeps server replies byte-identical to batch mode. *)
-            (match Csdl.Estimate.run_checked ?pred_a:pa ?pred_b:pb syn with
+            (* [run_checked_flat]'s Ok value is bit-identical to [run]'s,
+               and an empty filtered sample is [run]'s plain 0.0 — mapping
+               it back keeps server replies byte-identical to batch
+               mode. *)
+            (match Csdl.Estimate.run_checked_flat ?pred_a:pa ?pred_b:pb syn with
             | Ok b ->
                 if Deadline.exceeded deadline then timed_out ()
                 else Answered b.Csdl.Estimate.estimate

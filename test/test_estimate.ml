@@ -282,6 +282,58 @@ let test_breakdown_fields () =
     (Csdl.Estimate.run synopsis = b.Csdl.Estimate.estimate)
 
 (* ------------------------------------------------------------------ *)
+(* Degenerate stored rates                                             *)
+(* ------------------------------------------------------------------ *)
+
+let poison_qv (s : Csdl.Sample.t) =
+  let entries = Value.Tbl.create (Value.Tbl.length s.Csdl.Sample.entries) in
+  Value.Tbl.iter
+    (fun v (e : Csdl.Sample.entry) ->
+      Value.Tbl.replace entries v { e with Csdl.Sample.q_v = 0.0 })
+    s.Csdl.Sample.entries;
+  { s with Csdl.Sample.entries }
+
+let test_zero_qv_is_guarded () =
+  (* A synopsis whose stored q_v rates were zeroed (bit rot, a broken
+     writer): the unchecked path must not divide sampled counts by zero
+     into a silent inf — every zero-rate term is guarded to contribute
+     nothing — and the checked path must reject the synopsis with a typed
+     numeric fault instead of returning anything. *)
+  List.iter
+    (fun spec ->
+      let est =
+        Csdl.Estimator.prepare ~sample_first:`A spec ~theta:0.5
+          (Lazy.force profile_ab)
+      in
+      let synopsis = Csdl.Estimator.draw est (Prng.create 11) in
+      let poisoned =
+        {
+          synopsis with
+          Csdl.Synopsis.sample_a = poison_qv synopsis.Csdl.Synopsis.sample_a;
+          sample_b = poison_qv synopsis.Csdl.Synopsis.sample_b;
+        }
+      in
+      let unchecked = Csdl.Estimate.run poisoned in
+      Alcotest.(check bool)
+        "unchecked estimate stays finite" true
+        (Float.is_finite unchecked);
+      match Csdl.Estimate.run_checked poisoned with
+      | Error (Csdl.Fault.Numeric { what; _ }) ->
+          Alcotest.(check bool)
+            "fault names the q_v rate" true
+            (String.length what > 0
+            && String.ends_with ~suffix:"q_v" what)
+      | Error e ->
+          Alcotest.failf "expected Numeric fault, got %s"
+            (Csdl.Fault.error_to_string e)
+      | Ok _ -> Alcotest.fail "zero q_v must not pass the checked path")
+    [
+      Csdl.Spec.cs2;
+      Csdl.Spec.cs2l;
+      Csdl.Spec.csdl Csdl.Spec.L_theta Csdl.Spec.L_diff;
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* CSDL-Opt dispatch                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -408,6 +460,11 @@ let () =
         ] );
       ( "breakdown",
         [ Alcotest.test_case "fields" `Quick test_breakdown_fields ] );
+      ( "degenerate rates",
+        [
+          Alcotest.test_case "zero q_v is guarded" `Quick
+            test_zero_qv_is_guarded;
+        ] );
       ( "opt",
         [
           Alcotest.test_case "low jvd" `Quick test_opt_dispatch_low_jvd;

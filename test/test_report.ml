@@ -217,11 +217,13 @@ let test_summarise () =
         s.Provenance.mean_wall_seconds
   | ss -> Alcotest.failf "expected 1 summary, got %d" (List.length ss)
 
-let diff = Provenance.diff ~max_wall_ratio:2.0 ~max_qerr_ratio:1.1
+let diff ?max_online_wall_ratio ~baseline ~current () =
+  Provenance.diff ?max_online_wall_ratio ~max_wall_ratio:2.0
+    ~max_qerr_ratio:1.1 ~baseline ~current ()
 
 let test_diff_self_is_clean () =
   let a = Provenance.artifact ~name:"a" [ mk (); mk ~variant:"CS2L" () ] in
-  let checks = diff ~baseline:a ~current:a in
+  let checks = diff ~baseline:a ~current:a () in
   Alcotest.(check int) "3 checks per variant" 6 (List.length checks);
   Alcotest.(check int)
     "self-diff has no regressions" 0
@@ -235,7 +237,7 @@ let test_diff_catches_regression_and_coverage () =
     (* q-error doubled, and the CS2L group vanished entirely *)
     Provenance.artifact ~name:"cur" [ mk ~qerror:4.0 () ]
   in
-  let bad = Provenance.regressions (diff ~baseline ~current) in
+  let bad = Provenance.regressions (diff ~baseline ~current ()) in
   Alcotest.(check bool)
     "doctored q-error flagged" true
     (List.exists
@@ -252,7 +254,7 @@ let test_diff_catches_regression_and_coverage () =
   let baseline_one = Provenance.artifact ~name:"b1" [ mk () ] in
   Alcotest.(check int)
     "new coverage passes" 0
-    (List.length (Provenance.regressions (diff ~baseline:baseline_one ~current:grown)))
+    (List.length (Provenance.regressions (diff ~baseline:baseline_one ~current:grown ())))
 
 let test_diff_gating_edges () =
   (* sub-10ms wall times are clock noise: a 5000x blowup under the floor
@@ -262,7 +264,7 @@ let test_diff_gating_edges () =
   Alcotest.(check int)
     "wall floor suppresses noise" 0
     (List.length
-       (Provenance.regressions (diff ~baseline:fast ~current:slow_but_tiny)));
+       (Provenance.regressions (diff ~baseline:fast ~current:slow_but_tiny ())));
   (* inf against inf is the same failure mode, not a regression; finite
      baseline going to inf is *)
   let inf_art name = Provenance.artifact ~name [ mk ~qerror:Float.infinity () ] in
@@ -270,11 +272,11 @@ let test_diff_gating_edges () =
     "inf vs inf passes" 0
     (List.length
        (Provenance.regressions
-          (diff ~baseline:(inf_art "a") ~current:(inf_art "b"))));
+          (diff ~baseline:(inf_art "a") ~current:(inf_art "b") ())));
   let finite = Provenance.artifact ~name:"f" [ mk ~qerror:3.0 () ] in
   Alcotest.(check bool)
     "finite -> inf fails" true
-    (Provenance.regressions (diff ~baseline:finite ~current:(inf_art "c"))
+    (Provenance.regressions (diff ~baseline:finite ~current:(inf_art "c") ())
     <> [])
 
 let test_version_rejected () =

@@ -146,6 +146,220 @@ let test_roundtrip_bit_identical_all_variants () =
         variant_estimators)
     [ 0.5; 1.0 ]
 
+(* ---------------- flat hot path vs legacy reference ---------------- *)
+
+(* A transcription of the pre-flat online estimator: hashtable iteration
+   over the semijoin side, [Value.Tbl.find_opt] back into the first side
+   per value, the predicate re-evaluated through [Sample.filtered_count].
+   The production path ([Estimate.run], a linear pass over Synopsis_flat
+   columns since the columnar refactor) must agree bit for bit — same
+   scan order, same float accumulation order, same zero-count guards. *)
+let legacy_reference_estimate ~pred_a ~pred_b (synopsis : Csdl.Synopsis.t) =
+  let open Csdl in
+  let compile_for (sample : Sample.t) = function
+    | Predicate.True -> fun (_ : Value.t array) -> true
+    | p -> Predicate.compile p (Table.schema sample.Sample.table)
+  in
+  let filter_entry sample pass entry =
+    ( Sample.filtered_count sample pass entry,
+      Sample.sentry_passes sample pass entry )
+  in
+  let indicator b = if b then 1.0 else 0.0 in
+  let { Synopsis.resolved; sample_a; sample_b; n_prime } = synopsis in
+  let sentry_spec = resolved.Budget.spec.Spec.sentry in
+  let pass_a = compile_for sample_a pred_a in
+  let pass_b = compile_for sample_b pred_b in
+  let b_factor (count, sentry) ~u_v =
+    let scaled = if count = 0 then 0.0 else float_of_int count /. u_v in
+    if sentry_spec then scaled +. indicator sentry else scaled
+  in
+  match resolved.Budget.spec.Spec.method_ with
+  | Spec.Scaling ->
+      let total = ref 0.0 in
+      Value.Tbl.iter
+        (fun v (entry_b : Sample.entry) ->
+          match Value.Tbl.find_opt sample_a.Sample.entries v with
+          | None -> ()
+          | Some entry_a ->
+              let a_count, a_sentry = filter_entry sample_a pass_a entry_a in
+              let fb = filter_entry sample_b pass_b entry_b in
+              let a_scaled =
+                if a_count = 0 then 0.0
+                else float_of_int a_count /. entry_a.Sample.q_v
+              in
+              let a_term =
+                if sentry_spec then a_scaled +. indicator a_sentry
+                else a_scaled
+              in
+              let b_term = b_factor fb ~u_v:entry_b.Sample.q_v in
+              let term = a_term *. b_term /. entry_a.Sample.p_v in
+              if term > 0.0 then total := !total +. term)
+        sample_b.Sample.entries;
+      !total
+  | Spec.Discrete_learning ->
+      let base_q = resolved.Budget.base_q in
+      let filtered_a =
+        Value.Tbl.create (Value.Tbl.length sample_a.Sample.entries)
+      in
+      let filtered_tuples = ref 0 in
+      let virtual_counts = ref [] in
+      Value.Tbl.iter
+        (fun v (entry : Sample.entry) ->
+          let ((count, sentry) as f) = filter_entry sample_a pass_a entry in
+          Value.Tbl.add filtered_a v f;
+          filtered_tuples :=
+            !filtered_tuples + count + (if sentry then 1 else 0);
+          if count > 0 && entry.Sample.q_v > 0.0 then
+            let virtual_count =
+              float_of_int count *. (base_q /. entry.Sample.q_v)
+            in
+            if virtual_count > 0.0 then
+              virtual_counts := virtual_count :: !virtual_counts)
+        sample_a.Sample.entries;
+      let total_tuples = Sample.total_tuples sample_a in
+      if total_tuples = 0 then 0.0
+      else begin
+        let selectivity =
+          float_of_int !filtered_tuples /. float_of_int total_tuples
+        in
+        let learned = Discrete_learning.learn (Array.of_list !virtual_counts) in
+        let virtual_population =
+          if sentry_spec then
+            Float.max 0.0
+              (n_prime -. float_of_int (Sample.sentry_count sample_a))
+          else n_prime
+        in
+        let n_filtered = virtual_population *. selectivity in
+        let total = ref 0.0 in
+        Value.Tbl.iter
+          (fun v (entry_b : Sample.entry) ->
+            match Value.Tbl.find_opt filtered_a v with
+            | None -> ()
+            | Some (a_count, a_sentry) ->
+                let entry_a = Value.Tbl.find sample_a.Sample.entries v in
+                let x_v =
+                  if a_count = 0 || entry_a.Sample.q_v <= 0.0 then 0.0
+                  else
+                    Discrete_learning.probability_of_count learned
+                      (float_of_int a_count *. (base_q /. entry_a.Sample.q_v))
+                in
+                let a_term =
+                  x_v *. n_filtered
+                  +. (if sentry_spec then indicator a_sentry else 0.0)
+                in
+                let fb = filter_entry sample_b pass_b entry_b in
+                let b_term = b_factor fb ~u_v:entry_b.Sample.q_v in
+                let term = a_term *. b_term /. entry_a.Sample.p_v in
+                if term > 0.0 then total := !total +. term)
+          sample_b.Sample.entries;
+        !total
+      end
+
+let test_flat_matches_legacy_reference () =
+  let preds =
+    [
+      (Predicate.True, Predicate.True);
+      ( Predicate.Compare (Predicate.Lt, "attr", Value.Int 9),
+        Predicate.Compare (Predicate.Gt, "attr", Value.Int 0) );
+      (Predicate.Compare (Predicate.Le, "attr", Value.Int 4), Predicate.True);
+    ]
+  in
+  List.iter
+    (fun theta ->
+      List.iter
+        (fun (name, prepare) ->
+          let profile = Csdl.Profile.of_tables (table "a") "k" (table "b") "k" in
+          let estimator = prepare ~theta profile in
+          let synopsis = Csdl.Estimator.draw estimator (Prng.create 42) in
+          List.iter
+            (fun (pred_a, pred_b) ->
+              let flat = Csdl.Estimate.run ~pred_a ~pred_b synopsis in
+              let reference =
+                legacy_reference_estimate ~pred_a ~pred_b synopsis
+              in
+              if flat <> reference then
+                Alcotest.failf "%s theta=%g: flat %h <> legacy reference %h"
+                  name theta flat reference)
+            preds)
+        variant_estimators)
+    [ 0.5; 1.0 ]
+
+(* Structural validation is memoized on the flat view: registration and
+   load each validate once, and no amount of estimates re-walks the
+   synopsis — the per-request O(synopsis) validation waste the refactor
+   removed, pinned via the global validation counter. *)
+let test_validation_runs_once_per_load () =
+  let runs () = Csdl.Synopsis_flat.validation_runs () in
+  let c0 = runs () in
+  let store = build_store () in
+  Alcotest.(check int) "one validation per registered synopsis" 2 (runs () - c0);
+  let path = Filename.temp_file "repro" ".synopses" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csdl.Store.save store path;
+      let back = Csdl.Store.load ~resolve_table path in
+      Alcotest.(check int) "one more per loaded synopsis" 4 (runs () - c0);
+      let pred = Predicate.Compare (Predicate.Lt, "attr", Value.Int 3) in
+      List.iter
+        (fun key ->
+          for _ = 1 to 5 do
+            ignore (Csdl.Store.estimate back ~key ~pred_a:pred)
+          done)
+        (Csdl.Store.keys back);
+      Alcotest.(check int) "estimates never re-validate" 4 (runs () - c0))
+
+(* [Sample.sentry_count] is precomputed at draw time and recomputed at
+   decode; both must agree with a fold over the entries. *)
+let test_sentry_count_precomputed () =
+  let count_by_fold (s : Csdl.Sample.t) =
+    Value.Tbl.fold
+      (fun _ (e : Csdl.Sample.entry) acc ->
+        match e.Csdl.Sample.sentry_row with Some _ -> acc + 1 | None -> acc)
+      s.Csdl.Sample.entries 0
+  in
+  let check_sample what s =
+    Alcotest.(check int) what (count_by_fold s) (Csdl.Sample.sentry_count s)
+  in
+  List.iter
+    (fun (name, prepare) ->
+      let profile = Csdl.Profile.of_tables (table "a") "k" (table "b") "k" in
+      let estimator = prepare ~theta:0.5 profile in
+      let synopsis = Csdl.Estimator.draw estimator (Prng.create 9) in
+      check_sample (name ^ ": drawn side A") synopsis.Csdl.Synopsis.sample_a;
+      check_sample (name ^ ": drawn side B") synopsis.Csdl.Synopsis.sample_b;
+      let swapped =
+        synopsis.Csdl.Synopsis.sample_a.Csdl.Sample.table == table "b"
+      in
+      let stored =
+        {
+          Csdl.Synopsis_store.key = "s";
+          table_a = "a";
+          table_b = "b";
+          swapped;
+          fingerprint_a = Table.fingerprint (table "a");
+          fingerprint_b = Table.fingerprint (table "b");
+          prng_key = "";
+          synopsis;
+        }
+      in
+      match
+        Csdl.Synopsis_store.decode ~resolve_table
+          (Csdl.Synopsis_store.encode [ stored ])
+      with
+      | Error e ->
+          Alcotest.failf "%s: decode failed: %s" name
+            (Csdl.Fault.error_to_string e)
+      | Ok [ back ] ->
+          check_sample (name ^ ": decoded side A")
+            back.Csdl.Synopsis_store.synopsis.Csdl.Synopsis.sample_a;
+          check_sample (name ^ ": decoded side B")
+            back.Csdl.Synopsis_store.synopsis.Csdl.Synopsis.sample_b
+      | Ok stored ->
+          Alcotest.failf "%s: expected 1 stored synopsis, got %d" name
+            (List.length stored))
+    variant_estimators
+
 let test_prng_key_and_info_roundtrip () =
   let profile = Csdl.Profile.of_tables (table "a") "k" (table "b") "k" in
   let estimator = Csdl.Opt.prepare ~theta:0.25 profile in
@@ -402,6 +616,12 @@ let () =
           Alcotest.test_case "estimate" `Quick test_store_estimate;
           Alcotest.test_case "orientation" `Quick test_store_estimate_orientation;
           Alcotest.test_case "save/load roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "flat path matches legacy reference" `Quick
+            test_flat_matches_legacy_reference;
+          Alcotest.test_case "validation runs once per load" `Quick
+            test_validation_runs_once_per_load;
+          Alcotest.test_case "sentry count precomputed" `Quick
+            test_sentry_count_precomputed;
           Alcotest.test_case "bit-identical roundtrip, all variants" `Quick
             test_roundtrip_bit_identical_all_variants;
           Alcotest.test_case "prng key and info" `Quick

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Fail if the online estimator regrows per-query hashtable lookups. The
+# per-query loops of lib/core/estimate.ml run over the columnar
+# Synopsis_flat layout — the B side scans its offset ranges and reaches
+# the A side through the precomputed b_to_a position map. A
+# `Value.Tbl.find` / `find_opt` (or any Value.Tbl traffic) inside
+# estimate.ml means someone reintroduced pointer chasing on the hot path;
+# build whatever index you need once in Synopsis_flat.of_synopsis
+# instead.
+#
+# Usage: tools/lint_no_tbl_lookup_in_estimate.sh [repo-root]
+# Runs from any cwd: without an argument the repo root is resolved from
+# the script's own location. Exits non-zero on violations, listing each
+# offending site as file:line:content.
+set -eu
+
+root=${1:-$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)}
+cd "$root"
+
+file=lib/core/estimate.ml
+pattern='Value\.Tbl\.'
+
+if grep -n "$pattern" "$file" >/dev/null 2>&1; then
+  echo "lint: $file touches Value.Tbl on the per-query path" >&2
+  grep -n "$pattern" "$file" | sed "s|^|$file:|" >&2
+  echo "lint: precompute flat indices in Synopsis_flat.of_synopsis instead" >&2
+  exit 1
+fi
+exit 0
