@@ -69,6 +69,11 @@ grep -q 'ok ready keys=2' srv-ready.txt
 ../bin/repro_cli.exe client --port $PORT --verb metrics > srv-metrics.txt
 grep -q 'server_requests_total' srv-metrics.txt
 
+# reload re-reads the store from disk and swaps the snapshot atomically;
+# the store is unchanged here, so the key count must survive the swap
+../bin/repro_cli.exe client --port $PORT --verb reload \
+  | grep -q 'ok reloaded keys=2'
+
 # the load-bearing assertion: the served estimates are byte-identical to
 # the batch pipeline over the same store, ids and %.17g floats included
 ../bin/repro_cli.exe client --port $PORT --key ab \

@@ -536,8 +536,24 @@ let store_arg =
     value & opt string "synopses.bin"
     & info [ "store" ] ~docv:"FILE" ~doc:"Synopsis store file.")
 
-let synopsis_build graphs theta store seed =
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Partition each synopsis into $(docv) deterministic shards of the \
+           join-value hash space, draw them in parallel (see $(b,--jobs)) \
+           and merge. Estimates and stdout are byte-identical at any \
+           $(docv); the store persists one checksummed segment per shard.")
+
+let synopsis_build graphs theta store seed shards jobs bench_json =
+  if shards < 1 then begin
+    Printf.eprintf "error: --shards must be >= 1\n";
+    exit 2
+  end;
+  let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
   let s = Csdl.Store.create () in
+  let prov = Provenance.create () in
   List.iter
     (fun (key, lf, lc, rf, rc) ->
       let table_a = Csv_io.read_auto lf and table_b = Csv_io.read_auto rf in
@@ -545,29 +561,73 @@ let synopsis_build graphs theta store seed =
       let estimator = Csdl.Opt.prepare ~theta profile in
       (* one keyed stream per graph: rebuilding any subset of graphs with
          the same seed redraws bit-identical synopses, independent of
-         which other graphs are on the command line *)
+         which other graphs are on the command line. The sharded build
+         consumes the same 64-bit base the monolithic [Estimator.draw]
+         would, so the merged synopsis is bit-identical at any --shards. *)
       let stream = Printf.sprintf "synopsis/%s" key in
       let prng = Prng.create_keyed ~seed stream in
-      let synopsis = Csdl.Estimator.draw estimator prng in
+      let synopsis, span =
+        Clock.time (fun () ->
+            Csdl.Synopsis_shard.merge
+              (Csdl.Synopsis_shard.build ~jobs
+                 ~base:(Csdl.Synopsis.base_of_prng prng)
+                 ~profile:(Csdl.Estimator.profile estimator)
+                 ~resolved:(Csdl.Estimator.resolved estimator)
+                 ~shards ()))
+      in
       Csdl.Store.add
         ~prng_key:(Printf.sprintf "%d:%s" seed stream)
-        s ~key ~table_a:lf ~table_b:rf estimator synopsis;
-      Printf.printf "built %s: %s, %d sample tuples
-%!" key
+        ~shards s ~key ~table_a:lf ~table_b:rf estimator synopsis;
+      let expected = (Csdl.Estimator.resolved estimator).Csdl.Budget.expected_size in
+      let tuples = float_of_int (Csdl.Synopsis.size_tuples synopsis) in
+      Provenance.add prov
+        {
+          Provenance.experiment = "synopsis-build";
+          query = key;
+          variant = Csdl.Spec.to_string (Csdl.Estimator.spec estimator);
+          theta;
+          jvd = profile.Csdl.Profile.jvd;
+          sample_tuples = tuples;
+          truth = expected;
+          estimate = tuples;
+          qerror =
+            (if expected > 0.0 && tuples > 0.0 then
+               Float.max (tuples /. expected) (expected /. tuples)
+             else Float.nan);
+          rung = "offline";
+          downgrades = 0;
+          runs = 1;
+          zero_runs = (if tuples = 0.0 then 1 else 0);
+          wall_seconds = span.Clock.wall_seconds;
+          cpu_seconds = span.Clock.cpu_seconds;
+          offline_wall_seconds = span.Clock.wall_seconds;
+        };
+      Printf.printf "built %s: %s, %d sample tuples\n%!" key
         (Csdl.Spec.to_string (Csdl.Estimator.spec estimator))
         (Csdl.Synopsis.size_tuples synopsis))
     graphs;
   Csdl.Store.save s store;
-  Printf.printf "saved %d synopses to %s (%d tuples total)
-" 
-    (List.length (Csdl.Store.keys s)) store (Csdl.Store.total_tuples s)
+  Printf.printf "saved %d synopses to %s (%d tuples total)\n"
+    (List.length (Csdl.Store.keys s)) store (Csdl.Store.total_tuples s);
+  Option.iter
+    (fun path ->
+      let name = Filename.remove_extension (Filename.basename path) in
+      Provenance.write ~path
+        (Provenance.artifact ~name (Provenance.records prov));
+      Printf.eprintf "provenance: %d records -> %s\n"
+        (List.length (Provenance.records prov)) path)
+    bench_json
 
 let synopsis_build_cmd =
   Cmd.v
     (Cmd.info "synopsis-build"
        ~doc:
-         "Build CSDL-Opt synopses for a set of CSV join graphs and persist           them to a store file.")
-    Term.(const synopsis_build $ graphs_arg $ theta_arg $ store_arg $ seed_arg)
+         "Build CSDL-Opt synopses for a set of CSV join graphs and persist \
+          them to a store file, optionally sharded (byte-identical \
+          estimates at any shard count).")
+    Term.(
+      const synopsis_build $ graphs_arg $ theta_arg $ store_arg $ seed_arg
+      $ shards_arg $ jobs_arg $ bench_json_arg)
 
 let key_arg =
   Arg.(
@@ -603,6 +663,251 @@ let synopsis_estimate_cmd =
     Term.(
       const synopsis_estimate $ key_arg $ store_arg $ where_left_arg
       $ where_right_arg)
+
+(* ---------------- synopsis-delta ---------------- *)
+
+let insert_left_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "insert-left" ] ~docv:"CSV"
+        ~doc:
+          "CSV of rows to append to the left table (same header and column \
+           types as the stored table).")
+
+let insert_right_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "insert-right" ] ~docv:"CSV"
+        ~doc:"CSV of rows to append to the right table.")
+
+let delete_left_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "delete-left" ] ~docv:"I,J,.."
+        ~doc:
+          "Comma-separated current row indices (0-based, header excluded) \
+           to delete from the left table.")
+
+let delete_right_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "delete-right" ] ~docv:"I,J,.."
+        ~doc:"Row indices to delete from the right table.")
+
+let out_left_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out-left" ] ~docv:"CSV"
+        ~doc:
+          "Where to write the post-delta left table (default: overwrite the \
+           path recorded in the store).")
+
+let out_right_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out-right" ] ~docv:"CSV"
+        ~doc:"Where to write the post-delta right table.")
+
+let parse_deletes what spec =
+  match spec with
+  | None -> [||]
+  | Some s ->
+      String.split_on_char ',' s
+      |> List.filter_map (fun part ->
+             let part = String.trim part in
+             if part = "" then None
+             else
+               match int_of_string_opt part with
+               | Some i -> Some i
+               | None ->
+                   Printf.eprintf "error: %s: %S is not a row index\n" what
+                     part;
+                   exit 2)
+      |> Array.of_list
+
+let read_inserts what schema path_opt =
+  match path_opt with
+  | None -> [||]
+  | Some path ->
+      let t = Csv_io.read_auto path in
+      if not (Schema.equal (Table.schema t) schema) then begin
+        Printf.eprintf
+          "error: %s: schema of %s does not match the stored table's\n" what
+          path;
+        exit 2
+      end;
+      Array.init (Table.cardinality t) (Table.row t)
+
+let synopsis_delta key store insert_left insert_right delete_left delete_right
+    out_left out_right =
+  let entries =
+    match
+      Csdl.Synopsis_store.read ~resolve_table:Csv_io.read_auto ~path:store
+    with
+    | Ok entries -> entries
+    | Error fault ->
+        Printf.eprintf "error: %s: %s\n" store
+          (Csdl.Fault.error_to_string fault);
+        exit 1
+  in
+  let entry =
+    match
+      List.find_opt
+        (fun (e : Csdl.Synopsis_store.stored) -> e.key = key)
+        entries
+    with
+    | Some e -> e
+    | None ->
+        Printf.eprintf "no synopsis %S in %s (have: %s)\n" key store
+          (String.concat ", "
+             (List.map
+                (fun (e : Csdl.Synopsis_store.stored) -> e.key)
+                entries));
+        exit 1
+  in
+  (* the keyed stream the synopsis was drawn from is what makes delta
+     maintenance bit-identical to a fresh re-draw; without it recorded
+     there is nothing to resume *)
+  let base =
+    match String.index_opt entry.prng_key ':' with
+    | None ->
+        Printf.eprintf
+          "error: synopsis %S records no usable PRNG key (%S); cannot \
+           resume maintenance\n"
+          key entry.prng_key;
+        exit 1
+    | Some i -> (
+        let seed_str = String.sub entry.prng_key 0 i in
+        let stream =
+          String.sub entry.prng_key (i + 1)
+            (String.length entry.prng_key - i - 1)
+        in
+        match int_of_string_opt seed_str with
+        | None ->
+            Printf.eprintf
+              "error: synopsis %S records a malformed PRNG key (%S)\n" key
+              entry.prng_key;
+            exit 1
+        | Some seed ->
+            Csdl.Synopsis.base_of_prng (Prng.create_keyed ~seed stream))
+  in
+  (* reconstruct the sampler-orientation profile from the decoded samples
+     (bypassing Store/Estimator keeps the stored orientation rather than
+     re-deriving it, so the re-drawn synopsis slots back into the entry) *)
+  let sample_a = entry.synopsis.Csdl.Synopsis.sample_a
+  and sample_b = entry.synopsis.Csdl.Synopsis.sample_b in
+  let profile =
+    Csdl.Profile.of_tables sample_a.Csdl.Sample.table
+      sample_a.Csdl.Sample.column sample_b.Csdl.Sample.table
+      sample_b.Csdl.Sample.column
+  in
+  let sharded =
+    Csdl.Synopsis_shard.of_synopsis ~base ~profile ~shards:entry.shards
+      entry.synopsis
+  in
+  let left_delta =
+    {
+      Csdl.Synopsis_shard.inserts =
+        read_inserts "--insert-left"
+          (Table.schema
+             (if entry.swapped then sample_b.Csdl.Sample.table
+              else sample_a.Csdl.Sample.table))
+          insert_left;
+      deletes = parse_deletes "--delete-left" delete_left;
+    }
+  and right_delta =
+    {
+      Csdl.Synopsis_shard.inserts =
+        read_inserts "--insert-right"
+          (Table.schema
+             (if entry.swapped then sample_a.Csdl.Sample.table
+              else sample_b.Csdl.Sample.table))
+          insert_right;
+      deletes = parse_deletes "--delete-right" delete_right;
+    }
+  in
+  (* CLI deltas are in the original (left, right) orientation; the sharded
+     synopsis lives in sampler orientation *)
+  let delta =
+    if entry.swapped then
+      { Csdl.Synopsis_shard.a = right_delta; b = left_delta }
+    else { Csdl.Synopsis_shard.a = left_delta; b = right_delta }
+  in
+  let dirty, span =
+    try Clock.time (fun () -> Csdl.Synopsis_shard.apply_delta sharded delta)
+    with Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  in
+  let post = Csdl.Synopsis_shard.profile sharded in
+  let table_a = post.Csdl.Profile.a.Csdl.Profile.table
+  and table_b = post.Csdl.Profile.b.Csdl.Profile.table in
+  let left_table, right_table =
+    if entry.swapped then (table_b, table_a) else (table_a, table_b)
+  in
+  let left_path, right_path =
+    let orig_left, orig_right =
+      if entry.swapped then (entry.table_b, entry.table_a)
+      else (entry.table_a, entry.table_b)
+    in
+    ( Option.value out_left ~default:orig_left,
+      Option.value out_right ~default:orig_right )
+  in
+  Csv_io.write left_path left_table;
+  Csv_io.write right_path right_table;
+  let synopsis = Csdl.Synopsis_shard.merge sharded in
+  let entry' =
+    {
+      entry with
+      Csdl.Synopsis_store.table_a =
+        (if entry.swapped then right_path else left_path);
+      table_b = (if entry.swapped then left_path else right_path);
+      fingerprint_a = Table.fingerprint table_a;
+      fingerprint_b = Table.fingerprint table_b;
+      synopsis;
+    }
+  in
+  let entries' =
+    List.map
+      (fun (e : Csdl.Synopsis_store.stored) ->
+        if e.key = key then entry' else e)
+      entries
+  in
+  Csdl.Synopsis_store.write ~path:store entries';
+  Printf.printf
+    "applied delta to %s: left +%d/-%d -> %s, right +%d/-%d -> %s\n" key
+    (Array.length left_delta.Csdl.Synopsis_shard.inserts)
+    (Array.length left_delta.Csdl.Synopsis_shard.deletes)
+    left_path
+    (Array.length right_delta.Csdl.Synopsis_shard.inserts)
+    (Array.length right_delta.Csdl.Synopsis_shard.deletes)
+    right_path;
+  Printf.printf "re-drawn shards: %d/%d; %d sample tuples; store %s updated\n"
+    dirty
+    (Csdl.Synopsis_shard.shard_count sharded)
+    (Csdl.Synopsis.size_tuples synopsis)
+    store;
+  Printf.eprintf "delta applied in %.3fs wall\n" span.Clock.wall_seconds
+
+let synopsis_delta_cmd =
+  Cmd.v
+    (Cmd.info "synopsis-delta"
+       ~doc:
+         "Apply an insert/delete batch to a stored synopsis in place: \
+          re-evaluate the per-value hash test on the same keyed PRNG \
+          streams for exactly the affected values, rewrite the base CSVs \
+          and the store. Estimates afterwards are byte-identical to \
+          rebuilding the synopsis from scratch on the post-delta tables.")
+    Term.(
+      const synopsis_delta $ key_arg $ store_arg $ insert_left_arg
+      $ insert_right_arg $ delete_left_arg $ delete_right_arg $ out_left_arg
+      $ out_right_arg)
 
 (* ---------------- batch ---------------- *)
 
@@ -822,10 +1127,33 @@ let merge_inputs_arg =
     & info [] ~docv:"IN.json" ~doc:"Input BENCH artifacts, in order.")
 
 let bench_merge out_path input_paths =
+  (* a record's identity for collision purposes: two artifacts carrying the
+     same (experiment, variant, query) would silently double-weight that
+     group's summaries, so overlapping inputs are a hard error. Duplicates
+     *within* one artifact are legitimate (multi-run records). *)
+  let seen = Hashtbl.create 64 in
   let records =
-    List.concat_map
-      (fun path -> (load_artifact_or_exit path).Provenance.a_records)
-      input_paths
+    List.concat
+      (List.mapi
+         (fun idx path ->
+           let records = (load_artifact_or_exit path).Provenance.a_records in
+           List.iter
+             (fun (r : Provenance.record) ->
+               let k = (r.experiment, r.variant, r.query) in
+               match Hashtbl.find_opt seen k with
+               | Some (first_idx, first_path) when first_idx <> idx ->
+                   let e, v, q = k in
+                   Printf.eprintf
+                     "error: record (experiment=%s, variant=%s, query=%s) \
+                      appears in both %s and %s; refusing to merge \
+                      overlapping artifacts\n"
+                     e v q first_path path;
+                   exit 2
+               | Some _ -> ()
+               | None -> Hashtbl.add seen k (idx, path))
+             records;
+           records)
+         input_paths)
   in
   let name = Filename.remove_extension (Filename.basename out_path) in
   Provenance.write ~path:out_path (Provenance.artifact ~name records);
@@ -839,7 +1167,9 @@ let bench_merge_cmd =
          "Concatenate the records of several BENCH artifacts into one, \
           recomputing summaries — e.g. to combine the bench-smoke and \
           batch-workload artifacts into a single baseline for $(b,bench \
-          diff). Exits 2 on an unreadable input.")
+          diff). Exits 2 on an unreadable input or when two different \
+          inputs carry the same (experiment, variant, query) record key \
+          (which would double-weight that group's summaries).")
     Term.(const bench_merge $ merge_out_arg $ merge_inputs_arg)
 
 let bench_cmd =
@@ -981,8 +1311,8 @@ let verb_arg =
     value
     & opt (some string) None
     & info [ "verb" ] ~docv:"VERB"
-        ~doc:"Send one protocol verb (health, ready, keys, metrics) and \
-              print the reply.")
+        ~doc:"Send one protocol verb (health, ready, keys, metrics, reload) \
+              and print the reply.")
 
 let client_deadline_arg =
   Arg.(
@@ -1056,6 +1386,12 @@ let client_run host port verb queries key deadline_s where_left where_right =
                   Printf.eprintf "error: %s\n" e;
                   exit 1)
           | "health" | "ready" | "keys" -> print_endline (Server_client.raw c v)
+          | "reload" -> (
+              match Server_client.reload c with
+              | Ok line -> print_endline line
+              | Error e ->
+                  Printf.eprintf "error: %s\n" e;
+                  exit 1)
           | v ->
               Printf.eprintf "error: unknown verb %S\n" v;
               exit 1)
@@ -1105,7 +1441,7 @@ let client_cmd =
          "Query a running estimation daemon. With --queries, replays a \
           batch query file and prints '<id>: <estimate>' lines \
           byte-comparable to $(b,repro_cli batch); with --verb, sends one \
-          protocol verb (health, ready, keys, metrics).")
+          protocol verb (health, ready, keys, metrics, reload).")
     Term.(
       const client_run $ host_arg $ port_arg $ verb_arg $ client_queries_arg
       $ client_key_arg $ client_deadline_arg $ where_left_arg
@@ -1148,6 +1484,7 @@ let () =
             bench_cmd;
             synopsis_build_cmd;
             synopsis_estimate_cmd;
+            synopsis_delta_cmd;
             batch_cmd;
             serve_cmd;
             client_cmd;

@@ -39,7 +39,13 @@ let prepare ~eligible_shared_only (profile : Profile.t) =
         (fun v _ acc -> collect v acc)
         profile.Profile.a.Profile.frequencies []
   in
+  (* Canonical order: the rate solvers below sum floats over this array
+     (and bisect on those sums), so the array order must not leak any
+     hashtable's insertion history — a budget re-resolved from an
+     incrementally maintained profile has to reproduce the from-scratch
+     constants bit for bit. *)
   let arr = Array.of_list triples in
+  Array.sort (fun (a, _, _) (b, _, _) -> Shard_key.compare a b) arr;
   {
     values = Array.map (fun (v, _, _) -> v) arr;
     af = Array.map (fun (_, a, _) -> a) arr;

@@ -63,7 +63,8 @@ let prepare_opt ?threshold ~theta tables =
   prepare spec ~theta tables
 
 let draw t prng =
-  let sample_c = Sample.first_side prng ~profile:t.profile ~resolved:t.resolved in
+  let sample_c = Sample.first_side ~base:(Synopsis.base_of_prng prng) ~profile:t.profile
+      ~resolved:t.resolved () in
   let links = Value.Tbl.create 256 in
   let n0 = ref 0.0 in
   Value.Tbl.iter

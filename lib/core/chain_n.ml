@@ -124,7 +124,8 @@ let rec paths_for levels v =
                    continue_with))
 
 let draw t prng =
-  let sample = Sample.first_side prng ~profile:t.profile ~resolved:t.resolved in
+  let sample = Sample.first_side ~base:(Synopsis.base_of_prng prng) ~profile:t.profile
+      ~resolved:t.resolved () in
   let paths = Value.Tbl.create 256 in
   let n0 = ref 0.0 in
   Value.Tbl.iter

@@ -41,6 +41,12 @@ let of_tables table_a col_a table_b col_b =
   Value.Tbl.iter
     (fun v _ -> if Value.Tbl.mem large.frequencies v then shared := v :: !shared)
     small.frequencies;
+  (* Canonical order: downstream float folds (variance scans, budget
+     solving) walk this array, and their results must not depend on
+     hashtable insertion history — an incrementally rebuilt profile has to
+     reproduce the from-scratch one bit for bit. *)
+  let shared = Array.of_list !shared in
+  Array.sort Shard_key.compare shared;
   let density side =
     if side.cardinality = 0 then 0.0
     else float_of_int side.distinct /. float_of_int side.cardinality
@@ -48,7 +54,7 @@ let of_tables table_a col_a table_b col_b =
   {
     a;
     b;
-    shared_values = Array.of_list !shared;
+    shared_values = shared;
     jvd = Float.min (density a) (density b);
     total_rows = a.cardinality + b.cardinality;
   }

@@ -17,6 +17,21 @@ type t = {
   sentries : int;
 }
 
+(* Per-value keyed sub-streams. Every value draws from its own PRNG
+   stream, derived from the draw's 64-bit base and the value's stable byte
+   encoding — so a value's sample is a pure function of (base, value,
+   group, rates): independent of hashtable iteration order, of which other
+   values exist, and of how the table is partitioned into shards. This is
+   what makes shard merges and per-value delta re-draws bit-identical to a
+   monolithic from-scratch draw (see Synopsis_shard). The side tags keep
+   the A and B streams of the same value apart; both are the same length,
+   and [Value.encode] is injective, so stream names never collide. *)
+let value_stream ~base ~tag v =
+  Prng.of_state (Prng.derive64 base (tag ^ Value.encode v))
+
+let stream_a ~base v = value_stream ~base ~tag:"a/" v
+let stream_b ~base v = value_stream ~base ~tag:"b/" v
+
 let draw_entry prng ~sentry ~rows ~p_v ~q_v =
   let n = Array.length rows in
   if n = 0 then invalid_arg "Sample.draw_entry: empty row group";
@@ -80,8 +95,33 @@ let record_entry t entry ~group_size =
   t.tuples_dropped <- t.tuples_dropped + (group_size - entry_size entry);
   if entry.sentry_row <> None then t.sentries <- t.sentries + 1
 
-let first_side ?(obs = Obs.null) prng ~(profile : Profile.t)
-    ~(resolved : Budget.t) =
+(* The complete first-level fate of one value, on its own sub-stream:
+   Bernoulli(p_v) membership, then the second-level draw. [None] when the
+   value is not in S_A (rate zero, level-1 reject, or — without sentries —
+   an empty second-level draw: such a value must not trigger the semijoin
+   side). Factored out so delta maintenance re-runs {e exactly} this
+   code path per affected value. *)
+let first_fate ~base ~sentry ~rows ~p_v ~q_v v =
+  if p_v <= 0.0 then `Rejected
+  else
+    let prng = stream_a ~base v in
+    if p_v >= 1.0 || Prng.bernoulli prng p_v then begin
+      let entry = draw_entry prng ~sentry ~rows ~p_v ~q_v in
+      if entry_size entry > 0 then `Kept entry else `Empty_draw
+    end
+    else `Rejected
+
+let draw_first_value ~base ~sentry ~rows ~p_v ~q_v v =
+  match first_fate ~base ~sentry ~rows ~p_v ~q_v v with
+  | `Kept entry -> Some entry
+  | `Rejected | `Empty_draw -> None
+
+(* The semijoin-side draw for one value of S_A that occurs in B. *)
+let draw_second_value ~base ~sentry ~rows ~p_v ~u_v v =
+  draw_entry (stream_b ~base v) ~sentry ~rows ~p_v ~q_v:u_v
+
+let first_side ?(obs = Obs.null) ?(select = fun (_ : Value.t) -> true) ~base
+    ~(profile : Profile.t) ~(resolved : Budget.t) () =
   let side = profile.Profile.a in
   let sentry = resolved.Budget.spec.Spec.sentry in
   let entries = Value.Tbl.create 256 in
@@ -89,23 +129,19 @@ let first_side ?(obs = Obs.null) prng ~(profile : Profile.t)
   let t = tally () in
   Value.Tbl.iter
     (fun v rows ->
-      let p_v = Budget.p_of resolved profile v in
-      if p_v > 0.0 && (p_v >= 1.0 || Prng.bernoulli prng p_v) then begin
-        let q_v = Budget.q_of resolved profile v in
-        let entry = draw_entry prng ~sentry ~rows ~p_v ~q_v in
-        (* Without sentries a value whose second level drew nothing is not
-           in S_A at all (it must not trigger the semijoin side). *)
-        if entry_size entry > 0 then begin
-          Value.Tbl.add entries v entry;
-          count := !count + entry_size entry;
-          record_entry t entry ~group_size:(Array.length rows)
-        end
-        else begin
-          t.values_dropped <- t.values_dropped + 1;
-          t.tuples_dropped <- t.tuples_dropped + Array.length rows
-        end
-      end
-      else t.values_dropped <- t.values_dropped + 1)
+      if select v then begin
+        let p_v = Budget.p_of resolved profile v in
+        let q_v = if p_v > 0.0 then Budget.q_of resolved profile v else 0.0 in
+        match first_fate ~base ~sentry ~rows ~p_v ~q_v v with
+        | `Kept entry ->
+            Value.Tbl.add entries v entry;
+            count := !count + entry_size entry;
+            record_entry t entry ~group_size:(Array.length rows)
+        | `Rejected -> t.values_dropped <- t.values_dropped + 1
+        | `Empty_draw ->
+            t.values_dropped <- t.values_dropped + 1;
+            t.tuples_dropped <- t.tuples_dropped + Array.length rows
+      end)
     side.Profile.groups;
   emit_tally obs ~side:"a" t ~tuples_kept:!count;
   {
@@ -116,8 +152,8 @@ let first_side ?(obs = Obs.null) prng ~(profile : Profile.t)
     sentries = t.sentries;
   }
 
-let second_side ?(obs = Obs.null) prng ~(profile : Profile.t)
-    ~(resolved : Budget.t) ~first =
+let second_side ?(obs = Obs.null) ~base ~(profile : Profile.t)
+    ~(resolved : Budget.t) ~first () =
   let side = profile.Profile.b in
   let sentry = resolved.Budget.spec.Spec.sentry in
   let entries = Value.Tbl.create 256 in
@@ -132,7 +168,7 @@ let second_side ?(obs = Obs.null) prng ~(profile : Profile.t)
       | Some rows ->
           let u_v = Budget.u_of resolved profile v in
           let entry =
-            draw_entry prng ~sentry ~rows ~p_v:first_entry.p_v ~q_v:u_v
+            draw_second_value ~base ~sentry ~rows ~p_v:first_entry.p_v ~u_v v
           in
           Value.Tbl.add entries v entry;
           count := !count + entry_size entry;

@@ -36,24 +36,61 @@ val draw_entry :
     Binomial(n-1, q_v) of the rest; without, Binomial(n, q_v) of all.
     [rows] must be non-empty. *)
 
+val stream_a : base:int64 -> Value.t -> Repro_util.Prng.t
+val stream_b : base:int64 -> Value.t -> Repro_util.Prng.t
+(** The per-value keyed sub-streams: every value draws from its own PRNG
+    stream derived from the draw's 64-bit [base] and the value's stable
+    byte encoding. A value's sample is therefore a pure function of
+    (base, value, group, rates) — independent of iteration order, of the
+    other values present, and of partitioning, which is what makes shard
+    merges and delta re-draws bit-identical to a monolithic draw. *)
+
+val draw_first_value :
+  base:int64 ->
+  sentry:bool ->
+  rows:int array ->
+  p_v:float ->
+  q_v:float ->
+  Value.t ->
+  entry option
+(** The complete first-level fate of one value on its own sub-stream:
+    Bernoulli(p_v) membership then {!draw_entry}. [None] when the value is
+    not in [S_A] (zero rate, level-1 reject, or — without sentries — an
+    empty second-level draw). {!first_side} runs exactly this per value;
+    delta maintenance re-runs it for affected values only. *)
+
+val draw_second_value :
+  base:int64 ->
+  sentry:bool ->
+  rows:int array ->
+  p_v:float ->
+  u_v:float ->
+  Value.t ->
+  entry
+(** The semijoin-side draw for one value of [S_A] that occurs in B. *)
+
 val first_side :
   ?obs:Repro_obs.Obs.ctx ->
-  Repro_util.Prng.t ->
+  ?select:(Value.t -> bool) ->
+  base:int64 ->
   profile:Profile.t ->
   resolved:Budget.t ->
+  unit ->
   t
-(** Draw [S_A]: first-level Bernoulli(p_v) over the eligible values of the
-    profile's A side, then {!draw_entry} per kept value. A live [obs]
-    context records values/tuples kept and dropped and sentry activations
-    under [sample.*{side="a"}] counters; instrumentation never touches the
+(** Draw [S_A]: {!draw_first_value} over the eligible values of the
+    profile's A side (restricted to those passing [select], default all —
+    how a shard draws only its own slice). A live [obs] context records
+    values/tuples kept and dropped and sentry activations under
+    [sample.*{side="a"}] counters; instrumentation never touches the
     PRNG, so draws are identical with or without it. *)
 
 val second_side :
   ?obs:Repro_obs.Obs.ctx ->
-  Repro_util.Prng.t ->
+  base:int64 ->
   profile:Profile.t ->
   resolved:Budget.t ->
   first:t ->
+  unit ->
   t
 (** Draw [S_B ⊆ B ⋉ S_A]: for every value present in [first] that also
     occurs in B, sample its joinable tuples with rate [u_v]. Metrics as in

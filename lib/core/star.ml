@@ -51,7 +51,8 @@ let prepare_opt ?threshold ~theta tables =
   prepare (Opt.spec_for ?threshold ~jvd ()) ~theta tables
 
 let draw t prng =
-  let sample_f = Sample.first_side prng ~profile:t.profile ~resolved:t.resolved in
+  let sample_f = Sample.first_side ~base:(Synopsis.base_of_prng prng) ~profile:t.profile
+      ~resolved:t.resolved () in
   let n0 = ref 0.0 in
   Value.Tbl.iter
     (fun v (_ : Sample.entry) ->

@@ -7,6 +7,7 @@ type entry = {
   fingerprint_a : int64;
   fingerprint_b : int64;
   prng_key : string;
+  shards : int;
   synopsis : Synopsis.t;
   flat : Synopsis_flat.t;
       (* frozen once at registration/load; every estimate reuses it *)
@@ -16,7 +17,9 @@ type t = (string, entry) Hashtbl.t
 
 let create () : t = Hashtbl.create 16
 
-let add ?(prng_key = "") store ~key ~table_a ~table_b estimator synopsis =
+let add ?(prng_key = "") ?(shards = 1) store ~key ~table_a ~table_b estimator
+    synopsis =
+  if shards < 1 then invalid_arg "Store.add: shards must be >= 1";
   let swapped = Estimator.swapped estimator in
   let profile = Estimator.profile estimator in
   (* the estimator's profile is in sampler orientation: its A side sits on
@@ -34,6 +37,7 @@ let add ?(prng_key = "") store ~key ~table_a ~table_b estimator synopsis =
       fingerprint_a;
       fingerprint_b;
       prng_key;
+      shards;
       synopsis;
       flat = Synopsis_flat.of_synopsis synopsis;
     }
@@ -49,6 +53,7 @@ type info = {
   i_theta : float;
   i_variant : string;
   i_prng_key : string;
+  i_shards : int;
   i_tuples : int;
   i_fingerprint_a : int64;
   i_fingerprint_b : int64;
@@ -65,6 +70,7 @@ let info store key =
         i_variant =
           Spec.to_string entry.synopsis.Synopsis.resolved.Budget.spec;
         i_prng_key = entry.prng_key;
+        i_shards = entry.shards;
         i_tuples = Synopsis.size_tuples entry.synopsis;
         i_fingerprint_a = entry.fingerprint_a;
         i_fingerprint_b = entry.fingerprint_b;
@@ -98,6 +104,7 @@ let save store path =
           fingerprint_a = entry.fingerprint_a;
           fingerprint_b = entry.fingerprint_b;
           prng_key = entry.prng_key;
+          shards = entry.shards;
           synopsis = entry.synopsis;
         }
         :: acc)
@@ -121,6 +128,7 @@ let load_result ~resolve_table path =
               fingerprint_a = s.Synopsis_store.fingerprint_a;
               fingerprint_b = s.Synopsis_store.fingerprint_b;
               prng_key = s.Synopsis_store.prng_key;
+              shards = s.Synopsis_store.shards;
               synopsis = s.Synopsis_store.synopsis;
               flat = Synopsis_flat.of_synopsis s.Synopsis_store.synopsis;
             })

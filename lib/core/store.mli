@@ -20,6 +20,7 @@ val create : unit -> t
 
 val add :
   ?prng_key:string ->
+  ?shards:int ->
   t ->
   key:string ->
   table_a:string ->
@@ -31,8 +32,10 @@ val add :
     estimator's original A and B tables (used to rehydrate after [load]);
     their content fingerprints are computed here, at registration time.
     [prng_key] records which keyed PRNG stream drew the synopsis (purely
-    informational provenance; defaults to [""]). Replaces any previous
-    synopsis under the same key. *)
+    informational provenance; defaults to [""]). [shards] (default 1,
+    must be [>= 1]) is the partition count the synopsis is persisted
+    with — see {!Synopsis_shard}; estimates do not depend on it. Replaces
+    any previous synopsis under the same key. *)
 
 val keys : t -> string list
 val mem : t -> string -> bool
@@ -45,6 +48,7 @@ type info = {
   i_theta : float;
   i_variant : string;  (** {!Spec.to_string} of the resolved spec *)
   i_prng_key : string;
+  i_shards : int;  (** shard-segment count the synopsis persists with *)
   i_tuples : int;  (** stored sample tuples in this synopsis *)
   i_fingerprint_a : int64;  (** content fingerprint of [i_table_a]'s data *)
   i_fingerprint_b : int64;  (** content fingerprint of [i_table_b]'s data *)

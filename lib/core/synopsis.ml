@@ -6,26 +6,43 @@ type t = {
 }
 
 module Obs = Repro_obs.Obs
+module Prng = Repro_util.Prng
 
-let draw ?(obs = Obs.null) prng ~profile ~resolved =
-  Obs.Span.with_ obs ~name:"sample.draw"
-    ~attrs:[ ("spec", Spec.to_string resolved.Budget.spec) ]
-  @@ fun () ->
-  let sample_a =
-    Obs.Span.with_ obs ~name:"sample.first" @@ fun () ->
-    Sample.first_side ~obs prng ~profile ~resolved
-  in
-  let sample_b =
-    Obs.Span.with_ obs ~name:"sample.second" @@ fun () ->
-    Sample.second_side ~obs prng ~profile ~resolved ~first:sample_a
-  in
+(* N' = sum of integer frequencies: exact in float for any realistic
+   cardinality, and addition of exact integers is order-independent — so
+   shard-wise partial sums recombine bit-identically. *)
+let n_prime_of ~(profile : Profile.t) (sample_a : Sample.t) =
   let n_prime = ref 0.0 in
   Repro_relation.Value.Tbl.iter
     (fun v (_ : Sample.entry) ->
       n_prime :=
         !n_prime +. float_of_int (Profile.frequency profile.Profile.a v))
     sample_a.Sample.entries;
-  { resolved; sample_a; sample_b; n_prime = !n_prime }
+  !n_prime
+
+let draw_base ?(obs = Obs.null) ?select ~base ~profile ~resolved () =
+  Obs.Span.with_ obs ~name:"sample.draw"
+    ~attrs:[ ("spec", Spec.to_string resolved.Budget.spec) ]
+  @@ fun () ->
+  let sample_a =
+    Obs.Span.with_ obs ~name:"sample.first" @@ fun () ->
+    Sample.first_side ~obs ?select ~base ~profile ~resolved ()
+  in
+  let sample_b =
+    Obs.Span.with_ obs ~name:"sample.second" @@ fun () ->
+    Sample.second_side ~obs ~base ~profile ~resolved ~first:sample_a ()
+  in
+  { resolved; sample_a; sample_b; n_prime = n_prime_of ~profile sample_a }
+
+(* The caller's stream is consumed exactly once: its next 64 bits become
+   the base every per-value sub-stream derives from. Callers that pass a
+   fresh keyed stream (every runner does) thereby give the whole draw a
+   reproducible name — and a sharded build that derives the same base
+   draws the same synopsis. *)
+let base_of_prng prng = Prng.bits64 prng
+
+let draw ?obs prng ~profile ~resolved =
+  draw_base ?obs ~base:(base_of_prng prng) ~profile ~resolved ()
 
 let size_tuples t =
   Sample.total_tuples t.sample_a + Sample.total_tuples t.sample_b

@@ -20,7 +20,33 @@ val draw :
   t
 (** One random offline sampling run. A live [obs] context wraps the run in
     a [sample.draw] span (with [sample.first]/[sample.second] children) and
-    forwards to the {!Sample} counters; the PRNG stream is unaffected. *)
+    forwards to the {!Sample} counters; the PRNG stream is unaffected.
+    Consumes exactly 64 bits of the caller's stream — the base all
+    per-value sub-streams derive from (see {!base_of_prng}). *)
+
+val base_of_prng : Repro_util.Prng.t -> int64
+(** The 64-bit sub-stream base {!draw} would derive from this stream,
+    consuming it identically. A sharded build that uses this base draws
+    samples bit-identical to the monolithic {!draw}. *)
+
+val draw_base :
+  ?obs:Repro_obs.Obs.ctx ->
+  ?select:(Repro_relation.Value.t -> bool) ->
+  base:int64 ->
+  profile:Profile.t ->
+  resolved:Budget.t ->
+  unit ->
+  t
+(** {!draw} from an explicit sub-stream base, optionally restricted to the
+    join values passing [select] (how one shard draws only its slice; the
+    profile and resolved budget stay global). With per-value sub-streams
+    the union of draws over a partition of the values equals the
+    unrestricted draw. *)
+
+val n_prime_of : profile:Profile.t -> Sample.t -> float
+(** [N'] recomputed from a first-level sample: the sum of the A-side
+    frequencies of its values. Integer-valued, so shard partial sums
+    recombine exactly. *)
 
 val size_tuples : t -> int
 (** Total tuples stored (both samples, sentries included) — compare against

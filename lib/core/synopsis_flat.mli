@@ -17,11 +17,13 @@
       estimation validates once per load instead of once per query.
 
     {b Scan order is load-bearing.} The positional order of [values] is
-    exactly the sample hashtable's iteration order — NOT sorted order —
-    because estimates accumulate floats in scan order and must stay
-    bit-identical to the historical hashtable walk (the byte-compare
-    harnesses pin `%.17g` outputs). The sorted index is a separate lookup
-    structure on top. *)
+    the canonical shard-hash order ({!Shard_key.compare}) — estimates
+    accumulate floats in scan order, and the byte-compare harnesses pin
+    `%.17g` outputs, so the layout must be identical no matter how the
+    sample was produced: monolithic draw, K-shard merge, or delta
+    maintenance. Shards own contiguous hash ranges, so the global layout
+    is the concatenation of the per-shard layouts ({!concat_sides}). The
+    sorted index is a separate lookup structure on top. *)
 
 open Repro_relation
 
@@ -80,6 +82,25 @@ type t = {
 val of_synopsis : Synopsis.t -> t
 (** Freeze a synopsis. O(size of the synopsis); meant to run once per
     draw/decode/load, never per query. *)
+
+val side_of_sample : Sample.t -> side
+(** Flatten one sample into its canonical positional layout. Exposed so a
+    sharded synopsis ({!Synopsis_shard}) can freeze each shard's slice
+    independently and cache the clean ones across deltas. *)
+
+val concat_sides : side array -> side
+(** Concatenate per-shard sides (in shard order) into the side the union
+    sample would flatten to — bit-identical to [side_of_sample] of the
+    merged sample, because shards own contiguous canonical-order ranges.
+    All inputs must come from the same table/column; empty shards are
+    fine, an empty array is not. Column segments are reused when every
+    non-empty shard agrees on the unboxed kind, re-boxed otherwise. *)
+
+val assemble : Synopsis.t -> a:side -> b:side -> t
+(** Finish a flat view from prebuilt sides: compute the B→A map, the
+    sorted index and the validation verdict. [of_synopsis] is
+    [assemble syn ~a:(side_of_sample sample_a) ~b:(side_of_sample
+    sample_b)]. *)
 
 val find_a : t -> Value.t -> int option
 (** Position of a value on the first side, by binary search over

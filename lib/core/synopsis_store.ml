@@ -8,11 +8,12 @@ type stored = {
   fingerprint_a : int64;
   fingerprint_b : int64;
   prng_key : string;
+  shards : int;
   synopsis : Synopsis.t;
 }
 
 let magic = "reprosyn"
-let version = 1
+let version = 2
 
 (* ---------------- FNV-1a (checksum + layout hash) ---------------- *)
 
@@ -32,10 +33,12 @@ let fnv_string_from h s =
    schema hash and makes old readers reject new files (and vice versa)
    with a typed error instead of misparsing them. *)
 let layout =
-  "v1: entries[key table_a table_b swapped fp_a fp_b prng_key \
+  "v2: entries[key table_a table_b swapped fp_a fp_b prng_key shards \
    budget[spec[name p q u sentry method opt_var hh_k] theta p_rate q_rate \
    u_rate base_q expected_size budget] sample_a sample_b n_prime]; \
-   sample = column tuple_count entries[value sentry_row rows p_v q_v]; \
+   sample = column tuple_count segment{shards}; \
+   segment = length fnv64 entries[value sentry_row rows p_v q_v] \
+   (entries canonically sorted within their shard's hash range); \
    rate = const|scaled|blended[c light (value weight)*]; \
    ints i64le, floats f64 bits, strings length-prefixed"
 
@@ -125,10 +128,7 @@ let add_budget buf (b : Budget.t) =
   add_f64 buf b.Budget.expected_size;
   add_f64 buf b.Budget.budget
 
-let add_sample buf (s : Sample.t) =
-  add_str buf s.Sample.column;
-  add_int buf s.Sample.tuple_count;
-  let bindings = tbl_bindings s.Sample.entries in
+let add_entries buf bindings =
   add_int buf (List.length bindings);
   List.iter
     (fun (v, (e : Sample.entry)) ->
@@ -140,6 +140,33 @@ let add_sample buf (s : Sample.t) =
       add_f64 buf e.Sample.q_v)
     bindings
 
+(* Samples are stored as [shards] independent segments: shard [k] holds
+   the entries routed to it by [Shard_key.shard_of], canonically sorted
+   ([Shard_key.sorted_bindings] — the order every flat view uses anyway),
+   each segment length-prefixed and FNV-checksummed on its own. A reader
+   can thus verify and swap a single shard without touching the others,
+   and a truncated or corrupted segment is rejected by name instead of
+   misparsing into its neighbour. *)
+let add_sample ~shards buf (s : Sample.t) =
+  add_str buf s.Sample.column;
+  add_int buf s.Sample.tuple_count;
+  add_int buf shards;
+  let segments = Array.make shards [] in
+  List.iter
+    (fun ((v, _) as binding) ->
+      let k = Shard_key.shard_of ~shards v in
+      segments.(k) <- binding :: segments.(k))
+    (List.rev (Shard_key.sorted_bindings s.Sample.entries));
+  Array.iter
+    (fun bindings ->
+      let seg = Buffer.create 256 in
+      add_entries seg bindings;
+      let bytes = Buffer.contents seg in
+      add_int buf (String.length bytes);
+      add_i64 buf (fnv_string_from fnv_offset bytes);
+      Buffer.add_string buf bytes)
+    segments
+
 let add_stored buf s =
   add_str buf s.key;
   add_str buf s.table_a;
@@ -148,10 +175,11 @@ let add_stored buf s =
   add_i64 buf s.fingerprint_a;
   add_i64 buf s.fingerprint_b;
   add_str buf s.prng_key;
+  add_int buf s.shards;
   let { Synopsis.resolved; sample_a; sample_b; n_prime } = s.synopsis in
   add_budget buf resolved;
-  add_sample buf sample_a;
-  add_sample buf sample_b;
+  add_sample ~shards:s.shards buf sample_a;
+  add_sample ~shards:s.shards buf sample_b;
   add_f64 buf n_prime
 
 let encode_payload entries =
@@ -300,27 +328,15 @@ let get_budget r =
     budget;
   }
 
-(* Rebuild a sample hashtable whose iteration order is exactly the
-   recorded (= original) one, so online estimates sum floats in the same
-   order and are bit-identical before and after a round trip. The stdlib
-   hashtable iterates buckets in index order and each bucket in reverse
-   insertion order, and its final bucket layout depends only on the
-   initial capacity and the number of additions — so re-adding the
-   recorded bindings in reverse order into a table created like the
-   sampler's ([Value.Tbl.create 256] in sample.ml) reproduces the original
-   iteration order. The round-trip test in test_store.ml pins this
+(* Iteration order of the rebuilt hashtable is immaterial since PR 8:
+   every float accumulation downstream (flat layout, budget solving,
+   profile scans) runs in the canonical Shard_key order, and N' is an
+   exact integer-valued sum — so the decoder just re-adds the recorded
+   bindings. The round-trip test in test_store.ml pins the resulting
    bit-identity for every variant. *)
-let thaw_entries bindings =
-  let entries = Value.Tbl.create 256 in
-  List.iter (fun (v, e) -> Value.Tbl.add entries v e) (List.rev bindings);
-  entries
-
-let get_sample r ~table =
-  let column = get_str r in
-  let tuple_count = get_int r in
-  if tuple_count < 0 then fail "payload" "negative tuple count";
+let get_entries r acc =
   let n = get_count r "sample entry" in
-  let bindings = ref [] in
+  let bindings = ref acc in
   for _ = 1 to n do
     let v = get_value r in
     let sentry_row = get_opt get_int r in
@@ -336,19 +352,48 @@ let get_sample r ~table =
     let q_v = get_f64 r in
     bindings := (v, { Sample.sentry_row; rows; p_v; q_v }) :: !bindings
   done;
+  !bindings
+
+let get_sample r ~shards ~table =
+  let column = get_str r in
+  let tuple_count = get_int r in
+  if tuple_count < 0 then fail "payload" "negative tuple count";
+  let stored_shards = get_count r "shard" in
+  if stored_shards <> shards then
+    fail "shard segment"
+      (Printf.sprintf "sample declares %d shard segments, entry declares %d"
+         stored_shards shards);
+  let bindings = ref [] in
+  for k = 0 to shards - 1 do
+    let seg_len = get_count r "shard segment byte" in
+    let recorded = get_i64 r in
+    if r.pos + seg_len > String.length r.data then
+      fail "shard segment"
+        (Printf.sprintf "shard %d truncated at byte %d (need %d of %d)" k r.pos
+           seg_len (String.length r.data));
+    let bytes = String.sub r.data r.pos seg_len in
+    r.pos <- r.pos + seg_len;
+    let actual = fnv_string_from fnv_offset bytes in
+    if actual <> recorded then
+      fail "shard segment"
+        (Printf.sprintf "shard %d: recorded checksum %Lx, segment hashes to %Lx"
+           k recorded actual);
+    let sr = { data = bytes; pos = 0 } in
+    bindings := get_entries sr !bindings;
+    if sr.pos <> seg_len then
+      fail "shard segment"
+        (Printf.sprintf "shard %d: %d trailing bytes after last entry" k
+           (seg_len - sr.pos))
+  done;
+  let entries = Value.Tbl.create 256 in
+  List.iter (fun (v, e) -> Value.Tbl.add entries v e) !bindings;
   let sentries =
-    List.fold_left
-      (fun acc (_, (e : Sample.entry)) ->
+    Value.Tbl.fold
+      (fun _ (e : Sample.entry) acc ->
         match e.Sample.sentry_row with Some _ -> acc + 1 | None -> acc)
-      0 !bindings
+      entries 0
   in
-  {
-    Sample.table;
-    column;
-    entries = thaw_entries (List.rev !bindings);
-    tuple_count;
-    sentries;
-  }
+  { Sample.table; column; entries; tuple_count; sentries }
 
 let get_stored r ~resolve_table =
   let key = get_str r in
@@ -358,6 +403,8 @@ let get_stored r ~resolve_table =
   let fingerprint_a = get_i64 r in
   let fingerprint_b = get_i64 r in
   let prng_key = get_str r in
+  let shards = get_count r "shard" in
+  if shards < 1 then fail "shard segment" "entry declares zero shards";
   let resolve name =
     match resolve_table name with
     | table -> table
@@ -381,8 +428,8 @@ let get_stored r ~resolve_table =
     if swapped then (resolved_b, resolved_a) else (resolved_a, resolved_b)
   in
   let resolved = get_budget r in
-  let sample_a = get_sample r ~table:first in
-  let sample_b = get_sample r ~table:second in
+  let sample_a = get_sample r ~shards ~table:first in
+  let sample_b = get_sample r ~shards ~table:second in
   let n_prime = get_f64 r in
   {
     key;
@@ -392,6 +439,7 @@ let get_stored r ~resolve_table =
     fingerprint_a;
     fingerprint_b;
     prng_key;
+    shards;
     synopsis = { Synopsis.resolved; sample_a; sample_b; n_prime };
   }
 

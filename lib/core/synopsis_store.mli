@@ -18,11 +18,16 @@
     {!Fault.Store_mismatch}, never a crash) to rehydrate against data
     whose fingerprint differs from the recorded one.
 
-    Sample hashtables are serialized in iteration order and rebuilt so
-    that the decoded table iterates in exactly the original order; online
-    estimates against a decoded synopsis are therefore bit-identical to
-    estimates against the freshly drawn one (pinned by test_store.ml for
-    every variant). *)
+    Since v2, each sample is stored as [shards] independent segments —
+    shard [k] holding the entries {!Shard_key.shard_of} routes to it,
+    canonically sorted, length-prefixed and FNV-checksummed per segment —
+    so single shards can be verified or swapped without touching their
+    neighbours, and truncation inside one segment is rejected by shard
+    index. All downstream float accumulation runs in the canonical
+    {!Shard_key} order, so estimates against a decoded synopsis are
+    bit-identical to estimates against the freshly drawn one (pinned by
+    test_store.ml for every variant), regardless of the shard count it
+    was stored with. *)
 
 open Repro_relation
 
@@ -36,6 +41,9 @@ type stored = {
   prng_key : string;
       (** the keyed-PRNG stream the samples were drawn from (informational;
           [""] when the caller did not record one) *)
+  shards : int;
+      (** number of per-sample shard segments in the file ([>= 1]); how
+          the synopsis was built, and how delta maintenance re-shards it *)
   synopsis : Synopsis.t;  (** in sampler orientation, as {!Synopsis.draw} *)
 }
 

@@ -31,6 +31,26 @@ let hash = function
   | Float x -> Hashtbl.hash x
   | Str s -> Hashtbl.hash s
 
+(* Stable injective byte rendering: one tag byte, then the payload bits.
+   Pure Int64/string arithmetic — the same value encodes to the same bytes
+   on every OCaml version and word size, unlike [Marshal] or
+   [Hashtbl.hash]. Used to name per-value PRNG sub-streams and to route
+   values to shards, so it must never change silently. *)
+let encode v =
+  let buf = Buffer.create 16 in
+  (match v with
+  | Null -> Buffer.add_char buf '\x00'
+  | Int x ->
+      Buffer.add_char buf '\x01';
+      Buffer.add_int64_le buf (Int64.of_int x)
+  | Float x ->
+      Buffer.add_char buf '\x02';
+      Buffer.add_int64_le buf (Int64.bits_of_float x)
+  | Str s ->
+      Buffer.add_char buf '\x03';
+      Buffer.add_string buf s);
+  Buffer.contents buf
+
 let to_string = function
   | Null -> "NULL"
   | Int x -> string_of_int x

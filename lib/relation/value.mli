@@ -18,6 +18,12 @@ val compare : t -> t -> int
 
 val hash : t -> int
 
+val encode : t -> string
+(** Stable injective byte rendering (tag byte + payload bits, ints and
+    float bits little-endian). Identical across OCaml versions and word
+    sizes; used to key per-value PRNG sub-streams and shard routing.
+    Distinct values always encode to distinct byte strings. *)
+
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 

@@ -36,6 +36,12 @@ let estimate t ?deadline_s ?pred_a ?pred_b ~key () =
   let line = Protocol.render_estimate ~key ?deadline_s ?pred_a ?pred_b () in
   Protocol.parse_reply (raw t line)
 
+let reload t =
+  let line = raw t "reload" in
+  match String.split_on_char ' ' (String.trim line) with
+  | "ok" :: _ -> Ok line
+  | _ -> Error line
+
 let metrics t =
   let header = raw t "metrics" in
   match String.split_on_char ' ' (String.trim header) with

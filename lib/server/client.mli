@@ -29,5 +29,10 @@ val raw : t -> string -> string
 (** Send one request line verbatim, return the single reply line —
     for [health], [ready], [keys] and protocol tests. *)
 
+val reload : t -> (string, string) result
+(** Ask the server to swap in the store file's current contents.
+    [Ok line] is the server's acknowledgement ([ok reloaded keys=<n>]);
+    [Error line] the server's error reply. *)
+
 val metrics : t -> (string, string) result
 (** The [metrics] verb: returns the full Prometheus text body. *)

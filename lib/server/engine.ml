@@ -36,7 +36,9 @@ type t = {
   sleep : Clock.sleeper;
   store_path : string;
   resolve_table : string -> Table.t;
-  metas : (string, meta) Hashtbl.t;  (* read-only after [create] *)
+  metas : (string, meta) Hashtbl.t Atomic.t;
+      (* immutable snapshot, swapped wholesale by [reload]; requests read
+         it once at entry, so a swap never disturbs one in flight *)
   cache : Csdl.Synopsis_flat.t Cache.t;
       (* the cache holds flattened synopses: freezing (and structurally
          validating) happens once per load, so the per-request hot path is
@@ -44,6 +46,7 @@ type t = {
   cache_mutex : Mutex.t;
   breaker : Breaker.t;
   flights : (Csdl.Synopsis_flat.t, Fault.error) result Single_flight.t;
+  reloads : (int, Fault.error) result Single_flight.t;
   load_seq : int Atomic.t;
 }
 
@@ -106,6 +109,7 @@ let create ?(obs = Obs.null) ?(clock = Clock.wall) ?(sleep = Clock.sleepf)
           Obs.count obs ~labels:[ ("mode", mode) ] "server.chaos.injected" 0)
         [ "fail"; "corrupt" ];
       Obs.count obs "server.loads.total" 0;
+      Obs.count obs "server.reloads.total" 0;
       Ok
         {
           config;
@@ -114,18 +118,20 @@ let create ?(obs = Obs.null) ?(clock = Clock.wall) ?(sleep = Clock.sleepf)
           sleep;
           store_path;
           resolve_table;
-          metas;
+          metas = Atomic.make metas;
           cache;
           cache_mutex = Mutex.create ();
           breaker = Breaker.create ~obs ~clock config.breaker;
           flights = Single_flight.create ~obs ();
+          reloads = Single_flight.create ~obs ();
           load_seq = Atomic.make 0;
         }
 
 let keys t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t.metas [] |> List.sort compare
+  Hashtbl.fold (fun k _ acc -> k :: acc) (Atomic.get t.metas) []
+  |> List.sort compare
 
-let mem t key = Hashtbl.mem t.metas key
+let mem t key = Hashtbl.mem (Atomic.get t.metas) key
 
 let cache_stats t =
   Mutex.lock t.cache_mutex;
@@ -237,6 +243,35 @@ let load t ~deadline key meta =
                   | Error _ -> Breaker.failure t.breaker key);
                   result))
 
+(* Swap in the store file's current contents without dropping in-flight
+   requests. The fresh snapshot (metadata + warmed cache entries) is built
+   off to the side and installed with one atomic store: requests already
+   past their metas read keep the old meta, and the flats it leads to are
+   immutable, so they complete against the synopsis they started with;
+   every later request sees the new snapshot. A mutated table changes its
+   fingerprint and therefore its cache key, so reloaded synopses never
+   collide with cached pre-reload flats (which age out of the LRU).
+   Concurrent reloads collapse into one decode via single-flight; a
+   failed reload leaves the old snapshot serving. *)
+let reload t =
+  Single_flight.run t.reloads "reload" (fun () ->
+      Obs.count t.obs "server.reloads.total" 1;
+      match
+        Csdl.Synopsis_store.read ~resolve_table:t.resolve_table
+          ~path:t.store_path
+      with
+      | Error fault -> Error fault
+      | Ok entries ->
+          let metas = Hashtbl.create 16 in
+          List.iter
+            (fun (s : Csdl.Synopsis_store.stored) ->
+              let meta = meta_of_stored s in
+              Hashtbl.replace metas s.key meta;
+              cache_insert t meta (Csdl.Synopsis_flat.of_synopsis s.synopsis))
+            entries;
+          Atomic.set t.metas metas;
+          Ok (Hashtbl.length metas))
+
 type outcome =
   | Answered of float
   | Degraded of { value : float; trace : Fault.trace }
@@ -252,7 +287,7 @@ let degrade meta ~rung fault =
 
 let handle t ~deadline ~key ?pred_a ?pred_b () =
   let meta =
-    match Hashtbl.find_opt t.metas key with
+    match Hashtbl.find_opt (Atomic.get t.metas) key with
     | Some meta -> meta
     | None -> raise Not_found
   in

@@ -63,6 +63,17 @@ val keys : t -> string list
 (** Served keys, sorted. *)
 
 val mem : t -> string -> bool
+
+val reload : t -> (int, Csdl.Fault.error) result
+(** Re-decode the store file and atomically swap in its current contents
+    — keys, metadata, warmed cache entries — without dropping in-flight
+    requests: a request that already resolved its metadata completes
+    against the immutable flat view it started with, every later request
+    sees the new snapshot. How the delta CLI's store rewrites reach a
+    running server. [Ok n] is the number of keys now served; on [Error _]
+    (unreadable or torn store) the previous snapshot keeps serving.
+    Concurrent calls collapse into one decode. *)
+
 val cache_stats : t -> Csdl.Synopsis_cache.stats
 val breaker_state : t -> string -> [ `Closed of int | `Open | `Half_open ]
 

@@ -12,6 +12,7 @@ type request =
   | Ready
   | Keys
   | Metrics
+  | Reload
   | Quit
 
 (* Split on the first top-level ";;", as batch query files do. *)
@@ -71,11 +72,15 @@ let parse_request line =
   | "ready" -> Ok Ready
   | "keys" -> Ok Keys
   | "metrics" -> Ok Metrics
+  | "reload" -> Ok Reload
   | "quit" -> Ok Quit
   | _ ->
       if String.length line >= 8 && String.sub line 0 8 = "estimate" then
         parse_estimate (String.sub line 8 (String.length line - 8))
-      else Error "unknown verb (try: estimate, health, ready, keys, metrics, quit)"
+      else
+        Error
+          "unknown verb (try: estimate, health, ready, keys, metrics, \
+           reload, quit)"
 
 let render_estimate ~key ?deadline_s ?pred_a ?pred_b () =
   let b = Buffer.create 64 in

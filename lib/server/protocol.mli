@@ -9,6 +9,7 @@
       ready
       keys
       metrics
+      reload
       quit
     v}
 
@@ -44,6 +45,7 @@ type request =
   | Ready
   | Keys
   | Metrics
+  | Reload  (** atomically swap in the store file's current contents *)
   | Quit
 
 val parse_request : string -> (request, string) result

@@ -95,6 +95,12 @@ let handle_request t ~conn ~first oc line =
   | Ok Protocol.Keys ->
       output_string oc
         ("ok " ^ String.concat " " (Engine.keys t.engine) ^ "\n")
+  | Ok Protocol.Reload -> (
+      match Engine.reload t.engine with
+      | Ok n -> output_string oc (Printf.sprintf "ok reloaded keys=%d\n" n)
+      | Error fault ->
+          output_string oc
+            (Protocol.err_line (Csdl.Fault.error_to_string fault) ^ "\n"))
   | Ok Protocol.Metrics ->
       let body = Option.value ~default:"" (Obs.prometheus t.obs) in
       output_string oc (Printf.sprintf "ok %d\n" (String.length body));

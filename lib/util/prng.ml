@@ -33,8 +33,8 @@ let create seed = of_state (Int64.of_int seed)
    releases — this walks the whole key and is pure Int64 arithmetic, so a
    (seed, key) pair names the same stream on every OCaml version, word
    size, and [--jobs] setting. *)
-let derive ~seed key =
-  let state = ref (mix64 (Int64.add (Int64.of_int seed) golden_gamma)) in
+let derive64 state key =
+  let state = ref (mix64 (Int64.add state golden_gamma)) in
   String.iter
     (fun c ->
       state :=
@@ -45,6 +45,8 @@ let derive ~seed key =
     key;
   (* absorb the length so keys differing only by trailing NULs separate *)
   mix64 (Int64.add !state (Int64.of_int (String.length key)))
+
+let derive ~seed key = derive64 (Int64.of_int seed) key
 
 let create_keyed ~seed key = of_state (derive ~seed key)
 

@@ -13,6 +13,20 @@ val create : int -> t
 (** [create seed] builds a generator from an integer seed. Equal seeds yield
     identical streams. *)
 
+val of_state : int64 -> t
+(** [of_state s] builds a generator whose four xoshiro words come from
+    running splitmix64 on the raw 64-bit state [s]. This is the common
+    substrate of {!create} and {!create_keyed}; use it with {!derive64}
+    to open a sub-stream named by arbitrary bytes off an existing 64-bit
+    base. *)
+
+val derive64 : int64 -> string -> int64
+(** [derive64 base key] folds the 64-bit [base] and every byte of [key]
+    through the splitmix64 finalizer into a 64-bit sub-state —
+    {!derive} generalized to a full-width base, so derivations can be
+    chained ([derive64 (derive64 b "a") "b"]) without collapsing the
+    intermediate state to an OCaml [int]. *)
+
 val derive : seed:int -> string -> int64
 (** [derive ~seed key] folds the master [seed] and every byte of [key]
     through the splitmix64 finalizer into a 64-bit sub-seed. Unlike

@@ -301,8 +301,11 @@ let test_zero_qv_is_guarded () =
      numeric fault instead of returning anything. *)
   List.iter
     (fun spec ->
+      (* theta = 1 samples every tuple, so the draw is non-empty on any
+         PRNG stream and the checked path gets past the emptiness guards
+         to the rate validation this test is about *)
       let est =
-        Csdl.Estimator.prepare ~sample_first:`A spec ~theta:0.5
+        Csdl.Estimator.prepare ~sample_first:`A spec ~theta:1.0
           (Lazy.force profile_ab)
       in
       let synopsis = Csdl.Estimator.draw est (Prng.create 11) in

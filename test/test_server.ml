@@ -406,6 +406,59 @@ let overwrite path contents =
   output_string oc contents;
   close_out oc
 
+let test_engine_reload () =
+  with_store (fun store path ->
+      let engine = engine_exn Engine.default_config path in
+      Alcotest.(check (list string))
+        "initial keys" [ "a-b"; "pk-fk" ] (Engine.keys engine);
+      (* rewrite the store at the same path with a different key set and
+         swap it in *)
+      Csdl.Store.remove store "pk-fk";
+      let profile =
+        Csdl.Profile.of_tables (resolve_table "b") "k" (resolve_table "a") "k"
+      in
+      let estimator =
+        Csdl.Estimator.prepare
+          (Csdl.Spec.csdl Csdl.Spec.L_one Csdl.Spec.L_theta)
+          ~theta:0.5 profile
+      in
+      let synopsis = Csdl.Estimator.draw estimator (Prng.create 8) in
+      Csdl.Store.add store ~key:"b-a" ~table_a:"b" ~table_b:"a" estimator
+        synopsis;
+      Csdl.Store.save store path;
+      (match Engine.reload engine with
+      | Ok n -> Alcotest.(check int) "keys served after reload" 2 n
+      | Error e -> Alcotest.failf "reload: %s" (Csdl.Fault.error_to_string e));
+      Alcotest.(check (list string))
+        "reloaded keys" [ "a-b"; "b-a" ] (Engine.keys engine);
+      Alcotest.(check bool) "old key gone" false (Engine.mem engine "pk-fk");
+      let want = Csdl.Store.estimate store ~key:"b-a" in
+      (match
+         Engine.handle engine ~deadline:(far_deadline Clock.wall) ~key:"b-a" ()
+       with
+      | Engine.Answered got ->
+          if got <> want then Alcotest.failf "reloaded: %h vs batch %h" got want
+      | o ->
+          Alcotest.failf "expected Answered, got %s" (Engine.outcome_class o));
+      (* a torn store must fail the reload and leave the previous snapshot
+         serving *)
+      overwrite path "garbage";
+      (match Engine.reload engine with
+      | Ok _ -> Alcotest.fail "reload of a torn store must fail"
+      | Error (Csdl.Fault.Store_mismatch _) -> ()
+      | Error e ->
+          Alcotest.failf "expected Store_mismatch, got %s"
+            (Csdl.Fault.error_to_string e));
+      Alcotest.(check (list string))
+        "snapshot survives failed reload" [ "a-b"; "b-a" ] (Engine.keys engine);
+      match
+        Engine.handle engine ~deadline:(far_deadline Clock.wall) ~key:"b-a" ()
+      with
+      | Engine.Answered got ->
+          if got <> want then
+            Alcotest.failf "after failed reload: %h vs batch %h" got want
+      | o -> Alcotest.failf "expected Answered, got %s" (Engine.outcome_class o))
+
 let test_engine_degrades_and_breaker_trips () =
   with_store (fun store path ->
       let shared = Clock.shared_counter () in
@@ -591,6 +644,8 @@ let () =
           Alcotest.test_case "answers match the batch path" `Quick
             test_engine_answers_match_batch_path;
           Alcotest.test_case "unknown key" `Quick test_engine_unknown_key;
+          Alcotest.test_case "reload swaps the snapshot" `Quick
+            test_engine_reload;
           Alcotest.test_case "deadline exceeded" `Quick
             test_engine_deadline_exceeded;
           Alcotest.test_case "degrades and breaker trips" `Quick

@@ -148,10 +148,12 @@ let test_roundtrip_bit_identical_all_variants () =
 
 (* ---------------- flat hot path vs legacy reference ---------------- *)
 
-(* A transcription of the pre-flat online estimator: hashtable iteration
+(* A transcription of the pre-flat online estimator: per-value iteration
    over the semijoin side, [Value.Tbl.find_opt] back into the first side
    per value, the predicate re-evaluated through [Sample.filtered_count].
-   The production path ([Estimate.run], a linear pass over Synopsis_flat
+   Values are visited in the canonical [Shard_key] order — the one order
+   every float accumulation uses since the sharded-synopsis refactor. The
+   production path ([Estimate.run], a linear pass over Synopsis_flat
    columns since the columnar refactor) must agree bit for bit — same
    scan order, same float accumulation order, same zero-count guards. *)
 let legacy_reference_estimate ~pred_a ~pred_b (synopsis : Csdl.Synopsis.t) =
@@ -176,8 +178,8 @@ let legacy_reference_estimate ~pred_a ~pred_b (synopsis : Csdl.Synopsis.t) =
   match resolved.Budget.spec.Spec.method_ with
   | Spec.Scaling ->
       let total = ref 0.0 in
-      Value.Tbl.iter
-        (fun v (entry_b : Sample.entry) ->
+      List.iter
+        (fun (v, (entry_b : Sample.entry)) ->
           match Value.Tbl.find_opt sample_a.Sample.entries v with
           | None -> ()
           | Some entry_a ->
@@ -194,7 +196,7 @@ let legacy_reference_estimate ~pred_a ~pred_b (synopsis : Csdl.Synopsis.t) =
               let b_term = b_factor fb ~u_v:entry_b.Sample.q_v in
               let term = a_term *. b_term /. entry_a.Sample.p_v in
               if term > 0.0 then total := !total +. term)
-        sample_b.Sample.entries;
+        (Shard_key.sorted_bindings sample_b.Sample.entries);
       !total
   | Spec.Discrete_learning ->
       let base_q = resolved.Budget.base_q in
@@ -203,8 +205,8 @@ let legacy_reference_estimate ~pred_a ~pred_b (synopsis : Csdl.Synopsis.t) =
       in
       let filtered_tuples = ref 0 in
       let virtual_counts = ref [] in
-      Value.Tbl.iter
-        (fun v (entry : Sample.entry) ->
+      List.iter
+        (fun (v, (entry : Sample.entry)) ->
           let ((count, sentry) as f) = filter_entry sample_a pass_a entry in
           Value.Tbl.add filtered_a v f;
           filtered_tuples :=
@@ -215,7 +217,7 @@ let legacy_reference_estimate ~pred_a ~pred_b (synopsis : Csdl.Synopsis.t) =
             in
             if virtual_count > 0.0 then
               virtual_counts := virtual_count :: !virtual_counts)
-        sample_a.Sample.entries;
+        (Shard_key.sorted_bindings sample_a.Sample.entries);
       let total_tuples = Sample.total_tuples sample_a in
       if total_tuples = 0 then 0.0
       else begin
@@ -231,8 +233,8 @@ let legacy_reference_estimate ~pred_a ~pred_b (synopsis : Csdl.Synopsis.t) =
         in
         let n_filtered = virtual_population *. selectivity in
         let total = ref 0.0 in
-        Value.Tbl.iter
-          (fun v (entry_b : Sample.entry) ->
+        List.iter
+          (fun (v, (entry_b : Sample.entry)) ->
             match Value.Tbl.find_opt filtered_a v with
             | None -> ()
             | Some (a_count, a_sentry) ->
@@ -251,7 +253,7 @@ let legacy_reference_estimate ~pred_a ~pred_b (synopsis : Csdl.Synopsis.t) =
                 let b_term = b_factor fb ~u_v:entry_b.Sample.q_v in
                 let term = a_term *. b_term /. entry_a.Sample.p_v in
                 if term > 0.0 then total := !total +. term)
-          sample_b.Sample.entries;
+          (Shard_key.sorted_bindings sample_b.Sample.entries);
         !total
       end
 
@@ -340,6 +342,7 @@ let test_sentry_count_precomputed () =
           fingerprint_a = Table.fingerprint (table "a");
           fingerprint_b = Table.fingerprint (table "b");
           prng_key = "";
+          shards = 1;
           synopsis;
         }
       in
@@ -362,7 +365,8 @@ let test_sentry_count_precomputed () =
 
 let test_prng_key_and_info_roundtrip () =
   let profile = Csdl.Profile.of_tables (table "a") "k" (table "b") "k" in
-  let estimator = Csdl.Opt.prepare ~theta:0.25 profile in
+  (* theta = 1 samples every tuple, so i_tuples > 0 holds on any stream *)
+  let estimator = Csdl.Opt.prepare ~theta:1.0 profile in
   let synopsis = Csdl.Estimator.draw estimator (Prng.create 3) in
   let store = Csdl.Store.create () in
   Csdl.Store.add ~prng_key:"3:synopsis/a-b" store ~key:"a-b" ~table_a:"a"
@@ -380,7 +384,7 @@ let test_prng_key_and_info_roundtrip () =
             i.Csdl.Store.i_prng_key;
           Alcotest.(check string) "table a" "a" i.Csdl.Store.i_table_a;
           Alcotest.(check string) "table b" "b" i.Csdl.Store.i_table_b;
-          Alcotest.(check (float 0.0)) "theta" 0.25 i.Csdl.Store.i_theta;
+          Alcotest.(check (float 0.0)) "theta" 1.0 i.Csdl.Store.i_theta;
           Alcotest.(check bool) "tuples recorded" true
             (i.Csdl.Store.i_tuples > 0))
 

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Fail if lib/core grows a `Hashtbl.hash` call. The polymorphic hash is
+# not a stable function of a value's meaning — it reads representation,
+# is documented to vary across OCaml versions, and silently truncates
+# deep structures — so anything derived from it (shard routing, canonical
+# value order, PRNG sub-stream keys) would break the byte-identity
+# guarantees the shard-determinism gate pins. Deterministic hashing in
+# lib/core goes through the keyed Prng.derive64 over Value.encode bytes
+# (see Shard_key); generic hashtables use Value.Tbl, whose hash is
+# defined on the encoding, not the representation.
+#
+# Usage: tools/lint_no_polymorphic_hash.sh [repo-root]
+# Runs from any cwd: without an argument the repo root is resolved from
+# the script's own location. Exits non-zero on violations, listing each
+# offending site as file:line:content.
+set -eu
+
+root=${1:-$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)}
+cd "$root"
+
+pattern='Hashtbl\.hash'
+
+# documentation may say "never [Hashtbl.hash]" — the bracketed ocamldoc
+# cross-reference form is prose about the policy, not a call site
+doc_form='\[Hashtbl\.hash\]'
+
+status=0
+for file in lib/core/*.ml lib/core/*.mli; do
+  [ -e "$file" ] || continue
+  hits=$(grep -n "$pattern" "$file" | grep -v "$doc_form" || true)
+  if [ -n "$hits" ]; then
+    echo "lint: $file calls the polymorphic Hashtbl.hash" >&2
+    printf '%s\n' "$hits" | sed "s|^|$file:|" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "lint: hash via Prng.derive64 over Value.encode instead (see Shard_key)" >&2
+fi
+exit $status
