@@ -12,7 +12,13 @@
       fault injection on;
    4. an overloaded server sheds explicitly (phase B: one worker held
       hostage by a mute client, a tiny queue, a burst of connects — the
-      displaced connections must be told "shed", not time out).
+      displaced connections must be told "shed", not time out);
+   5. telemetry ties out: every reply echoes the client's request ID
+      byte-exactly, every ID appears exactly once in the access log with
+      zero orphans on either side, log outcomes agree with client
+      tallies and registry counters, and the [slo] verb reports a live
+      window. Under overload, shed connections get server-assigned IDs
+      that the log still accounts for one-to-one.
 
    The daemon runs in-process (its own accept domain + worker domains)
    but is only ever spoken to over the socket, like any client. *)
@@ -23,6 +29,8 @@ module Pool = Repro_util.Pool
 module Prng = Repro_util.Prng
 module Obs = Repro_obs.Obs
 module Metrics = Repro_obs.Metrics
+module Access_log = Repro_obs.Access_log
+module Request_ctx = Repro_obs.Request_ctx
 module Engine = Repro_server.Engine
 module Server = Repro_server.Server
 module Client = Repro_server.Client
@@ -115,24 +123,34 @@ let run_one_query ~port ~keys i =
   (* every 97th request carries an impossible budget: the deadline path
      must fire deterministically, not only under incidental slowness *)
   let deadline_s = if i mod 97 = 0 then Some 1e-6 else None in
+  (* every request carries a client-chosen ID; the reply must echo it
+     byte-exactly and the access log must account for it exactly once *)
+  let rid = Printf.sprintf "lq-%05d" i in
   let start = Clock.wall () in
   let c = Client.connect ~timeout_s:30.0 ~host:"127.0.0.1" ~port () in
   Fun.protect
     ~finally:(fun () -> Client.close c)
     (fun () ->
       let reply =
-        Client.estimate c ?deadline_s
+        Client.estimate_full c ~id:rid ?deadline_s
           ?pred_b:(if pred_b = "" then None else Some pred_b)
           ~key ()
       in
       let elapsed = Clock.wall () -. start in
       match reply with
-      | Ok r -> (Protocol.reply_class r, elapsed, i)
+      | Ok (echoed, r) ->
+          if echoed <> Some rid then
+            failwith
+              (Printf.sprintf "query %d: sent id %s, reply echoed %s" i rid
+                 (Option.value ~default:"<none>" echoed));
+          (Protocol.reply_class r, elapsed, rid)
       | Error e -> failwith (Printf.sprintf "query %d: bad reply: %s" i e))
 
-let phase_a ~n ~chaos ~client_jobs ~store_path ~resolve_table =
+let phase_a ~n ~chaos ~client_jobs ~store_path ~resolve_table ~dir =
   Printf.printf "== phase A: %d queries, chaos %g, cache churn ==\n%!" n chaos;
   let obs = Obs.create () in
+  let log_path = Filename.concat dir "phase-a-access.jsonl" in
+  let access_log = Access_log.create ~path:log_path ~sleep:Clock.sleepf in
   let engine_config =
     { Engine.default_config with cache_capacity = 2; chaos; seed = 42 }
   in
@@ -155,7 +173,7 @@ let phase_a ~n ~chaos ~client_jobs ~store_path ~resolve_table =
       io_timeout_s = 10.0;
     }
   in
-  let srv = Server.create ~obs config engine in
+  let srv = Server.create ~obs ~access_log config engine in
   let port = Server.port srv in
   let server_domain = Domain.spawn (fun () -> Server.serve srv) in
   let results =
@@ -163,8 +181,16 @@ let phase_a ~n ~chaos ~client_jobs ~store_path ~resolve_table =
       (fun i -> run_one_query ~port ~keys i)
       (Array.init n Fun.id)
   in
+  (* the rolling SLO window must be live while the server still serves *)
+  let slo_line =
+    let c = Client.connect ~timeout_s:30.0 ~host:"127.0.0.1" ~port () in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () -> Client.raw c "slo")
+  in
   Server.stop srv;
   Domain.join server_domain;
+  Access_log.close access_log;
   let tally = Hashtbl.create 4 in
   Array.iter
     (fun (cls, _, _) ->
@@ -211,6 +237,82 @@ let phase_a ~n ~chaos ~client_jobs ~store_path ~resolve_table =
        [ "answered"; "degraded"; "deadline_exceeded"; "shed" ]
     = total)
     "outcome classes sum to the request count";
+  (* --- telemetry reconciliation: replies <-> access log <-> registry --- *)
+  let has sub s = Csdl.Fault.contains_substring s sub in
+  check
+    (has "ok window=" slo_line && has "p99=" slo_line && has "drift=" slo_line)
+    "slo verb reports a live window (%s)" slo_line;
+  let records =
+    match Access_log.read_file log_path with
+    | Ok rs -> rs
+    | Error e ->
+        incr failures;
+        Printf.printf "FAIL: access log unreadable: %s\n%!" e;
+        []
+  in
+  let est_records =
+    List.filter (fun r -> r.Access_log.verb = "estimate") records
+  in
+  check
+    (List.length est_records = n)
+    "access log holds one estimate record per query (%d of %d)"
+    (List.length est_records) n;
+  check
+    (List.length records = n + 1)
+    "no stray records beyond the %d estimates and one slo probe (%d)" n
+    (List.length records);
+  let logged = Hashtbl.create n in
+  let dups = ref 0 and orphan_records = ref 0 in
+  let sent = Hashtbl.create n in
+  Array.iter (fun (_, _, rid) -> Hashtbl.replace sent rid ()) results;
+  List.iter
+    (fun r ->
+      let id = r.Access_log.id in
+      if Hashtbl.mem logged id then incr dups;
+      Hashtbl.replace logged id ();
+      if not (Hashtbl.mem sent id) then incr orphan_records)
+    est_records;
+  let unlogged =
+    Array.fold_left
+      (fun acc (_, _, rid) -> if Hashtbl.mem logged rid then acc else acc + 1)
+      0 results
+  in
+  check (!dups = 0) "request IDs appear at most once in the log (%d dups)" !dups;
+  check
+    (!orphan_records = 0)
+    "zero log records without a matching reply (%d orphans)" !orphan_records;
+  check (unlogged = 0) "zero replies without a log record (%d missing)" unlogged;
+  List.iter
+    (fun cls ->
+      let in_log =
+        List.length
+          (List.filter (fun r -> r.Access_log.outcome = cls) est_records)
+      in
+      check
+        (in_log = count cls)
+        "access-log outcome %s = %d matches client tally %d" cls in_log
+        (count cls))
+    [ "answered"; "degraded"; "deadline_exceeded"; "shed" ];
+  let tight_budget =
+    List.length
+      (List.filter (fun r -> r.Access_log.budget_s < 1e-3) est_records)
+  in
+  check
+    (tight_budget = forced)
+    "log shows the %d impossible budgets as granted (%d)" forced tight_budget;
+  check
+    (List.for_all
+       (fun r ->
+         Float.is_finite r.Access_log.wall_s && r.Access_log.wall_s >= 0.0)
+       records)
+    "every record carries a finite non-negative wall time";
+  check
+    (List.for_all
+       (fun r ->
+         r.Access_log.verb <> "estimate"
+         || List.mem r.Access_log.cache [ "hit"; "miss" ])
+       records)
+    "every estimate record says hit or miss";
   let stats = Engine.cache_stats engine in
   check
     (stats.Csdl.Synopsis_cache.s_evictions > 0)
@@ -226,9 +328,11 @@ let phase_a ~n ~chaos ~client_jobs ~store_path ~resolve_table =
 
 (* ---------------- phase B: forced overload, explicit shedding -------- *)
 
-let phase_b ~store_path ~resolve_table =
+let phase_b ~store_path ~resolve_table ~dir =
   Printf.printf "== phase B: 1 worker, queue of 2, burst of 30 ==\n%!";
   let obs = Obs.create () in
+  let log_path = Filename.concat dir "phase-b-access.jsonl" in
+  let access_log = Access_log.create ~path:log_path ~sleep:Clock.sleepf in
   let engine =
     match
       Engine.create ~obs Engine.default_config ~resolve_table ~store_path
@@ -249,7 +353,7 @@ let phase_b ~store_path ~resolve_table =
       io_timeout_s = 0.6;
     }
   in
-  let srv = Server.create ~obs config engine in
+  let srv = Server.create ~obs ~access_log config engine in
   let port = Server.port srv in
   let server_domain = Domain.spawn (fun () -> Server.serve srv) in
   (* a mute client: the single worker blocks reading it until the IO
@@ -257,6 +361,8 @@ let phase_b ~store_path ~resolve_table =
   let hostage = Client.connect ~host:"127.0.0.1" ~port () in
   Clock.sleepf 0.1;
   let burst = 30 in
+  (* no client ID this time: every reply must carry a server-assigned
+     one — sheds included, where the request line is never even read *)
   let results =
     Pool.map_array ~jobs:16
       (fun i ->
@@ -264,16 +370,19 @@ let phase_b ~store_path ~resolve_table =
         Fun.protect
           ~finally:(fun () -> Client.close c)
           (fun () ->
-            match Client.estimate c ~key () with
-            | Ok r -> Protocol.reply_class r
+            match Client.estimate_full c ~key () with
+            | Ok (echoed, r) -> (Protocol.reply_class r, echoed)
             | Error e -> failwith (Printf.sprintf "burst %d: bad reply: %s" i e)))
       (Array.init burst Fun.id)
   in
   Client.close hostage;
   Server.stop srv;
   Domain.join server_domain;
+  Access_log.close access_log;
   let count cls =
-    Array.fold_left (fun acc c -> if c = cls then acc + 1 else acc) 0 results
+    Array.fold_left
+      (fun acc (c, _) -> if c = cls then acc + 1 else acc)
+      0 results
   in
   Printf.printf "answered %d, shed %d\n%!" (count "answered") (count "shed");
   check (Array.length results = burst) "all %d burst connections replied" burst;
@@ -292,7 +401,47 @@ let phase_b ~store_path ~resolve_table =
     (counter_value obs "server.requests.total"
     = List.fold_left (fun acc cls -> acc + outcome cls) 0
         [ "answered"; "degraded"; "deadline_exceeded"; "shed" ])
-    "outcome classes sum to the request count under overload"
+    "outcome classes sum to the request count under overload";
+  check
+    (Array.for_all
+       (fun (_, echoed) ->
+         match echoed with
+         | Some id -> Request_ctx.is_valid_id id
+         | None -> false)
+       results)
+    "every burst reply carries a valid server-assigned ID";
+  let records =
+    match Access_log.read_file log_path with
+    | Ok rs -> rs
+    | Error e ->
+        incr failures;
+        Printf.printf "FAIL: access log unreadable: %s\n%!" e;
+        []
+  in
+  let shed_records =
+    List.length
+      (List.filter (fun r -> r.Access_log.outcome = "shed") records)
+  in
+  check
+    (shed_records = count "shed")
+    "access log holds %d shed records matching the %d shed replies"
+    shed_records (count "shed");
+  let logged = Hashtbl.create burst in
+  List.iter (fun r -> Hashtbl.replace logged r.Access_log.id ()) records;
+  check
+    (Hashtbl.length logged = List.length records)
+    "server-assigned IDs are unique across the log";
+  let unlogged =
+    Array.fold_left
+      (fun acc (_, echoed) ->
+        match echoed with
+        | Some id when Hashtbl.mem logged id -> acc
+        | _ -> acc + 1)
+      0 results
+  in
+  check
+    (unlogged = 0)
+    "every echoed ID has a matching log record (%d missing)" unlogged
 
 (* ---------------- driver ---------------- *)
 
@@ -315,8 +464,8 @@ let () =
   let store_path, _keys = build_store ~dir ~seed:3 in
   let resolve_table = memoized_resolver () in
   phase_a ~n:!n ~chaos:!chaos ~client_jobs:!client_jobs ~store_path
-    ~resolve_table;
-  phase_b ~store_path ~resolve_table;
+    ~resolve_table ~dir;
+  phase_b ~store_path ~resolve_table ~dir;
   if !failures > 0 then begin
     Printf.printf "%d check(s) FAILED\n" !failures;
     exit 1

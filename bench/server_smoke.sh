@@ -59,15 +59,19 @@ wait_ready() {
 # ---- phase 1: parity with batch, verbs, clean SIGTERM ----
 
 ../bin/repro_cli.exe serve --store srv-synopses.bin --port $PORT \
-  2> srv-server.log &
+  --access-log srv-access.jsonl 2> srv-server.log &
 SRV=$!
 wait_ready srv-server.log
 grep -q 'ok ready keys=2' srv-ready.txt
 
 ../bin/repro_cli.exe client --port $PORT --verb health | grep -q 'ok serving'
 ../bin/repro_cli.exe client --port $PORT --verb keys | grep -q 'ab'
+../bin/repro_cli.exe client --port $PORT --verb slo | grep -q '^ok window='
 ../bin/repro_cli.exe client --port $PORT --verb metrics > srv-metrics.txt
 grep -q 'server_requests_total' srv-metrics.txt
+grep -q 'repro_build_info' srv-metrics.txt
+grep -q 'runtime_gc_heap_words' srv-metrics.txt
+grep -q 'server_slo_p99_seconds' srv-metrics.txt
 
 # reload re-reads the store from disk and swaps the snapshot atomically;
 # the store is unchanged here, so the key count must survive the swap
@@ -83,6 +87,12 @@ cmp srv-batch-out.txt srv-client-out.txt
 kill -TERM $SRV
 wait $SRV    # set -e: a non-zero exit status fails the smoke
 grep -q 'shutdown complete' srv-server.log
+
+# the access-log writer must have drained on shutdown: one JSON object
+# per request served, estimate records tagged with their request IDs
+test -s srv-access.jsonl
+grep -q '"verb":"estimate"' srv-access.jsonl
+grep -q '"id":"' srv-access.jsonl
 echo "server vs batch: 20 estimates byte-identical; SIGTERM exited 0"
 
 # ---- phase 2: chaos mode keeps serving ----

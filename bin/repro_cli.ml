@@ -488,6 +488,10 @@ let metrics scale seed runs theta =
             exit 1
       done)
     queries;
+  Obs.set_build_info obs ~store_version:Csdl.Synopsis_store.version
+    ~git:
+      (Option.value ~default:"unknown" (Sys.getenv_opt "REPRO_GIT_DESCRIBE"));
+  Obs.record_runtime obs;
   print_string (Option.value ~default:"" (Obs.prometheus obs))
 
 let metrics_runs_arg =
@@ -870,6 +874,18 @@ let synopsis_delta key store insert_left insert_right delete_left delete_right
       table_b = (if entry.swapped then left_path else right_path);
       fingerprint_a = Table.fingerprint table_a;
       fingerprint_b = Table.fingerprint table_b;
+      (* refresh the drift sentinels' recorded truths against the
+         post-delta tables and re-baseline against the delta-maintained
+         synopsis — the same pure functions of the profile and synopsis
+         as a fresh build, and the synopsis itself is bit-identical to a
+         fresh re-draw, so the rewritten store stays byte-identical to
+         rebuilding from scratch *)
+      sentinels =
+        Csdl.Sentinel.seed
+          (if entry.swapped then Csdl.Profile.swap post else post)
+        |> Csdl.Sentinel.with_baselines
+             (Csdl.Synopsis_flat.of_synopsis synopsis)
+             ~swapped:entry.swapped;
       synopsis;
     }
   in
@@ -1006,7 +1022,65 @@ let folded_arg =
            distinct stack, self time) for flamegraph.pl or speedscope \
            instead of the textual report.")
 
-let trace_report file folded =
+let report_access_log_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "access-log" ] ~docv:"FILE"
+        ~doc:
+          "JSONL access log written by $(b,repro_cli serve --access-log); \
+           joins each record with its span tree by request ID and reports \
+           orphans on both sides.")
+
+(* Join access-log records with span trees on the request_id span attr.
+   Either side may legitimately out-number the other (spans only exist
+   for estimate requests; a truncated trace drops spans) — which is
+   exactly what the orphan counts surface. *)
+let report_request_join records forest =
+  let subtree_count =
+    let rec go acc (n : Report.node) =
+      List.fold_left go (acc + 1) n.Report.children
+    in
+    go 0
+  in
+  let by_rid = Hashtbl.create 64 in
+  let rec index (n : Report.node) =
+    (match
+       List.assoc_opt "request_id" n.Report.span.Repro_obs.Trace.attrs
+     with
+    | Some rid ->
+        let prior =
+          Option.value ~default:(0, 0.0) (Hashtbl.find_opt by_rid rid)
+        in
+        Hashtbl.replace by_rid rid
+          ( fst prior + subtree_count n,
+            snd prior +. n.Report.span.Repro_obs.Trace.duration_s )
+    | None -> ());
+    List.iter index n.Report.children
+  in
+  List.iter index forest;
+  Printf.printf "== request join ==\n";
+  let matched = ref 0 in
+  List.iter
+    (fun (r : Repro_obs.Access_log.record) ->
+      match Hashtbl.find_opt by_rid r.id with
+      | Some (spans, span_s) ->
+          incr matched;
+          Hashtbl.remove by_rid r.id;
+          Printf.printf "%s %s %s%s wall=%.6fs spans=%d span=%.6fs\n" r.id
+            r.verb r.outcome
+            (if r.key = "" then "" else " key=" ^ r.key)
+            r.wall_s spans span_s
+      | None -> ())
+    records;
+  let orphan_spans = Hashtbl.length by_rid in
+  Printf.printf
+    "records=%d matched=%d without-spans=%d orphan-span-trees=%d\n"
+    (List.length records) !matched
+    (List.length records - !matched)
+    orphan_spans
+
+let trace_report file folded access_log =
   let reading = Report.read_file file in
   List.iter
     (fun d ->
@@ -1017,7 +1091,19 @@ let trace_report file folded =
     List.iter
       (fun (stack, micros) -> Printf.printf "%s %d\n" stack micros)
       (Report.folded (Report.forest reading.Report.spans))
-  else Format.printf "%a" Report.pp reading
+  else begin
+    Format.printf "%a" Report.pp reading;
+    match access_log with
+    | None -> ()
+    | Some path -> (
+        match Repro_obs.Access_log.read_file path with
+        | Error e ->
+            Printf.eprintf "error: %s: %s\n" path e;
+            exit 1
+        | Ok records ->
+            report_request_join records
+              (Report.forest reading.Report.spans))
+  end
 
 let trace_report_cmd =
   Cmd.v
@@ -1025,9 +1111,12 @@ let trace_report_cmd =
        ~doc:
          "Analyse a JSONL trace: per-span aggregates (count, total, self, \
           p50/p95/max), the critical path, and optionally folded stacks. \
-          Malformed lines are skipped with a diagnostic on stderr, so a \
-          trace truncated by a crash still reports.")
-    Term.(const trace_report $ trace_file_arg $ folded_arg)
+          With --access-log, additionally join each access-log record \
+          with its span tree by request ID. Malformed trace lines are \
+          skipped with a diagnostic on stderr, so a trace truncated by a \
+          crash still reports.")
+    Term.(const trace_report $ trace_file_arg $ folded_arg
+          $ report_access_log_arg)
 
 let trace_cmd =
   Cmd.group
@@ -1235,15 +1324,56 @@ let chaos_arg =
               loads (half hard load failures, half silent corruptions the \
               checked estimator must catch). Deterministic per --seed.")
 
+let access_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "access-log" ] ~docv:"FILE"
+        ~doc:
+          "Write one structured JSONL record per request (request ID, \
+           verb, outcome, deadline budget, wall time, cache hit/miss, \
+           shard count, degradation rung, estimate); join against a \
+           --trace file with $(b,repro_cli trace report --access-log).")
+
+let serve_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write JSONL spans (each tagged with its request ID) plus a \
+           final metrics dump to FILE.")
+
+let slo_window_arg =
+  Arg.(
+    value & opt float 60.0
+    & info [ "slo-window" ] ~docv:"SECONDS"
+        ~doc:
+          "Rolling window behind the $(b,slo) verb and the server.slo.* \
+           gauges.")
+
+let drift_limit_arg =
+  Arg.(
+    value & opt float 8.0
+    & info [ "drift-limit" ] ~docv:"QERROR"
+        ~doc:
+          "Sentinel q-error beyond which a key is reported as drifted \
+           (accuracy regression vs the truths recorded at build time).")
+
 let serve_run store host port jobs queue_capacity queue_policy deadline
-    cache_capacity chaos seed =
-  let obs = Obs.create () in
+    cache_capacity chaos seed access_log trace slo_window drift_limit =
+  let obs =
+    match trace with
+    | None -> Obs.create ()
+    | Some path -> Obs.create ~sink:(Repro_obs.Trace.file path) ()
+  in
   let engine_config =
     {
       Repro_server.Engine.default_config with
       cache_capacity;
       chaos;
       seed;
+      drift_limit;
     }
   in
   match
@@ -1254,6 +1384,12 @@ let serve_run store host port jobs queue_capacity queue_policy deadline
       Printf.eprintf "error: %s: %s\n" store (Csdl.Fault.error_to_string fault);
       exit 1
   | Ok engine ->
+      let log =
+        Option.map
+          (fun path ->
+            Repro_obs.Access_log.create ~path ~sleep:Clock.sleepf)
+          access_log
+      in
       let config =
         {
           (Server.default_config ~port) with
@@ -1264,7 +1400,10 @@ let serve_run store host port jobs queue_capacity queue_policy deadline
           default_deadline_s = deadline;
         }
       in
-      let srv = Server.create ~obs config engine in
+      let srv =
+        Server.create ~obs ?access_log:log ~slo_window_s:slo_window config
+          engine
+      in
       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
       let stop _ = Server.stop srv in
       Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
@@ -1273,7 +1412,19 @@ let serve_run store host port jobs queue_capacity queue_policy deadline
         (List.length (Repro_server.Engine.keys engine))
         store host (Server.port srv) jobs
         (if chaos > 0.0 then Printf.sprintf ", chaos %g" chaos else "");
+      List.iter
+        (fun d ->
+          match d.Repro_server.Engine.d_fault with
+          | Some fault ->
+              Printf.eprintf "warning: %s\n%!"
+                (Csdl.Fault.error_to_string fault)
+          | None -> ())
+        (Repro_server.Engine.drift_status engine);
       Server.serve srv;
+      (* workers are joined; the log's writer domain drains what they
+         pushed *)
+      Option.iter Repro_obs.Access_log.close log;
+      Obs.close obs;
       Printf.eprintf "shutdown complete\n%!"
 
 let serve_cmd =
@@ -1283,12 +1434,15 @@ let serve_cmd =
          "Run the estimation daemon: load a synopsis store and answer \
           line-oriented estimation queries over TCP, with per-request \
           deadlines, bounded admission (explicit load shedding), per-key \
-          circuit breakers and graceful degradation to the independence \
-          prior. SIGTERM drains the queue and exits 0.")
+          circuit breakers, graceful degradation to the independence \
+          prior, and end-to-end request telemetry (wire-propagated \
+          request IDs, JSONL access log, rolling SLO windows, accuracy \
+          drift sentinels). SIGTERM drains the queue and exits 0.")
     Term.(
       const serve_run $ store_arg $ host_arg $ port_arg $ serve_jobs_arg
       $ queue_capacity_arg $ queue_policy_arg $ deadline_arg
-      $ cache_capacity_arg $ chaos_arg $ seed_arg)
+      $ cache_capacity_arg $ chaos_arg $ seed_arg $ access_log_arg
+      $ serve_trace_arg $ slo_window_arg $ drift_limit_arg)
 
 let client_queries_arg =
   Arg.(
@@ -1311,8 +1465,8 @@ let verb_arg =
     value
     & opt (some string) None
     & info [ "verb" ] ~docv:"VERB"
-        ~doc:"Send one protocol verb (health, ready, keys, metrics, reload) \
-              and print the reply.")
+        ~doc:"Send one protocol verb (health, ready, keys, metrics, slo, \
+              reload) and print the reply.")
 
 let client_deadline_arg =
   Arg.(
@@ -1385,7 +1539,8 @@ let client_run host port verb queries key deadline_s where_left where_right =
               | Error e ->
                   Printf.eprintf "error: %s\n" e;
                   exit 1)
-          | "health" | "ready" | "keys" -> print_endline (Server_client.raw c v)
+          | "health" | "ready" | "keys" | "slo" ->
+              print_endline (Server_client.raw c v)
           | "reload" -> (
               match Server_client.reload c with
               | Ok line -> print_endline line
@@ -1441,7 +1596,7 @@ let client_cmd =
          "Query a running estimation daemon. With --queries, replays a \
           batch query file and prints '<id>: <estimate>' lines \
           byte-comparable to $(b,repro_cli batch); with --verb, sends one \
-          protocol verb (health, ready, keys, metrics, reload).")
+          protocol verb (health, ready, keys, metrics, slo, reload).")
     Term.(
       const client_run $ host_arg $ port_arg $ verb_arg $ client_queries_arg
       $ client_key_arg $ client_deadline_arg $ where_left_arg

@@ -10,6 +10,7 @@ type error =
   | Bad_input of string
   | Store_mismatch of { what : string; detail : string }
   | Timeout of { what : string; budget_s : float }
+  | Drift of { key : string; worsened : float; limit : float }
 
 type degradation = { rung : string; fault : error }
 
@@ -30,6 +31,11 @@ let error_to_string = function
       Printf.sprintf "synopsis store %s mismatch: %s" what detail
   | Timeout { what; budget_s } ->
       Printf.sprintf "%s exceeded its %.3fs deadline" what budget_s
+  | Drift { key; worsened; limit } ->
+      Printf.sprintf
+        "accuracy drift on %s: sentinel q-error worsened %.3gx past the %.3gx \
+         limit"
+        key worsened limit
 
 let contains_substring s sub =
   let n = String.length s and m = String.length sub in
@@ -60,6 +66,7 @@ let variant_label = function
   | Bad_input _ -> "bad_input"
   | Store_mismatch _ -> "store_mismatch"
   | Timeout _ -> "timeout"
+  | Drift _ -> "drift"
 
 let degradation_to_string { rung; fault } =
   Printf.sprintf "%s failed: %s" rung (error_to_string fault)

@@ -40,6 +40,13 @@ type error =
       (** an operation ran out of its deadline budget — the estimation
           server degrades or rejects instead of hanging; [what] names the
           stage (e.g. ["request"], ["synopsis load"]). *)
+  | Drift of { key : string; worsened : float; limit : float }
+      (** a sentinel replay found the synopsis answering its recorded
+          ground-truth queries with a q-error [worsened] times its
+          build-time baseline, past the configured limit — the estimates
+          for [key] can no longer be trusted at the accuracy the
+          synopsis was built to deliver (typically the base data
+          drifted under delta maintenance) *)
 
 val error_to_string : error -> string
 val pp_error : Format.formatter -> error -> unit

@@ -8,6 +8,7 @@ type entry = {
   fingerprint_b : int64;
   prng_key : string;
   shards : int;
+  sentinels : Sentinel.t list;
   synopsis : Synopsis.t;
   flat : Synopsis_flat.t;
       (* frozen once at registration/load; every estimate reuses it *)
@@ -29,6 +30,15 @@ let add ?(prng_key = "") ?(shards = 1) store ~key ~table_a ~table_b estimator
   let fingerprint_a, fingerprint_b =
     if swapped then (fp_second, fp_first) else (fp_first, fp_second)
   in
+  let flat = Synopsis_flat.of_synopsis synopsis in
+  (* sentinels are seeded in user-facing orientation so the store entry
+     carries queries phrased the way clients phrase them; baselines are
+     the fresh synopsis's own q-errors, the reference drift is measured
+     against *)
+  let sentinels =
+    Sentinel.seed (if swapped then Profile.swap profile else profile)
+    |> Sentinel.with_baselines flat ~swapped
+  in
   Hashtbl.replace store key
     {
       table_a;
@@ -38,13 +48,19 @@ let add ?(prng_key = "") ?(shards = 1) store ~key ~table_a ~table_b estimator
       fingerprint_b;
       prng_key;
       shards;
+      sentinels;
       synopsis;
-      flat = Synopsis_flat.of_synopsis synopsis;
+      flat;
     }
 
 let keys store = Hashtbl.fold (fun k _ acc -> k :: acc) store [] |> List.sort compare
 let mem store key = Hashtbl.mem store key
 let remove store key = Hashtbl.remove store key
+
+let sentinels store key =
+  match Hashtbl.find_opt store key with
+  | Some entry -> entry.sentinels
+  | None -> []
 
 type info = {
   i_table_a : string;
@@ -105,6 +121,7 @@ let save store path =
           fingerprint_b = entry.fingerprint_b;
           prng_key = entry.prng_key;
           shards = entry.shards;
+          sentinels = entry.sentinels;
           synopsis = entry.synopsis;
         }
         :: acc)
@@ -129,6 +146,7 @@ let load_result ~resolve_table path =
               fingerprint_b = s.Synopsis_store.fingerprint_b;
               prng_key = s.Synopsis_store.prng_key;
               shards = s.Synopsis_store.shards;
+              sentinels = s.Synopsis_store.sentinels;
               synopsis = s.Synopsis_store.synopsis;
               flat = Synopsis_flat.of_synopsis s.Synopsis_store.synopsis;
             })

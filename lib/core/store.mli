@@ -34,12 +34,18 @@ val add :
     [prng_key] records which keyed PRNG stream drew the synopsis (purely
     informational provenance; defaults to [""]). [shards] (default 1,
     must be [>= 1]) is the partition count the synopsis is persisted
-    with — see {!Synopsis_shard}; estimates do not depend on it. Replaces
-    any previous synopsis under the same key. *)
+    with — see {!Synopsis_shard}; estimates do not depend on it. Also
+    seeds the entry's drift {!Sentinel}s from the estimator's profile.
+    Replaces any previous synopsis under the same key. *)
 
 val keys : t -> string list
 val mem : t -> string -> bool
 val remove : t -> string -> unit
+
+val sentinels : t -> string -> Sentinel.t list
+(** Drift sentinels recorded for [key] ([[]] for an unknown key) —
+    seeded by {!add} from the estimator's profile, in user-facing
+    orientation; persisted with the entry since store format v3. *)
 
 type info = {
   i_table_a : string;

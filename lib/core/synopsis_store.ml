@@ -9,11 +9,12 @@ type stored = {
   fingerprint_b : int64;
   prng_key : string;
   shards : int;
+  sentinels : Sentinel.t list;
   synopsis : Synopsis.t;
 }
 
 let magic = "reprosyn"
-let version = 2
+let version = 3
 
 (* ---------------- FNV-1a (checksum + layout hash) ---------------- *)
 
@@ -33,7 +34,8 @@ let fnv_string_from h s =
    schema hash and makes old readers reject new files (and vice versa)
    with a typed error instead of misparsing them. *)
 let layout =
-  "v2: entries[key table_a table_b swapped fp_a fp_b prng_key shards \
+  "v3: entries[key table_a table_b swapped fp_a fp_b prng_key shards \
+   sentinels[left_pred right_pred truth baseline] \
    budget[spec[name p q u sentry method opt_var hh_k] theta p_rate q_rate \
    u_rate base_q expected_size budget] sample_a sample_b n_prime]; \
    sample = column tuple_count segment{shards}; \
@@ -176,6 +178,14 @@ let add_stored buf s =
   add_i64 buf s.fingerprint_b;
   add_str buf s.prng_key;
   add_int buf s.shards;
+  add_int buf (List.length s.sentinels);
+  List.iter
+    (fun (sen : Sentinel.t) ->
+      add_str buf sen.Sentinel.left_pred;
+      add_str buf sen.Sentinel.right_pred;
+      add_f64 buf sen.Sentinel.truth;
+      add_f64 buf sen.Sentinel.baseline)
+    s.sentinels;
   let { Synopsis.resolved; sample_a; sample_b; n_prime } = s.synopsis in
   add_budget buf resolved;
   add_sample ~shards:s.shards buf sample_a;
@@ -405,6 +415,16 @@ let get_stored r ~resolve_table =
   let prng_key = get_str r in
   let shards = get_count r "shard" in
   if shards < 1 then fail "shard segment" "entry declares zero shards";
+  let sentinel_count = get_count r "sentinel" in
+  let sentinels = ref [] in
+  for _ = 1 to sentinel_count do
+    let left_pred = get_str r in
+    let right_pred = get_str r in
+    let truth = get_f64 r in
+    let baseline = get_f64 r in
+    sentinels := { Sentinel.left_pred; right_pred; truth; baseline } :: !sentinels
+  done;
+  let sentinels = List.rev !sentinels in
   let resolve name =
     match resolve_table name with
     | table -> table
@@ -440,6 +460,7 @@ let get_stored r ~resolve_table =
     fingerprint_b;
     prng_key;
     shards;
+    sentinels;
     synopsis = { Synopsis.resolved; sample_a; sample_b; n_prime };
   }
 

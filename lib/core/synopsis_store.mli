@@ -44,6 +44,10 @@ type stored = {
   shards : int;
       (** number of per-sample shard segments in the file ([>= 1]); how
           the synopsis was built, and how delta maintenance re-shards it *)
+  sentinels : Sentinel.t list;
+      (** accuracy drift sentinels in user-facing orientation (new in
+          v3) — seeded at build time, re-seeded by delta maintenance,
+          replayed by the serving engine on load/reload *)
   synopsis : Synopsis.t;  (** in sampler orientation, as {!Synopsis.draw} *)
 }
 

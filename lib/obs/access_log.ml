@@ -1,0 +1,137 @@
+(* Structured JSONL access log.
+
+   Producers (server worker domains) push records onto a Treiber stack —
+   one CAS, no lock, no serialisation work on the request path. A
+   dedicated writer domain drains the stack, restores arrival order, and
+   appends one JSON object per line. The writer owns the channel
+   exclusively, so no other domain ever blocks on file I/O.
+
+   The idle backoff is injected ([~sleep]) rather than sleeping on the
+   raw clock directly: lib-wide, raw clock access is confined to the
+   two allowlisted sites in obs.ml (tools/lint_no_raw_clock.sh). *)
+
+type record = {
+  id : string;
+  verb : string;
+  outcome : string;
+  key : string;
+  budget_s : float;
+  wall_s : float;
+  cache : string;
+  shards : int;
+  rung : int;
+  estimate : float;
+}
+
+type t = {
+  queue : record list Atomic.t;
+  stop : bool Atomic.t;
+  writer : unit Domain.t;
+  channel : out_channel;
+}
+
+let to_json r =
+  Json.Obj
+    [
+      ("type", Json.Str "access");
+      ("id", Json.Str r.id);
+      ("verb", Json.Str r.verb);
+      ("outcome", Json.Str r.outcome);
+      ("key", Json.Str r.key);
+      ("budget_s", Json.number r.budget_s);
+      ("wall_s", Json.number r.wall_s);
+      ("cache", Json.Str r.cache);
+      ("shards", Json.Num (float_of_int r.shards));
+      ("rung", Json.Num (float_of_int r.rung));
+      ("estimate", Json.number r.estimate);
+    ]
+
+let of_json v =
+  let str field =
+    match Json.member field v with
+    | Some j -> Json.to_str j
+    | None -> None
+  in
+  let num field =
+    match Json.member field v with
+    | Some j -> Json.to_float j
+    | None -> None
+  in
+  let int field =
+    match Json.member field v with
+    | Some j -> Json.to_int j
+    | None -> None
+  in
+  match
+    (str "id", str "verb", str "outcome", str "key", num "budget_s",
+     num "wall_s", str "cache", int "shards", int "rung", num "estimate")
+  with
+  | ( Some id, Some verb, Some outcome, Some key, Some budget_s,
+      Some wall_s, Some cache, Some shards, Some rung, Some estimate ) ->
+      Ok { id; verb; outcome; key; budget_s; wall_s; cache; shards;
+           rung; estimate }
+  | _ -> Error "access record is missing a required field"
+
+let idle_backoff_s = 0.002
+
+let writer_loop queue stop oc sleep =
+  let write_batch batch =
+    List.iter
+      (fun r ->
+        output_string oc (Json.to_string (to_json r));
+        output_char oc '\n')
+      (List.rev batch);
+    flush oc
+  in
+  let running = ref true in
+  while !running do
+    match Atomic.exchange queue [] with
+    | [] ->
+        if Atomic.get stop then begin
+          (* records may have been pushed between our empty exchange and
+             [close] setting the flag; they precede the flag write, so
+             one more exchange after observing it drains every record
+             pushed before [close] was reached *)
+          (match Atomic.exchange queue [] with
+          | [] -> ()
+          | batch -> write_batch batch);
+          running := false
+        end
+        else sleep idle_backoff_s
+    | batch -> write_batch batch
+  done;
+  flush oc
+
+let create ~path ~sleep =
+  let oc = open_out path in
+  let queue = Atomic.make [] in
+  let stop = Atomic.make false in
+  let writer = Domain.spawn (fun () -> writer_loop queue stop oc sleep) in
+  { queue; stop; writer; channel = oc }
+
+let rec write t r =
+  let old = Atomic.get t.queue in
+  if not (Atomic.compare_and_set t.queue old (r :: old)) then write t r
+
+let close t =
+  Atomic.set t.stop true;
+  Domain.join t.writer;
+  close_out t.channel
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec loop acc n =
+        match input_line ic with
+        | exception End_of_file -> Ok (List.rev acc)
+        | line -> (
+            match Json.parse line with
+            | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+            | Ok v -> (
+                match of_json v with
+                | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+                | Ok r -> loop (r :: acc) (n + 1)))
+      in
+      loop [] 1)

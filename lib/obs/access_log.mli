@@ -1,0 +1,50 @@
+(** Structured JSONL access log for the serving daemon.
+
+    One record per served request: the request ID, wire verb, outcome
+    class, deadline budget and wall time actually used, synopsis-cache
+    hit/miss, shard count, degradation rung, and the estimate returned.
+    Records are pushed lock-free from the worker domains and written by a
+    dedicated writer domain, so logging never serialises the request
+    path.
+
+    Lifecycle contract: {!write} may be called from any domain between
+    {!create} and {!close}; {!close} drains everything already pushed,
+    joins the writer, and closes the file — call it only after all
+    producers have stopped. *)
+
+type record = {
+  id : string;  (** request ID, as echoed in the reply *)
+  verb : string;  (** wire verb: [estimate], [health], [slo], ... *)
+  outcome : string;
+      (** reply class: [answered], [degraded], [deadline_exceeded],
+          [shed], [err] *)
+  key : string;  (** synopsis key for estimates; [""] otherwise *)
+  budget_s : float;  (** deadline budget granted; [nan] when none *)
+  wall_s : float;  (** wall-clock seconds spent serving *)
+  cache : string;  (** [ "hit" ], ["miss"], or [""] when not applicable *)
+  shards : int;  (** shard count of the synopsis consulted; 0 otherwise *)
+  rung : int;  (** degradation rung — retries recorded in the trace *)
+  estimate : float;  (** the value returned; [nan] when none *)
+}
+
+type t
+
+val create : path:string -> sleep:(float -> unit) -> t
+(** Open (truncate) [path] and spawn the writer domain. [sleep] is the
+    writer's idle backoff — pass [Repro_util.Clock.sleepf] in production;
+    tests may pass [ignore]. *)
+
+val write : t -> record -> unit
+(** Queue one record (a single CAS; never blocks on I/O). *)
+
+val close : t -> unit
+(** Drain every queued record to disk, stop and join the writer domain,
+    and close the file. *)
+
+val read_file : string -> (record list, string) result
+(** Parse a complete access log back, in write order. Strict: any
+    malformed line is an [Error] naming the line number — reconciliation
+    tests must not silently skip records. *)
+
+val to_json : record -> Json.t
+val of_json : Json.t -> (record, string) result

@@ -38,6 +38,7 @@ module Histogram = struct
     buckets : int Atomic.t array;
     sum : float Atomic.t;
     count : int Atomic.t;
+    exemplar : (string * float) option Atomic.t;
   }
 
   let create () =
@@ -45,6 +46,7 @@ module Histogram = struct
       buckets = Array.init bucket_count (fun _ -> Atomic.make 0);
       sum = Atomic.make 0.0;
       count = Atomic.make 0;
+      exemplar = Atomic.make None;
     }
 
   let bucket_upper i = Float.ldexp 1.0 (low_exp + i + 1)
@@ -71,6 +73,17 @@ module Histogram = struct
   let sum t = Atomic.get t.sum
   let bucket_value t i = Atomic.get t.buckets.(i)
 
+  (* Exemplars ride alongside the buckets: the last (id, value) pair
+     observed, for joining a scraped latency spike back to the request
+     that caused it. Never rendered into the Prometheus text format, so
+     registries with exemplars snapshot byte-identically to ones
+     without. *)
+  let observe_exemplar t ~id v =
+    observe t v;
+    if not (Float.is_nan v) then Atomic.set t.exemplar (Some (id, v))
+
+  let exemplar t = Atomic.get t.exemplar
+
   let nonzero_buckets t =
     let acc = ref [] in
     for i = bucket_count - 1 downto 0 do
@@ -81,8 +94,10 @@ module Histogram = struct
 
   let bucket_lower i = if i = 0 then 0.0 else bucket_upper (i - 1)
 
-  let quantile t q =
-    let total = count t in
+  (* The bucket walk, abstracted over how bucket counts are read so
+     [Rolling] can reuse the exact same estimate over its merged
+     window slots. *)
+  let quantile_of ~bucket ~total q =
     if total = 0 then Float.nan
     else begin
       let q = Float.min 1.0 (Float.max 0.0 q) in
@@ -90,9 +105,9 @@ module Histogram = struct
          order, linearly interpolated inside the bucket it lands in. *)
       let rank = q *. float_of_int total in
       let rec find i cumulative =
-        (* count t > 0 guarantees some bucket is non-empty, so [find]
+        (* total > 0 guarantees some bucket is non-empty, so [find]
            always terminates before running off the end *)
-        let c = Atomic.get t.buckets.(i) in
+        let c = bucket i in
         let cumulative' = cumulative +. float_of_int c in
         if c > 0 && cumulative' >= rank then
           if i = bucket_count - 1 then
@@ -109,6 +124,9 @@ module Histogram = struct
       in
       find 0 0.0
     end
+
+  let quantile t q =
+    quantile_of ~bucket:(fun i -> Atomic.get t.buckets.(i)) ~total:(count t) q
 end
 
 type point =

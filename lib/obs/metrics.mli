@@ -71,6 +71,23 @@ module Histogram : sig
       by at most the bucket width (a factor of 2). [nan] on an empty
       histogram; [quantile t 0.0] is the lower bound of the first
       non-empty bucket, [quantile t 1.0] the upper bound of the last. *)
+
+  val quantile_of : bucket:(int -> int) -> total:int -> float -> float
+  (** The quantile estimate of {!quantile} abstracted over the bucket
+      counts: [bucket i] must return the count of bucket [i] under this
+      module's {!bucket_index} scheme and [total] their sum. Lets
+      sliding-window histograms ({!Rolling.Histogram}) reuse the exact
+      same interpolation over merged slots. *)
+
+  val observe_exemplar : t -> id:string -> float -> unit
+  (** {!observe}, additionally recording [(id, v)] as the histogram's
+      exemplar — the last request ID to contribute an observation.
+      Exemplars are exposed only through {!exemplar}; they never appear
+      in snapshots or the Prometheus rendering, so they cannot perturb
+      golden outputs. *)
+
+  val exemplar : t -> (string * float) option
+  (** Last [(id, value)] recorded by {!observe_exemplar}, if any. *)
 end
 
 type point =

@@ -39,6 +39,41 @@ let observe ctx ?labels name v =
         (Metrics.Registry.histogram l.registry ?labels name)
         v
 
+let observe_exemplar ctx ?labels name ~id v =
+  match ctx with
+  | Null -> ()
+  | Live l ->
+      Metrics.Histogram.observe_exemplar
+        (Metrics.Registry.histogram l.registry ?labels name)
+        ~id v
+
+(* Runtime health gauges, refreshed on demand (the server calls this on
+   every [metrics] verb): [Gc.quick_stat] reads counters without forcing
+   a collection, so a scrape stays cheap. *)
+let record_runtime ?domains ctx =
+  match ctx with
+  | Null -> ()
+  | Live _ ->
+      let s = Gc.quick_stat () in
+      set_gauge ctx "runtime.gc.heap_words" (float_of_int s.Gc.heap_words);
+      set_gauge ctx "runtime.gc.minor_collections"
+        (float_of_int s.Gc.minor_collections);
+      set_gauge ctx "runtime.gc.major_collections"
+        (float_of_int s.Gc.major_collections);
+      (match domains with
+      | None -> ()
+      | Some n -> set_gauge ctx "runtime.domains" (float_of_int n))
+
+let set_build_info ctx ~store_version ~git =
+  set_gauge ctx
+    ~labels:
+      [
+        ("ocaml", Sys.ocaml_version);
+        ("store_version", string_of_int store_version);
+        ("git", git);
+      ]
+    "repro.build.info" 1.0
+
 module Span = struct
   (* The innermost open span of the current domain. Spans never cross a
      domain boundary (Pool tasks start fresh on their worker), so a

@@ -42,6 +42,27 @@ val set_gauge : ctx -> ?labels:(string * string) list -> string -> float -> unit
 val observe : ctx -> ?labels:(string * string) list -> string -> float -> unit
 (** Record a histogram observation (get-or-create). No-op on {!null}. *)
 
+val observe_exemplar :
+  ctx -> ?labels:(string * string) list -> string -> id:string -> float -> unit
+(** {!observe}, additionally stamping the histogram's exemplar with the
+    request ID that produced the observation (see
+    {!Metrics.Histogram.observe_exemplar}). IDs belong in exemplars and
+    logs, never in labels — tools/lint_label_cardinality.sh enforces the
+    label side. *)
+
+val record_runtime : ?domains:int -> ctx -> unit
+(** Refresh the OCaml runtime gauges from [Gc.quick_stat]:
+    [runtime.gc.heap_words], [runtime.gc.minor_collections],
+    [runtime.gc.major_collections], plus [runtime.domains] when the
+    caller knows its domain count. Cheap (no collection is forced); the
+    server calls it on every [metrics] scrape. No-op on {!null}. *)
+
+val set_build_info : ctx -> store_version:int -> git:string -> unit
+(** Register the [repro.build.info] gauge (value 1) whose labels carry
+    the synopsis-store format version, the OCaml version, and a git
+    describe string ("unknown" when unavailable) — the standard
+    build-info pattern, joined against other series at query time. *)
+
 module Span : sig
   val with_ :
     ctx -> name:string -> ?attrs:(string * string) list -> (unit -> 'a) -> 'a

@@ -1,0 +1,57 @@
+(* Per-request identity for the serving daemon.
+
+   IDs are derived with the same splitmix64 finalizer chain as
+   [Repro_util.Prng.derive64] so a (seed, scope) pair names the same ID
+   stream on every platform and --jobs setting. The algorithm is
+   duplicated rather than imported because [repro_obs] sits below
+   [repro_util] in the library graph ([Repro_util.Pool] instruments
+   itself through this library), so depending on it would be a cycle. *)
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* splitmix64's finalizer: a bijective avalanche over 64 bits. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* keyed derivation: absorb one scope byte per mix, then the length *)
+let derive64 state key =
+  let state = ref (mix64 (Int64.add state golden_gamma)) in
+  String.iter
+    (fun c ->
+      state :=
+        mix64
+          (Int64.add
+             (Int64.logxor !state (Int64.of_int (Char.code c)))
+             golden_gamma))
+    key;
+  mix64 (Int64.add !state (Int64.of_int (String.length key)))
+
+type gen = { base : int64; counter : int Atomic.t }
+
+let generator ?(seed = 0) scope =
+  { base = derive64 (Int64.of_int seed) scope; counter = Atomic.make 0 }
+
+let next gen =
+  let n = Atomic.fetch_and_add gen.counter 1 in
+  Printf.sprintf "%016Lx"
+    (mix64 (Int64.add gen.base (Int64.mul (Int64.of_int (n + 1)) golden_gamma)))
+
+type t = { id : string; client_supplied : bool }
+
+let max_id_length = 64
+
+let is_id_char = function
+  | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '.' | '_' | ':' | '-' -> true
+  | _ -> false
+
+let is_valid_id s =
+  let n = String.length s in
+  n >= 1 && n <= max_id_length && String.for_all is_id_char s
+
+let of_client id =
+  if is_valid_id id then Some { id; client_supplied = true } else None
+
+let fresh gen = { id = next gen; client_supplied = false }

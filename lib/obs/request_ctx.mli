@@ -1,0 +1,42 @@
+(** Per-request context for the serving daemon.
+
+    Every served request carries a request ID that tags its spans, its
+    access-log record, its metric exemplar, and the reply echoed to the
+    client. Clients may supply their own ID on the wire ([id=<token>]);
+    otherwise the server assigns one from a deterministic PRNG-key-derived
+    stream, so a fixed [(seed, scope)] pair replays the same IDs run after
+    run — the same property the sampling pipeline gets from
+    [Repro_util.Prng.derive]. *)
+
+type gen
+(** A deterministic ID generator. Thread-safe: [next] is a single atomic
+    fetch-and-add, so any worker domain may draw from a shared generator. *)
+
+val generator : ?seed:int -> string -> gen
+(** [generator ~seed scope] derives the stream base from [(seed, scope)]
+    with the splitmix64 finalizer chain ([seed] defaults to 0). Distinct
+    scopes (e.g. ["server/127.0.0.1:7457"]) yield disjoint ID streams. *)
+
+val next : gen -> string
+(** Draw the next ID: 16 lowercase hex characters, always
+    {!is_valid_id}. *)
+
+type t = {
+  id : string;  (** the request ID, always satisfying {!is_valid_id} *)
+  client_supplied : bool;
+      (** whether the client sent the ID (vs server-assigned) *)
+}
+
+val max_id_length : int
+(** 64 — the longest ID accepted on the wire. *)
+
+val is_valid_id : string -> bool
+(** Wire-safe IDs: 1–64 characters drawn from
+    [A-Za-z0-9._:-]. Rejects anything that could break the line-oriented
+    protocol or explode label cardinality if misused. *)
+
+val of_client : string -> t option
+(** Wrap a client-supplied ID, or [None] if it fails {!is_valid_id}. *)
+
+val fresh : gen -> t
+(** A server-assigned context drawn from the generator. *)

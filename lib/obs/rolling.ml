@@ -1,0 +1,161 @@
+(* Sliding-window metrics over a fixed ring of slots.
+
+   The window [window_s] is cut into [slots] equal slot-widths; each slot
+   aggregates the observations whose timestamp fell in its epoch
+   (epoch = floor (now / slot_width)). Writers take the instance mutex,
+   lazily reset the one stale slot they land in, and bump preallocated
+   arrays — no per-observe heap structure, so memory is fixed at creation
+   no matter how long the window runs. Readers merge the slots whose
+   epoch is still inside the window, so expired observations drop out in
+   slot-width granularity without any background sweeper.
+
+   The clock is injected ([~now]) — the raw wall-clock allowlist lives
+   in obs.ml and must not grow — which also makes window expiry
+   directly testable under a fake clock. *)
+
+let bucket_count = Metrics.Histogram.bucket_count
+let default_slots = 12
+
+let check_window ~slots ~window_s =
+  if not (window_s > 0.0) then
+    invalid_arg "Rolling: window_s must be positive";
+  if slots < 1 then invalid_arg "Rolling: slots must be >= 1"
+
+let epoch ~slot_w time = int_of_float (Float.floor (time /. slot_w))
+
+(* e mod n, mapped into [0, n) even for negative epochs (fake clocks may
+   start below zero) *)
+let slot_of ~n_slots e =
+  let i = e mod n_slots in
+  if i < 0 then i + n_slots else i
+
+module Histogram = struct
+  type t = {
+    mutex : Mutex.t;
+    now : unit -> float;
+    window_s : float;
+    slot_w : float;
+    n_slots : int;
+    epochs : int array;
+    counts : int array;
+    sums : float array;
+    buckets : int array;  (* n_slots * bucket_count, flattened *)
+  }
+
+  let create ?(slots = default_slots) ~now ~window_s () =
+    check_window ~slots ~window_s;
+    {
+      mutex = Mutex.create ();
+      now;
+      window_s;
+      slot_w = window_s /. float_of_int slots;
+      n_slots = slots;
+      epochs = Array.make slots min_int;
+      counts = Array.make slots 0;
+      sums = Array.make slots 0.0;
+      buckets = Array.make (slots * bucket_count) 0;
+    }
+
+  let observe t v =
+    if not (Float.is_nan v) then begin
+      Mutex.lock t.mutex;
+      let e = epoch ~slot_w:t.slot_w (t.now ()) in
+      let i = slot_of ~n_slots:t.n_slots e in
+      if t.epochs.(i) <> e then begin
+        t.epochs.(i) <- e;
+        t.counts.(i) <- 0;
+        t.sums.(i) <- 0.0;
+        Array.fill t.buckets (i * bucket_count) bucket_count 0
+      end;
+      t.counts.(i) <- t.counts.(i) + 1;
+      t.sums.(i) <- t.sums.(i) +. v;
+      let b = (i * bucket_count) + Metrics.Histogram.bucket_index v in
+      t.buckets.(b) <- t.buckets.(b) + 1;
+      Mutex.unlock t.mutex
+    end
+
+  (* Readers run at scrape rate, not request rate, so the merge may
+     allocate its scratch array. *)
+  let merged t =
+    Mutex.lock t.mutex;
+    let e = epoch ~slot_w:t.slot_w (t.now ()) in
+    let oldest = e - t.n_slots + 1 in
+    let total = ref 0 and sum = ref 0.0 in
+    let buckets = Array.make bucket_count 0 in
+    for i = 0 to t.n_slots - 1 do
+      if t.epochs.(i) >= oldest && t.epochs.(i) <= e then begin
+        total := !total + t.counts.(i);
+        sum := !sum +. t.sums.(i);
+        for b = 0 to bucket_count - 1 do
+          buckets.(b) <- buckets.(b) + t.buckets.((i * bucket_count) + b)
+        done
+      end
+    done;
+    Mutex.unlock t.mutex;
+    (!total, !sum, buckets)
+
+  let count t =
+    let c, _, _ = merged t in
+    c
+
+  let sum t =
+    let _, s, _ = merged t in
+    s
+
+  let quantile t q =
+    let total, _, buckets = merged t in
+    Metrics.Histogram.quantile_of ~bucket:(Array.get buckets) ~total q
+
+  let window_s t = t.window_s
+end
+
+module Counter = struct
+  type t = {
+    mutex : Mutex.t;
+    now : unit -> float;
+    window_s : float;
+    slot_w : float;
+    n_slots : int;
+    epochs : int array;
+    counts : int array;
+  }
+
+  let create ?(slots = default_slots) ~now ~window_s () =
+    check_window ~slots ~window_s;
+    {
+      mutex = Mutex.create ();
+      now;
+      window_s;
+      slot_w = window_s /. float_of_int slots;
+      n_slots = slots;
+      epochs = Array.make slots min_int;
+      counts = Array.make slots 0;
+    }
+
+  let add t n =
+    Mutex.lock t.mutex;
+    let e = epoch ~slot_w:t.slot_w (t.now ()) in
+    let i = slot_of ~n_slots:t.n_slots e in
+    if t.epochs.(i) <> e then begin
+      t.epochs.(i) <- e;
+      t.counts.(i) <- 0
+    end;
+    t.counts.(i) <- t.counts.(i) + n;
+    Mutex.unlock t.mutex
+
+  let incr t = add t 1
+
+  let value t =
+    Mutex.lock t.mutex;
+    let e = epoch ~slot_w:t.slot_w (t.now ()) in
+    let oldest = e - t.n_slots + 1 in
+    let total = ref 0 in
+    for i = 0 to t.n_slots - 1 do
+      if t.epochs.(i) >= oldest && t.epochs.(i) <= e then
+        total := !total + t.counts.(i)
+    done;
+    Mutex.unlock t.mutex;
+    !total
+
+  let window_s t = t.window_s
+end

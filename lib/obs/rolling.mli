@@ -1,0 +1,55 @@
+(** Fixed-memory sliding-window metrics.
+
+    The cumulative cells in {!Metrics} answer "how many since the process
+    started"; these answer "how many in the last [window_s] seconds" —
+    the live p50/p95/p99, error rate, and shed rate an operator actually
+    pages on. The window is a ring of [slots] equal-width slots (default
+    {!default_slots}); observations expire in slot-width granularity as
+    the clock crosses slot boundaries, with no background thread and no
+    growth in memory over time.
+
+    The clock is injected at creation ([~now]); pass
+    [Repro_util.Clock.wall] in production and a fake shared clock in
+    tests. All operations are safe from any domain (one mutex per
+    instance); the merged read is a pure function of the multiset of
+    (timestamp, value) observations, so results are deterministic at any
+    [--jobs]. *)
+
+val default_slots : int
+(** 12 — e.g. 5-second slots for the default 60 s SLO window. *)
+
+module Histogram : sig
+  type t
+
+  val create : ?slots:int -> now:(unit -> float) -> window_s:float -> unit -> t
+  (** Raises [Invalid_argument] unless [window_s > 0] and [slots >= 1]. *)
+
+  val observe : t -> float -> unit
+  (** Record one observation at the current [now ()]. NaN is dropped.
+      Steady state touches only preallocated arrays. *)
+
+  val count : t -> int
+  (** Observations still inside the window. *)
+
+  val sum : t -> float
+  (** Sum of the observations still inside the window. *)
+
+  val quantile : t -> float -> float
+  (** Same log-scale bucket estimate as {!Metrics.Histogram.quantile},
+      over the live window only. [nan] when the window is empty. *)
+
+  val window_s : t -> float
+end
+
+module Counter : sig
+  type t
+
+  val create : ?slots:int -> now:(unit -> float) -> window_s:float -> unit -> t
+  val add : t -> int -> unit
+  val incr : t -> unit
+
+  val value : t -> int
+  (** Increments still inside the window. *)
+
+  val window_s : t -> float
+end

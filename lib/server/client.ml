@@ -32,9 +32,14 @@ let raw t line =
   flush t.oc;
   input_line t.ic
 
-let estimate t ?deadline_s ?pred_a ?pred_b ~key () =
-  let line = Protocol.render_estimate ~key ?deadline_s ?pred_a ?pred_b () in
-  Protocol.parse_reply (raw t line)
+let estimate_full t ?id ?deadline_s ?pred_a ?pred_b ~key () =
+  let line =
+    Protocol.render_estimate ~key ?id ?deadline_s ?pred_a ?pred_b ()
+  in
+  Protocol.parse_reply_id (raw t line)
+
+let estimate t ?id ?deadline_s ?pred_a ?pred_b ~key () =
+  Result.map snd (estimate_full t ?id ?deadline_s ?pred_a ?pred_b ~key ())
 
 let reload t =
   let line = raw t "reload" in

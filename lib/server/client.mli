@@ -16,6 +16,7 @@ val close : t -> unit
 
 val estimate :
   t ->
+  ?id:string ->
   ?deadline_s:float ->
   ?pred_a:string ->
   ?pred_b:string ->
@@ -23,7 +24,21 @@ val estimate :
   unit ->
   (Protocol.reply, string) result
 (** One estimation round trip; predicates are raw predicate-syntax
-    strings. [Error _] is a malformed reply line (a server bug). *)
+    strings. [id] is a client-chosen request ID sent on the wire
+    ({!Repro_obs.Request_ctx.is_valid_id}). [Error _] is a malformed
+    reply line (a server bug). *)
+
+val estimate_full :
+  t ->
+  ?id:string ->
+  ?deadline_s:float ->
+  ?pred_a:string ->
+  ?pred_b:string ->
+  key:string ->
+  unit ->
+  (string option * Protocol.reply, string) result
+(** Like {!estimate}, also returning the request ID echoed by the server
+    — what the load driver reconciles against the access log. *)
 
 val raw : t -> string -> string
 (** Send one request line verbatim, return the single reply line —

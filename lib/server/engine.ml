@@ -12,6 +12,7 @@ type config = {
   backoff : Backoff.policy;
   chaos : float;
   seed : int;
+  drift_limit : float;
 }
 
 let default_config =
@@ -21,12 +22,22 @@ let default_config =
     backoff = Backoff.default;
     chaos = 0.0;
     seed = 1;
+    drift_limit = 8.0;
   }
 
 type meta = {
   m_cache_key : Cache.key;
   m_swapped : bool;
   m_prior : float;  (** independence prior, computed once at startup *)
+  m_shards : int;
+}
+
+type drift = {
+  d_key : string;
+  d_qerror : float;
+  d_worsened : float;
+  d_limit : float;
+  d_fault : Fault.error option;
 }
 
 type t = {
@@ -48,6 +59,11 @@ type t = {
   flights : (Csdl.Synopsis_flat.t, Fault.error) result Single_flight.t;
   reloads : (int, Fault.error) result Single_flight.t;
   load_seq : int Atomic.t;
+  drift : drift list Atomic.t;
+      (* per-key sentinel verdicts of the latest replay (create or
+         reload); swapped wholesale like [metas] *)
+  sentinel_window : Repro_obs.Rolling.Histogram.t;
+      (* rolling window of every sentinel q-error replayed *)
 }
 
 (* |A| * |B| / max(d_A, d_B): the System-R independence prior of
@@ -77,7 +93,65 @@ let meta_of_stored (s : Csdl.Synopsis_store.stored) =
       };
     m_swapped = s.swapped;
     m_prior = prior_of_synopsis s.synopsis;
+    m_shards = s.shards;
   }
+
+(* ---------------- drift sentinels ---------------- *)
+
+(* Replay every stored sentinel against the freshly flattened synopsis
+   and compare with its recorded truth. Runs at create and reload — the
+   two moments the served synopsis can change under a live server — so
+   accuracy drift (typically from delta maintenance) is caught before
+   the drifted synopsis answers a single client query. The drift signal
+   is relative: each sentinel carries the q-error the synopsis scored at
+   build time, and only a q-error [drift_limit] times worse trips — a
+   legitimately hard sentinel (tiny sample, selective filter) never
+   warns on a fresh store. Unparseable sentinels are skipped (a sentinel
+   can never take the server down); an estimator fault on a sentinel
+   likewise. *)
+let replay_sentinels t entries =
+  let limit = t.config.drift_limit in
+  let drifts =
+    List.filter_map
+      (fun ((s : Csdl.Synopsis_store.stored), flat) ->
+        let worst = ref 0.0 and worsened = ref 0.0 and replayed = ref 0 in
+        List.iter
+          (fun (sen : Csdl.Sentinel.t) ->
+            match Csdl.Sentinel.replay flat ~swapped:s.swapped sen with
+            | None -> ()
+            | Some q ->
+                incr replayed;
+                if q > !worst then worst := q;
+                let w = q /. Float.max 1.0 sen.Csdl.Sentinel.baseline in
+                if w > !worsened then worsened := w;
+                Repro_obs.Rolling.Histogram.observe t.sentinel_window q)
+          s.sentinels;
+        if !replayed = 0 then None
+        else begin
+          Obs.set_gauge t.obs
+            ~labels:[ ("key", s.key) ]
+            "server.sentinel.qerror" !worst;
+          let tripped = !worsened > limit in
+          if tripped then Obs.count t.obs "server.drift.tripped" 1;
+          Some
+            {
+              d_key = s.key;
+              d_qerror = !worst;
+              d_worsened = !worsened;
+              d_limit = limit;
+              d_fault =
+                (if tripped then
+                   Some
+                     (Fault.Drift { key = s.key; worsened = !worsened; limit })
+                 else None);
+            }
+        end)
+      entries
+  in
+  Atomic.set t.drift drifts
+
+let drift_status t = Atomic.get t.drift
+let sentinel_window t = t.sentinel_window
 
 let create ?(obs = Obs.null) ?(clock = Clock.wall) ?(sleep = Clock.sleepf)
     config ~resolve_table ~store_path =
@@ -86,6 +160,9 @@ let create ?(obs = Obs.null) ?(clock = Clock.wall) ?(sleep = Clock.sleepf)
       config with
       cache_capacity = max 1 config.cache_capacity;
       chaos = Float.max 0.0 (Float.min 1.0 config.chaos);
+      (* q-error is >= 1 by construction, so a smaller limit would trip
+         on every replay *)
+      drift_limit = Float.max 1.0 config.drift_limit;
     }
   in
   match Csdl.Synopsis_store.read ~resolve_table ~path:store_path with
@@ -93,13 +170,16 @@ let create ?(obs = Obs.null) ?(clock = Clock.wall) ?(sleep = Clock.sleepf)
   | Ok entries ->
       let metas = Hashtbl.create 16 in
       let cache = Cache.create ~obs ~capacity:config.cache_capacity () in
-      List.iter
-        (fun (s : Csdl.Synopsis_store.stored) ->
-          let meta = meta_of_stored s in
-          Hashtbl.replace metas s.key meta;
-          Cache.insert cache meta.m_cache_key
-            (Csdl.Synopsis_flat.of_synopsis s.synopsis))
-        entries;
+      let flats =
+        List.map
+          (fun (s : Csdl.Synopsis_store.stored) ->
+            let meta = meta_of_stored s in
+            let flat = Csdl.Synopsis_flat.of_synopsis s.synopsis in
+            Hashtbl.replace metas s.key meta;
+            Cache.insert cache meta.m_cache_key flat;
+            (s, flat))
+          entries
+      in
       Obs.count obs "server.requests.total" 0;
       List.iter
         (fun cls -> Obs.count obs ~labels:[ ("class", cls) ] "server.outcome" 0)
@@ -110,7 +190,8 @@ let create ?(obs = Obs.null) ?(clock = Clock.wall) ?(sleep = Clock.sleepf)
         [ "fail"; "corrupt" ];
       Obs.count obs "server.loads.total" 0;
       Obs.count obs "server.reloads.total" 0;
-      Ok
+      Obs.count obs "server.drift.tripped" 0;
+      let t =
         {
           config;
           obs;
@@ -125,7 +206,13 @@ let create ?(obs = Obs.null) ?(clock = Clock.wall) ?(sleep = Clock.sleepf)
           flights = Single_flight.create ~obs ();
           reloads = Single_flight.create ~obs ();
           load_seq = Atomic.make 0;
+          drift = Atomic.make [];
+          sentinel_window =
+            Repro_obs.Rolling.Histogram.create ~now:clock ~window_s:3600.0 ();
         }
+      in
+      replay_sentinels t flats;
+      Ok t
 
 let keys t =
   Hashtbl.fold (fun k _ acc -> k :: acc) (Atomic.get t.metas) []
@@ -207,12 +294,14 @@ let load_once t key seq =
 
 (* Resolve a synopsis: cache, then a single-flight breaker-gated retrying
    decode. The breaker counts one failure per exhausted retry sequence
-   (not per attempt), so [threshold] consecutive doomed loads trip it. *)
+   (not per attempt), so [threshold] consecutive doomed loads trip it.
+   The second component reports whether the first lookup hit the cache —
+   the access log's cache column. *)
 let load t ~deadline key meta =
   match cache_find t meta with
-  | Some syn -> Ok syn
+  | Some syn -> (Ok syn, true)
   | None ->
-      Single_flight.run t.flights key (fun () ->
+      ( Single_flight.run t.flights key (fun () ->
           match cache_find t meta with
           | Some syn -> Ok syn
           | None -> (
@@ -241,7 +330,8 @@ let load t ~deadline key meta =
                       Breaker.success t.breaker key;
                       cache_insert t meta syn
                   | Error _ -> Breaker.failure t.breaker key);
-                  result))
+                  result)),
+        false )
 
 (* Swap in the store file's current contents without dropping in-flight
    requests. The fresh snapshot (metadata + warmed cache entries) is built
@@ -263,13 +353,18 @@ let reload t =
       | Error fault -> Error fault
       | Ok entries ->
           let metas = Hashtbl.create 16 in
-          List.iter
-            (fun (s : Csdl.Synopsis_store.stored) ->
-              let meta = meta_of_stored s in
-              Hashtbl.replace metas s.key meta;
-              cache_insert t meta (Csdl.Synopsis_flat.of_synopsis s.synopsis))
-            entries;
+          let flats =
+            List.map
+              (fun (s : Csdl.Synopsis_store.stored) ->
+                let meta = meta_of_stored s in
+                let flat = Csdl.Synopsis_flat.of_synopsis s.synopsis in
+                Hashtbl.replace metas s.key meta;
+                cache_insert t meta flat;
+                (s, flat))
+              entries
+          in
           Atomic.set t.metas metas;
+          replay_sentinels t flats;
           Ok (Hashtbl.length metas))
 
 type outcome =
@@ -285,45 +380,64 @@ let outcome_class = function
 let degrade meta ~rung fault =
   Degraded { value = meta.m_prior; trace = [ { Fault.rung; fault } ] }
 
-let handle t ~deadline ~key ?pred_a ?pred_b () =
+type detail = { cache_hit : bool; shards : int }
+
+let handle_traced t ~deadline ~key ?rid ?pred_a ?pred_b () =
   let meta =
     match Hashtbl.find_opt (Atomic.get t.metas) key with
     | Some meta -> meta
     | None -> raise Not_found
   in
-  let start = t.clock () in
-  Obs.count t.obs "server.requests.total" 1;
-  let timed_out () = Deadline_exceeded (Deadline.fault ~what:"request" deadline) in
-  let outcome =
-    if Deadline.exceeded deadline then timed_out ()
-    else
-      match load t ~deadline key meta with
-      | Error fault ->
-          if Deadline.exceeded deadline then timed_out ()
-          else degrade meta ~rung:"synopsis load" fault
-      | Ok syn ->
-          if Deadline.exceeded deadline then timed_out ()
-          else
-            let pa, pb =
-              if meta.m_swapped then (pred_b, pred_a) else (pred_a, pred_b)
-            in
-            (* [run_checked_flat]'s Ok value is bit-identical to [run]'s,
-               and an empty filtered sample is [run]'s plain 0.0 — mapping
-               it back keeps server replies byte-identical to batch
-               mode. *)
-            (match Csdl.Estimate.run_checked_flat ?pred_a:pa ?pred_b:pb syn with
-            | Ok b ->
-                if Deadline.exceeded deadline then timed_out ()
-                else Answered b.Csdl.Estimate.estimate
-            | Error (Fault.Empty_filtered_sample _) ->
-                if Deadline.exceeded deadline then timed_out ()
-                else Answered 0.0
-            | Error fault ->
-                if Deadline.exceeded deadline then timed_out ()
-                else degrade meta ~rung:"csdl" fault)
+  let attrs =
+    ("key", key)
+    :: (match rid with Some r -> [ ("request_id", r) ] | None -> [])
   in
-  Obs.count t.obs
-    ~labels:[ ("class", outcome_class outcome) ]
-    "server.outcome" 1;
-  Obs.observe t.obs "server.request.seconds" (t.clock () -. start);
-  outcome
+  Obs.Span.with_ t.obs ~name:"server.request" ~attrs (fun () ->
+      let start = t.clock () in
+      Obs.count t.obs "server.requests.total" 1;
+      let timed_out () =
+        Deadline_exceeded (Deadline.fault ~what:"request" deadline)
+      in
+      let cache_hit = ref false in
+      let outcome =
+        if Deadline.exceeded deadline then timed_out ()
+        else
+          match load t ~deadline key meta with
+          | Error fault, _ ->
+              if Deadline.exceeded deadline then timed_out ()
+              else degrade meta ~rung:"synopsis load" fault
+          | Ok syn, hit ->
+              cache_hit := hit;
+              if Deadline.exceeded deadline then timed_out ()
+              else
+                let pa, pb =
+                  if meta.m_swapped then (pred_b, pred_a) else (pred_a, pred_b)
+                in
+                (* [run_checked_flat]'s Ok value is bit-identical to
+                   [run]'s, and an empty filtered sample is [run]'s plain
+                   0.0 — mapping it back keeps server replies
+                   byte-identical to batch mode. *)
+                (match
+                   Csdl.Estimate.run_checked_flat ?pred_a:pa ?pred_b:pb syn
+                 with
+                | Ok b ->
+                    if Deadline.exceeded deadline then timed_out ()
+                    else Answered b.Csdl.Estimate.estimate
+                | Error (Fault.Empty_filtered_sample _) ->
+                    if Deadline.exceeded deadline then timed_out ()
+                    else Answered 0.0
+                | Error fault ->
+                    if Deadline.exceeded deadline then timed_out ()
+                    else degrade meta ~rung:"csdl" fault)
+      in
+      Obs.count t.obs
+        ~labels:[ ("class", outcome_class outcome) ]
+        "server.outcome" 1;
+      let elapsed = t.clock () -. start in
+      (match rid with
+      | Some r -> Obs.observe_exemplar t.obs "server.request.seconds" ~id:r elapsed
+      | None -> Obs.observe t.obs "server.request.seconds" elapsed);
+      (outcome, { cache_hit = !cache_hit; shards = meta.m_shards }))
+
+let handle t ~deadline ~key ?rid ?pred_a ?pred_b () =
+  fst (handle_traced t ~deadline ~key ?rid ?pred_a ?pred_b ())

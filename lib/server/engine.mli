@@ -37,11 +37,15 @@ type config = {
   backoff : Backoff.policy;
   chaos : float;  (** fraction of loads corrupted, 0 disables; clamped to [0,1] *)
   seed : int;  (** keyed-PRNG seed for chaos and backoff jitter *)
+  drift_limit : float;
+      (** how many times worse than its build-time baseline a sentinel's
+          replayed q-error may get before the key is flagged as drifted
+          ({!Csdl.Fault.Drift}); clamped to [>= 1] *)
 }
 
 val default_config : config
 (** 32 cache slots, {!Breaker.default_config}, {!Backoff.default}, no
-    chaos, seed 1. *)
+    chaos, seed 1, drift limit 8. *)
 
 type t
 
@@ -77,6 +81,29 @@ val reload : t -> (int, Csdl.Fault.error) result
 val cache_stats : t -> Csdl.Synopsis_cache.stats
 val breaker_state : t -> string -> [ `Closed of int | `Open | `Half_open ]
 
+type drift = {
+  d_key : string;
+  d_qerror : float;  (** worst sentinel q-error for this key *)
+  d_worsened : float;
+      (** worst sentinel q-error as a multiple of its build-time
+          baseline — [1.0] on a store identical to its build *)
+  d_limit : float;
+  d_fault : Csdl.Fault.error option;
+      (** [Some (Fault.Drift _)] iff [d_worsened > d_limit] *)
+}
+
+val drift_status : t -> drift list
+(** Per-key accuracy drift, from the most recent sentinel replay (at
+    {!create} and every successful {!reload}): each stored {!Csdl.Sentinel}
+    query is re-estimated against the freshly decoded synopsis and its
+    q-error against the recorded truth compared to the build-time
+    baseline times [config.drift_limit]. Sorted by key. Empty when the
+    store carries no sentinels. *)
+
+val sentinel_window : t -> Repro_obs.Rolling.Histogram.t
+(** Rolling (1 h) histogram of every sentinel q-error replayed — the
+    feed behind the [server.sentinel.qerror] gauge. *)
+
 type outcome =
   | Answered of float
   | Degraded of { value : float; trace : Csdl.Fault.trace }
@@ -86,16 +113,35 @@ val outcome_class : outcome -> string
 (** ["answered"] / ["degraded"] / ["deadline_exceeded"] — the [class]
     label of the [server.outcome] counter. *)
 
+type detail = {
+  cache_hit : bool;  (** synopsis came straight from the LRU cache *)
+  shards : int;  (** shard-segment count recorded for the key *)
+}
+
+val handle_traced :
+  t ->
+  deadline:Deadline.t ->
+  key:string ->
+  ?rid:string ->
+  ?pred_a:Predicate.t ->
+  ?pred_b:Predicate.t ->
+  unit ->
+  outcome * detail
+(** Serve one estimation request. Predicates are in the original (A, B)
+    orientation, as with [Store.estimate]. Raises [Not_found] for a key
+    the store does not contain (callers check {!mem} first; protocol
+    errors are not estimation outcomes). [rid] tags the request's span
+    and latency exemplar with the request ID; it never becomes a metric
+    label. The extra {!detail} feeds the access log. Domain-safe: any
+    number of workers may call this concurrently. *)
+
 val handle :
   t ->
   deadline:Deadline.t ->
   key:string ->
+  ?rid:string ->
   ?pred_a:Predicate.t ->
   ?pred_b:Predicate.t ->
   unit ->
   outcome
-(** Serve one estimation request. Predicates are in the original (A, B)
-    orientation, as with [Store.estimate]. Raises [Not_found] for a key
-    the store does not contain (callers check {!mem} first; protocol
-    errors are not estimation outcomes). Domain-safe: any number of
-    workers may call this concurrently. *)
+(** {!handle_traced} without the access-log detail. *)

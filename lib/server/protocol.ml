@@ -4,6 +4,7 @@ module Fault = Csdl.Fault
 type request =
   | Estimate of {
       key : string;
+      id : string option;
       deadline_s : float option;
       pred_a : Repro_relation.Predicate.t option;
       pred_b : Repro_relation.Predicate.t option;
@@ -12,6 +13,7 @@ type request =
   | Ready
   | Keys
   | Metrics
+  | Slo
   | Reload
   | Quit
 
@@ -49,21 +51,38 @@ let parse_estimate rest =
     String.split_on_char ' ' (String.trim head)
     |> List.filter (fun w -> w <> "")
   in
-  let* key, deadline_s =
+  let* key, opts =
     match words with
-    | [ key ] -> Ok (key, None)
-    | [ key; opt ] when String.length opt > 9 && String.sub opt 0 9 = "deadline="
-      -> (
-        let v = String.sub opt 9 (String.length opt - 9) in
-        match float_of_string_opt v with
-        | Some d when Float.is_finite d && d > 0.0 -> Ok (key, Some d)
-        | _ -> Error (Printf.sprintf "bad deadline %S" v))
     | [] -> Error "estimate needs a key"
-    | _ -> Error "estimate takes a key and an optional deadline=<seconds>"
+    | key :: opts -> Ok (key, opts)
+  in
+  let has_prefix p w =
+    String.length w > String.length p && String.sub w 0 (String.length p) = p
+  in
+  let after p w = String.sub w (String.length p) (String.length w - String.length p) in
+  (* option tokens accepted in any order after the key *)
+  let* id, deadline_s =
+    List.fold_left
+      (fun acc opt ->
+        let* id, deadline_s = acc in
+        if has_prefix "id=" opt then
+          let v = after "id=" opt in
+          if Repro_obs.Request_ctx.is_valid_id v then Ok (Some v, deadline_s)
+          else Error (Printf.sprintf "bad id %S" v)
+        else if has_prefix "deadline=" opt then
+          let v = after "deadline=" opt in
+          match float_of_string_opt v with
+          | Some d when Float.is_finite d && d > 0.0 -> Ok (id, Some d)
+          | _ -> Error (Printf.sprintf "bad deadline %S" v)
+        else
+          Error
+            "estimate takes a key and optional id=<token> deadline=<seconds>")
+      (Ok (None, None))
+      opts
   in
   let* pred_a = parse_pred "left" left in
   let* pred_b = parse_pred "right" right in
-  Ok (Estimate { key; deadline_s; pred_a; pred_b })
+  Ok (Estimate { key; id; deadline_s; pred_a; pred_b })
 
 let parse_request line =
   let line = String.trim line in
@@ -72,6 +91,7 @@ let parse_request line =
   | "ready" -> Ok Ready
   | "keys" -> Ok Keys
   | "metrics" -> Ok Metrics
+  | "slo" -> Ok Slo
   | "reload" -> Ok Reload
   | "quit" -> Ok Quit
   | _ ->
@@ -79,13 +99,14 @@ let parse_request line =
         parse_estimate (String.sub line 8 (String.length line - 8))
       else
         Error
-          "unknown verb (try: estimate, health, ready, keys, metrics, \
+          "unknown verb (try: estimate, health, ready, keys, metrics, slo, \
            reload, quit)"
 
-let render_estimate ~key ?deadline_s ?pred_a ?pred_b () =
+let render_estimate ~key ?id ?deadline_s ?pred_a ?pred_b () =
   let b = Buffer.create 64 in
   Buffer.add_string b "estimate ";
   Buffer.add_string b key;
+  Option.iter (fun rid -> Buffer.add_string b (" id=" ^ rid)) id;
   Option.iter (fun d -> Buffer.add_string b (Printf.sprintf " deadline=%g" d)) deadline_s;
   (match (pred_a, pred_b) with
   | None, None -> ()
@@ -99,19 +120,27 @@ let render_estimate ~key ?deadline_s ?pred_a ?pred_b () =
 let one_line s =
   String.map (function '\n' | '\r' -> ' ' | c -> c) s
 
-let render_outcome = function
-  | Engine.Answered v -> Printf.sprintf "ok %.17g" v
+(* The id token sits right after the status word so replies without one
+   keep their historical bytes — the server-smoke cmp against batch
+   output compares parsed values, but err/health/ready lines are grepped
+   raw. *)
+let id_tag = function None -> "" | Some rid -> "id=" ^ rid ^ " "
+
+let render_outcome ?id outcome =
+  let tag = id_tag id in
+  match outcome with
+  | Engine.Answered v -> Printf.sprintf "ok %s%.17g" tag v
   | Engine.Degraded { value; trace } ->
-      Printf.sprintf "degraded %.17g ;; %s" value
+      Printf.sprintf "degraded %s%.17g ;; %s" tag value
         (one_line (Fault.trace_to_string trace))
   | Engine.Deadline_exceeded fault ->
-      Printf.sprintf "deadline_exceeded ;; %s"
+      Printf.sprintf "deadline_exceeded %s;; %s" tag
         (one_line (Fault.error_to_string fault))
 
-let shed_line ~retry_after_s =
-  Printf.sprintf "shed retry_after=%.3f" retry_after_s
+let shed_line ?id ~retry_after_s () =
+  Printf.sprintf "shed %sretry_after=%.3f" (id_tag id) retry_after_s
 
-let err_line msg = "err " ^ one_line msg
+let err_line ?id msg = "err " ^ id_tag id ^ one_line msg
 
 type reply =
   | R_ok of float
@@ -120,15 +149,25 @@ type reply =
   | R_shed of float
   | R_err of string
 
-let parse_reply line =
+let split_word s =
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let parse_reply_id line =
   let line = String.trim line in
-  let word, rest =
-    match String.index_opt line ' ' with
-    | None -> (line, "")
-    | Some i ->
-        (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+  let word, rest = split_word line in
+  (* the optional id token sits immediately after the status word *)
+  let id, rest =
+    let r = String.trim rest in
+    if String.length r > 3 && String.sub r 0 3 = "id=" then
+      let tok, rest' = split_word r in
+      (Some (String.sub tok 3 (String.length tok - 3)), rest')
+    else (None, rest)
   in
-  match word with
+  Result.map
+    (fun reply -> (id, reply))
+    (match word with
   | "ok" -> (
       match float_of_string_opt (String.trim rest) with
       | Some v -> Ok (R_ok v)
@@ -150,8 +189,10 @@ let parse_reply line =
         | Some v -> Ok (R_shed v)
         | None -> Error (Printf.sprintf "bad shed line %S" rest)
       else Ok (R_shed 0.0))
-  | "err" -> Ok (R_err rest)
-  | _ -> Error (Printf.sprintf "unknown reply %S" line)
+    | "err" -> Ok (R_err rest)
+    | _ -> Error (Printf.sprintf "unknown reply %S" line))
+
+let parse_reply line = Result.map snd (parse_reply_id line)
 
 let reply_class = function
   | R_ok _ -> "answered"

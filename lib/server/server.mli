@@ -39,12 +39,33 @@ val default_config : port:int -> config
 
 type t
 
-val create : ?obs:Repro_obs.Obs.ctx -> ?clock:Repro_util.Clock.t -> config -> Engine.t -> t
+val create :
+  ?obs:Repro_obs.Obs.ctx ->
+  ?clock:Repro_util.Clock.t ->
+  ?access_log:Repro_obs.Access_log.t ->
+  ?slo_window_s:float ->
+  ?request_seed:int ->
+  config ->
+  Engine.t ->
+  t
 (** Bind and listen (raises [Unix.Unix_error] if the address is taken).
     The socket is bound here so [port t] is valid before {!serve} runs —
-    tests bind port 0 and read the real port back. *)
+    tests bind port 0 and read the real port back.
+
+    With [access_log], every request (any verb, plus shed connections)
+    appends one record; the log stays owned by the caller — close it
+    after {!serve} returns, when the workers have stopped producing.
+    [slo_window_s] (default 60) is the rolling window behind the [slo]
+    verb and the [server.slo.*] gauges. [request_seed] seeds the
+    deterministic server-assigned request-ID stream
+    ({!Repro_obs.Request_ctx.generator}, scoped by host:bound-port). *)
 
 val port : t -> int
+(** The bound port (useful when [config.port] was 0). *)
+
+val slo_snapshot : t -> Slo.snapshot
+(** The live rolling-window view — what the [slo] verb renders. *)
+
 val serve : t -> unit
 (** Run the accept loop in the calling domain until {!stop}; spawns the
     worker domains and joins them (after draining the queue) before

@@ -1,0 +1,74 @@
+module Rolling = Repro_obs.Rolling
+module Obs = Repro_obs.Obs
+
+type t = {
+  window_s : float;
+  latency : Rolling.Histogram.t;
+  total : Rolling.Counter.t;
+  errors : Rolling.Counter.t;
+  shed : Rolling.Counter.t;
+}
+
+let create ?slots ~now ~window_s () =
+  {
+    window_s;
+    latency = Rolling.Histogram.create ?slots ~now ~window_s ();
+    total = Rolling.Counter.create ?slots ~now ~window_s ();
+    errors = Rolling.Counter.create ?slots ~now ~window_s ();
+    shed = Rolling.Counter.create ?slots ~now ~window_s ();
+  }
+
+let record t ~cls ~wall_s =
+  Rolling.Counter.incr t.total;
+  (match cls with
+  | "deadline_exceeded" | "err" -> Rolling.Counter.incr t.errors
+  | "shed" -> Rolling.Counter.incr t.shed
+  | _ -> ());
+  if Float.is_finite wall_s then Rolling.Histogram.observe t.latency wall_s
+
+type snapshot = {
+  s_window_s : float;
+  s_requests : int;
+  s_p50 : float;
+  s_p95 : float;
+  s_p99 : float;
+  s_error_rate : float;
+  s_shed_rate : float;
+}
+
+let snapshot t =
+  let requests = Rolling.Counter.value t.total in
+  let rate c =
+    if requests = 0 then 0.0
+    else float_of_int (Rolling.Counter.value c) /. float_of_int requests
+  in
+  let q p =
+    let v = Rolling.Histogram.quantile t.latency p in
+    if Float.is_nan v then 0.0 else v
+  in
+  {
+    s_window_s = t.window_s;
+    s_requests = requests;
+    s_p50 = q 0.50;
+    s_p95 = q 0.95;
+    s_p99 = q 0.99;
+    s_error_rate = rate t.errors;
+    s_shed_rate = rate t.shed;
+  }
+
+let line s =
+  Printf.sprintf
+    "window=%g requests=%d p50=%.6f p95=%.6f p99=%.6f error_rate=%.4f \
+     shed_rate=%.4f"
+    s.s_window_s s.s_requests s.s_p50 s.s_p95 s.s_p99 s.s_error_rate
+    s.s_shed_rate
+
+let set_gauges t obs =
+  let s = snapshot t in
+  Obs.set_gauge obs "server.slo.window_seconds" s.s_window_s;
+  Obs.set_gauge obs "server.slo.requests" (float_of_int s.s_requests);
+  Obs.set_gauge obs "server.slo.p50_seconds" s.s_p50;
+  Obs.set_gauge obs "server.slo.p95_seconds" s.s_p95;
+  Obs.set_gauge obs "server.slo.p99_seconds" s.s_p99;
+  Obs.set_gauge obs "server.slo.error_rate" s.s_error_rate;
+  Obs.set_gauge obs "server.slo.shed_rate" s.s_shed_rate

@@ -1,0 +1,40 @@
+(** Rolling-window SLO view of the serving daemon: live p50/p95/p99
+    latency, error rate, and shed rate over the last [window_s] seconds,
+    built on {!Repro_obs.Rolling} so memory stays fixed and reads are
+    deterministic at any [--jobs].
+
+    One instance per server; workers call {!record} once per request
+    (reply class + wall seconds), readers take a {!snapshot} — the [slo]
+    wire verb renders it as one line, the [metrics] verb exports it as
+    [server.slo.*] gauges. *)
+
+type t
+
+val create : ?slots:int -> now:(unit -> float) -> window_s:float -> unit -> t
+(** [now] is the injectable clock; [slots] as in {!Repro_obs.Rolling}. *)
+
+val record : t -> cls:string -> wall_s:float -> unit
+(** Account one request. [cls] is the reply class
+    ({!Protocol.reply_class}): [deadline_exceeded]/[err] count as errors,
+    [shed] as shed. Non-finite [wall_s] skips the latency histogram
+    (shed connections have no serve time). *)
+
+type snapshot = {
+  s_window_s : float;
+  s_requests : int;  (** requests inside the window *)
+  s_p50 : float;  (** seconds; 0 when the window is empty *)
+  s_p95 : float;
+  s_p99 : float;
+  s_error_rate : float;  (** errors / requests; 0 when empty *)
+  s_shed_rate : float;
+}
+
+val snapshot : t -> snapshot
+
+val line : snapshot -> string
+(** The [slo] verb's reply body (after the [ok ] status word):
+    [window=<g> requests=<d> p50=<.6f> p95=... p99=... error_rate=<.4f>
+    shed_rate=<.4f>]. *)
+
+val set_gauges : t -> Repro_obs.Obs.ctx -> unit
+(** Export the current snapshot as [server.slo.*] gauges. *)

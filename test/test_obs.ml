@@ -7,7 +7,10 @@
 module Obs = Repro_obs.Obs
 module Metrics = Repro_obs.Metrics
 module Trace = Repro_obs.Trace
+module Rolling = Repro_obs.Rolling
+module Access_log = Repro_obs.Access_log
 module Pool = Repro_util.Pool
+module Clock = Repro_util.Clock
 
 let find_point name labels snapshot =
   match
@@ -409,6 +412,236 @@ let test_close_idempotent_file () =
         "file carries exactly one metrics dump" 1
         (count_metric_lines !lines))
 
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else String.sub hay i nn = needle || go (i + 1)
+  in
+  nn = 0 || go 0
+
+(* ---------------- rolling windows ---------------- *)
+
+let test_rolling_window_expiry () =
+  let shared = Clock.shared_counter ~start:100.0 () in
+  let now = Clock.shared_clock shared in
+  (* 6 slots of 10 s each *)
+  let h = Rolling.Histogram.create ~slots:6 ~now ~window_s:60.0 () in
+  let c = Rolling.Counter.create ~slots:6 ~now ~window_s:60.0 () in
+  Rolling.Histogram.observe h 0.5;
+  Rolling.Counter.incr c;
+  Alcotest.(check int) "one observation" 1 (Rolling.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 0.5 (Rolling.Histogram.sum h);
+  Alcotest.(check int) "counter" 1 (Rolling.Counter.value c);
+  Clock.advance shared 30.0;
+  Rolling.Histogram.observe h 1.0;
+  Rolling.Counter.add c 2;
+  Alcotest.(check int) "both inside the window" 2 (Rolling.Histogram.count h);
+  Alcotest.(check int) "counter sums slots" 3 (Rolling.Counter.value c);
+  (* 65 s after the first observation: it has expired, the second lives *)
+  Clock.advance shared 35.0;
+  Alcotest.(check int) "first expired" 1 (Rolling.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum follows" 1.0 (Rolling.Histogram.sum h);
+  Alcotest.(check int) "counter follows" 2 (Rolling.Counter.value c);
+  (* far future: empty window, quantile signals emptiness *)
+  Clock.advance shared 1000.0;
+  Alcotest.(check int) "all expired" 0 (Rolling.Histogram.count h);
+  Alcotest.(check int) "counter empty" 0 (Rolling.Counter.value c);
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Rolling.Histogram.quantile h 0.5));
+  (* NaN observations are dropped, as in the cumulative histogram *)
+  Rolling.Histogram.observe h Float.nan;
+  Alcotest.(check int) "nan dropped" 0 (Rolling.Histogram.count h)
+
+(* The merged read is a pure function of the live observation multiset:
+   any partition of the same values over concurrent writer domains gives
+   identical quantiles — determinism at any --jobs. *)
+let test_rolling_quantile_determinism () =
+  let values = Array.init 1000 (fun i -> 0.0005 *. float_of_int (i + 1)) in
+  let run jobs =
+    let shared = Clock.shared_counter ~start:50.0 () in
+    let now = Clock.shared_clock shared in
+    let h = Rolling.Histogram.create ~now ~window_s:3600.0 () in
+    let chunk = (Array.length values + jobs - 1) / jobs in
+    let domains =
+      List.init jobs (fun j ->
+          Domain.spawn (fun () ->
+              let lo = j * chunk in
+              let hi = min (Array.length values) (lo + chunk) in
+              for i = lo to hi - 1 do
+                Rolling.Histogram.observe h values.(i)
+              done))
+    in
+    List.iter Domain.join domains;
+    ( Rolling.Histogram.count h,
+      Rolling.Histogram.sum h,
+      List.map (Rolling.Histogram.quantile h) [ 0.5; 0.95; 0.99 ] )
+  in
+  let seq_count, seq_sum, seq_qs = run 1 in
+  List.iter
+    (fun jobs ->
+      let count, sum, qs = run jobs in
+      (* counts and quantiles are bucket-exact regardless of domain
+         interleaving; the running sum accumulates in a nondeterministic
+         order, so only compare it up to float-addition reassociation *)
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d matches sequential" jobs)
+        true
+        (count = seq_count && qs = seq_qs);
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "jobs=%d sum close to sequential" jobs)
+        seq_sum sum)
+    [ 2; 4; 7 ];
+  (* and the window quantile agrees with the cumulative histogram's over
+     the same data — same buckets, same interpolation *)
+  let cumulative = Metrics.Histogram.create () in
+  Array.iter (Metrics.Histogram.observe cumulative) values;
+  List.iter2
+    (fun q want ->
+      Alcotest.(check (float 1e-12)) "matches cumulative quantile" want q)
+    seq_qs
+    (List.map (Metrics.Histogram.quantile cumulative) [ 0.5; 0.95; 0.99 ])
+
+(* Steady-state observes touch only preallocated arrays: no per-observe
+   scratch (the 66-bucket merge buffer is a read-side cost). Minor
+   allocation per observe stays under a few boxed floats even in
+   bytecode. *)
+let test_rolling_bounded_allocation () =
+  let shared = Clock.shared_counter ~start:0.0 () in
+  let now = Clock.shared_clock shared in
+  let h = Rolling.Histogram.create ~now ~window_s:60.0 () in
+  (* warm every slot so steady state reuses them *)
+  for _ = 1 to 24 do
+    Rolling.Histogram.observe h 0.25;
+    Clock.advance shared 5.0
+  done;
+  let n = 10_000 in
+  let before = Gc.minor_words () in
+  for i = 1 to n do
+    Rolling.Histogram.observe h (float_of_int i *. 1e-4);
+    if i mod 100 = 0 then Clock.advance shared 1.0
+  done;
+  let per_observe = (Gc.minor_words () -. before) /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.1f minor words per observe" per_observe)
+    true (per_observe < 40.0)
+
+(* ---------------- access log ---------------- *)
+
+let access_record i =
+  {
+    Access_log.id = Printf.sprintf "rq-%04d" i;
+    verb = "estimate";
+    outcome = "answered";
+    key = "a-b";
+    budget_s = (if i mod 2 = 0 then 1.5 else Float.nan);
+    wall_s = 0.001 *. float_of_int i;
+    cache = (if i mod 2 = 0 then "hit" else "miss");
+    shards = i;
+    rung = i mod 3;
+    estimate = (if i = 0 then Float.infinity else 12.5 *. float_of_int i);
+  }
+
+let test_access_log_roundtrip () =
+  let path = Filename.temp_file "repro-obs-access" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let log = Access_log.create ~path ~sleep:(fun _ -> ()) in
+      let records = List.init 5 access_record in
+      List.iter (Access_log.write log) records;
+      Access_log.close log;
+      match Access_log.read_file path with
+      | Error e -> Alcotest.failf "read_file: %s" e
+      | Ok back ->
+          Alcotest.(check int) "all records" 5 (List.length back);
+          List.iter2
+            (fun (w : Access_log.record) (g : Access_log.record) ->
+              (* non-finite floats round-trip through JSON too *)
+              Alcotest.(check string) "id order preserved" w.id g.id;
+              Alcotest.(check string) "verb" w.verb g.verb;
+              Alcotest.(check string) "cache" w.cache g.cache;
+              Alcotest.(check int) "shards" w.shards g.shards;
+              Alcotest.(check int) "rung" w.rung g.rung;
+              let same_float a b =
+                (Float.is_nan a && Float.is_nan b) || a = b
+              in
+              Alcotest.(check bool) "budget" true (same_float w.budget_s g.budget_s);
+              Alcotest.(check bool) "wall" true (same_float w.wall_s g.wall_s);
+              Alcotest.(check bool) "estimate" true
+                (same_float w.estimate g.estimate))
+            records back)
+
+let test_access_log_concurrent_writers () =
+  let path = Filename.temp_file "repro-obs-access" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let log = Access_log.create ~path ~sleep:(fun _ -> ()) in
+      let jobs = 4 and per = 200 in
+      let domains =
+        List.init jobs (fun j ->
+            Domain.spawn (fun () ->
+                for i = 0 to per - 1 do
+                  Access_log.write log (access_record ((j * per) + i))
+                done))
+      in
+      List.iter Domain.join domains;
+      Access_log.close log;
+      match Access_log.read_file path with
+      | Error e -> Alcotest.failf "read_file: %s" e
+      | Ok back ->
+          Alcotest.(check int) "nothing lost in the drain" (jobs * per)
+            (List.length back);
+          Alcotest.(check int) "ids unique" (jobs * per)
+            (List.length
+               (List.sort_uniq compare
+                  (List.map (fun (r : Access_log.record) -> r.id) back))))
+
+let test_access_log_strict_read () =
+  let path = Filename.temp_file "repro-obs-access" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let log = Access_log.create ~path ~sleep:(fun _ -> ()) in
+      Access_log.write log (access_record 0);
+      Access_log.close log;
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"type\":\"access\",\"id\":42}\n";
+      close_out oc;
+      match Access_log.read_file path with
+      | Ok _ -> Alcotest.fail "malformed line must not be skipped"
+      | Error e ->
+          Alcotest.(check bool) ("names the line: " ^ e) true
+            (contains_sub e "2"))
+
+(* ---------------- exemplars ---------------- *)
+
+let test_histogram_exemplar () =
+  let h = Metrics.Histogram.create () in
+  Alcotest.(check bool) "fresh histogram has none" true
+    (Metrics.Histogram.exemplar h = None);
+  Metrics.Histogram.observe_exemplar h ~id:"rq-1" 0.25;
+  Metrics.Histogram.observe_exemplar h ~id:"rq-2" 0.5;
+  Alcotest.(check bool) "latest exemplar wins" true
+    (Metrics.Histogram.exemplar h = Some ("rq-2", 0.5));
+  Metrics.Histogram.observe_exemplar h ~id:"rq-3" Float.nan;
+  Alcotest.(check bool) "nan keeps the previous exemplar" true
+    (Metrics.Histogram.exemplar h = Some ("rq-2", 0.5));
+  (* the nan observation is dropped by [observe], so only the two finite
+     ones count *)
+  Alcotest.(check int) "finite observations counted" 2
+    (Metrics.Histogram.count h);
+  (* exemplars never surface in rendered output — IDs stay out of the
+     metric namespace *)
+  let obs = Obs.create () in
+  Obs.observe_exemplar obs "req.seconds" ~id:"rq-9" 0.125;
+  let body = Option.value ~default:"" (Obs.prometheus obs) in
+  Alcotest.(check bool) "rendered" true
+    (contains_sub body "req_seconds");
+  Alcotest.(check bool) "id invisible" false
+    (contains_sub body "rq-9")
+
 (* ---------------- the null context ---------------- *)
 
 let test_null_is_inert () =
@@ -465,6 +698,29 @@ let () =
             test_close_idempotent_memory;
           Alcotest.test_case "idempotent on file sink" `Quick
             test_close_idempotent_file;
+        ] );
+      ( "rolling",
+        [
+          Alcotest.test_case "window expiry under the fake clock" `Quick
+            test_rolling_window_expiry;
+          Alcotest.test_case "quantiles deterministic at any --jobs" `Quick
+            test_rolling_quantile_determinism;
+          Alcotest.test_case "bounded allocation at steady state" `Quick
+            test_rolling_bounded_allocation;
+        ] );
+      ( "access log",
+        [
+          Alcotest.test_case "round trip in write order" `Quick
+            test_access_log_roundtrip;
+          Alcotest.test_case "concurrent writers drain completely" `Quick
+            test_access_log_concurrent_writers;
+          Alcotest.test_case "strict reader locates bad lines" `Quick
+            test_access_log_strict_read;
+        ] );
+      ( "exemplars",
+        [
+          Alcotest.test_case "latest id, never rendered" `Quick
+            test_histogram_exemplar;
         ] );
       ( "null context",
         [ Alcotest.test_case "inert" `Quick test_null_is_inert ] );

@@ -282,8 +282,9 @@ let test_admission_close_drains () =
 
 let test_protocol_parse_request () =
   (match Protocol.parse_request "estimate k1 deadline=0.25 ;; attr < 3 ;; attr >= 1" with
-  | Ok (Protocol.Estimate { key; deadline_s; pred_a; pred_b }) ->
+  | Ok (Protocol.Estimate { key; id; deadline_s; pred_a; pred_b }) ->
       Alcotest.(check string) "key" "k1" key;
+      Alcotest.(check (option string)) "no id" None id;
       Alcotest.(check (option (float 1e-9))) "deadline" (Some 0.25) deadline_s;
       Alcotest.(check bool) "left parsed" true (pred_a <> None);
       Alcotest.(check bool) "right parsed" true (pred_b <> None)
@@ -292,6 +293,13 @@ let test_protocol_parse_request () =
   (match Protocol.parse_request "estimate k1" with
   | Ok (Protocol.Estimate { deadline_s = None; pred_a = None; pred_b = None; _ }) -> ()
   | _ -> Alcotest.fail "bare estimate");
+  (* option tokens in either order; ids validated at parse time *)
+  (match Protocol.parse_request "estimate k1 id=req-1 deadline=0.5" with
+  | Ok (Protocol.Estimate { id = Some "req-1"; deadline_s = Some _; _ }) -> ()
+  | _ -> Alcotest.fail "id then deadline");
+  (match Protocol.parse_request "estimate k1 deadline=0.5 id=req-1 ;; attr < 3" with
+  | Ok (Protocol.Estimate { id = Some "req-1"; pred_a = Some _; _ }) -> ()
+  | _ -> Alcotest.fail "deadline then id with predicate");
   (match Protocol.parse_request "estimate k1 ;;  ;; attr = 2" with
   | Ok (Protocol.Estimate { pred_a = None; pred_b = Some _; _ }) -> ()
   | _ -> Alcotest.fail "empty left side means no selection");
@@ -310,6 +318,8 @@ let test_protocol_parse_request () =
       ("estimate", None);
       ("estimate k deadline=zero", None);
       ("estimate k deadline=-1", None);
+      ("estimate k id=", None);
+      ("estimate k id=bad!char", None);
       ("frobnicate", None);
       ("estimate k1 ;; attr <", None);
     ]
@@ -340,14 +350,87 @@ let test_protocol_reply_roundtrip () =
        (Engine.Deadline_exceeded
           (Csdl.Fault.Timeout { what = "request"; budget_s = 0.5 })))
     "deadline_exceeded";
-  check_line (Protocol.shed_line ~retry_after_s:0.05) "shed";
+  check_line (Protocol.shed_line ~retry_after_s:0.05 ()) "shed";
   check_line (Protocol.err_line "unknown key\nwith newline") "err";
   (* the answered value must round-trip bit-exactly through the line *)
   let v = 578.09792186905838 in
-  match Protocol.parse_reply (Protocol.render_outcome (Engine.Answered v)) with
+  (match Protocol.parse_reply (Protocol.render_outcome (Engine.Answered v)) with
   | Ok (Protocol.R_ok v') ->
       Alcotest.(check bool) "bit-exact float round trip" true (v = v')
-  | _ -> Alcotest.fail "expected R_ok"
+  | _ -> Alcotest.fail "expected R_ok");
+  (* replies without an id keep their historical bytes *)
+  Alcotest.(check string)
+    "no-id ok line unchanged" "ok 1234.5"
+    (Protocol.render_outcome (Engine.Answered 1234.5))
+
+let test_protocol_reply_id_roundtrip () =
+  (* every reply shape echoes the id byte-exactly, and parse_reply_id
+     recovers it *)
+  let outcomes =
+    [
+      Protocol.render_outcome ~id:"rq.1" (Engine.Answered 1234.5);
+      Protocol.render_outcome ~id:"rq.1"
+        (Engine.Degraded { value = 10.0; trace = [] });
+      Protocol.render_outcome ~id:"rq.1"
+        (Engine.Deadline_exceeded
+           (Csdl.Fault.Timeout { what = "request"; budget_s = 0.5 }));
+      Protocol.shed_line ~id:"rq.1" ~retry_after_s:0.05 ();
+      Protocol.err_line ~id:"rq.1" "unknown key nope";
+    ]
+  in
+  List.iter
+    (fun line ->
+      match Protocol.parse_reply_id line with
+      | Ok (id, _) -> Alcotest.(check (option string)) line (Some "rq.1") id
+      | Error e -> Alcotest.failf "parse_reply_id %S: %s" line e)
+    outcomes;
+  (* id sits right after the status word *)
+  Alcotest.(check string)
+    "ok line bytes" "ok id=rq.1 1234.5" (List.nth outcomes 0);
+  (* values survive id stripping bit-exactly *)
+  let v = 578.09792186905838 in
+  (match
+     Protocol.parse_reply_id (Protocol.render_outcome ~id:"x" (Engine.Answered v))
+   with
+  | Ok (Some "x", Protocol.R_ok v') ->
+      Alcotest.(check bool) "bit-exact with id" true (v = v')
+  | _ -> Alcotest.fail "expected (Some x, R_ok)");
+  (* request render/parse round trip with an id *)
+  match
+    Protocol.parse_request
+      (Protocol.render_estimate ~key:"k1" ~id:"rq.1" ~deadline_s:0.5
+         ~pred_a:"attr < 3" ())
+  with
+  | Ok (Protocol.Estimate { key = "k1"; id = Some "rq.1"; _ }) -> ()
+  | _ -> Alcotest.fail "request id round trip"
+
+let test_request_ctx () =
+  let module Ctx = Repro_obs.Request_ctx in
+  Alcotest.(check bool) "valid" true (Ctx.is_valid_id "a-B.9_c:0");
+  Alcotest.(check bool) "empty invalid" false (Ctx.is_valid_id "");
+  Alcotest.(check bool) "space invalid" false (Ctx.is_valid_id "a b");
+  Alcotest.(check bool) "newline invalid" false (Ctx.is_valid_id "a\nb");
+  Alcotest.(check bool) "64 ok" true (Ctx.is_valid_id (String.make 64 'x'));
+  Alcotest.(check bool) "65 too long" false
+    (Ctx.is_valid_id (String.make 65 'x'));
+  (* deterministic per (seed, scope); distinct scopes diverge *)
+  let ids gen = List.init 5 (fun _ -> Ctx.next gen) in
+  let a = ids (Ctx.generator ~seed:7 "server/h:1") in
+  let a' = ids (Ctx.generator ~seed:7 "server/h:1") in
+  let b = ids (Ctx.generator ~seed:7 "server/h:2") in
+  Alcotest.(check (list string)) "replayable" a a';
+  Alcotest.(check bool) "scoped streams differ" true (a <> b);
+  List.iter
+    (fun id -> Alcotest.(check bool) id true (Ctx.is_valid_id id))
+    a;
+  Alcotest.(check bool) "distinct in-stream" true
+    (List.length (List.sort_uniq compare a) = 5);
+  (match Ctx.of_client "ok-id" with
+  | Some { Ctx.id = "ok-id"; client_supplied = true } -> ()
+  | _ -> Alcotest.fail "of_client valid");
+  match Ctx.of_client "bad id" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "of_client invalid"
 
 (* ---------------- engine ---------------- *)
 
@@ -545,6 +628,95 @@ let test_engine_chaos_is_deterministic () =
       Alcotest.(check bool) "chaos actually degrades something" true
         (List.mem "degraded" a))
 
+(* ---------------- drift sentinels ---------------- *)
+
+(* Deterministic accuracy-regression trip: rewrite the stored sentinel
+   truths to be wildly wrong (as if the base data drifted under a stale
+   synopsis) and check the replay flags every keyed sentinel past the
+   limit — and none below a huge limit. *)
+let test_engine_drift_sentinels () =
+  with_store (fun _ path ->
+      (* fresh store: sentinels replayed at create, status populated *)
+      let engine = engine_exn Engine.default_config path in
+      let status = Engine.drift_status engine in
+      Alcotest.(check (list string))
+        "one status per key" [ "a-b"; "pk-fk" ]
+        (List.map (fun d -> d.Engine.d_key) status);
+      List.iter
+        (fun d ->
+          Alcotest.(check bool)
+            (d.Engine.d_key ^ " qerror is a finite >= 1") true
+            (Float.is_finite d.Engine.d_qerror && d.Engine.d_qerror >= 1.0);
+          (* a just-built store replays bit-identically to its recorded
+             baselines, so the worsening factor is exactly 1 and a fresh
+             store never warns — however hard its sentinels are *)
+          Alcotest.(check (float 0.0))
+            (d.Engine.d_key ^ " no worsening on a fresh store")
+            1.0 d.Engine.d_worsened;
+          Alcotest.(check bool)
+            (d.Engine.d_key ^ " fresh store does not trip")
+            true (d.Engine.d_fault = None))
+        status;
+      Alcotest.(check bool) "replays feed the rolling window" true
+        (Repro_obs.Rolling.Histogram.count (Engine.sentinel_window engine) > 0);
+      (* tamper: recorded truths 1000x off *)
+      let entries =
+        match Csdl.Synopsis_store.read ~resolve_table ~path with
+        | Ok entries -> entries
+        | Error f -> Alcotest.failf "read: %s" (Csdl.Fault.error_to_string f)
+      in
+      Alcotest.(check bool) "store carries sentinels" true
+        (List.for_all
+           (fun (e : Csdl.Synopsis_store.stored) -> e.sentinels <> [])
+           entries);
+      let tampered =
+        List.map
+          (fun (e : Csdl.Synopsis_store.stored) ->
+            {
+              e with
+              sentinels =
+                List.map
+                  (fun (s : Csdl.Sentinel.t) ->
+                    { s with truth = (s.truth +. 1.0) *. 1000.0 })
+                  e.sentinels;
+            })
+          entries
+      in
+      Csdl.Synopsis_store.write ~path tampered;
+      let obs = Obs.create () in
+      let engine = engine_exn ~obs Engine.default_config path in
+      let status = Engine.drift_status engine in
+      Alcotest.(check int) "both keys drifted" 2
+        (List.length
+           (List.filter (fun d -> d.Engine.d_fault <> None) status));
+      List.iter
+        (fun d ->
+          match d.Engine.d_fault with
+          | Some (Csdl.Fault.Drift { key; worsened; limit }) ->
+              Alcotest.(check string) "fault names the key" d.Engine.d_key key;
+              Alcotest.(check bool) "past the limit" true (worsened > limit)
+          | Some f ->
+              Alcotest.failf "expected Drift, got %s"
+                (Csdl.Fault.error_to_string f)
+          | None -> Alcotest.fail "expected a drift fault")
+        status;
+      (match Obs.registry obs with
+      | None -> Alcotest.fail "live obs expected"
+      | Some registry ->
+          Alcotest.(check bool) "trip counter advanced" true
+            (Metrics.Counter.value
+               (Metrics.Registry.counter registry "server.drift.tripped")
+            > 0));
+      (* an indulgent limit keeps the same store quiet *)
+      let engine =
+        engine_exn { Engine.default_config with drift_limit = 1e12 } path
+      in
+      Alcotest.(check int) "no trips below the limit" 0
+        (List.length
+           (List.filter
+              (fun d -> d.Engine.d_fault <> None)
+              (Engine.drift_status engine))))
+
 (* ---------------- server + client over a real socket ---------------- *)
 
 let test_server_socket_roundtrip () =
@@ -592,10 +764,102 @@ let test_server_socket_roundtrip () =
           (match Client.metrics c with
           | Ok body ->
               Alcotest.(check bool) "metrics body has server counters" true
-                (contains body "server_outcome")
+                (contains body "server_outcome");
+              Alcotest.(check bool) "metrics body has build info" true
+                (contains body "repro_build_info");
+              Alcotest.(check bool) "metrics body has runtime gauges" true
+                (contains body "runtime_gc_heap_words");
+              Alcotest.(check bool) "metrics body has slo gauges" true
+                (contains body "server_slo_p99_seconds")
           | Error e -> Alcotest.failf "metrics: %s" e);
+          (let slo = Client.raw c "slo" in
+           Alcotest.(check bool) ("slo reply: " ^ slo) true
+             (String.length slo > 10 && String.sub slo 0 10 = "ok window="
+             && contains slo "p99=" && contains slo "drift="));
           Alcotest.(check string) "quit" "ok bye" (Client.raw c "quit");
           Client.close c))
+
+(* request-ID propagation and the access log, over a live socket *)
+let test_server_telemetry_roundtrip () =
+  with_store (fun store path ->
+      let log_path = Filename.temp_file "repro-access" ".jsonl" in
+      let log = Repro_obs.Access_log.create ~path:log_path ~sleep:Clock.sleepf in
+      let engine = engine_exn Engine.default_config path in
+      let config =
+        { (Server.default_config ~port:0) with jobs = 2; default_deadline_s = 30.0 }
+      in
+      let srv = Server.create ~access_log:log config engine in
+      let port = Server.port srv in
+      let domain = Domain.spawn (fun () -> Server.serve srv) in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove log_path)
+        (fun () ->
+          let c = Client.connect ~host:"127.0.0.1" ~port () in
+          let want = Csdl.Store.estimate store ~key:"a-b" in
+          (* client-supplied id echoed byte-exactly *)
+          (match Client.estimate_full c ~id:"cli-0001" ~key:"a-b" () with
+          | Ok (Some "cli-0001", Protocol.R_ok got) ->
+              Alcotest.(check bool) "value with id still batch-exact" true
+                (got = want)
+          | Ok (id, r) ->
+              Alcotest.failf "echo: got id %s class %s"
+                (Option.value ~default:"<none>" id)
+                (Protocol.reply_class r)
+          | Error e -> Alcotest.failf "estimate_full: %s" e);
+          (* server-assigned id: present, wire-valid, and not ours *)
+          let assigned =
+            match Client.estimate_full c ~key:"a-b" () with
+            | Ok (Some rid, Protocol.R_ok _) ->
+                Alcotest.(check bool) "assigned id is wire-valid" true
+                  (Repro_obs.Request_ctx.is_valid_id rid);
+                rid
+            | _ -> Alcotest.fail "expected an assigned id"
+          in
+          Alcotest.(check bool) "assigned differs from client ids" true
+            (assigned <> "cli-0001");
+          (* errors echo the id too *)
+          (match Client.estimate_full c ~id:"cli-0002" ~key:"nope" () with
+          | Ok (Some "cli-0002", Protocol.R_err _) -> ()
+          | _ -> Alcotest.fail "err reply must echo the id");
+          Client.close c;
+          Server.stop srv;
+          Domain.join domain;
+          Repro_obs.Access_log.close log;
+          (* one record per request, joinable by id, zero orphans *)
+          match Repro_obs.Access_log.read_file log_path with
+          | Error e -> Alcotest.failf "access log: %s" e
+          | Ok records ->
+              let by_id id =
+                List.find_opt
+                  (fun (r : Repro_obs.Access_log.record) -> r.id = id)
+                  records
+              in
+              (match by_id "cli-0001" with
+              | Some r ->
+                  Alcotest.(check string) "verb" "estimate" r.verb;
+                  Alcotest.(check string) "outcome" "answered" r.outcome;
+                  Alcotest.(check string) "key" "a-b" r.key;
+                  Alcotest.(check (float 1e-9)) "budget" 30.0 r.budget_s;
+                  Alcotest.(check bool) "estimate logged" true
+                    (r.estimate = want);
+                  Alcotest.(check bool) "cache column filled" true
+                    (r.cache = "hit" || r.cache = "miss");
+                  Alcotest.(check bool) "wall time recorded" true
+                    (Float.is_finite r.wall_s && r.wall_s >= 0.0)
+              | None -> Alcotest.fail "cli-0001 missing from the log");
+              (match by_id assigned with
+              | Some r ->
+                  Alcotest.(check string) "assigned verb" "estimate" r.verb
+              | None -> Alcotest.fail "assigned id missing from the log");
+              (match by_id "cli-0002" with
+              | Some r -> Alcotest.(check string) "err logged" "err" r.outcome
+              | None -> Alcotest.fail "cli-0002 missing from the log");
+              Alcotest.(check int) "three estimate records" 3
+                (List.length
+                   (List.filter
+                      (fun (r : Repro_obs.Access_log.record) ->
+                        r.verb = "estimate")
+                      records))))
 
 let () =
   Alcotest.run "repro_server"
@@ -638,6 +902,9 @@ let () =
         [
           Alcotest.test_case "request grammar" `Quick test_protocol_parse_request;
           Alcotest.test_case "reply round trip" `Quick test_protocol_reply_roundtrip;
+          Alcotest.test_case "request ids round trip" `Quick
+            test_protocol_reply_id_roundtrip;
+          Alcotest.test_case "request-id generator" `Quick test_request_ctx;
         ] );
       ( "engine",
         [
@@ -652,9 +919,13 @@ let () =
             test_engine_degrades_and_breaker_trips;
           Alcotest.test_case "chaos is deterministic" `Quick
             test_engine_chaos_is_deterministic;
+          Alcotest.test_case "drift sentinels trip deterministically" `Quick
+            test_engine_drift_sentinels;
         ] );
       ( "socket",
         [
           Alcotest.test_case "live round trip" `Quick test_server_socket_roundtrip;
+          Alcotest.test_case "request telemetry round trip" `Quick
+            test_server_telemetry_roundtrip;
         ] );
     ]

@@ -44,6 +44,7 @@ let encode_synopsis synopsis =
         fingerprint_b = 0L;
         prng_key = "";
         shards = 1;
+        sentinels = [];
         synopsis;
       };
     ]
@@ -355,6 +356,7 @@ let stored_with_shards shards =
     fingerprint_b = Table.fingerprint (Lazy.force table_b);
     prng_key = "7:synopsis/s";
     shards;
+    sentinels = [];
     synopsis = Csdl.Synopsis_shard.merge t;
   }
 
@@ -446,6 +448,7 @@ let test_rejects_truncated_shard_segment () =
       fingerprint_b = Table.fingerprint b;
       prng_key = "";
       shards;
+      sentinels = [];
       synopsis = Csdl.Synopsis_shard.merge t;
     }
   in

@@ -343,6 +343,7 @@ let test_sentry_count_precomputed () =
           fingerprint_b = Table.fingerprint (table "b");
           prng_key = "";
           shards = 1;
+          sentinels = [];
           synopsis;
         }
       in

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Fail if any metric label carries a per-request identifier. Request IDs
+# are unbounded-cardinality values: one time series per request would
+# grow the registry (and every Prometheus scrape) without bound. IDs
+# belong on span attributes, access-log records and histogram exemplars
+# — never on `~labels:` of Obs.count / Obs.observe / Obs.gauge (see
+# docs/observability.md, "Request telemetry & SLOs").
+#
+# The check scans each `~labels:` argument (the list may wrap across a
+# few lines under ocamlformat) for forbidden label keys.
+#
+# Usage: tools/lint_label_cardinality.sh [repo-root]
+# Runs from any cwd: without an argument the repo root is resolved from
+# the script's own location. Exits non-zero on violations, listing each
+# offending site as file:line:content.
+set -eu
+
+root=${1:-$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)}
+cd "$root"
+
+status=0
+for file in lib/*/*.ml bin/*.ml bench/*.ml; do
+  [ -f "$file" ] || continue
+  hits=$(awk -v forbidden_re='\\("(id|request_id|rid|trace_id|span_id)"' '
+    /~labels/ { window = 4 }
+    window > 0 {
+      if ($0 ~ forbidden_re) print FILENAME ":" FNR ":" $0
+      window--
+    }
+  ' "$file")
+  if [ -n "$hits" ]; then
+    printf '%s\n' "$hits" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "lint: request-scoped IDs must not be metric labels; use span" >&2
+  echo "lint: attributes, the access log, or exemplars instead" >&2
+fi
+exit $status
