@@ -409,6 +409,7 @@ let estimate left left_col right right_col theta approach runs exact guarded
         (fun r ->
           Provenance.add prov
             {
+              Provenance.empty with
               Provenance.experiment = "estimate";
               query;
               variant;
@@ -507,6 +508,74 @@ let metrics_cmd =
           workload and print the Prometheus-style metrics snapshot.")
     Term.(const metrics $ scale_arg $ seed_arg $ metrics_runs_arg $ theta_arg)
 
+(* ---------------- bakeoff ---------------- *)
+
+let bakeoff scale seed runs thetas level jobs bench_json =
+  let jobs = if jobs = 0 then Pool.default_jobs () else max 1 jobs in
+  let prov =
+    if Option.is_some bench_json then Provenance.create ()
+    else Provenance.null
+  in
+  let config =
+    {
+      Repro_benchlib.Config.default with
+      Repro_benchlib.Config.imdb_scale = scale;
+      runs;
+      seed;
+      thetas;
+      jobs;
+      prov;
+    }
+  in
+  Format.eprintf "repro bakeoff: %a level=%g@." Repro_benchlib.Config.pp
+    config level;
+  let d = Repro_datagen.Imdb.generate ~scale ~seed () in
+  let result = Repro_benchlib.Bakeoff.run ~level ~thetas config d in
+  Repro_benchlib.Bakeoff.print result;
+  Option.iter
+    (fun path ->
+      Repro_benchlib.Bakeoff.record_cells prov result;
+      let records = Provenance.records prov in
+      let name = Filename.remove_extension (Filename.basename path) in
+      Provenance.write ~path (Provenance.artifact ~name records);
+      Printf.eprintf "provenance: %d records -> %s\n"
+        (List.length records) path)
+    bench_json
+
+let bakeoff_thetas_arg =
+  Arg.(
+    value
+    & opt (list float) [ 0.01 ]
+    & info [ "thetas" ] ~docv:"T,..."
+        ~doc:"Comma-separated sampling budgets to grid over.")
+
+let bakeoff_runs_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "runs" ] ~docv:"N" ~doc:"Seeded repetitions per cell.")
+
+let level_arg =
+  Arg.(
+    value & opt float 0.95
+    & info [ "level" ] ~docv:"L"
+        ~doc:"Confidence level for both CI kinds (in (0,1)).")
+
+let bakeoff_cmd =
+  Cmd.v
+    (Cmd.info "bakeoff"
+       ~doc:
+         "Run every estimator (correlated sampling and all related-work \
+          baselines) over the two-table query grid with confidence \
+          intervals on each cell: a bootstrap CI on the median of the \
+          seeded repetitions, plus the paper's analytic single-synopsis \
+          CI for the correlated-sampling family. Reports per-estimator CI \
+          coverage against the exact join sizes; $(b,--bench-json) writes \
+          a version-2 provenance artifact gateable with $(b,bench diff \
+          --min-ci-coverage). Stdout is byte-identical at any $(b,--jobs).")
+    Term.(
+      const bakeoff $ scale_arg $ seed_arg $ bakeoff_runs_arg
+      $ bakeoff_thetas_arg $ level_arg $ jobs_arg $ bench_json_arg)
+
 (* ---------------- synopsis-build / synopsis-estimate ---------------- *)
 
 (* A join-graph spec: "key=left.csv:col,right.csv:col" *)
@@ -586,6 +655,7 @@ let synopsis_build graphs theta store seed shards jobs bench_json =
       let tuples = float_of_int (Csdl.Synopsis.size_tuples synopsis) in
       Provenance.add prov
         {
+          Provenance.empty with
           Provenance.experiment = "synopsis-build";
           query = key;
           variant = Csdl.Spec.to_string (Csdl.Estimator.spec estimator);
@@ -1161,6 +1231,15 @@ let max_online_wall_ratio_arg =
            aggregate batch record sits above the 10ms noise floor, so this \
            bound gates the online hot path for real.")
 
+let min_ci_coverage_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "min-ci-coverage" ] ~docv:"F"
+        ~doc:
+          "Fail if a group reporting confidence intervals covers the truth \
+           in less than fraction $(docv) of its cells (an absolute floor, \
+           not a baseline ratio; groups without intervals are not gated).")
+
 (* Exit codes: 0 = within limits, 1 = regression, 2 = unreadable artifact.
    cmdliner reserves 124+ for its own errors, so these are safe. *)
 let load_artifact_or_exit path =
@@ -1171,12 +1250,12 @@ let load_artifact_or_exit path =
       exit 2
 
 let bench_diff baseline_path current_path max_wall_ratio max_qerr_ratio
-    max_online_wall_ratio =
+    max_online_wall_ratio min_ci_coverage =
   let baseline = load_artifact_or_exit baseline_path
   and current = load_artifact_or_exit current_path in
   let checks =
-    Provenance.diff ?max_online_wall_ratio ~max_wall_ratio ~max_qerr_ratio
-      ~baseline ~current ()
+    Provenance.diff ?max_online_wall_ratio ?min_ci_coverage ~max_wall_ratio
+      ~max_qerr_ratio ~baseline ~current ()
   in
   Provenance.pp_checks Format.std_formatter checks;
   match Provenance.regressions checks with
@@ -1199,7 +1278,7 @@ let bench_diff_cmd =
           unreadable artifact.")
     Term.(
       const bench_diff $ baseline_arg $ current_arg $ max_wall_ratio_arg
-      $ max_qerr_ratio_arg $ max_online_wall_ratio_arg)
+      $ max_qerr_ratio_arg $ max_online_wall_ratio_arg $ min_ci_coverage_arg)
 
 (* ---------------- bench merge ---------------- *)
 
@@ -1635,6 +1714,7 @@ let () =
             inspect_cmd;
             estimate_cmd;
             metrics_cmd;
+            bakeoff_cmd;
             trace_cmd;
             bench_cmd;
             synopsis_build_cmd;

@@ -80,6 +80,7 @@ let run ?(obs = Obs.null) ?(prov = Provenance.null) ?(clock = Clock.wall)
         in
         Provenance.add prov
           {
+            Provenance.empty with
             Provenance.experiment = "batch";
             query = q.q_id;
             variant;
@@ -112,6 +113,7 @@ let run ?(obs = Obs.null) ?(prov = Provenance.null) ?(clock = Clock.wall)
   if n > 0 then
     Provenance.add prov
       {
+        Provenance.empty with
         Provenance.experiment = Provenance.online_experiment;
         query = "total";
         variant;

@@ -190,6 +190,7 @@ let run ?(clock = Clock.wall) (config : Config.t) data =
           (fun c ->
             Provenance.add config.Config.prov
               {
+                Provenance.empty with
                 Provenance.experiment = "two-table";
                 query = r.name;
                 variant = c.approach;

@@ -17,7 +17,38 @@ type record = {
   wall_seconds : float;
   cpu_seconds : float;
   offline_wall_seconds : float;
+  ci_lower : float;
+  ci_upper : float;
+  ci_covered : float;
+  variance : float;
 }
+
+(* Version-2 fields are all optional-by-nan, so every pre-bakeoff runner
+   (and every version-1 artifact on disk) keeps working unchanged; runners
+   without interval reporting build records as [{ empty with ... }]. *)
+let empty =
+  {
+    experiment = "";
+    query = "";
+    variant = "";
+    theta = Float.nan;
+    jvd = Float.nan;
+    sample_tuples = Float.nan;
+    truth = Float.nan;
+    estimate = Float.nan;
+    qerror = Float.nan;
+    rung = "";
+    downgrades = 0;
+    runs = 0;
+    zero_runs = 0;
+    wall_seconds = Float.nan;
+    cpu_seconds = Float.nan;
+    offline_wall_seconds = Float.nan;
+    ci_lower = Float.nan;
+    ci_upper = Float.nan;
+    ci_covered = Float.nan;
+    variance = Float.nan;
+  }
 
 (* ---------------- collection ---------------- *)
 
@@ -54,6 +85,9 @@ type summary = {
   p95_qerror : float;
   mean_wall_seconds : float;
   mean_cpu_seconds : float;
+  inf_failures : int;
+  nan_failures : int;
+  ci_coverage : float;
 }
 
 let summarise records =
@@ -68,10 +102,23 @@ let summarise records =
     (fun (experiment, variant) group acc ->
       let group = List.rev group in
       let qerrors = Array.of_list (List.map (fun r -> r.qerror) group) in
+      let count pred = List.length (List.filter pred group) in
+      let covered =
+        Array.of_list
+          (List.filter_map
+             (fun r ->
+               if Float.is_nan r.ci_covered then None else Some r.ci_covered)
+             group)
+      in
       {
         s_experiment = experiment;
         s_variant = variant;
         s_records = List.length group;
+        (* NaN-honest quantiles: one garbage (NaN) q-error in the group
+           NaN-poisons the group's quantile view instead of silently
+           shifting it; [nan_failures] below says how many and whether
+           they were real failures (known truth) or just "not computed"
+           (NaN truth, e.g. the timing-only batch records). *)
         median_qerror = Repro_util.Summary.median qerrors;
         p95_qerror = Repro_util.Summary.quantile 0.95 qerrors;
         mean_wall_seconds =
@@ -80,6 +127,13 @@ let summarise records =
         mean_cpu_seconds =
           Repro_util.Summary.mean
             (Array.of_list (List.map (fun r -> r.cpu_seconds) group));
+        inf_failures =
+          count (fun r -> Repro_stats.Qerror.is_zero_mismatch r.qerror);
+        nan_failures =
+          count (fun r ->
+              Repro_stats.Qerror.is_garbage r.qerror
+              && not (Float.is_nan r.truth));
+        ci_coverage = Repro_util.Summary.mean covered;
       }
       :: acc)
     groups []
@@ -88,7 +142,7 @@ let summarise records =
 
 (* ---------------- the BENCH artifact ---------------- *)
 
-let version = 1
+let version = 2
 
 type artifact = {
   a_version : int;
@@ -124,6 +178,10 @@ let record_to_json r =
       ("wall_seconds", Json.number r.wall_seconds);
       ("cpu_seconds", Json.number r.cpu_seconds);
       ("offline_wall_seconds", Json.number r.offline_wall_seconds);
+      ("ci_lower", Json.number r.ci_lower);
+      ("ci_upper", Json.number r.ci_upper);
+      ("ci_covered", Json.number r.ci_covered);
+      ("variance", Json.number r.variance);
     ]
 
 let summary_to_json s =
@@ -136,6 +194,9 @@ let summary_to_json s =
       ("p95_qerror", Json.number s.p95_qerror);
       ("mean_wall_seconds", Json.number s.mean_wall_seconds);
       ("mean_cpu_seconds", Json.number s.mean_cpu_seconds);
+      ("inf_failures", Json.number (float_of_int s.inf_failures));
+      ("nan_failures", Json.number (float_of_int s.nan_failures));
+      ("ci_coverage", Json.number s.ci_coverage);
     ]
 
 let to_json a =
@@ -181,10 +242,16 @@ let record_of_json value =
   let* cpu_seconds = field "cpu_seconds" Json.to_float value in
   (* absent in version-1 artifacts written before the offline/online split
      was tracked; nan means "not measured" *)
-  let offline_wall_seconds =
+  let optional name =
     Option.value ~default:Float.nan
-      (Option.bind (Json.member "offline_wall_seconds" value) Json.to_float)
+      (Option.bind (Json.member name value) Json.to_float)
   in
+  let offline_wall_seconds = optional "offline_wall_seconds" in
+  (* version-2 interval fields; absent (nan) in version-1 artifacts *)
+  let ci_lower = optional "ci_lower" in
+  let ci_upper = optional "ci_upper" in
+  let ci_covered = optional "ci_covered" in
+  let variance = optional "variance" in
   Ok
     {
       experiment;
@@ -203,6 +270,10 @@ let record_of_json value =
       wall_seconds;
       cpu_seconds;
       offline_wall_seconds;
+      ci_lower;
+      ci_upper;
+      ci_covered;
+      variance;
     }
 
 let read path =
@@ -268,8 +339,8 @@ let ratio_ok ~limit ~baseline ~current =
    per-query records — it gates the hot path's wall clock for real. *)
 let online_experiment = "batch-online"
 
-let diff ?max_online_wall_ratio ~max_wall_ratio ~max_qerr_ratio ~baseline
-    ~current () =
+let diff ?max_online_wall_ratio ?min_ci_coverage ~max_wall_ratio
+    ~max_qerr_ratio ~baseline ~current () =
   let find summaries key =
     List.find_opt (fun s -> (s.s_experiment, s.s_variant) = key) summaries
   in
@@ -306,6 +377,24 @@ let diff ?max_online_wall_ratio ~max_wall_ratio ~max_qerr_ratio ~baseline
                 "online wall seconds" )
             else (max_wall_ratio, "mean wall seconds")
           in
+          let coverage_checks =
+            (* only groups that actually report intervals are gated: an
+               absolute floor on the fraction of cells whose CI covered
+               the truth, not a ratio against the baseline *)
+            match min_ci_coverage with
+            | Some floor when not (Float.is_nan c.ci_coverage) ->
+                [
+                  {
+                    subject;
+                    metric = "ci coverage (min)";
+                    baseline = b.ci_coverage;
+                    current = c.ci_coverage;
+                    limit = floor;
+                    ok = c.ci_coverage >= floor;
+                  };
+                ]
+            | _ -> []
+          in
           [
             accuracy "median q-error" b.median_qerror c.median_qerror;
             accuracy "p95 q-error" b.p95_qerror c.p95_qerror;
@@ -320,7 +409,8 @@ let diff ?max_online_wall_ratio ~max_wall_ratio ~max_qerr_ratio ~baseline
                 || ratio_ok ~limit:wall_limit ~baseline:b.mean_wall_seconds
                      ~current:c.mean_wall_seconds;
             };
-          ])
+          ]
+          @ coverage_checks)
     baseline.a_summaries
 
 let regressions checks = List.filter (fun c -> not c.ok) checks

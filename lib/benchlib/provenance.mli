@@ -31,7 +31,24 @@ type record = {
       (** wall time of the offline phase behind this estimate: synopsis
           drawing (amortised per query when one synopsis serves many).
           [nan] = not measured; absent in pre-split artifacts. *)
+  ci_lower : float;
+      (** lower endpoint of the cell's confidence interval on the
+          estimate; [nan] = no interval reported (version-1 records,
+          runners without CI support) *)
+  ci_upper : float;
+  ci_covered : float;
+      (** 1 if the interval covered the exact truth, 0 if it missed,
+          [nan] when no interval or no truth is available *)
+  variance : float;
+      (** analytic (closed-form) single-synopsis variance of the
+          estimator, where the method has one (correlated sampling);
+          [nan] otherwise *)
 }
+
+val empty : record
+(** All-default record — [""] strings, [nan] measurements, zero counts.
+    Runners build records as [{ empty with experiment = ...; ... }] so
+    adding an optional field never touches every construction site. *)
 
 (** {1 Collection} *)
 
@@ -60,18 +77,34 @@ type summary = {
   p95_qerror : float;
   mean_wall_seconds : float;
   mean_cpu_seconds : float;
+  inf_failures : int;
+      (** records whose q-error is [infinity] — the zero/nonzero mismatch
+          failure the paper reports *)
+  nan_failures : int;
+      (** records whose q-error is NaN {e with a known truth} — the
+          estimator returned garbage. NaN q-error against a NaN truth is
+          "not computed" (timing-only records) and does not count. *)
+  ci_coverage : float;
+      (** mean of the non-NaN [ci_covered] flags — the fraction of
+          interval-reporting cells whose CI covered the truth; [nan] when
+          the group reports no intervals *)
 }
 
 val summarise : record list -> summary list
 (** Group records by (experiment, variant) and reduce — the per-table
     median/p95 q-error view of the paper's Tables IV-V, plus mean
-    latency. Sorted by experiment then variant. *)
+    latency. Sorted by experiment then variant. Quantiles are NaN-honest:
+    a garbage (NaN) q-error in the group makes the group's median/p95 NaN
+    rather than silently shifting them; the [nan_failures] count says
+    why. *)
 
 (** {1 The BENCH artifact} *)
 
 val version : int
 (** Schema version written into every artifact; readers reject anything
-    newer. Currently 1. *)
+    newer. Currently 2: version 1 plus the per-record
+    [ci_lower]/[ci_upper]/[ci_covered]/[variance] interval fields (absent
+    = [nan], so version-1 artifacts read back losslessly). *)
 
 type artifact = {
   a_version : int;
@@ -115,6 +148,7 @@ val online_experiment : string
 
 val diff :
   ?max_online_wall_ratio:float ->
+  ?min_ci_coverage:float ->
   max_wall_ratio:float ->
   max_qerr_ratio:float ->
   baseline:artifact ->
@@ -133,7 +167,12 @@ val diff :
     [max_wall_ratio]) — a separate, tighter bound for the batch online
     phase, whose aggregate wall sits above the noise floor. A group
     missing from [current] fails a ["coverage"] check. Groups only in
-    [current] are new coverage and produce no check. *)
+    [current] are new coverage and produce no check.
+
+    [min_ci_coverage] is an {e absolute} floor, not a ratio: every group
+    in both artifacts whose current summary reports a CI coverage
+    (non-NaN [ci_coverage]) must cover the truth at least that fraction
+    of the time. Groups without interval reporting are not gated. *)
 
 val regressions : check list -> check list
 (** The failing subset, i.e. what a CI gate should report and exit 1 on. *)

@@ -133,6 +133,7 @@ let run (config : Config.t) =
               let c = cell_results.(base + i) in
               Provenance.add config.Config.prov
                 {
+                  Provenance.empty with
                   Provenance.experiment = "table8";
                   query = dataset;
                   variant = tag;

@@ -107,6 +107,7 @@ let run (config : Config.t) =
       let record tag (c : cell) =
         Provenance.add config.Config.prov
           {
+            Provenance.empty with
             Provenance.experiment = "table9";
             query = dataset;
             variant = tag;

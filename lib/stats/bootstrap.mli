@@ -21,7 +21,16 @@ val confidence_interval :
 (** [confidence_interval ~statistic prng runs] resamples [runs] with
     replacement [replicates] times (default 1000) and returns the
     [level] (default 0.95) percentile interval of the statistic. Raises
-    [Invalid_argument] on an empty input or a level outside (0, 1). *)
+    [Invalid_argument] on an empty input or a level outside (0, 1).
+
+    No-retention contract: to avoid [replicates] array allocations, ONE
+    resample buffer is reused across every replicate and handed to
+    [statistic] each time. [statistic] must read it during the call and
+    must not retain or mutate it — stashing the array (or a closure over
+    it) yields whichever resample happened to be drawn last. [statistic]
+    must also tolerate non-finite entries: runs with [inf] q-error mass
+    produce [inf] resamples, and the interval then honestly reports
+    [upper = infinity] rather than a NaN endpoint. *)
 
 val median_interval :
   ?replicates:int -> ?level:float -> Repro_util.Prng.t -> float array -> interval

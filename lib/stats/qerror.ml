@@ -1,14 +1,18 @@
 let compute ~truth ~estimate =
   if truth < 0.0 then invalid_arg "Qerror.compute: negative truth";
-  let estimate = Float.max 0.0 estimate in
-  if truth = 0.0 && estimate = 0.0 then 1.0
-  else if truth = 0.0 || estimate = 0.0 then Float.infinity
-  else if Float.is_nan estimate then Float.infinity
-  else Float.max truth estimate /. Float.min truth estimate
+  if Float.is_nan estimate then Float.nan
+  else
+    let estimate = Float.max 0.0 estimate in
+    if truth = 0.0 && estimate = 0.0 then 1.0
+    else if truth = 0.0 || estimate = 0.0 then Float.infinity
+    else Float.max truth estimate /. Float.min truth estimate
 
 let is_failure q = q = Float.infinity || Float.is_nan q
+let is_zero_mismatch q = q = Float.infinity
+let is_garbage q = Float.is_nan q
 
 let to_string q =
-  if is_failure q then "inf"
+  if Float.is_nan q then "nan"
+  else if q = Float.infinity then "inf"
   else if q >= 1e6 then Printf.sprintf "%.3e" q
   else Printf.sprintf "%.2f" q

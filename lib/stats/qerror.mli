@@ -3,15 +3,28 @@
 
     Conventions (matching how the paper reports results): a zero estimate
     for a non-zero truth — the "filtered sample is empty" failure mode — is
-    infinity; estimating zero when the truth is zero is a perfect 1. *)
+    infinity; estimating zero when the truth is zero is a perfect 1. A NaN
+    estimate (the estimator returned garbage, not a too-small sample) maps
+    to a NaN q-error so the two failure modes stay distinguishable
+    downstream. *)
 
 val compute : truth:float -> estimate:float -> float
 (** Requires [truth >= 0] and treats a negative estimate as 0 (estimators
-    never produce one, but clamping keeps the metric total). *)
+    never produce one, but clamping keeps the metric total). A NaN
+    [estimate] yields [nan], never [infinity]. *)
 
 val is_failure : float -> bool
-(** [is_failure q] — whether a q-error value represents the paper's
-    "infinity" failure case. *)
+(** [is_failure q] — whether a q-error value represents either failure case
+    (infinite zero-mismatch or NaN garbage). *)
+
+val is_zero_mismatch : float -> bool
+(** The paper's "infinity" case: one side of max/min was zero while the
+    other was not. *)
+
+val is_garbage : float -> bool
+(** The estimator produced NaN — a bug or numerically poisoned pipeline,
+    not a sampling miss. *)
 
 val to_string : float -> string
-(** Renders like the paper's tables: two decimals, or the infinity sign. *)
+(** Renders like the paper's tables: two decimals, ["inf"] for the
+    zero-mismatch failure, ["nan"] for a garbage estimate. *)

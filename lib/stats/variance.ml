@@ -1,0 +1,73 @@
+(* Analytic estimation variance for the correlated-sampling estimators
+   (paper Sec. III): with value-inclusion probability p_v and row-level
+   Bernoulli rates q (side A) and u (side B), the scaling estimator's
+   variance decomposes into one independent term per shared join value.
+   The terms are exact for the true per-value frequencies a_v, b_v; at
+   estimation time callers plug in the unbiased sample frequencies, which
+   can push an individual term (or the total) below zero — hence the
+   clamp in [of_terms]. *)
+
+let scaling_term ~p ~q ~u ~a ~b =
+  if p <= 0.0 || q <= 0.0 || u <= 0.0 then
+    invalid_arg "Variance.scaling_term: probabilities must be positive";
+  let second a rate = (a *. a) +. ((a -. 1.0) *. (1.0 -. rate) /. rate) in
+  (second a q *. second b u /. p) -. (a *. b *. a *. b)
+
+let of_terms terms = Float.max 0.0 (List.fold_left ( +. ) 0.0 terms)
+
+(* Inverse standard-normal CDF, Acklam's rational approximation (relative
+   error < 1.2e-9 over (0,1)); the stdlib has no erf, and nine significant
+   digits is far beyond what a plug-in variance estimate deserves. *)
+let normal_quantile p =
+  if p <= 0.0 || p >= 1.0 then
+    invalid_arg "Variance.normal_quantile: p must be in (0, 1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  and b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  and c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  and d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let horner coeffs x =
+    Array.fold_left (fun acc coeff -> (acc *. x) +. coeff) 0.0 coeffs
+  in
+  let p_low = 0.02425 in
+  let tail p =
+    let q = sqrt (-2.0 *. log p) in
+    horner c q /. ((horner d q *. q) +. 1.0)
+  in
+  if p < p_low then tail p
+  else if p > 1.0 -. p_low then -.tail (1.0 -. p)
+  else
+    let q = p -. 0.5 in
+    let r = q *. q in
+    q *. horner a r /. ((horner b r *. r) +. 1.0)
+
+let z_of_level level =
+  if level <= 0.0 || level >= 1.0 then
+    invalid_arg "Variance.z_of_level: level must be in (0, 1)";
+  normal_quantile ((1.0 +. level) /. 2.0)
+
+let normal_interval ?(level = 0.95) ~point ~variance () =
+  if Float.is_nan variance || variance < 0.0 then
+    { Bootstrap.lower = Float.nan; point; upper = Float.nan }
+  else
+    let half = z_of_level level *. sqrt variance in
+    {
+      Bootstrap.lower = Float.max 0.0 (point -. half);
+      point;
+      upper = point +. half;
+    }
+
+let mean_interval ?(level = 0.95) xs =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Variance.mean_interval: need at least two runs";
+  let point = Repro_util.Summary.mean xs in
+  let variance = Repro_util.Summary.variance xs /. float_of_int n in
+  normal_interval ~level ~point ~variance ()

@@ -1,0 +1,44 @@
+(** Analytic (closed-form) estimation variance and normal-approximation
+    confidence intervals for the correlated-sampling estimators — the
+    paper's Sec. III variance decomposition, packaged so a SINGLE synopsis
+    can report an interval without repeated estimation runs.
+
+    The variance of the scaling estimator decomposes into one independent
+    term per shared join value v (inclusion probability [p], row-survival
+    rates [q] on side A and [u] on side B, per-value frequencies [a], [b]):
+
+    {[ (1/p) (a^2 + (a-1)(1-q)/q) (b^2 + (b-1)(1-u)/u) - (ab)^2 ]}
+
+    Callers walk their synopsis, emit one {!scaling_term} per value using
+    plug-in frequency estimates, and sum with {!of_terms}. *)
+
+val scaling_term : p:float -> q:float -> u:float -> a:float -> b:float -> float
+(** One value's variance contribution. Raises [Invalid_argument] unless
+    [p], [q], [u] are positive; a plug-in term may legitimately be
+    negative (the estimate of a difference of moments), so no clamping
+    happens here. *)
+
+val of_terms : float list -> float
+(** Sum of per-value terms, clamped at zero — a total plug-in variance
+    below zero carries no information beyond "tiny". *)
+
+val normal_quantile : float -> float
+(** Inverse standard-normal CDF (Acklam's rational approximation,
+    |relative error| < 1.2e-9). Raises [Invalid_argument] outside (0,1). *)
+
+val z_of_level : float -> float
+(** Two-sided critical value: [z_of_level 0.95] is [normal_quantile 0.975]
+    (about 1.96). Raises [Invalid_argument] outside (0,1). *)
+
+val normal_interval :
+  ?level:float -> point:float -> variance:float -> unit -> Bootstrap.interval
+(** Normal-approximation CI around [point] (default [level] 0.95). The
+    lower endpoint is clamped at 0 — every estimate in this repo is a join
+    cardinality. A NaN or negative [variance] yields NaN endpoints (the
+    honest "no interval available"), never an exception. *)
+
+val mean_interval : ?level:float -> float array -> Bootstrap.interval
+(** CLT interval on the mean of repeated runs: sample variance over n.
+    The cheap cross-check against {!Bootstrap.confidence_interval} used by
+    the bake-off's agreement tests. Raises [Invalid_argument] on fewer
+    than two runs. *)

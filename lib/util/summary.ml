@@ -14,14 +14,20 @@ let variance xs =
     Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
     !acc /. float_of_int (n - 1)
 
+(* [Float.compare] (not polymorphic [compare], which boxes and is slower,
+   though both total-order NaN below every float). Order statistics over a
+   NaN-contaminated sample are meaningless either way, so [median] and
+   [quantile] refuse up front rather than silently interpolating around
+   NaNs sorted below [-inf]. *)
 let sorted_copy xs =
   let copy = Array.copy xs in
-  Array.sort compare copy;
+  Array.sort Float.compare copy;
   copy
 
 let median xs =
   let n = Array.length xs in
   if n = 0 then Float.nan
+  else if Array.exists Float.is_nan xs then Float.nan
   else
     let sorted = sorted_copy xs in
     if n mod 2 = 1 then sorted.(n / 2)
@@ -34,6 +40,7 @@ let quantile p xs =
   if p < 0.0 || p > 1.0 then invalid_arg "Summary.quantile: p must be in [0,1]";
   let n = Array.length xs in
   if n = 0 then Float.nan
+  else if Array.exists Float.is_nan xs then Float.nan
   else
     let sorted = sorted_copy xs in
     let pos = p *. float_of_int (n - 1) in

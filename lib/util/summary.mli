@@ -14,10 +14,14 @@ val variance : float array -> float
 val median : float array -> float
 (** Median (average of the two middle elements for even lengths). Infinite
     values sort high, so a majority of failures yields [infinity]. [nan] on
-    the empty array. Does not mutate the input. *)
+    the empty array, and [nan] whenever the input contains a NaN — a NaN
+    sample means an estimator returned garbage, and an order statistic over
+    it would be garbage too (mirroring [variance]'s guard). Does not mutate
+    the input. *)
 
 val quantile : float -> float array -> float
-(** [quantile p xs] with linear interpolation, [0 <= p <= 1]. *)
+(** [quantile p xs] with linear interpolation, [0 <= p <= 1]. [nan] on the
+    empty array or when [xs] contains a NaN (see {!median}). *)
 
 val min_max : float array -> float * float
 (** Smallest and largest element; raises [Invalid_argument] on empty. *)

@@ -364,6 +364,195 @@ let test_histogram_plan_buckets () =
   let buckets = Histogram.plan_buckets ~theta:0.5 profile in
   Alcotest.(check bool) "positive" true (buckets >= 1)
 
+(* ------------------------------------------------------------------ *)
+(* Estimator_intf adapters                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The unified interface the bake-off drives. Exactness at theta = 1 and
+   correct handling of the degenerate grids (empty join, all-filtered
+   predicates) must hold for every adapter, robustly across seeds. *)
+
+let pred_none = Predicate.True
+let pred_reject_all = Predicate.Compare (Predicate.Lt, "attr", Value.Int (-1))
+
+let counts_disjoint_a = [ (1, 3); (2, 2) ]
+let counts_disjoint_b = [ (5, 4); (6, 1) ]
+let profile_empty_join = lazy (profile_of counts_disjoint_a counts_disjoint_b)
+
+let seeds = [ 1; 2; 3; 4; 5 ]
+
+let check_exact_each_seed ~label ~truth (est : Estimator_intf.t) =
+  List.iter
+    (fun seed ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "%s exact (seed %d)" label seed)
+        truth
+        (est.Estimator_intf.estimate (Prng.create seed)))
+    seeds
+
+let test_intf_exact_at_theta_one () =
+  let profile = Lazy.force profile_m2m in
+  (* the CS2L spec degenerates to enumeration at theta = 1; the Opt
+     default picks a discrete-learning variant whose level allocation
+     keeps some per-value rates below 1 even then, so it is only
+     unbiased, not exact (see the seed-robust means test) *)
+  let adapters =
+    [
+      Estimator_intf.csdl ~spec:Csdl.Spec.cs2l ~theta:1.0 ~pred_a:pred_none
+        ~pred_b:pred_none profile;
+      Estimator_intf.independent ~theta:1.0 ~pred_a:pred_none ~pred_b:pred_none
+        profile;
+      Estimator_intf.end_biased ~theta:1.0 ~pred_a:pred_none ~pred_b:pred_none
+        profile;
+    ]
+  in
+  List.iter
+    (fun est ->
+      check_exact_each_seed ~label:est.Estimator_intf.name ~truth:truth_m2m est)
+    adapters
+
+let test_intf_empty_join () =
+  let profile = Lazy.force profile_empty_join in
+  let adapters =
+    [
+      Estimator_intf.csdl ~theta:1.0 ~pred_a:pred_none ~pred_b:pred_none profile;
+      Estimator_intf.independent ~theta:1.0 ~pred_a:pred_none ~pred_b:pred_none
+        profile;
+      Estimator_intf.end_biased ~theta:1.0 ~pred_a:pred_none ~pred_b:pred_none
+        profile;
+      Estimator_intf.wander ~theta:1.0 ~pred_a:pred_none ~pred_b:pred_none
+        profile;
+    ]
+  in
+  List.iter
+    (fun est ->
+      check_exact_each_seed ~label:est.Estimator_intf.name ~truth:0.0 est)
+    adapters;
+  (* the independence prior is sampling-free and cannot see disjointness:
+     it reports the closed-form |A||B|/max(d_A, d_B), not zero *)
+  let prior = Estimator_intf.independence_prior profile in
+  Alcotest.(check (float 1e-9)) "prior formula" (5.0 *. 5.0 /. 2.0)
+    (prior.Estimator_intf.estimate (Prng.create 1))
+
+let test_intf_all_filtered () =
+  let profile = Lazy.force profile_m2m in
+  let adapters =
+    [
+      Estimator_intf.csdl ~theta:1.0 ~pred_a:pred_reject_all
+        ~pred_b:pred_none profile;
+      Estimator_intf.independent ~theta:1.0 ~pred_a:pred_reject_all
+        ~pred_b:pred_none profile;
+      Estimator_intf.end_biased ~theta:1.0 ~pred_a:pred_reject_all
+        ~pred_b:pred_none profile;
+      Estimator_intf.wander ~theta:1.0 ~pred_a:pred_reject_all
+        ~pred_b:pred_none profile;
+    ]
+  in
+  List.iter
+    (fun est ->
+      check_exact_each_seed ~label:est.Estimator_intf.name ~truth:0.0 est)
+    adapters
+
+let test_intf_seed_robust_means () =
+  (* sampled adapters at theta < 1: per-seed estimates vary but the mean
+     over many seeded repetitions must sit near the truth *)
+  let profile = Lazy.force profile_m2m in
+  let mean_over est runs seed0 =
+    mean_of (fun prng -> est.Estimator_intf.estimate prng) runs seed0
+  in
+  let csdl =
+    Estimator_intf.csdl ~theta:0.5 ~pred_a:pred_none ~pred_b:pred_none profile
+  in
+  check_unbiased ~label:"intf csdl" ~truth:truth_m2m (mean_over csdl 3000 21)
+    0.1;
+  let ind =
+    Estimator_intf.independent ~theta:0.5 ~pred_a:pred_none ~pred_b:pred_none
+      profile
+  in
+  check_unbiased ~label:"intf independent" ~truth:truth_m2m
+    (mean_over ind 3000 22) 0.1;
+  let eb =
+    Estimator_intf.end_biased ~theta:0.4 ~pred_a:pred_none ~pred_b:pred_none
+      profile
+  in
+  check_unbiased ~label:"intf end-biased" ~truth:truth_m2m
+    (mean_over eb 3000 23) 0.1;
+  let w =
+    Estimator_intf.wander ~theta:1.0 ~pred_a:pred_none ~pred_b:pred_none
+      profile
+  in
+  check_unbiased ~label:"intf wander" ~truth:truth_m2m (mean_over w 3000 24)
+    0.1
+
+let test_intf_agms_applicability () =
+  let profile = Lazy.force profile_m2m in
+  (match
+     Estimator_intf.agms ~theta:0.5 ~pred_a:pred_reject_all ~pred_b:pred_none
+       profile
+   with
+  | Some _ -> Alcotest.fail "AGMS must refuse predicates"
+  | None -> ());
+  match
+    Estimator_intf.agms ~theta:0.8 ~pred_a:pred_none ~pred_b:pred_none profile
+  with
+  | None -> Alcotest.fail "AGMS must accept the unfiltered join"
+  | Some est ->
+      Alcotest.(check bool) "no shared offline phase" true
+        (Float.is_nan est.Estimator_intf.offline_wall_seconds);
+      check_unbiased ~label:"intf AGMS" ~truth:truth_m2m
+        (mean_of (fun prng -> est.Estimator_intf.estimate prng) 600 25)
+        0.15
+
+let test_intf_join_synopsis_applicability () =
+  (match
+     Estimator_intf.join_synopsis ~theta:0.5 ~pred_a:pred_none
+       ~pred_b:pred_none (Lazy.force profile_m2m)
+   with
+  | Some _ -> Alcotest.fail "join synopsis must refuse m2m joins"
+  | None -> ());
+  match
+    Estimator_intf.join_synopsis ~theta:1.0 ~pred_a:pred_none ~pred_b:pred_none
+      (Lazy.force profile_pkfk)
+  with
+  | None -> Alcotest.fail "join synopsis must accept PK-FK"
+  | Some est ->
+      check_exact_each_seed ~label:"intf join synopsis" ~truth:truth_pkfk est
+
+let test_intf_csdl_variance () =
+  let profile = Lazy.force profile_m2m in
+  (* CS2L at theta = 1: the synopsis is the population, so the plug-in
+     analytic variance must vanish and the paired estimate must stay
+     exact *)
+  let full =
+    Estimator_intf.csdl ~spec:Csdl.Spec.cs2l ~theta:1.0 ~pred_a:pred_none
+      ~pred_b:pred_none profile
+  in
+  (match full.Estimator_intf.estimate_with_variance with
+  | None -> Alcotest.fail "csdl must report analytic variance"
+  | Some f ->
+      let e, v = f (Prng.create 31) in
+      Alcotest.(check (float 1e-6)) "estimate exact" truth_m2m e;
+      Alcotest.(check (float 1e-6)) "variance zero at theta=1" 0.0 v);
+  (* under real sampling: variance nonnegative, paired estimate equals the
+     plain estimate on the same stream *)
+  let sampled =
+    Estimator_intf.csdl ~theta:0.5 ~pred_a:pred_none ~pred_b:pred_none profile
+  in
+  match sampled.Estimator_intf.estimate_with_variance with
+  | None -> Alcotest.fail "csdl must report analytic variance"
+  | Some f ->
+      List.iter
+        (fun seed ->
+          let e, v = f (Prng.create seed) in
+          let plain = sampled.Estimator_intf.estimate (Prng.create seed) in
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "paired = plain (seed %d)" seed)
+            plain e;
+          Alcotest.(check bool)
+            (Printf.sprintf "variance >= 0 (seed %d)" seed)
+            true (v >= 0.0))
+        seeds
+
 let () =
   Alcotest.run "repro_baselines"
     [
@@ -413,5 +602,16 @@ let () =
           Alcotest.test_case "plan mismatch" `Quick test_agms_plan_mismatch_rejected;
           Alcotest.test_case "self join" `Quick test_agms_self_join_positive;
           Alcotest.test_case "budget sizing" `Quick test_agms_budget_sizing;
+        ] );
+      ( "estimator_intf",
+        [
+          Alcotest.test_case "exact at theta=1" `Quick test_intf_exact_at_theta_one;
+          Alcotest.test_case "empty join" `Quick test_intf_empty_join;
+          Alcotest.test_case "all filtered" `Quick test_intf_all_filtered;
+          Alcotest.test_case "seed-robust means" `Slow test_intf_seed_robust_means;
+          Alcotest.test_case "agms applicability" `Slow test_intf_agms_applicability;
+          Alcotest.test_case "join synopsis applicability" `Quick
+            test_intf_join_synopsis_applicability;
+          Alcotest.test_case "csdl analytic variance" `Quick test_intf_csdl_variance;
         ] );
     ]

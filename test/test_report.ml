@@ -156,6 +156,7 @@ let test_pool_round_trip () =
 let mk ?(experiment = "two-table") ?(query = "Q1a1") ?(variant = "1,diff")
     ?(qerror = 2.0) ?(wall = 0.5) () =
   {
+    Provenance.empty with
     Provenance.experiment;
     query;
     variant;

@@ -77,8 +77,17 @@ let test_qerror_negative_estimate_clamped () =
     (Qerror.compute ~truth:5.0 ~estimate:(-3.0))
 
 let test_qerror_nan_estimate () =
-  check_float "nan is failure" Float.infinity
-    (Qerror.compute ~truth:5.0 ~estimate:Float.nan)
+  (* a NaN estimate is garbage, not a zero/nonzero mismatch: it must stay
+     NaN so summaries can count it separately from honest inf failures *)
+  Alcotest.(check bool) "nan stays nan" true
+    (Float.is_nan (Qerror.compute ~truth:5.0 ~estimate:Float.nan));
+  Alcotest.(check bool) "nan is garbage" true (Qerror.is_garbage Float.nan);
+  Alcotest.(check bool) "inf is not garbage" false
+    (Qerror.is_garbage Float.infinity);
+  Alcotest.(check bool) "inf is zero-mismatch" true
+    (Qerror.is_zero_mismatch Float.infinity);
+  Alcotest.(check bool) "nan is not zero-mismatch" false
+    (Qerror.is_zero_mismatch Float.nan)
 
 let test_qerror_boundaries () =
   (* the both-zero convention (a correct "no result" estimate is perfect,
@@ -97,11 +106,13 @@ let test_qerror_boundaries () =
 
 let test_qerror_failure_predicate () =
   Alcotest.(check bool) "inf" true (Qerror.is_failure Float.infinity);
+  Alcotest.(check bool) "nan" true (Qerror.is_failure Float.nan);
   Alcotest.(check bool) "finite" false (Qerror.is_failure 3.0)
 
 let test_qerror_to_string () =
   Alcotest.(check string) "format" "2.50" (Qerror.to_string 2.5);
-  Alcotest.(check string) "inf" "inf" (Qerror.to_string Float.infinity)
+  Alcotest.(check string) "inf" "inf" (Qerror.to_string Float.infinity);
+  Alcotest.(check string) "nan" "nan" (Qerror.to_string Float.nan)
 
 (* ------------------------------------------------------------------ *)
 (* Bootstrap                                                           *)
@@ -148,6 +159,79 @@ let test_bootstrap_custom_statistic () =
     Bootstrap.confidence_interval ~statistic:Repro_util.Summary.mean prng runs
   in
   check_float "point is the mean" 14.5 ci.Bootstrap.point
+
+let test_bootstrap_infinite_mass () =
+  (* q-error arrays from failed runs carry inf entries; the interval must
+     report them honestly (upper = inf), never collapse to NaN *)
+  let prng = Prng.create 13 in
+  let runs = [| 1.0; 2.0; Float.infinity; Float.infinity; Float.infinity |] in
+  let ci = Bootstrap.median_interval prng runs in
+  check_float "upper honest inf" Float.infinity ci.Bootstrap.upper;
+  Alcotest.(check bool) "lower not nan" false (Float.is_nan ci.Bootstrap.lower);
+  Alcotest.(check bool) "point not nan" false (Float.is_nan ci.Bootstrap.point)
+
+(* ------------------------------------------------------------------ *)
+(* Variance                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_normal_quantile_values () =
+  (* reference values of the standard normal inverse CDF *)
+  let q = Variance.normal_quantile in
+  check_float "median" 0.0 (q 0.5);
+  Alcotest.(check (float 1e-6)) "97.5%" 1.959964 (q 0.975);
+  Alcotest.(check (float 1e-6)) "2.5%" (-1.959964) (q 0.025);
+  Alcotest.(check (float 1e-6)) "99.9% tail" 3.090232 (q 0.999);
+  Alcotest.(check (float 1e-6)) "z at 99%" 2.575829 (Variance.z_of_level 0.99)
+
+let test_scaling_term_independent_case () =
+  (* with full rates (p = q = u = 1) the sample is the population and the
+     variance term must vanish exactly *)
+  check_float "no sampling, no variance" 0.0
+    (Variance.scaling_term ~p:1.0 ~q:1.0 ~u:1.0 ~a:4.0 ~b:3.0)
+
+let test_scaling_term_positive_under_sampling () =
+  let v = Variance.scaling_term ~p:0.5 ~q:0.5 ~u:0.5 ~a:4.0 ~b:3.0 in
+  Alcotest.(check bool) "positive under sampling" true (v > 0.0);
+  Alcotest.check_raises "rates must be positive"
+    (Invalid_argument "Variance.scaling_term: probabilities must be positive")
+    (fun () -> ignore (Variance.scaling_term ~p:0.0 ~q:1.0 ~u:1.0 ~a:1.0 ~b:1.0))
+
+let test_of_terms_clamps () =
+  (* float rounding can leave tiny negative sums; the total clamps at 0 *)
+  check_float "clamped" 0.0 (Variance.of_terms [ 1e-12; -2e-12 ]);
+  check_float "sums" 3.0 (Variance.of_terms [ 1.0; 2.0 ])
+
+let test_normal_interval () =
+  let iv = Variance.normal_interval ~point:100.0 ~variance:25.0 () in
+  Alcotest.(check (float 1e-4)) "upper" (100.0 +. (1.959964 *. 5.0))
+    iv.Bootstrap.upper;
+  Alcotest.(check (float 1e-4)) "lower" (100.0 -. (1.959964 *. 5.0))
+    iv.Bootstrap.lower;
+  (* estimates are nonnegative: the lower endpoint clamps at 0 *)
+  let near_zero = Variance.normal_interval ~point:1.0 ~variance:25.0 () in
+  check_float "lower clamped at 0" 0.0 near_zero.Bootstrap.lower;
+  (* a NaN variance yields a NaN interval, never a fake-finite one *)
+  let bad = Variance.normal_interval ~point:1.0 ~variance:Float.nan () in
+  Alcotest.(check bool) "nan variance, nan interval" true
+    (Float.is_nan bad.Bootstrap.lower && Float.is_nan bad.Bootstrap.upper)
+
+let test_mean_interval_agrees_with_bootstrap () =
+  (* on a fixed well-behaved grid the CLT interval and the bootstrap
+     interval on the mean must roughly agree *)
+  let xs = Array.init 200 (fun i -> float_of_int ((i * 61) mod 97)) in
+  let clt = Variance.mean_interval xs in
+  let boot =
+    Bootstrap.confidence_interval ~statistic:Repro_util.Summary.mean
+      (Prng.create 17) xs
+  in
+  check_float "same point" (Repro_util.Summary.mean xs) clt.Bootstrap.point;
+  let clt_w = clt.Bootstrap.upper -. clt.Bootstrap.lower in
+  let boot_w = boot.Bootstrap.upper -. boot.Bootstrap.lower in
+  Alcotest.(check bool) "widths within 25%" true
+    (Float.abs (clt_w -. boot_w) /. boot_w < 0.25);
+  Alcotest.check_raises "needs two points"
+    (Invalid_argument "Variance.mean_interval: need at least two runs")
+    (fun () -> ignore (Variance.mean_interval [| 1.0 |]))
 
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
@@ -215,6 +299,18 @@ let () =
           Alcotest.test_case "level widens" `Quick test_bootstrap_wider_at_higher_level;
           Alcotest.test_case "validation" `Quick test_bootstrap_validation;
           Alcotest.test_case "custom statistic" `Quick test_bootstrap_custom_statistic;
+          Alcotest.test_case "infinite mass" `Quick test_bootstrap_infinite_mass;
+        ] );
+      ( "variance",
+        [
+          Alcotest.test_case "normal quantile" `Quick test_normal_quantile_values;
+          Alcotest.test_case "independent case" `Quick test_scaling_term_independent_case;
+          Alcotest.test_case "positive under sampling" `Quick
+            test_scaling_term_positive_under_sampling;
+          Alcotest.test_case "of_terms clamps" `Quick test_of_terms_clamps;
+          Alcotest.test_case "normal interval" `Quick test_normal_interval;
+          Alcotest.test_case "mean interval vs bootstrap" `Quick
+            test_mean_interval_agrees_with_bootstrap;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

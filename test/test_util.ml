@@ -303,6 +303,21 @@ let test_summary_quantile () =
   check_float "q0.5" 3.0 (Summary.quantile 0.5 xs);
   check_float "q0.25" 2.0 (Summary.quantile 0.25 xs)
 
+let test_summary_nan_poisons_quantiles () =
+  (* Regression: polymorphic sort used to total-order NaN below every
+     float, so a NaN in the input silently shifted the median/quantiles
+     to a finite-but-wrong value. NaN input must yield NaN out. *)
+  let with_nan = [| 3.0; Float.nan; 1.0; 2.0 |] in
+  Alcotest.(check bool) "median is nan" true
+    (Float.is_nan (Summary.median with_nan));
+  Alcotest.(check bool) "p95 is nan" true
+    (Float.is_nan (Summary.quantile 0.95 with_nan));
+  Alcotest.(check bool) "q0 is nan" true
+    (Float.is_nan (Summary.quantile 0.0 with_nan));
+  (* the guard must not disturb NaN-free inputs, infinities included *)
+  check_float "inf-only input unaffected" 3.0
+    (Summary.median [| 1.0; Float.infinity; 3.0 |])
+
 let test_summary_variance_infinite () =
   check_float "inf propagates" Float.infinity
     (Summary.variance [| 1.0; Float.infinity |])
@@ -494,6 +509,8 @@ let () =
           Alcotest.test_case "median does not mutate" `Quick
             test_summary_median_does_not_mutate;
           Alcotest.test_case "quantile" `Quick test_summary_quantile;
+          Alcotest.test_case "nan poisons quantiles" `Quick
+            test_summary_nan_poisons_quantiles;
           Alcotest.test_case "variance infinity" `Quick test_summary_variance_infinite;
           Alcotest.test_case "relative variance" `Quick test_summary_relative_variance;
           Alcotest.test_case "min_max" `Quick test_summary_min_max;
